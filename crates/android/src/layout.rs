@@ -1,0 +1,224 @@
+//! Library address-space layouts.
+
+use std::collections::HashMap;
+
+use sat_trace::{Catalog, CodePage, LibId};
+use sat_types::{VirtAddr, PAGE_SHIFT, PAGE_SIZE, PTP_SPAN};
+
+/// How shared libraries are laid out in the address space.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LibraryLayout {
+    /// Stock layout: a library's data segment is mapped directly
+    /// after its code segment, and libraries are packed densely —
+    /// code and data routinely share a PTP.
+    Original,
+    /// The paper's recompiled layout: code segments mapped at
+    /// 2MB-aligned addresses with data segments 2MB away, so the code
+    /// of a library is never in the same PTP as any data segment.
+    Aligned2Mb,
+    /// The paper's suggested refinement (Section 3.1.3): with
+    /// relocation information available, *group* all code segments
+    /// together and all data segments together — code and data never
+    /// share a PTP, yet no per-library 2MB padding is needed, so the
+    /// address-space cost stays close to the original layout.
+    Grouped,
+}
+
+/// Where each library's segments live in the (zygote-inherited)
+/// address space.
+#[derive(Clone, Debug)]
+pub struct LibraryMap {
+    /// The layout that produced this map.
+    pub layout: LibraryLayout,
+    code: HashMap<LibId, VirtAddr>,
+    data: HashMap<LibId, VirtAddr>,
+    /// First free address after the preloaded image.
+    pub end: VirtAddr,
+}
+
+/// Base of the shared-library region (matches Android's mmap area).
+pub const LIB_BASE: u32 = 0x4000_0000;
+
+impl LibraryMap {
+    /// Lays out the given libraries starting at [`LIB_BASE`].
+    pub fn place(catalog: &Catalog, libs: &[LibId], layout: LibraryLayout) -> LibraryMap {
+        let mut code = HashMap::new();
+        let mut data = HashMap::new();
+        let mut cursor = LIB_BASE;
+        match layout {
+            LibraryLayout::Original => {
+                for &id in libs {
+                    let spec = catalog.lib(id);
+                    code.insert(id, VirtAddr::new(cursor));
+                    cursor += spec.code_pages << PAGE_SHIFT;
+                    data.insert(id, VirtAddr::new(cursor));
+                    cursor += spec.data_pages << PAGE_SHIFT;
+                    // The dynamic linker leaves a one-page gap between
+                    // consecutive libraries.
+                    cursor += PAGE_SIZE;
+                }
+            }
+            LibraryLayout::Aligned2Mb => {
+                for &id in libs {
+                    let spec = catalog.lib(id);
+                    // Code at the next 2MB boundary.
+                    cursor = align_up(cursor, PTP_SPAN);
+                    code.insert(id, VirtAddr::new(cursor));
+                    cursor += spec.code_pages << PAGE_SHIFT;
+                    // Data 2MB past the end of code: guaranteed to be
+                    // in a different PTP.
+                    cursor = align_up(cursor, PTP_SPAN) + PTP_SPAN;
+                    data.insert(id, VirtAddr::new(cursor));
+                    cursor += spec.data_pages << PAGE_SHIFT;
+                }
+            }
+            LibraryLayout::Grouped => {
+                // All code segments packed densely...
+                for &id in libs {
+                    let spec = catalog.lib(id);
+                    code.insert(id, VirtAddr::new(cursor));
+                    cursor += spec.code_pages << PAGE_SHIFT;
+                    cursor += PAGE_SIZE;
+                }
+                // ...then one 2MB-aligned boundary, then all data
+                // segments packed densely.
+                cursor = align_up(cursor, PTP_SPAN);
+                for &id in libs {
+                    let spec = catalog.lib(id);
+                    data.insert(id, VirtAddr::new(cursor));
+                    cursor += spec.data_pages << PAGE_SHIFT;
+                    cursor += PAGE_SIZE;
+                }
+            }
+        }
+        LibraryMap {
+            layout,
+            code,
+            data,
+            end: VirtAddr::new(align_up(cursor, PTP_SPAN)),
+        }
+    }
+
+    /// Base address of a library's code segment.
+    pub fn code_base(&self, lib: LibId) -> Option<VirtAddr> {
+        self.code.get(&lib).copied()
+    }
+
+    /// Base address of a library's data segment.
+    pub fn data_base(&self, lib: LibId) -> Option<VirtAddr> {
+        self.data.get(&lib).copied()
+    }
+
+    /// Virtual address of a code page.
+    pub fn code_page_va(&self, page: CodePage, private_base: VirtAddr) -> Option<VirtAddr> {
+        match page {
+            CodePage::Lib { lib, page } => self
+                .code_base(lib)
+                .map(|b| VirtAddr::new(b.raw() + (page << PAGE_SHIFT))),
+            CodePage::Private { page } => {
+                Some(VirtAddr::new(private_base.raw() + (page << PAGE_SHIFT)))
+            }
+        }
+    }
+}
+
+fn align_up(addr: u32, align: u32) -> u32 {
+    (addr + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sat_trace::Catalog;
+
+    #[test]
+    fn original_layout_packs_code_and_data_together() {
+        let catalog = Catalog::generate(1, 1);
+        let libs: Vec<LibId> = catalog.zygote_native[..4].to_vec();
+        let map = LibraryMap::place(&catalog, &libs, LibraryLayout::Original);
+        let lib = libs[0];
+        let spec = catalog.lib(lib);
+        let code = map.code_base(lib).unwrap();
+        let data = map.data_base(lib).unwrap();
+        assert_eq!(data.raw() - code.raw(), spec.code_pages << PAGE_SHIFT);
+    }
+
+    #[test]
+    fn aligned_layout_separates_code_and_data_ptps() {
+        let catalog = Catalog::generate(1, 1);
+        let libs: Vec<LibId> = catalog.zygote_preloaded();
+        let map = LibraryMap::place(&catalog, &libs, LibraryLayout::Aligned2Mb);
+        for &lib in &libs {
+            let spec = catalog.lib(lib);
+            let code = map.code_base(lib).unwrap();
+            let data = map.data_base(lib).unwrap();
+            assert!(code.is_ptp_aligned(), "{}", catalog.lib(lib).name);
+            // No address of the code segment shares a PTP chunk with
+            // any address of the data segment.
+            let code_last = VirtAddr::new(code.raw() + ((spec.code_pages - 1) << PAGE_SHIFT));
+            assert!(
+                code_last.ptp_base() < data.ptp_base(),
+                "{}: code {:?} data {:?}",
+                spec.name,
+                code_last,
+                data
+            );
+        }
+    }
+
+    #[test]
+    fn grouped_layout_separates_code_and_data_without_padding() {
+        let catalog = Catalog::generate(1, 1);
+        let libs: Vec<LibId> = catalog.zygote_preloaded();
+        let grouped = LibraryMap::place(&catalog, &libs, LibraryLayout::Grouped);
+        let aligned = LibraryMap::place(&catalog, &libs, LibraryLayout::Aligned2Mb);
+        let original = LibraryMap::place(&catalog, &libs, LibraryLayout::Original);
+        // No code page of any library shares a PTP chunk with any data
+        // page of any library.
+        let max_code_chunk = libs
+            .iter()
+            .map(|&l| {
+                let spec = catalog.lib(l);
+                let last = grouped.code_base(l).unwrap().raw()
+                    + ((spec.code_pages - 1) << sat_types::PAGE_SHIFT);
+                VirtAddr::new(last).ptp_base()
+            })
+            .max()
+            .unwrap();
+        let min_data_chunk = libs
+            .iter()
+            .map(|&l| grouped.data_base(l).unwrap().ptp_base())
+            .min()
+            .unwrap();
+        assert!(max_code_chunk < min_data_chunk);
+        // And the address-space cost is close to the original layout,
+        // far below the 2MB-aligned one.
+        let span = |m: &LibraryMap| (m.end.raw() - LIB_BASE) as f64;
+        assert!(span(&grouped) < 1.1 * span(&original));
+        assert!(span(&grouped) < 0.5 * span(&aligned));
+    }
+
+    #[test]
+    fn aligned_layout_uses_more_address_space() {
+        let catalog = Catalog::generate(1, 1);
+        let libs: Vec<LibId> = catalog.zygote_preloaded();
+        let orig = LibraryMap::place(&catalog, &libs, LibraryLayout::Original);
+        let aligned = LibraryMap::place(&catalog, &libs, LibraryLayout::Aligned2Mb);
+        assert!(aligned.end > orig.end);
+    }
+
+    #[test]
+    fn code_page_va_resolution() {
+        let catalog = Catalog::generate(1, 1);
+        let libs: Vec<LibId> = catalog.zygote_native[..2].to_vec();
+        let map = LibraryMap::place(&catalog, &libs, LibraryLayout::Original);
+        let va = map
+            .code_page_va(CodePage::Lib { lib: libs[0], page: 3 }, VirtAddr::new(0))
+            .unwrap();
+        assert_eq!(va.raw(), map.code_base(libs[0]).unwrap().raw() + 3 * PAGE_SIZE);
+        let private = map
+            .code_page_va(CodePage::Private { page: 2 }, VirtAddr::new(0xA000_0000))
+            .unwrap();
+        assert_eq!(private.raw(), 0xA000_2000);
+    }
+}

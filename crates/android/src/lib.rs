@@ -1,0 +1,29 @@
+//! The Android-side substrate: zygote boot, application launch, and
+//! the binder IPC microbenchmark, built on the simulated machine.
+//!
+//! This crate reproduces the *workload* half of the paper: the zygote
+//! preloads 88 native libraries, the ART boot images, and the
+//! `app_process` binary, touching ≈5,900 instruction PTEs; every
+//! application is then forked from it without `exec`, inheriting
+//! identical translations for all of that shared code. Two library
+//! layouts are supported:
+//!
+//! - [`LibraryLayout::Original`]: each library's data segment sits
+//!   directly after its code, so one 2MB PTP typically covers code
+//!   *and* data (of one or several libraries) — a data write costs
+//!   the code its shared PTP;
+//! - [`LibraryLayout::Aligned2Mb`]: the paper's recompiled layout —
+//!   code segments at 2MB boundaries, data 2MB away, so code PTPs are
+//!   never unshared by data writes.
+
+#![forbid(unsafe_code)]
+
+pub mod ipc;
+pub mod launch;
+pub mod layout;
+pub mod system;
+
+pub use ipc::{run_binder_benchmark, BinderOptions, BinderReport};
+pub use launch::{launch_app, launch_app_seq, launch_data_libs, launch_page_set, LaunchOptions, LaunchReport};
+pub use layout::{LibraryLayout, LibraryMap};
+pub use system::{AndroidSystem, BootOptions, RunningApp, SteadyReport};

@@ -1,0 +1,143 @@
+//! Criterion microbenchmarks for the kernel paths the paper's tables
+//! summarize: fork under the three policies (Table 4), page-fault
+//! handling (the lat_pagefault anchor), and PTP share/unshare.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sat_core::{Kernel, KernelConfig, NoTlb};
+use sat_types::{AccessType, Perms, Pid, RegionTag, VaRange, VirtAddr, PAGE_SIZE};
+use sat_vm::MmapRequest;
+
+/// A zygote-like parent: 64 pages of touched code, 32 pages of
+/// written heap.
+fn boot(config: KernelConfig) -> (Kernel, Pid) {
+    let mut k = Kernel::new(config, 65_536);
+    let z = k.create_process().unwrap();
+    k.exec_zygote(z).unwrap();
+    let lib = k.files.register("lib.so", 64 * PAGE_SIZE);
+    k.mmap(
+        z,
+        &MmapRequest::file(64 * PAGE_SIZE, Perms::RX, lib, 0, RegionTag::ZygoteNativeCode, "lib.so")
+            .at(VirtAddr::new(0x4000_0000)),
+        &mut NoTlb,
+    )
+    .unwrap();
+    k.populate(z, VaRange::from_len(VirtAddr::new(0x4000_0000), 64 * PAGE_SIZE))
+        .unwrap();
+    k.mmap(
+        z,
+        &MmapRequest::anon(32 * PAGE_SIZE, Perms::RW, RegionTag::Heap, "[heap]")
+            .at(VirtAddr::new(0x0800_0000)),
+        &mut NoTlb,
+    )
+    .unwrap();
+    for i in 0..32 {
+        k.page_fault(z, VirtAddr::new(0x0800_0000 + i * PAGE_SIZE), AccessType::Write, &mut NoTlb)
+            .unwrap();
+    }
+    (k, z)
+}
+
+fn bench_fork(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fork");
+    for (name, config) in [
+        ("stock", KernelConfig::stock()),
+        ("copied_ptes", KernelConfig::copied_ptes()),
+        ("shared_ptps", KernelConfig::shared_ptp()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_batched_ref(
+                || boot(config),
+                |(k, z)| k.fork(*z).unwrap(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_fault(c: &mut Criterion) {
+    let mut g = c.benchmark_group("page_fault");
+    // Soft fault: PTE fill from a warm page cache.
+    g.bench_function("soft_fill", |b| {
+        b.iter_batched_ref(
+            || {
+                let (mut k, z) = boot(KernelConfig::stock());
+                // Clear the code PTEs so refills are soft faults.
+                k.munmap(z, VaRange::from_len(VirtAddr::new(0x4000_0000), 64 * PAGE_SIZE), &mut NoTlb)
+                    .unwrap();
+                let lib = k.files.find("lib.so").unwrap();
+                k.mmap(
+                    z,
+                    &MmapRequest::file(64 * PAGE_SIZE, Perms::RX, lib, 0, RegionTag::ZygoteNativeCode, "lib.so")
+                        .at(VirtAddr::new(0x4000_0000)),
+                    &mut NoTlb,
+                )
+                .unwrap();
+                (k, z, 0u32)
+            },
+            |(k, z, i)| {
+                let va = VirtAddr::new(0x4000_0000 + (*i % 64) * PAGE_SIZE);
+                *i += 1;
+                k.page_fault(*z, va, AccessType::Execute, &mut NoTlb).unwrap()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    // COW fault after fork.
+    g.bench_function("cow_write", |b| {
+        b.iter_batched_ref(
+            || {
+                let (mut k, z) = boot(KernelConfig::stock());
+                let child = k.fork(z).unwrap().child;
+                (k, child, 0u32)
+            },
+            |(k, child, i)| {
+                let va = VirtAddr::new(0x0800_0000 + (*i % 32) * PAGE_SIZE);
+                *i += 1;
+                k.page_fault(*child, va, AccessType::Write, &mut NoTlb).unwrap()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_share_unshare(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ptp");
+    // Unshare via a write fault into a shared PTP (Figure 6's copy
+    // path, 32 PTEs copied) followed by the COW resolution.
+    g.bench_function("unshare_by_write_fault", |b| {
+        b.iter_batched_ref(
+            || {
+                let (mut k, z) = boot(KernelConfig::shared_ptp());
+                let child = k.fork(z).unwrap().child;
+                (k, child)
+            },
+            |(k, child)| {
+                k.page_fault(*child, VirtAddr::new(0x0800_0000), AccessType::Write, &mut NoTlb)
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    // The cheap path: last sharer clears NEED_COPY.
+    g.bench_function("unshare_last_sharer", |b| {
+        b.iter_batched_ref(
+            || {
+                let (mut k, z) = boot(KernelConfig::shared_ptp());
+                let child = k.fork(z).unwrap().child;
+                k.exit(child, &mut NoTlb).unwrap();
+                (k, z)
+            },
+            |(k, z)| {
+                k.page_fault(*z, VirtAddr::new(0x0800_0000), AccessType::Write, &mut NoTlb)
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fork, bench_fault, bench_share_unshare);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! `repro` — regenerates every table and figure of "Shared Address
+//! Translation Revisited" (EuroSys '16) on the simulated stack.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro <experiment> [--quick]
+//!
+//! experiments:
+//!   table1 fig2 fig3 table2 fig4   motivation study (Section 2.3)
+//!   latfault                       soft-fault latency anchor
+//!   table3 table4                  zygote fork (Section 4.2.1)
+//!   fig7 fig8 fig9 launch          application launch (Section 4.2.2)
+//!   fig10 fig11 fig12 steady       steady state (Section 4.2.3)
+//!   fig13                          binder IPC (Section 4.2.4)
+//!   ablations                      Section 3.1.3/3.2.3 design choices
+//!   scalability largepages grouped extensions
+//!   all                            everything, in paper order
+//! ```
+//!
+//! `--quick` runs scaled-down workloads (seconds instead of minutes).
+
+use std::process::ExitCode;
+
+use sat_bench::{ablation, extensions, ipcbench, launchbench, motivation, steadybench, zygotebench, Scale};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let cmd = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    match run(cmd, scale) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("repro {cmd}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(cmd: &str, scale: Scale) -> Result<String, Box<dyn std::error::Error>> {
+    let out = match cmd {
+        "table1" => motivation::table1(),
+        "fig2" => motivation::fig2(),
+        "fig3" => motivation::fig3(),
+        "table2" => motivation::table2(),
+        "fig4" => motivation::fig4(),
+        "latfault" => zygotebench::latfault(scale)?,
+        "table3" => zygotebench::table3(scale)?,
+        "table4" => zygotebench::table4(scale)?,
+        // Figures 7-9 come from one launch sweep.
+        "fig7" | "fig8" | "fig9" | "launch" => launchbench::launch_experiment(scale)?,
+        // Figures 10-12 come from one steady-state sweep.
+        "fig10" | "fig11" | "fig12" | "ptecopies" | "steady" => {
+            steadybench::steady_experiment(scale)?
+        }
+        "fig13" => ipcbench::fig13(scale)?,
+        "ablations" => ablation::all(scale)?,
+        "scalability" => extensions::scalability(scale)?,
+        "largepages" => extensions::large_pages(scale)?,
+        "grouped" => extensions::grouped_layout(scale)?,
+        "pollution" => extensions::pte_pollution(scale)?,
+        "smaps" => extensions::memory_accounting(scale)?,
+        "extensions" => extensions::all(scale)?,
+        "all" => {
+            let mut s = String::new();
+            s.push_str(&format!(
+                "# Shared Address Translation Revisited — experiment suite ({scale:?} scale)\n\n"
+            ));
+            s.push_str(&motivation::table1());
+            s.push_str(&motivation::fig2());
+            s.push_str(&motivation::fig3());
+            s.push_str(&motivation::table2());
+            s.push_str(&motivation::fig4());
+            s.push_str(&zygotebench::latfault(scale)?);
+            s.push_str(&zygotebench::table3(scale)?);
+            s.push_str(&zygotebench::table4(scale)?);
+            s.push_str(&launchbench::launch_experiment(scale)?);
+            s.push_str(&steadybench::steady_experiment(scale)?);
+            s.push_str(&ipcbench::fig13(scale)?);
+            s.push_str(&ablation::all(scale)?);
+            s.push_str(&extensions::all(scale)?);
+            s
+        }
+        other => {
+            return Err(format!(
+                "unknown experiment '{other}' (try: table1 fig2 fig3 table2 fig4 latfault \
+                 table3 table4 launch steady fig13 ablations scalability largepages \
+                 grouped pollution smaps extensions all)"
+            )
+            .into())
+        }
+    };
+    Ok(out)
+}

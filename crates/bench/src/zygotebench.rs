@@ -1,0 +1,213 @@
+//! Zygote-fork experiments: Table 3, Table 4, and the soft-fault
+//! latency anchor (Section 4.2.1).
+
+use sat_android::{AndroidSystem, BootOptions, LibraryLayout};
+use sat_core::{KernelConfig, NoTlb};
+use sat_sim::measure_soft_fault_cycles;
+use sat_trace::{app_specs, AppProfile};
+use sat_types::{AccessType, SatResult, VirtAddr};
+
+use crate::motivation::SEED;
+use crate::render::{count, Table};
+use crate::Scale;
+
+/// Boot sizing per scale.
+pub fn boot_opts(scale: Scale) -> BootOptions {
+    match scale {
+        Scale::Paper => BootOptions::paper(),
+        Scale::Quick => BootOptions::small(),
+    }
+}
+
+fn boot(config: KernelConfig, scale: Scale) -> SatResult<AndroidSystem> {
+    AndroidSystem::boot(config, LibraryLayout::Original, SEED, 11, boot_opts(scale))
+}
+
+/// Table 4: zygote fork performance under the three kernels.
+pub fn table4(scale: Scale) -> SatResult<String> {
+    let mut t = Table::new(
+        "Table 4: zygote fork performance",
+        &[
+            "Kernel",
+            "Execution cycles (x10^6)",
+            "# PTPs allocated",
+            "# shared PTPs",
+            "# PTEs copied",
+        ],
+    );
+    let configs = [
+        ("Shared PTPs", KernelConfig::shared_ptp()),
+        ("Stock Android", KernelConfig::stock()),
+        ("Copied PTEs", KernelConfig::copied_ptes()),
+    ];
+    let mut cycles_by_label = Vec::new();
+    for (label, config) in configs {
+        let mut sys = boot(config, scale)?;
+        let (outcome, cycles) = sys.machine.fork(0, sys.zygote)?;
+        cycles_by_label.push((label, cycles));
+        t.row(vec![
+            label.to_string(),
+            format!("{:.1}", cycles as f64 / 1e6),
+            count(outcome.ptps_allocated),
+            count(outcome.ptps_shared),
+            count(outcome.ptes_copied),
+        ]);
+    }
+    let mut out = t.render();
+    let shared = cycles_by_label[0].1 as f64;
+    let stock = cycles_by_label[1].1 as f64;
+    let copied = cycles_by_label[2].1 as f64;
+    out.push_str(&format!(
+        "Fork speedup with shared PTPs: {:.1}x (paper: 2.1x); Copied-PTEs slowdown: +{:.1}% (paper: +58.6%)\n\n",
+        stock / shared,
+        100.0 * (copied / stock - 1.0),
+    ));
+    Ok(out)
+}
+
+/// Builds the per-app profiles, shrunk at quick scale.
+pub fn profiles(sys: &AndroidSystem, scale: Scale) -> Vec<AppProfile> {
+    app_specs()
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let mut spec = spec.clone();
+            if scale == Scale::Quick {
+                spec.footprint_pages = 300;
+            }
+            AppProfile::generate(&sys.catalog, &spec, i, SEED)
+        })
+        .collect()
+}
+
+/// Counts how many of `profile`'s zygote-preloaded code pages already
+/// have a PTE in `pid`'s page tables.
+fn inherited_ptes(sys: &mut AndroidSystem, pid: sat_types::Pid, profile: &AppProfile) -> SatResult<u64> {
+    let mut n = 0;
+    for page in profile.zygote_preloaded_pages() {
+        let va = sys
+            .map
+            .code_page_va(page, VirtAddr::new(0))
+            .expect("zygote-preloaded page has a mapping");
+        if sys.machine.kernel.pte(pid, va)?.is_some() {
+            n += 1;
+        }
+    }
+    Ok(n)
+}
+
+/// Table 3: instruction PTEs inherited from the zygote with shared
+/// PTPs, for a cold start (first run ever) and a warm start
+/// (reinvocation after the first instantiation).
+pub fn table3(scale: Scale) -> SatResult<String> {
+    let mut sys = boot(KernelConfig::shared_ptp(), scale)?;
+    let profiles = profiles(&sys, scale);
+
+    // Cold pass: fork, count, exit — before any application has run.
+    let mut cold = Vec::new();
+    for p in &profiles {
+        let (outcome, _) = sys.machine.fork(0, sys.zygote)?;
+        cold.push(inherited_ptes(&mut sys, outcome.child, p)?);
+        sys.machine.syscall(|k, _tlb| k.exit(outcome.child, &mut NoTlb))?;
+    }
+
+    // Warm pass: run each application once (touch its preloaded
+    // pages, populating the shared PTPs), exit it, then fork again
+    // and count.
+    let mut warm = Vec::new();
+    for p in &profiles {
+        let (outcome, _) = sys.machine.fork(0, sys.zygote)?;
+        sys.machine.context_switch(0, outcome.child)?;
+        for page in p.zygote_preloaded_pages() {
+            let va = sys
+                .map
+                .code_page_va(page, VirtAddr::new(0))
+                .expect("mapped");
+            sys.machine.access(0, va, AccessType::Execute)?;
+        }
+        sys.machine.syscall(|k, _tlb| k.exit(outcome.child, &mut NoTlb))?;
+        // Relaunch.
+        let (outcome2, _) = sys.machine.fork(0, sys.zygote)?;
+        warm.push(inherited_ptes(&mut sys, outcome2.child, p)?);
+        sys.machine.syscall(|k, _tlb| k.exit(outcome2.child, &mut NoTlb))?;
+    }
+
+    let mut t = Table::new(
+        "Table 3: instruction PTEs inherited from the zygote (shared PTPs)",
+        &["Benchmark", "Cold start (x10^2)", "Warm start (x10^2)"],
+    );
+    for ((p, c), w) in profiles.iter().zip(&cold).zip(&warm) {
+        t.row(vec![
+            p.spec.name.to_string(),
+            format!("{:.1}", *c as f64 / 100.0),
+            format!("{:.0}", *w as f64 / 100.0),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str("Paper range: cold 6.4-23.0 (x10^2), warm 10-59 (x10^2)\n\n");
+    Ok(out)
+}
+
+/// The LMbench `lat_pagefault` anchor.
+pub fn latfault(scale: Scale) -> SatResult<String> {
+    let pages = match scale {
+        Scale::Paper => 2_048,
+        Scale::Quick => 256,
+    };
+    let (mean, faults) = measure_soft_fault_cycles(pages)?;
+    Ok(format!(
+        "## Soft page-fault latency (lat_pagefault analogue)\n\n\
+         {faults} soft faults, mean {mean:.0} cycles ≈ {:.2}us at 1.2GHz \
+         (paper: ~2,700 cycles / 2.25us)\n\n",
+        mean / 1.2e3
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_quick_has_expected_shape() {
+        let out = table4(Scale::Quick).unwrap();
+        assert!(out.contains("Shared PTPs"));
+        assert!(out.contains("Fork speedup"));
+        // Extract the speedup and check it beats 1.5x even at quick
+        // scale.
+        let speedup: f64 = out
+            .split("shared PTPs: ")
+            .nth(1)
+            .unwrap()
+            .split('x')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        // At quick scale the fixed fork cost dominates (few PTEs to
+        // copy), so the speedup is small but must still be positive;
+        // the paper-scale 2.1x is asserted against the calibrated
+        // model in `sat-sim::model` and measured by `repro table4`.
+        assert!(speedup > 1.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn table3_quick_warm_exceeds_cold() {
+        let out = table3(Scale::Quick).unwrap();
+        assert!(out.contains("Cold start"));
+        // Parse rows: warm >= cold for every app.
+        for line in out.lines().filter(|l| l.starts_with('|') && !l.contains("Benchmark") && !l.contains('-')) {
+            let cells: Vec<&str> = line.split('|').map(str::trim).filter(|s| !s.is_empty()).collect();
+            if cells.len() == 3 {
+                let cold: f64 = cells[1].parse().unwrap();
+                let warm: f64 = cells[2].parse().unwrap();
+                assert!(warm >= cold, "{line}");
+            }
+        }
+    }
+
+    #[test]
+    fn latfault_quick_reports_mean() {
+        let out = latfault(Scale::Quick).unwrap();
+        assert!(out.contains("soft faults"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Kernel configuration: which parts of the paper's mechanism are
+//! enabled, plus the ablation knobs from the design discussion
+//! (Section 3.1.3).
+
+use sat_vm::ForkPtePolicy;
+
+/// What an unshare copies into the new private PTP.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CopyOnUnshare {
+    /// Copy every valid PTE (the paper's implementation).
+    #[default]
+    All,
+    /// Copy only PTEs with the (software) referenced bit set — the
+    /// cheaper alternative the paper discusses but does not implement.
+    ReferencedOnly,
+}
+
+/// How shared global TLB entries are protected from non-zygote
+/// processes (Section 3.2.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TlbProtection {
+    /// The ARM domain protection model: non-zygote processes take a
+    /// domain fault; the handler flushes only the conflicting entries.
+    #[default]
+    DomainFault,
+    /// Architectures without domains: flush the entire TLB on every
+    /// context switch from a zygote-like to a non-zygote process.
+    FlushOnSwitch,
+}
+
+/// Full kernel configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelConfig {
+    /// Enable PTP sharing at fork (the paper's Section 3.1).
+    pub share_ptp: bool,
+    /// Enable TLB-entry sharing via the global bit and zygote domain
+    /// (the paper's Section 3.2).
+    pub share_tlb: bool,
+    /// Fork PTE policy used when PTP sharing is off, or for regions a
+    /// shared fork cannot share.
+    pub fork_policy: ForkPtePolicy,
+    /// ASIDs available: when `false`, the main TLB must be flushed on
+    /// every context switch (the Figure 13 "Disabled ASID" baseline).
+    pub asid: bool,
+    /// Protection scheme for shared TLB entries.
+    pub tlb_protection: TlbProtection,
+    /// Ablation: also share PTPs covering stacks (the paper excludes
+    /// them because stacks are written immediately after fork).
+    pub share_stack: bool,
+    /// Ablation: what unshare copies.
+    pub copy_on_unshare: CopyOnUnshare,
+    /// Ablation: pretend the hardware supports write protection in
+    /// level-1 PTEs (as x86 PDEs do), making the per-PTE
+    /// write-protect pass at share time unnecessary.
+    pub l1_write_protect: bool,
+}
+
+impl KernelConfig {
+    /// The stock Android kernel.
+    pub fn stock() -> Self {
+        KernelConfig {
+            share_ptp: false,
+            share_tlb: false,
+            fork_policy: ForkPtePolicy::Stock,
+            asid: true,
+            tlb_protection: TlbProtection::DomainFault,
+            share_stack: false,
+            copy_on_unshare: CopyOnUnshare::All,
+            l1_write_protect: false,
+        }
+    }
+
+    /// The "Copied PTEs" comparison kernel of Table 4: stock, but fork
+    /// copies the PTEs of file-backed (zygote-preloaded shared code)
+    /// mappings too.
+    pub fn copied_ptes() -> Self {
+        KernelConfig {
+            fork_policy: ForkPtePolicy::CopyAll,
+            ..KernelConfig::stock()
+        }
+    }
+
+    /// PTP sharing only (the "Shared PTP" configuration).
+    pub fn shared_ptp() -> Self {
+        KernelConfig {
+            share_ptp: true,
+            ..KernelConfig::stock()
+        }
+    }
+
+    /// The full mechanism: PTP sharing plus TLB-entry sharing
+    /// ("Shared PTP & TLB").
+    pub fn shared_ptp_tlb() -> Self {
+        KernelConfig {
+            share_ptp: true,
+            share_tlb: true,
+            ..KernelConfig::stock()
+        }
+    }
+
+    /// Disables ASIDs (full TLB flush on context switch), as in the
+    /// Figure 13 baseline.
+    pub fn without_asid(mut self) -> Self {
+        self.asid = false;
+        self
+    }
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig::stock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_configurations() {
+        let stock = KernelConfig::stock();
+        assert!(!stock.share_ptp && !stock.share_tlb);
+        assert_eq!(stock.fork_policy, ForkPtePolicy::Stock);
+
+        let copied = KernelConfig::copied_ptes();
+        assert_eq!(copied.fork_policy, ForkPtePolicy::CopyAll);
+        assert!(!copied.share_ptp);
+
+        let shared = KernelConfig::shared_ptp();
+        assert!(shared.share_ptp && !shared.share_tlb);
+
+        let full = KernelConfig::shared_ptp_tlb();
+        assert!(full.share_ptp && full.share_tlb);
+        assert!(full.asid);
+        assert!(!full.without_asid().asid);
+    }
+}

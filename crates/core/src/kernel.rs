@@ -1,0 +1,755 @@
+//! The patched kernel: process table plus the paper's hooks around
+//! the stock VM paths.
+//!
+//! [`Kernel`] owns physical memory, the PTP arena, the file registry,
+//! and every process's `Mm`, and exposes the system-call surface the
+//! experiments drive. Each entry point applies the paper's logic in
+//! exactly the place the patch hooks Linux:
+//!
+//! - `fork` → share PTPs ([`fork_share`]) when enabled, else the stock
+//!   copy ([`sat_vm::fork_mm`]);
+//! - `page_fault` → unshare on a write fault into a shared PTP
+//!   (Section 3.1.2 case 1), then the stock handler;
+//! - `mmap`/`munmap`/`mprotect` → eagerly unshare affected PTPs
+//!   (cases 2-4), then the stock mechanics; a zygote `mmap` of library
+//!   code marks the region *global* (Section 3.2.2);
+//! - `exit` → drop PTP references, skipping reclamation of PTPs other
+//!   processes still share (case 5);
+//! - `domain_fault` → flush the TLB entries matching the faulting
+//!   address (Section 3.2.3).
+
+use std::collections::HashMap;
+
+use sat_mmu::{Mapper, PtpStore};
+use sat_mmu::pte::PteSlot;
+use sat_phys::{FileRegistry, PhysMem};
+use sat_types::{
+    AccessType, Asid, Dacr, Domain, Perms, Pid, SatError, SatResult, VaRange, VirtAddr,
+};
+use sat_vm::{
+    exit_mmap, fork_mm, handle_fault, mmap as vm_mmap, mprotect as vm_mprotect,
+    munmap as vm_munmap, populate, Backing, FaultCtx, FaultOutcome, Mm, MmapRequest,
+};
+
+use crate::config::KernelConfig;
+use crate::share::{fork_share, unshare, unshare_range, UnshareTrigger};
+use crate::TlbMaintenance;
+
+/// Kernel-global statistics.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Forks performed.
+    pub forks: u64,
+    /// Forks that used PTP sharing.
+    pub share_forks: u64,
+    /// Domain faults handled (non-zygote process hit a global entry).
+    pub domain_faults: u64,
+    /// Processes exited.
+    pub exits: u64,
+}
+
+/// What a fork did, merged across the sharing and copying paths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ForkOutcome {
+    /// The new process.
+    pub child: Pid,
+    /// PTEs copied into the child.
+    pub ptes_copied: u64,
+    /// Of those, PTEs of file-backed mappings.
+    pub ptes_copied_file: u64,
+    /// PTPs allocated for the child.
+    pub ptps_allocated: u64,
+    /// PTPs shared with the child (zero on the stock paths).
+    pub ptps_shared: u64,
+    /// PTEs write-protected to establish PTP-level COW.
+    pub write_protect_ops: u64,
+}
+
+impl Default for ForkOutcome {
+    fn default() -> Self {
+        ForkOutcome {
+            child: Pid::new(0),
+            ptes_copied: 0,
+            ptes_copied_file: 0,
+            ptps_allocated: 0,
+            ptps_shared: 0,
+            write_protect_ops: 0,
+        }
+    }
+}
+
+/// Combined result of [`Kernel::page_fault`].
+#[derive(Clone, Copy, Debug)]
+pub struct ProcFaultOutcome {
+    /// The stock handler's resolution.
+    pub vm: FaultOutcome,
+    /// A PTP had to be unshared first (write fault in a shared PTP).
+    pub unshared: bool,
+    /// PTEs copied by that unshare.
+    pub unshare_ptes_copied: u64,
+}
+
+/// The simulated (patched or stock) kernel.
+pub struct Kernel {
+    /// Active configuration.
+    pub config: KernelConfig,
+    /// Physical memory.
+    pub phys: PhysMem,
+    /// The machine-wide PTP arena.
+    pub ptps: PtpStore,
+    /// Registered files (libraries, binaries, data files).
+    pub files: FileRegistry,
+    /// Kernel-global statistics.
+    pub stats: KernelStats,
+    procs: HashMap<Pid, Mm>,
+    next_pid: u32,
+    next_asid: u8,
+    free_asids: Vec<Asid>,
+}
+
+impl Kernel {
+    /// Creates a kernel over `frames` 4KB frames of physical memory.
+    pub fn new(config: KernelConfig, frames: u32) -> Kernel {
+        Kernel {
+            config,
+            phys: PhysMem::new(frames),
+            ptps: PtpStore::new(),
+            files: FileRegistry::new(),
+            stats: KernelStats::default(),
+            procs: HashMap::new(),
+            next_pid: 1,
+            next_asid: 1,
+            free_asids: Vec::new(),
+        }
+    }
+
+    /// Creates a kernel with the Nexus 7's 1GB of memory.
+    pub fn nexus7(config: KernelConfig) -> Kernel {
+        Kernel::new(config, (1u32 << 30) >> sat_types::PAGE_SHIFT)
+    }
+
+    /// Creates a new, empty process.
+    pub fn create_process(&mut self) -> SatResult<Pid> {
+        let pid = Pid::new(self.next_pid);
+        self.next_pid += 1;
+        let asid = self.alloc_asid();
+        let mm = Mm::new(&mut self.phys, pid, asid)?;
+        self.procs.insert(pid, mm);
+        Ok(pid)
+    }
+
+    /// Allocates an 8-bit ASID: fresh while any remain, then recycled
+    /// from exited processes. (Linux handles exhaustion of *live*
+    /// ASIDs with a generation roll-over and full TLB flush; the
+    /// simulator instead caps live processes at 255, far above any
+    /// workload here, and recycles on exit — an exited process's
+    /// non-global entries were already flushed by [`Kernel::exit`].)
+    fn alloc_asid(&mut self) -> Asid {
+        if self.next_asid < 255 {
+            let asid = Asid::new(self.next_asid);
+            self.next_asid += 1;
+            return asid;
+        }
+        self.free_asids
+            .pop()
+            .expect("more than 254 live processes: 8-bit ASID space exhausted")
+    }
+
+    /// Marks `pid` as the zygote (the paper's `exec`-time zygote
+    /// flag) and grants it access to the zygote domain when TLB
+    /// sharing is enabled.
+    pub fn exec_zygote(&mut self, pid: Pid) -> SatResult<()> {
+        let share_tlb = self.config.share_tlb;
+        let mm = self.mm_mut(pid)?;
+        mm.is_zygote = true;
+        if share_tlb {
+            mm.dacr = Dacr::zygote_like();
+        }
+        Ok(())
+    }
+
+    /// Borrows a process's address space.
+    pub fn mm(&self, pid: Pid) -> SatResult<&Mm> {
+        self.procs.get(&pid).ok_or(SatError::NoSuchProcess)
+    }
+
+    /// Mutably borrows a process's address space.
+    pub fn mm_mut(&mut self, pid: Pid) -> SatResult<&mut Mm> {
+        self.procs.get_mut(&pid).ok_or(SatError::NoSuchProcess)
+    }
+
+    /// Iterates over live processes.
+    pub fn processes(&self) -> impl Iterator<Item = (&Pid, &Mm)> {
+        self.procs.iter()
+    }
+
+    /// Number of live processes.
+    pub fn process_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// The fault-handling context for a process under the current
+    /// configuration.
+    pub fn fault_ctx(&self, mm: &Mm) -> FaultCtx {
+        let zygote_like = mm.is_zygote_like();
+        FaultCtx {
+            mark_global: self.config.share_tlb && zygote_like,
+            domain: if self.config.share_tlb && zygote_like {
+                Domain::ZYGOTE
+            } else {
+                Domain::USER
+            },
+        }
+    }
+
+    /// `mmap(2)`: maps a region, eagerly unsharing any shared PTP in
+    /// its range (Section 3.1.2 case 3) and — for the zygote mapping
+    /// library code under TLB sharing — marking the region global
+    /// (Section 3.2.2).
+    pub fn mmap(
+        &mut self,
+        pid: Pid,
+        req: &MmapRequest,
+        tlb: &mut dyn TlbMaintenance,
+    ) -> SatResult<VirtAddr> {
+        let config = self.config;
+        let mm = self.procs.get_mut(&pid).ok_or(SatError::NoSuchProcess)?;
+        let addr = vm_mmap(mm, req)?;
+        let len = req.len.div_ceil(sat_types::PAGE_SIZE) * sat_types::PAGE_SIZE;
+        let range = VaRange::from_len(addr, len);
+        if config.share_ptp {
+            unshare_range(
+                mm,
+                &mut self.ptps,
+                &mut self.phys,
+                range,
+                &config,
+                tlb,
+                UnshareTrigger::NewRegion,
+            )?;
+        }
+        if config.share_tlb
+            && mm.is_zygote
+            && matches!(req.backing, Backing::File { .. })
+            && req.perms.execute()
+        {
+            if let Some(vma) = mm.vma_at_mut(addr) {
+                vma.global = true;
+            }
+        }
+        Ok(addr)
+    }
+
+    /// `munmap(2)`: unshares affected PTPs (case 4: a region in the
+    /// range of a shared PTP is freed), then unmaps.
+    pub fn munmap(
+        &mut self,
+        pid: Pid,
+        range: VaRange,
+        tlb: &mut dyn TlbMaintenance,
+    ) -> SatResult<usize> {
+        let config = self.config;
+        let mm = self.procs.get_mut(&pid).ok_or(SatError::NoSuchProcess)?;
+        if config.share_ptp {
+            unshare_range(
+                mm,
+                &mut self.ptps,
+                &mut self.phys,
+                range,
+                &config,
+                tlb,
+                UnshareTrigger::RegionFree,
+            )?;
+        }
+        let cleared = vm_munmap(mm, &mut self.ptps, &mut self.phys, range)?;
+        // The unmapped translations must not survive in any TLB
+        // (Linux's flush_tlb_range on the munmap path).
+        for page in range.pages() {
+            tlb.flush_va_all_asids(page);
+        }
+        Ok(cleared)
+    }
+
+    /// `mprotect(2)`: unshares affected PTPs (case 2), then applies
+    /// the protection change.
+    pub fn mprotect(
+        &mut self,
+        pid: Pid,
+        range: VaRange,
+        perms: Perms,
+        tlb: &mut dyn TlbMaintenance,
+    ) -> SatResult<()> {
+        let config = self.config;
+        let mm = self.procs.get_mut(&pid).ok_or(SatError::NoSuchProcess)?;
+        if config.share_ptp {
+            unshare_range(
+                mm,
+                &mut self.ptps,
+                &mut self.phys,
+                range,
+                &config,
+                tlb,
+                UnshareTrigger::RegionOp,
+            )?;
+        }
+        vm_mprotect(mm, &mut self.ptps, &mut self.phys, range, perms)?;
+        // Old (possibly more-permissive) translations must be evicted
+        // (Linux's flush_tlb_range on the mprotect path).
+        for page in range.pages() {
+            tlb.flush_va_all_asids(page);
+        }
+        Ok(())
+    }
+
+    /// Handles a page fault. A *write* fault whose address falls in a
+    /// NEED_COPY PTP first unshares it (case 1); the fault is then
+    /// handled as in the stock kernel.
+    pub fn page_fault(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        access: AccessType,
+        tlb: &mut dyn TlbMaintenance,
+    ) -> SatResult<ProcFaultOutcome> {
+        let config = self.config;
+        let mm = self.procs.get_mut(&pid).ok_or(SatError::NoSuchProcess)?;
+        let mut unshared = false;
+        let mut unshare_ptes_copied = 0;
+        if access.is_write() && mm.root.entry_for(va).need_copy() {
+            let r = unshare(
+                mm,
+                &mut self.ptps,
+                &mut self.phys,
+                va,
+                &config,
+                tlb,
+                UnshareTrigger::WriteFault,
+            )?
+            .expect("NEED_COPY checked above");
+            unshared = true;
+            unshare_ptes_copied = r.ptes_copied;
+        }
+        let zygote_like = mm.is_zygote_like();
+        let ctx = FaultCtx {
+            mark_global: config.share_tlb && zygote_like,
+            domain: if config.share_tlb && zygote_like {
+                Domain::ZYGOTE
+            } else {
+                Domain::USER
+            },
+        };
+        let vm = handle_fault(mm, &mut self.ptps, &mut self.phys, va, access, ctx)?;
+        Ok(ProcFaultOutcome {
+            vm,
+            unshared,
+            unshare_ptes_copied,
+        })
+    }
+
+    /// Pre-faults `range` in `pid` (used by the zygote preload).
+    pub fn populate(&mut self, pid: Pid, range: VaRange) -> SatResult<usize> {
+        let config = self.config;
+        let mm = self.procs.get_mut(&pid).ok_or(SatError::NoSuchProcess)?;
+        let zygote_like = mm.is_zygote_like();
+        let ctx = FaultCtx {
+            mark_global: config.share_tlb && zygote_like,
+            domain: if config.share_tlb && zygote_like {
+                Domain::ZYGOTE
+            } else {
+                Domain::USER
+            },
+        };
+        populate(mm, &mut self.ptps, &mut self.phys, range, ctx)
+    }
+
+    /// Maps an anonymous region with 64KB large pages (the
+    /// hugetlbfs-like path), eagerly populating it. Large-page
+    /// regions compose with PTP sharing: their sixteen-slot groups
+    /// live in ordinary PTPs, which fork can share.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mmap_large(
+        &mut self,
+        pid: Pid,
+        at: VirtAddr,
+        len: u32,
+        perms: Perms,
+        tag: sat_types::RegionTag,
+        name: &str,
+        tlb: &mut dyn TlbMaintenance,
+    ) -> SatResult<sat_vm::LargeMapReport> {
+        let config = self.config;
+        let mm = self.procs.get_mut(&pid).ok_or(SatError::NoSuchProcess)?;
+        let zygote_like = mm.is_zygote_like();
+        let domain = if config.share_tlb && zygote_like {
+            Domain::ZYGOTE
+        } else {
+            Domain::USER
+        };
+        // Section 3.1.2 case 3 applies here exactly as in `mmap`: a
+        // new region in the range of a shared PTP must unshare it
+        // eagerly, or the eager PTE installs below would leak into the
+        // other sharers' address spaces.
+        let range = sat_vm::round_to_large(sat_types::VaRange::from_len(at, len));
+        if config.share_ptp {
+            unshare_range(
+                mm,
+                &mut self.ptps,
+                &mut self.phys,
+                range,
+                &config,
+                tlb,
+                UnshareTrigger::NewRegion,
+            )?;
+        }
+        sat_vm::mmap_large(mm, &mut self.ptps, &mut self.phys, at, len, perms, tag, name, domain)
+    }
+
+    /// `fork(2)`: shares PTPs when enabled, else copies per the
+    /// configured policy.
+    ///
+    /// Both paths write-protect parent PTEs (COW and/or PTP-sharing
+    /// protection). Callers that model a TLB must flush the parent's
+    /// cached translations afterwards, as Linux's `dup_mmap` does —
+    /// [`sat_sim::Machine::fork`] performs that flush; direct kernel
+    /// users with no TLB have nothing to go stale.
+    pub fn fork(&mut self, parent: Pid) -> SatResult<ForkOutcome> {
+        let config = self.config;
+        let child_pid = Pid::new(self.next_pid);
+        self.next_pid += 1;
+        let child_asid = self.alloc_asid();
+        let parent_mm = self.procs.get_mut(&parent).ok_or(SatError::NoSuchProcess)?;
+        self.stats.forks += 1;
+
+        let (child_mm, outcome) = if config.share_ptp {
+            self.stats.share_forks += 1;
+            let (child_mm, r) = fork_share(
+                parent_mm,
+                &mut self.ptps,
+                &mut self.phys,
+                child_pid,
+                child_asid,
+                &config,
+            )?;
+            (
+                child_mm,
+                ForkOutcome {
+                    child: child_pid,
+                    ptes_copied: r.ptes_copied,
+                    ptes_copied_file: r.ptes_copied_file,
+                    ptps_allocated: r.ptps_allocated,
+                    ptps_shared: r.ptps_shared,
+                    write_protect_ops: r.write_protect_ops,
+                },
+            )
+        } else {
+            let (child_mm, r) = fork_mm(
+                parent_mm,
+                &mut self.ptps,
+                &mut self.phys,
+                child_pid,
+                child_asid,
+                config.fork_policy,
+                Domain::USER,
+            )?;
+            (
+                child_mm,
+                ForkOutcome {
+                    child: child_pid,
+                    ptes_copied: r.ptes_copied,
+                    ptes_copied_file: r.ptes_copied_file,
+                    ptps_allocated: r.ptps_allocated,
+                    ptps_shared: 0,
+                    write_protect_ops: r.cow_protected,
+                },
+            )
+        };
+        self.procs.insert(child_pid, child_mm);
+        Ok(outcome)
+    }
+
+    /// Process exit: tears down the address space. Shared PTPs are
+    /// dereferenced, not reclaimed, when other sharers remain (case
+    /// 5).
+    pub fn exit(&mut self, pid: Pid, tlb: &mut dyn TlbMaintenance) -> SatResult<()> {
+        let mut mm = self.procs.remove(&pid).ok_or(SatError::NoSuchProcess)?;
+        exit_mmap(&mut mm, &mut self.ptps, &mut self.phys);
+        tlb.flush_asid(mm.asid);
+        self.free_asids.push(mm.asid);
+        mm.free_root(&mut self.phys);
+        self.stats.exits += 1;
+        Ok(())
+    }
+
+    /// The domain-fault handler (Section 3.2.3): a non-zygote process
+    /// matched a global TLB entry it has no domain rights to. The
+    /// handler flushes every TLB entry matching the faulting address;
+    /// on return the process re-faults into a normal table walk.
+    pub fn domain_fault(&mut self, va: VirtAddr, tlb: &mut dyn TlbMaintenance) {
+        self.stats.domain_faults += 1;
+        tlb.flush_va_all_asids(va);
+    }
+
+    /// Reads the PTE slot serving `va` in `pid`, if populated.
+    pub fn pte(&mut self, pid: Pid, va: VirtAddr) -> SatResult<Option<PteSlot>> {
+        let mm = self.procs.get_mut(&pid).ok_or(SatError::NoSuchProcess)?;
+        let mapper = Mapper::new(&mut mm.root, &mut self.ptps, &mut self.phys);
+        Ok(mapper.get_pte(va))
+    }
+
+    /// Snapshot for the paper's Figure 12: of the PTPs currently
+    /// referenced by `pid`, how many are shared with at least one
+    /// other process. Returns `(shared, total)`.
+    pub fn ptp_share_snapshot(&self, pid: Pid) -> SatResult<(usize, usize)> {
+        let mm = self.mm(pid)?;
+        let mut shared = 0;
+        let mut total = 0;
+        for (_, frame) in mm.root.iter_ptps() {
+            total += 1;
+            if self.phys.mapcount(frame) > 1 {
+                shared += 1;
+            }
+        }
+        Ok((shared, total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NoTlb;
+    use sat_types::{RegionTag, PAGE_SIZE};
+
+    fn code_req(file: sat_phys::FileId, pages: u32, at: u32) -> MmapRequest {
+        MmapRequest::file(
+            pages * PAGE_SIZE,
+            Perms::RX,
+            file,
+            0,
+            RegionTag::ZygoteNativeCode,
+            "libtest.so",
+        )
+        .at(VirtAddr::new(at))
+    }
+
+    /// Boots a minimal zygote: one library (8 pages code) preloaded
+    /// and touched, one heap page written.
+    fn boot(config: KernelConfig) -> (Kernel, Pid) {
+        let mut k = Kernel::new(config, 16384);
+        let lib = k.files.register("libtest.so", 8 * PAGE_SIZE);
+        let zygote = k.create_process().unwrap();
+        k.exec_zygote(zygote).unwrap();
+        k.mmap(zygote, &code_req(lib, 8, 0x4000_0000), &mut NoTlb).unwrap();
+        k.populate(zygote, VaRange::from_len(VirtAddr::new(0x4000_0000), 8 * PAGE_SIZE))
+            .unwrap();
+        let heap = MmapRequest::anon(2 * PAGE_SIZE, Perms::RW, RegionTag::Heap, "[heap]")
+            .at(VirtAddr::new(0x0900_0000));
+        k.mmap(zygote, &heap, &mut NoTlb).unwrap();
+        k.page_fault(zygote, VirtAddr::new(0x0900_0000), AccessType::Write, &mut NoTlb)
+            .unwrap();
+        (k, zygote)
+    }
+
+    #[test]
+    fn stock_fork_refaults_code_in_child() {
+        let (mut k, zygote) = boot(KernelConfig::stock());
+        let f = k.fork(zygote).unwrap();
+        assert_eq!(f.ptps_shared, 0);
+        assert_eq!(f.ptes_copied, 1); // the heap page only
+        // Child faults on code: soft fault (page cache warm).
+        let o = k
+            .page_fault(f.child, VirtAddr::new(0x4000_0000), AccessType::Execute, &mut NoTlb)
+            .unwrap();
+        assert_eq!(o.vm.kind, sat_vm::FaultKind::Minor);
+        assert!(!o.unshared);
+    }
+
+    #[test]
+    fn copied_ptes_fork_copies_code_too() {
+        let (mut k, zygote) = boot(KernelConfig::copied_ptes());
+        let f = k.fork(zygote).unwrap();
+        assert_eq!(f.ptes_copied, 9); // 8 code + 1 heap
+        assert!(k.pte(f.child, VirtAddr::new(0x4000_0000)).unwrap().is_some());
+    }
+
+    #[test]
+    fn shared_fork_eliminates_child_code_faults() {
+        let (mut k, zygote) = boot(KernelConfig::shared_ptp());
+        let f = k.fork(zygote).unwrap();
+        assert!(f.ptps_shared >= 1);
+        assert_eq!(f.ptes_copied, 0); // heap PTE is in a shared PTP too
+        // The child's code PTEs are immediately present.
+        assert!(k.pte(f.child, VirtAddr::new(0x4000_0000)).unwrap().is_some());
+    }
+
+    #[test]
+    fn write_fault_in_shared_ptp_unshares_then_cows() {
+        let (mut k, zygote) = boot(KernelConfig::shared_ptp());
+        let f = k.fork(zygote).unwrap();
+        let heap = VirtAddr::new(0x0900_0000);
+        let o = k
+            .page_fault(f.child, heap, AccessType::Write, &mut NoTlb)
+            .unwrap();
+        assert!(o.unshared);
+        assert_eq!(o.vm.kind, sat_vm::FaultKind::Cow);
+        // Parent and child now map different frames.
+        let p = k.pte(zygote, heap).unwrap().unwrap().hw.pfn;
+        let c = k.pte(f.child, heap).unwrap().unwrap().hw.pfn;
+        assert_ne!(p, c);
+    }
+
+    #[test]
+    fn zygote_mmap_of_code_marks_region_global_under_tlb_sharing() {
+        let (mut k, zygote) = boot(KernelConfig::shared_ptp_tlb());
+        assert!(k.mm(zygote).unwrap().vma_at(VirtAddr::new(0x4000_0000)).unwrap().global);
+        // And the populated PTEs carry the global bit.
+        let slot = k.pte(zygote, VirtAddr::new(0x4000_0000)).unwrap().unwrap();
+        assert!(slot.hw.global);
+    }
+
+    #[test]
+    fn stock_kernel_never_sets_global() {
+        let (mut k, zygote) = boot(KernelConfig::stock());
+        let slot = k.pte(zygote, VirtAddr::new(0x4000_0000)).unwrap().unwrap();
+        assert!(!slot.hw.global);
+        assert!(!k.mm(zygote).unwrap().vma_at(VirtAddr::new(0x4000_0000)).unwrap().global);
+    }
+
+    #[test]
+    fn child_inherits_global_regions_and_zygote_domain() {
+        let (mut k, zygote) = boot(KernelConfig::shared_ptp_tlb());
+        let f = k.fork(zygote).unwrap();
+        let mm = k.mm(f.child).unwrap();
+        assert!(mm.is_zygote_child);
+        assert!(mm.vma_at(VirtAddr::new(0x4000_0000)).unwrap().global);
+        assert_eq!(
+            mm.dacr.access(Domain::ZYGOTE),
+            sat_types::DomainAccess::Client
+        );
+        // Non-zygote process gets no zygote-domain access.
+        let outsider = k.create_process().unwrap();
+        assert_eq!(
+            k.mm(outsider).unwrap().dacr.access(Domain::ZYGOTE),
+            sat_types::DomainAccess::NoAccess
+        );
+    }
+
+    #[test]
+    fn mmap_into_shared_chunk_unshares_eagerly() {
+        let (mut k, zygote) = boot(KernelConfig::shared_ptp());
+        let f = k.fork(zygote).unwrap();
+        // Child maps a new region in the code chunk's 2MB span.
+        let req = MmapRequest::anon(PAGE_SIZE, Perms::RW, RegionTag::AppData, "newdata")
+            .at(VirtAddr::new(0x4010_0000));
+        k.mmap(f.child, &req, &mut NoTlb).unwrap();
+        let child_mm = k.mm(f.child).unwrap();
+        assert!(!child_mm.root.entry_for(VirtAddr::new(0x4000_0000)).need_copy());
+        assert_eq!(child_mm.counters.unshares_by_region_op, 1);
+        // The zygote still considers its PTP shared until it modifies.
+        assert!(k.mm(zygote).unwrap().root.entry_for(VirtAddr::new(0x4000_0000)).need_copy());
+    }
+
+    #[test]
+    fn munmap_unshares_then_frees_region() {
+        let (mut k, zygote) = boot(KernelConfig::shared_ptp());
+        let f = k.fork(zygote).unwrap();
+        let heap_range = VaRange::from_len(VirtAddr::new(0x0900_0000), 2 * PAGE_SIZE);
+        k.munmap(f.child, heap_range, &mut NoTlb).unwrap();
+        assert!(k.mm(f.child).unwrap().vma_at(VirtAddr::new(0x0900_0000)).is_none());
+        // Parent's heap PTE must be intact (the child unshared first).
+        assert!(k.pte(zygote, VirtAddr::new(0x0900_0000)).unwrap().is_some());
+    }
+
+    #[test]
+    fn mprotect_unshares_affected_chunks() {
+        let (mut k, zygote) = boot(KernelConfig::shared_ptp());
+        let f = k.fork(zygote).unwrap();
+        let code = VaRange::from_len(VirtAddr::new(0x4000_0000), 8 * PAGE_SIZE);
+        k.mprotect(f.child, code, Perms::R, &mut NoTlb).unwrap();
+        assert!(!k.mm(f.child).unwrap().root.entry_for(code.start).need_copy());
+        // Parent keeps executable permissions.
+        assert_eq!(
+            k.pte(zygote, code.start).unwrap().unwrap().hw.perms,
+            Perms::RX
+        );
+        assert_eq!(k.pte(f.child, code.start).unwrap().unwrap().hw.perms, Perms::R);
+    }
+
+    #[test]
+    fn exit_skips_reclaiming_shared_ptps() {
+        let (mut k, zygote) = boot(KernelConfig::shared_ptp());
+        let f = k.fork(zygote).unwrap();
+        let ptps_before = k.ptps.len();
+        k.exit(f.child, &mut NoTlb).unwrap();
+        // All PTPs survive (the zygote still references them).
+        assert_eq!(k.ptps.len(), ptps_before);
+        assert!(k.pte(zygote, VirtAddr::new(0x4000_0000)).unwrap().is_some());
+        // Now the zygote exits too; everything is reclaimed.
+        k.exit(zygote, &mut NoTlb).unwrap();
+        assert!(k.ptps.is_empty());
+    }
+
+    #[test]
+    fn many_children_share_one_set_of_ptps() {
+        let (mut k, zygote) = boot(KernelConfig::shared_ptp());
+        let baseline_ptps = k.ptps.len();
+        let mut children = Vec::new();
+        for _ in 0..8 {
+            children.push(k.fork(zygote).unwrap().child);
+        }
+        // No new PTPs at all: everything is shared.
+        assert_eq!(k.ptps.len(), baseline_ptps);
+        let (shared, total) = k.ptp_share_snapshot(zygote).unwrap();
+        assert_eq!(shared, total);
+        for c in children {
+            k.exit(c, &mut NoTlb).unwrap();
+        }
+        let (shared, _) = k.ptp_share_snapshot(zygote).unwrap();
+        assert_eq!(shared, 0);
+    }
+
+    #[test]
+    fn soft_fault_population_visible_to_later_children() {
+        // Paper Section 4.2.1: "all subsequent applications can also
+        // benefit from the PTEs populated by the applications launched
+        // earlier".
+        let (mut k, zygote) = boot(KernelConfig::shared_ptp());
+        // Extend the library mapping with untouched pages.
+        let lib2 = k.files.register("libextra.so", 4 * PAGE_SIZE);
+        k.mmap(zygote, &code_req(lib2, 4, 0x4008_0000), &mut NoTlb).unwrap();
+        let f1 = k.fork(zygote).unwrap();
+        // Child 1 faults a page the zygote never touched.
+        let va = VirtAddr::new(0x4008_1000);
+        let o = k.page_fault(f1.child, va, AccessType::Execute, &mut NoTlb).unwrap();
+        assert_eq!(o.vm.kind, sat_vm::FaultKind::Major);
+        // A child forked afterwards sees the PTE without faulting.
+        let f2 = k.fork(zygote).unwrap();
+        assert!(k.pte(f2.child, va).unwrap().is_some());
+        // So does the zygote itself.
+        assert!(k.pte(zygote, va).unwrap().is_some());
+    }
+
+    #[test]
+    fn asids_recycle_through_many_process_generations() {
+        let mut k = Kernel::new(KernelConfig::stock(), 16_384);
+        let parent = k.create_process().unwrap();
+        // 600 fork/exit cycles would exhaust a non-recycling 8-bit
+        // allocator two times over.
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..600 {
+            let child = k.fork(parent).unwrap().child;
+            let asid = k.mm(child).unwrap().asid;
+            // Never collides with a *live* process.
+            assert_ne!(asid, k.mm(parent).unwrap().asid);
+            seen.insert(asid.raw());
+            k.exit(child, &mut NoTlb).unwrap();
+        }
+        assert!(seen.len() <= 254);
+    }
+
+    #[test]
+    fn domain_fault_counter_increments() {
+        let mut k = Kernel::new(KernelConfig::shared_ptp_tlb(), 1024);
+        k.domain_fault(VirtAddr::new(0x4000_0000), &mut NoTlb);
+        assert_eq!(k.stats.domain_faults, 1);
+    }
+}

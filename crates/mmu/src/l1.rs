@@ -1,0 +1,276 @@
+//! The first-level (root) translation table.
+
+use sat_phys::{FrameKind, PhysMem};
+use sat_types::{
+    Dacr, Domain, PageSize, Perms, PhysAddr, Pfn, SatResult, VirtAddr, L1_ENTRIES,
+};
+
+use crate::ptp::TableHalf;
+
+/// A first-level descriptor.
+///
+/// Level-1 entries are managed in pairs (even/odd) pointing at the two
+/// halves of one page-table page. The paper adds a `NEED_COPY` flag in
+/// a spare bit of the level-1 PTE to mark the referenced PTP as shared
+/// copy-on-write.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum L1Entry {
+    /// Invalid: any access faults at the first level.
+    #[default]
+    Fault,
+    /// Points at one half of a page-table page.
+    Table {
+        /// Frame holding the PTP.
+        ptp: Pfn,
+        /// Which 1KB hardware table within the PTP.
+        half: TableHalf,
+        /// Domain inherited by the second-level entries.
+        domain: Domain,
+        /// The paper's NEED_COPY spare bit: the PTP is shared and must
+        /// be copied before this process may modify it.
+        need_copy: bool,
+    },
+    /// A section (1MB) or supersection (16MB) mapping with no second
+    /// level.
+    Section {
+        /// First frame of the mapped region.
+        base: Pfn,
+        /// [`PageSize::Section1M`] or [`PageSize::Super16M`].
+        size: PageSize,
+        /// Access permissions.
+        perms: Perms,
+        /// Domain of the mapping. (Supersections are always domain 0
+        /// architecturally; the simulator does not enforce that.)
+        domain: Domain,
+        /// Global bit.
+        global: bool,
+    },
+}
+
+impl L1Entry {
+    /// Returns the PTP frame if this is a table entry.
+    pub fn ptp(&self) -> Option<Pfn> {
+        match self {
+            L1Entry::Table { ptp, .. } => Some(*ptp),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this is a table entry with NEED_COPY set.
+    pub fn need_copy(&self) -> bool {
+        matches!(self, L1Entry::Table { need_copy: true, .. })
+    }
+
+    /// Returns the entry's domain, if valid.
+    pub fn domain(&self) -> Option<Domain> {
+        match self {
+            L1Entry::Fault => None,
+            L1Entry::Table { domain, .. } | L1Entry::Section { domain, .. } => Some(*domain),
+        }
+    }
+}
+
+/// A process's first-level translation table (4096 entries, 16KB).
+///
+/// The real table occupies four contiguous 4KB frames; the simulator
+/// allocates four frames so level-1 walk accesses have physical
+/// addresses for the cache model.
+pub struct RootTable {
+    entries: Vec<L1Entry>,
+    frames: [Pfn; 4],
+}
+
+impl RootTable {
+    /// Allocates a root table (four frames) with all entries invalid.
+    pub fn alloc(phys: &mut PhysMem) -> SatResult<RootTable> {
+        let frames = [
+            phys.alloc(FrameKind::RootTable)?,
+            phys.alloc(FrameKind::RootTable)?,
+            phys.alloc(FrameKind::RootTable)?,
+            phys.alloc(FrameKind::RootTable)?,
+        ];
+        Ok(RootTable {
+            entries: vec![L1Entry::Fault; L1_ENTRIES],
+            frames,
+        })
+    }
+
+    /// Releases the root table's frames.
+    pub fn free(self, phys: &mut PhysMem) {
+        for f in self.frames {
+            phys.put_page(f);
+        }
+    }
+
+    /// Returns the entry for index `idx`.
+    pub fn entry(&self, idx: usize) -> L1Entry {
+        self.entries[idx]
+    }
+
+    /// Returns the entry covering `va`.
+    pub fn entry_for(&self, va: VirtAddr) -> L1Entry {
+        self.entries[va.l1_index()]
+    }
+
+    /// Sets the entry at index `idx`.
+    pub fn set_entry(&mut self, idx: usize, e: L1Entry) {
+        self.entries[idx] = e;
+    }
+
+    /// Installs both entries of the pair covering `va` to point at the
+    /// two halves of `ptp`.
+    ///
+    /// Linux/ARM always populates level-1 entries two at a time, since
+    /// one PTP carries both hardware tables of the pair.
+    pub fn set_table_pair(&mut self, va: VirtAddr, ptp: Pfn, domain: Domain, need_copy: bool) {
+        let even = va.l1_index() & !1;
+        self.entries[even] = L1Entry::Table {
+            ptp,
+            half: TableHalf::Lower,
+            domain,
+            need_copy,
+        };
+        self.entries[even + 1] = L1Entry::Table {
+            ptp,
+            half: TableHalf::Upper,
+            domain,
+            need_copy,
+        };
+    }
+
+    /// Clears both entries of the pair covering `va`, returning the
+    /// PTP frame they referenced (if any).
+    pub fn clear_table_pair(&mut self, va: VirtAddr) -> Option<Pfn> {
+        let even = va.l1_index() & !1;
+        let ptp = self.entries[even].ptp();
+        self.entries[even] = L1Entry::Fault;
+        self.entries[even + 1] = L1Entry::Fault;
+        ptp
+    }
+
+    /// Sets or clears NEED_COPY on both entries of the pair covering
+    /// `va`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair does not hold table entries.
+    pub fn set_need_copy(&mut self, va: VirtAddr, value: bool) {
+        let even = va.l1_index() & !1;
+        for idx in [even, even + 1] {
+            match &mut self.entries[idx] {
+                L1Entry::Table { need_copy, .. } => *need_copy = value,
+                other => panic!("set_need_copy on non-table entry {other:?}"),
+            }
+        }
+    }
+
+    /// Physical address of the level-1 descriptor word for index
+    /// `idx` — the address the hardware walker fetches first.
+    pub fn l1_entry_addr(&self, idx: usize) -> PhysAddr {
+        let frame = self.frames[idx / 1024];
+        PhysAddr::new(frame.base().raw() + ((idx % 1024) as u32) * 4)
+    }
+
+    /// Iterates over `(pair_base_index, ptp_frame)` for every distinct
+    /// PTP referenced by this table.
+    pub fn iter_ptps(&self) -> impl Iterator<Item = (usize, Pfn)> + '_ {
+        self.entries.iter().enumerate().step_by(2).filter_map(|(i, e)| {
+            e.ptp().map(|p| (i, p))
+        })
+    }
+
+    /// Counts distinct PTPs referenced by this table.
+    pub fn ptp_count(&self) -> usize {
+        self.iter_ptps().count()
+    }
+}
+
+/// The per-process MMU context: the root table plus the process's
+/// domain access rights. Loaded into the "hardware" on context switch.
+pub struct MmuContext {
+    /// The first-level table.
+    pub root: RootTable,
+    /// The process's DACR value (lives in its task control block).
+    pub dacr: Dacr,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn root() -> (PhysMem, RootTable) {
+        let mut phys = PhysMem::new(64);
+        let rt = RootTable::alloc(&mut phys).unwrap();
+        (phys, rt)
+    }
+
+    #[test]
+    fn fresh_table_is_all_faults() {
+        let (_p, rt) = root();
+        assert_eq!(rt.entry(0), L1Entry::Fault);
+        assert_eq!(rt.entry(4095), L1Entry::Fault);
+        assert_eq!(rt.ptp_count(), 0);
+    }
+
+    #[test]
+    fn set_table_pair_sets_both_halves() {
+        let (_p, mut rt) = root();
+        let va = VirtAddr::new(0x0030_0000); // l1 index 3 -> pair (2, 3)
+        rt.set_table_pair(va, Pfn::new(42), Domain::USER, false);
+        match rt.entry(2) {
+            L1Entry::Table { ptp, half, .. } => {
+                assert_eq!(ptp, Pfn::new(42));
+                assert_eq!(half, TableHalf::Lower);
+            }
+            e => panic!("unexpected {e:?}"),
+        }
+        match rt.entry(3) {
+            L1Entry::Table { half, .. } => assert_eq!(half, TableHalf::Upper),
+            e => panic!("unexpected {e:?}"),
+        }
+        assert_eq!(rt.ptp_count(), 1);
+    }
+
+    #[test]
+    fn need_copy_round_trip() {
+        let (_p, mut rt) = root();
+        let va = VirtAddr::new(0x0040_0000);
+        rt.set_table_pair(va, Pfn::new(7), Domain::ZYGOTE, false);
+        assert!(!rt.entry_for(va).need_copy());
+        rt.set_need_copy(va, true);
+        assert!(rt.entry(4).need_copy());
+        assert!(rt.entry(5).need_copy());
+        rt.set_need_copy(va, false);
+        assert!(!rt.entry(4).need_copy());
+    }
+
+    #[test]
+    fn clear_table_pair_returns_frame() {
+        let (_p, mut rt) = root();
+        let va = VirtAddr::new(0x0000_0000);
+        rt.set_table_pair(va, Pfn::new(9), Domain::USER, true);
+        assert_eq!(rt.clear_table_pair(va), Some(Pfn::new(9)));
+        assert_eq!(rt.entry(0), L1Entry::Fault);
+        assert_eq!(rt.entry(1), L1Entry::Fault);
+        assert_eq!(rt.clear_table_pair(va), None);
+    }
+
+    #[test]
+    fn l1_entry_addresses_span_four_frames() {
+        let (_p, rt) = root();
+        let a0 = rt.l1_entry_addr(0);
+        let a1023 = rt.l1_entry_addr(1023);
+        let a1024 = rt.l1_entry_addr(1024);
+        assert_eq!(a1023.raw() - a0.raw(), 1023 * 4);
+        // Entry 1024 lives in the second frame.
+        assert_ne!(a1024.frame_base(), a0.frame_base());
+    }
+
+    #[test]
+    fn root_table_frees_its_frames() {
+        let (mut phys, rt) = root();
+        let before = phys.frames_in_use();
+        rt.free(&mut phys);
+        assert_eq!(phys.frames_in_use(), before - 4);
+    }
+}

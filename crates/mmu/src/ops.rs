@@ -1,0 +1,419 @@
+//! Mechanical page-table operations used by the VM layer.
+//!
+//! [`Mapper`] bundles mutable access to one process's root table, the
+//! shared PTP arena, and physical memory, and provides the PTE-level
+//! operations Linux's `pgtable` helpers provide: allocate a
+//! second-level table on demand, set/clear/inspect PTEs, write-protect
+//! or clear ranges. Reference counts are maintained here: a data
+//! frame's `refcount`/`mapcount` reflect the number of PTEs mapping
+//! it (plus one page-cache reference for file pages), and a PTP's
+//! `mapcount` reflects the number of processes referencing it.
+//!
+//! Policy — *when* to share or unshare a PTP — lives in `sat-core`;
+//! nothing here is specific to the paper's mechanism except honoring
+//! the `NEED_COPY` invariant via debug assertions (a process must not
+//! modify a PTP it shares).
+
+use sat_phys::{FrameKind, PhysMem};
+use sat_types::{
+    Domain, Pfn, SatError, SatResult, VaRange, VirtAddr,
+};
+
+use crate::l1::{L1Entry, RootTable};
+use crate::pte::{HwPte, PteSlot, SwPte};
+use crate::ptp::{PtpStore, TableHalf};
+
+/// Result of [`Mapper::set_pte`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SetPte {
+    /// A new PTP had to be allocated for the mapping.
+    pub ptp_allocated: bool,
+    /// The PTE replaced an existing one.
+    pub replaced: bool,
+}
+
+/// Mutable view over the structures a page-table operation touches.
+pub struct Mapper<'a> {
+    /// The current process's first-level table.
+    pub root: &'a mut RootTable,
+    /// The machine-wide PTP arena.
+    pub ptps: &'a mut PtpStore,
+    /// Physical memory.
+    pub phys: &'a mut PhysMem,
+}
+
+impl<'a> Mapper<'a> {
+    /// Creates a mapper over the given structures.
+    pub fn new(root: &'a mut RootTable, ptps: &'a mut PtpStore, phys: &'a mut PhysMem) -> Self {
+        Mapper { root, ptps, phys }
+    }
+
+    /// Returns the PTP frame covering `va`, allocating (and installing
+    /// the level-1 pair for) a new one if necessary.
+    ///
+    /// Returns `(frame, allocated)`.
+    pub fn ensure_ptp(&mut self, va: VirtAddr, domain: Domain) -> SatResult<(Pfn, bool)> {
+        match self.root.entry_for(va) {
+            L1Entry::Table { ptp, .. } => Ok((ptp, false)),
+            L1Entry::Fault => {
+                let frame = self.phys.alloc(FrameKind::PageTable)?;
+                self.ptps.insert(frame);
+                self.phys.map_inc(frame); // one process references it
+                self.root.set_table_pair(va, frame, domain, false);
+                Ok((frame, true))
+            }
+            L1Entry::Section { .. } => Err(SatError::Internal(
+                "ensure_ptp over a section mapping",
+            )),
+        }
+    }
+
+    /// Reads the PTE slot for `va`, if the mapping hierarchy exists.
+    pub fn get_pte(&self, va: VirtAddr) -> Option<PteSlot> {
+        match self.root.entry_for(va) {
+            L1Entry::Table { ptp, half, .. } => {
+                self.ptps.get(ptp)?.get(half, va.l2_index())
+            }
+            _ => None,
+        }
+    }
+
+    /// Installs a 4KB PTE for `va`, allocating the PTP if needed.
+    ///
+    /// Takes a reference on the mapped frame (`get_page` + `map_inc`).
+    /// If a previous PTE is replaced, its frame's references are
+    /// dropped.
+    ///
+    /// Populating a *new* PTE in a `NEED_COPY` (shared) PTP is
+    /// permitted — the paper relies on it: "when a page fault on a
+    /// read access occurs for the first time on any process for a page
+    /// belonging to a shared PTP, the corresponding PTE in the shared
+    /// PTP is populated \[and\] is then visible to all sharers".
+    /// *Replacing* an existing PTE in a shared PTP is a bug (the
+    /// process must unshare first); debug builds assert on it.
+    pub fn set_pte(
+        &mut self,
+        va: VirtAddr,
+        hw: HwPte,
+        sw: SwPte,
+        domain: Domain,
+    ) -> SatResult<SetPte> {
+        debug_assert!(
+            !self.root.entry_for(va).need_copy() || self.get_pte(va).is_none(),
+            "set_pte replacing a PTE in a NEED_COPY (shared) PTP at {va:?}"
+        );
+        let (frame, allocated) = self.ensure_ptp(va, domain)?;
+        // A 64KB slot references its own 4KB frame of the group.
+        let data_frame = hw.frame_for_slot(va.l2_index());
+        self.phys.get_page(data_frame);
+        self.phys.map_inc(data_frame);
+        let half = TableHalf::of(va);
+        let prev = self
+            .ptps
+            .get_mut(frame)
+            .expect("PTP in store")
+            .set(half, va.l2_index(), hw, sw);
+        if let Some(old) = prev {
+            self.drop_frame_ref(old, va.l2_index());
+        }
+        Ok(SetPte {
+            ptp_allocated: allocated,
+            replaced: prev.is_some(),
+        })
+    }
+
+    /// Clears the PTE for `va`, dropping the mapped frame's
+    /// references. Returns the removed hardware entry.
+    pub fn clear_pte(&mut self, va: VirtAddr) -> Option<HwPte> {
+        debug_assert!(
+            !self.root.entry_for(va).need_copy(),
+            "clear_pte in a NEED_COPY (shared) PTP at {va:?}"
+        );
+        let (ptp, half) = match self.root.entry_for(va) {
+            L1Entry::Table { ptp, half, .. } => (ptp, half),
+            _ => return None,
+        };
+        let prev = self.ptps.get_mut(ptp)?.clear(half, va.l2_index());
+        if let Some(old) = prev {
+            self.drop_frame_ref(old, va.l2_index());
+        }
+        prev
+    }
+
+    /// Updates the hardware permissions and software flags of an
+    /// existing PTE. Returns `true` if a PTE was present.
+    pub fn update_pte(
+        &mut self,
+        va: VirtAddr,
+        f: impl FnOnce(&mut HwPte, &mut SwPte),
+    ) -> bool {
+        debug_assert!(
+            !self.root.entry_for(va).need_copy(),
+            "update_pte in a NEED_COPY (shared) PTP at {va:?}"
+        );
+        let (ptp, half) = match self.root.entry_for(va) {
+            L1Entry::Table { ptp, half, .. } => (ptp, half),
+            _ => return false,
+        };
+        let idx = va.l2_index();
+        let Some(table) = self.ptps.get_mut(ptp) else {
+            return false;
+        };
+        let Some(slot) = table.get(half, idx) else {
+            return false;
+        };
+        let (mut hw, mut sw) = (slot.hw, slot.sw);
+        f(&mut hw, &mut sw);
+        table.set(half, idx, hw, sw);
+        true
+    }
+
+    /// Clears every PTE in `range` (used by `munmap` and exit),
+    /// dropping frame references. Returns the number cleared.
+    pub fn clear_range(&mut self, range: VaRange) -> usize {
+        let mut cleared = 0;
+        for page in range.pages() {
+            if self.clear_pte(page).is_some() {
+                cleared += 1;
+            }
+        }
+        cleared
+    }
+
+    /// Write-protects every writable PTE in `range`, as done when
+    /// COW-protecting at fork or when preparing a PTP for sharing.
+    /// Returns the number of PTEs write-protected.
+    ///
+    /// Unlike the mutation operations, this *may* be applied to a PTP
+    /// about to be shared (it is part of the share procedure itself),
+    /// so it does not assert on `NEED_COPY`.
+    pub fn write_protect_range(&mut self, range: VaRange) -> usize {
+        let mut protected = 0;
+        for page in range.pages() {
+            let (ptp, half) = match self.root.entry_for(page) {
+                L1Entry::Table { ptp, half, .. } => (ptp, half),
+                _ => continue,
+            };
+            let idx = page.l2_index();
+            let Some(table) = self.ptps.get_mut(ptp) else {
+                continue;
+            };
+            if let Some(slot) = table.get(half, idx) {
+                if slot.hw.perms.write() {
+                    table.replace_hw(half, idx, slot.hw.write_protected());
+                    protected += 1;
+                }
+            }
+        }
+        protected
+    }
+
+    /// Drops one process's reference to the PTP pair covering `va`.
+    ///
+    /// If this was the last reference, the PTP's remaining PTEs are
+    /// torn down (dropping their frames' references) and the PTP frame
+    /// is freed. Returns `true` if the PTP was freed.
+    pub fn release_ptp_pair(&mut self, va: VirtAddr) -> bool {
+        let Some(frame) = self.root.clear_table_pair(va) else {
+            return false;
+        };
+        if self.phys.map_dec(frame) > 0 {
+            return false; // other processes still reference it
+        }
+        let table = self.ptps.remove(frame).expect("PTP in store");
+        for (_, idx, slot) in table.iter() {
+            self.drop_frame_ref(slot.hw, idx);
+        }
+        self.phys.put_page(frame);
+        true
+    }
+
+    /// Iterates populated PTEs in `range` as `(va, slot)`.
+    pub fn iter_range(&self, range: VaRange) -> Vec<(VirtAddr, PteSlot)> {
+        range
+            .pages()
+            .filter_map(|va| self.get_pte(va).map(|s| (va, s)))
+            .collect()
+    }
+
+    /// Drops the frame reference held by the PTE at second-level slot
+    /// `l2_idx`. A 64KB large-page slot references its own 4KB frame
+    /// of the sixteen-frame group (`base + slot-within-group`).
+    fn drop_frame_ref(&mut self, hw: HwPte, l2_idx: usize) {
+        let frame = hw.frame_for_slot(l2_idx);
+        self.phys.map_dec(frame);
+        self.phys.put_page(frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sat_types::Perms;
+
+    struct Fx {
+        phys: PhysMem,
+        root: RootTable,
+        ptps: PtpStore,
+    }
+
+    impl Fx {
+        fn new() -> Fx {
+            let mut phys = PhysMem::new(512);
+            let root = RootTable::alloc(&mut phys).unwrap();
+            Fx {
+                phys,
+                root,
+                ptps: PtpStore::new(),
+            }
+        }
+
+        fn mapper(&mut self) -> Mapper<'_> {
+            Mapper::new(&mut self.root, &mut self.ptps, &mut self.phys)
+        }
+
+        fn anon_frame(&mut self) -> Pfn {
+            self.phys.alloc(FrameKind::Anon).unwrap()
+        }
+    }
+
+    #[test]
+    fn set_pte_allocates_ptp_once_per_2mb() {
+        let mut fx = Fx::new();
+        let f1 = fx.anon_frame();
+        let f2 = fx.anon_frame();
+        let mut m = fx.mapper();
+        let a = m
+            .set_pte(
+                VirtAddr::new(0x0040_0000),
+                HwPte::small(f1, Perms::RW, false),
+                SwPte::anon(true),
+                Domain::USER,
+            )
+            .unwrap();
+        assert!(a.ptp_allocated);
+        // Second megabyte of the same pair reuses the PTP.
+        let b = m
+            .set_pte(
+                VirtAddr::new(0x0050_0000),
+                HwPte::small(f2, Perms::RW, false),
+                SwPte::anon(true),
+                Domain::USER,
+            )
+            .unwrap();
+        assert!(!b.ptp_allocated);
+        assert_eq!(m.ptps.len(), 1);
+    }
+
+    #[test]
+    fn set_and_clear_maintain_frame_counts() {
+        let mut fx = Fx::new();
+        let frame = fx.anon_frame();
+        assert_eq!(fx.phys.page(frame).refcount, 1);
+        let va = VirtAddr::new(0x0100_0000);
+        let mut m = fx.mapper();
+        m.set_pte(va, HwPte::small(frame, Perms::RW, false), SwPte::anon(true), Domain::USER)
+            .unwrap();
+        assert_eq!(m.phys.page(frame).refcount, 2);
+        assert_eq!(m.phys.mapcount(frame), 1);
+        m.clear_pte(va);
+        assert_eq!(m.phys.page(frame).refcount, 1);
+        assert_eq!(m.phys.mapcount(frame), 0);
+    }
+
+    #[test]
+    fn write_protect_range_strips_write() {
+        let mut fx = Fx::new();
+        let f1 = fx.anon_frame();
+        let f2 = fx.anon_frame();
+        let base = VirtAddr::new(0x0200_0000);
+        let mut m = fx.mapper();
+        m.set_pte(base, HwPte::small(f1, Perms::RW, false), SwPte::anon(true), Domain::USER)
+            .unwrap();
+        m.set_pte(
+            VirtAddr::new(0x0200_1000),
+            HwPte::small(f2, Perms::RX, false),
+            SwPte::file(false, false),
+            Domain::USER,
+        )
+        .unwrap();
+        let n = m.write_protect_range(VaRange::from_len(base, 0x4000));
+        assert_eq!(n, 1); // only the RW one needed protection
+        assert_eq!(m.get_pte(base).unwrap().hw.perms, Perms::R);
+        assert_eq!(
+            m.get_pte(VirtAddr::new(0x0200_1000)).unwrap().hw.perms,
+            Perms::RX
+        );
+    }
+
+    #[test]
+    fn release_last_reference_frees_ptp_and_mappings() {
+        let mut fx = Fx::new();
+        let frame = fx.anon_frame();
+        let va = VirtAddr::new(0x0300_0000);
+        let mut m = fx.mapper();
+        m.set_pte(va, HwPte::small(frame, Perms::RW, false), SwPte::anon(true), Domain::USER)
+            .unwrap();
+        let ptp = m.root.entry_for(va).ptp().unwrap();
+        assert!(m.release_ptp_pair(va));
+        assert!(m.ptps.get(ptp).is_none());
+        // The anon frame lost its PTE reference; only the caller's
+        // original allocation reference remains.
+        assert_eq!(m.phys.page(frame).refcount, 1);
+        assert_eq!(m.phys.mapcount(frame), 0);
+    }
+
+    #[test]
+    fn release_with_remaining_sharers_keeps_ptp() {
+        let mut fx = Fx::new();
+        let frame = fx.anon_frame();
+        let va = VirtAddr::new(0x0300_0000);
+        let mut m = fx.mapper();
+        m.set_pte(va, HwPte::small(frame, Perms::R, false), SwPte::anon(false), Domain::USER)
+            .unwrap();
+        let ptp = m.root.entry_for(va).ptp().unwrap();
+        // Simulate a second process referencing the PTP.
+        m.phys.map_inc(ptp);
+        assert!(!m.release_ptp_pair(va));
+        assert!(m.ptps.get(ptp).is_some());
+        assert_eq!(m.phys.mapcount(ptp), 1);
+    }
+
+    #[test]
+    fn update_pte_applies_mutation() {
+        let mut fx = Fx::new();
+        let frame = fx.anon_frame();
+        let va = VirtAddr::new(0x0400_0000);
+        let mut m = fx.mapper();
+        m.set_pte(va, HwPte::small(frame, Perms::R, false), SwPte::anon(false), Domain::USER)
+            .unwrap();
+        assert!(m.update_pte(va, |hw, sw| {
+            hw.perms = Perms::RW;
+            sw.dirty = true;
+        }));
+        let slot = m.get_pte(va).unwrap();
+        assert_eq!(slot.hw.perms, Perms::RW);
+        assert!(slot.sw.dirty);
+        assert!(!m.update_pte(VirtAddr::new(0x0500_0000), |_, _| {}));
+    }
+
+    #[test]
+    fn clear_range_counts_cleared_ptes() {
+        let mut fx = Fx::new();
+        let f1 = fx.anon_frame();
+        let f2 = fx.anon_frame();
+        let base = VirtAddr::new(0x0600_0000);
+        let mut m = fx.mapper();
+        m.set_pte(base, HwPte::small(f1, Perms::RW, false), SwPte::anon(true), Domain::USER)
+            .unwrap();
+        m.set_pte(
+            VirtAddr::new(0x0600_3000),
+            HwPte::small(f2, Perms::RW, false),
+            SwPte::anon(true),
+            Domain::USER,
+        )
+        .unwrap();
+        assert_eq!(m.clear_range(VaRange::from_len(base, 0x10_000)), 2);
+        assert_eq!(m.clear_range(VaRange::from_len(base, 0x10_000)), 0);
+    }
+}

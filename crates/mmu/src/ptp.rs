@@ -1,0 +1,290 @@
+//! Page-table pages: the shared unit of the paper's mechanism.
+
+use std::collections::HashMap;
+
+use sat_types::{PhysAddr, Pfn, VirtAddr, L2_ENTRIES};
+
+use crate::pte::{HwPte, PteSlot, SwPte};
+
+/// Which of the two 1KB hardware tables within a PTP a level-1 entry
+/// uses.
+///
+/// Linux/ARM manages level-1 entries in pairs: the even entry of a
+/// pair uses [`TableHalf::Lower`], the odd entry [`TableHalf::Upper`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TableHalf {
+    /// First hardware table (covers the even 1MB of the 2MB pair).
+    Lower,
+    /// Second hardware table (covers the odd 1MB of the 2MB pair).
+    Upper,
+}
+
+impl TableHalf {
+    /// The half used by the level-1 entry for `va`.
+    pub fn of(va: VirtAddr) -> TableHalf {
+        if va.l1_index().is_multiple_of(2) {
+            TableHalf::Lower
+        } else {
+            TableHalf::Upper
+        }
+    }
+
+    /// Index (0 or 1) of the half.
+    pub fn index(self) -> usize {
+        match self {
+            TableHalf::Lower => 0,
+            TableHalf::Upper => 1,
+        }
+    }
+}
+
+/// One page-table page: two hardware second-level tables plus their
+/// two Linux shadow tables, occupying a single 4KB frame.
+///
+/// The mainline Linux/ARM layout puts the Linux tables at offsets 0
+/// and 1024 and the hardware tables at 2048 and 3072; the simulator
+/// follows that layout when computing the physical addresses of PTE
+/// accesses for the cache model.
+#[derive(Clone)]
+pub struct Ptp {
+    hw: [[Option<HwPte>; L2_ENTRIES]; 2],
+    sw: [[SwPte; L2_ENTRIES]; 2],
+    valid_count: [u16; 2],
+}
+
+/// Byte offset of hardware table `half` within the PTP frame.
+const HW_TABLE_OFF: [u32; 2] = [2048, 3072];
+
+impl Default for Ptp {
+    fn default() -> Self {
+        Ptp::new()
+    }
+}
+
+impl Ptp {
+    /// Creates an empty PTP (all descriptors fault).
+    pub fn new() -> Self {
+        Ptp {
+            hw: [[None; L2_ENTRIES]; 2],
+            sw: [[SwPte::default(); L2_ENTRIES]; 2],
+            valid_count: [0; 2],
+        }
+    }
+
+    /// Reads the slot at (`half`, `idx`); `None` if not present.
+    pub fn get(&self, half: TableHalf, idx: usize) -> Option<PteSlot> {
+        self.hw[half.index()][idx].map(|hw| PteSlot {
+            hw,
+            sw: self.sw[half.index()][idx],
+        })
+    }
+
+    /// Installs a PTE in the slot, returning the previous hardware
+    /// entry if one was present.
+    pub fn set(&mut self, half: TableHalf, idx: usize, hw: HwPte, sw: SwPte) -> Option<HwPte> {
+        let h = half.index();
+        let prev = self.hw[h][idx].replace(hw);
+        self.sw[h][idx] = sw;
+        if prev.is_none() {
+            self.valid_count[h] += 1;
+        }
+        prev
+    }
+
+    /// Clears the slot, returning the previous hardware entry.
+    pub fn clear(&mut self, half: TableHalf, idx: usize) -> Option<HwPte> {
+        let h = half.index();
+        let prev = self.hw[h][idx].take();
+        self.sw[h][idx] = SwPte::default();
+        if prev.is_some() {
+            self.valid_count[h] -= 1;
+        }
+        prev
+    }
+
+    /// Mutates the software entry of a populated slot.
+    pub fn sw_mut(&mut self, half: TableHalf, idx: usize) -> Option<&mut SwPte> {
+        let h = half.index();
+        self.hw[h][idx].is_some().then(|| &mut self.sw[h][idx])
+    }
+
+    /// Replaces the hardware entry of a populated slot (e.g. to
+    /// write-protect it), keeping the software entry.
+    pub fn replace_hw(&mut self, half: TableHalf, idx: usize, hw: HwPte) {
+        let h = half.index();
+        debug_assert!(self.hw[h][idx].is_some(), "replace_hw on empty slot");
+        self.hw[h][idx] = Some(hw);
+    }
+
+    /// Number of valid entries in `half`.
+    pub fn valid_count(&self, half: TableHalf) -> usize {
+        self.valid_count[half.index()] as usize
+    }
+
+    /// Total valid entries across both halves.
+    pub fn total_valid(&self) -> usize {
+        self.valid_count.iter().map(|&c| c as usize).sum()
+    }
+
+    /// Iterates over populated slots in `half` as `(idx, slot)`.
+    pub fn iter_half(&self, half: TableHalf) -> impl Iterator<Item = (usize, PteSlot)> + '_ {
+        let h = half.index();
+        self.hw[h]
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, hw)| hw.map(|hw| (i, PteSlot { hw, sw: self.sw[h][i] })))
+    }
+
+    /// Iterates over populated slots in both halves as
+    /// `(half, idx, slot)`.
+    pub fn iter(&self) -> impl Iterator<Item = (TableHalf, usize, PteSlot)> + '_ {
+        [TableHalf::Lower, TableHalf::Upper]
+            .into_iter()
+            .flat_map(move |half| self.iter_half(half).map(move |(i, s)| (half, i, s)))
+    }
+
+    /// Physical address of the *hardware* PTE word for (`half`,
+    /// `idx`), given the PTP's frame. This is the address the hardware
+    /// walker fetches — and therefore the cache line that gets
+    /// duplicated when every process has a private copy of the table.
+    pub fn hw_pte_addr(frame: Pfn, half: TableHalf, idx: usize) -> PhysAddr {
+        PhysAddr::new(frame.base().raw() + HW_TABLE_OFF[half.index()] + (idx as u32) * 4)
+    }
+}
+
+/// Arena of page-table pages, keyed by the physical frame that holds
+/// them.
+///
+/// Keeping PTPs in a shared arena (rather than inside any one process)
+/// is what lets several processes' level-1 entries reference the same
+/// PTP — the substrate for the paper's sharing mechanism.
+#[derive(Default)]
+pub struct PtpStore {
+    tables: HashMap<Pfn, Ptp>,
+}
+
+impl PtpStore {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        PtpStore::default()
+    }
+
+    /// Registers a freshly allocated PTP frame.
+    pub fn insert(&mut self, frame: Pfn) {
+        let prev = self.tables.insert(frame, Ptp::new());
+        debug_assert!(prev.is_none(), "PTP frame {frame:?} already present");
+    }
+
+    /// Registers a PTP frame holding a copy of an existing PTP.
+    pub fn insert_clone(&mut self, frame: Pfn, contents: Ptp) {
+        let prev = self.tables.insert(frame, contents);
+        debug_assert!(prev.is_none(), "PTP frame {frame:?} already present");
+    }
+
+    /// Removes a PTP (its frame is being freed).
+    pub fn remove(&mut self, frame: Pfn) -> Option<Ptp> {
+        self.tables.remove(&frame)
+    }
+
+    /// Borrows the PTP in `frame`.
+    pub fn get(&self, frame: Pfn) -> Option<&Ptp> {
+        self.tables.get(&frame)
+    }
+
+    /// Mutably borrows the PTP in `frame`.
+    pub fn get_mut(&mut self, frame: Pfn) -> Option<&mut Ptp> {
+        self.tables.get_mut(&frame)
+    }
+
+    /// Number of live PTPs.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Returns `true` if no PTPs are live.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sat_types::Perms;
+
+    #[test]
+    fn half_selection_follows_l1_parity() {
+        assert_eq!(TableHalf::of(VirtAddr::new(0x0000_0000)), TableHalf::Lower);
+        assert_eq!(TableHalf::of(VirtAddr::new(0x0010_0000)), TableHalf::Upper);
+        assert_eq!(TableHalf::of(VirtAddr::new(0x0020_0000)), TableHalf::Lower);
+    }
+
+    #[test]
+    fn set_get_clear_and_counts() {
+        let mut ptp = Ptp::new();
+        let hw = HwPte::small(Pfn::new(7), Perms::RX, false);
+        assert!(ptp.set(TableHalf::Lower, 3, hw, SwPte::file(false, false)).is_none());
+        assert_eq!(ptp.valid_count(TableHalf::Lower), 1);
+        assert_eq!(ptp.total_valid(), 1);
+        let slot = ptp.get(TableHalf::Lower, 3).unwrap();
+        assert_eq!(slot.hw, hw);
+        assert!(slot.sw.file_backed);
+        assert!(ptp.get(TableHalf::Upper, 3).is_none());
+        assert_eq!(ptp.clear(TableHalf::Lower, 3), Some(hw));
+        assert_eq!(ptp.total_valid(), 0);
+    }
+
+    #[test]
+    fn iter_visits_both_halves_in_order() {
+        let mut ptp = Ptp::new();
+        let hw = HwPte::small(Pfn::new(1), Perms::R, false);
+        ptp.set(TableHalf::Upper, 10, hw, SwPte::default());
+        ptp.set(TableHalf::Lower, 20, hw, SwPte::default());
+        let visited: Vec<(TableHalf, usize)> =
+            ptp.iter().map(|(h, i, _)| (h, i)).collect();
+        assert_eq!(visited, vec![(TableHalf::Lower, 20), (TableHalf::Upper, 10)]);
+    }
+
+    #[test]
+    fn hw_pte_addresses_follow_linux_layout() {
+        let frame = Pfn::new(0x100);
+        let lo = Ptp::hw_pte_addr(frame, TableHalf::Lower, 0);
+        let hi = Ptp::hw_pte_addr(frame, TableHalf::Upper, 255);
+        assert_eq!(lo.raw(), 0x10_0000 + 2048);
+        assert_eq!(hi.raw(), 0x10_0000 + 3072 + 255 * 4);
+    }
+
+    #[test]
+    fn store_insert_get_remove() {
+        let mut store = PtpStore::new();
+        let f = Pfn::new(5);
+        store.insert(f);
+        assert!(store.get(f).is_some());
+        assert_eq!(store.len(), 1);
+        store
+            .get_mut(f)
+            .unwrap()
+            .set(TableHalf::Lower, 0, HwPte::small(Pfn::new(9), Perms::R, false), SwPte::default());
+        let removed = store.remove(f).unwrap();
+        assert_eq!(removed.total_valid(), 1);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn clone_for_unshare_copies_contents() {
+        let mut store = PtpStore::new();
+        let a = Pfn::new(1);
+        store.insert(a);
+        store
+            .get_mut(a)
+            .unwrap()
+            .set(TableHalf::Upper, 42, HwPte::small(Pfn::new(3), Perms::RX, true), SwPte::default());
+        let copy = store.get(a).unwrap().clone();
+        let b = Pfn::new(2);
+        store.insert_clone(b, copy);
+        assert_eq!(
+            store.get(b).unwrap().get(TableHalf::Upper, 42),
+            store.get(a).unwrap().get(TableHalf::Upper, 42),
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the MMU structures.
+
+use proptest::prelude::*;
+use sat_mmu::{walk, HwPte, Mapper, PtpStore, RootTable, SwPte, WalkOutcome};
+use sat_phys::{FrameKind, PhysMem};
+use sat_types::{Domain, PageSize, Perms, Pfn, VaRange, VirtAddr, PAGE_SIZE};
+
+fn perms_strategy() -> impl Strategy<Value = Perms> {
+    prop_oneof![
+        Just(Perms::R),
+        Just(Perms::RW),
+        Just(Perms::RX),
+        Just(Perms::RWX),
+    ]
+}
+
+proptest! {
+    /// Hardware small-page descriptors round-trip through their raw
+    /// ARMv7 encoding.
+    #[test]
+    fn small_pte_encode_decode_roundtrip(
+        pfn in 0u32..0xF_FFFF,
+        perms in perms_strategy(),
+        global in any::<bool>(),
+    ) {
+        let pte = HwPte::small(Pfn::new(pfn), perms, global);
+        let decoded = HwPte::decode(pte.encode()).expect("valid");
+        prop_assert_eq!(decoded, pte);
+    }
+
+    /// Large-page descriptors round-trip too (base is 16-aligned).
+    #[test]
+    fn large_pte_encode_decode_roundtrip(
+        group in 0u32..0xFFF,
+        perms in perms_strategy(),
+        global in any::<bool>(),
+    ) {
+        let pte = HwPte::large(Pfn::new(group * 16), perms, global);
+        let decoded = HwPte::decode(pte.encode()).expect("valid");
+        prop_assert_eq!(decoded, pte);
+    }
+
+    /// Mapping then walking yields the mapped translation, for any
+    /// set of distinct pages; clearing makes them fault again; and
+    /// frame accounting returns to baseline.
+    #[test]
+    fn map_walk_unmap_roundtrip(pages in prop::collection::btree_set(0u32..2048, 1..40)) {
+        let mut phys = PhysMem::new(8192);
+        let mut root = RootTable::alloc(&mut phys).unwrap();
+        let mut ptps = PtpStore::new();
+        let baseline = phys.frames_in_use();
+
+        let mut frames = Vec::new();
+        {
+            let mut m = Mapper::new(&mut root, &mut ptps, &mut phys);
+            for &p in &pages {
+                let frame = m.phys.alloc(FrameKind::Anon).unwrap();
+                let va = VirtAddr::new(0x1000_0000 + p * PAGE_SIZE);
+                m.set_pte(va, HwPte::small(frame, Perms::RW, false), SwPte::anon(true), Domain::USER)
+                    .unwrap();
+                m.phys.put_page(frame); // PTE now owns it
+                frames.push((va, frame));
+            }
+        }
+        // Every mapped page translates to its frame.
+        for &(va, frame) in &frames {
+            let r = walk(&root, &ptps, va);
+            match r.outcome {
+                WalkOutcome::Translated(t) => {
+                    prop_assert_eq!(t.pfn, frame);
+                    prop_assert_eq!(t.size, PageSize::Small4K);
+                }
+                WalkOutcome::Fault(f) => return Err(TestCaseError::fail(format!("{va:?}: {f:?}"))),
+            }
+        }
+        // Unmapped neighbours fault.
+        let unmapped = VirtAddr::new(0x3000_0000);
+        prop_assert!(walk(&root, &ptps, unmapped).translation().is_none());
+
+        // Tear down: all data and table frames return.
+        {
+            let mut m = Mapper::new(&mut root, &mut ptps, &mut phys);
+            let chunks: Vec<usize> = m.root.iter_ptps().map(|(i, _)| i).collect();
+            for c in chunks {
+                m.release_ptp_pair(VirtAddr::new((c as u32) << 20));
+            }
+        }
+        prop_assert_eq!(phys.frames_in_use(), baseline);
+        prop_assert!(ptps.is_empty());
+        root.free(&mut phys);
+    }
+
+    /// Write-protecting a range never changes which pages are mapped,
+    /// only their write permission, and is idempotent.
+    #[test]
+    fn write_protect_preserves_mappings(pages in prop::collection::btree_set(0u32..512, 1..30)) {
+        let mut phys = PhysMem::new(4096);
+        let mut root = RootTable::alloc(&mut phys).unwrap();
+        let mut ptps = PtpStore::new();
+        let mut m = Mapper::new(&mut root, &mut ptps, &mut phys);
+        for &p in &pages {
+            let frame = m.phys.alloc(FrameKind::Anon).unwrap();
+            let va = VirtAddr::new(0x2000_0000 + p * PAGE_SIZE);
+            m.set_pte(va, HwPte::small(frame, Perms::RW, false), SwPte::anon(true), Domain::USER)
+                .unwrap();
+            m.phys.put_page(frame);
+        }
+        let range = VaRange::from_len(VirtAddr::new(0x2000_0000), 512 * PAGE_SIZE);
+        let protected = m.write_protect_range(range);
+        prop_assert_eq!(protected, pages.len());
+        for &p in &pages {
+            let va = VirtAddr::new(0x2000_0000 + p * PAGE_SIZE);
+            let slot = m.get_pte(va).expect("still mapped");
+            prop_assert!(!slot.hw.perms.write());
+            prop_assert!(slot.hw.perms.read());
+        }
+        // Idempotent: nothing left to protect.
+        prop_assert_eq!(m.write_protect_range(range), 0);
+    }
+
+    /// The walker reports exactly the descriptor fetches the hardware
+    /// would perform: one for level-1-only outcomes, two otherwise.
+    #[test]
+    fn walk_access_counts(addr in 0u32..0xC000_0000) {
+        let mut phys = PhysMem::new(64);
+        let root = RootTable::alloc(&mut phys).unwrap();
+        let ptps = PtpStore::new();
+        let r = walk(&root, &ptps, VirtAddr::new(addr));
+        // Empty table: always a level-1 fault with one fetch.
+        prop_assert_eq!(r.accesses.len(), 1);
+        prop_assert!(r.translation().is_none());
+    }
+}

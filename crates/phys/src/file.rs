@@ -1,0 +1,115 @@
+//! The simulated file namespace.
+//!
+//! Files exist so that file-backed memory regions (shared-library code
+//! and data segments, the `app_process` binary, application `.oat`
+//! files, ...) can be identified and so the page cache can deduplicate
+//! their physical pages across processes.
+
+use core::fmt;
+
+use sat_types::{SatError, SatResult, PAGE_SHIFT};
+
+/// An identifier for a simulated file.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u32);
+
+impl fmt::Debug for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FileId({})", self.0)
+    }
+}
+
+/// A registered file: a name and a length.
+#[derive(Clone, Debug)]
+pub struct FileMeta {
+    /// Human-readable name (e.g. `libbinder.so`).
+    pub name: String,
+    /// Length in bytes.
+    pub len: u32,
+}
+
+impl FileMeta {
+    /// Number of 4KB pages the file spans.
+    pub fn pages(&self) -> u32 {
+        self.len.div_ceil(1 << PAGE_SHIFT)
+    }
+}
+
+/// The registry of simulated files.
+#[derive(Default, Debug)]
+pub struct FileRegistry {
+    files: Vec<FileMeta>,
+}
+
+impl FileRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        FileRegistry::default()
+    }
+
+    /// Registers a file and returns its id.
+    pub fn register(&mut self, name: impl Into<String>, len: u32) -> FileId {
+        let id = FileId(self.files.len() as u32);
+        self.files.push(FileMeta {
+            name: name.into(),
+            len,
+        });
+        id
+    }
+
+    /// Looks up a file's metadata.
+    pub fn get(&self, id: FileId) -> SatResult<&FileMeta> {
+        self.files
+            .get(id.0 as usize)
+            .ok_or(SatError::NoSuchFile)
+    }
+
+    /// Finds a file by name.
+    pub fn find(&self, name: &str) -> Option<FileId> {
+        self.files
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FileId(i as u32))
+    }
+
+    /// Number of registered files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Returns `true` if no files are registered.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_find() {
+        let mut reg = FileRegistry::new();
+        let libc = reg.register("libc.so", 900 * 1024);
+        let binder = reg.register("libbinder.so", 120 * 1024);
+        assert_eq!(reg.find("libc.so"), Some(libc));
+        assert_eq!(reg.find("libbinder.so"), Some(binder));
+        assert_eq!(reg.find("libmissing.so"), None);
+        assert_eq!(reg.get(libc).unwrap().pages(), 225);
+    }
+
+    #[test]
+    fn page_count_rounds_up() {
+        let mut reg = FileRegistry::new();
+        let f = reg.register("tiny", 1);
+        assert_eq!(reg.get(f).unwrap().pages(), 1);
+        let g = reg.register("exact", 8192);
+        assert_eq!(reg.get(g).unwrap().pages(), 2);
+    }
+
+    #[test]
+    fn unknown_file_is_an_error() {
+        let reg = FileRegistry::new();
+        assert_eq!(reg.get(FileId(7)).unwrap_err(), SatError::NoSuchFile);
+    }
+}

@@ -1,0 +1,289 @@
+//! The frame allocator and page cache.
+
+use std::collections::HashMap;
+
+use sat_types::{Pfn, SatError, SatResult};
+
+use crate::file::FileId;
+use crate::page::PageInfo;
+
+/// What a physical frame currently holds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FrameKind {
+    /// Unallocated.
+    Free,
+    /// Anonymous memory (heap, stack, COW copies).
+    Anon,
+    /// A page-cache page backing `file` at 4KB page index `index`.
+    File {
+        /// Backing file.
+        file: FileId,
+        /// 4KB page index within the file.
+        index: u32,
+    },
+    /// A page-table page (a pair of second-level tables plus their
+    /// Linux shadow tables).
+    PageTable,
+    /// A first-level (root) translation table. The real structure
+    /// occupies four contiguous frames; the simulator models it as a
+    /// single logical frame.
+    RootTable,
+    /// Kernel text/data; only used to give kernel-space mappings a
+    /// physical identity for the cache model.
+    Kernel,
+}
+
+/// Allocation and usage statistics for physical memory.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct PhysMemStats {
+    /// Total frames ever allocated.
+    pub total_allocs: u64,
+    /// Total frames ever freed.
+    pub total_frees: u64,
+    /// Frames currently allocated.
+    pub in_use: u64,
+    /// Maximum of `in_use` over the lifetime of the allocator.
+    pub high_water: u64,
+    /// Page-cache hits in [`PhysMem::file_page`].
+    pub page_cache_hits: u64,
+    /// Page-cache misses (simulated disk reads).
+    pub page_cache_misses: u64,
+}
+
+/// The physical memory of the simulated machine.
+///
+/// Owns the per-frame metadata table (the `struct page` array), a
+/// free-list allocator, and the page cache.
+#[derive(Debug)]
+pub struct PhysMem {
+    pages: Vec<PageInfo>,
+    free: Vec<Pfn>,
+    page_cache: HashMap<(FileId, u32), Pfn>,
+    stats: PhysMemStats,
+}
+
+impl PhysMem {
+    /// Creates a physical memory of `frames` 4KB frames.
+    pub fn new(frames: u32) -> Self {
+        PhysMem {
+            pages: vec![PageInfo::free(); frames as usize],
+            // Allocate low frames first: reverse the free list so
+            // `pop` yields ascending PFNs, which makes tests and
+            // traces deterministic and readable.
+            free: (0..frames).rev().map(Pfn::new).collect(),
+            page_cache: HashMap::new(),
+            stats: PhysMemStats::default(),
+        }
+    }
+
+    /// Creates a physical memory sized like the Nexus 7 (2012): 1GB.
+    pub fn nexus7() -> Self {
+        PhysMem::new((1u32 << 30) >> sat_types::PAGE_SHIFT)
+    }
+
+    /// Total number of frames.
+    pub fn frame_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Returns the allocator statistics.
+    pub fn stats(&self) -> PhysMemStats {
+        self.stats
+    }
+
+    /// Allocates a frame of the given kind with `refcount == 1`.
+    pub fn alloc(&mut self, kind: FrameKind) -> SatResult<Pfn> {
+        debug_assert!(!matches!(kind, FrameKind::Free));
+        let pfn = self.free.pop().ok_or(SatError::OutOfMemory)?;
+        self.pages[pfn.raw() as usize] = PageInfo::new(kind);
+        self.stats.total_allocs += 1;
+        self.stats.in_use += 1;
+        self.stats.high_water = self.stats.high_water.max(self.stats.in_use);
+        Ok(pfn)
+    }
+
+    /// Returns the metadata for `pfn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pfn` is out of range.
+    pub fn page(&self, pfn: Pfn) -> &PageInfo {
+        &self.pages[pfn.raw() as usize]
+    }
+
+    /// Returns mutable metadata for `pfn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pfn` is out of range.
+    pub fn page_mut(&mut self, pfn: Pfn) -> &mut PageInfo {
+        &mut self.pages[pfn.raw() as usize]
+    }
+
+    /// Increments the frame's reference count.
+    pub fn get_page(&mut self, pfn: Pfn) {
+        let p = self.page_mut(pfn);
+        debug_assert!(!p.is_free(), "get_page on free frame {pfn:?}");
+        p.refcount += 1;
+    }
+
+    /// Decrements the frame's reference count, freeing the frame when
+    /// it reaches zero. Returns `true` if the frame was freed.
+    pub fn put_page(&mut self, pfn: Pfn) -> bool {
+        let idx = pfn.raw() as usize;
+        let p = &mut self.pages[idx];
+        debug_assert!(p.refcount > 0, "put_page on unreferenced frame {pfn:?}");
+        p.refcount -= 1;
+        if p.refcount > 0 {
+            return false;
+        }
+        if let FrameKind::File { file, index } = p.kind {
+            self.page_cache.remove(&(file, index));
+        }
+        self.pages[idx] = PageInfo::free();
+        self.free.push(pfn);
+        self.stats.total_frees += 1;
+        self.stats.in_use -= 1;
+        true
+    }
+
+    /// Increments the frame's mapcount (a new PTE maps it, or a new
+    /// process shares the PTP).
+    pub fn map_inc(&mut self, pfn: Pfn) {
+        self.page_mut(pfn).mapcount += 1;
+    }
+
+    /// Decrements the frame's mapcount and returns the new value.
+    pub fn map_dec(&mut self, pfn: Pfn) -> u32 {
+        let p = self.page_mut(pfn);
+        debug_assert!(p.mapcount > 0, "map_dec on unmapped frame {pfn:?}");
+        p.mapcount -= 1;
+        p.mapcount
+    }
+
+    /// Returns the frame's mapcount.
+    pub fn mapcount(&self, pfn: Pfn) -> u32 {
+        self.page(pfn).mapcount
+    }
+
+    /// Looks up a file page in the page cache without faulting it in.
+    pub fn page_cache_lookup(&self, file: FileId, index: u32) -> Option<Pfn> {
+        self.page_cache.get(&(file, index)).copied()
+    }
+
+    /// Returns the frame backing `file` page `index`, reading it from
+    /// "disk" (allocating a frame) if it is not yet cached.
+    ///
+    /// The returned flag is `true` on a page-cache hit — the
+    /// distinction between a *soft* (minor) and *hard* (major) page
+    /// fault. The caller must take its own reference with
+    /// [`PhysMem::get_page`] if it maps the page.
+    pub fn file_page(&mut self, file: FileId, index: u32) -> SatResult<(Pfn, bool)> {
+        if let Some(pfn) = self.page_cache_lookup(file, index) {
+            self.stats.page_cache_hits += 1;
+            return Ok((pfn, true));
+        }
+        let pfn = self.alloc(FrameKind::File { file, index })?;
+        self.page_cache.insert((file, index), pfn);
+        self.stats.page_cache_misses += 1;
+        Ok((pfn, false))
+    }
+
+    /// Number of pages currently in the page cache.
+    pub fn page_cache_len(&self) -> usize {
+        self.page_cache.len()
+    }
+
+    /// Frames currently allocated.
+    pub fn frames_in_use(&self) -> u64 {
+        self.stats.in_use
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_round_trip() {
+        let mut pm = PhysMem::new(4);
+        let a = pm.alloc(FrameKind::Anon).unwrap();
+        let b = pm.alloc(FrameKind::Anon).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(pm.frames_in_use(), 2);
+        assert!(pm.put_page(a));
+        assert_eq!(pm.frames_in_use(), 1);
+        assert!(pm.put_page(b));
+        assert_eq!(pm.frames_in_use(), 0);
+        assert_eq!(pm.stats().total_allocs, 2);
+        assert_eq!(pm.stats().total_frees, 2);
+    }
+
+    #[test]
+    fn exhaustion_returns_enomem() {
+        let mut pm = PhysMem::new(1);
+        pm.alloc(FrameKind::Anon).unwrap();
+        assert_eq!(pm.alloc(FrameKind::Anon).unwrap_err(), SatError::OutOfMemory);
+    }
+
+    #[test]
+    fn refcount_keeps_frame_alive() {
+        let mut pm = PhysMem::new(2);
+        let a = pm.alloc(FrameKind::Anon).unwrap();
+        pm.get_page(a);
+        assert!(!pm.put_page(a));
+        assert_eq!(pm.frames_in_use(), 1);
+        assert!(pm.put_page(a));
+        assert_eq!(pm.frames_in_use(), 0);
+    }
+
+    #[test]
+    fn page_cache_deduplicates_file_pages() {
+        let mut pm = PhysMem::new(8);
+        let f = FileId(0);
+        let (p1, hit1) = pm.file_page(f, 3).unwrap();
+        let (p2, hit2) = pm.file_page(f, 3).unwrap();
+        assert_eq!(p1, p2);
+        assert!(!hit1);
+        assert!(hit2);
+        assert_eq!(pm.stats().page_cache_hits, 1);
+        assert_eq!(pm.stats().page_cache_misses, 1);
+        // A different page of the same file gets its own frame.
+        let (p3, _) = pm.file_page(f, 4).unwrap();
+        assert_ne!(p1, p3);
+    }
+
+    #[test]
+    fn freeing_file_page_evicts_cache_entry() {
+        let mut pm = PhysMem::new(2);
+        let f = FileId(0);
+        let (p, _) = pm.file_page(f, 0).unwrap();
+        assert!(pm.put_page(p));
+        assert_eq!(pm.page_cache_lookup(f, 0), None);
+        // Re-reading allocates anew (a fresh disk read).
+        let (_, hit) = pm.file_page(f, 0).unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn mapcount_tracks_sharers() {
+        let mut pm = PhysMem::new(2);
+        let ptp = pm.alloc(FrameKind::PageTable).unwrap();
+        pm.map_inc(ptp);
+        pm.map_inc(ptp);
+        assert_eq!(pm.mapcount(ptp), 2);
+        assert_eq!(pm.map_dec(ptp), 1);
+        assert_eq!(pm.map_dec(ptp), 0);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_usage() {
+        let mut pm = PhysMem::new(4);
+        let a = pm.alloc(FrameKind::Anon).unwrap();
+        let b = pm.alloc(FrameKind::Anon).unwrap();
+        pm.put_page(a);
+        pm.put_page(b);
+        pm.alloc(FrameKind::Anon).unwrap();
+        assert_eq!(pm.stats().high_water, 2);
+    }
+}

@@ -1,0 +1,824 @@
+//! The machine: cores, TLBs, caches, and the full access path.
+
+use sat_cache::{AccessKind, Cache, CacheConfig, CacheHierarchy};
+use sat_core::{Kernel, TlbMaintenance, TlbProtection};
+use sat_mmu::{walk, FaultRecord, FaultStatus};
+use sat_tlb::{MainTlb, MicroTlb, TlbEntry, TlbLookup};
+use sat_types::{
+    AccessType, Asid, Domain, DomainAccess, PageSize, Perms, Pfn, Pid, SatError, SatResult,
+    VirtAddr, KERNEL_SPACE_START,
+};
+use sat_vm::FaultKind;
+
+use crate::model::CycleModel;
+
+/// Physical base where the (synthetic, linearly mapped) kernel image
+/// lives.
+pub const KERNEL_PHYS_BASE: u32 = 0x3000_0000;
+
+/// Kernel-text page where the page-fault handler path begins.
+pub const FAULT_HANDLER_PAGE: u32 = 0x300;
+
+/// Kernel-text page where the binder IPC path begins.
+pub const BINDER_PATH_PAGE: u32 = 0x310;
+
+/// Kernel-text page where the scheduler path begins.
+pub const SCHED_PATH_PAGE: u32 = 0x320;
+
+/// Cache lines per 4KB page.
+const LINES_PER_PAGE: u32 = 128;
+
+/// Per-core hardware counters (the PMU analogue).
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Cycles accumulated on this core.
+    pub cycles: u64,
+    /// Instruction fetches performed.
+    pub inst_fetches: u64,
+    /// Data accesses performed.
+    pub data_accesses: u64,
+    /// Page faults taken.
+    pub page_faults: u64,
+    /// Domain faults taken.
+    pub domain_faults: u64,
+    /// Context switches.
+    pub context_switches: u64,
+    /// Stall cycles waiting on main-TLB misses for instruction
+    /// fetches (the Figure 13 metric).
+    pub inst_main_tlb_stall_cycles: u64,
+    /// Stall cycles waiting on main-TLB misses for data accesses.
+    pub data_main_tlb_stall_cycles: u64,
+}
+
+/// One Cortex-A9-like core.
+#[derive(Default)]
+pub struct Core {
+    /// The unified 128-entry main TLB.
+    pub main_tlb: MainTlb,
+    /// Instruction micro-TLB (flushed on context switch).
+    pub micro_i: MicroTlb,
+    /// Data micro-TLB (flushed on context switch).
+    pub micro_d: MicroTlb,
+    /// Private L1 caches.
+    pub caches: CacheHierarchy,
+    /// Currently scheduled process.
+    pub current: Option<Pid>,
+    /// PMU counters.
+    pub stats: CoreStats,
+}
+
+
+/// A [`TlbMaintenance`] view over every core's TLBs: kernel flush
+/// operations behave as TLB shootdowns across the machine.
+pub struct MachineTlbView<'a> {
+    cores: &'a mut [Core],
+}
+
+impl TlbMaintenance for MachineTlbView<'_> {
+    fn flush_asid(&mut self, asid: Asid) {
+        for core in self.cores.iter_mut() {
+            core.main_tlb.flush_asid(asid);
+            core.micro_i.flush();
+            core.micro_d.flush();
+        }
+    }
+
+    fn flush_va_all_asids(&mut self, va: VirtAddr) {
+        for core in self.cores.iter_mut() {
+            core.main_tlb.flush_va_all_asids(va);
+            core.micro_i.flush_va(va);
+            core.micro_d.flush_va(va);
+        }
+    }
+
+    fn flush_all(&mut self) {
+        for core in self.cores.iter_mut() {
+            core.main_tlb.flush_all();
+            core.micro_i.flush();
+            core.micro_d.flush();
+        }
+    }
+}
+
+/// Pages spanned by the fault-handler's kernel text. Different faults
+/// exercise different slices of it (VMA lookup, rmap, page-cache and
+/// allocator paths), so repeated faults pressure the L1 instruction
+/// cache instead of staying resident — the effect behind the paper's
+/// Figure 8.
+pub const FAULT_PATH_PAGES: u32 = 16;
+
+/// The simulated machine.
+pub struct Machine {
+    /// The kernel under test.
+    pub kernel: Kernel,
+    /// The cores (Tegra 3: four).
+    pub cores: Vec<Core>,
+    /// The shared L2 cache.
+    pub l2: Cache,
+    /// The cycle model.
+    pub model: CycleModel,
+    /// The most recent abort latched by the (simulated) FSR/FAR — what
+    /// the exception handler reads to classify the fault.
+    pub last_fault: Option<FaultRecord>,
+    fault_seq: u64,
+}
+
+impl Machine {
+    /// Builds a machine with `ncores` cores around `kernel`.
+    pub fn new(kernel: Kernel, ncores: usize) -> Machine {
+        Machine {
+            kernel,
+            cores: (0..ncores).map(|_| Core::default()).collect(),
+            l2: Cache::new(CacheConfig::L2_1M),
+            model: CycleModel::default(),
+            last_fault: None,
+            fault_seq: 0,
+        }
+    }
+
+    /// A single-core machine (the paper pins its measured workloads to
+    /// one core with `cpuset`).
+    pub fn single_core(kernel: Kernel) -> Machine {
+        Machine::new(kernel, 1)
+    }
+
+    /// A TLB-maintenance view over all cores (pass to kernel
+    /// operations).
+    pub fn tlb_view(&mut self) -> MachineTlbView<'_> {
+        MachineTlbView {
+            cores: &mut self.cores,
+        }
+    }
+
+    /// Runs a kernel operation with a TLB-shootdown view over this
+    /// machine's cores, splitting the borrow so the closure can use
+    /// both the kernel and the TLBs.
+    pub fn syscall<R>(
+        &mut self,
+        f: impl FnOnce(&mut Kernel, &mut dyn TlbMaintenance) -> R,
+    ) -> R {
+        let mut view = MachineTlbView {
+            cores: &mut self.cores,
+        };
+        f(&mut self.kernel, &mut view)
+    }
+
+    /// Schedules `pid` on `core`, performing the architectural
+    /// context-switch work: micro-TLB flush, DACR/ASID reload, and —
+    /// per configuration — a full main-TLB flush (no ASIDs, or the
+    /// flush-on-switch protection scheme for shared TLB entries).
+    pub fn context_switch(&mut self, core: usize, pid: Pid) -> SatResult<()> {
+        if self.cores[core].current == Some(pid) {
+            return Ok(());
+        }
+        let prev = self.cores[core].current;
+        let config = self.kernel.config;
+        let c = &mut self.cores[core];
+        c.micro_i.flush();
+        c.micro_d.flush();
+        let mut full_flush = !config.asid;
+        if config.share_tlb && config.tlb_protection == TlbProtection::FlushOnSwitch {
+            // Flush when switching from a zygote-like process to a
+            // non-zygote process, so the latter cannot consume global
+            // entries.
+            let prev_zygote = prev
+                .map(|p| self.kernel.mm(p).map(|m| m.is_zygote_like()).unwrap_or(false))
+                .unwrap_or(false);
+            let next_zygote = self.kernel.mm(pid)?.is_zygote_like();
+            if prev_zygote && !next_zygote {
+                full_flush = true;
+            }
+        }
+        let c = &mut self.cores[core];
+        if full_flush {
+            c.main_tlb.flush_all();
+        }
+        c.current = Some(pid);
+        c.stats.context_switches += 1;
+        c.stats.cycles += self.model.context_switch;
+        // The scheduler itself executes kernel code.
+        self.run_kernel_lines(core, SCHED_PATH_PAGE, 80)?;
+        Ok(())
+    }
+
+    /// Performs one memory access (an instruction fetch, load, or
+    /// store) at `va` on `core`, walking the full hardware path and
+    /// invoking the kernel for page and domain faults. Returns the
+    /// cycles charged.
+    pub fn access(&mut self, core: usize, va: VirtAddr, access: AccessType) -> SatResult<u64> {
+        let pid = self.cores[core]
+            .current
+            .ok_or(SatError::Internal("access with no process scheduled"))?;
+        let mut cycles: u64 = 0;
+
+        for _attempt in 0..8 {
+            let asid = self.kernel.mm(pid)?.asid;
+            // 1. Micro-TLB.
+            let micro_hit = {
+                let c = &mut self.cores[core];
+                let micro = if access.is_fetch() {
+                    &mut c.micro_i
+                } else {
+                    &mut c.micro_d
+                };
+                micro.lookup(va)
+            };
+            let entry = match micro_hit {
+                Some(e) => e,
+                None => {
+                    // 2. Main TLB.
+                    match self.cores[core].main_tlb.lookup(va, asid) {
+                        TlbLookup::Hit(e) => {
+                            self.fill_micro(core, access, e);
+                            cycles += 1; // micro-miss, main-hit penalty
+                            e
+                        }
+                        TlbLookup::Miss => {
+                            // 3. Hardware table walk.
+                            match self.walk_and_fill(core, pid, va, access)? {
+                                WalkFill::Entry(e, stall) => {
+                                    cycles += stall;
+                                    e
+                                }
+                                WalkFill::Faulted(fault_cycles) => {
+                                    cycles += fault_cycles;
+                                    continue; // retry the access
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+
+            // 4. Domain check against the current DACR.
+            let dacr = self.kernel.mm(pid)?.dacr;
+            match dacr.access(entry.domain) {
+                DomainAccess::NoAccess => {
+                    cycles += self.domain_fault_path(core, va, access, entry.domain)?;
+                    continue; // retry: the stale entries are gone
+                }
+                DomainAccess::Client => {
+                    if !entry.perms.allows(access) {
+                        cycles += self.page_fault_path(core, pid, va, access)?;
+                        continue; // retry with the repaired PTE
+                    }
+                }
+                DomainAccess::Manager => {}
+            }
+
+            // 5. Cache access at the translated physical address.
+            let pa = entry.translate(va);
+            let kind = if access.is_fetch() {
+                AccessKind::Instruction
+            } else {
+                AccessKind::Data
+            };
+            let stall = self.cores[core].caches.access(kind, pa, &mut self.l2);
+            cycles += self.model.cpi + stall;
+            let stats = &mut self.cores[core].stats;
+            if access.is_fetch() {
+                stats.inst_fetches += 1;
+            } else {
+                stats.data_accesses += 1;
+            }
+            stats.cycles += cycles;
+            return Ok(cycles);
+        }
+        Err(SatError::Internal("memory access did not converge"))
+    }
+
+    /// Charges a fork to `core` and returns the kernel's outcome plus
+    /// the cycles consumed (the Table 4 measurement).
+    pub fn fork(&mut self, core: usize, parent: Pid) -> SatResult<(sat_core::ForkOutcome, u64)> {
+        let outcome = self.kernel.fork(parent)?;
+        // Fork write-protects parent PTEs (for COW and/or shared
+        // PTPs); stale writable translations cached before the fork
+        // must not survive it (Linux: flush_tlb_mm in dup_mmap).
+        let parent_asid = self.kernel.mm(parent)?.asid;
+        MachineTlbView {
+            cores: &mut self.cores,
+        }
+        .flush_asid(parent_asid);
+        let anon = outcome.ptes_copied - outcome.ptes_copied_file;
+        let cycles = self.model.fork_cycles(
+            anon,
+            outcome.ptes_copied_file,
+            outcome.ptps_allocated,
+            outcome.ptps_shared,
+            outcome.write_protect_ops,
+        );
+        self.cores[core].stats.cycles += cycles;
+        Ok((outcome, cycles))
+    }
+
+    /// Runs `lines` sequential kernel-text cache lines starting at
+    /// kernel page `base_page` through the instruction path (TLB +
+    /// caches). This is how kernel execution pollutes the L1-I cache.
+    pub fn run_kernel_lines(&mut self, core: usize, base_page: u32, lines: u32) -> SatResult<u64> {
+        let mut cycles = 0;
+        for i in 0..lines {
+            let va = VirtAddr::new(
+                KERNEL_SPACE_START + base_page * 4096 + (i % LINES_PER_PAGE) * 32 + (i / LINES_PER_PAGE) * 4096,
+            );
+            cycles += self.kernel_fetch(core, va)?;
+        }
+        Ok(cycles)
+    }
+
+    /// Fetches one kernel-text line: kernel mappings are global 1MB
+    /// sections present in every address space.
+    fn kernel_fetch(&mut self, core: usize, va: VirtAddr) -> SatResult<u64> {
+        debug_assert!(va.is_kernel());
+        let mut cycles = 0;
+        let entry = match self.cores[core].micro_i.lookup(va) {
+            Some(e) => e,
+            None => {
+                let asid = Asid::new(0); // kernel entries are global
+                match self.cores[core].main_tlb.lookup(va, asid) {
+                    TlbLookup::Hit(e) => {
+                        self.cores[core].micro_i.insert(e);
+                        cycles += 1;
+                        e
+                    }
+                    TlbLookup::Miss => {
+                        // One-level section walk through the caches.
+                        let e = kernel_section_entry(va);
+                        // The level-1 descriptor fetch (synthetic
+                        // address inside the kernel's own tables).
+                        let desc = sat_types::PhysAddr::new(
+                            KERNEL_PHYS_BASE + 0x0FF0_0000 + (va.l1_index() as u32) * 4,
+                        );
+                        let stall = self.cores[core]
+                            .caches
+                            .access(AccessKind::PageWalk, desc, &mut self.l2);
+                        cycles += 8 + stall;
+                        self.cores[core].main_tlb.insert(e, asid);
+                        self.cores[core].micro_i.insert(e);
+                        e
+                    }
+                }
+            }
+        };
+        let pa = entry.translate(va);
+        let stall = self
+            .cores[core]
+            .caches
+            .access(AccessKind::Instruction, pa, &mut self.l2);
+        cycles += self.model.cpi + stall;
+        let stats = &mut self.cores[core].stats;
+        stats.inst_fetches += 1;
+        stats.cycles += cycles;
+        Ok(cycles)
+    }
+
+    fn fill_micro(&mut self, core: usize, access: AccessType, e: TlbEntry) {
+        let c = &mut self.cores[core];
+        if access.is_fetch() {
+            c.micro_i.insert(e);
+        } else {
+            c.micro_d.insert(e);
+        }
+    }
+
+    /// Walks the page table for a user access, filling the TLBs on
+    /// success or invoking the kernel's fault handler.
+    fn walk_and_fill(
+        &mut self,
+        core: usize,
+        pid: Pid,
+        va: VirtAddr,
+        access: AccessType,
+    ) -> SatResult<WalkFill> {
+        if va.is_kernel() {
+            // Kernel space: synthetic global section mapping.
+            let e = kernel_section_entry(va);
+            let desc = sat_types::PhysAddr::new(
+                KERNEL_PHYS_BASE + 0x0FF0_0000 + (va.l1_index() as u32) * 4,
+            );
+            let stall = self.cores[core]
+                .caches
+                .access(AccessKind::PageWalk, desc, &mut self.l2);
+            let asid = self.kernel.mm(pid)?.asid;
+            self.cores[core].main_tlb.insert(e, asid);
+            self.fill_micro(core, access, e);
+            self.charge_tlb_stall(core, access, 8 + stall);
+            return Ok(WalkFill::Entry(e, 8 + stall));
+        }
+        let mm = self.kernel.mm(pid)?;
+        let asid = mm.asid;
+        // The hypothetical level-1 write-protect assist (Section
+        // 3.1.3 "Hardware Support"): a NEED_COPY level-1 entry denies
+        // write access to its whole range, standing in for the
+        // per-PTE write-protect pass the paper performs on ARM.
+        let l1_wp = self.kernel.config.l1_write_protect && mm.root.entry_for(va).need_copy();
+        let result = walk(&mm.root, &self.kernel.ptps, va);
+        // Charge the descriptor fetches through the cache hierarchy —
+        // this is where private page tables pollute the shared L2.
+        let mut stall = 8u64;
+        for pa in &result.accesses {
+            stall += self.cores[core]
+                .caches
+                .access(AccessKind::PageWalk, *pa, &mut self.l2);
+        }
+        match result.translation() {
+            Some(t) => {
+                let perms = if l1_wp { t.perms.without_write() } else { t.perms };
+                let e = TlbEntry {
+                    va_base: VirtAddr::new(va.raw() & !(t.size.bytes() - 1)),
+                    size: t.size,
+                    asid: if t.global { None } else { Some(asid) },
+                    pfn: t.pfn,
+                    perms,
+                    domain: t.domain,
+                };
+                self.cores[core].main_tlb.insert(e, asid);
+                self.fill_micro(core, access, e);
+                self.charge_tlb_stall(core, access, stall);
+                Ok(WalkFill::Entry(e, stall))
+            }
+            None => {
+                let fault_cycles = self.page_fault_path(core, pid, va, access)?;
+                Ok(WalkFill::Faulted(stall + fault_cycles))
+            }
+        }
+    }
+
+    fn charge_tlb_stall(&mut self, core: usize, access: AccessType, stall: u64) {
+        let stats = &mut self.cores[core].stats;
+        if access.is_fetch() {
+            stats.inst_main_tlb_stall_cycles += stall;
+        } else {
+            stats.data_main_tlb_stall_cycles += stall;
+        }
+    }
+
+    /// The software page-fault path: kernel handler plus its
+    /// instruction-cache footprint, PTE repair, and TLB maintenance
+    /// for the repaired address.
+    fn page_fault_path(
+        &mut self,
+        core: usize,
+        pid: Pid,
+        va: VirtAddr,
+        access: AccessType,
+    ) -> SatResult<u64> {
+        // Latch the abort into the FSR/FAR: a missing descriptor is a
+        // translation fault, a present-but-insufficient one a
+        // permission fault.
+        {
+            let mm = self.kernel.mm(pid)?;
+            let translated = walk(&mm.root, &self.kernel.ptps, va).translation();
+            self.last_fault = Some(FaultRecord {
+                status: match translated {
+                    None => FaultStatus::TranslationPage,
+                    Some(_) => FaultStatus::PermissionPage,
+                },
+                domain: mm.root.entry_for(va).domain().unwrap_or(sat_types::Domain::USER),
+                write: access.is_write(),
+                far: va,
+            });
+        }
+        let (cores, kernel) = (&mut self.cores, &mut self.kernel);
+        let mut view = MachineTlbView { cores };
+        let outcome = kernel.page_fault(pid, va, access, &mut view)?;
+        let model = self.model;
+        let mut cycles = match outcome.vm.kind {
+            FaultKind::Minor => model.soft_fault,
+            FaultKind::Major => model.hard_fault,
+            FaultKind::Cow => model.soft_fault + model.cow_extra,
+            FaultKind::WriteEnable => model.soft_fault,
+            FaultKind::Spurious => model.exception,
+        };
+        if outcome.unshared {
+            cycles += model.unshare_base + outcome.unshare_ptes_copied * model.unshare_per_pte;
+        }
+        // The PTE serving `va` changed: invalidate stale entries.
+        {
+            let asid = self.kernel.mm(pid)?.asid;
+            let c = &mut self.cores[core];
+            c.main_tlb.flush_va(va, asid);
+            c.micro_i.flush_va(va);
+            c.micro_d.flush_va(va);
+        }
+        // The handler's kernel instructions run through the caches.
+        // Each fault exercises a different slice of the handler's
+        // 64KB of text (rotating start), so fault-heavy runs thrash
+        // the L1-I exactly as the paper observes.
+        let lines = match outcome.vm.kind {
+            FaultKind::Major => self.model.fault_path_lines + self.model.hard_fault_extra_lines,
+            _ => self.model.fault_path_lines,
+        };
+        let window = FAULT_PATH_PAGES * LINES_PER_PAGE;
+        let start = ((self.fault_seq * 149) % window as u64) as u32;
+        self.fault_seq += 1;
+        for i in 0..lines {
+            let line = (start + i) % window;
+            let va = VirtAddr::new(
+                KERNEL_SPACE_START + (FAULT_HANDLER_PAGE + line / LINES_PER_PAGE) * 4096
+                    + (line % LINES_PER_PAGE) * 32,
+            );
+            self.kernel_fetch(core, va)?;
+        }
+        // `cycles` is returned to the access loop, which adds it to
+        // the core's cycle count on the successful retry — do not add
+        // it here too (the handler's kernel-line fetches have already
+        // self-accounted).
+        self.cores[core].stats.page_faults += 1;
+        Ok(cycles)
+    }
+
+    /// The domain-fault path: exception entry, the handler's flush of
+    /// the offending entries, and return.
+    fn domain_fault_path(
+        &mut self,
+        core: usize,
+        va: VirtAddr,
+        access: AccessType,
+        domain: Domain,
+    ) -> SatResult<u64> {
+        self.last_fault = Some(FaultRecord {
+            status: FaultStatus::DomainPage,
+            domain,
+            write: access.is_write(),
+            far: va,
+        });
+        // The handler "checks the FSR [and] when it finds that the
+        // reason for the exception is a domain fault, it flushes all
+        // TLB entries that match the faulting address" (§3.2.3).
+        let record = self.last_fault.expect("just latched");
+        debug_assert!(record.status.is_domain_fault());
+        let (cores, kernel) = (&mut self.cores, &mut self.kernel);
+        let mut view = MachineTlbView { cores };
+        kernel.domain_fault(record.far, &mut view);
+        let cycles = self.model.exception;
+        self.run_kernel_lines(core, FAULT_HANDLER_PAGE + 8, 40)?;
+        // Returned to the access loop, which accounts it once.
+        self.cores[core].stats.domain_faults += 1;
+        Ok(cycles)
+    }
+
+    /// Resets the per-core hardware statistics (counters only, not the
+    /// cache/TLB contents) — the start of a measurement window.
+    pub fn reset_hw_stats(&mut self) {
+        for c in &mut self.cores {
+            c.stats = CoreStats::default();
+            c.main_tlb.reset_stats();
+            c.caches.reset_stats();
+        }
+    }
+}
+
+enum WalkFill {
+    Entry(TlbEntry, u64),
+    Faulted(u64),
+}
+
+/// Synthesizes the global kernel section mapping for a kernel VA
+/// (Linux maps the kernel linearly with 1MB sections, global, in the
+/// kernel domain).
+fn kernel_section_entry(va: VirtAddr) -> TlbEntry {
+    let section_base = va.raw() & !(PageSize::Section1M.bytes() - 1);
+    let pa = KERNEL_PHYS_BASE + (section_base - KERNEL_SPACE_START);
+    TlbEntry {
+        va_base: VirtAddr::new(section_base),
+        size: PageSize::Section1M,
+        asid: None,
+        pfn: Pfn::new(pa >> 12),
+        perms: Perms::RX,
+        domain: Domain::KERNEL,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sat_core::{KernelConfig, NoTlb};
+    use sat_types::{RegionTag, PAGE_SIZE};
+    use sat_vm::MmapRequest;
+
+    fn machine(config: KernelConfig) -> (Machine, Pid) {
+        let mut kernel = Kernel::new(config, 65536);
+        let lib = kernel.files.register("libtest.so", 64 * PAGE_SIZE);
+        let zygote = kernel.create_process().unwrap();
+        kernel.exec_zygote(zygote).unwrap();
+        let req = MmapRequest::file(
+            64 * PAGE_SIZE,
+            Perms::RX,
+            lib,
+            0,
+            RegionTag::ZygoteNativeCode,
+            "libtest.so",
+        )
+        .at(VirtAddr::new(0x4000_0000));
+        kernel.mmap(zygote, &req, &mut NoTlb).unwrap();
+        let heap = MmapRequest::anon(8 * PAGE_SIZE, Perms::RW, RegionTag::Heap, "[heap]")
+            .at(VirtAddr::new(0x0900_0000));
+        kernel.mmap(zygote, &heap, &mut NoTlb).unwrap();
+        let mut m = Machine::single_core(kernel);
+        m.context_switch(0, zygote).unwrap();
+        (m, zygote)
+    }
+
+    #[test]
+    fn first_access_faults_then_hits() {
+        let (mut m, _z) = machine(KernelConfig::stock());
+        let va = VirtAddr::new(0x4000_0000);
+        let cold = m.access(0, va, AccessType::Execute).unwrap();
+        assert!(cold > m.model.hard_fault, "cold access {cold}");
+        assert_eq!(m.cores[0].stats.page_faults, 1);
+        let warm = m.access(0, va, AccessType::Execute).unwrap();
+        assert!(warm <= 2, "warm access {warm} cycles");
+    }
+
+    #[test]
+    fn anon_write_then_read_no_extra_fault() {
+        let (mut m, _z) = machine(KernelConfig::stock());
+        let va = VirtAddr::new(0x0900_0000);
+        m.access(0, va, AccessType::Write).unwrap();
+        let faults = m.cores[0].stats.page_faults;
+        m.access(0, va, AccessType::Read).unwrap();
+        m.access(0, va, AccessType::Write).unwrap();
+        assert_eq!(m.cores[0].stats.page_faults, faults);
+    }
+
+    #[test]
+    fn kernel_fetches_do_not_fault() {
+        let (mut m, _z) = machine(KernelConfig::stock());
+        let va = VirtAddr::new(KERNEL_SPACE_START + 0x0001_2340);
+        let c = m.access(0, va, AccessType::Execute).unwrap();
+        assert!(c < 1000, "kernel fetch cost {c}");
+        assert_eq!(m.cores[0].stats.page_faults, 0);
+    }
+
+    #[test]
+    fn context_switch_flushes_micro_but_keeps_main_with_asid() {
+        let (mut m, zygote) = machine(KernelConfig::stock());
+        let other = m.kernel.create_process().unwrap();
+        let va = VirtAddr::new(0x4000_0000);
+        m.access(0, va, AccessType::Execute).unwrap();
+        let occupancy = m.cores[0].main_tlb.occupancy();
+        assert!(occupancy > 0);
+        m.context_switch(0, other).unwrap();
+        // Main TLB content survives (ASIDs enabled).
+        assert!(m.cores[0].main_tlb.occupancy() >= occupancy);
+        m.context_switch(0, zygote).unwrap();
+        let misses_before = m.cores[0].main_tlb.stats().misses;
+        m.access(0, va, AccessType::Execute).unwrap();
+        // Micro missed but main hit: no new main-TLB miss.
+        assert_eq!(m.cores[0].main_tlb.stats().misses, misses_before);
+    }
+
+    #[test]
+    fn disabled_asid_flushes_main_tlb_on_switch() {
+        let (mut m, zygote) = machine(KernelConfig::stock().without_asid());
+        let other = m.kernel.create_process().unwrap();
+        m.access(0, VirtAddr::new(0x4000_0000), AccessType::Execute).unwrap();
+        let asid = m.kernel.mm(zygote).unwrap().asid;
+        assert!(m.cores[0].main_tlb.probe(VirtAddr::new(0x4000_0000), asid).is_some());
+        m.context_switch(0, other).unwrap();
+        // The switch flushed everything; only the scheduler's kernel
+        // entry may have been reloaded afterwards.
+        assert!(m.cores[0].main_tlb.probe(VirtAddr::new(0x4000_0000), asid).is_none());
+        assert!(m.cores[0].main_tlb.stats().full_flushes >= 1);
+    }
+
+    #[test]
+    fn global_entries_shared_across_zygote_children() {
+        let (mut m, zygote) = machine(KernelConfig::shared_ptp_tlb());
+        let va = VirtAddr::new(0x4000_0000);
+        m.access(0, va, AccessType::Execute).unwrap();
+        let (child, _) = {
+            let (o, c) = m.fork(0, zygote).unwrap();
+            (o.child, c)
+        };
+        m.context_switch(0, child).unwrap();
+        m.cores[0].main_tlb.reset_stats();
+        m.access(0, va, AccessType::Execute).unwrap();
+        let stats = m.cores[0].main_tlb.stats();
+        assert_eq!(stats.misses, 0, "child reused the global entry");
+        assert_eq!(stats.cross_asid_hits, 1);
+    }
+
+    #[test]
+    fn stock_kernel_duplicates_tlb_entries_per_process() {
+        let (mut m, zygote) = machine(KernelConfig::stock());
+        let va = VirtAddr::new(0x4000_0000);
+        m.access(0, va, AccessType::Execute).unwrap();
+        let (o, _) = m.fork(0, zygote).unwrap();
+        m.context_switch(0, o.child).unwrap();
+        m.cores[0].main_tlb.reset_stats();
+        let faults_before = m.cores[0].stats.page_faults;
+        m.access(0, va, AccessType::Execute).unwrap();
+        // The child missed (its ASID does not match the parent's
+        // non-global entry), faulted its own PTE in, and walked again.
+        let stats = m.cores[0].main_tlb.stats();
+        assert!(stats.misses >= 1);
+        assert_eq!(stats.cross_asid_hits, 0);
+        assert_eq!(m.cores[0].stats.page_faults, faults_before + 1);
+        // After the parent reloads its translation (fork flushed it,
+        // as dup_mmap does), both processes hold separate entries for
+        // the same page — the duplication the paper eliminates.
+        m.context_switch(0, zygote).unwrap();
+        m.access(0, va, AccessType::Execute).unwrap();
+        let child_asid = m.kernel.mm(o.child).unwrap().asid;
+        let parent_asid = m.kernel.mm(zygote).unwrap().asid;
+        assert!(m.cores[0].main_tlb.probe(va, child_asid).is_some());
+        assert!(m.cores[0].main_tlb.probe(va, parent_asid).is_some());
+    }
+
+    #[test]
+    fn non_zygote_process_takes_domain_fault_on_global_entry() {
+        let (mut m, zygote) = machine(KernelConfig::shared_ptp_tlb());
+        let va = VirtAddr::new(0x4000_0000);
+        m.access(0, va, AccessType::Execute).unwrap();
+        // A non-zygote process with its own mapping at the same VA.
+        let outsider = m.kernel.create_process().unwrap();
+        let lib2 = m.kernel.files.register("other.so", 4 * PAGE_SIZE);
+        let req = MmapRequest::file(
+            4 * PAGE_SIZE,
+            Perms::RX,
+            lib2,
+            0,
+            RegionTag::OtherLibCode,
+            "other.so",
+        )
+        .at(va);
+        m.syscall(|k, tlb| k.mmap(outsider, &req, tlb)).unwrap();
+        m.context_switch(0, outsider).unwrap();
+        m.access(0, va, AccessType::Execute).unwrap();
+        assert_eq!(m.cores[0].stats.domain_faults, 1);
+        assert_eq!(m.kernel.stats.domain_faults, 1);
+        // The outsider ends up with its own (correct) translation.
+        let pte = m.kernel.pte(outsider, va).unwrap().unwrap();
+        let entry = m.cores[0]
+            .main_tlb
+            .probe(va, m.kernel.mm(outsider).unwrap().asid)
+            .unwrap();
+        assert_eq!(entry.pfn, pte.hw.pfn);
+        assert_eq!(entry.domain, Domain::USER);
+        // Re-access: no further fault.
+        m.access(0, va, AccessType::Execute).unwrap();
+        assert_eq!(m.cores[0].stats.domain_faults, 1);
+        let _ = zygote;
+    }
+
+    #[test]
+    fn fork_cycles_differ_by_config() {
+        let (mut m_stock, z1) = machine(KernelConfig::stock());
+        let (mut m_share, z2) = machine(KernelConfig::shared_ptp());
+        // Touch the same pages in both.
+        for i in 0..8u32 {
+            m_stock.access(0, VirtAddr::new(0x0900_0000 + i * PAGE_SIZE), AccessType::Write).unwrap();
+            m_share.access(0, VirtAddr::new(0x0900_0000 + i * PAGE_SIZE), AccessType::Write).unwrap();
+        }
+        let (_, stock_cycles) = m_stock.fork(0, z1).unwrap();
+        let (_, share_cycles) = m_share.fork(0, z2).unwrap();
+        assert!(share_cycles < stock_cycles, "{share_cycles} vs {stock_cycles}");
+    }
+
+    #[test]
+    fn fsr_far_latch_fault_classes() {
+        let (mut m, _z) = machine(KernelConfig::stock());
+        // Demand-paging fault: translation class, FAR = address.
+        let va = VirtAddr::new(0x4000_3000);
+        m.access(0, va, AccessType::Execute).unwrap();
+        let rec = m.last_fault.expect("fault latched");
+        assert!(rec.status.is_translation_fault());
+        assert_eq!(rec.far, va);
+        assert!(!rec.write);
+        // The register encoding round-trips.
+        assert_eq!(
+            sat_mmu::FaultRecord::decode(rec.fsr(), rec.far),
+            Some(rec)
+        );
+    }
+
+    #[test]
+    fn page_fault_pollutes_icache() {
+        let (mut m, _z) = machine(KernelConfig::stock());
+        let before = m.cores[0].stats.inst_fetches;
+        m.access(0, VirtAddr::new(0x4000_0000), AccessType::Execute).unwrap();
+        // The fault handler executed hundreds of kernel lines.
+        assert!(m.cores[0].stats.inst_fetches > before + 100);
+    }
+
+    #[test]
+    fn walks_put_pte_lines_in_the_l2() {
+        let (mut m, _z) = machine(KernelConfig::stock());
+        m.access(0, VirtAddr::new(0x4000_0000), AccessType::Execute).unwrap();
+        let (_, l1d) = m.cores[0].caches.l1_stats();
+        // The walker allocated into L1-D (PageWalk routes there).
+        assert!(l1d.misses > 0);
+    }
+
+    #[test]
+    fn main_tlb_stall_cycles_accumulate_on_fetch_misses() {
+        let (mut m, _z) = machine(KernelConfig::stock());
+        for i in 0..16u32 {
+            m.access(0, VirtAddr::new(0x4000_0000 + i * PAGE_SIZE), AccessType::Execute)
+                .unwrap();
+        }
+        assert!(m.cores[0].stats.inst_main_tlb_stall_cycles > 0);
+        assert_eq!(m.cores[0].stats.data_main_tlb_stall_cycles, 0);
+    }
+}

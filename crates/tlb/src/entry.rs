@@ -1,0 +1,98 @@
+//! TLB entries.
+
+use sat_types::{Asid, Domain, PageSize, Perms, PhysAddr, Pfn, VirtAddr};
+
+/// One TLB entry: a cached translation plus the tags the MMU checks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TlbEntry {
+    /// Virtual address of the start of the mapped page.
+    pub va_base: VirtAddr,
+    /// Page size of the mapping.
+    pub size: PageSize,
+    /// ASID tag, or `None` for a *global* entry that matches in every
+    /// address space.
+    pub asid: Option<Asid>,
+    /// Base frame of the translation.
+    pub pfn: Pfn,
+    /// Access permissions.
+    pub perms: Perms,
+    /// Domain the entry belongs to, checked against the DACR on every
+    /// hit.
+    pub domain: Domain,
+}
+
+impl TlbEntry {
+    /// Returns `true` if this entry translates `va` under `asid`.
+    ///
+    /// A global entry (`asid == None`) ignores the current ASID — this
+    /// is exactly the semantics of the ARM global bit the paper
+    /// exploits to share entries across all zygote-like processes.
+    pub fn matches(&self, va: VirtAddr, asid: Asid) -> bool {
+        self.covers(va) && self.asid.is_none_or(|a| a == asid)
+    }
+
+    /// Returns `true` if the entry's page contains `va`, regardless of
+    /// ASID (the match rule used when flushing by address).
+    pub fn covers(&self, va: VirtAddr) -> bool {
+        let mask = !(self.size.bytes() - 1);
+        va.raw() & mask == self.va_base.raw() & mask
+    }
+
+    /// Returns `true` for global entries.
+    pub fn is_global(&self) -> bool {
+        self.asid.is_none()
+    }
+
+    /// Translates an address within the entry's page.
+    pub fn translate(&self, va: VirtAddr) -> PhysAddr {
+        let mask = self.size.bytes() - 1;
+        PhysAddr::new((self.pfn.base().raw() & !mask) | (va.raw() & mask))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(asid: Option<Asid>) -> TlbEntry {
+        TlbEntry {
+            va_base: VirtAddr::new(0x4000_0000),
+            size: PageSize::Small4K,
+            asid,
+            pfn: Pfn::new(0x123),
+            perms: Perms::RX,
+            domain: Domain::ZYGOTE,
+        }
+    }
+
+    #[test]
+    fn asid_tagged_entry_matches_only_its_asid() {
+        let e = entry(Some(Asid::new(5)));
+        assert!(e.matches(VirtAddr::new(0x4000_0ABC), Asid::new(5)));
+        assert!(!e.matches(VirtAddr::new(0x4000_0ABC), Asid::new(6)));
+        assert!(!e.matches(VirtAddr::new(0x4000_1000), Asid::new(5)));
+    }
+
+    #[test]
+    fn global_entry_matches_any_asid() {
+        let e = entry(None);
+        assert!(e.matches(VirtAddr::new(0x4000_0000), Asid::new(1)));
+        assert!(e.matches(VirtAddr::new(0x4000_0FFF), Asid::new(200)));
+        assert!(e.is_global());
+    }
+
+    #[test]
+    fn large_page_coverage() {
+        let e = TlbEntry {
+            va_base: VirtAddr::new(0x0001_0000),
+            size: PageSize::Large64K,
+            asid: None,
+            pfn: Pfn::new(0x540),
+            perms: Perms::RX,
+            domain: Domain::USER,
+        };
+        assert!(e.covers(VirtAddr::new(0x0001_FFFF)));
+        assert!(!e.covers(VirtAddr::new(0x0002_0000)));
+        assert_eq!(e.translate(VirtAddr::new(0x0001_2345)).raw(), 0x54_2345);
+    }
+}

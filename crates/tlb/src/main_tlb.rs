@@ -1,0 +1,352 @@
+//! The unified main TLB.
+
+use sat_types::{Asid, Domain, VirtAddr};
+
+use crate::entry::TlbEntry;
+
+/// Main-TLB statistics.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed (a table walk follows).
+    pub misses: u64,
+    /// Hits on *global* entries.
+    pub global_hits: u64,
+    /// Hits on a global entry that was loaded by a different process
+    /// (ASID) than the one now hitting — translation reuse across
+    /// address spaces, the paper's TLB-sharing win.
+    pub cross_asid_hits: u64,
+    /// Entries invalidated by flush operations.
+    pub entries_flushed: u64,
+    /// Full-TLB flush operations performed.
+    pub full_flushes: u64,
+    /// Valid entries evicted by replacement.
+    pub evictions: u64,
+}
+
+impl TlbStats {
+    /// Miss rate over all lookups, in [0, 1].
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// Result of a main-TLB lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TlbLookup {
+    /// The lookup hit; the matching entry is returned.
+    Hit(TlbEntry),
+    /// No entry matched; a page-table walk is required.
+    Miss,
+}
+
+/// The unified main TLB (128 entries on Cortex-A9).
+///
+/// Modeled as fully associative with round-robin replacement; the real
+/// A9 main TLB is 2-way set-associative, but the capacity and tagging
+/// behaviour (ASID, global bit, per-entry domain) — the properties the
+/// paper's mechanism depends on — are preserved.
+///
+/// To attribute cross-address-space reuse, each slot also remembers
+/// the ASID of the process that *loaded* it (for global entries, the
+/// architectural tag is "match everything", but the simulator keeps
+/// the loader for statistics).
+pub struct MainTlb {
+    entries: Vec<Option<(TlbEntry, Asid)>>,
+    victim: usize,
+    stats: TlbStats,
+}
+
+/// Default main-TLB capacity (Cortex-A9).
+pub const MAIN_TLB_ENTRIES: usize = 128;
+
+impl Default for MainTlb {
+    fn default() -> Self {
+        MainTlb::new(MAIN_TLB_ENTRIES)
+    }
+}
+
+impl MainTlb {
+    /// Creates a TLB with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        MainTlb {
+            entries: vec![None; capacity],
+            victim: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Returns the statistics.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Resets the statistics (not the contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+
+    /// Number of valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Looks up `va` under `asid`, updating statistics.
+    pub fn lookup(&mut self, va: VirtAddr, asid: Asid) -> TlbLookup {
+        for slot in self.entries.iter().flatten() {
+            let (entry, loader) = slot;
+            if entry.matches(va, asid) {
+                self.stats.hits += 1;
+                if entry.is_global() {
+                    self.stats.global_hits += 1;
+                    // Cross-address-space reuse counts only user-space
+                    // entries: kernel-text entries are global on every
+                    // OS and would contaminate the sharing metric.
+                    if *loader != asid && entry.domain != Domain::KERNEL {
+                        self.stats.cross_asid_hits += 1;
+                    }
+                }
+                return TlbLookup::Hit(*entry);
+            }
+        }
+        self.stats.misses += 1;
+        TlbLookup::Miss
+    }
+
+    /// Probes for a matching entry without updating statistics.
+    pub fn probe(&self, va: VirtAddr, asid: Asid) -> Option<TlbEntry> {
+        self.entries
+            .iter()
+            .flatten()
+            .find(|(e, _)| e.matches(va, asid))
+            .map(|(e, _)| *e)
+    }
+
+    /// Inserts an entry loaded by `loader`, replacing any entry that
+    /// already covers the same page for the same tag, otherwise
+    /// using round-robin replacement.
+    pub fn insert(&mut self, entry: TlbEntry, loader: Asid) {
+        // Invalidate duplicates first (hardware must never hold two
+        // entries matching the same VA+ASID). Coverage is checked in
+        // both directions so a large entry evicts the small entries
+        // inside its range and vice versa.
+        let tag_asid = entry.asid;
+        let mut replaced = false;
+        for slot in self.entries.iter_mut() {
+            if slot.as_ref().is_some_and(|(e, _)| {
+                e.asid == tag_asid && (e.covers(entry.va_base) || entry.covers(e.va_base))
+            }) {
+                if replaced {
+                    *slot = None; // extra overlapping duplicate
+                } else {
+                    *slot = Some((entry, loader));
+                    replaced = true;
+                }
+            }
+        }
+        if replaced {
+            return;
+        }
+        if let Some(idx) = self.entries.iter().position(|s| s.is_none()) {
+            self.entries[idx] = Some((entry, loader));
+            return;
+        }
+        self.stats.evictions += 1;
+        self.entries[self.victim] = Some((entry, loader));
+        self.victim = (self.victim + 1) % self.entries.len();
+    }
+
+    /// Invalidates everything. Returns the number of entries dropped.
+    pub fn flush_all(&mut self) -> usize {
+        let n = self.occupancy();
+        self.entries.iter_mut().for_each(|s| *s = None);
+        self.stats.entries_flushed += n as u64;
+        self.stats.full_flushes += 1;
+        n
+    }
+
+    /// Invalidates all non-global entries tagged with `asid` (the
+    /// `TLBIASID` operation Linux uses for `flush_tlb_mm`).
+    pub fn flush_asid(&mut self, asid: Asid) -> usize {
+        self.flush_where(|e, _| e.asid == Some(asid))
+    }
+
+    /// Invalidates every entry that covers `va`, regardless of ASID or
+    /// global bit (the `TLBIMVAA` operation). This is what the paper's
+    /// domain-fault handler uses to evict shared global entries that a
+    /// non-zygote process stumbled on.
+    pub fn flush_va_all_asids(&mut self, va: VirtAddr) -> usize {
+        self.flush_where(|e, _| e.covers(va))
+    }
+
+    /// Invalidates entries covering `va` tagged `asid`, plus global
+    /// entries covering `va` (the `TLBIMVA` operation).
+    pub fn flush_va(&mut self, va: VirtAddr, asid: Asid) -> usize {
+        self.flush_where(|e, _| e.covers(va) && (e.is_global() || e.asid == Some(asid)))
+    }
+
+    /// Invalidates all non-global entries (used when ASIDs are
+    /// recycled).
+    pub fn flush_non_global(&mut self) -> usize {
+        self.flush_where(|e, _| !e.is_global())
+    }
+
+    /// Counts valid global entries.
+    pub fn global_occupancy(&self) -> usize {
+        self.entries
+            .iter()
+            .flatten()
+            .filter(|(e, _)| e.is_global())
+            .count()
+    }
+
+    fn flush_where(&mut self, pred: impl Fn(&TlbEntry, Asid) -> bool) -> usize {
+        let mut n = 0;
+        for slot in self.entries.iter_mut() {
+            if let Some((e, loader)) = slot {
+                if pred(e, *loader) {
+                    *slot = None;
+                    n += 1;
+                }
+            }
+        }
+        self.stats.entries_flushed += n as u64;
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sat_types::{Domain, PageSize, Perms, Pfn};
+
+    fn entry(va: u32, asid: Option<u8>) -> TlbEntry {
+        TlbEntry {
+            va_base: VirtAddr::new(va),
+            size: PageSize::Small4K,
+            asid: asid.map(Asid::new),
+            pfn: Pfn::new(va >> 12),
+            perms: Perms::RX,
+            domain: Domain::USER,
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_update_stats() {
+        let mut tlb = MainTlb::new(4);
+        tlb.insert(entry(0x1000, Some(1)), Asid::new(1));
+        assert!(matches!(
+            tlb.lookup(VirtAddr::new(0x1ABC), Asid::new(1)),
+            TlbLookup::Hit(_)
+        ));
+        assert_eq!(tlb.lookup(VirtAddr::new(0x2000), Asid::new(1)), TlbLookup::Miss);
+        assert_eq!(tlb.stats().hits, 1);
+        assert_eq!(tlb.stats().misses, 1);
+    }
+
+    #[test]
+    fn global_entry_hits_across_asids_and_is_counted() {
+        let mut tlb = MainTlb::new(4);
+        tlb.insert(entry(0x5000, None), Asid::new(1));
+        assert!(matches!(
+            tlb.lookup(VirtAddr::new(0x5000), Asid::new(2)),
+            TlbLookup::Hit(_)
+        ));
+        assert_eq!(tlb.stats().global_hits, 1);
+        assert_eq!(tlb.stats().cross_asid_hits, 1);
+        // Same-ASID global hit is not a cross-ASID hit.
+        tlb.lookup(VirtAddr::new(0x5000), Asid::new(1));
+        assert_eq!(tlb.stats().global_hits, 2);
+        assert_eq!(tlb.stats().cross_asid_hits, 1);
+    }
+
+    #[test]
+    fn insert_replaces_duplicate_tag() {
+        let mut tlb = MainTlb::new(4);
+        tlb.insert(entry(0x1000, Some(1)), Asid::new(1));
+        let mut updated = entry(0x1000, Some(1));
+        updated.perms = Perms::R;
+        tlb.insert(updated, Asid::new(1));
+        assert_eq!(tlb.occupancy(), 1);
+        assert_eq!(tlb.probe(VirtAddr::new(0x1000), Asid::new(1)).unwrap().perms, Perms::R);
+    }
+
+    #[test]
+    fn distinct_asids_occupy_distinct_slots() {
+        // The duplication the paper eliminates: each process loads its
+        // own copy of the same library translation.
+        let mut tlb = MainTlb::new(8);
+        for a in 1..=4 {
+            tlb.insert(entry(0x8000, Some(a)), Asid::new(a));
+        }
+        assert_eq!(tlb.occupancy(), 4);
+        // With the global bit, one entry serves all four.
+        let mut shared = MainTlb::new(8);
+        for a in 1..=4 {
+            shared.insert(entry(0x8000, None), Asid::new(a));
+        }
+        assert_eq!(shared.occupancy(), 1);
+    }
+
+    #[test]
+    fn round_robin_eviction_when_full() {
+        let mut tlb = MainTlb::new(2);
+        tlb.insert(entry(0x1000, Some(1)), Asid::new(1));
+        tlb.insert(entry(0x2000, Some(1)), Asid::new(1));
+        tlb.insert(entry(0x3000, Some(1)), Asid::new(1));
+        assert_eq!(tlb.occupancy(), 2);
+        assert_eq!(tlb.stats().evictions, 1);
+        // 0x1000 was the round-robin victim.
+        assert!(tlb.probe(VirtAddr::new(0x1000), Asid::new(1)).is_none());
+    }
+
+    #[test]
+    fn flush_asid_spares_global_and_other_asids() {
+        let mut tlb = MainTlb::new(8);
+        tlb.insert(entry(0x1000, Some(1)), Asid::new(1));
+        tlb.insert(entry(0x2000, Some(2)), Asid::new(2));
+        tlb.insert(entry(0x3000, None), Asid::new(1));
+        assert_eq!(tlb.flush_asid(Asid::new(1)), 1);
+        assert!(tlb.probe(VirtAddr::new(0x2000), Asid::new(2)).is_some());
+        assert!(tlb.probe(VirtAddr::new(0x3000), Asid::new(9)).is_some());
+    }
+
+    #[test]
+    fn flush_va_all_asids_evicts_global_entries() {
+        // The domain-fault handler path: a non-zygote process touched
+        // a VA covered by a global zygote entry.
+        let mut tlb = MainTlb::new(8);
+        tlb.insert(entry(0x5000, None), Asid::new(1));
+        tlb.insert(entry(0x5000, Some(7)), Asid::new(7));
+        tlb.insert(entry(0x6000, None), Asid::new(1));
+        assert_eq!(tlb.flush_va_all_asids(VirtAddr::new(0x5FFF)), 2);
+        assert!(tlb.probe(VirtAddr::new(0x6000), Asid::new(3)).is_some());
+    }
+
+    #[test]
+    fn flush_all_reports_count() {
+        let mut tlb = MainTlb::new(8);
+        tlb.insert(entry(0x1000, Some(1)), Asid::new(1));
+        tlb.insert(entry(0x2000, None), Asid::new(1));
+        assert_eq!(tlb.flush_all(), 2);
+        assert_eq!(tlb.occupancy(), 0);
+        assert_eq!(tlb.stats().full_flushes, 1);
+        assert_eq!(tlb.stats().entries_flushed, 2);
+    }
+
+    #[test]
+    fn flush_non_global_spares_global() {
+        let mut tlb = MainTlb::new(8);
+        tlb.insert(entry(0x1000, Some(1)), Asid::new(1));
+        tlb.insert(entry(0x2000, None), Asid::new(1));
+        assert_eq!(tlb.flush_non_global(), 1);
+        assert_eq!(tlb.global_occupancy(), 1);
+    }
+}

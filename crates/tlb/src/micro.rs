@@ -1,0 +1,137 @@
+//! The per-core micro-TLBs.
+//!
+//! Cortex-A9 cores front the main TLB with small, fully-associative
+//! instruction and data micro-TLBs. They carry no ASID tags and are
+//! flushed on every context switch — the reason the paper's
+//! TLB-sharing benefit accrues in the *main* TLB.
+
+use sat_types::VirtAddr;
+
+use crate::entry::TlbEntry;
+
+/// A micro-TLB (instruction or data side).
+pub struct MicroTlb {
+    entries: Vec<Option<TlbEntry>>,
+    victim: usize,
+    hits: u64,
+    misses: u64,
+}
+
+/// Default micro-TLB capacity (Cortex-A9: 32 entries).
+pub const MICRO_TLB_ENTRIES: usize = 32;
+
+impl Default for MicroTlb {
+    fn default() -> Self {
+        MicroTlb::new(MICRO_TLB_ENTRIES)
+    }
+}
+
+impl MicroTlb {
+    /// Creates a micro-TLB with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        MicroTlb {
+            entries: vec![None; capacity],
+            victim: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `va`. Micro-TLB entries are not ASID-tagged; the
+    /// flush-on-context-switch discipline makes that safe.
+    pub fn lookup(&mut self, va: VirtAddr) -> Option<TlbEntry> {
+        for e in self.entries.iter().flatten() {
+            if e.covers(va) {
+                self.hits += 1;
+                return Some(*e);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Inserts an entry (round-robin replacement).
+    pub fn insert(&mut self, entry: TlbEntry) {
+        if let Some(idx) = self.entries.iter().position(|s| s.is_none()) {
+            self.entries[idx] = Some(entry);
+            return;
+        }
+        self.entries[self.victim] = Some(entry);
+        self.victim = (self.victim + 1) % self.entries.len();
+    }
+
+    /// Flushes everything (performed on every context switch).
+    pub fn flush(&mut self) {
+        self.entries.iter_mut().for_each(|s| *s = None);
+    }
+
+    /// Invalidates entries covering `va` (kept coherent with main-TLB
+    /// maintenance operations).
+    pub fn flush_va(&mut self, va: VirtAddr) {
+        for s in self.entries.iter_mut() {
+            if s.as_ref().is_some_and(|e| e.covers(va)) {
+                *s = None;
+            }
+        }
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sat_types::{Asid, Domain, PageSize, Perms, Pfn};
+
+    fn entry(va: u32) -> TlbEntry {
+        TlbEntry {
+            va_base: VirtAddr::new(va),
+            size: PageSize::Small4K,
+            asid: Some(Asid::new(1)),
+            pfn: Pfn::new(va >> 12),
+            perms: Perms::RX,
+            domain: Domain::USER,
+        }
+    }
+
+    #[test]
+    fn lookup_insert_flush() {
+        let mut utlb = MicroTlb::new(2);
+        assert!(utlb.lookup(VirtAddr::new(0x1000)).is_none());
+        utlb.insert(entry(0x1000));
+        assert!(utlb.lookup(VirtAddr::new(0x1FFF)).is_some());
+        utlb.flush();
+        assert!(utlb.lookup(VirtAddr::new(0x1000)).is_none());
+        assert_eq!(utlb.stats(), (1, 2));
+    }
+
+    #[test]
+    fn flush_va_is_selective() {
+        let mut utlb = MicroTlb::new(4);
+        utlb.insert(entry(0x1000));
+        utlb.insert(entry(0x2000));
+        utlb.flush_va(VirtAddr::new(0x1234));
+        assert!(utlb.lookup(VirtAddr::new(0x1000)).is_none());
+        assert!(utlb.lookup(VirtAddr::new(0x2000)).is_some());
+    }
+
+    #[test]
+    fn round_robin_when_full() {
+        let mut utlb = MicroTlb::new(2);
+        utlb.insert(entry(0x1000));
+        utlb.insert(entry(0x2000));
+        utlb.insert(entry(0x3000));
+        assert_eq!(utlb.occupancy(), 2);
+        assert!(utlb.lookup(VirtAddr::new(0x1000)).is_none());
+        assert!(utlb.lookup(VirtAddr::new(0x3000)).is_some());
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the TLB models.
+
+use proptest::prelude::*;
+use sat_tlb::{MainTlb, TlbEntry, TlbLookup};
+use sat_types::{Asid, Domain, PageSize, Perms, Pfn, VirtAddr, PAGE_SIZE};
+
+fn entry(page: u32, asid: Option<u8>) -> TlbEntry {
+    TlbEntry {
+        va_base: VirtAddr::new(page * PAGE_SIZE),
+        size: PageSize::Small4K,
+        asid: asid.map(Asid::new),
+        pfn: Pfn::new(page + 0x1000),
+        perms: Perms::RX,
+        domain: Domain::USER,
+    }
+}
+
+proptest! {
+    /// After any insertion sequence, a lookup that hits returns an
+    /// entry that actually matches (correct page, matching tag), and
+    /// occupancy never exceeds capacity.
+    #[test]
+    fn lookups_only_return_matching_entries(
+        inserts in prop::collection::vec((0u32..64, prop::option::of(1u8..8)), 1..200),
+        probe_page in 0u32..64,
+        probe_asid in 1u8..8,
+    ) {
+        let mut tlb = MainTlb::new(16);
+        for (page, asid) in &inserts {
+            tlb.insert(entry(*page, *asid), Asid::new(asid.unwrap_or(1)));
+        }
+        prop_assert!(tlb.occupancy() <= 16);
+        let va = VirtAddr::new(probe_page * PAGE_SIZE + 0x123);
+        if let TlbLookup::Hit(e) = tlb.lookup(va, Asid::new(probe_asid)) {
+            prop_assert!(e.covers(va));
+            prop_assert!(e.asid.is_none() || e.asid == Some(Asid::new(probe_asid)));
+            // The translation is the one inserted for that page.
+            prop_assert_eq!(e.pfn, Pfn::new(probe_page + 0x1000));
+        }
+    }
+
+    /// flush_asid removes exactly the non-global entries of that ASID
+    /// and nothing else.
+    #[test]
+    fn flush_asid_is_precise(
+        inserts in prop::collection::vec((0u32..64, prop::option::of(1u8..6)), 1..64),
+        victim in 1u8..6,
+    ) {
+        let mut tlb = MainTlb::new(128);
+        for (page, asid) in &inserts {
+            tlb.insert(entry(*page, *asid), Asid::new(asid.unwrap_or(1)));
+        }
+        tlb.flush_asid(Asid::new(victim));
+        for (page, asid) in &inserts {
+            let va = VirtAddr::new(page * PAGE_SIZE);
+            match asid {
+                Some(a) if *a == victim => {
+                    // Only a global entry may still serve this VA.
+                    if let Some(e) = tlb.probe(va, Asid::new(victim)) {
+                        prop_assert!(e.is_global());
+                    }
+                }
+                Some(a) => {
+                    prop_assert!(tlb.probe(va, Asid::new(*a)).is_some());
+                }
+                None => {
+                    prop_assert!(tlb.probe(va, Asid::new(victim)).is_some());
+                }
+            }
+        }
+    }
+
+    /// flush_va_all_asids removes every entry covering the address —
+    /// global or not — and leaves other pages alone.
+    #[test]
+    fn flush_va_removes_all_matches(
+        pages in prop::collection::btree_set(0u32..32, 2..20),
+        victim_idx in 0usize..20,
+    ) {
+        let pages: Vec<u32> = pages.into_iter().collect();
+        let victim = pages[victim_idx % pages.len()];
+        let mut tlb = MainTlb::new(128);
+        for (i, &p) in pages.iter().enumerate() {
+            let asid = if i % 3 == 0 { None } else { Some((i % 5 + 1) as u8) };
+            tlb.insert(entry(p, asid), Asid::new(1));
+        }
+        tlb.flush_va_all_asids(VirtAddr::new(victim * PAGE_SIZE));
+        for a in 1..8u8 {
+            prop_assert!(tlb.probe(VirtAddr::new(victim * PAGE_SIZE), Asid::new(a)).is_none());
+        }
+        // Some other page must survive (we inserted >= 2 pages).
+        let survivor = pages.iter().find(|&&p| p != victim).copied().unwrap();
+        let found = (0..8u8).any(|a| {
+            tlb.probe(VirtAddr::new(survivor * PAGE_SIZE), Asid::new(a)).is_some()
+        });
+        prop_assert!(found, "survivor page {survivor} vanished");
+    }
+
+    /// A global entry serves every ASID; a tagged entry serves only
+    /// its own.
+    #[test]
+    fn global_matching_semantics(page in 0u32..64, owner in 1u8..250, other in 1u8..250) {
+        prop_assume!(owner != other);
+        let mut tlb = MainTlb::new(8);
+        tlb.insert(entry(page, Some(owner)), Asid::new(owner));
+        prop_assert!(tlb.probe(VirtAddr::new(page * PAGE_SIZE), Asid::new(other)).is_none());
+        tlb.insert(entry(page, None), Asid::new(owner));
+        prop_assert!(tlb.probe(VirtAddr::new(page * PAGE_SIZE), Asid::new(other)).is_some());
+    }
+}

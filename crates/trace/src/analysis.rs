@@ -1,0 +1,220 @@
+//! Footprint analytics: the data behind Table 1, Table 2, Figure 2,
+//! and Figure 3.
+
+use std::collections::BTreeSet;
+
+use crate::profile::AppProfile;
+
+/// Per-category shares, in the paper's Figure 2/3 order: zygote
+/// native `.so`, zygote Java `.oat`, `app_process`, other dynamic
+/// libraries, private code.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CategoryShares {
+    /// Zygote-preloaded dynamic shared libraries.
+    pub zygote_native: f64,
+    /// Zygote-preloaded Java (ART .oat) libraries.
+    pub zygote_java: f64,
+    /// The zygote's `app_process` program binary.
+    pub app_process: f64,
+    /// Non-preloaded (application- and platform-specific) libraries.
+    pub other_libs: f64,
+    /// Application-private code.
+    pub private: f64,
+}
+
+impl CategoryShares {
+    /// Builds shares from raw per-category counts.
+    pub fn from_counts(counts: [usize; 5]) -> CategoryShares {
+        let total: usize = counts.iter().sum();
+        if total == 0 {
+            return CategoryShares::default();
+        }
+        let f = |c: usize| c as f64 / total as f64;
+        CategoryShares {
+            zygote_native: f(counts[0]),
+            zygote_java: f(counts[1]),
+            app_process: f(counts[2]),
+            other_libs: f(counts[3]),
+            private: f(counts[4]),
+        }
+    }
+
+    /// The shared-code share (everything but private).
+    pub fn shared(&self) -> f64 {
+        1.0 - self.private
+    }
+
+    /// The zygote-preloaded share (native + Java + app_process).
+    pub fn zygote_preloaded(&self) -> f64 {
+        self.zygote_native + self.zygote_java + self.app_process
+    }
+}
+
+/// Figure 2: for each application, the breakdown of its instruction
+/// *pages* by category. Returns `(name, counts, shares)`.
+pub fn page_breakdown(profiles: &[AppProfile]) -> Vec<(String, [usize; 5], CategoryShares)> {
+    profiles
+        .iter()
+        .map(|p| {
+            let counts = p.category_counts();
+            (p.spec.name.to_string(), counts, CategoryShares::from_counts(counts))
+        })
+        .collect()
+}
+
+/// Figure 3: for each application, the breakdown of its user-space
+/// instruction *fetches* by category (from the calibrated fetch mix).
+pub fn fetch_breakdown(profiles: &[AppProfile]) -> Vec<(String, CategoryShares)> {
+    profiles
+        .iter()
+        .map(|p| {
+            let s = p.spec.fetch_shares;
+            (
+                p.spec.name.to_string(),
+                CategoryShares {
+                    zygote_native: s[0],
+                    zygote_java: s[1],
+                    app_process: s[2],
+                    other_libs: s[3],
+                    private: s[4],
+                },
+            )
+        })
+        .collect()
+}
+
+/// Table 2: the pairwise footprint-intersection matrix.
+///
+/// `matrix[i][j]` is the percentage of application `i`'s instruction
+/// footprint that intersects application `j`'s, as
+/// `(zygote_preloaded_pct, all_shared_pct)`; the diagonal is
+/// `(100, 100)`.
+pub struct OverlapMatrix {
+    /// Application names, indexing the matrix.
+    pub names: Vec<String>,
+    /// The percentage pairs.
+    pub matrix: Vec<Vec<(f64, f64)>>,
+}
+
+impl OverlapMatrix {
+    /// Suite averages over the off-diagonal cells, as
+    /// `(zygote_preloaded_pct, all_shared_pct)` — the paper reports
+    /// 37.9% and 45.7%.
+    pub fn averages(&self) -> (f64, f64) {
+        let mut zyg = 0.0;
+        let mut all = 0.0;
+        let mut n = 0;
+        for (i, row) in self.matrix.iter().enumerate() {
+            for (j, cell) in row.iter().enumerate() {
+                if i != j {
+                    zyg += cell.0;
+                    all += cell.1;
+                    n += 1;
+                }
+            }
+        }
+        (zyg / n as f64, all / n as f64)
+    }
+}
+
+/// Computes the Table 2 overlap matrix.
+pub fn pairwise_overlap(profiles: &[AppProfile]) -> OverlapMatrix {
+    let zyg_sets: Vec<BTreeSet<_>> = profiles.iter().map(|p| p.zygote_preloaded_pages()).collect();
+    let all_sets: Vec<BTreeSet<_>> = profiles.iter().map(|p| p.shared_code_pages()).collect();
+    let mut matrix = Vec::new();
+    for i in 0..profiles.len() {
+        let mut row = Vec::new();
+        let footprint = profiles[i].footprint() as f64;
+        for j in 0..profiles.len() {
+            if i == j {
+                row.push((100.0, 100.0));
+                continue;
+            }
+            let zyg = zyg_sets[i].intersection(&zyg_sets[j]).count() as f64;
+            let all = all_sets[i].intersection(&all_sets[j]).count() as f64;
+            row.push((100.0 * zyg / footprint, 100.0 * all / footprint));
+        }
+        matrix.push(row);
+    }
+    OverlapMatrix {
+        names: profiles.iter().map(|p| p.spec.name.to_string()).collect(),
+        matrix,
+    }
+}
+
+/// Table 1: `(name, user_pct, kernel_pct)` of instruction fetches.
+pub fn user_kernel_split(profiles: &[AppProfile]) -> Vec<(String, f64, f64)> {
+    profiles
+        .iter()
+        .map(|p| {
+            let k = p.spec.kernel_fetch_pct;
+            (p.spec.name.to_string(), 100.0 - k, k)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::app_specs;
+    use crate::catalog::Catalog;
+
+    fn profiles() -> Vec<AppProfile> {
+        let catalog = Catalog::generate(1, 11);
+        app_specs()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| AppProfile::generate(&catalog, s, i, 7))
+            .collect()
+    }
+
+    #[test]
+    fn page_breakdown_shares_sum_to_one() {
+        for (_, _, shares) in page_breakdown(&profiles()) {
+            let sum = shares.zygote_native
+                + shares.zygote_java
+                + shares.app_process
+                + shares.other_libs
+                + shares.private;
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn suite_page_share_average_near_93pct_shared() {
+        let rows = page_breakdown(&profiles());
+        let avg: f64 = rows.iter().map(|(_, _, s)| s.shared()).sum::<f64>() / rows.len() as f64;
+        assert!((avg - 0.928).abs() < 0.04, "avg shared page share {avg:.3}");
+    }
+
+    #[test]
+    fn fetch_breakdown_average_near_98pct_shared() {
+        let rows = fetch_breakdown(&profiles());
+        let avg: f64 = rows.iter().map(|(_, s)| s.shared()).sum::<f64>() / rows.len() as f64;
+        assert!((avg - 0.98).abs() < 0.015, "avg shared fetch share {avg:.3}");
+    }
+
+    #[test]
+    fn overlap_matrix_diagonal_and_symmetry_properties() {
+        let m = pairwise_overlap(&profiles());
+        assert_eq!(m.matrix.len(), 11);
+        for (i, row) in m.matrix.iter().enumerate() {
+            assert_eq!(row[i], (100.0, 100.0));
+            for (j, &(zyg, all)) in row.iter().enumerate() {
+                assert!(zyg <= all + 1e-9, "[{i}][{j}] zygote {zyg} > all {all}");
+                assert!((0.0..=100.0).contains(&zyg));
+            }
+        }
+        let (zyg_avg, all_avg) = m.averages();
+        assert!((28.0..=48.0).contains(&zyg_avg), "zygote avg {zyg_avg:.1}%");
+        assert!(all_avg > zyg_avg, "all {all_avg:.1}% vs zygote {zyg_avg:.1}%");
+    }
+
+    #[test]
+    fn user_kernel_split_reproduces_table1() {
+        let rows = user_kernel_split(&profiles());
+        let angry = rows.iter().find(|(n, _, _)| n == "Angrybirds").unwrap();
+        assert!((angry.1 - 92.2).abs() < 1e-9);
+        assert!((angry.2 - 7.8).abs() < 1e-9);
+    }
+}

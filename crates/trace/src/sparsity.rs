@@ -1,0 +1,171 @@
+//! The Figure 4 sparsity analysis: can 64KB large pages serve
+//! zygote-preloaded shared code without wasting memory?
+//!
+//! The paper maps every accessed instruction to its 4KB and 64KB
+//! pages and, for each 64KB page, counts the 4KB pages inside it that
+//! were never touched. The answer: in 60% of the 64KB pages more than
+//! nine 4KB pages are untouched, so 64KB pages would cost ≈2.6× the
+//! physical memory of 4KB pages (≈16MB vs ≈6MB per application, 36MB
+//! vs 18MB for the union) — large pages are a poor fit, motivating
+//! shared translation instead.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sat_types::PAGES_PER_64K;
+
+use crate::catalog::LibId;
+use crate::profile::CodePage;
+
+/// Result of the sparsity analysis over one page set.
+#[derive(Clone, Debug)]
+pub struct SparsityReport {
+    /// `histogram[u]` = number of 64KB pages with exactly `u`
+    /// untouched 4KB pages (u in 0..=15).
+    pub histogram: [u64; PAGES_PER_64K],
+    /// Touched 4KB pages (= memory needed with 4KB pages, in pages).
+    pub pages_4k: u64,
+    /// Occupied 64KB pages (memory with 64KB pages = this × 64KB).
+    pub chunks_64k: u64,
+}
+
+impl SparsityReport {
+    /// Builds the report from a set of touched library code pages.
+    /// Private pages are ignored (the analysis targets
+    /// zygote-preloaded shared code).
+    pub fn from_pages<'a>(pages: impl IntoIterator<Item = &'a CodePage>) -> SparsityReport {
+        // Group touched pages by (library, 64KB chunk index).
+        let mut chunks: BTreeMap<(LibId, u32), BTreeSet<u32>> = BTreeMap::new();
+        let mut pages_4k = 0u64;
+        for page in pages {
+            if let CodePage::Lib { lib, page } = page {
+                chunks
+                    .entry((*lib, page / PAGES_PER_64K as u32))
+                    .or_default()
+                    .insert(page % PAGES_PER_64K as u32);
+                pages_4k += 1;
+            }
+        }
+        let mut histogram = [0u64; PAGES_PER_64K];
+        for touched in chunks.values() {
+            let untouched = PAGES_PER_64K - touched.len();
+            histogram[untouched] += 1;
+        }
+        SparsityReport {
+            histogram,
+            pages_4k,
+            chunks_64k: chunks.len() as u64,
+        }
+    }
+
+    /// Cumulative distribution: fraction of 64KB pages with **at
+    /// least** `u` untouched 4KB pages.
+    pub fn cdf_at_least(&self, u: usize) -> f64 {
+        let total: u64 = self.histogram.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let tail: u64 = self.histogram[u..].iter().sum();
+        tail as f64 / total as f64
+    }
+
+    /// Memory required with 4KB pages, in bytes.
+    pub fn bytes_4k(&self) -> u64 {
+        self.pages_4k * 4096
+    }
+
+    /// Memory required with 64KB pages, in bytes.
+    pub fn bytes_64k(&self) -> u64 {
+        self.chunks_64k * 64 * 1024
+    }
+
+    /// The 64KB-over-4KB memory blow-up factor (the paper reports
+    /// ≈2.6× on average across applications).
+    pub fn blowup(&self) -> f64 {
+        if self.pages_4k == 0 {
+            return 1.0;
+        }
+        self.bytes_64k() as f64 / self.bytes_4k() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::app_specs;
+    use crate::catalog::Catalog;
+    use crate::profile::AppProfile;
+
+    #[test]
+    fn dense_chunk_has_zero_untouched() {
+        let lib = LibId(0);
+        let pages: Vec<CodePage> = (0..16).map(|page| CodePage::Lib { lib, page }).collect();
+        let r = SparsityReport::from_pages(&pages);
+        assert_eq!(r.histogram[0], 1);
+        assert_eq!(r.chunks_64k, 1);
+        assert_eq!(r.pages_4k, 16);
+        assert!((r.blowup() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_page_chunk_has_15_untouched() {
+        let pages = [CodePage::Lib { lib: LibId(0), page: 5 }];
+        let r = SparsityReport::from_pages(&pages);
+        assert_eq!(r.histogram[15], 1);
+        assert!((r.blowup() - 16.0).abs() < 1e-9);
+        assert!((r.cdf_at_least(9) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn private_pages_are_ignored() {
+        let pages = [CodePage::Private { page: 1 }, CodePage::Lib { lib: LibId(1), page: 0 }];
+        let r = SparsityReport::from_pages(&pages);
+        assert_eq!(r.pages_4k, 1);
+    }
+
+    #[test]
+    fn app_footprints_are_sparse_like_the_paper() {
+        // Figure 4: for ~60% of 64KB pages, more than 9 of the 16 4KB
+        // pages are untouched; blow-up ≈2.6×.
+        let catalog = Catalog::generate(1, 11);
+        let specs = app_specs();
+        let mut blowups = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let p = AppProfile::generate(&catalog, spec, i, 7);
+            let zyg = p.zygote_preloaded_pages();
+            let r = SparsityReport::from_pages(zyg.iter());
+            assert!(
+                r.cdf_at_least(10) > 0.35,
+                "{}: only {:.2} of chunks have >9 untouched",
+                spec.name,
+                r.cdf_at_least(10)
+            );
+            blowups.push(r.blowup());
+        }
+        let avg: f64 = blowups.iter().sum::<f64>() / blowups.len() as f64;
+        assert!(
+            (1.8..=4.5).contains(&avg),
+            "average 64KB blow-up {avg:.2} outside the paper's ballpark"
+        );
+    }
+
+    #[test]
+    fn union_is_denser_than_individual_apps() {
+        // The paper: even the union wastes >7 of 16 pages most of the
+        // time, but it is denser than any single application.
+        let catalog = Catalog::generate(1, 11);
+        let specs = app_specs();
+        let profiles: Vec<AppProfile> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| AppProfile::generate(&catalog, s, i, 7))
+            .collect();
+        let union: BTreeSet<CodePage> = profiles
+            .iter()
+            .flat_map(|p| p.zygote_preloaded_pages())
+            .collect();
+        let union_report = SparsityReport::from_pages(union.iter());
+        let first = SparsityReport::from_pages(profiles[0].zygote_preloaded_pages().iter());
+        assert!(union_report.blowup() < first.blowup());
+        assert!(union_report.cdf_at_least(8) > 0.3);
+    }
+}

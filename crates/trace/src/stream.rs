@@ -1,0 +1,233 @@
+//! Instruction-fetch streams: the dynamic access sequence driving the
+//! TLB/cache simulation.
+//!
+//! Fetches are generated at cache-line granularity with sequential
+//! runs (straight-line execution within a page) punctuated by jumps to
+//! a page drawn from the application's footprint — category chosen by
+//! the Figure 3 fetch mix, page chosen with a popularity skew. A
+//! configurable fraction of fetches executes kernel code (Table 1).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sat_types::RegionTag;
+
+use crate::profile::{AppProfile, CodePage};
+
+/// Cache lines per 4KB page (32-byte lines).
+pub const LINES_PER_PAGE: u32 = 4096 / 32;
+
+/// One instruction fetch (one cache line's worth of instructions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FetchEvent {
+    /// A user-space fetch from `page`, at line `line` (0..128).
+    User {
+        /// The code page.
+        page: CodePage,
+        /// Cache-line index within the page.
+        line: u32,
+    },
+    /// A kernel-space fetch from kernel-text page `page`.
+    Kernel {
+        /// Page index within the kernel text.
+        page: u32,
+        /// Cache-line index within the page.
+        line: u32,
+    },
+}
+
+/// Number of kernel-text pages the kernel fetch mix draws from.
+pub const KERNEL_TEXT_PAGES: u32 = 256;
+
+/// A deterministic generator of [`FetchEvent`]s for one application.
+pub struct FetchStream {
+    rng: SmallRng,
+    // Per category: the candidate pages, most popular first.
+    by_category: [Vec<CodePage>; 5],
+    fetch_shares: [f64; 5],
+    kernel_fraction: f64,
+    // Current sequential run.
+    current: Option<FetchEvent>,
+    run_left: u32,
+}
+
+impl FetchStream {
+    /// Creates a stream for `profile`, seeded by `seed`.
+    pub fn new(profile: &AppProfile, seed: u64) -> FetchStream {
+        let mut by_category: [Vec<CodePage>; 5] = Default::default();
+        for (page, tag) in &profile.pages {
+            let idx = match tag {
+                RegionTag::ZygoteNativeCode => 0,
+                RegionTag::ZygoteJavaCode => 1,
+                RegionTag::ZygoteBinaryCode => 2,
+                RegionTag::OtherLibCode => 3,
+                _ => 4,
+            };
+            by_category[idx].push(*page);
+        }
+        FetchStream {
+            rng: SmallRng::seed_from_u64(seed ^ 0x0FE7_C57A_EA11),
+            by_category,
+            fetch_shares: profile.spec.fetch_shares,
+            kernel_fraction: profile.spec.kernel_fetch_pct / 100.0,
+            current: None,
+            run_left: 0,
+        }
+    }
+
+    /// Produces the next fetch event.
+    pub fn next_event(&mut self) -> FetchEvent {
+        if self.run_left > 0 {
+            if let Some(ev) = self.current {
+                self.run_left -= 1;
+                let next = advance(ev);
+                self.current = Some(next);
+                return next;
+            }
+        }
+        // Start a new run: kernel or user?
+        let ev = if self.rng.gen_bool(self.kernel_fraction) {
+            FetchEvent::Kernel {
+                page: skewed_index(&mut self.rng, KERNEL_TEXT_PAGES as usize) as u32,
+                line: self.rng.gen_range(0..LINES_PER_PAGE),
+            }
+        } else {
+            // Pick a category by the fetch mix, then a page with a
+            // popularity skew (quadratic toward the front).
+            let mut r = self.rng.gen_range(0.0..1.0f64);
+            let mut cat = 4;
+            for (i, share) in self.fetch_shares.iter().enumerate() {
+                if r < *share {
+                    cat = i;
+                    break;
+                }
+                r -= share;
+            }
+            // Fall back to the first non-empty category.
+            let pages = if self.by_category[cat].is_empty() {
+                self.by_category
+                    .iter()
+                    .find(|v| !v.is_empty())
+                    .expect("profile has pages")
+            } else {
+                &self.by_category[cat]
+            };
+            FetchEvent::User {
+                page: pages[skewed_index(&mut self.rng, pages.len())],
+                line: self.rng.gen_range(0..LINES_PER_PAGE),
+            }
+        };
+        // Sequential run of 4..64 lines.
+        self.run_left = self.rng.gen_range(4..64);
+        self.current = Some(ev);
+        ev
+    }
+
+    /// Generates `n` events.
+    pub fn take(&mut self, n: usize) -> Vec<FetchEvent> {
+        (0..n).map(|_| self.next_event()).collect()
+    }
+}
+
+/// Advances an event one cache line, wrapping within the page.
+fn advance(ev: FetchEvent) -> FetchEvent {
+    match ev {
+        FetchEvent::User { page, line } => FetchEvent::User {
+            page,
+            line: (line + 1) % LINES_PER_PAGE,
+        },
+        FetchEvent::Kernel { page, line } => FetchEvent::Kernel {
+            page,
+            line: (line + 1) % LINES_PER_PAGE,
+        },
+    }
+}
+
+/// Samples an index in `[0, len)` skewed quadratically toward 0.
+fn skewed_index(rng: &mut SmallRng, len: usize) -> usize {
+    let r: f64 = rng.gen_range(0.0..1.0);
+    ((r * r * len as f64) as usize).min(len - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::app_specs;
+    use crate::catalog::Catalog;
+    use crate::profile::AppProfile;
+
+    fn stream_for(app: usize) -> (AppProfile, FetchStream) {
+        let catalog = Catalog::generate(1, 11);
+        let spec = &app_specs()[app];
+        let profile = AppProfile::generate(&catalog, spec, app, 7);
+        let stream = FetchStream::new(&profile, 99);
+        (profile, stream)
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let (_p, mut a) = stream_for(0);
+        let (_p2, mut b) = stream_for(0);
+        assert_eq!(a.take(1000), b.take(1000));
+    }
+
+    #[test]
+    fn kernel_fraction_tracks_table1() {
+        // WPS runs 52.9% of fetches in kernel mode.
+        let (_p, mut s) = stream_for(10);
+        let events = s.take(200_000);
+        let kernel = events
+            .iter()
+            .filter(|e| matches!(e, FetchEvent::Kernel { .. }))
+            .count() as f64
+            / events.len() as f64;
+        assert!((kernel - 0.529).abs() < 0.05, "kernel fraction {kernel:.3}");
+    }
+
+    #[test]
+    fn user_fetches_stay_within_footprint() {
+        let (p, mut s) = stream_for(2);
+        let footprint: std::collections::BTreeSet<CodePage> =
+            p.pages.iter().map(|(pg, _)| *pg).collect();
+        for e in s.take(20_000) {
+            if let FetchEvent::User { page, .. } = e {
+                assert!(footprint.contains(&page));
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_sequential() {
+        let (_p, mut s) = stream_for(0);
+        let events = s.take(1000);
+        let mut sequential = 0;
+        for w in events.windows(2) {
+            if let (FetchEvent::User { page: p1, line: l1 }, FetchEvent::User { page: p2, line: l2 }) =
+                (w[0], w[1])
+            {
+                if p1 == p2 && l2 == (l1 + 1) % LINES_PER_PAGE {
+                    sequential += 1;
+                }
+            }
+        }
+        // The bulk of fetches continue the current run.
+        assert!(sequential > 500, "only {sequential} sequential pairs");
+    }
+
+    #[test]
+    fn shared_code_dominates_fetches() {
+        let (_p, mut s) = stream_for(0);
+        let events = s.take(100_000);
+        let mut user = 0;
+        let mut private = 0;
+        for e in &events {
+            if let FetchEvent::User { page, .. } = e {
+                user += 1;
+                if matches!(page, CodePage::Private { .. }) {
+                    private += 1;
+                }
+            }
+        }
+        let private_share = private as f64 / user as f64;
+        assert!(private_share < 0.06, "private share {private_share:.3}");
+    }
+}

@@ -1,0 +1,60 @@
+//! The common error type for the workspace.
+
+use core::fmt;
+
+use crate::addr::VirtAddr;
+
+/// Result alias used throughout the workspace.
+pub type SatResult<T> = Result<T, SatError>;
+
+/// Errors produced by the memory-management stack.
+///
+/// Modeled after the errno values the corresponding Linux paths
+/// return: `ENOMEM`, `EINVAL`, `EEXIST`, `EFAULT`, `EACCES`, `ESRCH`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SatError {
+    /// Physical memory (or a kernel allocation) was exhausted (ENOMEM).
+    OutOfMemory,
+    /// An address or length argument was malformed (EINVAL).
+    InvalidArgument,
+    /// A requested fixed mapping overlaps an existing region (EEXIST).
+    MappingOverlap,
+    /// No mapping exists at the given address (EFAULT).
+    NotMapped(VirtAddr),
+    /// The access violates the mapping's permissions (EACCES).
+    PermissionDenied(VirtAddr),
+    /// The referenced process does not exist (ESRCH).
+    NoSuchProcess,
+    /// The referenced file does not exist in the simulated page cache.
+    NoSuchFile,
+    /// An internal invariant was violated; indicates a simulator bug.
+    Internal(&'static str),
+}
+
+impl fmt::Display for SatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SatError::OutOfMemory => write!(f, "out of physical memory"),
+            SatError::InvalidArgument => write!(f, "invalid argument"),
+            SatError::MappingOverlap => write!(f, "mapping overlaps an existing region"),
+            SatError::NotMapped(va) => write!(f, "no mapping at {va}"),
+            SatError::PermissionDenied(va) => write!(f, "permission denied at {va}"),
+            SatError::NoSuchProcess => write!(f, "no such process"),
+            SatError::NoSuchFile => write!(f, "no such file"),
+            SatError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SatError::NotMapped(VirtAddr::new(0xdead_b000));
+        assert!(e.to_string().contains("0xdeadb000"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Classification tags for memory regions.
+//!
+//! The paper's motivation study (Section 2.3) breaks an application's
+//! instruction footprint down by the *kind* of mapping the
+//! instructions came from: zygote-preloaded dynamic shared libraries,
+//! zygote-preloaded Java (ART ahead-of-time compiled) libraries, the
+//! zygote's `app_process` program binary, other (application- or
+//! platform-specific) dynamic shared libraries, and private
+//! application code. [`RegionTag`] carries that classification on
+//! every memory region so the analysis crates can reproduce Figures
+//! 2-4 and Tables 1-2, and so the kernel can decide which regions are
+//! eligible for global (shared) TLB entries.
+
+/// What a memory region holds, for analytics and sharing policy.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+pub enum RegionTag {
+    /// Unclassified.
+    #[default]
+    Unknown,
+    /// A process stack. The paper excludes stacks from PTP sharing
+    /// because they are written immediately after fork.
+    Stack,
+    /// Anonymous heap.
+    Heap,
+    /// Code segment of a zygote-preloaded dynamic shared library
+    /// (`.so` loaded by the dynamic linker at zygote init).
+    ZygoteNativeCode,
+    /// Data segment of a zygote-preloaded dynamic shared library.
+    ZygoteNativeData,
+    /// Code of a zygote-preloaded Java shared library: ART
+    /// ahead-of-time compiled native code (`boot.oat` and friends).
+    ZygoteJavaCode,
+    /// Data of a zygote-preloaded Java shared library.
+    ZygoteJavaData,
+    /// Code of the zygote's C++ program binary, `app_process`.
+    ZygoteBinaryCode,
+    /// Data of `app_process`.
+    ZygoteBinaryData,
+    /// Code of a dynamic shared library *not* preloaded by the zygote
+    /// (application-specific or platform-specific).
+    OtherLibCode,
+    /// Data of a non-preloaded dynamic shared library.
+    OtherLibData,
+    /// Application-private code (e.g. the app's own `.oat`).
+    AppCode,
+    /// Application-private data.
+    AppData,
+    /// Kernel text (used to model kernel-space instruction fetches).
+    KernelText,
+}
+
+impl RegionTag {
+    /// Returns `true` for code-segment tags.
+    pub const fn is_code(self) -> bool {
+        matches!(
+            self,
+            RegionTag::ZygoteNativeCode
+                | RegionTag::ZygoteJavaCode
+                | RegionTag::ZygoteBinaryCode
+                | RegionTag::OtherLibCode
+                | RegionTag::AppCode
+                | RegionTag::KernelText
+        )
+    }
+
+    /// Returns `true` for zygote-preloaded shared code: the three
+    /// categories the paper shares TLB entries for (native `.so`
+    /// libraries, ART-compiled Java libraries, and `app_process`).
+    pub const fn is_zygote_preloaded_code(self) -> bool {
+        matches!(
+            self,
+            RegionTag::ZygoteNativeCode
+                | RegionTag::ZygoteJavaCode
+                | RegionTag::ZygoteBinaryCode
+        )
+    }
+
+    /// Returns `true` for *shared code* in the paper's wider sense:
+    /// zygote-preloaded shared code plus other dynamic shared
+    /// libraries.
+    pub const fn is_shared_code(self) -> bool {
+        self.is_zygote_preloaded_code() || matches!(self, RegionTag::OtherLibCode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zygote_preloaded_classification() {
+        assert!(RegionTag::ZygoteNativeCode.is_zygote_preloaded_code());
+        assert!(RegionTag::ZygoteJavaCode.is_zygote_preloaded_code());
+        assert!(RegionTag::ZygoteBinaryCode.is_zygote_preloaded_code());
+        assert!(!RegionTag::OtherLibCode.is_zygote_preloaded_code());
+        assert!(RegionTag::OtherLibCode.is_shared_code());
+        assert!(!RegionTag::AppCode.is_shared_code());
+    }
+
+    #[test]
+    fn code_vs_data() {
+        assert!(RegionTag::AppCode.is_code());
+        assert!(!RegionTag::AppData.is_code());
+        assert!(!RegionTag::Stack.is_code());
+    }
+}

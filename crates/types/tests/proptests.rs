@@ -1,0 +1,94 @@
+//! Property-based tests for the address and range algebra.
+
+use proptest::prelude::*;
+use sat_types::{Dacr, Domain, DomainAccess, VaRange, VirtAddr, PAGE_SIZE, PTP_SPAN};
+
+fn aligned_range() -> impl Strategy<Value = VaRange> {
+    (0u32..0x8_0000, 1u32..0x400).prop_map(|(page, len)| {
+        VaRange::from_len(VirtAddr::new(page * PAGE_SIZE), len * PAGE_SIZE)
+    })
+}
+
+proptest! {
+    /// Intersection is commutative, contained in both operands, and
+    /// empty exactly when the ranges do not overlap.
+    #[test]
+    fn intersection_algebra(a in aligned_range(), b in aligned_range()) {
+        let ab = a.intersect(&b);
+        let ba = b.intersect(&a);
+        prop_assert_eq!(ab, ba);
+        match ab {
+            Some(i) => {
+                prop_assert!(a.overlaps(&b));
+                prop_assert!(a.contains_range(&i));
+                prop_assert!(b.contains_range(&i));
+                prop_assert!(!i.is_empty());
+            }
+            None => prop_assert!(!a.overlaps(&b)),
+        }
+    }
+
+    /// `pages()` yields exactly the 4KB pages whose base the range
+    /// touches: consecutive, page-aligned, covering start and the
+    /// last byte.
+    #[test]
+    fn page_iteration_covers_range(r in aligned_range()) {
+        let pages: Vec<VirtAddr> = r.pages().collect();
+        prop_assert_eq!(pages.len(), (r.len() / PAGE_SIZE) as usize);
+        prop_assert_eq!(pages[0], r.start.page_base());
+        for w in pages.windows(2) {
+            prop_assert_eq!(w[1].raw() - w[0].raw(), PAGE_SIZE);
+        }
+        let last = *pages.last().unwrap();
+        prop_assert!(r.contains(last));
+        prop_assert!(!r.contains(VirtAddr::new(last.raw() + PAGE_SIZE)));
+    }
+
+    /// Every page of a range belongs to exactly one of the range's
+    /// PTP chunks.
+    #[test]
+    fn ptp_chunks_partition_pages(r in aligned_range()) {
+        let chunks: Vec<VirtAddr> = r.ptps().collect();
+        for page in r.pages() {
+            let owner = page.ptp_base();
+            prop_assert_eq!(chunks.iter().filter(|c| **c == owner).count(), 1);
+        }
+        for c in &chunks {
+            prop_assert!(c.is_ptp_aligned());
+            // Each chunk intersects the range.
+            let span = VaRange::from_len(*c, PTP_SPAN);
+            prop_assert!(span.overlaps(&r));
+        }
+    }
+
+    /// Any sequence of DACR updates leaves every other domain's field
+    /// untouched.
+    #[test]
+    fn dacr_fields_are_independent(updates in prop::collection::vec((0u8..16, 0u8..3), 1..40)) {
+        let mut dacr = Dacr::empty();
+        let mut model = [DomainAccess::NoAccess; 16];
+        for (dom, acc) in updates {
+            let access = match acc {
+                0 => DomainAccess::NoAccess,
+                1 => DomainAccess::Client,
+                _ => DomainAccess::Manager,
+            };
+            dacr.set(Domain::new(dom), access);
+            model[dom as usize] = access;
+            for d in 0..16u8 {
+                prop_assert_eq!(dacr.access(Domain::new(d)), model[d as usize]);
+            }
+        }
+    }
+
+    /// The level-1/level-2 index decomposition is a bijection with the
+    /// page number.
+    #[test]
+    fn l1_l2_index_bijection(addr in any::<u32>()) {
+        let va = VirtAddr::new(addr);
+        let rebuilt = ((va.l1_index() as u32) << 20)
+            | ((va.l2_index() as u32) << 12)
+            | va.page_offset();
+        prop_assert_eq!(rebuilt, addr);
+    }
+}

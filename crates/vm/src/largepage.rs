@@ -1,0 +1,326 @@
+//! 64KB large-page mappings (the hugetlbfs-like path).
+//!
+//! The paper's Section 2.3.3 weighs 64KB ARM large pages against
+//! shared translation for zygote-preloaded code and finds them
+//! wasteful (≈2.6× the physical memory); Section 3.1.3 notes the two
+//! compose — a shared PTP can hold 64KB mappings, since a large page
+//! is just sixteen consecutive, aligned second-level entries. This
+//! module provides the eager large-page mapping path used by the
+//! large-page comparison experiments: regions are mapped up-front
+//! (like hugetlbfs), not demand-paged.
+
+use sat_mmu::{HwPte, Mapper, PtpStore, SwPte};
+use sat_phys::{FrameKind, PhysMem};
+use sat_types::{
+    Domain, PageSize, Perms, SatError, SatResult, VaRange, VirtAddr, PAGES_PER_64K, PAGE_SIZE,
+};
+
+use crate::mm::Mm;
+use crate::vma::{Backing, Vma};
+
+/// Bytes in a 64KB large page.
+pub const LARGE_PAGE_BYTES: u32 = 64 * 1024;
+
+/// Statistics from a large-page mapping operation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LargeMapReport {
+    /// 64KB pages established.
+    pub large_pages: u64,
+    /// 4KB frames consumed (16 per large page).
+    pub frames: u64,
+    /// PTPs allocated.
+    pub ptps_allocated: u64,
+}
+
+/// Eagerly maps `vma`'s range with 64KB pages.
+///
+/// The range must be 64KB-aligned at both ends. For file-backed
+/// regions, all sixteen frames of each large page are read through the
+/// page cache; because the hardware requires the sixteen frames to be
+/// *physically contiguous and aligned*, file pages are copied into
+/// fresh anonymous 16-frame groups (matching Linux's requirement that
+/// hugepage-backed code be staged into huge pages rather than mapped
+/// from the ordinary page cache).
+///
+/// Returns the mapping statistics; the paper's memory-waste argument
+/// is `report.frames * 4KB` versus the 4KB-page footprint.
+pub fn map_large(
+    mm: &mut Mm,
+    ptps: &mut PtpStore,
+    phys: &mut PhysMem,
+    vma: &Vma,
+    domain: Domain,
+) -> SatResult<LargeMapReport> {
+    let range = vma.range;
+    if !range.start.raw().is_multiple_of(LARGE_PAGE_BYTES) || !range.end.raw().is_multiple_of(LARGE_PAGE_BYTES) {
+        return Err(SatError::InvalidArgument);
+    }
+    let mut report = LargeMapReport::default();
+    let mut mapper = Mapper::new(&mut mm.root, ptps, phys);
+    // Pre-check every target slot: a large page must never overwrite
+    // an existing translation (the caller would leak its frames).
+    for page in range.pages() {
+        if mapper.get_pte(page).is_some() {
+            return Err(SatError::MappingOverlap);
+        }
+    }
+    let mut va = range.start;
+    while va < range.end {
+        // Allocate sixteen frames; the simulator's allocator hands out
+        // ascending PFNs, giving us the contiguous aligned group the
+        // hardware descriptor encodes as a single base. On exhaustion
+        // mid-group, roll the group back so no frame leaks (already
+        // established pages of the range stay mapped; the caller sees
+        // ENOMEM, as Linux's hugetlb reservation failure would).
+        let mut group = Vec::with_capacity(PAGES_PER_64K);
+        for _ in 0..PAGES_PER_64K {
+            match mapper.phys.alloc(FrameKind::Anon) {
+                Ok(f) => group.push(f),
+                Err(e) => {
+                    for g in group {
+                        mapper.phys.put_page(g);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        report.frames += PAGES_PER_64K as u64;
+        let base = group[0];
+        // When file-backed, charge the page-cache reads (a hard fault
+        // per resident 4KB page of content being staged in).
+        if let Backing::File { .. } = vma.backing {
+            for i in 0..PAGES_PER_64K as u32 {
+                let page = VirtAddr::new(va.raw() + i * PAGE_SIZE);
+                if let Some((file, index)) = vma.file_page_index(page) {
+                    let _ = mapper.phys.file_page(file, index)?;
+                }
+            }
+        }
+        // Sixteen consecutive second-level slots, all pointing into
+        // the contiguous frame group, marked as one 64KB page.
+        let hw = HwPte::large(base, vma.perms, vma.global);
+        let sw = SwPte {
+            young: true,
+            dirty: vma.perms.write(),
+            writable: vma.perms.write(),
+            shared: vma.shared,
+            file_backed: false, // staged copies are anonymous
+        };
+        for i in 0..PAGES_PER_64K as u32 {
+            let page = VirtAddr::new(va.raw() + i * PAGE_SIZE);
+            let (ptp, allocated) = mapper.ensure_ptp(page, domain)?;
+            if allocated {
+                report.ptps_allocated += 1;
+            }
+            let half = sat_mmu::TableHalf::of(page);
+            let prev = mapper
+                .ptps
+                .get_mut(ptp)
+                .ok_or(SatError::Internal("PTP vanished"))?
+                .set(half, page.l2_index(), HwPte { size: PageSize::Large64K, ..hw }, sw);
+            debug_assert!(prev.is_none(), "pre-checked: no existing PTE");
+            // Reference counting: each slot holds a reference on its
+            // own 4KB frame of the group.
+            let frame = sat_types::Pfn::new(base.raw() + i);
+            mapper.phys.get_page(frame);
+            mapper.phys.map_inc(frame);
+        }
+        // Drop the allocation references: the PTEs now own the frames.
+        for i in 0..PAGES_PER_64K as u32 {
+            mapper.phys.put_page(sat_types::Pfn::new(base.raw() + i));
+        }
+        report.large_pages += 1;
+        va = VirtAddr::new(va.raw() + LARGE_PAGE_BYTES);
+    }
+    mm.counters.ptps_allocated += report.ptps_allocated;
+    Ok(report)
+}
+
+/// Rejects ranges whose boundaries cut through a 64KB large page.
+///
+/// Like Linux's hugetlb regions, large-page mappings may only be
+/// unmapped or re-protected in whole 64KB units: a partial operation
+/// would leave the surviving replicated descriptors advertising a
+/// translation that spans freed or re-protected frames.
+pub fn check_large_boundaries(
+    mm: &Mm,
+    ptps: &PtpStore,
+    range: VaRange,
+) -> SatResult<()> {
+    for addr in [range.start.raw(), range.end.raw()] {
+        if addr.is_multiple_of(LARGE_PAGE_BYTES) {
+            continue;
+        }
+        // The page containing the boundary (for the exclusive end,
+        // the page just inside the range).
+        let probe = if addr == range.end.raw() { addr - 1 } else { addr };
+        let page = VirtAddr::new(probe).page_base();
+        let entry = mm.root.entry_for(page);
+        let slot = entry
+            .ptp()
+            .and_then(|f| ptps.get(f))
+            .and_then(|t| t.get(sat_mmu::TableHalf::of(page), page.l2_index()));
+        if let Some(slot) = slot {
+            if slot.hw.size == PageSize::Large64K {
+                return Err(SatError::InvalidArgument);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Rounds a range outward to 64KB boundaries (what a large-page
+/// mapping of `range` must actually cover).
+pub fn round_to_large(range: VaRange) -> VaRange {
+    let start = range.start.raw() & !(LARGE_PAGE_BYTES - 1);
+    let end = range
+        .end
+        .raw()
+        .div_ceil(LARGE_PAGE_BYTES)
+        .saturating_mul(LARGE_PAGE_BYTES);
+    VaRange::new(VirtAddr::new(start), VirtAddr::new(end))
+}
+
+/// Convenience: inserts a 64KB-aligned anonymous region and maps it
+/// with large pages.
+#[allow(clippy::too_many_arguments)]
+pub fn mmap_large(
+    mm: &mut Mm,
+    ptps: &mut PtpStore,
+    phys: &mut PhysMem,
+    at: VirtAddr,
+    len: u32,
+    perms: Perms,
+    tag: sat_types::RegionTag,
+    name: &str,
+    domain: Domain,
+) -> SatResult<LargeMapReport> {
+    let range = round_to_large(VaRange::from_len(at, len));
+    let vma = Vma::anon(range, perms, tag, name);
+    mm.insert_vma(vma.clone())?;
+    map_large(mm, ptps, phys, &vma, domain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sat_mmu::walk;
+    use sat_types::{Asid, Pid, RegionTag};
+
+    struct Fx {
+        phys: PhysMem,
+        ptps: PtpStore,
+        mm: Mm,
+    }
+
+    fn fx() -> Fx {
+        let mut phys = PhysMem::new(16384);
+        let mm = Mm::new(&mut phys, Pid::new(1), Asid::new(1)).unwrap();
+        Fx {
+            phys,
+            ptps: PtpStore::new(),
+            mm,
+        }
+    }
+
+    #[test]
+    fn maps_one_large_page_as_16_slots() {
+        let mut f = fx();
+        let at = VirtAddr::new(0x4000_0000);
+        let r = mmap_large(
+            &mut f.mm,
+            &mut f.ptps,
+            &mut f.phys,
+            at,
+            LARGE_PAGE_BYTES,
+            Perms::RX,
+            RegionTag::ZygoteNativeCode,
+            "huge",
+            Domain::USER,
+        )
+        .unwrap();
+        assert_eq!(r.large_pages, 1);
+        assert_eq!(r.frames, 16);
+        assert_eq!(r.ptps_allocated, 1);
+        // Every 4KB page of the range translates, with the large size.
+        for i in 0..16u32 {
+            let res = walk(&f.mm.root, &f.ptps, VirtAddr::new(at.raw() + i * PAGE_SIZE));
+            let t = res.translation().unwrap();
+            assert_eq!(t.size, PageSize::Large64K);
+        }
+        // And translations are consistent: VA offset maps linearly.
+        let t0 = walk(&f.mm.root, &f.ptps, at).translation().unwrap();
+        let pa0 = t0.translate(at);
+        let pa9 = walk(&f.mm.root, &f.ptps, VirtAddr::new(at.raw() + 9 * PAGE_SIZE))
+            .translation()
+            .unwrap()
+            .translate(VirtAddr::new(at.raw() + 9 * PAGE_SIZE));
+        assert_eq!(pa9.raw() - pa0.raw(), 9 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn unaligned_large_map_rejected() {
+        let mut f = fx();
+        let vma = Vma::anon(
+            VaRange::from_len(VirtAddr::new(0x4000_1000), LARGE_PAGE_BYTES),
+            Perms::RW,
+            RegionTag::Heap,
+            "x",
+        );
+        f.mm.insert_vma(vma.clone()).unwrap();
+        assert_eq!(
+            map_large(&mut f.mm, &mut f.ptps, &mut f.phys, &vma, Domain::USER).unwrap_err(),
+            SatError::InvalidArgument
+        );
+    }
+
+    #[test]
+    fn round_to_large_covers_range() {
+        let r = round_to_large(VaRange::from_len(VirtAddr::new(0x4000_3000), 0x5000));
+        assert_eq!(r.start.raw(), 0x4000_0000);
+        assert_eq!(r.end.raw(), 0x4001_0000);
+    }
+
+    #[test]
+    fn large_pages_cost_16_frames_per_64k() {
+        // The Figure 4 memory-waste argument in miniature: 1 touched
+        // 4KB page out of 64KB costs 16 frames under large pages.
+        let mut f = fx();
+        let before = f.phys.frames_in_use();
+        mmap_large(
+            &mut f.mm,
+            &mut f.ptps,
+            &mut f.phys,
+            VirtAddr::new(0x5000_0000),
+            LARGE_PAGE_BYTES,
+            Perms::RX,
+            RegionTag::ZygoteNativeCode,
+            "waste",
+            Domain::USER,
+        )
+        .unwrap();
+        // 16 data frames + 1 PTP.
+        assert_eq!(f.phys.frames_in_use(), before + 17);
+    }
+
+    #[test]
+    fn large_mapped_region_survives_exit_teardown() {
+        let mut f = fx();
+        let baseline = f.phys.frames_in_use();
+        mmap_large(
+            &mut f.mm,
+            &mut f.ptps,
+            &mut f.phys,
+            VirtAddr::new(0x5000_0000),
+            2 * LARGE_PAGE_BYTES,
+            Perms::RW,
+            RegionTag::Heap,
+            "huge-heap",
+            Domain::USER,
+        )
+        .unwrap();
+        crate::syscalls::exit_mmap(&mut f.mm, &mut f.ptps, &mut f.phys);
+        assert_eq!(f.phys.frames_in_use(), baseline);
+        assert!(f.ptps.is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! The machine-independent virtual memory layer: a faithful analogue
+//! of the Linux MM subsystem the paper's patch is written against.
+//!
+//! Provides memory regions ([`Vma`], the `vm_area_struct` analogue),
+//! per-process address spaces ([`Mm`], the `mm_struct` analogue), the
+//! region system calls (`mmap`/`munmap`/`mprotect`), demand paging
+//! with soft (minor) and hard (major) fault classification, COW write
+//! faults, and the stock `fork` implementation — which copies PTEs for
+//! anonymous memory but skips the PTEs of file-backed mappings,
+//! letting soft page faults refill them in the child. That skipped
+//! work is exactly what Android pays for on every zygote fork, and
+//! what the paper's shared-PTP fork (in `sat-core`) eliminates.
+//!
+//! Everything here is policy-free with respect to PTP sharing: the
+//! paper's mechanism wraps these operations (unsharing before
+//! modification) rather than changing them.
+
+#![forbid(unsafe_code)]
+
+pub mod fault;
+pub mod fork;
+pub mod largepage;
+pub mod mm;
+pub mod smaps;
+pub mod syscalls;
+pub mod vma;
+
+pub use fault::{handle_fault, FaultCtx, FaultKind, FaultOutcome};
+pub use fork::{copy_vma_ptes_in_range, copies_ptes, fork_mm, ForkPtePolicy, ForkReport};
+pub use largepage::{map_large, mmap_large, round_to_large, LargeMapReport};
+pub use mm::{Mm, MmCounters};
+pub use smaps::{smaps, smaps_rollup, SmapsEntry};
+pub use syscalls::{exit_mmap, free_unused_ptps, mmap, mprotect, munmap, populate, MmapRequest};
+pub use vma::{Backing, Vma};

@@ -1,0 +1,413 @@
+//! Region system calls: `mmap`, `munmap`, `mprotect`, and address
+//! space teardown.
+//!
+//! These are the stock-kernel paths. Under the paper's kernel each of
+//! them is an *unsharing trigger* (Section 3.1.2, cases 2-5): the
+//! `sat-core` wrapper unshares affected PTPs first and then calls
+//! these mechanics unchanged.
+
+use sat_mmu::{Mapper, PtpStore};
+use sat_phys::{FileId, PhysMem};
+use sat_types::{
+    AccessType, Perms, RegionTag, SatError, SatResult, VaRange, VirtAddr, PAGE_SIZE,
+    PTP_SPAN,
+};
+
+use crate::fault::{handle_fault, FaultCtx};
+use crate::mm::Mm;
+use crate::vma::{Backing, Vma};
+
+/// Parameters for [`mmap`].
+#[derive(Clone, Debug)]
+pub struct MmapRequest {
+    /// Fixed address (must be page-aligned and free), or `None` to let
+    /// the kernel choose.
+    pub addr: Option<VirtAddr>,
+    /// Length in bytes (rounded up to whole pages).
+    pub len: u32,
+    /// Access permissions.
+    pub perms: Perms,
+    /// Backing store.
+    pub backing: Backing,
+    /// `MAP_SHARED`.
+    pub shared: bool,
+    /// Alignment for automatic placement (the paper's 2MB-aligned
+    /// library layout passes [`PTP_SPAN`] here).
+    pub align: u32,
+    /// Region classification.
+    pub tag: RegionTag,
+    /// Region name.
+    pub name: String,
+}
+
+impl MmapRequest {
+    /// An anonymous private mapping at a kernel-chosen address.
+    pub fn anon(len: u32, perms: Perms, tag: RegionTag, name: &str) -> Self {
+        MmapRequest {
+            addr: None,
+            len,
+            perms,
+            backing: Backing::Anon,
+            shared: false,
+            align: PAGE_SIZE,
+            tag,
+            name: name.to_string(),
+        }
+    }
+
+    /// A private file mapping at a kernel-chosen address.
+    pub fn file(
+        len: u32,
+        perms: Perms,
+        file: FileId,
+        offset_pages: u32,
+        tag: RegionTag,
+        name: &str,
+    ) -> Self {
+        MmapRequest {
+            addr: None,
+            len,
+            perms,
+            backing: Backing::File { file, offset_pages },
+            shared: false,
+            align: PAGE_SIZE,
+            tag,
+            name: name.to_string(),
+        }
+    }
+
+    /// Requests placement at a fixed address.
+    pub fn at(mut self, addr: VirtAddr) -> Self {
+        self.addr = Some(addr);
+        self
+    }
+
+    /// Requests a minimum alignment for automatic placement.
+    pub fn aligned(mut self, align: u32) -> Self {
+        self.align = align;
+        self
+    }
+}
+
+/// Maps a new region, returning its start address.
+///
+/// The paper's kernel hooks this path twice: a zygote mapping of
+/// library code sets the region's `global` flag (done by the caller in
+/// `sat-core`), and mapping into the range of a shared PTP triggers an
+/// eager unshare (also done by the caller).
+pub fn mmap(mm: &mut Mm, req: &MmapRequest) -> SatResult<VirtAddr> {
+    if req.len == 0 {
+        return Err(SatError::InvalidArgument);
+    }
+    let len = req.len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+    let start = match req.addr {
+        Some(addr) => {
+            if !addr.is_page_aligned() {
+                return Err(SatError::InvalidArgument);
+            }
+            addr
+        }
+        None => mm.find_free(len, req.align)?,
+    };
+    let range = VaRange::from_len(start, len);
+    let mut vma = match req.backing {
+        Backing::Anon => Vma::anon(range, req.perms, req.tag, &req.name),
+        Backing::File { file, offset_pages } => {
+            Vma::file(range, req.perms, file, offset_pages, req.tag, &req.name)
+        }
+    };
+    vma.shared = req.shared;
+    mm.insert_vma(vma)?;
+    Ok(start)
+}
+
+/// Pre-faults every page of `range` (the `MAP_POPULATE` analogue),
+/// using a read or execute access per the region's permissions.
+pub fn populate(
+    mm: &mut Mm,
+    ptps: &mut PtpStore,
+    phys: &mut PhysMem,
+    range: VaRange,
+    ctx: FaultCtx,
+) -> SatResult<usize> {
+    let mut populated = 0;
+    for page in range.pages() {
+        let access = match mm.vma_at(page) {
+            Some(v) if v.perms.execute() => AccessType::Execute,
+            Some(_) => AccessType::Read,
+            None => continue,
+        };
+        handle_fault(mm, ptps, phys, page, access, ctx)?;
+        populated += 1;
+    }
+    Ok(populated)
+}
+
+/// Unmaps `range`: removes the covered region pieces, clears their
+/// PTEs, and frees page-table pages whose 2MB span no longer contains
+/// any region.
+///
+/// Returns the number of PTEs cleared.
+pub fn munmap(
+    mm: &mut Mm,
+    ptps: &mut PtpStore,
+    phys: &mut PhysMem,
+    range: VaRange,
+) -> SatResult<usize> {
+    if !range.start.is_page_aligned() || range.is_empty() {
+        return Err(SatError::InvalidArgument);
+    }
+    // Whole-64KB-units only for large-page mappings (see
+    // [`crate::largepage::check_large_boundaries`]).
+    crate::largepage::check_large_boundaries(mm, ptps, range)?;
+    let removed = mm.carve(range);
+    let mut cleared = 0;
+    {
+        let mut mapper = Mapper::new(&mut mm.root, ptps, phys);
+        for piece in &removed {
+            cleared += mapper.clear_range(piece.range);
+        }
+    }
+    free_unused_ptps(mm, ptps, phys, range);
+    Ok(cleared)
+}
+
+/// Frees the page tables for every 2MB chunk touching `range` that no
+/// longer contains any region (Linux's `free_pgtables`).
+pub fn free_unused_ptps(mm: &mut Mm, ptps: &mut PtpStore, phys: &mut PhysMem, range: VaRange) {
+    for chunk in range.ptps() {
+        let span = VaRange::from_len(chunk, PTP_SPAN);
+        if mm.any_vma_overlaps(span) {
+            continue;
+        }
+        if mm.root.entry_for(chunk).ptp().is_some() {
+            let mut mapper = Mapper::new(&mut mm.root, ptps, phys);
+            mapper.release_ptp_pair(chunk);
+        }
+    }
+}
+
+/// Changes the permissions of every whole page of mapped regions in
+/// `range`, splitting regions at the boundaries.
+///
+/// Hardware PTEs are given the new permissions, except that write
+/// permission is withheld from private mappings (a subsequent write
+/// fault re-enables it or COWs, exactly as after `fork`).
+pub fn mprotect(
+    mm: &mut Mm,
+    ptps: &mut PtpStore,
+    phys: &mut PhysMem,
+    range: VaRange,
+    perms: Perms,
+) -> SatResult<()> {
+    if !range.start.is_page_aligned() || !range.end.is_page_aligned() || range.is_empty() {
+        return Err(SatError::InvalidArgument);
+    }
+    if !mm.any_vma_overlaps(range) {
+        return Err(SatError::NotMapped(range.start));
+    }
+    // Whole-64KB-units only for large-page mappings: a partial
+    // re-protection would leave the sixteen replicated descriptors
+    // disagreeing, and the TLB could serve the stale permission from
+    // any of them.
+    crate::largepage::check_large_boundaries(mm, ptps, range)?;
+    let pieces = mm.carve(range);
+    for mut piece in pieces {
+        piece.perms = perms;
+        let shared = piece.shared;
+        let piece_range = piece.range;
+        mm.insert_vma(piece)
+            .expect("carved range is free by construction");
+        let mut mapper = Mapper::new(&mut mm.root, ptps, phys);
+        for page in piece_range.pages() {
+            mapper.update_pte(page, |hw, sw| {
+                hw.perms = if shared { perms } else { perms.without_write() };
+                sw.writable = perms.write();
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Tears down the whole address space at process exit: drops every
+/// PTP reference (freeing PTPs whose last reference this was, along
+/// with their mappings) and removes all regions.
+///
+/// Returns the number of PTPs freed outright (as opposed to merely
+/// dereferenced because other processes still share them — the
+/// paper's Section 3.1.2 case 5).
+pub fn exit_mmap(mm: &mut Mm, ptps: &mut PtpStore, phys: &mut PhysMem) -> usize {
+    let chunks: Vec<usize> = mm.root.iter_ptps().map(|(idx, _)| idx).collect();
+    let mut freed = 0;
+    {
+        let mut mapper = Mapper::new(&mut mm.root, ptps, phys);
+        for pair_idx in chunks {
+            let va = VirtAddr::new((pair_idx as u32) << 20);
+            if mapper.release_ptp_pair(va) {
+                freed += 1;
+            }
+        }
+    }
+    mm.clear_vmas();
+    freed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sat_types::{Asid, Pid};
+
+    struct Fx {
+        phys: PhysMem,
+        ptps: PtpStore,
+        mm: Mm,
+    }
+
+    fn fx() -> Fx {
+        let mut phys = PhysMem::new(8192);
+        let mm = Mm::new(&mut phys, Pid::new(1), Asid::new(1)).unwrap();
+        Fx {
+            phys,
+            ptps: PtpStore::new(),
+            mm,
+        }
+    }
+
+    fn heap_req(pages: u32) -> MmapRequest {
+        MmapRequest::anon(pages * PAGE_SIZE, Perms::RW, RegionTag::Heap, "[heap]")
+    }
+
+    #[test]
+    fn mmap_rounds_length_and_places_automatically() {
+        let mut f = fx();
+        let a = mmap(&mut f.mm, &heap_req(1)).unwrap();
+        let b = mmap(&mut f.mm, &heap_req(2)).unwrap();
+        assert_eq!(b.raw() - a.raw(), PAGE_SIZE);
+        let c = mmap(
+            &mut f.mm,
+            &MmapRequest::anon(100, Perms::RW, RegionTag::Heap, "x"),
+        )
+        .unwrap();
+        let vma = f.mm.vma_at(c).unwrap();
+        assert_eq!(vma.range.len(), PAGE_SIZE); // rounded to a page
+    }
+
+    #[test]
+    fn mmap_fixed_overlap_rejected() {
+        let mut f = fx();
+        let a = mmap(&mut f.mm, &heap_req(2)).unwrap();
+        let err = mmap(&mut f.mm, &heap_req(1).at(a)).unwrap_err();
+        assert_eq!(err, SatError::MappingOverlap);
+    }
+
+    #[test]
+    fn mmap_2mb_alignment() {
+        let mut f = fx();
+        let a = mmap(&mut f.mm, &heap_req(3).aligned(PTP_SPAN)).unwrap();
+        assert!(a.is_ptp_aligned());
+    }
+
+    #[test]
+    fn populate_faults_every_page() {
+        let mut f = fx();
+        let a = mmap(&mut f.mm, &heap_req(4)).unwrap();
+        let n = populate(
+            &mut f.mm,
+            &mut f.ptps,
+            &mut f.phys,
+            VaRange::from_len(a, 4 * PAGE_SIZE),
+            FaultCtx::default(),
+        )
+        .unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(f.mm.counters.faults_total, 4);
+    }
+
+    #[test]
+    fn munmap_clears_ptes_and_frees_empty_ptps() {
+        let mut f = fx();
+        let a = mmap(&mut f.mm, &heap_req(4)).unwrap();
+        let range = VaRange::from_len(a, 4 * PAGE_SIZE);
+        populate(&mut f.mm, &mut f.ptps, &mut f.phys, range, FaultCtx::default()).unwrap();
+        assert_eq!(f.ptps.len(), 1);
+        let frames_mapped = f.phys.frames_in_use();
+        let cleared = munmap(&mut f.mm, &mut f.ptps, &mut f.phys, range).unwrap();
+        assert_eq!(cleared, 4);
+        assert_eq!(f.ptps.len(), 0);
+        // 4 data frames + 1 PTP returned.
+        assert_eq!(f.phys.frames_in_use(), frames_mapped - 5);
+        assert!(f.mm.vma_at(a).is_none());
+    }
+
+    #[test]
+    fn partial_munmap_keeps_ptp_for_remaining_region() {
+        let mut f = fx();
+        let a = mmap(&mut f.mm, &heap_req(4)).unwrap();
+        let range = VaRange::from_len(a, 4 * PAGE_SIZE);
+        populate(&mut f.mm, &mut f.ptps, &mut f.phys, range, FaultCtx::default()).unwrap();
+        // Unmap the middle two pages.
+        let middle = VaRange::from_len(VirtAddr::new(a.raw() + PAGE_SIZE), 2 * PAGE_SIZE);
+        let cleared = munmap(&mut f.mm, &mut f.ptps, &mut f.phys, middle).unwrap();
+        assert_eq!(cleared, 2);
+        assert_eq!(f.ptps.len(), 1); // head and tail regions still use it
+        assert_eq!(f.mm.vma_count(), 2);
+    }
+
+    #[test]
+    fn mprotect_updates_vma_and_ptes() {
+        let mut f = fx();
+        let a = mmap(&mut f.mm, &heap_req(2)).unwrap();
+        let range = VaRange::from_len(a, 2 * PAGE_SIZE);
+        populate(&mut f.mm, &mut f.ptps, &mut f.phys, range, FaultCtx::default()).unwrap();
+        mprotect(&mut f.mm, &mut f.ptps, &mut f.phys, range, Perms::R).unwrap();
+        assert_eq!(f.mm.vma_at(a).unwrap().perms, Perms::R);
+        let m = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys);
+        assert_eq!(m.get_pte(a).unwrap().hw.perms, Perms::R);
+        assert!(!m.get_pte(a).unwrap().sw.writable);
+    }
+
+    #[test]
+    fn mprotect_splits_region() {
+        let mut f = fx();
+        let a = mmap(&mut f.mm, &heap_req(4)).unwrap();
+        let sub = VaRange::from_len(VirtAddr::new(a.raw() + PAGE_SIZE), PAGE_SIZE);
+        mprotect(&mut f.mm, &mut f.ptps, &mut f.phys, sub, Perms::R).unwrap();
+        assert_eq!(f.mm.vma_count(), 3);
+        assert_eq!(f.mm.vma_at(a).unwrap().perms, Perms::RW);
+        assert_eq!(f.mm.vma_at(sub.start).unwrap().perms, Perms::R);
+    }
+
+    #[test]
+    fn mprotect_unmapped_errors() {
+        let mut f = fx();
+        let err = mprotect(
+            &mut f.mm,
+            &mut f.ptps,
+            &mut f.phys,
+            VaRange::from_len(VirtAddr::new(0x7000_0000), PAGE_SIZE),
+            Perms::R,
+        )
+        .unwrap_err();
+        assert_eq!(err, SatError::NotMapped(VirtAddr::new(0x7000_0000)));
+    }
+
+    #[test]
+    fn exit_mmap_releases_everything() {
+        let mut f = fx();
+        let baseline = f.phys.frames_in_use();
+        let a = mmap(&mut f.mm, &heap_req(8)).unwrap();
+        populate(
+            &mut f.mm,
+            &mut f.ptps,
+            &mut f.phys,
+            VaRange::from_len(a, 8 * PAGE_SIZE),
+            FaultCtx::default(),
+        )
+        .unwrap();
+        let freed = exit_mmap(&mut f.mm, &mut f.ptps, &mut f.phys);
+        assert_eq!(freed, 1);
+        assert_eq!(f.mm.vma_count(), 0);
+        assert_eq!(f.phys.frames_in_use(), baseline);
+        assert!(f.ptps.is_empty());
+    }
+}

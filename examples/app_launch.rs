@@ -1,0 +1,53 @@
+//! Application launch, side by side: the stock kernel vs the paper's
+//! shared-address-translation kernel.
+//!
+//! Boots the full simulated Android system twice (same seed, same
+//! workload) and launches an application under each kernel, printing
+//! the window time, fault counts, and page-table allocations — the
+//! Figures 7-9 story for a single launch.
+//!
+//! Run with: `cargo run --release --example app_launch`
+
+use sat_android::{launch_app, AndroidSystem, BootOptions, LaunchOptions, LibraryLayout};
+use sat_core::KernelConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = LaunchOptions::paper();
+    let mut rows = Vec::new();
+    for (label, config, layout) in [
+        ("stock/original", KernelConfig::stock(), LibraryLayout::Original),
+        ("shared/original", KernelConfig::shared_ptp_tlb(), LibraryLayout::Original),
+        ("shared/2MB-aligned", KernelConfig::shared_ptp_tlb(), LibraryLayout::Aligned2Mb),
+    ] {
+        println!("booting {label} ...");
+        let mut sys = AndroidSystem::boot(config, layout, 1, 11, BootOptions::paper())?;
+        let (pid, report) = launch_app(&mut sys, &opts)?;
+        let (shared, total) = sys.machine.kernel.ptp_share_snapshot(pid)?;
+        rows.push((label, report, shared, total));
+    }
+
+    println!();
+    println!(
+        "{:<20} {:>14} {:>12} {:>12} {:>10} {:>12}",
+        "config", "window cycles", "file faults", "PTPs alloc", "shared", "icache stall"
+    );
+    let base = rows[0].1.window_cycles as f64;
+    for (label, r, shared, total) in &rows {
+        println!(
+            "{:<20} {:>14} {:>12} {:>12} {:>10} {:>12}",
+            label,
+            r.window_cycles,
+            r.file_faults,
+            r.ptps_allocated,
+            format!("{shared}/{total}"),
+            r.icache_stall_cycles,
+        );
+        let speedup = 100.0 * (1.0 - r.window_cycles as f64 / base);
+        if speedup.abs() > 0.01 {
+            println!("{:<20} launch {:.1}% faster than stock", "", speedup);
+        }
+    }
+    println!("\n(the paper reports a 7% faster launch with the original library");
+    println!(" layout and 10% with the 2MB-aligned one, from 94-95% fewer file faults)");
+    Ok(())
+}

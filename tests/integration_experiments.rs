@@ -1,0 +1,73 @@
+//! Experiment-suite smoke tests: every `repro` experiment runs at
+//! quick scale and produces output with the paper's qualitative shape.
+
+use sat_bench::{ablation, ipcbench, launchbench, motivation, steadybench, zygotebench, Scale};
+
+#[test]
+fn motivation_suite_renders() {
+    for out in [
+        motivation::table1(),
+        motivation::fig2(),
+        motivation::fig3(),
+        motivation::table2(),
+        motivation::fig4(),
+    ] {
+        assert!(out.contains('|'), "not a table:\n{out}");
+    }
+}
+
+#[test]
+fn fork_experiments_quick() {
+    let t3 = zygotebench::table3(Scale::Quick).unwrap();
+    assert!(t3.contains("Warm start"));
+    let t4 = zygotebench::table4(Scale::Quick).unwrap();
+    assert!(t4.contains("Copied PTEs"));
+    let lf = zygotebench::latfault(Scale::Quick).unwrap();
+    assert!(lf.contains("soft faults"));
+}
+
+#[test]
+fn launch_experiment_quick() {
+    let out = launchbench::launch_experiment(Scale::Quick).unwrap();
+    for fig in ["Figure 7", "Figure 8", "Figure 9"] {
+        assert!(out.contains(fig), "missing {fig}");
+    }
+}
+
+#[test]
+fn steady_experiment_quick() {
+    let out = steadybench::steady_experiment(Scale::Quick).unwrap();
+    for fig in ["Figure 10", "Figure 11", "Figure 12", "PTEs copied"] {
+        assert!(out.contains(fig), "missing {fig}");
+    }
+}
+
+#[test]
+fn ipc_experiment_quick() {
+    let out = ipcbench::fig13(Scale::Quick).unwrap();
+    assert!(out.contains("Disabled ASID"));
+    // Shared PTP & TLB must improve on stock for the client.
+    let line = out.lines().find(|l| l.contains("Shared PTP & TLB")).unwrap();
+    let client_pct: f64 = line
+        .split('|')
+        .nth(2)
+        .unwrap()
+        .trim()
+        .trim_end_matches('%')
+        .parse()
+        .unwrap();
+    assert!(client_pct < 100.0, "client {client_pct}% >= stock");
+}
+
+#[test]
+fn ablations_quick() {
+    let out = ablation::all(Scale::Quick).unwrap();
+    for section in [
+        "copy-on-unshare",
+        "write-protect hardware assist",
+        "sharing the stack",
+        "protection scheme",
+    ] {
+        assert!(out.contains(section), "missing ablation {section}");
+    }
+}

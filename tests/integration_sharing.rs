@@ -1,0 +1,206 @@
+//! End-to-end kernel semantics across crates: PTP sharing lifecycle,
+//! COW correctness under many processes, and memory accounting.
+
+use sat_core::{Kernel, KernelConfig, NoTlb};
+use sat_types::{AccessType, Perms, Pid, RegionTag, VaRange, VirtAddr, PAGE_SIZE};
+use sat_vm::MmapRequest;
+
+const CODE: u32 = 0x4000_0000;
+const HEAP: u32 = 0x0800_0000;
+
+/// Boots a zygote with 8 pages of touched library code and 4 heap
+/// pages written.
+fn boot(config: KernelConfig) -> (Kernel, Pid) {
+    let mut k = Kernel::new(config, 32_768);
+    let zygote = k.create_process().unwrap();
+    k.exec_zygote(zygote).unwrap();
+    let lib = k.files.register("lib.so", 8 * PAGE_SIZE);
+    k.mmap(
+        zygote,
+        &MmapRequest::file(8 * PAGE_SIZE, Perms::RX, lib, 0, RegionTag::ZygoteNativeCode, "lib.so")
+            .at(VirtAddr::new(CODE)),
+        &mut NoTlb,
+    )
+    .unwrap();
+    k.populate(zygote, VaRange::from_len(VirtAddr::new(CODE), 8 * PAGE_SIZE))
+        .unwrap();
+    k.mmap(
+        zygote,
+        &MmapRequest::anon(4 * PAGE_SIZE, Perms::RW, RegionTag::Heap, "[heap]")
+            .at(VirtAddr::new(HEAP)),
+        &mut NoTlb,
+    )
+    .unwrap();
+    for i in 0..4 {
+        k.page_fault(zygote, VirtAddr::new(HEAP + i * PAGE_SIZE), AccessType::Write, &mut NoTlb)
+            .unwrap();
+    }
+    (k, zygote)
+}
+
+#[test]
+fn ten_generations_of_sharing_and_exit_leak_nothing() {
+    let (mut k, zygote) = boot(KernelConfig::shared_ptp());
+    let baseline = k.phys.frames_in_use();
+    for round in 0..10 {
+        let mut children = Vec::new();
+        for _ in 0..5 {
+            children.push(k.fork(zygote).unwrap().child);
+        }
+        // Each child writes one heap page (unshare + COW) and reads
+        // code.
+        for (i, &c) in children.iter().enumerate() {
+            let heap_page = VirtAddr::new(HEAP + ((i as u32) % 4) * PAGE_SIZE);
+            k.page_fault(c, heap_page, AccessType::Write, &mut NoTlb).unwrap();
+            k.page_fault(c, VirtAddr::new(CODE), AccessType::Execute, &mut NoTlb)
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        }
+        for c in children {
+            k.exit(c, &mut NoTlb).unwrap();
+        }
+        assert_eq!(
+            k.phys.frames_in_use(),
+            baseline,
+            "frame leak after round {round}"
+        );
+    }
+}
+
+#[test]
+fn cow_isolation_across_five_sharers() {
+    let (mut k, zygote) = boot(KernelConfig::shared_ptp());
+    let page = VirtAddr::new(HEAP);
+    let original = k.pte(zygote, page).unwrap().unwrap().hw.pfn;
+    let children: Vec<Pid> = (0..5).map(|_| k.fork(zygote).unwrap().child).collect();
+    // Each child writes the same heap page; every one must get its own
+    // frame, and the zygote must keep the original.
+    let mut frames = std::collections::BTreeSet::new();
+    for &c in &children {
+        k.page_fault(c, page, AccessType::Write, &mut NoTlb).unwrap();
+        let f = k.pte(c, page).unwrap().unwrap().hw.pfn;
+        assert!(frames.insert(f), "duplicate COW frame {f:?}");
+    }
+    assert!(!frames.contains(&original));
+    assert_eq!(k.pte(zygote, page).unwrap().unwrap().hw.pfn, original);
+    // All children still share the untouched code frame.
+    let code_frame = k.pte(zygote, VirtAddr::new(CODE)).unwrap().unwrap().hw.pfn;
+    for &c in &children {
+        assert_eq!(k.pte(c, VirtAddr::new(CODE)).unwrap().unwrap().hw.pfn, code_frame);
+    }
+}
+
+#[test]
+fn stock_and_shared_kernels_agree_on_final_frame_topology() {
+    // The same scenario on both kernels must end with identical
+    // sharing structure: who shares a frame with whom, per page.
+    let scenario = |config: KernelConfig| {
+        let (mut k, zygote) = boot(config);
+        let a = k.fork(zygote).unwrap().child;
+        let b = k.fork(zygote).unwrap().child;
+        // a writes page 0; b writes page 1; zygote writes page 2.
+        k.page_fault(a, VirtAddr::new(HEAP), AccessType::Write, &mut NoTlb).unwrap();
+        k.page_fault(b, VirtAddr::new(HEAP + PAGE_SIZE), AccessType::Write, &mut NoTlb)
+            .unwrap();
+        k.page_fault(zygote, VirtAddr::new(HEAP + 2 * PAGE_SIZE), AccessType::Write, &mut NoTlb)
+            .unwrap();
+        // Everyone reads code page 3.
+        for p in [zygote, a, b] {
+            k.page_fault(p, VirtAddr::new(CODE + 3 * PAGE_SIZE), AccessType::Execute, &mut NoTlb)
+                .unwrap();
+        }
+        // Build the sharing topology over the pages each process
+        // actually *touched*. (PTE presence for untouched pages
+        // legitimately differs between the kernels — inheriting PTEs
+        // without faulting is the mechanism's entire point — but the
+        // frame relations of touched pages must be identical.)
+        let touched: &[(Pid, u32)] = &[
+            (zygote, HEAP),
+            (zygote, HEAP + PAGE_SIZE),
+            (zygote, HEAP + 2 * PAGE_SIZE),
+            (zygote, HEAP + 3 * PAGE_SIZE),
+            (zygote, CODE + 3 * PAGE_SIZE),
+            (a, HEAP),
+            (a, CODE + 3 * PAGE_SIZE),
+            (b, HEAP + PAGE_SIZE),
+            (b, CODE + 3 * PAGE_SIZE),
+        ];
+        let mut topo = Vec::new();
+        for &(p1, va1) in touched {
+            for &(p2, va2) in touched {
+                let f1 = k.pte(p1, VirtAddr::new(va1)).unwrap().map(|s| s.hw.pfn);
+                let f2 = k.pte(p2, VirtAddr::new(va2)).unwrap().map(|s| s.hw.pfn);
+                assert!(f1.is_some() && f2.is_some(), "touched page unmapped");
+                topo.push(va1 == va2 && f1 == f2);
+            }
+        }
+        topo
+    };
+    assert_eq!(
+        scenario(KernelConfig::stock()),
+        scenario(KernelConfig::shared_ptp()),
+        "sharing topology must be config-independent"
+    );
+}
+
+#[test]
+fn mprotect_and_munmap_under_sharing_do_not_disturb_siblings() {
+    let (mut k, zygote) = boot(KernelConfig::shared_ptp());
+    let a = k.fork(zygote).unwrap().child;
+    let b = k.fork(zygote).unwrap().child;
+    let code = VaRange::from_len(VirtAddr::new(CODE), 8 * PAGE_SIZE);
+    // a drops execute permission on its code; b and zygote unaffected.
+    k.mprotect(a, code, Perms::R, &mut NoTlb).unwrap();
+    assert!(k
+        .page_fault(a, VirtAddr::new(CODE), AccessType::Execute, &mut NoTlb)
+        .is_err());
+    k.page_fault(b, VirtAddr::new(CODE), AccessType::Execute, &mut NoTlb).unwrap();
+    k.page_fault(zygote, VirtAddr::new(CODE), AccessType::Execute, &mut NoTlb).unwrap();
+    // b unmaps its heap; a's and the zygote's heaps survive.
+    k.munmap(b, VaRange::from_len(VirtAddr::new(HEAP), 4 * PAGE_SIZE), &mut NoTlb)
+        .unwrap();
+    assert!(k.pte(b, VirtAddr::new(HEAP)).unwrap().is_none());
+    assert!(k.pte(zygote, VirtAddr::new(HEAP)).unwrap().is_some());
+    k.page_fault(a, VirtAddr::new(HEAP + 3 * PAGE_SIZE), AccessType::Write, &mut NoTlb)
+        .unwrap();
+}
+
+#[test]
+fn deep_fork_chain_shares_transitively() {
+    // zygote -> a -> b -> c: grandchildren share the zygote's PTPs.
+    let (mut k, zygote) = boot(KernelConfig::shared_ptp());
+    let a = k.fork(zygote).unwrap().child;
+    let b = k.fork(a).unwrap().child;
+    let fc = k.fork(b).unwrap();
+    assert!(fc.ptps_shared > 0);
+    let code_ptp = k.mm(zygote).unwrap().root.entry_for(VirtAddr::new(CODE)).ptp();
+    assert_eq!(
+        k.mm(fc.child).unwrap().root.entry_for(VirtAddr::new(CODE)).ptp(),
+        code_ptp
+    );
+    assert_eq!(k.phys.mapcount(code_ptp.unwrap()), 4);
+    // Tear down inside-out; the PTP survives until the last sharer.
+    for pid in [zygote, a, b] {
+        k.exit(pid, &mut NoTlb).unwrap();
+        assert!(k.ptps.get(code_ptp.unwrap()).is_some());
+    }
+    k.exit(fc.child, &mut NoTlb).unwrap();
+    assert!(k.ptps.get(code_ptp.unwrap()).is_none());
+    // Only the page cache's file pages remain resident.
+    assert_eq!(k.phys.frames_in_use(), k.phys.page_cache_len() as u64);
+}
+
+#[test]
+fn fork_storm_scales_without_new_page_tables() {
+    let (mut k, zygote) = boot(KernelConfig::shared_ptp());
+    let ptps_before = k.ptps.len();
+    let frames_before = k.phys.frames_in_use();
+    let children: Vec<Pid> = (0..64).map(|_| k.fork(zygote).unwrap().child).collect();
+    // 64 processes, zero new PTPs (the scalability claim).
+    assert_eq!(k.ptps.len(), ptps_before);
+    // Each child costs only its root table (4 frames).
+    assert_eq!(k.phys.frames_in_use(), frames_before + 64 * 4);
+    for c in children {
+        k.exit(c, &mut NoTlb).unwrap();
+    }
+    assert_eq!(k.phys.frames_in_use(), frames_before);
+}
