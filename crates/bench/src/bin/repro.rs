@@ -19,10 +19,31 @@
 //! ```
 //!
 //! `--quick` runs scaled-down workloads (seconds instead of minutes).
+//!
+//! Independent sweep cells fan out across cores (see
+//! `sat_bench::pool`); `SAT_BENCH_THREADS=1` forces a serial run. The
+//! rendered output is byte-identical either way.
+//!
+//! Besides the tables on stdout, every run writes `BENCH_repro.json`
+//! to the working directory: per-experiment wall time, scale, worker
+//! count, and sweep cell counts, for machine consumption (CI trend
+//! lines, perf comparisons).
 
 use std::process::ExitCode;
+use std::time::Instant;
 
-use sat_bench::{ablation, extensions, ipcbench, launchbench, motivation, steadybench, zygotebench, Scale};
+use sat_bench::{
+    ablation, extensions, ipcbench, launchbench, motivation, pool, steadybench, zygotebench,
+    Scale,
+};
+
+/// One timed experiment: name, wall time, and how many independent
+/// cells its sweep fanned out to the worker pool (1 = no fan-out).
+struct Record {
+    name: &'static str,
+    wall_ms: f64,
+    cells: usize,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,9 +54,15 @@ fn main() -> ExitCode {
         .map(String::as_str)
         .unwrap_or("all");
 
-    match run(cmd, scale) {
+    let mut records = Vec::new();
+    let started = Instant::now();
+    match run(cmd, scale, &mut records) {
         Ok(output) => {
             print!("{output}");
+            let json = render_json(cmd, scale, &records, started.elapsed().as_secs_f64() * 1e3);
+            if let Err(e) = std::fs::write("BENCH_repro.json", json) {
+                eprintln!("repro: could not write BENCH_repro.json: {e}");
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -45,48 +72,95 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(cmd: &str, scale: Scale) -> Result<String, Box<dyn std::error::Error>> {
+type Fallible = Result<String, Box<dyn std::error::Error>>;
+
+/// Runs `body`, appending a timing record on success.
+fn timed(
+    records: &mut Vec<Record>,
+    name: &'static str,
+    cells: usize,
+    body: impl FnOnce() -> Fallible,
+) -> Fallible {
+    let t = Instant::now();
+    let out = body()?;
+    records.push(Record {
+        name,
+        wall_ms: t.elapsed().as_secs_f64() * 1e3,
+        cells,
+    });
+    Ok(out)
+}
+
+/// Worker-pool cells of each sweep (1 for serial experiments).
+fn launch_cells() -> usize {
+    launchbench::launch_configs().len()
+}
+
+fn steady_cells() -> usize {
+    4 // suite configurations
+}
+
+fn scalability_cells(scale: Scale) -> usize {
+    2 * extensions::scalability_counts(scale).len()
+}
+
+fn run(cmd: &str, scale: Scale, records: &mut Vec<Record>) -> Fallible {
+    let r = records;
     let out = match cmd {
-        "table1" => motivation::table1(),
-        "fig2" => motivation::fig2(),
-        "fig3" => motivation::fig3(),
-        "table2" => motivation::table2(),
-        "fig4" => motivation::fig4(),
-        "latfault" => zygotebench::latfault(scale)?,
-        "table3" => zygotebench::table3(scale)?,
-        "table4" => zygotebench::table4(scale)?,
+        "table1" => timed(r, "table1", 1, || Ok(motivation::table1()))?,
+        "fig2" => timed(r, "fig2", 1, || Ok(motivation::fig2()))?,
+        "fig3" => timed(r, "fig3", 1, || Ok(motivation::fig3()))?,
+        "table2" => timed(r, "table2", 1, || Ok(motivation::table2()))?,
+        "fig4" => timed(r, "fig4", 1, || Ok(motivation::fig4()))?,
+        "latfault" => timed(r, "latfault", 1, || Ok(zygotebench::latfault(scale)?))?,
+        "table3" => timed(r, "table3", 1, || Ok(zygotebench::table3(scale)?))?,
+        "table4" => timed(r, "table4", 1, || Ok(zygotebench::table4(scale)?))?,
         // Figures 7-9 come from one launch sweep.
-        "fig7" | "fig8" | "fig9" | "launch" => launchbench::launch_experiment(scale)?,
+        "fig7" | "fig8" | "fig9" | "launch" => timed(r, "launch", launch_cells(), || {
+            Ok(launchbench::launch_experiment(scale)?)
+        })?,
         // Figures 10-12 come from one steady-state sweep.
         "fig10" | "fig11" | "fig12" | "ptecopies" | "steady" => {
-            steadybench::steady_experiment(scale)?
+            timed(r, "steady", steady_cells(), || {
+                Ok(steadybench::steady_experiment(scale)?)
+            })?
         }
-        "fig13" => ipcbench::fig13(scale)?,
-        "ablations" => ablation::all(scale)?,
-        "scalability" => extensions::scalability(scale)?,
-        "largepages" => extensions::large_pages(scale)?,
-        "grouped" => extensions::grouped_layout(scale)?,
-        "pollution" => extensions::pte_pollution(scale)?,
-        "smaps" => extensions::memory_accounting(scale)?,
-        "extensions" => extensions::all(scale)?,
+        "fig13" => timed(r, "fig13", 1, || Ok(ipcbench::fig13(scale)?))?,
+        "ablations" => timed(r, "ablations", 1, || Ok(ablation::all(scale)?))?,
+        "scalability" => timed(r, "scalability", scalability_cells(scale), || {
+            Ok(extensions::scalability(scale)?)
+        })?,
+        "largepages" => timed(r, "largepages", 1, || Ok(extensions::large_pages(scale)?))?,
+        "grouped" => timed(r, "grouped", 1, || Ok(extensions::grouped_layout(scale)?))?,
+        "pollution" => timed(r, "pollution", 1, || Ok(extensions::pte_pollution(scale)?))?,
+        "smaps" => timed(r, "smaps", 1, || Ok(extensions::memory_accounting(scale)?))?,
+        "extensions" => timed(r, "extensions", scalability_cells(scale) + 4, || {
+            Ok(extensions::all(scale)?)
+        })?,
         "all" => {
             let mut s = String::new();
             s.push_str(&format!(
                 "# Shared Address Translation Revisited — experiment suite ({scale:?} scale)\n\n"
             ));
-            s.push_str(&motivation::table1());
-            s.push_str(&motivation::fig2());
-            s.push_str(&motivation::fig3());
-            s.push_str(&motivation::table2());
-            s.push_str(&motivation::fig4());
-            s.push_str(&zygotebench::latfault(scale)?);
-            s.push_str(&zygotebench::table3(scale)?);
-            s.push_str(&zygotebench::table4(scale)?);
-            s.push_str(&launchbench::launch_experiment(scale)?);
-            s.push_str(&steadybench::steady_experiment(scale)?);
-            s.push_str(&ipcbench::fig13(scale)?);
-            s.push_str(&ablation::all(scale)?);
-            s.push_str(&extensions::all(scale)?);
+            s.push_str(&timed(r, "table1", 1, || Ok(motivation::table1()))?);
+            s.push_str(&timed(r, "fig2", 1, || Ok(motivation::fig2()))?);
+            s.push_str(&timed(r, "fig3", 1, || Ok(motivation::fig3()))?);
+            s.push_str(&timed(r, "table2", 1, || Ok(motivation::table2()))?);
+            s.push_str(&timed(r, "fig4", 1, || Ok(motivation::fig4()))?);
+            s.push_str(&timed(r, "latfault", 1, || Ok(zygotebench::latfault(scale)?))?);
+            s.push_str(&timed(r, "table3", 1, || Ok(zygotebench::table3(scale)?))?);
+            s.push_str(&timed(r, "table4", 1, || Ok(zygotebench::table4(scale)?))?);
+            s.push_str(&timed(r, "launch", launch_cells(), || {
+                Ok(launchbench::launch_experiment(scale)?)
+            })?);
+            s.push_str(&timed(r, "steady", steady_cells(), || {
+                Ok(steadybench::steady_experiment(scale)?)
+            })?);
+            s.push_str(&timed(r, "fig13", 1, || Ok(ipcbench::fig13(scale)?))?);
+            s.push_str(&timed(r, "ablations", 1, || Ok(ablation::all(scale)?))?);
+            s.push_str(&timed(r, "extensions", scalability_cells(scale) + 4, || {
+                Ok(extensions::all(scale)?)
+            })?);
             s
         }
         other => {
@@ -99,4 +173,35 @@ fn run(cmd: &str, scale: Scale) -> Result<String, Box<dyn std::error::Error>> {
         }
     };
     Ok(out)
+}
+
+/// Hand-rolled JSON (the workspace vendors no serializer): flat,
+/// stable key order, floats with fixed precision.
+fn render_json(cmd: &str, scale: Scale, records: &[Record], total_ms: f64) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"sat-bench/repro-v1\",\n");
+    s.push_str(&format!("  \"command\": \"{cmd}\",\n"));
+    s.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        match scale {
+            Scale::Paper => "paper",
+            Scale::Quick => "quick",
+        }
+    ));
+    s.push_str(&format!("  \"threads\": {},\n", pool::thread_count()));
+    s.push_str("  \"experiments\": [\n");
+    for (i, rec) in records.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"cells\": {}}}{}\n",
+            rec.name,
+            rec.wall_ms,
+            rec.cells,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!("  \"total_wall_ms\": {total_ms:.3}\n"));
+    s.push_str("}\n");
+    s
 }

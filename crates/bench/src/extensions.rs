@@ -13,6 +13,15 @@ use crate::render::{count, pct, Table};
 use crate::zygotebench::boot_opts;
 use crate::Scale;
 
+/// Process counts of the scalability sweep per scale (the sweep's
+/// worker-pool grid is one cell per count per kernel config).
+pub fn scalability_counts(scale: Scale) -> &'static [usize] {
+    match scale {
+        Scale::Paper => &[1, 2, 4, 8, 16, 32, 64],
+        Scale::Quick => &[1, 4, 16],
+    }
+}
+
 /// Scalability: "while the amount of memory required for mapping a
 /// physical page of private data is small and constant, for shared
 /// memory regions this overhead grows linearly with the number of
@@ -20,10 +29,7 @@ use crate::Scale;
 /// page-table frames and the duplicated PTE cache lines a shared L2
 /// would hold.
 pub fn scalability(scale: Scale) -> sat_types::SatResult<String> {
-    let counts: &[usize] = match scale {
-        Scale::Paper => &[1, 2, 4, 8, 16, 32, 64],
-        Scale::Quick => &[1, 4, 16],
-    };
+    let counts = scalability_counts(scale);
     let mut t = Table::new(
         "Scalability: page-table pages vs process count",
         &[
@@ -35,46 +41,50 @@ pub fn scalability(scale: Scale) -> sat_types::SatResult<String> {
             "duplication factor",
         ],
     );
-    for &n in counts {
-        let mut row = vec![n.to_string()];
-        let mut ptps_by_config = Vec::new();
-        for config in [KernelConfig::stock(), KernelConfig::shared_ptp()] {
-            let mut sys =
-                AndroidSystem::boot(config, LibraryLayout::Original, SEED, 11, boot_opts(scale))?;
-            let mut pids = Vec::new();
-            for _ in 0..n {
-                let (o, _) = sys.machine.fork(0, sys.zygote)?;
-                pids.push(o.child);
-            }
-            // Each child faults the same library working set, as
-            // co-resident applications do.
-            for &pid in &pids {
-                sys.machine.context_switch(0, pid)?;
-                let lib = sys.catalog.zygote_native[1];
-                let base = sys.map.code_base(lib).unwrap();
-                let pages = sys.catalog.lib(lib).code_pages.min(16);
-                for p in 0..pages {
-                    sys.machine
-                        .access(0, VirtAddr::new(base.raw() + p * PAGE_SIZE), AccessType::Execute)?;
-                }
-            }
-            let ptps = sys.machine.kernel.ptps.len();
-            ptps_by_config.push(ptps);
-            row.push(count(ptps as u64));
-            row.push(count(4 * ptps as u64));
+    // Every (process count, kernel config) cell boots its own system,
+    // so the grid fans out on the worker pool; reassembly in grid
+    // order keeps the table byte-identical to a serial run.
+    let cell = |n: usize, config: KernelConfig| -> sat_types::SatResult<usize> {
+        let mut sys =
+            AndroidSystem::boot(config, LibraryLayout::Original, SEED, 11, boot_opts(scale))?;
+        let mut pids = Vec::new();
+        for _ in 0..n {
+            let (o, _) = sys.machine.fork(0, sys.zygote)?;
+            pids.push(o.child);
         }
-        // Reorder: stock first, then shared, then the ratio.
-        let (stock, shared) = (ptps_by_config[0], ptps_by_config[1]);
-        let reordered = vec![
+        // Each child faults the same library working set, as
+        // co-resident applications do.
+        for &pid in &pids {
+            sys.machine.context_switch(0, pid)?;
+            let lib = sys.catalog.zygote_native[1];
+            let base = sys.map.code_base(lib).unwrap();
+            let pages = sys.catalog.lib(lib).code_pages.min(16);
+            for p in 0..pages {
+                sys.machine
+                    .access(0, VirtAddr::new(base.raw() + p * PAGE_SIZE), AccessType::Execute)?;
+            }
+        }
+        Ok(sys.machine.kernel.ptps.len())
+    };
+    let jobs: Vec<_> = counts
+        .iter()
+        .flat_map(|&n| {
+            [KernelConfig::stock(), KernelConfig::shared_ptp()]
+                .map(|config| move || cell(n, config))
+        })
+        .collect();
+    let mut results = crate::pool::run_cells(jobs).into_iter();
+    for &n in counts {
+        let stock = results.next().expect("one cell per grid point")?;
+        let shared = results.next().expect("one cell per grid point")?;
+        t.row(vec![
             n.to_string(),
             count(stock as u64),
             count(4 * stock as u64),
             count(shared as u64),
             count(4 * shared as u64),
             format!("{:.1}x", stock as f64 / shared as f64),
-        ];
-        t.row(reordered);
-        let _ = row;
+        ]);
     }
     let mut out = t.render();
     out.push_str(

@@ -67,12 +67,22 @@ pub fn repetitions(scale: Scale) -> usize {
     }
 }
 
-/// Figures 7-9 plus the per-launch fork cost, in one sweep.
+/// Figures 7-9 plus the per-launch fork cost, in one sweep. The four
+/// configuration cells are independent (each boots its own system
+/// from [`SEED`]) and run on the worker pool; results are reassembled
+/// in grid order, so the rendered tables are byte-identical to a
+/// serial run.
 pub fn launch_experiment(scale: Scale) -> SatResult<String> {
     let n = repetitions(scale);
+    let jobs: Vec<_> = launch_configs()
+        .into_iter()
+        .map(|(label, config, layout)| {
+            move || (label, run_launches(config, layout, scale, n))
+        })
+        .collect();
     let mut all: Vec<(&str, Vec<LaunchReport>)> = Vec::new();
-    for (label, config, layout) in launch_configs() {
-        all.push((label, run_launches(config, layout, scale, n)?));
+    for (label, reports) in crate::pool::run_cells(jobs) {
+        all.push((label, reports?));
     }
 
     let mut out = String::new();

@@ -14,6 +14,7 @@ pub mod extensions;
 pub mod ipcbench;
 pub mod launchbench;
 pub mod motivation;
+pub mod pool;
 pub mod render;
 pub mod steadybench;
 pub mod zygotebench;

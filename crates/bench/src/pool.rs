@@ -1,0 +1,115 @@
+//! A scoped worker pool for fanning independent experiment cells
+//! across cores.
+//!
+//! Each sweep in the harness runs a grid of fully independent cells —
+//! every (configuration, layout) cell boots its own [`AndroidSystem`]
+//! from the same seed, so cells share no state and their results do
+//! not depend on execution order. The pool runs them on
+//! `std::thread::scope` threads and reassembles results in submission
+//! order, which keeps `repro` output byte-identical to a serial run:
+//! parallelism changes wall time, never bytes.
+//!
+//! Sizing comes from `SAT_BENCH_THREADS` (default: all cores;
+//! `SAT_BENCH_THREADS=1` forces the serial path, which runs jobs
+//! inline in submission order with no threads spawned at all).
+//!
+//! [`AndroidSystem`]: sat_android::AndroidSystem
+
+use parking_lot::Mutex;
+
+/// Worker count: `SAT_BENCH_THREADS` if set and valid, otherwise the
+/// machine's available parallelism.
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var("SAT_BENCH_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs every job and returns their results in submission order.
+///
+/// With one worker (or one job) the jobs run inline, serially, in
+/// order. Otherwise workers pull jobs from a shared queue and write
+/// results back by index, so the returned `Vec` is identical to the
+/// serial run's regardless of completion order. A panicking job
+/// propagates after the scope joins, as `std::thread::scope` does.
+pub fn run_cells<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    run_cells_with(thread_count(), jobs)
+}
+
+fn run_cells_with<T, F>(workers: usize, jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    let workers = workers.min(n);
+    if workers <= 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+    // Indexed job queue (order of *execution* is irrelevant) and an
+    // indexed result store (order of *reassembly* is everything).
+    let queue: Mutex<Vec<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let job = queue.lock().pop();
+                let Some((i, job)) = job else { break };
+                let out = job();
+                results.lock()[i] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("scope joined with every job completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        // Force the threaded path even on single-core machines.
+        let jobs: Vec<_> = (0..32)
+            .map(|i| {
+                move || {
+                    // Stagger completion so late submissions finish
+                    // first under any worker count.
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        (32 - i) as u64 * 50,
+                    ));
+                    i * 10
+                }
+            })
+            .collect();
+        let got = run_cells_with(4, jobs);
+        assert_eq!(got, (0..32).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_job_runs_inline() {
+        let got = run_cells(vec![|| 7]);
+        assert_eq!(got, vec![7]);
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let got: Vec<i32> = run_cells(Vec::<fn() -> i32>::new());
+        assert!(got.is_empty());
+    }
+}

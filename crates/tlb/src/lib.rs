@@ -42,9 +42,12 @@
 #![forbid(unsafe_code)]
 
 pub mod entry;
+pub mod index;
 pub mod main_tlb;
 pub mod micro;
+pub mod reference;
 
 pub use entry::TlbEntry;
 pub use main_tlb::{MainTlb, TlbLookup, TlbStats};
 pub use micro::MicroTlb;
+pub use reference::{RefMainTlb, RefMicroTlb};

@@ -1,8 +1,23 @@
 //! The unified main TLB.
+//!
+//! Architecturally this is a flat array of tagged slots with
+//! round-robin replacement (see the [`MainTlb`] docs). Since every
+//! simulated fetch and data access funnels through [`MainTlb::lookup`],
+//! the model keeps acceleration indexes next to the slot array — a
+//! per-page-size VA map, per-tag slot lists, and a free-slot set — so
+//! lookups and selective flushes touch only candidate slots instead of
+//! scanning the whole array. The indexes never change *which* slot
+//! wins: every path resolves ties by minimum slot number, which is the
+//! entry a linear first-match scan returns, so observable behaviour
+//! (hits, misses, evictions, flush counts, statistics) is identical to
+//! the linear reference model in [`crate::reference`]. The
+//! differential proptests in `tests/differential.rs` enforce that
+//! equivalence.
 
 use sat_types::{Asid, Domain, VirtAddr};
 
 use crate::entry::TlbEntry;
+use crate::index::{FreeSlots, TagIndex, VaIndex};
 
 /// Main-TLB statistics.
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
@@ -57,10 +72,26 @@ pub enum TlbLookup {
 /// the ASID of the process that *loaded* it (for global entries, the
 /// architectural tag is "match everything", but the simulator keeps
 /// the loader for statistics).
+#[derive(Clone)]
 pub struct MainTlb {
     entries: Vec<Option<(TlbEntry, Asid)>>,
     victim: usize,
     stats: TlbStats,
+    /// Valid-entry count, maintained incrementally.
+    valid: usize,
+    /// Valid *global* entry count, maintained incrementally.
+    global_valid: usize,
+    /// VA page → candidate slots.
+    va_index: VaIndex,
+    /// Entry tag (`asid` field, `None` = global) → slots. Bounds the
+    /// `insert` duplicate scan, `flush_asid`, and `flush_non_global`
+    /// to candidate slots.
+    tag_index: TagIndex,
+    /// Invalid slots, lowest first (the architectural fill order).
+    free: FreeSlots,
+    /// Scratch buffer for candidate collection (avoids a per-lookup
+    /// allocation on the hot path).
+    scratch: Vec<usize>,
 }
 
 /// Default main-TLB capacity (Cortex-A9).
@@ -80,6 +111,12 @@ impl MainTlb {
             entries: vec![None; capacity],
             victim: 0,
             stats: TlbStats::default(),
+            valid: 0,
+            global_valid: 0,
+            va_index: VaIndex::new(capacity),
+            tag_index: TagIndex::new(capacity),
+            free: FreeSlots::all(capacity),
+            scratch: Vec::new(),
         }
     }
 
@@ -95,26 +132,45 @@ impl MainTlb {
 
     /// Number of valid entries.
     pub fn occupancy(&self) -> usize {
-        self.entries.iter().filter(|e| e.is_some()).count()
+        self.valid
+    }
+
+    /// Counts valid global entries.
+    pub fn global_occupancy(&self) -> usize {
+        self.global_valid
+    }
+
+    /// Returns the lowest slot holding an entry that matches
+    /// `(va, asid)` — the winner of a linear first-match scan. The
+    /// index yields candidates, so the full match (coverage + ASID)
+    /// is re-checked per slot.
+    fn matching_slot(&self, va: VirtAddr, asid: Asid) -> Option<usize> {
+        let entries = &self.entries;
+        let mut best: Option<usize> = None;
+        self.va_index.for_covering(va, |slot| {
+            let (entry, _) = entries[slot].as_ref().expect("indexed slot is valid");
+            if entry.matches(va, asid) && best.is_none_or(|b| slot < b) {
+                best = Some(slot);
+            }
+        });
+        best
     }
 
     /// Looks up `va` under `asid`, updating statistics.
     pub fn lookup(&mut self, va: VirtAddr, asid: Asid) -> TlbLookup {
-        for slot in self.entries.iter().flatten() {
-            let (entry, loader) = slot;
-            if entry.matches(va, asid) {
-                self.stats.hits += 1;
-                if entry.is_global() {
-                    self.stats.global_hits += 1;
-                    // Cross-address-space reuse counts only user-space
-                    // entries: kernel-text entries are global on every
-                    // OS and would contaminate the sharing metric.
-                    if *loader != asid && entry.domain != Domain::KERNEL {
-                        self.stats.cross_asid_hits += 1;
-                    }
+        if let Some(slot) = self.matching_slot(va, asid) {
+            let (entry, loader) = self.entries[slot].as_ref().expect("slot is valid");
+            self.stats.hits += 1;
+            if entry.is_global() {
+                self.stats.global_hits += 1;
+                // Cross-address-space reuse counts only user-space
+                // entries: kernel-text entries are global on every
+                // OS and would contaminate the sharing metric.
+                if *loader != asid && entry.domain != Domain::KERNEL {
+                    self.stats.cross_asid_hits += 1;
                 }
-                return TlbLookup::Hit(*entry);
             }
+            return TlbLookup::Hit(*entry);
         }
         self.stats.misses += 1;
         TlbLookup::Miss
@@ -122,11 +178,8 @@ impl MainTlb {
 
     /// Probes for a matching entry without updating statistics.
     pub fn probe(&self, va: VirtAddr, asid: Asid) -> Option<TlbEntry> {
-        self.entries
-            .iter()
-            .flatten()
-            .find(|(e, _)| e.matches(va, asid))
-            .map(|(e, _)| *e)
+        self.matching_slot(va, asid)
+            .map(|slot| self.entries[slot].expect("slot is valid").0)
     }
 
     /// Inserts an entry loaded by `loader`, replacing any entry that
@@ -136,37 +189,72 @@ impl MainTlb {
         // Invalidate duplicates first (hardware must never hold two
         // entries matching the same VA+ASID). Coverage is checked in
         // both directions so a large entry evicts the small entries
-        // inside its range and vice versa.
-        let tag_asid = entry.asid;
-        let mut replaced = false;
-        for slot in self.entries.iter_mut() {
-            if slot.as_ref().is_some_and(|(e, _)| {
-                e.asid == tag_asid && (e.covers(entry.va_base) || entry.covers(e.va_base))
-            }) {
-                if replaced {
-                    *slot = None; // extra overlapping duplicate
-                } else {
-                    *slot = Some((entry, loader));
-                    replaced = true;
+        // inside its range and vice versa. Only same-tag entries can
+        // collide, so the scan is bounded to that tag's chain.
+        let mut overlaps = std::mem::take(&mut self.scratch);
+        overlaps.clear();
+        {
+            let entries = &self.entries;
+            self.tag_index.for_tag(entry.asid, |slot| {
+                let (e, _) = entries[slot].as_ref().expect("indexed slot is valid");
+                if e.covers(entry.va_base) || entry.covers(e.va_base) {
+                    overlaps.push(slot);
                 }
+            });
+        }
+        if !overlaps.is_empty() {
+            // The linear scan replaces the first overlapping slot in
+            // place and silently clears the rest.
+            overlaps.sort_unstable();
+            let target = overlaps[0];
+            for &slot in overlaps.iter().skip(1) {
+                self.clear_slot(slot);
             }
-        }
-        if replaced {
+            let old = self.entries[target].expect("overlap slot is valid").0;
+            self.va_index.remove(&old, target);
+            if old.is_global() {
+                self.global_valid -= 1;
+            }
+            // Same tag by construction, so the tag chain keeps its
+            // registration for `target`.
+            self.entries[target] = Some((entry, loader));
+            self.va_index.add(&entry, target);
+            if entry.is_global() {
+                self.global_valid += 1;
+            }
+            self.scratch = overlaps;
             return;
         }
-        if let Some(idx) = self.entries.iter().position(|s| s.is_none()) {
-            self.entries[idx] = Some((entry, loader));
-            return;
+        self.scratch = overlaps;
+        let slot = match self.free.claim_lowest() {
+            Some(slot) => slot,
+            None => {
+                self.stats.evictions += 1;
+                let slot = self.victim;
+                self.victim = (self.victim + 1) % self.entries.len();
+                let (old, _) = self.entries[slot].expect("full TLB has no invalid slots");
+                self.detach(&old, slot);
+                slot
+            }
+        };
+        self.entries[slot] = Some((entry, loader));
+        self.va_index.add(&entry, slot);
+        self.tag_index.add(entry.asid, slot);
+        self.valid += 1;
+        if entry.is_global() {
+            self.global_valid += 1;
         }
-        self.stats.evictions += 1;
-        self.entries[self.victim] = Some((entry, loader));
-        self.victim = (self.victim + 1) % self.entries.len();
     }
 
     /// Invalidates everything. Returns the number of entries dropped.
     pub fn flush_all(&mut self) -> usize {
-        let n = self.occupancy();
+        let n = self.valid;
         self.entries.iter_mut().for_each(|s| *s = None);
+        self.va_index.clear();
+        self.tag_index.clear();
+        self.free.fill();
+        self.valid = 0;
+        self.global_valid = 0;
         self.stats.entries_flushed += n as u64;
         self.stats.full_flushes += 1;
         n
@@ -175,7 +263,29 @@ impl MainTlb {
     /// Invalidates all non-global entries tagged with `asid` (the
     /// `TLBIASID` operation Linux uses for `flush_tlb_mm`).
     pub fn flush_asid(&mut self, asid: Asid) -> usize {
-        self.flush_where(|e, _| e.asid == Some(asid))
+        // Collect first: clearing a slot mutates the chain the walk
+        // is traversing.
+        let mut slots = std::mem::take(&mut self.scratch);
+        slots.clear();
+        self.tag_index.for_tag(Some(asid), |slot| slots.push(slot));
+        // The whole tag chain dies: drop its head once and reset each
+        // slot's links write-only, instead of per-slot unlink surgery
+        // on a chain that is being discarded anyway.
+        self.tag_index.drop_tag(Some(asid));
+        let n = slots.len();
+        for &slot in &slots {
+            let (entry, _) = self.entries[slot].take().expect("indexed slot is valid");
+            self.va_index.remove(&entry, slot);
+            self.tag_index.detach(slot);
+            self.free.release(slot);
+            self.valid -= 1;
+            // Entries carrying an ASID tag are by definition
+            // non-global, so `global_valid` is untouched.
+            debug_assert!(!entry.is_global());
+        }
+        self.scratch = slots;
+        self.stats.entries_flushed += n as u64;
+        n
     }
 
     /// Invalidates every entry that covers `va`, regardless of ASID or
@@ -183,42 +293,69 @@ impl MainTlb {
     /// domain-fault handler uses to evict shared global entries that a
     /// non-zygote process stumbled on.
     pub fn flush_va_all_asids(&mut self, va: VirtAddr) -> usize {
-        self.flush_where(|e, _| e.covers(va))
+        self.flush_covering(va, |_| true)
     }
 
     /// Invalidates entries covering `va` tagged `asid`, plus global
     /// entries covering `va` (the `TLBIMVA` operation).
     pub fn flush_va(&mut self, va: VirtAddr, asid: Asid) -> usize {
-        self.flush_where(|e, _| e.covers(va) && (e.is_global() || e.asid == Some(asid)))
+        self.flush_covering(va, |e| e.is_global() || e.asid == Some(asid))
     }
 
     /// Invalidates all non-global entries (used when ASIDs are
     /// recycled).
     pub fn flush_non_global(&mut self) -> usize {
-        self.flush_where(|e, _| !e.is_global())
-    }
-
-    /// Counts valid global entries.
-    pub fn global_occupancy(&self) -> usize {
-        self.entries
-            .iter()
-            .flatten()
-            .filter(|(e, _)| e.is_global())
-            .count()
-    }
-
-    fn flush_where(&mut self, pred: impl Fn(&TlbEntry, Asid) -> bool) -> usize {
-        let mut n = 0;
-        for slot in self.entries.iter_mut() {
-            if let Some((e, loader)) = slot {
-                if pred(e, *loader) {
-                    *slot = None;
-                    n += 1;
-                }
-            }
+        let mut slots = std::mem::take(&mut self.scratch);
+        slots.clear();
+        self.tag_index.for_non_global(|slot| slots.push(slot));
+        let n = slots.len();
+        for &slot in &slots {
+            self.clear_slot(slot);
         }
+        self.scratch = slots;
         self.stats.entries_flushed += n as u64;
         n
+    }
+
+    /// Invalidates the entries covering `va` that satisfy `pred`.
+    fn flush_covering(&mut self, va: VirtAddr, pred: impl Fn(&TlbEntry) -> bool) -> usize {
+        // Collect first: clearing a slot mutates the chains the walk
+        // is traversing.
+        let mut candidates = std::mem::take(&mut self.scratch);
+        candidates.clear();
+        self.va_index.for_covering(va, |slot| candidates.push(slot));
+        let mut n = 0u64;
+        for &slot in &candidates {
+            let (entry, _) = self.entries[slot].as_ref().expect("indexed slot is valid");
+            // Candidates may be hash-collision neighbours; re-check
+            // coverage before applying the flush predicate.
+            if entry.covers(va) && pred(entry) {
+                self.clear_slot(slot);
+                n += 1;
+            }
+        }
+        self.scratch = candidates;
+        self.stats.entries_flushed += n;
+        n as usize
+    }
+
+    /// Invalidates `slot`, unregistering it everywhere.
+    fn clear_slot(&mut self, slot: usize) {
+        let (entry, _) = self.entries[slot].take().expect("cleared slot is valid");
+        self.detach(&entry, slot);
+        self.free.release(slot);
+    }
+
+    /// Removes `slot`'s registrations for `entry` from every index and
+    /// decrements the occupancy counters (slot array and free set are
+    /// the caller's responsibility).
+    fn detach(&mut self, entry: &TlbEntry, slot: usize) {
+        self.va_index.remove(entry, slot);
+        self.tag_index.remove(entry.asid, slot);
+        self.valid -= 1;
+        if entry.is_global() {
+            self.global_valid -= 1;
+        }
     }
 }
 
@@ -348,5 +485,47 @@ mod tests {
         tlb.insert(entry(0x2000, None), Asid::new(1));
         assert_eq!(tlb.flush_non_global(), 1);
         assert_eq!(tlb.global_occupancy(), 1);
+    }
+
+    #[test]
+    fn mixed_page_sizes_index_correctly() {
+        // A 64KB entry and a 4KB entry under different tags: lookups
+        // resolve through different per-size maps, and the by-address
+        // flush still removes both.
+        let mut tlb = MainTlb::new(8);
+        let large = TlbEntry {
+            va_base: VirtAddr::new(0x0001_0000),
+            size: PageSize::Large64K,
+            asid: None,
+            pfn: Pfn::new(0x540),
+            perms: Perms::RX,
+            domain: Domain::ZYGOTE,
+        };
+        tlb.insert(large, Asid::new(1));
+        tlb.insert(entry(0x0001_2000, Some(4)), Asid::new(4));
+        assert!(tlb.probe(VirtAddr::new(0x0001_F000), Asid::new(9)).is_some());
+        // The 4KB entry sits at a lower slot? No: the large entry was
+        // inserted first, so slot 0 wins for ASID 4 at 0x12000.
+        assert_eq!(
+            tlb.probe(VirtAddr::new(0x0001_2000), Asid::new(4)).unwrap().size,
+            PageSize::Large64K
+        );
+        assert_eq!(tlb.flush_va_all_asids(VirtAddr::new(0x0001_2345)), 2);
+        assert_eq!(tlb.occupancy(), 0);
+    }
+
+    #[test]
+    fn occupancy_counter_tracks_all_paths() {
+        let mut tlb = MainTlb::new(4);
+        assert_eq!(tlb.occupancy(), 0);
+        tlb.insert(entry(0x1000, Some(1)), Asid::new(1));
+        tlb.insert(entry(0x2000, None), Asid::new(2));
+        assert_eq!((tlb.occupancy(), tlb.global_occupancy()), (2, 1));
+        tlb.insert(entry(0x1000, Some(1)), Asid::new(1)); // in-place dup
+        assert_eq!(tlb.occupancy(), 2);
+        tlb.flush_asid(Asid::new(1));
+        assert_eq!((tlb.occupancy(), tlb.global_occupancy()), (1, 1));
+        tlb.flush_all();
+        assert_eq!((tlb.occupancy(), tlb.global_occupancy()), (0, 0));
     }
 }

@@ -4,10 +4,16 @@
 //! instruction and data micro-TLBs. They carry no ASID tags and are
 //! flushed on every context switch — the reason the paper's
 //! TLB-sharing benefit accrues in the *main* TLB.
+//!
+//! Like [`crate::main_tlb::MainTlb`], the model keeps a VA-page index
+//! next to the slot array so `lookup` and `flush_va` touch only
+//! candidate slots; ties resolve to the minimum slot number, matching
+//! a linear first-match scan (see [`crate::index`]).
 
 use sat_types::VirtAddr;
 
 use crate::entry::TlbEntry;
+use crate::index::{FreeSlots, VaIndex};
 
 /// A micro-TLB (instruction or data side).
 pub struct MicroTlb {
@@ -15,6 +21,15 @@ pub struct MicroTlb {
     victim: usize,
     hits: u64,
     misses: u64,
+    /// Valid-entry count, maintained incrementally.
+    valid: usize,
+    /// VA page → candidate slots.
+    va_index: VaIndex,
+    /// Invalid slots, lowest first (the architectural fill order).
+    free: FreeSlots,
+    /// Scratch buffer for candidate collection (avoids a per-lookup
+    /// allocation on the hot path).
+    scratch: Vec<usize>,
 }
 
 /// Default micro-TLB capacity (Cortex-A9: 32 entries).
@@ -35,45 +50,87 @@ impl MicroTlb {
             victim: 0,
             hits: 0,
             misses: 0,
+            valid: 0,
+            va_index: VaIndex::new(capacity),
+            free: FreeSlots::all(capacity),
+            scratch: Vec::new(),
         }
     }
 
     /// Looks up `va`. Micro-TLB entries are not ASID-tagged; the
     /// flush-on-context-switch discipline makes that safe.
     pub fn lookup(&mut self, va: VirtAddr) -> Option<TlbEntry> {
-        for e in self.entries.iter().flatten() {
-            if e.covers(va) {
+        // The index yields candidates (hash collisions included), so
+        // coverage is re-checked; minimum slot = linear-scan winner.
+        let entries = &self.entries;
+        let mut best: Option<usize> = None;
+        self.va_index.for_covering(va, |slot| {
+            let entry = entries[slot].as_ref().expect("indexed slot is valid");
+            if entry.covers(va) && best.is_none_or(|b| slot < b) {
+                best = Some(slot);
+            }
+        });
+        match best {
+            Some(slot) => {
                 self.hits += 1;
-                return Some(*e);
+                Some(self.entries[slot].expect("indexed slot is valid"))
+            }
+            None => {
+                self.misses += 1;
+                None
             }
         }
-        self.misses += 1;
-        None
     }
 
-    /// Inserts an entry (round-robin replacement).
+    /// Inserts an entry (round-robin replacement). Unlike the main
+    /// TLB, there is no duplicate scan: the micro-TLB only ever
+    /// receives entries that just missed.
     pub fn insert(&mut self, entry: TlbEntry) {
-        if let Some(idx) = self.entries.iter().position(|s| s.is_none()) {
-            self.entries[idx] = Some(entry);
-            return;
-        }
-        self.entries[self.victim] = Some(entry);
-        self.victim = (self.victim + 1) % self.entries.len();
+        let slot = match self.free.claim_lowest() {
+            Some(slot) => slot,
+            None => {
+                let slot = self.victim;
+                self.victim = (self.victim + 1) % self.entries.len();
+                let old = self.entries[slot].expect("full TLB has no invalid slots");
+                self.va_index.remove(&old, slot);
+                self.valid -= 1;
+                slot
+            }
+        };
+        self.entries[slot] = Some(entry);
+        self.va_index.add(&entry, slot);
+        self.valid += 1;
     }
 
     /// Flushes everything (performed on every context switch).
     pub fn flush(&mut self) {
         self.entries.iter_mut().for_each(|s| *s = None);
+        self.va_index.clear();
+        self.free.fill();
+        self.valid = 0;
     }
 
     /// Invalidates entries covering `va` (kept coherent with main-TLB
     /// maintenance operations).
     pub fn flush_va(&mut self, va: VirtAddr) {
-        for s in self.entries.iter_mut() {
-            if s.as_ref().is_some_and(|e| e.covers(va)) {
-                *s = None;
+        // Collect first: clearing a slot mutates the chains the walk
+        // is traversing.
+        let mut candidates = std::mem::take(&mut self.scratch);
+        candidates.clear();
+        self.va_index.for_covering(va, |slot| candidates.push(slot));
+        for &slot in &candidates {
+            let entry = self.entries[slot].as_ref().expect("indexed slot is valid");
+            // Candidates may be hash-collision neighbours; only clear
+            // entries that actually cover `va`.
+            if !entry.covers(va) {
+                continue;
             }
+            let entry = self.entries[slot].take().expect("indexed slot is valid");
+            self.va_index.remove(&entry, slot);
+            self.free.release(slot);
+            self.valid -= 1;
         }
+        self.scratch = candidates;
     }
 
     /// (hits, misses) counters.
@@ -83,7 +140,7 @@ impl MicroTlb {
 
     /// Number of valid entries.
     pub fn occupancy(&self) -> usize {
-        self.entries.iter().filter(|e| e.is_some()).count()
+        self.valid
     }
 }
 
@@ -133,5 +190,24 @@ mod tests {
         assert_eq!(utlb.occupancy(), 2);
         assert!(utlb.lookup(VirtAddr::new(0x1000)).is_none());
         assert!(utlb.lookup(VirtAddr::new(0x3000)).is_some());
+    }
+
+    #[test]
+    fn duplicate_inserts_resolve_to_first_slot() {
+        // The micro-TLB performs no duplicate scan; when two slots
+        // cover the same page, the lower slot wins the lookup — same
+        // as a linear first-match scan.
+        let mut utlb = MicroTlb::new(4);
+        let mut a = entry(0x1000);
+        a.perms = Perms::RX;
+        let mut b = entry(0x1000);
+        b.perms = Perms::R;
+        utlb.insert(a);
+        utlb.insert(b);
+        assert_eq!(utlb.occupancy(), 2);
+        assert_eq!(utlb.lookup(VirtAddr::new(0x1000)).unwrap().perms, Perms::RX);
+        // flush_va removes every covering entry, not just the winner.
+        utlb.flush_va(VirtAddr::new(0x1000));
+        assert_eq!(utlb.occupancy(), 0);
     }
 }

@@ -1,0 +1,284 @@
+//! Offline stand-in for the subset of `criterion` 0.5 this workspace
+//! uses.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! vendors a small wall-clock sampler with `criterion`'s
+//! bench-definition API: `criterion_group!` / `criterion_main!`,
+//! `Criterion::{bench_function, benchmark_group}`, and
+//! `Bencher::{iter, iter_batched, iter_batched_ref}`. Each benchmark
+//! is calibrated to a target sample time, run for a fixed number of
+//! samples, and reported as min/median/mean nanoseconds per iteration
+//! on stdout. There are no statistical comparisons, plots, or saved
+//! baselines — rerun and diff the printed medians instead.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched setup output is sized (accepted for API compatibility;
+/// the sampler treats all variants the same).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Number of measurement samples per benchmark.
+const SAMPLES: usize = 30;
+/// Target wall time per sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+
+/// Collects per-sample mean iteration times.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher {
+            samples_ns: Vec::new(),
+        }
+    }
+
+    /// Benchmarks `routine` back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fill one sample window?
+        let mut iters = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let el = t.elapsed();
+            if el >= SAMPLE_TARGET / 4 || iters >= 1 << 30 {
+                let per = (el.as_nanos() as f64 / iters as f64).max(0.1);
+                iters = ((SAMPLE_TARGET.as_nanos() as f64 / per) as u64).max(1);
+                break;
+            }
+            iters *= 4;
+        }
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Benchmarks `routine` on fresh values from `setup`, excluding
+    /// setup time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.iter_batched_impl(&mut setup, |input| {
+            black_box(routine(input));
+        });
+    }
+
+    /// Like [`Bencher::iter_batched`] but passes the input by mutable
+    /// reference; the inputs are dropped outside the timed region.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        // Calibrate on a handful of one-shot runs (setup excluded).
+        let mut probe_ns = 0.0;
+        const PROBES: usize = 5;
+        for _ in 0..PROBES {
+            let mut input = setup();
+            let t = Instant::now();
+            black_box(routine(&mut input));
+            probe_ns += t.elapsed().as_nanos() as f64;
+        }
+        let per = (probe_ns / PROBES as f64).max(0.1);
+        // Setup runs once per iteration, so batched samples are capped
+        // well below `iter`'s budget to keep wall time sane.
+        let iters = ((SAMPLE_TARGET.as_nanos() as f64 / per) as u64).clamp(1, 1 << 14);
+        // Inputs are built (and dropped) in small batches between timed
+        // segments: one giant batch would evict every input from cache
+        // before the timed loop reads it, measuring DRAM latency
+        // instead of the routine. The `BatchSize` hint bounds how many
+        // inputs can be in flight without spilling the cache.
+        let batch: u64 = match size {
+            BatchSize::SmallInput => 16,
+            BatchSize::LargeInput => 2,
+            BatchSize::PerIteration => 1,
+        };
+        for _ in 0..SAMPLES {
+            let mut remaining = iters;
+            let mut elapsed = Duration::ZERO;
+            while remaining > 0 {
+                let n = remaining.min(batch);
+                let mut inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+                let t = Instant::now();
+                for input in inputs.iter_mut() {
+                    black_box(routine(input));
+                }
+                elapsed += t.elapsed();
+                drop(inputs); // input teardown stays untimed
+                remaining -= n;
+            }
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    fn iter_batched_impl<I>(
+        &mut self,
+        setup: &mut dyn FnMut() -> I,
+        mut run_one: impl FnMut(I),
+    ) {
+        // Calibrate on a handful of one-shot runs (setup excluded).
+        let mut probe_ns = 0.0;
+        const PROBES: usize = 5;
+        for _ in 0..PROBES {
+            let input = setup();
+            let t = Instant::now();
+            run_one(input);
+            probe_ns += t.elapsed().as_nanos() as f64;
+        }
+        let per = (probe_ns / PROBES as f64).max(0.1);
+        let iters = ((SAMPLE_TARGET.as_nanos() as f64 / per) as u64).clamp(1, 1 << 20);
+        for _ in 0..SAMPLES {
+            let mut inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs.drain(..) {
+                run_one(input);
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+fn report(name: &str, samples: &mut [f64]) {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let min = samples.first().copied().unwrap_or(0.0);
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let fmt = |ns: f64| -> String {
+        if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} µs", ns / 1e3)
+        } else {
+            format!("{ns:.1} ns")
+        }
+    };
+    println!(
+        "{name:<50} time: [min {} | median {} | mean {}]",
+        fmt(min),
+        fmt(median),
+        fmt(mean)
+    );
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(name, &mut b.samples_ns);
+        self
+    }
+
+    /// Opens a named group; member benchmarks report as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&format!("{}/{name}", self.name), &mut b.samples_ns);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_and_runs() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn batched_runs_setup_per_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("batched", |b| {
+            b.iter_batched_ref(
+                || vec![1u32, 2, 3],
+                |v| {
+                    v.push(4);
+                    v.len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}
