@@ -17,6 +17,7 @@
 use sat_types::{AccessType, Perms, Pid, SatResult, VirtAddr, PAGE_SIZE};
 use sat_vm::MmapRequest;
 
+use crate::launch::{core0_cycles, emit_phase};
 use crate::system::AndroidSystem;
 
 /// Sizing for the microbenchmark.
@@ -116,12 +117,15 @@ pub fn run_binder_benchmark(
     // client binds to an *existing* service), so the server's pass
     // populates the binder PTEs that the client — under shared PTPs —
     // then inherits without faulting.
+    let warmup0 = core0_cycles(sys);
     sys.machine.context_switch(0, server)?;
     touch_range(sys, binder_base, opts.binder_pages)?;
     touch_range(sys, server_base, opts.server_pages)?;
     sys.machine.context_switch(0, client)?;
     touch_range(sys, binder_base, opts.binder_pages)?;
     touch_range(sys, client_base, opts.client_pages)?;
+
+    emit_phase(sys, client, "ipc.warmup", core0_cycles(sys) - warmup0);
 
     let cross0 = sys.machine.cores[0].main_tlb.stats().cross_asid_hits;
 
@@ -158,6 +162,10 @@ pub fn run_binder_benchmark(
 
     report.client_file_faults = sys.machine.kernel.mm(client)?.counters.faults_file - faults0;
     report.cross_asid_hits = sys.machine.cores[0].main_tlb.stats().cross_asid_hits - cross0;
+    // One span per side summarizing the whole iteration loop (per-call
+    // spans would dominate the ring at 100k iterations).
+    emit_phase(sys, client, "ipc.client", report.client_cycles);
+    emit_phase(sys, server, "ipc.server", report.server_cycles);
     Ok(report)
 }
 

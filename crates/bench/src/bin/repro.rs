@@ -4,7 +4,8 @@
 //! Usage:
 //!
 //! ```text
-//! repro <experiment> [--quick]
+//! repro <experiment> [--quick] [--trace <path>] [--out <path>]
+//! repro check [--trace <path>] [--out <path>]
 //!
 //! experiments:
 //!   table1 fig2 fig3 table2 fig4   motivation study (Section 2.3)
@@ -20,14 +21,29 @@
 //!
 //! `--quick` runs scaled-down workloads (seconds instead of minutes).
 //!
+//! `--trace <path>` installs the `sat-obs` recorder for the whole run
+//! and writes a Chrome trace-event JSON (load it at `chrome://tracing`
+//! or <https://ui.perfetto.dev>). Ring capacity comes from
+//! `SAT_OBS_RING` (default 65,536 events; overflow drops the oldest
+//! and is reported, never silent).
+//!
+//! `--out <path>` (or `SAT_BENCH_OUT`) overrides where the metrics
+//! snapshot is written; the default remains `BENCH_repro.json` in the
+//! working directory.
+//!
+//! `repro check` re-opens both artifacts and validates them: schema
+//! string, non-empty event stream, and subsystem coverage. The verify
+//! smoke test runs it after `repro all --quick --trace`.
+//!
 //! Independent sweep cells fan out across cores (see
 //! `sat_bench::pool`); `SAT_BENCH_THREADS=1` forces a serial run. The
-//! rendered output is byte-identical either way.
+//! rendered tables are byte-identical either way (trace timing fields
+//! are wall-clock and naturally vary).
 //!
-//! Besides the tables on stdout, every run writes `BENCH_repro.json`
-//! to the working directory: per-experiment wall time, scale, worker
-//! count, and sweep cell counts, for machine consumption (CI trend
-//! lines, perf comparisons).
+//! Besides the tables on stdout, every run writes the
+//! `sat-bench/repro-v2` snapshot: per-experiment wall time, scale,
+//! worker count, sweep cell counts, per-experiment observability
+//! counter deltas, and the run-wide counter/histogram registry.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -36,37 +52,129 @@ use sat_bench::{
     ablation, extensions, ipcbench, launchbench, motivation, pool, steadybench, zygotebench,
     Scale,
 };
+use sat_obs::json::Json;
 
-/// One timed experiment: name, wall time, and how many independent
-/// cells its sweep fanned out to the worker pool (1 = no fan-out).
+/// The snapshot schema written (and required by `repro check`).
+///
+/// History: `repro-v1` carried command/scale/threads/experiments/
+/// total_wall_ms; `repro-v2` adds per-experiment `"events"` counter
+/// deltas and the run-wide `"obs"` section (counters + histograms).
+const SCHEMA: &str = "sat-bench/repro-v2";
+
+/// One timed experiment: name, wall time, how many independent cells
+/// its sweep fanned out to the worker pool (1 = no fan-out), and the
+/// observability counters it moved (empty without `--trace`).
 struct Record {
     name: &'static str,
     wall_ms: f64,
     cells: usize,
+    events: std::collections::BTreeMap<String, u64>,
+}
+
+/// Parsed command line.
+struct Cli {
+    cmd: String,
+    scale: Scale,
+    trace: Option<String>,
+    out: String,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cmd: Option<String> = None;
+    let mut trace = None;
+    let mut out = None;
+    let mut quick = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--trace" => {
+                i += 1;
+                let path = args.get(i).ok_or("--trace requires a path argument")?;
+                trace = Some(path.clone());
+            }
+            "--out" => {
+                i += 1;
+                let path = args.get(i).ok_or("--out requires a path argument")?;
+                out = Some(path.clone());
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag '{flag}' (known: --quick --trace --out)"));
+            }
+            positional => {
+                if let Some(first) = &cmd {
+                    return Err(format!(
+                        "unexpected argument '{positional}' (command already given: '{first}')"
+                    ));
+                }
+                cmd = Some(positional.to_string());
+            }
+        }
+        i += 1;
+    }
+    let out = out
+        .or_else(|| std::env::var("SAT_BENCH_OUT").ok().filter(|s| !s.is_empty()))
+        .unwrap_or_else(|| "BENCH_repro.json".to_string());
+    Ok(Cli {
+        cmd: cmd.unwrap_or_else(|| "all".to_string()),
+        scale: if quick { Scale::Quick } else { Scale::Paper },
+        trace,
+        out,
+    })
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = Scale::from_args(&args);
-    let cmd = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("all");
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if cli.cmd == "check" {
+        return match check(cli.trace.as_deref(), &cli.out) {
+            Ok(report) => {
+                print!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("repro check: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if cli.trace.is_some() {
+        sat_obs::install(sat_obs::env_ring_capacity());
+    }
 
     let mut records = Vec::new();
     let started = Instant::now();
-    match run(cmd, scale, &mut records) {
+    match run(&cli.cmd, cli.scale, &mut records) {
         Ok(output) => {
+            let recording = if cli.trace.is_some() { sat_obs::uninstall() } else { None };
             print!("{output}");
-            let json = render_json(cmd, scale, &records, started.elapsed().as_secs_f64() * 1e3);
-            if let Err(e) = std::fs::write("BENCH_repro.json", json) {
-                eprintln!("repro: could not write BENCH_repro.json: {e}");
+            if let (Some(path), Some(rec)) = (&cli.trace, &recording) {
+                if let Err(e) = std::fs::write(path, sat_obs::chrome_trace_json(rec)) {
+                    eprintln!("repro: could not write trace {path}: {e}");
+                }
+            }
+            let json = render_json(
+                &cli.cmd,
+                cli.scale,
+                &records,
+                started.elapsed().as_secs_f64() * 1e3,
+                recording.as_ref(),
+            );
+            if let Err(e) = std::fs::write(&cli.out, json) {
+                eprintln!("repro: could not write {}: {e}", cli.out);
             }
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("repro {cmd}: {e}");
+            eprintln!("repro {}: {e}", cli.cmd);
             ExitCode::FAILURE
         }
     }
@@ -74,19 +182,34 @@ fn main() -> ExitCode {
 
 type Fallible = Result<String, Box<dyn std::error::Error>>;
 
-/// Runs `body`, appending a timing record on success.
+/// Runs `body`, appending a timing record on success. With a recorder
+/// installed, the record also carries the observability counters the
+/// experiment moved (snapshot delta), so the snapshot attributes event
+/// volume per experiment.
 fn timed(
     records: &mut Vec<Record>,
     name: &'static str,
     cells: usize,
     body: impl FnOnce() -> Fallible,
 ) -> Fallible {
+    let before = sat_obs::counters_snapshot().unwrap_or_default();
     let t = Instant::now();
     let out = body()?;
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let mut events = std::collections::BTreeMap::new();
+    if let Some(after) = sat_obs::counters_snapshot() {
+        for (key, v) in after {
+            let delta = v - before.get(&key).copied().unwrap_or(0);
+            if delta > 0 {
+                events.insert(key, delta);
+            }
+        }
+    }
     records.push(Record {
         name,
-        wall_ms: t.elapsed().as_secs_f64() * 1e3,
+        wall_ms,
         cells,
+        events,
     });
     Ok(out)
 }
@@ -177,10 +300,16 @@ fn run(cmd: &str, scale: Scale, records: &mut Vec<Record>) -> Fallible {
 
 /// Hand-rolled JSON (the workspace vendors no serializer): flat,
 /// stable key order, floats with fixed precision.
-fn render_json(cmd: &str, scale: Scale, records: &[Record], total_ms: f64) -> String {
+fn render_json(
+    cmd: &str,
+    scale: Scale,
+    records: &[Record],
+    total_ms: f64,
+    recording: Option<&sat_obs::Recording>,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"sat-bench/repro-v1\",\n");
+    s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
     s.push_str(&format!("  \"command\": \"{cmd}\",\n"));
     s.push_str(&format!(
         "  \"scale\": \"{}\",\n",
@@ -193,15 +322,110 @@ fn render_json(cmd: &str, scale: Scale, records: &[Record], total_ms: f64) -> St
     s.push_str("  \"experiments\": [\n");
     for (i, rec) in records.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"cells\": {}}}{}\n",
-            rec.name,
-            rec.wall_ms,
-            rec.cells,
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"cells\": {}, \"events\": {{",
+            rec.name, rec.wall_ms, rec.cells,
+        ));
+        for (j, (key, v)) in rec.events.iter().enumerate() {
+            s.push_str(&format!(
+                "\"{key}\": {v}{}",
+                if j + 1 < rec.events.len() { ", " } else { "" }
+            ));
+        }
+        s.push_str(&format!(
+            "}}}}{}\n",
             if i + 1 < records.len() { "," } else { "" }
         ));
     }
     s.push_str("  ],\n");
-    s.push_str(&format!("  \"total_wall_ms\": {total_ms:.3}\n"));
+    s.push_str(&format!("  \"total_wall_ms\": {total_ms:.3},\n"));
+    s.push_str("  \"obs\": ");
+    match recording {
+        Some(rec) => s.push_str(&sat_obs::metrics_json(&rec.metrics, true, rec.dropped, "  ")),
+        None => {
+            let empty = sat_obs::MetricsRegistry::default();
+            s.push_str(&sat_obs::metrics_json(&empty, false, 0, "  "));
+        }
+    }
+    s.push('\n');
     s.push_str("}\n");
     s
+}
+
+/// Subsystems `repro all --trace` must cover for the trace to count as
+/// healthy (the acceptance floor; `sim` and `bench` ride along).
+const REQUIRED_SUBSYSTEMS: [&str; 5] = ["kernel", "share", "vm-fault", "tlb", "android"];
+
+/// Validates the artifacts a traced run wrote: the snapshot's schema
+/// and experiment list, and — when `--trace` names the trace file —
+/// a non-empty event stream covering [`REQUIRED_SUBSYSTEMS`].
+fn check(trace: Option<&str>, out: &str) -> Fallible {
+    let mut report = String::new();
+
+    let text = std::fs::read_to_string(out).map_err(|e| format!("read {out}: {e}"))?;
+    let snapshot = Json::parse(&text).map_err(|e| format!("{out}: {e}"))?;
+    let schema = snapshot
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{out}: missing \"schema\""))?;
+    if schema != SCHEMA {
+        return Err(format!("{out}: schema \"{schema}\" (expected \"{SCHEMA}\")").into());
+    }
+    let experiments = snapshot
+        .get("experiments")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{out}: missing \"experiments\" array"))?;
+    if experiments.is_empty() {
+        return Err(format!("{out}: empty \"experiments\" array").into());
+    }
+    let obs = snapshot
+        .get("obs")
+        .and_then(Json::as_object)
+        .ok_or_else(|| format!("{out}: missing \"obs\" section"))?;
+    let obs_enabled = obs.get("enabled").and_then(Json::as_bool).unwrap_or(false);
+    report.push_str(&format!(
+        "repro check: {out} ok ({} experiments, obs {})\n",
+        experiments.len(),
+        if obs_enabled { "enabled" } else { "disabled" }
+    ));
+
+    if let Some(trace_path) = trace {
+        let text =
+            std::fs::read_to_string(trace_path).map_err(|e| format!("read {trace_path}: {e}"))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{trace_path}: {e}"))?;
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("{trace_path}: missing \"traceEvents\" array"))?;
+        if events.is_empty() {
+            return Err(format!("{trace_path}: empty event stream").into());
+        }
+        let cats: std::collections::BTreeSet<&str> = events
+            .iter()
+            .filter_map(|e| e.get("cat").and_then(Json::as_str))
+            .collect();
+        let missing: Vec<&str> = REQUIRED_SUBSYSTEMS
+            .iter()
+            .filter(|s| !cats.contains(**s))
+            .copied()
+            .collect();
+        if !missing.is_empty() {
+            return Err(format!(
+                "{trace_path}: no events from subsystem(s) {} (saw: {})",
+                missing.join(", "),
+                cats.into_iter().collect::<Vec<_>>().join(", ")
+            )
+            .into());
+        }
+        if !obs_enabled {
+            return Err(
+                format!("{out}: obs section disabled although a trace was produced").into(),
+            );
+        }
+        report.push_str(&format!(
+            "repro check: {trace_path} ok ({} events, subsystems: {})\n",
+            events.len(),
+            cats.into_iter().collect::<Vec<_>>().join(", ")
+        ));
+    }
+    Ok(report)
 }

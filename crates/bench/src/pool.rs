@@ -55,27 +55,77 @@ where
     let n = jobs.len();
     let workers = workers.min(n);
     if workers <= 1 {
-        return jobs.into_iter().map(|job| job()).collect();
+        // Inline path: events flow straight into the caller's
+        // recorder; a `bench` Cell span closes each cell.
+        return jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, job)| {
+                let t0 = std::time::Instant::now();
+                let out = job();
+                emit_cell(i, t0.elapsed());
+                out
+            })
+            .collect();
     }
     // Indexed job queue (order of *execution* is irrelevant) and an
     // indexed result store (order of *reassembly* is everything).
+    //
+    // The recorder is thread-local, so each worker installs its own
+    // ring (mirroring the caller's capacity) and hands the finished
+    // recording back with the result; the caller absorbs them in
+    // submission order. The *event stream* is therefore identical to
+    // the inline path's — only the Cell wall-clock durations differ.
+    let tracing = sat_obs::enabled();
+    let capacity = sat_obs::ring_capacity().unwrap_or(sat_obs::DEFAULT_RING_CAPACITY);
     let queue: Mutex<Vec<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().collect());
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    type CellResult<T> = (T, Option<sat_obs::Recording>, std::time::Duration);
+    let results: Mutex<Vec<Option<CellResult<T>>>> = Mutex::new((0..n).map(|_| None).collect());
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
                 let job = queue.lock().pop();
                 let Some((i, job)) = job else { break };
+                if tracing {
+                    sat_obs::install(capacity);
+                }
+                let t0 = std::time::Instant::now();
                 let out = job();
-                results.lock()[i] = Some(out);
+                let elapsed = t0.elapsed();
+                let rec = if tracing { sat_obs::uninstall() } else { None };
+                results.lock()[i] = Some((out, rec, elapsed));
             });
         }
     });
     results
         .into_inner()
         .into_iter()
-        .map(|r| r.expect("scope joined with every job completed"))
+        .enumerate()
+        .map(|(i, r)| {
+            let (out, rec, elapsed) = r.expect("scope joined with every job completed");
+            if let Some(rec) = rec {
+                sat_obs::absorb(rec);
+            }
+            emit_cell(i, elapsed);
+            out
+        })
         .collect()
+}
+
+/// Closes cell `i` with a `bench` span carrying its wall-clock
+/// duration (µs).
+fn emit_cell(i: usize, elapsed: std::time::Duration) {
+    if sat_obs::enabled() {
+        sat_obs::emit(
+            sat_obs::Subsystem::Bench,
+            0,
+            0,
+            sat_obs::Payload::Cell {
+                label: format!("cell.{i}"),
+                dur_us: elapsed.as_micros() as u64,
+            },
+        );
+    }
 }
 
 #[cfg(test)]

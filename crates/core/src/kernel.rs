@@ -46,6 +46,19 @@ pub struct KernelStats {
     pub domain_faults: u64,
     /// Processes exited.
     pub exits: u64,
+    /// PTPs unshared, all causes; equals the sum of the four
+    /// by-cause counters below. (Exit-time teardown dereferences
+    /// shared PTPs without unsharing and is not counted.)
+    pub ptp_unshares: u64,
+    /// Unshares triggered by a write fault into a NEED_COPY PTP
+    /// (Section 3.1.2 case 1).
+    pub unshares_write_fault: u64,
+    /// Unshares triggered by mapping a new region (case 3).
+    pub unshares_new_region: u64,
+    /// Unshares triggered by freeing a region (case 4).
+    pub unshares_region_free: u64,
+    /// Unshares triggered by a protection change (case 2).
+    pub unshares_region_op: u64,
 }
 
 /// What a fork did, merged across the sharing and copying paths.
@@ -214,11 +227,13 @@ impl Kernel {
     ) -> SatResult<VirtAddr> {
         let config = self.config;
         let mm = self.procs.get_mut(&pid).ok_or(SatError::NoSuchProcess)?;
+        let asid = mm.asid.raw();
         let addr = vm_mmap(mm, req)?;
         let len = req.len.div_ceil(sat_types::PAGE_SIZE) * sat_types::PAGE_SIZE;
         let range = VaRange::from_len(addr, len);
+        let mut unshared = 0;
         if config.share_ptp {
-            unshare_range(
+            unshared = unshare_range(
                 mm,
                 &mut self.ptps,
                 &mut self.phys,
@@ -226,7 +241,9 @@ impl Kernel {
                 &config,
                 tlb,
                 UnshareTrigger::NewRegion,
-            )?;
+            )? as u64;
+            self.stats.ptp_unshares += unshared;
+            self.stats.unshares_new_region += unshared;
         }
         if config.share_tlb
             && mm.is_zygote
@@ -236,6 +253,19 @@ impl Kernel {
             if let Some(vma) = mm.vma_at_mut(addr) {
                 vma.global = true;
             }
+        }
+        if sat_obs::enabled() {
+            sat_obs::emit(
+                sat_obs::Subsystem::Kernel,
+                pid.raw(),
+                asid,
+                sat_obs::Payload::RegionOp {
+                    op: sat_obs::RegionOpKind::Mmap,
+                    va: addr.raw(),
+                    pages: len / sat_types::PAGE_SIZE,
+                    unshared,
+                },
+            );
         }
         Ok(addr)
     }
@@ -250,8 +280,10 @@ impl Kernel {
     ) -> SatResult<usize> {
         let config = self.config;
         let mm = self.procs.get_mut(&pid).ok_or(SatError::NoSuchProcess)?;
+        let asid = mm.asid.raw();
+        let mut unshared = 0;
         if config.share_ptp {
-            unshare_range(
+            unshared = unshare_range(
                 mm,
                 &mut self.ptps,
                 &mut self.phys,
@@ -259,13 +291,30 @@ impl Kernel {
                 &config,
                 tlb,
                 UnshareTrigger::RegionFree,
-            )?;
+            )? as u64;
+            self.stats.ptp_unshares += unshared;
+            self.stats.unshares_region_free += unshared;
         }
         let cleared = vm_munmap(mm, &mut self.ptps, &mut self.phys, range)?;
         // The unmapped translations must not survive in any TLB
         // (Linux's flush_tlb_range on the munmap path).
-        for page in range.pages() {
-            tlb.flush_va_all_asids(page);
+        sat_obs::with_flush_reason(sat_obs::FlushReason::RegionOp, || {
+            for page in range.pages() {
+                tlb.flush_va_all_asids(page);
+            }
+        });
+        if sat_obs::enabled() {
+            sat_obs::emit(
+                sat_obs::Subsystem::Kernel,
+                pid.raw(),
+                asid,
+                sat_obs::Payload::RegionOp {
+                    op: sat_obs::RegionOpKind::Munmap,
+                    va: range.start.raw(),
+                    pages: range.pages().count() as u32,
+                    unshared,
+                },
+            );
         }
         Ok(cleared)
     }
@@ -281,8 +330,10 @@ impl Kernel {
     ) -> SatResult<()> {
         let config = self.config;
         let mm = self.procs.get_mut(&pid).ok_or(SatError::NoSuchProcess)?;
+        let asid = mm.asid.raw();
+        let mut unshared = 0;
         if config.share_ptp {
-            unshare_range(
+            unshared = unshare_range(
                 mm,
                 &mut self.ptps,
                 &mut self.phys,
@@ -290,13 +341,30 @@ impl Kernel {
                 &config,
                 tlb,
                 UnshareTrigger::RegionOp,
-            )?;
+            )? as u64;
+            self.stats.ptp_unshares += unshared;
+            self.stats.unshares_region_op += unshared;
         }
         vm_mprotect(mm, &mut self.ptps, &mut self.phys, range, perms)?;
         // Old (possibly more-permissive) translations must be evicted
         // (Linux's flush_tlb_range on the mprotect path).
-        for page in range.pages() {
-            tlb.flush_va_all_asids(page);
+        sat_obs::with_flush_reason(sat_obs::FlushReason::RegionOp, || {
+            for page in range.pages() {
+                tlb.flush_va_all_asids(page);
+            }
+        });
+        if sat_obs::enabled() {
+            sat_obs::emit(
+                sat_obs::Subsystem::Kernel,
+                pid.raw(),
+                asid,
+                sat_obs::Payload::RegionOp {
+                    op: sat_obs::RegionOpKind::Mprotect,
+                    va: range.start.raw(),
+                    pages: range.pages().count() as u32,
+                    unshared,
+                },
+            );
         }
         Ok(())
     }
@@ -328,6 +396,8 @@ impl Kernel {
             .expect("NEED_COPY checked above");
             unshared = true;
             unshare_ptes_copied = r.ptes_copied;
+            self.stats.ptp_unshares += 1;
+            self.stats.unshares_write_fault += 1;
         }
         let zygote_like = mm.is_zygote_like();
         let ctx = FaultCtx {
@@ -390,8 +460,10 @@ impl Kernel {
         // eagerly, or the eager PTE installs below would leak into the
         // other sharers' address spaces.
         let range = sat_vm::round_to_large(sat_types::VaRange::from_len(at, len));
+        let asid = mm.asid.raw();
+        let mut unshared = 0;
         if config.share_ptp {
-            unshare_range(
+            unshared = unshare_range(
                 mm,
                 &mut self.ptps,
                 &mut self.phys,
@@ -399,9 +471,26 @@ impl Kernel {
                 &config,
                 tlb,
                 UnshareTrigger::NewRegion,
-            )?;
+            )? as u64;
+            self.stats.ptp_unshares += unshared;
+            self.stats.unshares_new_region += unshared;
         }
-        sat_vm::mmap_large(mm, &mut self.ptps, &mut self.phys, at, len, perms, tag, name, domain)
+        let report =
+            sat_vm::mmap_large(mm, &mut self.ptps, &mut self.phys, at, len, perms, tag, name, domain)?;
+        if sat_obs::enabled() {
+            sat_obs::emit(
+                sat_obs::Subsystem::Kernel,
+                pid.raw(),
+                asid,
+                sat_obs::Payload::RegionOp {
+                    op: sat_obs::RegionOpKind::MmapLarge,
+                    va: at.raw(),
+                    pages: len.div_ceil(sat_types::PAGE_SIZE),
+                    unshared,
+                },
+            );
+        }
+        Ok(report)
     }
 
     /// `fork(2)`: shares PTPs when enabled, else copies per the
@@ -418,6 +507,7 @@ impl Kernel {
         self.next_pid += 1;
         let child_asid = self.alloc_asid();
         let parent_mm = self.procs.get_mut(&parent).ok_or(SatError::NoSuchProcess)?;
+        let parent_asid = parent_mm.asid.raw();
         self.stats.forks += 1;
 
         let (child_mm, outcome) = if config.share_ptp {
@@ -464,6 +554,19 @@ impl Kernel {
             )
         };
         self.procs.insert(child_pid, child_mm);
+        if sat_obs::enabled() {
+            sat_obs::emit(
+                sat_obs::Subsystem::Kernel,
+                parent.raw(),
+                parent_asid,
+                sat_obs::Payload::Fork {
+                    child: child_pid.raw(),
+                    ptps_shared: outcome.ptps_shared,
+                    ptes_copied: outcome.ptes_copied,
+                    shared: config.share_ptp,
+                },
+            );
+        }
         Ok(outcome)
     }
 
@@ -473,10 +576,16 @@ impl Kernel {
     pub fn exit(&mut self, pid: Pid, tlb: &mut dyn TlbMaintenance) -> SatResult<()> {
         let mut mm = self.procs.remove(&pid).ok_or(SatError::NoSuchProcess)?;
         exit_mmap(&mut mm, &mut self.ptps, &mut self.phys);
-        tlb.flush_asid(mm.asid);
+        sat_obs::with_flush_reason(sat_obs::FlushReason::Exit, || {
+            tlb.flush_asid(mm.asid);
+        });
         self.free_asids.push(mm.asid);
+        let asid = mm.asid.raw();
         mm.free_root(&mut self.phys);
         self.stats.exits += 1;
+        if sat_obs::enabled() {
+            sat_obs::emit(sat_obs::Subsystem::Kernel, pid.raw(), asid, sat_obs::Payload::Exit);
+        }
         Ok(())
     }
 
@@ -486,7 +595,20 @@ impl Kernel {
     /// on return the process re-faults into a normal table walk.
     pub fn domain_fault(&mut self, va: VirtAddr, tlb: &mut dyn TlbMaintenance) {
         self.stats.domain_faults += 1;
-        tlb.flush_va_all_asids(va);
+        sat_obs::with_flush_reason(sat_obs::FlushReason::DomainFault, || {
+            tlb.flush_va_all_asids(va);
+        });
+        // The faulting process is not identified by the hardware (the
+        // DACR check happens before translation completes), so the
+        // event carries no pid/ASID.
+        if sat_obs::enabled() {
+            sat_obs::emit(
+                sat_obs::Subsystem::Kernel,
+                0,
+                0,
+                sat_obs::Payload::DomainFault { va: va.raw() },
+            );
+        }
     }
 
     /// Reads the PTE slot serving `va` in `pid`, if populated.

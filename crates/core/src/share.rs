@@ -27,6 +27,38 @@ pub enum UnshareTrigger {
     Exit,
 }
 
+impl UnshareTrigger {
+    /// The observability-layer mirror of this trigger (`sat-obs` sits
+    /// below `sat-core` in the dependency graph, so the enum is
+    /// duplicated there rather than imported here).
+    pub fn cause(self) -> sat_obs::UnshareCause {
+        match self {
+            UnshareTrigger::WriteFault => sat_obs::UnshareCause::WriteFault,
+            UnshareTrigger::RegionOp => sat_obs::UnshareCause::RegionOp,
+            UnshareTrigger::NewRegion => sat_obs::UnshareCause::NewRegion,
+            UnshareTrigger::RegionFree => sat_obs::UnshareCause::RegionFree,
+            UnshareTrigger::Exit => sat_obs::UnshareCause::Exit,
+        }
+    }
+}
+
+/// Reports one PTP unshare to the observability layer.
+fn emit_unshare(mm: &Mm, chunk: VirtAddr, trigger: UnshareTrigger, report: &UnshareReport) {
+    if sat_obs::enabled() {
+        sat_obs::emit(
+            sat_obs::Subsystem::Share,
+            mm.pid.raw(),
+            mm.asid.raw(),
+            sat_obs::Payload::PtpUnshare {
+                cause: trigger.cause(),
+                ptes_copied: report.ptes_copied,
+                last_sharer: report.last_sharer,
+                va: chunk.raw(),
+            },
+        );
+    }
+}
+
 /// Accounting from a shared-PTP fork (the Table 4 row).
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct ShareForkReport {
@@ -172,6 +204,17 @@ pub fn fork_share(
     }
     child.counters.ptes_copied_fork = report.ptes_copied;
     child.counters.ptps_allocated = report.ptps_allocated;
+    if sat_obs::enabled() {
+        sat_obs::emit(
+            sat_obs::Subsystem::Share,
+            child_pid.raw(),
+            child_asid.raw(),
+            sat_obs::Payload::PtpShare {
+                ptps: report.ptps_shared,
+                write_protect_ops: report.write_protect_ops,
+            },
+        );
+    }
     Ok((child, report))
 }
 
@@ -219,17 +262,21 @@ pub fn unshare(
             // protection) must be evicted so the new permissions take
             // effect.
             protect_multiply_mapped(mm, ptps, phys, chunk);
-            tlb.flush_asid(mm.asid);
+            sat_obs::with_flush_reason(sat_obs::FlushReason::Unshare, || {
+                tlb.flush_asid(mm.asid)
+            });
         }
-        return Ok(Some(UnshareReport {
+        let report = UnshareReport {
             last_sharer: true,
             ptes_copied: 0,
-        }));
+        };
+        emit_unshare(mm, chunk, trigger, &report);
+        return Ok(Some(report));
     }
 
     // Clear our level-1 pair and flush our TLB entries.
     mm.root.clear_table_pair(chunk);
-    tlb.flush_asid(mm.asid);
+    sat_obs::with_flush_reason(sat_obs::FlushReason::Unshare, || tlb.flush_asid(mm.asid));
 
     // Allocate and populate the private copy.
     let new_frame = phys.alloc(FrameKind::PageTable)?;
@@ -278,10 +325,12 @@ pub fn unshare(
 
     mm.counters.ptes_copied_unshare += copied;
     mm.counters.ptps_allocated += 1;
-    Ok(Some(UnshareReport {
+    let report = UnshareReport {
         last_sharer: false,
         ptes_copied: copied,
-    }))
+    };
+    emit_unshare(mm, chunk, trigger, &report);
+    Ok(Some(report))
 }
 
 /// Unshares every shared PTP whose chunk overlaps `range` (the

@@ -1,0 +1,245 @@
+//! Exporters: Chrome trace-event JSON and the metrics snapshot.
+//!
+//! The trace format is the Trace Event Format's "JSON object" flavour
+//! (`{"traceEvents": [...], ...}`), loadable in `chrome://tracing` and
+//! Perfetto. `ts` carries the recorder tick (logical order — the
+//! simulator has no wall clock), `pid`/`tid` carry the simulated
+//! pid/ASID, and `dur` on span events is modeled cycles (Android
+//! phases) or wall-clock µs (bench cells), as noted per event in
+//! `args`.
+
+use crate::event::{Event, Payload};
+use crate::json::escape_into;
+use crate::metrics::{Histogram, MetricsRegistry};
+use crate::sink::Recording;
+
+fn push_kv_str(out: &mut String, key: &str, value: &str, comma: bool) {
+    if comma {
+        out.push_str(", ");
+    }
+    out.push('"');
+    escape_into(out, key);
+    out.push_str("\": \"");
+    escape_into(out, value);
+    out.push('"');
+}
+
+fn push_kv_num(out: &mut String, key: &str, value: u64, comma: bool) {
+    if comma {
+        out.push_str(", ");
+    }
+    out.push('"');
+    escape_into(out, key);
+    out.push_str("\": ");
+    out.push_str(&value.to_string());
+}
+
+fn push_kv_bool(out: &mut String, key: &str, value: bool, comma: bool) {
+    if comma {
+        out.push_str(", ");
+    }
+    out.push('"');
+    escape_into(out, key);
+    out.push_str("\": ");
+    out.push_str(if value { "true" } else { "false" });
+}
+
+/// Renders one event's `args` object.
+fn args_json(payload: &Payload) -> String {
+    let mut o = String::from("{");
+    match payload {
+        Payload::Fork {
+            child,
+            ptps_shared,
+            ptes_copied,
+            shared,
+        } => {
+            push_kv_num(&mut o, "child", u64::from(*child), false);
+            push_kv_num(&mut o, "ptps_shared", *ptps_shared, true);
+            push_kv_num(&mut o, "ptes_copied", *ptes_copied, true);
+            push_kv_bool(&mut o, "shared", *shared, true);
+        }
+        Payload::Exit => {}
+        Payload::RegionOp {
+            op,
+            va,
+            pages,
+            unshared,
+        } => {
+            push_kv_str(&mut o, "op", op.as_str(), false);
+            push_kv_num(&mut o, "va", u64::from(*va), true);
+            push_kv_num(&mut o, "pages", u64::from(*pages), true);
+            push_kv_num(&mut o, "unshared", *unshared, true);
+        }
+        Payload::DomainFault { va } => {
+            push_kv_num(&mut o, "va", u64::from(*va), false);
+        }
+        Payload::PtpShare {
+            ptps,
+            write_protect_ops,
+        } => {
+            push_kv_num(&mut o, "ptps", *ptps, false);
+            push_kv_num(&mut o, "write_protect_ops", *write_protect_ops, true);
+        }
+        Payload::PtpUnshare {
+            cause,
+            ptes_copied,
+            last_sharer,
+            va,
+        } => {
+            push_kv_str(&mut o, "cause", cause.as_str(), false);
+            push_kv_num(&mut o, "ptes_copied", *ptes_copied, true);
+            push_kv_bool(&mut o, "last_sharer", *last_sharer, true);
+            push_kv_num(&mut o, "va", u64::from(*va), true);
+        }
+        Payload::PageFault {
+            class,
+            va,
+            file_backed,
+        } => {
+            push_kv_str(&mut o, "class", class.as_str(), false);
+            push_kv_num(&mut o, "va", u64::from(*va), true);
+            push_kv_bool(&mut o, "file_backed", *file_backed, true);
+        }
+        Payload::TlbFlush {
+            scope,
+            reason,
+            entries,
+        } => {
+            push_kv_str(&mut o, "scope", scope.as_str(), false);
+            push_kv_str(&mut o, "reason", reason.as_str(), true);
+            push_kv_num(&mut o, "entries", *entries, true);
+        }
+        Payload::Phase { cycles, .. } => {
+            push_kv_num(&mut o, "cycles", *cycles, false);
+            push_kv_str(&mut o, "dur_unit", "cycles", true);
+        }
+        Payload::Cell { dur_us, .. } => {
+            push_kv_num(&mut o, "us", *dur_us, false);
+            push_kv_str(&mut o, "dur_unit", "us", true);
+        }
+    }
+    o.push('}');
+    o
+}
+
+fn event_json(event: &Event) -> String {
+    let mut o = String::from("{");
+    push_kv_str(&mut o, "name", event.payload.name(), false);
+    push_kv_str(&mut o, "cat", event.subsystem.as_str(), true);
+    match event.payload.span_duration() {
+        Some(dur) => {
+            push_kv_str(&mut o, "ph", "X", true);
+            push_kv_num(&mut o, "dur", dur, true);
+        }
+        None => {
+            push_kv_str(&mut o, "ph", "i", true);
+            push_kv_str(&mut o, "s", "t", true);
+        }
+    }
+    push_kv_num(&mut o, "ts", event.tick, true);
+    push_kv_num(&mut o, "pid", u64::from(event.pid), true);
+    push_kv_num(&mut o, "tid", u64::from(event.asid), true);
+    o.push_str(", \"args\": ");
+    o.push_str(&args_json(&event.payload));
+    o.push('}');
+    o
+}
+
+/// Serializes a recording as a Chrome trace-event JSON document.
+pub fn chrome_trace_json(rec: &Recording) -> String {
+    let mut out = String::from("{\n  \"traceEvents\": [\n");
+    for (i, event) in rec.events.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&event_json(event));
+        if i + 1 != rec.events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"displayTimeUnit\": \"ns\",\n");
+    out.push_str(&format!(
+        "  \"otherData\": {{\"generator\": \"sat-obs\", \"dropped_events\": {}, \"event_count\": {}}}\n",
+        rec.dropped,
+        rec.events.len()
+    ));
+    out.push('}');
+    out
+}
+
+fn histogram_json(h: &Histogram) -> String {
+    // Trailing zero buckets are trimmed; bucket i covers values with
+    // floor(log2(max(v,1))) == i.
+    let last = h
+        .buckets
+        .iter()
+        .rposition(|&b| b != 0)
+        .map_or(0, |i| i + 1);
+    let buckets: Vec<String> = h.buckets[..last].iter().map(|b| b.to_string()).collect();
+    format!(
+        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.3}, \"log2_buckets\": [{}]}}",
+        h.count,
+        h.sum,
+        if h.count == 0 { 0 } else { h.min },
+        h.max,
+        h.mean(),
+        buckets.join(", ")
+    )
+}
+
+/// Serializes the metrics registry (plus the ring's drop counter) as a
+/// JSON object — the `obs` section of `BENCH_repro.json` v2. `indent`
+/// is the base indentation applied to every line after the first.
+pub fn metrics_json(metrics: &MetricsRegistry, enabled: bool, dropped: u64, indent: &str) -> String {
+    let mut out = String::from("{\n");
+    let field = |out: &mut String, name: &str| {
+        out.push_str(indent);
+        out.push_str("  \"");
+        out.push_str(name);
+        out.push_str("\": ");
+    };
+    field(&mut out, "enabled");
+    out.push_str(if enabled { "true" } else { "false" });
+    out.push_str(",\n");
+    field(&mut out, "dropped_events");
+    out.push_str(&dropped.to_string());
+    out.push_str(",\n");
+
+    field(&mut out, "counters");
+    out.push_str("{\n");
+    let counters: Vec<(&str, u64)> = metrics.counters().collect();
+    for (i, (k, v)) in counters.iter().enumerate() {
+        out.push_str(indent);
+        out.push_str("    \"");
+        escape_into(&mut out, k);
+        out.push_str("\": ");
+        out.push_str(&v.to_string());
+        if i + 1 != counters.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str(indent);
+    out.push_str("  },\n");
+
+    field(&mut out, "histograms");
+    out.push_str("{\n");
+    let hists: Vec<(&str, &Histogram)> = metrics.histograms().collect();
+    for (i, (k, h)) in hists.iter().enumerate() {
+        out.push_str(indent);
+        out.push_str("    \"");
+        escape_into(&mut out, k);
+        out.push_str("\": ");
+        out.push_str(&histogram_json(h));
+        if i + 1 != hists.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str(indent);
+    out.push_str("  }\n");
+    out.push_str(indent);
+    out.push('}');
+    out
+}

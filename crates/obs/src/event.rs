@@ -1,0 +1,353 @@
+//! The event model: what happened, in which layer, and *why*.
+//!
+//! Every mechanism the paper evaluates is attributed by cause, not just
+//! counted: an unshare carries its [`UnshareCause`] (write fault vs
+//! region op vs fork-time copy), a TLB flush carries its [`FlushScope`]
+//! and the kernel-path [`FlushReason`] that triggered it. The cause
+//! enums here deliberately mirror — but do not depend on — the enums in
+//! the mechanism crates (`sat-core`'s `UnshareTrigger`, `sat-vm`'s
+//! `FaultKind`): `sat-obs` sits below every instrumented crate in the
+//! dependency graph.
+
+/// The layer an event originated from. Becomes the Chrome-trace `cat`
+/// field, so Perfetto can filter per subsystem.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Subsystem {
+    /// `sat-core` kernel entry points (fork/exit/region ops/faults).
+    Kernel,
+    /// `sat-core` PTP share/unshare mechanism.
+    Share,
+    /// `sat-vm` page-fault handling.
+    VmFault,
+    /// `sat-tlb` flush primitives (main and micro TLBs).
+    Tlb,
+    /// `sat-android` launch/IPC phases.
+    Android,
+    /// `sat-bench` sweep cells.
+    Bench,
+    /// `sat-sim` modeled-cost sampling.
+    Sim,
+}
+
+impl Subsystem {
+    /// Stable lowercase name (the Chrome-trace category).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Subsystem::Kernel => "kernel",
+            Subsystem::Share => "share",
+            Subsystem::VmFault => "vm-fault",
+            Subsystem::Tlb => "tlb",
+            Subsystem::Android => "android",
+            Subsystem::Bench => "bench",
+            Subsystem::Sim => "sim",
+        }
+    }
+}
+
+/// Why a PTP was unshared. Mirrors `sat-core`'s `UnshareTrigger`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnshareCause {
+    /// COW write fault into a shared chunk.
+    WriteFault,
+    /// A new region was mapped into a shared chunk.
+    NewRegion,
+    /// A region in the shared chunk was freed.
+    RegionFree,
+    /// mprotect (or similar in-place op) on a shared chunk.
+    RegionOp,
+    /// Address-space teardown.
+    Exit,
+}
+
+impl UnshareCause {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            UnshareCause::WriteFault => "write_fault",
+            UnshareCause::NewRegion => "new_region",
+            UnshareCause::RegionFree => "region_free",
+            UnshareCause::RegionOp => "region_op",
+            UnshareCause::Exit => "exit",
+        }
+    }
+
+    /// The per-cause counter bumped for every unshare event.
+    pub fn counter_key(self) -> &'static str {
+        match self {
+            UnshareCause::WriteFault => "share.unshare.write_fault",
+            UnshareCause::NewRegion => "share.unshare.new_region",
+            UnshareCause::RegionFree => "share.unshare.region_free",
+            UnshareCause::RegionOp => "share.unshare.region_op",
+            UnshareCause::Exit => "share.unshare.exit",
+        }
+    }
+}
+
+/// Which kernel path issued a TLB flush. Set as a scoped thread-local
+/// by the caller (see [`crate::with_flush_reason`]) and read by the
+/// flush primitives, so the TLB crate needs no signature changes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlushReason {
+    /// No kernel path claimed the flush (e.g. a unit test poking the
+    /// TLB directly).
+    Unattributed,
+    ContextSwitch,
+    Fork,
+    Exit,
+    /// PTP unshare repair (the unshare path flushes the ASID).
+    Unshare,
+    /// Post-munmap/mprotect VA invalidation.
+    RegionOp,
+    /// Per-fault repair after the kernel rewrites a PTE.
+    FaultRepair,
+    DomainFault,
+    AsidRecycle,
+}
+
+impl FlushReason {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FlushReason::Unattributed => "unattributed",
+            FlushReason::ContextSwitch => "context_switch",
+            FlushReason::Fork => "fork",
+            FlushReason::Exit => "exit",
+            FlushReason::Unshare => "unshare",
+            FlushReason::RegionOp => "region_op",
+            FlushReason::FaultRepair => "fault_repair",
+            FlushReason::DomainFault => "domain_fault",
+            FlushReason::AsidRecycle => "asid_recycle",
+        }
+    }
+
+    /// Per-reason flush-event counter.
+    pub fn counter_key(self) -> &'static str {
+        match self {
+            FlushReason::Unattributed => "tlb.flush.reason.unattributed",
+            FlushReason::ContextSwitch => "tlb.flush.reason.context_switch",
+            FlushReason::Fork => "tlb.flush.reason.fork",
+            FlushReason::Exit => "tlb.flush.reason.exit",
+            FlushReason::Unshare => "tlb.flush.reason.unshare",
+            FlushReason::RegionOp => "tlb.flush.reason.region_op",
+            FlushReason::FaultRepair => "tlb.flush.reason.fault_repair",
+            FlushReason::DomainFault => "tlb.flush.reason.domain_fault",
+            FlushReason::AsidRecycle => "tlb.flush.reason.asid_recycle",
+        }
+    }
+
+    /// Per-reason invalidated-entry accumulator (main TLB only).
+    pub fn entries_key(self) -> &'static str {
+        match self {
+            FlushReason::Unattributed => "tlb.flush.reason.unattributed.entries",
+            FlushReason::ContextSwitch => "tlb.flush.reason.context_switch.entries",
+            FlushReason::Fork => "tlb.flush.reason.fork.entries",
+            FlushReason::Exit => "tlb.flush.reason.exit.entries",
+            FlushReason::Unshare => "tlb.flush.reason.unshare.entries",
+            FlushReason::RegionOp => "tlb.flush.reason.region_op.entries",
+            FlushReason::FaultRepair => "tlb.flush.reason.fault_repair.entries",
+            FlushReason::DomainFault => "tlb.flush.reason.domain_fault.entries",
+            FlushReason::AsidRecycle => "tlb.flush.reason.asid_recycle.entries",
+        }
+    }
+}
+
+/// Which flush primitive fired.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlushScope {
+    /// `MainTlb::flush_all` — counted against `TlbStats::full_flushes`.
+    All,
+    /// `MainTlb::flush_asid`.
+    Asid,
+    /// `MainTlb::flush_va_all_asids`.
+    VaAllAsids,
+    /// `MainTlb::flush_va`.
+    Va,
+    /// `MainTlb::flush_non_global`.
+    NonGlobal,
+    /// `MicroTlb::flush` (context-switch full clear).
+    MicroAll,
+    /// `MicroTlb::flush_va`.
+    MicroVa,
+}
+
+impl FlushScope {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FlushScope::All => "all",
+            FlushScope::Asid => "asid",
+            FlushScope::VaAllAsids => "va_all_asids",
+            FlushScope::Va => "va",
+            FlushScope::NonGlobal => "non_global",
+            FlushScope::MicroAll => "micro_all",
+            FlushScope::MicroVa => "micro_va",
+        }
+    }
+
+    /// True for the main (ASID-tagged, `TlbStats`-counted) TLB scopes.
+    pub fn is_main(self) -> bool {
+        !matches!(self, FlushScope::MicroAll | FlushScope::MicroVa)
+    }
+
+    pub fn counter_key(self) -> &'static str {
+        match self {
+            FlushScope::All => "tlb.flush.scope.all",
+            FlushScope::Asid => "tlb.flush.scope.asid",
+            FlushScope::VaAllAsids => "tlb.flush.scope.va_all_asids",
+            FlushScope::Va => "tlb.flush.scope.va",
+            FlushScope::NonGlobal => "tlb.flush.scope.non_global",
+            FlushScope::MicroAll => "tlb.flush.scope.micro_all",
+            FlushScope::MicroVa => "tlb.flush.scope.micro_va",
+        }
+    }
+}
+
+/// How a page fault resolved. Mirrors `sat-vm`'s `FaultKind`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultClass {
+    Minor,
+    Major,
+    Cow,
+    WriteEnable,
+    Spurious,
+}
+
+impl FaultClass {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultClass::Minor => "minor",
+            FaultClass::Major => "major",
+            FaultClass::Cow => "cow",
+            FaultClass::WriteEnable => "write_enable",
+            FaultClass::Spurious => "spurious",
+        }
+    }
+
+    pub fn counter_key(self) -> &'static str {
+        match self {
+            FaultClass::Minor => "vm.fault.minor",
+            FaultClass::Major => "vm.fault.major",
+            FaultClass::Cow => "vm.fault.cow",
+            FaultClass::WriteEnable => "vm.fault.write_enable",
+            FaultClass::Spurious => "vm.fault.spurious",
+        }
+    }
+}
+
+/// Which region syscall ran.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RegionOpKind {
+    Mmap,
+    MmapLarge,
+    Munmap,
+    Mprotect,
+}
+
+impl RegionOpKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RegionOpKind::Mmap => "mmap",
+            RegionOpKind::MmapLarge => "mmap_large",
+            RegionOpKind::Munmap => "munmap",
+            RegionOpKind::Mprotect => "mprotect",
+        }
+    }
+
+    pub fn counter_key(self) -> &'static str {
+        match self {
+            RegionOpKind::Mmap => "kernel.mmap",
+            RegionOpKind::MmapLarge => "kernel.mmap_large",
+            RegionOpKind::Munmap => "kernel.munmap",
+            RegionOpKind::Mprotect => "kernel.mprotect",
+        }
+    }
+}
+
+/// The typed body of an event. Numeric fields are the quantities the
+/// paper's evaluation attributes per cause.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Payload {
+    /// `Kernel::fork` completed; `pid` is the parent.
+    Fork {
+        child: u32,
+        ptps_shared: u64,
+        ptes_copied: u64,
+        /// Whether this fork took the PTP-sharing path.
+        shared: bool,
+    },
+    /// `Kernel::exit` tore down the address space.
+    Exit,
+    /// A region syscall (mmap/munmap/mprotect/mmap_large).
+    RegionOp {
+        op: RegionOpKind,
+        va: u32,
+        pages: u32,
+        /// PTPs unshared as a side effect of the op.
+        unshared: u64,
+    },
+    /// ARM domain fault (global-entry protection check failed).
+    DomainFault { va: u32 },
+    /// Fork-time PTP sharing summary (one per shared fork).
+    PtpShare { ptps: u64, write_protect_ops: u64 },
+    /// One PTP left the shared state.
+    PtpUnshare {
+        cause: UnshareCause,
+        ptes_copied: u64,
+        /// Last-sharer fast path: no copy, only NEED_COPY cleared.
+        last_sharer: bool,
+        va: u32,
+    },
+    /// `sat-vm` resolved a page fault.
+    PageFault {
+        class: FaultClass,
+        va: u32,
+        file_backed: bool,
+    },
+    /// A TLB flush primitive ran and invalidated `entries` entries.
+    TlbFlush {
+        scope: FlushScope,
+        reason: FlushReason,
+        entries: u64,
+    },
+    /// A named span in an Android scenario, in modeled cycles.
+    Phase { name: &'static str, cycles: u64 },
+    /// One sweep cell executed by the bench pool, wall-clock µs.
+    Cell { label: String, dur_us: u64 },
+}
+
+impl Payload {
+    /// The Chrome-trace event name.
+    pub fn name(&self) -> &str {
+        match self {
+            Payload::Fork { .. } => "fork",
+            Payload::Exit => "exit",
+            Payload::RegionOp { op, .. } => op.as_str(),
+            Payload::DomainFault { .. } => "domain_fault",
+            Payload::PtpShare { .. } => "ptp_share",
+            Payload::PtpUnshare { .. } => "ptp_unshare",
+            Payload::PageFault { .. } => "page_fault",
+            Payload::TlbFlush { .. } => "tlb_flush",
+            Payload::Phase { name, .. } => name,
+            Payload::Cell { label, .. } => label,
+        }
+    }
+
+    /// Span duration for "X" (complete) Chrome events; `None` renders
+    /// an instant ("i") event.
+    pub fn span_duration(&self) -> Option<u64> {
+        match self {
+            Payload::Phase { cycles, .. } => Some(*cycles),
+            Payload::Cell { dur_us, .. } => Some(*dur_us),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded event. `tick` is a recorder-local monotonic sequence
+/// number (the simulator is deterministic; logical order is the only
+/// timestamp that is stable across hosts).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Event {
+    pub tick: u64,
+    pub pid: u32,
+    pub asid: u8,
+    pub subsystem: Subsystem,
+    pub payload: Payload,
+}

@@ -1,0 +1,240 @@
+//! `sat-obs`: cross-layer event tracing and metrics.
+//!
+//! A thread-local recorder collects structured [`Event`]s from every
+//! mechanism layer (kernel, PTP share, vm fault, TLB, Android, bench)
+//! into a fixed-capacity ring ([`RingSink`]) alongside an exact
+//! [`MetricsRegistry`]. Two exporters serialize the harvest: Chrome
+//! trace-event JSON ([`chrome_trace_json`]) and a metrics snapshot
+//! ([`metrics_json`]) embedded in `BENCH_repro.json`.
+//!
+//! # Overhead contract
+//!
+//! Instrumented call sites are written as
+//!
+//! ```ignore
+//! if sat_obs::enabled() {
+//!     sat_obs::emit(Subsystem::Tlb, pid, asid, Payload::TlbFlush { .. });
+//! }
+//! ```
+//!
+//! With no recorder installed — the default on every thread —
+//! [`enabled`] is a single thread-local `Cell<bool>` read: one
+//! branch-predictable test, no allocation, no payload construction.
+//! The `tlb_hot_path` bench's `obs_overhead` groups measure this.
+//!
+//! # Threads
+//!
+//! The recorder is deliberately thread-local (no global mutex on the
+//! simulator's hot paths; `cargo test` runs tests concurrently). The
+//! bench pool's worker threads install their own recorder per cell and
+//! the submitting thread merges the harvests back, in submission
+//! order, via [`absorb`] — so a traced parallel sweep reports the same
+//! events (and metrics) as a serial one.
+
+#![forbid(unsafe_code)]
+
+mod chrome;
+mod event;
+pub mod json;
+mod metrics;
+mod sink;
+
+pub use chrome::{chrome_trace_json, metrics_json};
+pub use event::{
+    Event, FaultClass, FlushReason, FlushScope, Payload, RegionOpKind, Subsystem, UnshareCause,
+};
+pub use metrics::{Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
+pub use sink::{EventSink, NullSink, Recording, RingSink};
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+
+thread_local! {
+    static SINK: RefCell<Option<Box<dyn EventSink>>> = const { RefCell::new(None) };
+    /// Mirror of `SINK.is_some() && sink.is_enabled()`: the cheap
+    /// check on the disabled path.
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static FLUSH_REASON: Cell<FlushReason> = const { Cell::new(FlushReason::Unattributed) };
+}
+
+/// Default ring capacity (overridable via `SAT_OBS_RING`).
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// Ring capacity from the `SAT_OBS_RING` env var, else the default.
+pub fn env_ring_capacity() -> usize {
+    std::env::var("SAT_OBS_RING")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_RING_CAPACITY)
+}
+
+/// Whether a live sink is installed on this thread. Call sites gate
+/// payload construction on this.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Installs a fresh [`RingSink`] with `capacity` on this thread,
+/// replacing (and discarding) any previous sink.
+pub fn install(capacity: usize) {
+    install_sink(Box::new(RingSink::new(capacity)));
+}
+
+/// Installs an arbitrary sink on this thread.
+pub fn install_sink(sink: Box<dyn EventSink>) {
+    ENABLED.with(|e| e.set(sink.is_enabled()));
+    SINK.with(|s| *s.borrow_mut() = Some(sink));
+}
+
+/// Removes this thread's sink and returns everything it captured.
+/// `None` if nothing was installed.
+pub fn uninstall() -> Option<Recording> {
+    ENABLED.with(|e| e.set(false));
+    FLUSH_REASON.with(|r| r.set(FlushReason::Unattributed));
+    SINK.with(|s| s.borrow_mut().take()).map(|sink| sink.finish())
+}
+
+/// Records one event on this thread's sink (no-op when disabled —
+/// but prefer gating on [`enabled`] so the payload is never built).
+pub fn emit(subsystem: Subsystem, pid: u32, asid: u8, payload: Payload) {
+    if !enabled() {
+        return;
+    }
+    SINK.with(|s| {
+        if let Some(sink) = s.borrow_mut().as_mut() {
+            sink.record(pid, asid, subsystem, payload);
+        }
+    });
+}
+
+/// Records a histogram sample (e.g. one modeled fault's cycle cost).
+pub fn record_value(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    SINK.with(|s| {
+        if let Some(sink) = s.borrow_mut().as_mut() {
+            sink.record_value(name, value);
+        }
+    });
+}
+
+/// Runs `f` with the thread's flush-reason set to `reason`, restoring
+/// the previous reason afterwards. TLB flush primitives read this to
+/// attribute flushes to the kernel path that issued them, without any
+/// signature changes through `TlbMaintenance`.
+pub fn with_flush_reason<R>(reason: FlushReason, f: impl FnOnce() -> R) -> R {
+    if !enabled() {
+        return f();
+    }
+    let prev = FLUSH_REASON.with(|r| r.replace(reason));
+    let out = f();
+    FLUSH_REASON.with(|r| r.set(prev));
+    out
+}
+
+/// The flush reason currently in scope (see [`with_flush_reason`]).
+pub fn current_flush_reason() -> FlushReason {
+    FLUSH_REASON.with(|r| r.get())
+}
+
+/// Merges a recording harvested on another thread into this thread's
+/// sink (no-op when disabled). Events are re-stamped in order.
+pub fn absorb(rec: Recording) {
+    if !enabled() {
+        return;
+    }
+    SINK.with(|s| {
+        if let Some(sink) = s.borrow_mut().as_mut() {
+            sink.absorb(rec);
+        }
+    });
+}
+
+/// This thread's ring capacity, if a bounded sink is installed. The
+/// bench pool sizes worker recorders to match the parent's.
+pub fn ring_capacity() -> Option<usize> {
+    SINK.with(|s| s.borrow().as_ref().and_then(|sink| sink.capacity()))
+}
+
+/// Runs `f` against the live metrics registry, if the installed sink
+/// keeps one. Used by conservation tests and `repro`'s per-experiment
+/// deltas without tearing the recorder down.
+pub fn with_metrics<R>(f: impl FnOnce(&MetricsRegistry) -> R) -> Option<R> {
+    SINK.with(|s| s.borrow().as_ref().and_then(|sink| sink.metrics().map(f)))
+}
+
+/// Clones the current counter map, if a metrics-keeping sink is live.
+pub fn counters_snapshot() -> Option<BTreeMap<String, u64>> {
+    with_metrics(|m| m.counters_map().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_emit_is_noop() {
+        assert!(!enabled());
+        emit(Subsystem::Kernel, 1, 1, Payload::Exit);
+        record_value("x", 1);
+        assert!(uninstall().is_none());
+        assert!(counters_snapshot().is_none());
+    }
+
+    #[test]
+    fn install_emit_uninstall_round_trip() {
+        install(8);
+        assert!(enabled());
+        assert_eq!(ring_capacity(), Some(8));
+        emit(Subsystem::Kernel, 3, 2, Payload::Exit);
+        record_value("sim.soft_fault_cycles", 250);
+        let snap = counters_snapshot().unwrap();
+        assert_eq!(snap.get("kernel.exit"), Some(&1));
+        let rec = uninstall().unwrap();
+        assert!(!enabled());
+        assert_eq!(rec.events.len(), 1);
+        assert_eq!(rec.events[0].pid, 3);
+        assert_eq!(rec.metrics.histogram("sim.soft_fault_cycles").unwrap().count, 1);
+        assert!(uninstall().is_none());
+    }
+
+    #[test]
+    fn null_sink_counts_as_disabled() {
+        install_sink(Box::new(NullSink));
+        assert!(!enabled());
+        emit(Subsystem::Kernel, 1, 1, Payload::Exit);
+        let rec = uninstall().unwrap();
+        assert!(rec.events.is_empty());
+        assert_eq!(rec.dropped, 0);
+    }
+
+    #[test]
+    fn flush_reason_scopes_nest_and_restore() {
+        install(8);
+        assert_eq!(current_flush_reason(), FlushReason::Unattributed);
+        let reasons = with_flush_reason(FlushReason::Exit, || {
+            let outer = current_flush_reason();
+            let inner = with_flush_reason(FlushReason::Unshare, current_flush_reason);
+            (outer, current_flush_reason(), inner)
+        });
+        assert_eq!(
+            reasons,
+            (FlushReason::Exit, FlushReason::Exit, FlushReason::Unshare)
+        );
+        assert_eq!(current_flush_reason(), FlushReason::Unattributed);
+        uninstall();
+    }
+
+    #[test]
+    fn uninstall_resets_flush_reason() {
+        install(8);
+        // A panicking scope can't unwind our Cell (no Drop guard), but
+        // uninstall always restores the default for the next run.
+        FLUSH_REASON.with(|r| r.set(FlushReason::Fork));
+        uninstall();
+        assert_eq!(current_flush_reason(), FlushReason::Unattributed);
+    }
+}

@@ -1,0 +1,190 @@
+//! Counters and log2-bucket histograms.
+//!
+//! The registry is updated on every recorded event *before* the event
+//! enters the ring, so counters stay exact even when the ring wraps and
+//! drops old events — the conservation tests (events vs `KernelStats` /
+//! `TlbStats`) and the `BENCH_repro.json` snapshot both read counters,
+//! never the (lossy) ring.
+
+use std::collections::BTreeMap;
+
+/// Number of log2 buckets; bucket `i` counts values `v` with
+/// `floor(log2(max(v, 1))) == i` (so bucket 0 holds both 0 and 1).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A log2-bucket histogram of `u64` samples.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Histogram {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket index for a sample.
+    pub fn bucket_of(value: u64) -> usize {
+        (63 - value.max(1).leading_zeros()) as usize
+    }
+
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_of(value)] += 1;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+    }
+}
+
+/// Named counters plus named histograms. Key taxonomy is dotted and
+/// stable (documented in DESIGN.md §7): `kernel.*`, `share.unshare.*`,
+/// `vm.fault.*`, `tlb.flush.*`, `android.*`, `bench.*`, `sim.*`.
+#[derive(Default, Clone, PartialEq, Eq, Debug)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Adds `n` to a counter (creating it at zero first).
+    pub fn inc(&mut self, key: &str, n: u64) {
+        if let Some(v) = self.counters.get_mut(key) {
+            *v += n;
+        } else {
+            self.counters.insert(key.to_string(), n);
+        }
+    }
+
+    /// Current counter value (0 if never bumped).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    pub fn counters_map(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// Records a histogram sample.
+    pub fn record(&mut self, name: &str, value: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record(value);
+        } else {
+            let mut h = Histogram::default();
+            h.record(value);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Accumulates another registry (used when the bench pool merges
+    /// worker-thread recordings back into the submitting thread).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, &v) in &other.counters {
+            self.inc(k, v);
+        }
+        for (k, h) in &other.histograms {
+            if let Some(mine) = self.histograms.get_mut(k) {
+                mine.merge(h);
+            } else {
+                self.histograms.insert(k.clone(), h.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of(1023), 9);
+        assert_eq!(Histogram::bucket_of(1024), 10);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn histogram_stats_and_merge() {
+        let mut a = Histogram::default();
+        for v in [1u64, 2, 4, 100] {
+            a.record(v);
+        }
+        assert_eq!(a.count, 4);
+        assert_eq!(a.sum, 107);
+        assert_eq!(a.min, 1);
+        assert_eq!(a.max, 100);
+        let mut b = Histogram::default();
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count, 5);
+        assert_eq!(a.max, 1000);
+        assert_eq!(a.buckets[9], 1);
+    }
+
+    #[test]
+    fn registry_merge_adds_counters() {
+        let mut a = MetricsRegistry::default();
+        a.inc("x", 2);
+        a.record("h", 7);
+        let mut b = MetricsRegistry::default();
+        b.inc("x", 3);
+        b.inc("y", 1);
+        b.record("h", 9);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 5);
+        assert_eq!(a.counter("y"), 1);
+        let h = a.histogram("h").unwrap();
+        assert_eq!((h.count, h.sum, h.min, h.max), (2, 16, 7, 9));
+    }
+}

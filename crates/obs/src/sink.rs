@@ -1,0 +1,299 @@
+//! Event sinks: where emitted events go.
+//!
+//! The recorder API in [`crate`] dispatches through `dyn EventSink`,
+//! but only after a thread-local boolean says a sink is installed —
+//! the disabled path is one predictable branch and touches no heap.
+
+use std::collections::VecDeque;
+
+use crate::event::{Event, Payload, Subsystem};
+use crate::metrics::MetricsRegistry;
+
+/// Everything harvested from a sink: the (possibly truncated) event
+/// ring, how many events the ring dropped, and the exact metrics.
+#[derive(Default, Clone, Debug)]
+pub struct Recording {
+    pub events: Vec<Event>,
+    /// Events evicted from the ring to make room. Reported in both
+    /// exporters — overflow is never silent.
+    pub dropped: u64,
+    pub metrics: MetricsRegistry,
+}
+
+/// A destination for events. Implementations own their storage; the
+/// thread-local recorder owns the box.
+pub trait EventSink {
+    /// Whether [`crate::emit`] should bother constructing payloads.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event (counters first, then the ring).
+    fn record(&mut self, pid: u32, asid: u8, subsystem: Subsystem, payload: Payload);
+
+    /// Records a histogram sample.
+    fn record_value(&mut self, name: &str, value: u64);
+
+    /// Read-only view of the live metrics, if the sink keeps any.
+    fn metrics(&self) -> Option<&MetricsRegistry> {
+        None
+    }
+
+    /// Ring capacity, if bounded (workers mirror the parent's).
+    fn capacity(&self) -> Option<usize> {
+        None
+    }
+
+    /// Merges a recording harvested on another thread: events are
+    /// re-stamped onto this sink's tick sequence in order, metrics and
+    /// drop counts accumulate.
+    fn absorb(&mut self, rec: Recording);
+
+    /// Consumes the sink and returns everything it captured.
+    fn finish(self: Box<Self>) -> Recording;
+}
+
+/// Discards everything. Installing it is equivalent to (and reported
+/// as) tracing being disabled.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _pid: u32, _asid: u8, _subsystem: Subsystem, _payload: Payload) {}
+
+    fn record_value(&mut self, _name: &str, _value: u64) {}
+
+    fn absorb(&mut self, _rec: Recording) {}
+
+    fn finish(self: Box<Self>) -> Recording {
+        Recording::default()
+    }
+}
+
+/// Fixed-capacity ring of events plus an exact [`MetricsRegistry`].
+/// When full, the oldest event is dropped and counted.
+#[derive(Clone, Debug)]
+pub struct RingSink {
+    capacity: usize,
+    events: VecDeque<Event>,
+    /// Monotonic per-recorder tick; stamps every event.
+    seq: u64,
+    dropped: u64,
+    metrics: MetricsRegistry,
+}
+
+impl RingSink {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingSink {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(1 << 12)),
+            seq: 0,
+            dropped: 0,
+            metrics: MetricsRegistry::default(),
+        }
+    }
+
+    fn push(&mut self, event: Event) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
+impl EventSink for RingSink {
+    fn record(&mut self, pid: u32, asid: u8, subsystem: Subsystem, payload: Payload) {
+        apply_to_metrics(&mut self.metrics, &payload);
+        let tick = self.seq;
+        self.seq += 1;
+        self.push(Event {
+            tick,
+            pid,
+            asid,
+            subsystem,
+            payload,
+        });
+    }
+
+    fn record_value(&mut self, name: &str, value: u64) {
+        self.metrics.record(name, value);
+    }
+
+    fn metrics(&self) -> Option<&MetricsRegistry> {
+        Some(&self.metrics)
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        Some(self.capacity)
+    }
+
+    fn absorb(&mut self, rec: Recording) {
+        // The worker already applied its events to its own metrics;
+        // merge those wholesale rather than re-deriving.
+        self.metrics.merge(&rec.metrics);
+        self.dropped += rec.dropped;
+        for mut event in rec.events {
+            event.tick = self.seq;
+            self.seq += 1;
+            self.push(event);
+        }
+    }
+
+    fn finish(self: Box<Self>) -> Recording {
+        Recording {
+            events: self.events.into_iter().collect(),
+            dropped: self.dropped,
+            metrics: self.metrics,
+        }
+    }
+}
+
+/// Derives the counter/histogram updates an event implies. Keys are
+/// `&'static str` throughout — no allocation per event on the hot
+/// flush/fault paths.
+fn apply_to_metrics(metrics: &mut MetricsRegistry, payload: &Payload) {
+    match payload {
+        Payload::Fork {
+            ptps_shared,
+            ptes_copied,
+            shared,
+            ..
+        } => {
+            metrics.inc("kernel.fork", 1);
+            if *shared {
+                metrics.inc("kernel.fork.shared", 1);
+            }
+            metrics.inc("kernel.fork.ptps_shared", *ptps_shared);
+            metrics.inc("kernel.fork.ptes_copied", *ptes_copied);
+        }
+        Payload::Exit => metrics.inc("kernel.exit", 1),
+        Payload::RegionOp { op, unshared, .. } => {
+            metrics.inc(op.counter_key(), 1);
+            metrics.inc("kernel.region_op.unshared", *unshared);
+        }
+        Payload::DomainFault { .. } => metrics.inc("kernel.domain_fault", 1),
+        Payload::PtpShare {
+            ptps,
+            write_protect_ops,
+        } => {
+            metrics.inc("share.fork_share", 1);
+            metrics.inc("share.fork_share.ptps", *ptps);
+            metrics.inc("share.fork_share.write_protect_ops", *write_protect_ops);
+        }
+        Payload::PtpUnshare {
+            cause,
+            ptes_copied,
+            last_sharer,
+            ..
+        } => {
+            metrics.inc("share.unshare", 1);
+            metrics.inc(cause.counter_key(), 1);
+            metrics.inc("share.unshare.ptes_copied", *ptes_copied);
+            if *last_sharer {
+                metrics.inc("share.unshare.last_sharer", 1);
+            }
+        }
+        Payload::PageFault {
+            class, file_backed, ..
+        } => {
+            metrics.inc("vm.fault", 1);
+            metrics.inc(class.counter_key(), 1);
+            if *file_backed {
+                metrics.inc("vm.fault.file_backed", 1);
+            }
+        }
+        Payload::TlbFlush {
+            scope,
+            reason,
+            entries,
+        } => {
+            metrics.inc(scope.counter_key(), 1);
+            metrics.inc(reason.counter_key(), 1);
+            if scope.is_main() {
+                metrics.inc("tlb.flush.main", 1);
+                metrics.inc("tlb.flush.main.entries", *entries);
+                metrics.inc(reason.entries_key(), *entries);
+                if matches!(scope, crate::FlushScope::All) {
+                    metrics.inc("tlb.flush.main.full", 1);
+                }
+            } else {
+                metrics.inc("tlb.flush.micro", 1);
+                metrics.inc("tlb.flush.micro.entries", *entries);
+            }
+        }
+        Payload::Phase { name, cycles } => {
+            metrics.inc("android.phase", 1);
+            metrics.record(&format!("android.phase.{name}.cycles"), *cycles);
+        }
+        Payload::Cell { dur_us, .. } => {
+            metrics.inc("bench.cell", 1);
+            metrics.record("bench.cell.us", *dur_us);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{FlushReason, FlushScope, UnshareCause};
+
+    fn flush_payload(entries: u64) -> Payload {
+        Payload::TlbFlush {
+            scope: FlushScope::Asid,
+            reason: FlushReason::Fork,
+            entries,
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut sink = RingSink::new(4);
+        for i in 0..10u64 {
+            sink.record(1, 1, Subsystem::Tlb, flush_payload(i));
+        }
+        let rec = Box::new(sink).finish();
+        assert_eq!(rec.events.len(), 4);
+        assert_eq!(rec.dropped, 6);
+        // The survivors are the newest four, ticks intact.
+        let ticks: Vec<u64> = rec.events.iter().map(|e| e.tick).collect();
+        assert_eq!(ticks, vec![6, 7, 8, 9]);
+        // Metrics saw all ten events despite the drops.
+        assert_eq!(rec.metrics.counter("tlb.flush.scope.asid"), 10);
+        assert_eq!(rec.metrics.counter("tlb.flush.main.entries"), 45);
+        assert_eq!(rec.metrics.counter("tlb.flush.reason.fork.entries"), 45);
+    }
+
+    #[test]
+    fn absorb_restamps_in_order_and_merges() {
+        let mut worker = RingSink::new(16);
+        worker.record(
+            7,
+            3,
+            Subsystem::Share,
+            Payload::PtpUnshare {
+                cause: UnshareCause::WriteFault,
+                ptes_copied: 5,
+                last_sharer: false,
+                va: 0x1000,
+            },
+        );
+        let worker_rec = Box::new(worker).finish();
+
+        let mut parent = RingSink::new(16);
+        parent.record(1, 1, Subsystem::Tlb, flush_payload(2));
+        parent.absorb(worker_rec);
+        let rec = Box::new(parent).finish();
+        assert_eq!(rec.events.len(), 2);
+        assert_eq!(rec.events[0].tick, 0);
+        assert_eq!(rec.events[1].tick, 1);
+        assert_eq!(rec.events[1].pid, 7);
+        assert_eq!(rec.metrics.counter("share.unshare.write_fault"), 1);
+        assert_eq!(rec.metrics.counter("tlb.flush.main"), 1);
+    }
+}

@@ -1,0 +1,303 @@
+//! JSON round-trip tests for both exporters: serialize → parse →
+//! field-level equality against the source recording, including the
+//! ring-overflow path (the dropped counter must survive export).
+
+use sat_obs::json::Json;
+use sat_obs::{
+    chrome_trace_json, metrics_json, FaultClass, FlushReason, FlushScope, Payload, RegionOpKind,
+    Subsystem, UnshareCause,
+};
+
+/// One event of every payload shape, exercising every arg type.
+fn emit_one_of_each() {
+    sat_obs::emit(
+        Subsystem::Kernel,
+        1,
+        1,
+        Payload::Fork {
+            child: 2,
+            ptps_shared: 6,
+            ptes_copied: 7,
+            shared: true,
+        },
+    );
+    sat_obs::emit(Subsystem::Kernel, 2, 2, Payload::Exit);
+    sat_obs::emit(
+        Subsystem::Kernel,
+        1,
+        1,
+        Payload::RegionOp {
+            op: RegionOpKind::Mprotect,
+            va: 0x4000_0000,
+            pages: 8,
+            unshared: 1,
+        },
+    );
+    sat_obs::emit(Subsystem::Kernel, 3, 3, Payload::DomainFault { va: 0x4000_2000 });
+    sat_obs::emit(
+        Subsystem::Share,
+        2,
+        2,
+        Payload::PtpShare {
+            ptps: 5,
+            write_protect_ops: 3,
+        },
+    );
+    sat_obs::emit(
+        Subsystem::Share,
+        2,
+        2,
+        Payload::PtpUnshare {
+            cause: UnshareCause::WriteFault,
+            ptes_copied: 12,
+            last_sharer: false,
+            va: 0x0800_0000,
+        },
+    );
+    sat_obs::emit(
+        Subsystem::VmFault,
+        2,
+        2,
+        Payload::PageFault {
+            class: FaultClass::Cow,
+            va: 0x0800_0000,
+            file_backed: false,
+        },
+    );
+    sat_obs::emit(
+        Subsystem::Tlb,
+        0,
+        2,
+        Payload::TlbFlush {
+            scope: FlushScope::Asid,
+            reason: FlushReason::Unshare,
+            entries: 4,
+        },
+    );
+    sat_obs::emit(
+        Subsystem::Android,
+        4,
+        4,
+        Payload::Phase {
+            name: "launch.exec",
+            cycles: 123_456,
+        },
+    );
+    sat_obs::emit(
+        Subsystem::Bench,
+        0,
+        0,
+        Payload::Cell {
+            label: "cell-0 \"quoted\"".to_string(),
+            dur_us: 900,
+        },
+    );
+}
+
+#[test]
+fn chrome_trace_round_trips_field_by_field() {
+    sat_obs::install(64);
+    emit_one_of_each();
+    let rec = sat_obs::uninstall().unwrap();
+    assert_eq!(rec.dropped, 0);
+
+    let doc = Json::parse(&chrome_trace_json(&rec)).expect("exporter must emit valid JSON");
+    let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+    assert_eq!(events.len(), rec.events.len());
+
+    for (json, src) in events.iter().zip(rec.events.iter()) {
+        assert_eq!(json.get("name").unwrap().as_str(), Some(src.payload.name()));
+        assert_eq!(
+            json.get("cat").unwrap().as_str(),
+            Some(src.subsystem.as_str())
+        );
+        assert_eq!(json.get("ts").unwrap().as_u64(), Some(src.tick));
+        assert_eq!(json.get("pid").unwrap().as_u64(), Some(u64::from(src.pid)));
+        assert_eq!(json.get("tid").unwrap().as_u64(), Some(u64::from(src.asid)));
+        match src.payload.span_duration() {
+            Some(dur) => {
+                assert_eq!(json.get("ph").unwrap().as_str(), Some("X"));
+                assert_eq!(json.get("dur").unwrap().as_u64(), Some(dur));
+            }
+            None => assert_eq!(json.get("ph").unwrap().as_str(), Some("i")),
+        }
+        let args = json.get("args").unwrap();
+        match &src.payload {
+            Payload::Fork {
+                child,
+                ptps_shared,
+                ptes_copied,
+                shared,
+            } => {
+                assert_eq!(args.get("child").unwrap().as_u64(), Some(u64::from(*child)));
+                assert_eq!(args.get("ptps_shared").unwrap().as_u64(), Some(*ptps_shared));
+                assert_eq!(args.get("ptes_copied").unwrap().as_u64(), Some(*ptes_copied));
+                assert_eq!(args.get("shared").unwrap().as_bool(), Some(*shared));
+            }
+            Payload::Exit => assert!(args.as_object().unwrap().is_empty()),
+            Payload::RegionOp {
+                op,
+                va,
+                pages,
+                unshared,
+            } => {
+                assert_eq!(args.get("op").unwrap().as_str(), Some(op.as_str()));
+                assert_eq!(args.get("va").unwrap().as_u64(), Some(u64::from(*va)));
+                assert_eq!(args.get("pages").unwrap().as_u64(), Some(u64::from(*pages)));
+                assert_eq!(args.get("unshared").unwrap().as_u64(), Some(*unshared));
+            }
+            Payload::DomainFault { va } => {
+                assert_eq!(args.get("va").unwrap().as_u64(), Some(u64::from(*va)));
+            }
+            Payload::PtpShare {
+                ptps,
+                write_protect_ops,
+            } => {
+                assert_eq!(args.get("ptps").unwrap().as_u64(), Some(*ptps));
+                assert_eq!(
+                    args.get("write_protect_ops").unwrap().as_u64(),
+                    Some(*write_protect_ops)
+                );
+            }
+            Payload::PtpUnshare {
+                cause,
+                ptes_copied,
+                last_sharer,
+                va,
+            } => {
+                assert_eq!(args.get("cause").unwrap().as_str(), Some(cause.as_str()));
+                assert_eq!(args.get("ptes_copied").unwrap().as_u64(), Some(*ptes_copied));
+                assert_eq!(args.get("last_sharer").unwrap().as_bool(), Some(*last_sharer));
+                assert_eq!(args.get("va").unwrap().as_u64(), Some(u64::from(*va)));
+            }
+            Payload::PageFault {
+                class,
+                va,
+                file_backed,
+            } => {
+                assert_eq!(args.get("class").unwrap().as_str(), Some(class.as_str()));
+                assert_eq!(args.get("va").unwrap().as_u64(), Some(u64::from(*va)));
+                assert_eq!(args.get("file_backed").unwrap().as_bool(), Some(*file_backed));
+            }
+            Payload::TlbFlush {
+                scope,
+                reason,
+                entries,
+            } => {
+                assert_eq!(args.get("scope").unwrap().as_str(), Some(scope.as_str()));
+                assert_eq!(args.get("reason").unwrap().as_str(), Some(reason.as_str()));
+                assert_eq!(args.get("entries").unwrap().as_u64(), Some(*entries));
+            }
+            Payload::Phase { cycles, .. } => {
+                assert_eq!(args.get("cycles").unwrap().as_u64(), Some(*cycles));
+            }
+            Payload::Cell { dur_us, .. } => {
+                assert_eq!(args.get("us").unwrap().as_u64(), Some(*dur_us));
+            }
+        }
+    }
+
+    let other = doc.get("otherData").unwrap();
+    assert_eq!(other.get("dropped_events").unwrap().as_u64(), Some(0));
+    assert_eq!(
+        other.get("event_count").unwrap().as_u64(),
+        Some(rec.events.len() as u64)
+    );
+}
+
+#[test]
+fn overflow_reports_dropped_in_both_exporters() {
+    sat_obs::install(4);
+    for i in 0..9u64 {
+        sat_obs::emit(
+            Subsystem::Tlb,
+            0,
+            1,
+            Payload::TlbFlush {
+                scope: FlushScope::Va,
+                reason: FlushReason::FaultRepair,
+                entries: i,
+            },
+        );
+    }
+    let rec = sat_obs::uninstall().unwrap();
+    assert_eq!(rec.events.len(), 4);
+    assert_eq!(rec.dropped, 5);
+
+    let trace = Json::parse(&chrome_trace_json(&rec)).unwrap();
+    assert_eq!(
+        trace
+            .get("otherData")
+            .and_then(|o| o.get("dropped_events"))
+            .unwrap()
+            .as_u64(),
+        Some(5),
+        "ring overflow must never be silent"
+    );
+    // The ring keeps the newest events: ticks 5..9.
+    let first_ts = trace.get("traceEvents").unwrap().as_array().unwrap()[0]
+        .get("ts")
+        .unwrap()
+        .as_u64();
+    assert_eq!(first_ts, Some(5));
+
+    // Metrics saw every event; the snapshot reports the drops too.
+    let snap = Json::parse(&metrics_json(&rec.metrics, true, rec.dropped, "")).unwrap();
+    assert_eq!(snap.get("enabled").unwrap().as_bool(), Some(true));
+    assert_eq!(snap.get("dropped_events").unwrap().as_u64(), Some(5));
+    assert_eq!(
+        snap.get("counters")
+            .and_then(|c| c.get("tlb.flush.scope.va"))
+            .unwrap()
+            .as_u64(),
+        Some(9)
+    );
+}
+
+#[test]
+fn metrics_snapshot_round_trips_field_by_field() {
+    sat_obs::install(64);
+    emit_one_of_each();
+    for v in [0u64, 1, 7, 250, 251, 4096] {
+        sat_obs::record_value("sim.soft_fault_cycles", v);
+    }
+    let rec = sat_obs::uninstall().unwrap();
+
+    let snap = Json::parse(&metrics_json(&rec.metrics, true, rec.dropped, "  ")).unwrap();
+    let counters = snap.get("counters").unwrap().as_object().unwrap();
+    let src_counters = rec.metrics.counters_map();
+    assert_eq!(counters.len(), src_counters.len());
+    for (k, v) in src_counters {
+        assert_eq!(
+            counters.get(k).and_then(Json::as_u64),
+            Some(*v),
+            "counter {k} mismatch"
+        );
+    }
+
+    let hists = snap.get("histograms").unwrap().as_object().unwrap();
+    assert_eq!(hists.len(), rec.metrics.histograms().count());
+    for (name, h) in rec.metrics.histograms() {
+        let j = hists.get(name).unwrap_or_else(|| panic!("missing {name}"));
+        assert_eq!(j.get("count").unwrap().as_u64(), Some(h.count));
+        assert_eq!(j.get("sum").unwrap().as_u64(), Some(h.sum));
+        assert_eq!(j.get("min").unwrap().as_u64(), Some(h.min));
+        assert_eq!(j.get("max").unwrap().as_u64(), Some(h.max));
+        let buckets = j.get("log2_buckets").unwrap().as_array().unwrap();
+        // Exported buckets are the source buckets with the zero tail
+        // trimmed.
+        for (i, b) in buckets.iter().enumerate() {
+            assert_eq!(b.as_u64(), Some(h.buckets[i]), "bucket {i} of {name}");
+        }
+        for (i, &b) in h.buckets.iter().enumerate().skip(buckets.len()) {
+            assert_eq!(b, 0, "trimmed bucket {i} of {name} was nonzero");
+        }
+    }
+    // Spot-check the log2 placement of the fault-cost samples.
+    let fault = hists.get("sim.soft_fault_cycles").unwrap();
+    let buckets = fault.get("log2_buckets").unwrap().as_array().unwrap();
+    assert_eq!(buckets[0].as_u64(), Some(2)); // 0 and 1
+    assert_eq!(buckets[2].as_u64(), Some(1)); // 7
+    assert_eq!(buckets[7].as_u64(), Some(2)); // 250, 251
+    assert_eq!(buckets[12].as_u64(), Some(1)); // 4096
+}

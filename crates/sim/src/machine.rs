@@ -174,8 +174,10 @@ impl Machine {
         let prev = self.cores[core].current;
         let config = self.kernel.config;
         let c = &mut self.cores[core];
-        c.micro_i.flush();
-        c.micro_d.flush();
+        sat_obs::with_flush_reason(sat_obs::FlushReason::ContextSwitch, || {
+            c.micro_i.flush();
+            c.micro_d.flush();
+        });
         let mut full_flush = !config.asid;
         if config.share_tlb && config.tlb_protection == TlbProtection::FlushOnSwitch {
             // Flush when switching from a zygote-like process to a
@@ -191,7 +193,9 @@ impl Machine {
         }
         let c = &mut self.cores[core];
         if full_flush {
-            c.main_tlb.flush_all();
+            sat_obs::with_flush_reason(sat_obs::FlushReason::ContextSwitch, || {
+                c.main_tlb.flush_all();
+            });
         }
         c.current = Some(pid);
         c.stats.context_switches += 1;
@@ -295,10 +299,12 @@ impl Machine {
         // PTPs); stale writable translations cached before the fork
         // must not survive it (Linux: flush_tlb_mm in dup_mmap).
         let parent_asid = self.kernel.mm(parent)?.asid;
-        MachineTlbView {
-            cores: &mut self.cores,
-        }
-        .flush_asid(parent_asid);
+        sat_obs::with_flush_reason(sat_obs::FlushReason::Fork, || {
+            MachineTlbView {
+                cores: &mut self.cores,
+            }
+            .flush_asid(parent_asid);
+        });
         let anon = outcome.ptes_copied - outcome.ptes_copied_file;
         let cycles = self.model.fork_cycles(
             anon,
@@ -496,9 +502,11 @@ impl Machine {
         {
             let asid = self.kernel.mm(pid)?.asid;
             let c = &mut self.cores[core];
-            c.main_tlb.flush_va(va, asid);
-            c.micro_i.flush_va(va);
-            c.micro_d.flush_va(va);
+            sat_obs::with_flush_reason(sat_obs::FlushReason::FaultRepair, || {
+                c.main_tlb.flush_va(va, asid);
+                c.micro_i.flush_va(va);
+                c.micro_d.flush_va(va);
+            });
         }
         // The handler's kernel instructions run through the caches.
         // Each fault exercises a different slice of the handler's

@@ -205,9 +205,56 @@ fn micro_tlb_benches(c: &mut Criterion) {
     group.finish();
 }
 
+/// Observability-overhead probes: the same hot paths with the sat-obs
+/// recorder left uninstalled (the default — the event call sites
+/// compile to one predictable branch on a thread-local flag) and with
+/// a recorder installed. `lookup` is deliberately uninstrumented, so
+/// its two variants must be statistically indistinguishable — the
+/// `sink_disabled` numbers here are the regression guard against the
+/// un-instrumented baseline. `flush_asid` pays for event construction
+/// and ring admission only under `sink_enabled`.
+fn obs_overhead_benches(c: &mut Criterion) {
+    {
+        let mut group = c.benchmark_group("obs_lookup_miss_full");
+        let miss = VirtAddr::new(0x7000_0000);
+        let mut tlb = filled_main(CAPACITY, 4);
+        group.bench_function("sink_disabled", |b| {
+            b.iter(|| black_box(tlb.lookup(black_box(miss), Asid::new(1))))
+        });
+        sat_obs::install(1 << 12);
+        group.bench_function("sink_enabled", |b| {
+            b.iter(|| black_box(tlb.lookup(black_box(miss), Asid::new(1))))
+        });
+        let _ = sat_obs::uninstall();
+        group.finish();
+    }
+    {
+        let mut group = c.benchmark_group("obs_flush_asid_occ64");
+        let warm = filled_main(64, 16);
+        group.bench_function("sink_disabled", |b| {
+            b.iter_batched_ref(
+                || warm.clone(),
+                |tlb| black_box(tlb.flush_asid(Asid::new(1))),
+                BatchSize::SmallInput,
+            )
+        });
+        sat_obs::install(1 << 12);
+        group.bench_function("sink_enabled", |b| {
+            b.iter_batched_ref(
+                || warm.clone(),
+                |tlb| black_box(tlb.flush_asid(Asid::new(1))),
+                BatchSize::SmallInput,
+            )
+        });
+        let _ = sat_obs::uninstall();
+        group.finish();
+    }
+}
+
 fn benches(c: &mut Criterion) {
     main_tlb_benches(c);
     micro_tlb_benches(c);
+    obs_overhead_benches(c);
 }
 
 criterion_group!(tlb_hot_path, benches);

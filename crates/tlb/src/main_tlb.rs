@@ -19,6 +19,28 @@ use sat_types::{Asid, Domain, VirtAddr};
 use crate::entry::TlbEntry;
 use crate::index::{FreeSlots, TagIndex, VaIndex};
 
+/// Reports a flush to the observability layer. The *reason* (which
+/// kernel path issued the flush) comes from the caller's scoped
+/// attribution ([`sat_obs::with_flush_reason`]); the TLB only knows
+/// the scope and the invalidation count. Zero-entry flushes are
+/// reported too: the conservation tests match event *counts* against
+/// `TlbStats::full_flushes`, not just entry sums. The `enabled` gate
+/// keeps the untraced path to a single predictable branch.
+fn emit_flush(scope: sat_obs::FlushScope, asid: Option<Asid>, entries: usize) {
+    if sat_obs::enabled() {
+        sat_obs::emit(
+            sat_obs::Subsystem::Tlb,
+            0,
+            asid.map_or(0, |a| a.raw()),
+            sat_obs::Payload::TlbFlush {
+                scope,
+                reason: sat_obs::current_flush_reason(),
+                entries: entries as u64,
+            },
+        );
+    }
+}
+
 /// Main-TLB statistics.
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct TlbStats {
@@ -257,6 +279,7 @@ impl MainTlb {
         self.global_valid = 0;
         self.stats.entries_flushed += n as u64;
         self.stats.full_flushes += 1;
+        emit_flush(sat_obs::FlushScope::All, None, n);
         n
     }
 
@@ -285,6 +308,7 @@ impl MainTlb {
         }
         self.scratch = slots;
         self.stats.entries_flushed += n as u64;
+        emit_flush(sat_obs::FlushScope::Asid, Some(asid), n);
         n
     }
 
@@ -293,13 +317,17 @@ impl MainTlb {
     /// domain-fault handler uses to evict shared global entries that a
     /// non-zygote process stumbled on.
     pub fn flush_va_all_asids(&mut self, va: VirtAddr) -> usize {
-        self.flush_covering(va, |_| true)
+        let n = self.flush_covering(va, |_| true);
+        emit_flush(sat_obs::FlushScope::VaAllAsids, None, n);
+        n
     }
 
     /// Invalidates entries covering `va` tagged `asid`, plus global
     /// entries covering `va` (the `TLBIMVA` operation).
     pub fn flush_va(&mut self, va: VirtAddr, asid: Asid) -> usize {
-        self.flush_covering(va, |e| e.is_global() || e.asid == Some(asid))
+        let n = self.flush_covering(va, |e| e.is_global() || e.asid == Some(asid));
+        emit_flush(sat_obs::FlushScope::Va, Some(asid), n);
+        n
     }
 
     /// Invalidates all non-global entries (used when ASIDs are
@@ -314,6 +342,7 @@ impl MainTlb {
         }
         self.scratch = slots;
         self.stats.entries_flushed += n as u64;
+        emit_flush(sat_obs::FlushScope::NonGlobal, None, n);
         n
     }
 

@@ -15,6 +15,24 @@ use sat_types::VirtAddr;
 use crate::entry::TlbEntry;
 use crate::index::{FreeSlots, VaIndex};
 
+/// Reports a micro-TLB invalidation. Micro TLBs are untagged, so no
+/// pid/ASID rides on the event; the reason comes from the caller's
+/// scoped attribution, exactly as for the main TLB.
+fn emit_micro_flush(scope: sat_obs::FlushScope, entries: usize) {
+    if sat_obs::enabled() {
+        sat_obs::emit(
+            sat_obs::Subsystem::Tlb,
+            0,
+            0,
+            sat_obs::Payload::TlbFlush {
+                scope,
+                reason: sat_obs::current_flush_reason(),
+                entries: entries as u64,
+            },
+        );
+    }
+}
+
 /// A micro-TLB (instruction or data side).
 pub struct MicroTlb {
     entries: Vec<Option<TlbEntry>>,
@@ -104,10 +122,18 @@ impl MicroTlb {
 
     /// Flushes everything (performed on every context switch).
     pub fn flush(&mut self) {
+        let n = self.valid;
         self.entries.iter_mut().for_each(|s| *s = None);
         self.va_index.clear();
         self.free.fill();
         self.valid = 0;
+        // Micro-TLB flushes fire on *every* context switch; only the
+        // ones that actually invalidate something are worth a trace
+        // event. (Micro TLBs carry no `TlbStats`, so no conservation
+        // invariant depends on the empty ones.)
+        if n > 0 {
+            emit_micro_flush(sat_obs::FlushScope::MicroAll, n);
+        }
     }
 
     /// Invalidates entries covering `va` (kept coherent with main-TLB
@@ -117,6 +143,7 @@ impl MicroTlb {
         // is traversing.
         let mut candidates = std::mem::take(&mut self.scratch);
         candidates.clear();
+        let valid_before = self.valid;
         self.va_index.for_covering(va, |slot| candidates.push(slot));
         for &slot in &candidates {
             let entry = self.entries[slot].as_ref().expect("indexed slot is valid");
@@ -131,6 +158,10 @@ impl MicroTlb {
             self.valid -= 1;
         }
         self.scratch = candidates;
+        let n = valid_before - self.valid;
+        if n > 0 {
+            emit_micro_flush(sat_obs::FlushScope::MicroVa, n);
+        }
     }
 
     /// (hits, misses) counters.

@@ -138,6 +138,24 @@ pub fn handle_fault(
     if outcome.ptp_allocated {
         c.ptps_allocated += 1;
     }
+    if sat_obs::enabled() {
+        sat_obs::emit(
+            sat_obs::Subsystem::VmFault,
+            mm.pid.raw(),
+            mm.asid.raw(),
+            sat_obs::Payload::PageFault {
+                class: match outcome.kind {
+                    FaultKind::Minor => sat_obs::FaultClass::Minor,
+                    FaultKind::Major => sat_obs::FaultClass::Major,
+                    FaultKind::Cow => sat_obs::FaultClass::Cow,
+                    FaultKind::WriteEnable => sat_obs::FaultClass::WriteEnable,
+                    FaultKind::Spurious => sat_obs::FaultClass::Spurious,
+                },
+                va: page.raw(),
+                file_backed,
+            },
+        );
+    }
     Ok(outcome)
 }
 

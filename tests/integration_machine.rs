@@ -394,3 +394,80 @@ fn partial_large_page_operations_are_rejected() {
     kernel.munmap(pid, whole, &mut NoTlb).unwrap();
     assert!(kernel.pte(pid, VirtAddr::new(0x0900_0000)).unwrap().is_none());
 }
+
+/// Conservation (observability): every `TlbStats` flush increment has
+/// a matching `TlbFlush` event. Zero-entry full flushes are reported
+/// too, so event *counts* reconcile with `full_flushes` and event
+/// entry *sums* with `entries_flushed`, across every core — and each
+/// main-TLB flush carries an attributed reason (never
+/// `unattributed`), since every kernel/machine flush site runs under
+/// a `with_flush_reason` scope.
+#[test]
+fn obs_flush_events_reconcile_with_tlb_stats() {
+    sat_obs::install(1 << 16);
+    let (mut m, zygote) = machine(KernelConfig::shared_ptp().without_asid());
+    // A workload touching every flush site: faults (repair flushes),
+    // context switches (full flushes: ASIDs disabled), fork (parent
+    // ASID shootdown), region ops, domain setup, and exit.
+    let heap = VirtAddr::new(0x0800_0000);
+    for i in 0..8u32 {
+        m.access(0, VirtAddr::new(0x4000_0000 + i * PAGE_SIZE), AccessType::Execute)
+            .unwrap();
+        m.access(0, VirtAddr::new(heap.raw() + i * PAGE_SIZE), AccessType::Write)
+            .unwrap();
+    }
+    let (fork, _) = m.fork(0, zygote).unwrap();
+    let child = fork.child;
+    m.context_switch(0, child).unwrap();
+    m.access(0, heap, AccessType::Write).unwrap();
+    m.syscall(|k, tlb| {
+        k.mprotect(
+            child,
+            sat_types::VaRange::from_len(VirtAddr::new(0x4000_0000), 32 * PAGE_SIZE),
+            Perms::R,
+            tlb,
+        )
+    })
+    .unwrap();
+    m.syscall(|k, tlb| {
+        k.munmap(
+            child,
+            sat_types::VaRange::from_len(heap, 8 * PAGE_SIZE),
+            tlb,
+        )
+    })
+    .unwrap();
+    m.context_switch(0, zygote).unwrap();
+    m.syscall(|k, tlb| k.exit(child, tlb)).unwrap();
+    let rec = sat_obs::uninstall().expect("recorder installed above");
+    assert_eq!(rec.dropped, 0, "scenario fits the ring");
+
+    let mut full_flush_events = 0u64;
+    let mut main_entries = 0u64;
+    let mut unattributed = 0u64;
+    for event in &rec.events {
+        if let sat_obs::Payload::TlbFlush { scope, reason, entries } = &event.payload {
+            if scope.is_main() {
+                main_entries += entries;
+                if *scope == sat_obs::FlushScope::All {
+                    full_flush_events += 1;
+                }
+                if *reason == sat_obs::FlushReason::Unattributed {
+                    unattributed += 1;
+                }
+            }
+        }
+    }
+    let stats_full: u64 = m.cores.iter().map(|c| c.main_tlb.stats().full_flushes).sum();
+    let stats_entries: u64 = m.cores.iter().map(|c| c.main_tlb.stats().entries_flushed).sum();
+    assert!(stats_full > 0, "workload performed full flushes");
+    assert!(stats_entries > 0, "workload invalidated entries");
+    assert_eq!(full_flush_events, stats_full);
+    assert_eq!(main_entries, stats_entries);
+    assert_eq!(unattributed, 0, "every flush site carries a reason");
+
+    // The registry agrees with the event stream (metrics are applied
+    // before ring admission, so this holds even under overflow).
+    assert_eq!(rec.metrics.counter("tlb.flush.main.full"), stats_full);
+    assert_eq!(rec.metrics.counter("tlb.flush.main.entries"), stats_entries);
+}

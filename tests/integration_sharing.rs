@@ -204,3 +204,98 @@ fn fork_storm_scales_without_new_page_tables() {
     }
     assert_eq!(k.phys.frames_in_use(), frames_before);
 }
+
+/// Conservation (observability): with a recorder installed, the event
+/// stream and the counter registry reconcile *exactly* with
+/// [`sat_core::KernelStats`] — every unshare the kernel counted shows
+/// up as exactly one `PtpUnshare` event with the matching cause, and
+/// fork/exit events match their stats counters. The scenario drives
+/// all four live unshare causes at least once.
+#[test]
+fn obs_events_reconcile_with_kernel_stats() {
+    sat_obs::install(1 << 16);
+    let (mut k, zygote) = boot(KernelConfig::shared_ptp());
+    let children: Vec<Pid> = (0..4).map(|_| k.fork(zygote).unwrap().child).collect();
+    // WriteFault (case 1): child 0 writes a shared heap page.
+    k.page_fault(children[0], VirtAddr::new(HEAP), AccessType::Write, &mut NoTlb)
+        .unwrap();
+    // NewRegion (case 3): child 0 maps into the shared code chunk's
+    // 2MB span (its code chunk is still NEED_COPY).
+    k.mmap(
+        children[0],
+        &MmapRequest::anon(PAGE_SIZE, Perms::RW, RegionTag::AppData, "newdata")
+            .at(VirtAddr::new(CODE + 0x0010_0000)),
+        &mut NoTlb,
+    )
+    .unwrap();
+    // RegionOp (case 2): child 1 changes the code protection.
+    k.mprotect(
+        children[1],
+        VaRange::from_len(VirtAddr::new(CODE), 8 * PAGE_SIZE),
+        Perms::R,
+        &mut NoTlb,
+    )
+    .unwrap();
+    // RegionFree (case 4): child 2 frees the heap region.
+    k.munmap(
+        children[2],
+        VaRange::from_len(VirtAddr::new(HEAP), 4 * PAGE_SIZE),
+        &mut NoTlb,
+    )
+    .unwrap();
+    for c in children {
+        k.exit(c, &mut NoTlb).unwrap();
+    }
+    let rec = sat_obs::uninstall().expect("recorder installed above");
+    assert_eq!(rec.dropped, 0, "scenario fits the ring");
+
+    let stats = k.stats;
+    // Every cause fired, and the by-cause counters partition the total.
+    assert!(stats.unshares_write_fault > 0);
+    assert!(stats.unshares_new_region > 0);
+    assert!(stats.unshares_region_op > 0);
+    assert!(stats.unshares_region_free > 0);
+    assert_eq!(
+        stats.ptp_unshares,
+        stats.unshares_write_fault
+            + stats.unshares_new_region
+            + stats.unshares_region_op
+            + stats.unshares_region_free
+    );
+
+    // Counter registry ⇔ KernelStats, exactly.
+    let counter = |key: &str| rec.metrics.counter(key);
+    assert_eq!(counter("share.unshare"), stats.ptp_unshares);
+    assert_eq!(counter("share.unshare.write_fault"), stats.unshares_write_fault);
+    assert_eq!(counter("share.unshare.new_region"), stats.unshares_new_region);
+    assert_eq!(counter("share.unshare.region_op"), stats.unshares_region_op);
+    assert_eq!(counter("share.unshare.region_free"), stats.unshares_region_free);
+    assert_eq!(counter("kernel.fork"), stats.forks);
+    assert_eq!(counter("kernel.fork.shared"), stats.share_forks);
+    assert_eq!(counter("kernel.exit"), stats.exits);
+
+    // Event stream ⇔ KernelStats: one PtpUnshare event per counted
+    // unshare, with the matching cause; one Fork/Exit event per fork
+    // and exit.
+    let mut by_cause = std::collections::BTreeMap::<&str, u64>::new();
+    let mut forks = 0u64;
+    let mut exits = 0u64;
+    for event in &rec.events {
+        match &event.payload {
+            sat_obs::Payload::PtpUnshare { cause, .. } => {
+                *by_cause.entry(cause.as_str()).or_default() += 1;
+            }
+            sat_obs::Payload::Fork { .. } => forks += 1,
+            sat_obs::Payload::Exit => exits += 1,
+            _ => {}
+        }
+    }
+    let cause_count = |c: &str| by_cause.get(c).copied().unwrap_or(0);
+    assert_eq!(cause_count("write_fault"), stats.unshares_write_fault);
+    assert_eq!(cause_count("new_region"), stats.unshares_new_region);
+    assert_eq!(cause_count("region_op"), stats.unshares_region_op);
+    assert_eq!(cause_count("region_free"), stats.unshares_region_free);
+    assert_eq!(by_cause.values().sum::<u64>(), stats.ptp_unshares);
+    assert_eq!(forks, stats.forks);
+    assert_eq!(exits, stats.exits);
+}
