@@ -131,16 +131,37 @@ pub fn launch_page_set(sys: &AndroidSystem, opts: &LaunchOptions, seq: u64) -> V
     set
 }
 
-/// Reports one launch (or IPC) phase as a span event carrying the
-/// cycles the phase consumed on core 0.
-pub(crate) fn emit_phase(sys: &AndroidSystem, pid: sat_types::Pid, name: &'static str, cycles: u64) {
+/// Opens a launch/IPC phase span. Every begin must be closed by
+/// [`span_end`] with the same name on the same pid — `repro check`
+/// validates the pairing in exported traces.
+pub(crate) fn span_begin(sys: &AndroidSystem, pid: sat_types::Pid, name: &'static str) {
     if sat_obs::enabled() {
         let asid = sys.machine.kernel.mm(pid).map(|m| m.asid.raw()).unwrap_or(0);
         sat_obs::emit(
             sat_obs::Subsystem::Android,
             pid.raw(),
             asid,
-            sat_obs::Payload::Phase { name, cycles },
+            sat_obs::Payload::SpanBegin {
+                name: name.to_string(),
+            },
+        );
+    }
+}
+
+/// Closes a phase span, carrying the cycles the phase consumed on
+/// core 0.
+pub(crate) fn span_end(sys: &AndroidSystem, pid: sat_types::Pid, name: &'static str, cycles: u64) {
+    if sat_obs::enabled() {
+        let asid = sys.machine.kernel.mm(pid).map(|m| m.asid.raw()).unwrap_or(0);
+        sat_obs::emit(
+            sat_obs::Subsystem::Android,
+            pid.raw(),
+            asid,
+            sat_obs::Payload::SpanEnd {
+                name: name.to_string(),
+                value: cycles,
+                unit: sat_obs::SpanUnit::Cycles,
+            },
         );
     }
 }
@@ -194,6 +215,7 @@ pub fn launch_app_seq(
 
     // 1. Binder IPCs to establish the application (system services).
     let phase0 = core0_cycles(sys);
+    span_begin(sys, pid, "launch.ipc");
     let binder_lib = *sys
         .catalog
         .zygote_native
@@ -211,7 +233,7 @@ pub fn launch_app_seq(
             .run_kernel_lines(0, sat_sim::machine::BINDER_PATH_PAGE, 160)?;
     }
 
-    emit_phase(sys, pid, "launch.ipc", core0_cycles(sys) - phase0);
+    span_end(sys, pid, "launch.ipc", core0_cycles(sys) - phase0);
 
     // 2. Execute the launch code: `exec_passes` sweeps over the
     // launch working set. The first sweep demand-faults the pages;
@@ -219,6 +241,7 @@ pub fn launch_app_seq(
     // instruction fetches contend with the fault handler's kernel
     // code in the L1-I (Figure 8).
     let phase0 = core0_cycles(sys);
+    span_begin(sys, pid, "launch.exec");
     let pages = launch_page_set(sys, opts, seq);
     for pass in 0..opts.exec_passes.max(1) {
         for cp in &pages {
@@ -235,20 +258,22 @@ pub fn launch_app_seq(
         }
     }
 
-    emit_phase(sys, pid, "launch.exec", core0_cycles(sys) - phase0);
+    span_end(sys, pid, "launch.exec", core0_cycles(sys) - phase0);
 
     // 3. Library data writes (global initialization).
     let phase0 = core0_cycles(sys);
+    span_begin(sys, pid, "launch.data");
     for lib in launch_data_libs(sys, opts) {
         let base = sys.map.data_base(lib).expect("preloaded lib mapped");
         sys.machine.access(0, base, AccessType::Write)?;
     }
-    emit_phase(sys, pid, "launch.data", core0_cycles(sys) - phase0);
+    span_end(sys, pid, "launch.data", core0_cycles(sys) - phase0);
 
     // 4. Fresh heap pages.
     // 4MB stride keeps even a 64-app suite inside [0x3800_0000,
     // 0x4000_0000) without touching the library region.
     let phase0 = core0_cycles(sys);
+    span_begin(sys, pid, "launch.heap");
     let heap_base = VirtAddr::new(0x3800_0000 + (sys.apps.len() as u32 % 32) * 0x0040_0000);
     let heap = MmapRequest::anon(
         opts.heap_pages * PAGE_SIZE,
@@ -263,7 +288,7 @@ pub fn launch_app_seq(
             .access(0, VirtAddr::new(heap_base.raw() + p * PAGE_SIZE), AccessType::Write)?;
     }
 
-    emit_phase(sys, pid, "launch.heap", core0_cycles(sys) - phase0);
+    span_end(sys, pid, "launch.heap", core0_cycles(sys) - phase0);
 
     // Window end: harvest.
     let stats1 = sys.machine.cores[0].stats;

@@ -6,6 +6,8 @@
 //! ```text
 //! repro <experiment> [--quick] [--trace <path>] [--out <path>]
 //! repro check [--trace <path>] [--out <path>]
+//! repro report [--trace] <trace.json> [--format text|json|folded]
+//! repro diff <old.json> <new.json> [--threshold-pct N]
 //!
 //! experiments:
 //!   table1 fig2 fig3 table2 fig4   motivation study (Section 2.3)
@@ -32,8 +34,16 @@
 //! working directory.
 //!
 //! `repro check` re-opens both artifacts and validates them: schema
-//! string, non-empty event stream, and subsystem coverage. The verify
-//! smoke test runs it after `repro all --quick --trace`.
+//! string, non-empty event stream, subsystem coverage, per-thread
+//! tick monotonicity, and span begin/end pairing. The verify smoke
+//! test runs it after `repro all --quick --trace`.
+//!
+//! `repro report` re-ingests a trace and renders the analytics rollup
+//! (Figure-6 unshare causes, flush attribution, span latencies with
+//! p50/p95, footprint overlap) as text tables, JSON, or folded
+//! flamegraph stacks. `repro diff` compares two snapshots and exits
+//! non-zero on above-threshold regressions — the perf gate the verify
+//! skill runs against the committed `BENCH_baseline.json`.
 //!
 //! Independent sweep cells fan out across cores (see
 //! `sat_bench::pool`); `SAT_BENCH_THREADS=1` forces a serial run. The
@@ -41,7 +51,7 @@
 //! are wall-clock and naturally vary).
 //!
 //! Besides the tables on stdout, every run writes the
-//! `sat-bench/repro-v2` snapshot: per-experiment wall time, scale,
+//! `sat-bench/repro-v3` snapshot: per-experiment wall time, scale,
 //! worker count, sweep cell counts, per-experiment observability
 //! counter deltas, and the run-wide counter/histogram registry.
 
@@ -49,17 +59,11 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use sat_bench::{
-    ablation, extensions, ipcbench, launchbench, motivation, pool, steadybench, zygotebench,
-    Scale,
+    ablation, extensions, ipcbench, launchbench, motivation, pool, snapshot, steadybench,
+    zygotebench, Scale,
 };
 use sat_obs::json::Json;
-
-/// The snapshot schema written (and required by `repro check`).
-///
-/// History: `repro-v1` carried command/scale/threads/experiments/
-/// total_wall_ms; `repro-v2` adds per-experiment `"events"` counter
-/// deltas and the run-wide `"obs"` section (counters + histograms).
-const SCHEMA: &str = "sat-bench/repro-v2";
+use sat_obs::report::ReportFormat;
 
 /// One timed experiment: name, wall time, how many independent cells
 /// its sweep fanned out to the worker pool (1 = no fan-out), and the
@@ -74,16 +78,23 @@ struct Record {
 /// Parsed command line.
 struct Cli {
     cmd: String,
+    /// Positionals after the command (`repro diff <old> <new>`).
+    rest: Vec<String>,
     scale: Scale,
     trace: Option<String>,
     out: String,
+    format: ReportFormat,
+    threshold_pct: f64,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut cmd: Option<String> = None;
+    let mut rest = Vec::new();
     let mut trace = None;
     let mut out = None;
     let mut quick = false;
+    let mut format = ReportFormat::Text;
+    let mut threshold_pct = 25.0;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -98,28 +109,64 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 let path = args.get(i).ok_or("--out requires a path argument")?;
                 out = Some(path.clone());
             }
+            "--format" => {
+                i += 1;
+                let name = args.get(i).ok_or("--format requires text|json|folded")?;
+                format = ReportFormat::parse(name)
+                    .ok_or_else(|| format!("unknown format '{name}' (want text|json|folded)"))?;
+            }
+            "--threshold-pct" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--threshold-pct requires a number")?;
+                threshold_pct = raw
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| *t >= 0.0)
+                    .ok_or_else(|| format!("bad --threshold-pct '{raw}' (want a number >= 0)"))?;
+            }
             flag if flag.starts_with("--") => {
-                return Err(format!("unknown flag '{flag}' (known: --quick --trace --out)"));
+                return Err(format!(
+                    "unknown flag '{flag}' (known: --quick --trace --out --format --threshold-pct)"
+                ));
             }
             positional => {
-                if let Some(first) = &cmd {
-                    return Err(format!(
-                        "unexpected argument '{positional}' (command already given: '{first}')"
-                    ));
+                if cmd.is_none() {
+                    cmd = Some(positional.to_string());
+                } else {
+                    rest.push(positional.to_string());
                 }
-                cmd = Some(positional.to_string());
             }
         }
         i += 1;
+    }
+    let cmd = cmd.unwrap_or_else(|| "all".to_string());
+    match cmd.as_str() {
+        "diff" if rest.len() != 2 => {
+            return Err(format!(
+                "diff takes exactly two snapshots (got {}): repro diff <old.json> <new.json>",
+                rest.len()
+            ));
+        }
+        "diff" | "report" => {}
+        _ if !rest.is_empty() => {
+            return Err(format!(
+                "unexpected argument '{}' (command already given: '{cmd}')",
+                rest[0]
+            ));
+        }
+        _ => {}
     }
     let out = out
         .or_else(|| std::env::var("SAT_BENCH_OUT").ok().filter(|s| !s.is_empty()))
         .unwrap_or_else(|| "BENCH_repro.json".to_string());
     Ok(Cli {
-        cmd: cmd.unwrap_or_else(|| "all".to_string()),
+        cmd,
+        rest,
         scale: if quick { Scale::Quick } else { Scale::Paper },
         trace,
         out,
+        format,
+        threshold_pct,
     })
 }
 
@@ -134,13 +181,49 @@ fn main() -> ExitCode {
     };
 
     if cli.cmd == "check" {
-        return match check(cli.trace.as_deref(), &cli.out) {
+        return match snapshot::check(cli.trace.as_deref(), &cli.out) {
             Ok(report) => {
                 print!("{report}");
                 ExitCode::SUCCESS
             }
             Err(e) => {
                 eprintln!("repro check: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if cli.cmd == "report" {
+        // The trace may arrive as `--trace <path>` or a positional.
+        let path = cli.trace.as_deref().or(cli.rest.first().map(String::as_str));
+        let Some(path) = path else {
+            eprintln!("repro report: no trace given (repro report <trace.json>)");
+            return ExitCode::FAILURE;
+        };
+        return match report(path, cli.format) {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("repro report: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if cli.cmd == "diff" {
+        return match diff_snapshots(&cli.rest[0], &cli.rest[1], cli.threshold_pct) {
+            Ok(report) => {
+                print!("{}", report.render(cli.threshold_pct));
+                if report.regressions() > 0 {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(e) => {
+                eprintln!("repro diff: {e}");
                 ExitCode::FAILURE
             }
         };
@@ -309,7 +392,7 @@ fn render_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    s.push_str(&format!("  \"schema\": \"{}\",\n", snapshot::SCHEMA));
     s.push_str(&format!("  \"command\": \"{cmd}\",\n"));
     s.push_str(&format!(
         "  \"scale\": \"{}\",\n",
@@ -351,81 +434,27 @@ fn render_json(
     s
 }
 
-/// Subsystems `repro all --trace` must cover for the trace to count as
-/// healthy (the acceptance floor; `sim` and `bench` ride along).
-const REQUIRED_SUBSYSTEMS: [&str; 5] = ["kernel", "share", "vm-fault", "tlb", "android"];
+/// Re-ingests a Chrome trace and renders the analytics rollup.
+fn report(trace_path: &str, format: ReportFormat) -> Fallible {
+    let text =
+        std::fs::read_to_string(trace_path).map_err(|e| format!("read {trace_path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{trace_path}: {e}"))?;
+    let parsed = sat_obs::parse_chrome_trace(&doc).map_err(|e| format!("{trace_path}: {e}"))?;
+    let rollup = sat_obs::analyze::Rollup::from_events(&parsed.events, parsed.dropped);
+    Ok(sat_obs::report::render(&rollup, format))
+}
 
-/// Validates the artifacts a traced run wrote: the snapshot's schema
-/// and experiment list, and — when `--trace` names the trace file —
-/// a non-empty event stream covering [`REQUIRED_SUBSYSTEMS`].
-fn check(trace: Option<&str>, out: &str) -> Fallible {
-    let mut report = String::new();
-
-    let text = std::fs::read_to_string(out).map_err(|e| format!("read {out}: {e}"))?;
-    let snapshot = Json::parse(&text).map_err(|e| format!("{out}: {e}"))?;
-    let schema = snapshot
-        .get("schema")
-        .and_then(Json::as_str)
-        .ok_or_else(|| format!("{out}: missing \"schema\""))?;
-    if schema != SCHEMA {
-        return Err(format!("{out}: schema \"{schema}\" (expected \"{SCHEMA}\")").into());
-    }
-    let experiments = snapshot
-        .get("experiments")
-        .and_then(Json::as_array)
-        .ok_or_else(|| format!("{out}: missing \"experiments\" array"))?;
-    if experiments.is_empty() {
-        return Err(format!("{out}: empty \"experiments\" array").into());
-    }
-    let obs = snapshot
-        .get("obs")
-        .and_then(Json::as_object)
-        .ok_or_else(|| format!("{out}: missing \"obs\" section"))?;
-    let obs_enabled = obs.get("enabled").and_then(Json::as_bool).unwrap_or(false);
-    report.push_str(&format!(
-        "repro check: {out} ok ({} experiments, obs {})\n",
-        experiments.len(),
-        if obs_enabled { "enabled" } else { "disabled" }
-    ));
-
-    if let Some(trace_path) = trace {
-        let text =
-            std::fs::read_to_string(trace_path).map_err(|e| format!("read {trace_path}: {e}"))?;
-        let doc = Json::parse(&text).map_err(|e| format!("{trace_path}: {e}"))?;
-        let events = doc
-            .get("traceEvents")
-            .and_then(Json::as_array)
-            .ok_or_else(|| format!("{trace_path}: missing \"traceEvents\" array"))?;
-        if events.is_empty() {
-            return Err(format!("{trace_path}: empty event stream").into());
-        }
-        let cats: std::collections::BTreeSet<&str> = events
-            .iter()
-            .filter_map(|e| e.get("cat").and_then(Json::as_str))
-            .collect();
-        let missing: Vec<&str> = REQUIRED_SUBSYSTEMS
-            .iter()
-            .filter(|s| !cats.contains(**s))
-            .copied()
-            .collect();
-        if !missing.is_empty() {
-            return Err(format!(
-                "{trace_path}: no events from subsystem(s) {} (saw: {})",
-                missing.join(", "),
-                cats.into_iter().collect::<Vec<_>>().join(", ")
-            )
-            .into());
-        }
-        if !obs_enabled {
-            return Err(
-                format!("{out}: obs section disabled although a trace was produced").into(),
-            );
-        }
-        report.push_str(&format!(
-            "repro check: {trace_path} ok ({} events, subsystems: {})\n",
-            events.len(),
-            cats.into_iter().collect::<Vec<_>>().join(", ")
-        ));
-    }
-    Ok(report)
+/// Loads and compares two snapshots (see `sat_bench::snapshot::diff`).
+fn diff_snapshots(
+    old_path: &str,
+    new_path: &str,
+    threshold_pct: f64,
+) -> Result<snapshot::DiffReport, Box<dyn std::error::Error>> {
+    let old_text =
+        std::fs::read_to_string(old_path).map_err(|e| format!("read {old_path}: {e}"))?;
+    let new_text =
+        std::fs::read_to_string(new_path).map_err(|e| format!("read {new_path}: {e}"))?;
+    let old = snapshot::Snapshot::parse(&old_text, old_path)?;
+    let new = snapshot::Snapshot::parse(&new_text, new_path)?;
+    Ok(snapshot::diff(&old, &new, threshold_pct))
 }

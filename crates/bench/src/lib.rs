@@ -16,6 +16,7 @@ pub mod launchbench;
 pub mod motivation;
 pub mod pool;
 pub mod render;
+pub mod snapshot;
 pub mod steadybench;
 pub mod zygotebench;
 

@@ -17,19 +17,40 @@
 
 use parking_lot::Mutex;
 
-/// Worker count: `SAT_BENCH_THREADS` if set and valid, otherwise the
-/// machine's available parallelism.
-pub fn thread_count() -> usize {
-    if let Ok(v) = std::env::var("SAT_BENCH_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
+/// Parses a `SAT_BENCH_THREADS` value. `Ok(None)` means unset (use
+/// the machine's available parallelism); `Err` carries the warning
+/// for an unparseable or zero value — the fallback is never silent.
+pub fn parse_thread_count(var: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = var else {
+        return Ok(None);
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(Some(n)),
+        _ => Err(format!(
+            "sat-bench: ignoring SAT_BENCH_THREADS={raw:?} (want a positive integer); \
+             using all available cores"
+        )),
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+}
+
+/// Worker count: `SAT_BENCH_THREADS` if set and valid, otherwise the
+/// machine's available parallelism. An unparseable value warns on
+/// stderr once per process.
+pub fn thread_count() -> usize {
+    let var = std::env::var("SAT_BENCH_THREADS").ok();
+    let parsed = match parse_thread_count(var.as_deref()) {
+        Ok(n) => n,
+        Err(warning) => {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| eprintln!("{warning}"));
+            None
+        }
+    };
+    parsed.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Runs every job and returns their results in submission order.
@@ -56,14 +77,15 @@ where
     let workers = workers.min(n);
     if workers <= 1 {
         // Inline path: events flow straight into the caller's
-        // recorder; a `bench` Cell span closes each cell.
+        // recorder; a `bench` span brackets each cell.
         return jobs
             .into_iter()
             .enumerate()
             .map(|(i, job)| {
+                emit_cell_begin(i);
                 let t0 = std::time::Instant::now();
                 let out = job();
-                emit_cell(i, t0.elapsed());
+                emit_cell_end(i, t0.elapsed());
                 out
             })
             .collect();
@@ -103,26 +125,43 @@ where
         .enumerate()
         .map(|(i, r)| {
             let (out, rec, elapsed) = r.expect("scope joined with every job completed");
+            // Bracket the absorbed worker events with the cell's span,
+            // so the merged stream nests exactly like the inline one.
+            emit_cell_begin(i);
             if let Some(rec) = rec {
                 sat_obs::absorb(rec);
             }
-            emit_cell(i, elapsed);
+            emit_cell_end(i, elapsed);
             out
         })
         .collect()
 }
 
-/// Closes cell `i` with a `bench` span carrying its wall-clock
-/// duration (µs).
-fn emit_cell(i: usize, elapsed: std::time::Duration) {
+/// Opens cell `i`'s `bench` span.
+fn emit_cell_begin(i: usize) {
     if sat_obs::enabled() {
         sat_obs::emit(
             sat_obs::Subsystem::Bench,
             0,
             0,
-            sat_obs::Payload::Cell {
-                label: format!("cell.{i}"),
-                dur_us: elapsed.as_micros() as u64,
+            sat_obs::Payload::SpanBegin {
+                name: format!("cell.{i}"),
+            },
+        );
+    }
+}
+
+/// Closes cell `i`'s `bench` span with its wall-clock duration (µs).
+fn emit_cell_end(i: usize, elapsed: std::time::Duration) {
+    if sat_obs::enabled() {
+        sat_obs::emit(
+            sat_obs::Subsystem::Bench,
+            0,
+            0,
+            sat_obs::Payload::SpanEnd {
+                name: format!("cell.{i}"),
+                value: elapsed.as_micros() as u64,
+                unit: sat_obs::SpanUnit::Micros,
             },
         );
     }
@@ -161,5 +200,17 @@ mod tests {
     fn empty_grid_is_fine() {
         let got: Vec<i32> = run_cells(Vec::<fn() -> i32>::new());
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn thread_count_parse_path() {
+        assert_eq!(parse_thread_count(None), Ok(None));
+        assert_eq!(parse_thread_count(Some("4")), Ok(Some(4)));
+        assert_eq!(parse_thread_count(Some(" 1 ")), Ok(Some(1)));
+        for bad in ["", "auto", "0", "-2", "2.5"] {
+            let err = parse_thread_count(Some(bad)).unwrap_err();
+            assert!(err.contains("SAT_BENCH_THREADS"), "{err}");
+            assert!(err.contains("available cores"), "{err}");
+        }
     }
 }

@@ -1,0 +1,477 @@
+//! The `BENCH_repro.json` snapshot: schema, validation (`repro
+//! check`), and metric-by-metric comparison (`repro diff`).
+//!
+//! `repro diff old.json new.json` is the perf-regression gate: the
+//! verify smoke compares a fresh `repro all --quick` snapshot against
+//! the committed `BENCH_baseline.json` and fails loudly when wall
+//! times or event-counter volumes move past the threshold. Counters
+//! are deterministic for a given command and scale, so *any*
+//! above-threshold counter growth means the simulator started doing
+//! more work — that is either a bug or an intentional change that
+//! must refresh the baseline.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use sat_obs::json::Json;
+
+/// The snapshot schema written (and required by `repro check`).
+///
+/// History: `repro-v1` carried command/scale/threads/experiments/
+/// total_wall_ms; `repro-v2` added per-experiment `"events"` counter
+/// deltas and the run-wide `"obs"` section; `repro-v3` adds `"p50"`/
+/// `"p95"` summaries to every exported histogram.
+pub const SCHEMA: &str = "sat-bench/repro-v3";
+
+/// Schemas `repro diff` can compare (the diff reads only fields that
+/// exist since v2).
+const DIFFABLE_SCHEMAS: [&str; 2] = ["sat-bench/repro-v2", "sat-bench/repro-v3"];
+
+/// Subsystems `repro all --trace` must cover for the trace to count as
+/// healthy (the acceptance floor; `sim` and `bench` ride along).
+pub const REQUIRED_SUBSYSTEMS: [&str; 5] = ["kernel", "share", "vm-fault", "tlb", "android"];
+
+/// Experiments whose wall time is too small to gate on: below this
+/// floor, scheduler noise dominates and a 25% swing means nothing.
+const WALL_FLOOR_MS: f64 = 25.0;
+
+/// Counters below this volume (in both snapshots) are ignored by the
+/// diff — a handful of events swinging 25% is noise, not a signal.
+const COUNTER_FLOOR: u64 = 100;
+
+/// One parsed experiment record.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    pub wall_ms: f64,
+    pub cells: u64,
+}
+
+/// The parts of a snapshot the diff compares.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    pub schema: String,
+    pub command: String,
+    pub scale: String,
+    pub experiments: BTreeMap<String, Experiment>,
+    pub total_wall_ms: f64,
+    pub obs_enabled: bool,
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl Snapshot {
+    /// Parses a snapshot document, validating the schema is diffable.
+    pub fn parse(text: &str, label: &str) -> Result<Snapshot, String> {
+        let doc = Json::parse(text).map_err(|e| format!("{label}: {e}"))?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{label}: missing \"schema\""))?;
+        if !DIFFABLE_SCHEMAS.contains(&schema) {
+            return Err(format!(
+                "{label}: schema \"{schema}\" (expected one of {DIFFABLE_SCHEMAS:?})"
+            ));
+        }
+        let mut experiments = BTreeMap::new();
+        for exp in doc
+            .get("experiments")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("{label}: missing \"experiments\" array"))?
+        {
+            let name = exp
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{label}: experiment without \"name\""))?;
+            experiments.insert(
+                name.to_string(),
+                Experiment {
+                    wall_ms: exp.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
+                    cells: exp.get("cells").and_then(Json::as_u64).unwrap_or(0),
+                },
+            );
+        }
+        let obs = doc.get("obs");
+        let obs_enabled = obs
+            .and_then(|o| o.get("enabled"))
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        let mut counters = BTreeMap::new();
+        if let Some(map) = obs
+            .and_then(|o| o.get("counters"))
+            .and_then(Json::as_object)
+        {
+            for (k, v) in map {
+                if let Some(n) = v.as_u64() {
+                    counters.insert(k.clone(), n);
+                }
+            }
+        }
+        Ok(Snapshot {
+            schema: schema.to_string(),
+            command: doc
+                .get("command")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            scale: doc
+                .get("scale")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            experiments,
+            total_wall_ms: doc.get("total_wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
+            obs_enabled,
+            counters,
+        })
+    }
+}
+
+/// One line of the diff, classified.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DiffClass {
+    /// Fails the gate.
+    Regression,
+    /// Informational: the new snapshot got faster / smaller.
+    Improvement,
+    /// Informational: structure changed without regressing.
+    Note,
+}
+
+/// The rendered comparison of two snapshots.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    pub lines: Vec<(DiffClass, String)>,
+    /// Metrics compared (regardless of outcome).
+    pub compared: usize,
+}
+
+impl DiffReport {
+    pub fn regressions(&self) -> usize {
+        self.lines
+            .iter()
+            .filter(|(c, _)| *c == DiffClass::Regression)
+            .count()
+    }
+
+    /// Human-readable summary; one line per finding, stable order.
+    pub fn render(&self, threshold_pct: f64) -> String {
+        let mut out = String::new();
+        for (class, line) in &self.lines {
+            let tag = match class {
+                DiffClass::Regression => "REGRESSION",
+                DiffClass::Improvement => "improvement",
+                DiffClass::Note => "note",
+            };
+            let _ = writeln!(out, "{tag:<12} {line}");
+        }
+        let _ = writeln!(
+            out,
+            "repro diff: {} metrics compared, {} regression(s) at +{threshold_pct}% threshold",
+            self.compared,
+            self.regressions()
+        );
+        out
+    }
+}
+
+fn pct_change(old: f64, new: f64) -> f64 {
+    if old == 0.0 {
+        if new == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        100.0 * (new - old) / old
+    }
+}
+
+/// Compares two snapshots metric by metric. A wall-time or counter
+/// increase beyond `threshold_pct` is a regression; decreases are
+/// reported as improvements; a vanished experiment is always a
+/// regression. Sub-floor metrics (see [`WALL_FLOOR_MS`],
+/// [`COUNTER_FLOOR`]) are compared but never gate.
+pub fn diff(old: &Snapshot, new: &Snapshot, threshold_pct: f64) -> DiffReport {
+    let mut report = DiffReport::default();
+
+    if old.command != new.command || old.scale != new.scale {
+        report.lines.push((
+            DiffClass::Note,
+            format!(
+                "comparing different runs: {} ({}) vs {} ({})",
+                old.command, old.scale, new.command, new.scale
+            ),
+        ));
+    }
+
+    for (name, old_exp) in &old.experiments {
+        report.compared += 1;
+        let Some(new_exp) = new.experiments.get(name) else {
+            report.lines.push((
+                DiffClass::Regression,
+                format!("experiment \"{name}\" missing from the new snapshot"),
+            ));
+            continue;
+        };
+        let change = pct_change(old_exp.wall_ms, new_exp.wall_ms);
+        let line = format!(
+            "{name}.wall_ms: {:.1} -> {:.1} ({change:+.1}%)",
+            old_exp.wall_ms, new_exp.wall_ms
+        );
+        if change > threshold_pct {
+            if old_exp.wall_ms >= WALL_FLOOR_MS {
+                report.lines.push((DiffClass::Regression, line));
+            } else {
+                report
+                    .lines
+                    .push((DiffClass::Note, format!("{line} — below {WALL_FLOOR_MS}ms floor")));
+            }
+        } else if change < -threshold_pct && old_exp.wall_ms >= WALL_FLOOR_MS {
+            report.lines.push((DiffClass::Improvement, line));
+        }
+        if old_exp.cells != new_exp.cells {
+            report.lines.push((
+                DiffClass::Note,
+                format!("{name}.cells: {} -> {}", old_exp.cells, new_exp.cells),
+            ));
+        }
+    }
+    for name in new.experiments.keys() {
+        if !old.experiments.contains_key(name) {
+            report.lines.push((
+                DiffClass::Note,
+                format!("new experiment \"{name}\" (not in the baseline)"),
+            ));
+        }
+    }
+
+    report.compared += 1;
+    let total_change = pct_change(old.total_wall_ms, new.total_wall_ms);
+    let total_line = format!(
+        "total_wall_ms: {:.1} -> {:.1} ({total_change:+.1}%)",
+        old.total_wall_ms, new.total_wall_ms
+    );
+    if total_change > threshold_pct && old.total_wall_ms >= WALL_FLOOR_MS {
+        report.lines.push((DiffClass::Regression, total_line));
+    } else if total_change < -threshold_pct && old.total_wall_ms >= WALL_FLOOR_MS {
+        report.lines.push((DiffClass::Improvement, total_line));
+    }
+
+    // Event counters only compare when both runs recorded them (an
+    // untraced run has an empty, disabled registry).
+    if old.obs_enabled && new.obs_enabled {
+        for (key, &old_n) in &old.counters {
+            let new_n = new.counters.get(key).copied().unwrap_or(0);
+            report.compared += 1;
+            if old_n.max(new_n) < COUNTER_FLOOR {
+                continue;
+            }
+            let change = pct_change(old_n as f64, new_n as f64);
+            let line = format!("counter {key}: {old_n} -> {new_n} ({change:+.1}%)");
+            if change > threshold_pct {
+                report.lines.push((DiffClass::Regression, line));
+            } else if change < -threshold_pct {
+                report.lines.push((DiffClass::Improvement, line));
+            }
+        }
+        for (key, &new_n) in &new.counters {
+            if !old.counters.contains_key(key) && new_n >= COUNTER_FLOOR {
+                report.lines.push((
+                    DiffClass::Note,
+                    format!("new counter {key}: {new_n} (not in the baseline)"),
+                ));
+            }
+        }
+    }
+
+    report
+}
+
+/// Validates the artifacts a traced run wrote: the snapshot's schema
+/// and experiment list, and — when `trace` names the trace file — a
+/// re-ingest of the full event stream with subsystem coverage, tick
+/// monotonicity, and span begin/end pairing enforced.
+pub fn check(trace: Option<&str>, out: &str) -> Result<String, String> {
+    let mut report = String::new();
+
+    let text = std::fs::read_to_string(out).map_err(|e| format!("read {out}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{out}: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{out}: missing \"schema\""))?;
+    if schema != SCHEMA {
+        return Err(format!("{out}: schema \"{schema}\" (expected \"{SCHEMA}\")"));
+    }
+    let experiments = doc
+        .get("experiments")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{out}: missing \"experiments\" array"))?;
+    if experiments.is_empty() {
+        return Err(format!("{out}: empty \"experiments\" array"));
+    }
+    let obs = doc
+        .get("obs")
+        .and_then(Json::as_object)
+        .ok_or_else(|| format!("{out}: missing \"obs\" section"))?;
+    let obs_enabled = obs.get("enabled").and_then(Json::as_bool).unwrap_or(false);
+    let _ = writeln!(
+        report,
+        "repro check: {out} ok ({} experiments, obs {})",
+        experiments.len(),
+        if obs_enabled { "enabled" } else { "disabled" }
+    );
+
+    if let Some(trace_path) = trace {
+        let text =
+            std::fs::read_to_string(trace_path).map_err(|e| format!("read {trace_path}: {e}"))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{trace_path}: {e}"))?;
+        let parsed =
+            sat_obs::parse_chrome_trace(&doc).map_err(|e| format!("{trace_path}: {e}"))?;
+        if parsed.events.is_empty() {
+            return Err(format!("{trace_path}: empty event stream"));
+        }
+        sat_obs::analyze::validate_ticks(&parsed.events)
+            .map_err(|e| format!("{trace_path}: {e}"))?;
+        // Span pairing is only checkable on a lossless stream: ring
+        // overflow drops the oldest events, begins first.
+        let spans_note = if parsed.dropped == 0 {
+            sat_obs::analyze::validate_spans(&parsed.events)
+                .map_err(|e| format!("{trace_path}: {e}"))?;
+            "spans paired"
+        } else {
+            "span pairing skipped (ring overflow)"
+        };
+        let cats: std::collections::BTreeSet<&str> = parsed
+            .events
+            .iter()
+            .map(|e| e.subsystem.as_str())
+            .collect();
+        let missing: Vec<&str> = REQUIRED_SUBSYSTEMS
+            .iter()
+            .filter(|s| !cats.contains(**s))
+            .copied()
+            .collect();
+        if !missing.is_empty() {
+            return Err(format!(
+                "{trace_path}: no events from subsystem(s) {} (saw: {})",
+                missing.join(", "),
+                cats.into_iter().collect::<Vec<_>>().join(", ")
+            ));
+        }
+        if !obs_enabled {
+            return Err(format!(
+                "{out}: obs section disabled although a trace was produced"
+            ));
+        }
+        let _ = writeln!(
+            report,
+            "repro check: {trace_path} ok ({} events, {} dropped, ticks monotonic, \
+             {spans_note}, subsystems: {})",
+            parsed.events.len(),
+            parsed.dropped,
+            cats.into_iter().collect::<Vec<_>>().join(", ")
+        );
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot_json(wall_a: f64, total: f64, flushes: u64) -> String {
+        format!(
+            r#"{{
+  "schema": "sat-bench/repro-v3",
+  "command": "all",
+  "scale": "quick",
+  "threads": 4,
+  "experiments": [
+    {{"name": "launch", "wall_ms": {wall_a:.3}, "cells": 6, "events": {{}}}},
+    {{"name": "steady", "wall_ms": 40.000, "cells": 4, "events": {{}}}}
+  ],
+  "total_wall_ms": {total:.3},
+  "obs": {{"enabled": true, "dropped_events": 0,
+           "counters": {{"tlb.flush": {flushes}, "tiny.counter": 3}},
+           "histograms": {{}}}}
+}}
+"#
+        )
+    }
+
+    fn parse(text: &str) -> Snapshot {
+        Snapshot::parse(text, "test").unwrap()
+    }
+
+    #[test]
+    fn identical_snapshots_produce_no_regressions() {
+        let a = parse(&snapshot_json(100.0, 150.0, 5000));
+        let report = diff(&a, &a, 25.0);
+        assert_eq!(report.regressions(), 0, "{:?}", report.lines);
+        assert!(report.compared >= 4);
+    }
+
+    #[test]
+    fn doctored_wall_time_regresses() {
+        let old = parse(&snapshot_json(100.0, 150.0, 5000));
+        let new = parse(&snapshot_json(150.0, 210.0, 5000));
+        let report = diff(&old, &new, 25.0);
+        assert_eq!(report.regressions(), 2, "{:?}", report.lines);
+        let text = report.render(25.0);
+        assert!(text.contains("REGRESSION"), "{text}");
+        assert!(text.contains("launch.wall_ms"), "{text}");
+        assert!(text.contains("total_wall_ms"), "{text}");
+    }
+
+    #[test]
+    fn counter_growth_regresses_and_shrinkage_improves() {
+        let old = parse(&snapshot_json(100.0, 150.0, 5000));
+        let grown = parse(&snapshot_json(100.0, 150.0, 8000));
+        let report = diff(&old, &grown, 25.0);
+        assert_eq!(report.regressions(), 1, "{:?}", report.lines);
+        assert!(report.lines.iter().any(|(c, l)| *c == DiffClass::Regression
+            && l.contains("tlb.flush")));
+
+        let shrunk = parse(&snapshot_json(100.0, 150.0, 1000));
+        let report = diff(&old, &shrunk, 25.0);
+        assert_eq!(report.regressions(), 0, "{:?}", report.lines);
+        assert!(report
+            .lines
+            .iter()
+            .any(|(c, _)| *c == DiffClass::Improvement));
+    }
+
+    #[test]
+    fn sub_floor_metrics_never_gate() {
+        // launch at 10ms (below the 25ms floor) doubling is a note,
+        // and tiny.counter (3 -> 6) stays ignored.
+        let old = parse(&snapshot_json(10.0, 150.0, 5000));
+        let mut new = parse(&snapshot_json(20.0, 150.0, 5000));
+        new.counters.insert("tiny.counter".to_string(), 6);
+        let report = diff(&old, &new, 25.0);
+        assert_eq!(report.regressions(), 0, "{:?}", report.lines);
+        assert!(report.lines.iter().any(|(c, l)| *c == DiffClass::Note
+            && l.contains("floor")));
+    }
+
+    #[test]
+    fn missing_experiment_is_a_regression() {
+        let old = parse(&snapshot_json(100.0, 150.0, 5000));
+        let mut new = parse(&snapshot_json(100.0, 150.0, 5000));
+        new.experiments.remove("steady");
+        let report = diff(&old, &new, 25.0);
+        assert_eq!(report.regressions(), 1);
+        assert!(report.lines[0].1.contains("steady"));
+    }
+
+    #[test]
+    fn old_v2_snapshots_remain_diffable() {
+        let v2 = snapshot_json(100.0, 150.0, 5000).replace("repro-v3", "repro-v2");
+        let old = Snapshot::parse(&v2, "old").unwrap();
+        assert_eq!(old.schema, "sat-bench/repro-v2");
+        let new = parse(&snapshot_json(100.0, 150.0, 5000));
+        assert_eq!(diff(&old, &new, 25.0).regressions(), 0);
+        let v1 = snapshot_json(100.0, 150.0, 5000).replace("repro-v3", "repro-v1");
+        assert!(Snapshot::parse(&v1, "old").is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! End-to-end CLI tests for `repro check`, `repro report`, and
+//! `repro diff`: real artifacts on disk, the real binary, real exit
+//! codes.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use sat_obs::{FlushReason, FlushScope, Payload, SpanUnit, Subsystem, UnshareCause};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sat-bench-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// A healthy trace covering every required subsystem, with one
+/// properly paired span. `breakage` lets a test corrupt the stream
+/// before export.
+fn write_trace(name: &str, breakage: Option<&str>) -> PathBuf {
+    sat_obs::install(256);
+    sat_obs::emit(
+        Subsystem::Kernel,
+        1,
+        1,
+        Payload::Fork {
+            child: 2,
+            ptps_shared: 4,
+            ptes_copied: 0,
+            shared: true,
+        },
+    );
+    sat_obs::emit(
+        Subsystem::Share,
+        2,
+        2,
+        Payload::PtpUnshare {
+            cause: UnshareCause::WriteFault,
+            ptes_copied: 3,
+            last_sharer: false,
+            va: 0x1000,
+        },
+    );
+    sat_obs::emit(
+        Subsystem::VmFault,
+        2,
+        2,
+        Payload::PageFault {
+            class: sat_obs::FaultClass::Cow,
+            va: 0x1000,
+            file_backed: false,
+        },
+    );
+    sat_obs::emit(
+        Subsystem::Tlb,
+        0,
+        2,
+        Payload::TlbFlush {
+            scope: FlushScope::Asid,
+            reason: FlushReason::Unshare,
+            entries: 2,
+        },
+    );
+    sat_obs::emit(
+        Subsystem::Android,
+        2,
+        2,
+        Payload::SpanBegin {
+            name: "launch.exec".to_string(),
+        },
+    );
+    if breakage != Some("dangling_begin") {
+        sat_obs::emit(
+            Subsystem::Android,
+            2,
+            2,
+            Payload::SpanEnd {
+                name: "launch.exec".to_string(),
+                value: 750,
+                unit: SpanUnit::Cycles,
+            },
+        );
+    }
+    let mut rec = sat_obs::uninstall().unwrap();
+    if breakage == Some("tick_rewind") {
+        // Hand-edit the last event's timestamp backwards, as a corrupt
+        // or truncated-and-merged trace file would look.
+        let last = rec.events.last_mut().unwrap();
+        last.tick = 0;
+    }
+    let path = tmp(name);
+    std::fs::write(&path, sat_obs::chrome_trace_json(&rec)).unwrap();
+    path
+}
+
+fn write_snapshot(name: &str, launch_wall_ms: f64, total_wall_ms: f64) -> PathBuf {
+    let path = tmp(name);
+    std::fs::write(
+        &path,
+        format!(
+            r#"{{
+  "schema": "sat-bench/repro-v3",
+  "command": "all",
+  "scale": "quick",
+  "threads": 2,
+  "experiments": [
+    {{"name": "launch", "wall_ms": {launch_wall_ms:.3}, "cells": 6, "events": {{}}}},
+    {{"name": "steady", "wall_ms": 64.000, "cells": 4, "events": {{}}}}
+  ],
+  "total_wall_ms": {total_wall_ms:.3},
+  "obs": {{"enabled": true, "dropped_events": 0, "counters": {{"share.unshare": 400}}, "histograms": {{}}}}
+}}
+"#
+        ),
+    )
+    .unwrap();
+    path
+}
+
+#[test]
+fn check_passes_on_healthy_artifacts_and_fails_on_corruption() {
+    let snap = write_snapshot("check-snap.json", 100.0, 200.0);
+    let trace = write_trace("check-trace.json", None);
+    let out = repro(&[
+        "check",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--out",
+        snap.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "healthy check failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("spans paired"), "{stdout}");
+
+    // Deliberately corrupted trace #1: a span that never ends.
+    let broken = write_trace("check-dangling.json", Some("dangling_begin"));
+    let out = repro(&[
+        "check",
+        "--trace",
+        broken.to_str().unwrap(),
+        "--out",
+        snap.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("never ends"), "{stderr}");
+
+    // Deliberately corrupted trace #2: a timestamp rewound on one
+    // thread (monotonicity violation).
+    let broken = write_trace("check-rewind.json", Some("tick_rewind"));
+    let out = repro(&[
+        "check",
+        "--trace",
+        broken.to_str().unwrap(),
+        "--out",
+        snap.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not monotonic"), "{stderr}");
+}
+
+#[test]
+fn report_renders_all_three_formats_from_a_trace() {
+    let trace = write_trace("report-trace.json", None);
+    let path = trace.to_str().unwrap();
+
+    let out = repro(&["report", path]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Unshare causes (Figure 6)"), "{text}");
+    assert!(text.contains("write_fault"), "{text}");
+
+    let out = repro(&["report", "--trace", path, "--format", "json"]);
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"schema\": \"sat-obs/report-v1\""), "{json}");
+    assert!(json.contains("\"p95\""), "{json}");
+
+    let out = repro(&["report", path, "--format", "folded"]);
+    assert!(out.status.success());
+    let folded = String::from_utf8_lossy(&out.stdout);
+    assert!(folded.contains("pid2;android;launch.exec 750"), "{folded}");
+
+    let out = repro(&["report"]);
+    assert!(!out.status.success(), "report without a trace must fail");
+}
+
+#[test]
+fn diff_gates_on_wall_time_regressions() {
+    let baseline = write_snapshot("diff-old.json", 100.0, 200.0);
+    let same = write_snapshot("diff-same.json", 100.0, 200.0);
+    let out = repro(&[
+        "diff",
+        baseline.to_str().unwrap(),
+        same.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "identical snapshots must pass: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // Doctored: launch wall time +50% (and the total with it).
+    let slower = write_snapshot("diff-new.json", 150.0, 250.0);
+    let out = repro(&[
+        "diff",
+        baseline.to_str().unwrap(),
+        slower.to_str().unwrap(),
+        "--threshold-pct",
+        "25",
+    ]);
+    assert!(!out.status.success(), "a +50% wall_ms must fail the gate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSION"), "{stdout}");
+    assert!(stdout.contains("launch.wall_ms"), "{stdout}");
+
+    // A generous threshold lets the same pair pass.
+    let out = repro(&[
+        "diff",
+        baseline.to_str().unwrap(),
+        slower.to_str().unwrap(),
+        "--threshold-pct",
+        "80",
+    ]);
+    assert!(out.status.success());
+
+    let out = repro(&["diff", baseline.to_str().unwrap()]);
+    assert!(!out.status.success(), "diff requires two snapshots");
+}

@@ -1,0 +1,557 @@
+//! Trace analytics: stream-processing an event stream into typed
+//! rollups.
+//!
+//! The raw stream (PR 2) records *what happened*; this module answers
+//! *questions*: the Figure-6 per-cause unshare breakdown, flush-reason
+//! attribution per TLB, per-subsystem/per-pid volume, duration-span
+//! latency summaries (p50/p95/max over [`Histogram`]s), and the
+//! pairwise shared-footprint matrix of paper §3 — all derived from
+//! events alone, so every number in a report can be cross-checked
+//! against the mechanism counters (`KernelStats`, `TlbStats`) the
+//! conservation tests pin.
+//!
+//! Input is either an in-memory recording or a Chrome trace re-ingested
+//! via [`crate::parse_chrome_trace`]; both paths produce the same
+//! [`Rollup`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::event::{Event, Payload, SpanUnit, UnshareCause};
+use crate::metrics::{Histogram, MetricsRegistry};
+
+/// Simulated page size (bytes). The simulator targets ARMv7's 4KB
+/// pages; region-op events carry raw virtual addresses and page
+/// counts, so the analyzer only needs the constant, not the crate.
+const PAGE_BYTES: u32 = 4096;
+
+/// How many processes the shared-footprint matrix keeps (the largest
+/// footprints win; a full `repro all` trace touches hundreds of pids).
+const FOOTPRINT_PIDS: usize = 8;
+
+/// Aggregate over one named duration span (`cat.name`).
+#[derive(Clone, Debug)]
+pub struct SpanAgg {
+    pub count: u64,
+    pub unit: SpanUnit,
+    /// Span values (cycles or µs) — p50/p95/max come from here.
+    pub hist: Histogram,
+}
+
+/// Flush volume attributed to one reason.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct FlushAgg {
+    pub flushes: u64,
+    pub entries: u64,
+}
+
+/// Pairwise shared-footprint matrix (paper §3: 38–46% of two apps'
+/// address-space footprints overlap). Reconstructed purely from
+/// fork/mmap/munmap events: a fork clones the parent's page set, a
+/// region op adds or removes pages.
+#[derive(Clone, Debug, Default)]
+pub struct FootprintMatrix {
+    /// The processes kept (largest final footprints, ascending pid).
+    pub pids: Vec<u32>,
+    /// Final footprint size, in pages, per kept pid.
+    pub pages: Vec<u64>,
+    /// `shared[i][j]`: pages in both pid `i`'s and pid `j`'s set.
+    pub shared: Vec<Vec<u64>>,
+}
+
+impl FootprintMatrix {
+    /// Overlap percentage between kept pids `i` and `j`, relative to
+    /// the smaller footprint (the paper's framing).
+    pub fn overlap_pct(&self, i: usize, j: usize) -> f64 {
+        let min = self.pages[i].min(self.pages[j]);
+        if min == 0 {
+            0.0
+        } else {
+            100.0 * self.shared[i][j] as f64 / min as f64
+        }
+    }
+}
+
+/// Everything the analyzer derives from one event stream.
+#[derive(Clone, Debug, Default)]
+pub struct Rollup {
+    pub event_count: u64,
+    /// Ring-overflow drops reported by the source (the rollup covers
+    /// only surviving events; counters in a live snapshot stay exact).
+    pub dropped: u64,
+    pub subsystems: BTreeMap<&'static str, u64>,
+    pub pids: BTreeMap<u32, u64>,
+    /// Figure 6: unshare events per cause.
+    pub unshare_causes: BTreeMap<&'static str, u64>,
+    pub unshare_ptes_copied: u64,
+    pub unshare_last_sharer: u64,
+    /// Main-TLB flush volume per attributed reason.
+    pub main_flush_reasons: BTreeMap<&'static str, FlushAgg>,
+    /// Micro-TLB flush volume per attributed reason.
+    pub micro_flush_reasons: BTreeMap<&'static str, FlushAgg>,
+    pub flush_scopes: BTreeMap<&'static str, u64>,
+    pub fault_classes: BTreeMap<&'static str, u64>,
+    pub faults_file_backed: u64,
+    pub region_ops: BTreeMap<&'static str, u64>,
+    pub forks: u64,
+    pub shared_forks: u64,
+    pub exits: u64,
+    pub domain_faults: u64,
+    /// Duration spans keyed `cat.name`.
+    pub spans: BTreeMap<String, SpanAgg>,
+    /// Folded stacks (`pid<p>;<cat>;<span>[;<nested>…] value`-ready)
+    /// accumulated over span nesting — flamegraph input.
+    pub folded: BTreeMap<String, u64>,
+    /// The counter/histogram registry replayed from the events (for a
+    /// lossless stream this equals the recorder's live registry).
+    pub metrics: MetricsRegistry,
+    pub footprint: FootprintMatrix,
+}
+
+impl Rollup {
+    /// Builds the rollup in one pass over the events (plus the
+    /// footprint replay).
+    pub fn from_events(events: &[Event], dropped: u64) -> Rollup {
+        let mut r = Rollup {
+            event_count: events.len() as u64,
+            dropped,
+            ..Rollup::default()
+        };
+        // Per-(pid, asid) open-span stacks for folded attribution.
+        let mut stacks: BTreeMap<(u32, u8), Vec<String>> = BTreeMap::new();
+        // Footprint replay state: pid → resident page-number set.
+        let mut pages: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+
+        for event in events {
+            *r.subsystems.entry(event.subsystem.as_str()).or_default() += 1;
+            *r.pids.entry(event.pid).or_default() += 1;
+            r.metrics.apply_event(event.subsystem, &event.payload);
+            match &event.payload {
+                Payload::Fork { child, shared, .. } => {
+                    r.forks += 1;
+                    if *shared {
+                        r.shared_forks += 1;
+                    }
+                    let inherited = pages.get(&event.pid).cloned().unwrap_or_default();
+                    pages.insert(*child, inherited);
+                }
+                Payload::Exit => r.exits += 1,
+                Payload::DomainFault { .. } => r.domain_faults += 1,
+                Payload::RegionOp { op, va, pages: n, .. } => {
+                    *r.region_ops.entry(op.as_str()).or_default() += 1;
+                    let set = pages.entry(event.pid).or_default();
+                    let first = va / PAGE_BYTES;
+                    match op {
+                        crate::RegionOpKind::Mmap | crate::RegionOpKind::MmapLarge => {
+                            set.extend(first..first.saturating_add(*n));
+                        }
+                        crate::RegionOpKind::Munmap => {
+                            for p in first..first.saturating_add(*n) {
+                                set.remove(&p);
+                            }
+                        }
+                        crate::RegionOpKind::Mprotect => {}
+                    }
+                }
+                Payload::PtpShare { .. } => {}
+                Payload::PtpUnshare {
+                    cause,
+                    ptes_copied,
+                    last_sharer,
+                    ..
+                } => {
+                    *r.unshare_causes.entry(cause.as_str()).or_default() += 1;
+                    r.unshare_ptes_copied += ptes_copied;
+                    if *last_sharer {
+                        r.unshare_last_sharer += 1;
+                    }
+                }
+                Payload::PageFault {
+                    class, file_backed, ..
+                } => {
+                    *r.fault_classes.entry(class.as_str()).or_default() += 1;
+                    if *file_backed {
+                        r.faults_file_backed += 1;
+                    }
+                }
+                Payload::TlbFlush {
+                    scope,
+                    reason,
+                    entries,
+                } => {
+                    *r.flush_scopes.entry(scope.as_str()).or_default() += 1;
+                    let table = if scope.is_main() {
+                        &mut r.main_flush_reasons
+                    } else {
+                        &mut r.micro_flush_reasons
+                    };
+                    let agg = table.entry(reason.as_str()).or_default();
+                    agg.flushes += 1;
+                    agg.entries += entries;
+                }
+                Payload::SpanBegin { name } => {
+                    stacks
+                        .entry((event.pid, event.asid))
+                        .or_default()
+                        .push(name.clone());
+                }
+                Payload::SpanEnd { name, value, unit } => {
+                    let key = format!("{}.{name}", event.subsystem.as_str());
+                    let agg = r.spans.entry(key).or_insert_with(|| SpanAgg {
+                        count: 0,
+                        unit: *unit,
+                        hist: Histogram::default(),
+                    });
+                    agg.count += 1;
+                    agg.hist.record(*value);
+                    // Folded stack: everything currently open on this
+                    // thread, outermost first. A corrupt stream (end
+                    // without begin) degrades to a single frame; the
+                    // validator reports it separately.
+                    let stack = stacks.entry((event.pid, event.asid)).or_default();
+                    match stack.last() {
+                        Some(top) if top == name => {
+                            let path = format!(
+                                "pid{};{};{}",
+                                event.pid,
+                                event.subsystem.as_str(),
+                                stack.join(";")
+                            );
+                            *r.folded.entry(path).or_default() += value;
+                            stack.pop();
+                        }
+                        _ => {
+                            let path =
+                                format!("pid{};{};{name}", event.pid, event.subsystem.as_str());
+                            *r.folded.entry(path).or_default() += value;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Keep the largest footprints, ascending pid for stable output.
+        let mut by_size: Vec<(u32, u64)> = pages
+            .iter()
+            .map(|(pid, set)| (*pid, set.len() as u64))
+            .filter(|(_, n)| *n > 0)
+            .collect();
+        by_size.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        by_size.truncate(FOOTPRINT_PIDS);
+        by_size.sort_by_key(|(pid, _)| *pid);
+        r.footprint.pids = by_size.iter().map(|(pid, _)| *pid).collect();
+        r.footprint.pages = by_size.iter().map(|(_, n)| *n).collect();
+        r.footprint.shared = r
+            .footprint
+            .pids
+            .iter()
+            .map(|a| {
+                r.footprint
+                    .pids
+                    .iter()
+                    .map(|b| pages[a].intersection(&pages[b]).count() as u64)
+                    .collect()
+            })
+            .collect();
+        r
+    }
+
+    /// Figure-6 rows: (cause, unshares, percent of all unshares), in
+    /// the paper's cause order, zero-count causes included.
+    pub fn fig6_breakdown(&self) -> Vec<(&'static str, u64, f64)> {
+        let total: u64 = self.unshare_causes.values().sum();
+        UnshareCause::ALL
+            .into_iter()
+            .map(|cause| {
+                let n = self.unshare_causes.get(cause.as_str()).copied().unwrap_or(0);
+                let pct = if total == 0 {
+                    0.0
+                } else {
+                    100.0 * n as f64 / total as f64
+                };
+                (cause.as_str(), n, pct)
+            })
+            .collect()
+    }
+}
+
+/// Validates stream invariants the recorder guarantees: per-(pid,
+/// asid) tick monotonicity (via [`validate_ticks`]) and strict
+/// begin/end pairing of duration spans (via [`validate_spans`]).
+/// `repro check` runs this over re-ingested traces; a corrupted or
+/// hand-edited file fails loudly. Only valid for lossless streams —
+/// when the ring dropped events, span begins may be missing from the
+/// front, so callers must fall back to [`validate_ticks`] alone.
+pub fn validate_events(events: &[Event]) -> Result<(), String> {
+    validate_ticks(events)?;
+    validate_spans(events)
+}
+
+/// Per-(pid, asid) tick monotonicity: ticks are a recorder-global
+/// sequence, so every thread's subsequence is strictly increasing.
+/// This invariant survives ring overflow (dropping a prefix keeps
+/// every subsequence increasing).
+pub fn validate_ticks(events: &[Event]) -> Result<(), String> {
+    let mut last_tick: BTreeMap<(u32, u8), u64> = BTreeMap::new();
+    for (i, event) in events.iter().enumerate() {
+        let thread = (event.pid, event.asid);
+        if let Some(&prev) = last_tick.get(&thread) {
+            if event.tick <= prev {
+                return Err(format!(
+                    "event {i}: tick {} not monotonic for pid {} asid {} (previous {})",
+                    event.tick, event.pid, event.asid, prev
+                ));
+            }
+        }
+        last_tick.insert(thread, event.tick);
+    }
+    Ok(())
+}
+
+/// Strict span pairing: every `SpanEnd` closes the innermost open
+/// `SpanBegin` with the same name on its thread, and nothing stays
+/// open at the end of the stream.
+pub fn validate_spans(events: &[Event]) -> Result<(), String> {
+    let mut stacks: BTreeMap<(u32, u8), Vec<(String, u64)>> = BTreeMap::new();
+    for (i, event) in events.iter().enumerate() {
+        let thread = (event.pid, event.asid);
+        match &event.payload {
+            Payload::SpanBegin { name } => {
+                stacks
+                    .entry(thread)
+                    .or_default()
+                    .push((name.clone(), event.tick));
+            }
+            Payload::SpanEnd { name, .. } => match stacks.entry(thread).or_default().pop() {
+                Some((open, _)) if &open == name => {}
+                Some((open, tick)) => {
+                    return Err(format!(
+                        "event {i}: span end \"{name}\" closes \"{open}\" (opened at tick {tick}) \
+                         on pid {} asid {}",
+                        event.pid, event.asid
+                    ));
+                }
+                None => {
+                    return Err(format!(
+                        "event {i}: span end \"{name}\" without a begin on pid {} asid {}",
+                        event.pid, event.asid
+                    ));
+                }
+            },
+            _ => {}
+        }
+    }
+    for ((pid, asid), stack) in &stacks {
+        if let Some((name, tick)) = stack.last() {
+            return Err(format!(
+                "span \"{name}\" (opened at tick {tick}) never ends on pid {pid} asid {asid}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{RegionOpKind, Subsystem};
+
+    fn ev(tick: u64, pid: u32, asid: u8, subsystem: Subsystem, payload: Payload) -> Event {
+        Event {
+            tick,
+            pid,
+            asid,
+            subsystem,
+            payload,
+        }
+    }
+
+    fn begin(tick: u64, pid: u32, name: &str) -> Event {
+        ev(
+            tick,
+            pid,
+            pid as u8,
+            Subsystem::Android,
+            Payload::SpanBegin {
+                name: name.to_string(),
+            },
+        )
+    }
+
+    fn end(tick: u64, pid: u32, name: &str, value: u64) -> Event {
+        ev(
+            tick,
+            pid,
+            pid as u8,
+            Subsystem::Android,
+            Payload::SpanEnd {
+                name: name.to_string(),
+                value,
+                unit: SpanUnit::Cycles,
+            },
+        )
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_nesting() {
+        let events = vec![
+            begin(0, 1, "outer"),
+            begin(1, 1, "inner"),
+            end(2, 1, "inner", 5),
+            begin(3, 2, "other-thread"),
+            end(4, 1, "outer", 9),
+            end(5, 2, "other-thread", 1),
+        ];
+        assert!(validate_events(&events).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_non_monotonic_ticks() {
+        let events = vec![begin(5, 1, "a"), end(5, 1, "a", 1)];
+        let err = validate_events(&events).unwrap_err();
+        assert!(err.contains("not monotonic"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_unmatched_span_end() {
+        let err = validate_events(&[end(0, 1, "ghost", 3)]).unwrap_err();
+        assert!(err.contains("without a begin"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_cross_matched_spans() {
+        let events = vec![begin(0, 1, "a"), end(1, 1, "b", 2)];
+        let err = validate_events(&events).unwrap_err();
+        assert!(err.contains("closes"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_dangling_begin() {
+        let err = validate_events(&[begin(0, 1, "open")]).unwrap_err();
+        assert!(err.contains("never ends"), "{err}");
+    }
+
+    #[test]
+    fn rollup_aggregates_spans_and_folded_stacks() {
+        let events = vec![
+            begin(0, 1, "launch"),
+            begin(1, 1, "launch.exec"),
+            end(2, 1, "launch.exec", 100),
+            end(3, 1, "launch", 900),
+            begin(4, 1, "launch"),
+            end(5, 1, "launch", 1100),
+        ];
+        let r = Rollup::from_events(&events, 0);
+        let launch = &r.spans["android.launch"];
+        assert_eq!(launch.count, 2);
+        assert_eq!(launch.hist.min, 900);
+        assert_eq!(launch.hist.max, 1100);
+        assert_eq!(r.folded["pid1;android;launch"], 2000);
+        assert_eq!(r.folded["pid1;android;launch;launch.exec"], 100);
+    }
+
+    #[test]
+    fn rollup_reconstructs_footprint_overlap_from_events() {
+        let mmap = |tick, pid, va, n| {
+            ev(
+                tick,
+                pid,
+                pid as u8,
+                Subsystem::Kernel,
+                Payload::RegionOp {
+                    op: RegionOpKind::Mmap,
+                    va,
+                    pages: n,
+                    unshared: 0,
+                },
+            )
+        };
+        let events = vec![
+            // Zygote (pid 1) maps 8 pages, then forks two children.
+            mmap(0, 1, 0x1000, 8),
+            ev(
+                1,
+                1,
+                1,
+                Subsystem::Kernel,
+                Payload::Fork {
+                    child: 2,
+                    ptps_shared: 1,
+                    ptes_copied: 0,
+                    shared: true,
+                },
+            ),
+            ev(
+                2,
+                1,
+                1,
+                Subsystem::Kernel,
+                Payload::Fork {
+                    child: 3,
+                    ptps_shared: 1,
+                    ptes_copied: 0,
+                    shared: true,
+                },
+            ),
+            // Child 2 maps 4 private pages; child 3 unmaps half the
+            // inherited range.
+            mmap(3, 2, 0x10_0000, 4),
+            ev(
+                4,
+                3,
+                3,
+                Subsystem::Kernel,
+                Payload::RegionOp {
+                    op: RegionOpKind::Munmap,
+                    va: 0x1000,
+                    pages: 4,
+                    unshared: 0,
+                },
+            ),
+        ];
+        let r = Rollup::from_events(&events, 0);
+        let idx = |pid: u32| r.footprint.pids.iter().position(|p| *p == pid).unwrap();
+        let (z, a, b) = (idx(1), idx(2), idx(3));
+        assert_eq!(r.footprint.pages[z], 8);
+        assert_eq!(r.footprint.pages[a], 12);
+        assert_eq!(r.footprint.pages[b], 4);
+        // Child 2 still shares all 8 inherited pages with the zygote;
+        // child 3 kept 4 of them.
+        assert_eq!(r.footprint.shared[z][a], 8);
+        assert_eq!(r.footprint.shared[z][b], 4);
+        assert_eq!(r.footprint.shared[a][b], 4);
+        assert!((r.footprint.overlap_pct(z, a) - 100.0).abs() < 1e-9);
+        assert!((r.footprint.overlap_pct(a, b) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig6_breakdown_orders_causes_and_computes_percentages() {
+        let unshare = |tick, cause| {
+            ev(
+                tick,
+                1,
+                1,
+                Subsystem::Share,
+                Payload::PtpUnshare {
+                    cause,
+                    ptes_copied: 1,
+                    last_sharer: false,
+                    va: 0,
+                },
+            )
+        };
+        let events = vec![
+            unshare(0, UnshareCause::WriteFault),
+            unshare(1, UnshareCause::WriteFault),
+            unshare(2, UnshareCause::WriteFault),
+            unshare(3, UnshareCause::NewRegion),
+        ];
+        let r = Rollup::from_events(&events, 0);
+        let rows = r.fig6_breakdown();
+        assert_eq!(rows[0], ("write_fault", 3, 75.0));
+        assert_eq!(rows[1], ("new_region", 1, 25.0));
+        assert_eq!(rows[2].1, 0);
+        // The replayed registry matches the event-derived table.
+        assert_eq!(r.metrics.counter("share.unshare.write_fault"), 3);
+        assert_eq!(r.metrics.counter("share.unshare"), 4);
+    }
+}

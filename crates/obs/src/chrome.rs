@@ -110,13 +110,10 @@ fn args_json(payload: &Payload) -> String {
             push_kv_str(&mut o, "reason", reason.as_str(), true);
             push_kv_num(&mut o, "entries", *entries, true);
         }
-        Payload::Phase { cycles, .. } => {
-            push_kv_num(&mut o, "cycles", *cycles, false);
-            push_kv_str(&mut o, "dur_unit", "cycles", true);
-        }
-        Payload::Cell { dur_us, .. } => {
-            push_kv_num(&mut o, "us", *dur_us, false);
-            push_kv_str(&mut o, "dur_unit", "us", true);
+        Payload::SpanBegin { .. } => {}
+        Payload::SpanEnd { value, unit, .. } => {
+            push_kv_num(&mut o, "value", *value, false);
+            push_kv_str(&mut o, "unit", unit.as_str(), true);
         }
     }
     o.push('}');
@@ -127,12 +124,13 @@ fn event_json(event: &Event) -> String {
     let mut o = String::from("{");
     push_kv_str(&mut o, "name", event.payload.name(), false);
     push_kv_str(&mut o, "cat", event.subsystem.as_str(), true);
-    match event.payload.span_duration() {
-        Some(dur) => {
-            push_kv_str(&mut o, "ph", "X", true);
-            push_kv_num(&mut o, "dur", dur, true);
-        }
-        None => {
+    match &event.payload {
+        // Begin/end pairs: the viewer nests the events a span
+        // encloses under it; `ts` deltas are logical ticks, the
+        // measured quantity rides in the end event's args.
+        Payload::SpanBegin { .. } => push_kv_str(&mut o, "ph", "B", true),
+        Payload::SpanEnd { .. } => push_kv_str(&mut o, "ph", "E", true),
+        _ => {
             push_kv_str(&mut o, "ph", "i", true);
             push_kv_str(&mut o, "s", "t", true);
         }
@@ -178,14 +176,166 @@ fn histogram_json(h: &Histogram) -> String {
         .map_or(0, |i| i + 1);
     let buckets: Vec<String> = h.buckets[..last].iter().map(|b| b.to_string()).collect();
     format!(
-        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.3}, \"log2_buckets\": [{}]}}",
+        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.3}, \"p50\": {}, \"p95\": {}, \"log2_buckets\": [{}]}}",
         h.count,
         h.sum,
         if h.count == 0 { 0 } else { h.min },
         h.max,
         h.mean(),
+        h.percentile(50.0),
+        h.percentile(95.0),
         buckets.join(", ")
     )
+}
+
+/// A Chrome trace re-ingested into typed events (the inverse of
+/// [`chrome_trace_json`]); the analytics pipeline's input.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedTrace {
+    pub events: Vec<Event>,
+    /// The exporter's `otherData.dropped_events` (ring overflow at
+    /// record time — the parsed stream is exactly what survived).
+    pub dropped: u64,
+}
+
+fn field_u64(obj: &crate::json::Json, key: &str, ctx: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(crate::json::Json::as_u64)
+        .ok_or_else(|| format!("{ctx}: missing or non-integer \"{key}\""))
+}
+
+fn arg_str<'j>(args: &'j crate::json::Json, key: &str, ctx: &str) -> Result<&'j str, String> {
+    args.get(key)
+        .and_then(crate::json::Json::as_str)
+        .ok_or_else(|| format!("{ctx}: missing or non-string arg \"{key}\""))
+}
+
+fn arg_bool(args: &crate::json::Json, key: &str, ctx: &str) -> Result<bool, String> {
+    args.get(key)
+        .and_then(crate::json::Json::as_bool)
+        .ok_or_else(|| format!("{ctx}: missing or non-bool arg \"{key}\""))
+}
+
+/// Parses one exported trace event back into a typed [`Event`].
+fn parse_event(obj: &crate::json::Json, index: usize) -> Result<Event, String> {
+    use crate::event::*;
+    let ctx = format!("traceEvents[{index}]");
+    let name = obj
+        .get("name")
+        .and_then(crate::json::Json::as_str)
+        .ok_or_else(|| format!("{ctx}: missing \"name\""))?;
+    let cat = obj
+        .get("cat")
+        .and_then(crate::json::Json::as_str)
+        .ok_or_else(|| format!("{ctx}: missing \"cat\""))?;
+    let subsystem = Subsystem::parse(cat).ok_or_else(|| format!("{ctx}: unknown cat \"{cat}\""))?;
+    let ph = obj
+        .get("ph")
+        .and_then(crate::json::Json::as_str)
+        .ok_or_else(|| format!("{ctx}: missing \"ph\""))?;
+    let tick = field_u64(obj, "ts", &ctx)?;
+    let pid = field_u64(obj, "pid", &ctx)? as u32;
+    let asid = field_u64(obj, "tid", &ctx)? as u8;
+    let empty = crate::json::Json::Obj(Default::default());
+    let args = obj.get("args").unwrap_or(&empty);
+    let ctx = format!("{ctx} ({name})");
+
+    let payload = match ph {
+        "B" => Payload::SpanBegin {
+            name: name.to_string(),
+        },
+        "E" => {
+            let unit_s = arg_str(args, "unit", &ctx)?;
+            Payload::SpanEnd {
+                name: name.to_string(),
+                value: field_u64(args, "value", &ctx)?,
+                unit: SpanUnit::parse(unit_s)
+                    .ok_or_else(|| format!("{ctx}: unknown span unit \"{unit_s}\""))?,
+            }
+        }
+        "i" => match name {
+            "fork" => Payload::Fork {
+                child: field_u64(args, "child", &ctx)? as u32,
+                ptps_shared: field_u64(args, "ptps_shared", &ctx)?,
+                ptes_copied: field_u64(args, "ptes_copied", &ctx)?,
+                shared: arg_bool(args, "shared", &ctx)?,
+            },
+            "exit" => Payload::Exit,
+            "domain_fault" => Payload::DomainFault {
+                va: field_u64(args, "va", &ctx)? as u32,
+            },
+            "ptp_share" => Payload::PtpShare {
+                ptps: field_u64(args, "ptps", &ctx)?,
+                write_protect_ops: field_u64(args, "write_protect_ops", &ctx)?,
+            },
+            "ptp_unshare" => {
+                let cause_s = arg_str(args, "cause", &ctx)?;
+                Payload::PtpUnshare {
+                    cause: UnshareCause::parse(cause_s)
+                        .ok_or_else(|| format!("{ctx}: unknown cause \"{cause_s}\""))?,
+                    ptes_copied: field_u64(args, "ptes_copied", &ctx)?,
+                    last_sharer: arg_bool(args, "last_sharer", &ctx)?,
+                    va: field_u64(args, "va", &ctx)? as u32,
+                }
+            }
+            "page_fault" => {
+                let class_s = arg_str(args, "class", &ctx)?;
+                Payload::PageFault {
+                    class: FaultClass::parse(class_s)
+                        .ok_or_else(|| format!("{ctx}: unknown fault class \"{class_s}\""))?,
+                    va: field_u64(args, "va", &ctx)? as u32,
+                    file_backed: arg_bool(args, "file_backed", &ctx)?,
+                }
+            }
+            "tlb_flush" => {
+                let scope_s = arg_str(args, "scope", &ctx)?;
+                let reason_s = arg_str(args, "reason", &ctx)?;
+                Payload::TlbFlush {
+                    scope: FlushScope::parse(scope_s)
+                        .ok_or_else(|| format!("{ctx}: unknown flush scope \"{scope_s}\""))?,
+                    reason: FlushReason::parse(reason_s)
+                        .ok_or_else(|| format!("{ctx}: unknown flush reason \"{reason_s}\""))?,
+                    entries: field_u64(args, "entries", &ctx)?,
+                }
+            }
+            op if RegionOpKind::parse(op).is_some() => Payload::RegionOp {
+                op: RegionOpKind::parse(op).unwrap(),
+                va: field_u64(args, "va", &ctx)? as u32,
+                pages: field_u64(args, "pages", &ctx)? as u32,
+                unshared: field_u64(args, "unshared", &ctx)?,
+            },
+            other => return Err(format!("{ctx}: unknown instant event \"{other}\"")),
+        },
+        other => return Err(format!("{ctx}: unknown phase \"{other}\"")),
+    };
+    Ok(Event {
+        tick,
+        pid,
+        asid,
+        subsystem,
+        payload,
+    })
+}
+
+/// Re-ingests a Chrome trace document produced by
+/// [`chrome_trace_json`] into typed events. Strict: an event the
+/// exporter could not have written is an error, not a skip — `repro
+/// check` and `repro report` both want corruption surfaced.
+pub fn parse_chrome_trace(doc: &crate::json::Json) -> Result<ParsedTrace, String> {
+    let events_json = doc
+        .get("traceEvents")
+        .and_then(crate::json::Json::as_array)
+        .ok_or("missing \"traceEvents\" array")?;
+    let mut events = Vec::with_capacity(events_json.len());
+    for (i, obj) in events_json.iter().enumerate() {
+        events.push(parse_event(obj, i)?);
+    }
+    let dropped = doc
+        .get("otherData")
+        .and_then(|o| o.get("dropped_events"))
+        .and_then(crate::json::Json::as_u64)
+        .unwrap_or(0);
+    Ok(ParsedTrace { events, dropped })
 }
 
 /// Serializes the metrics registry (plus the ring's drop counter) as a

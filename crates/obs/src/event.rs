@@ -42,6 +42,20 @@ impl Subsystem {
             Subsystem::Sim => "sim",
         }
     }
+
+    /// Inverse of [`Subsystem::as_str`] (trace re-ingestion).
+    pub fn parse(s: &str) -> Option<Subsystem> {
+        Some(match s {
+            "kernel" => Subsystem::Kernel,
+            "share" => Subsystem::Share,
+            "vm-fault" => Subsystem::VmFault,
+            "tlb" => Subsystem::Tlb,
+            "android" => Subsystem::Android,
+            "bench" => Subsystem::Bench,
+            "sim" => Subsystem::Sim,
+            _ => return None,
+        })
+    }
 }
 
 /// Why a PTP was unshared. Mirrors `sat-core`'s `UnshareTrigger`.
@@ -79,6 +93,20 @@ impl UnshareCause {
             UnshareCause::RegionOp => "share.unshare.region_op",
             UnshareCause::Exit => "share.unshare.exit",
         }
+    }
+
+    /// Every live cause, in Figure-6 order.
+    pub const ALL: [UnshareCause; 5] = [
+        UnshareCause::WriteFault,
+        UnshareCause::NewRegion,
+        UnshareCause::RegionFree,
+        UnshareCause::RegionOp,
+        UnshareCause::Exit,
+    ];
+
+    /// Inverse of [`UnshareCause::as_str`] (trace re-ingestion).
+    pub fn parse(s: &str) -> Option<UnshareCause> {
+        UnshareCause::ALL.into_iter().find(|c| c.as_str() == s)
     }
 }
 
@@ -131,6 +159,24 @@ impl FlushReason {
             FlushReason::DomainFault => "tlb.flush.reason.domain_fault",
             FlushReason::AsidRecycle => "tlb.flush.reason.asid_recycle",
         }
+    }
+
+    /// Every reason (reporting iterates these in a stable order).
+    pub const ALL: [FlushReason; 9] = [
+        FlushReason::ContextSwitch,
+        FlushReason::Fork,
+        FlushReason::Exit,
+        FlushReason::Unshare,
+        FlushReason::RegionOp,
+        FlushReason::FaultRepair,
+        FlushReason::DomainFault,
+        FlushReason::AsidRecycle,
+        FlushReason::Unattributed,
+    ];
+
+    /// Inverse of [`FlushReason::as_str`] (trace re-ingestion).
+    pub fn parse(s: &str) -> Option<FlushReason> {
+        FlushReason::ALL.into_iter().find(|r| r.as_str() == s)
     }
 
     /// Per-reason invalidated-entry accumulator (main TLB only).
@@ -186,6 +232,22 @@ impl FlushScope {
         !matches!(self, FlushScope::MicroAll | FlushScope::MicroVa)
     }
 
+    /// Every scope, in `as_str` order.
+    pub const ALL: [FlushScope; 7] = [
+        FlushScope::All,
+        FlushScope::Asid,
+        FlushScope::VaAllAsids,
+        FlushScope::Va,
+        FlushScope::NonGlobal,
+        FlushScope::MicroAll,
+        FlushScope::MicroVa,
+    ];
+
+    /// Inverse of [`FlushScope::as_str`] (trace re-ingestion).
+    pub fn parse(s: &str) -> Option<FlushScope> {
+        FlushScope::ALL.into_iter().find(|c| c.as_str() == s)
+    }
+
     pub fn counter_key(self) -> &'static str {
         match self {
             FlushScope::All => "tlb.flush.scope.all",
@@ -229,6 +291,20 @@ impl FaultClass {
             FaultClass::Spurious => "vm.fault.spurious",
         }
     }
+
+    /// Every class, in `as_str` order.
+    pub const ALL: [FaultClass; 5] = [
+        FaultClass::Minor,
+        FaultClass::Major,
+        FaultClass::Cow,
+        FaultClass::WriteEnable,
+        FaultClass::Spurious,
+    ];
+
+    /// Inverse of [`FaultClass::as_str`] (trace re-ingestion).
+    pub fn parse(s: &str) -> Option<FaultClass> {
+        FaultClass::ALL.into_iter().find(|c| c.as_str() == s)
+    }
 }
 
 /// Which region syscall ran.
@@ -256,6 +332,46 @@ impl RegionOpKind {
             RegionOpKind::MmapLarge => "kernel.mmap_large",
             RegionOpKind::Munmap => "kernel.munmap",
             RegionOpKind::Mprotect => "kernel.mprotect",
+        }
+    }
+
+    /// Every kind, in `as_str` order.
+    pub const ALL: [RegionOpKind; 4] = [
+        RegionOpKind::Mmap,
+        RegionOpKind::MmapLarge,
+        RegionOpKind::Munmap,
+        RegionOpKind::Mprotect,
+    ];
+
+    /// Inverse of [`RegionOpKind::as_str`] (trace re-ingestion).
+    pub fn parse(s: &str) -> Option<RegionOpKind> {
+        RegionOpKind::ALL.into_iter().find(|c| c.as_str() == s)
+    }
+}
+
+/// The unit a duration span's `value` is measured in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpanUnit {
+    /// Modeled cycles (Android launch/IPC phases).
+    Cycles,
+    /// Wall-clock microseconds (bench cells).
+    Micros,
+}
+
+impl SpanUnit {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanUnit::Cycles => "cycles",
+            SpanUnit::Micros => "us",
+        }
+    }
+
+    /// Inverse of [`SpanUnit::as_str`] (trace re-ingestion).
+    pub fn parse(s: &str) -> Option<SpanUnit> {
+        match s {
+            "cycles" => Some(SpanUnit::Cycles),
+            "us" => Some(SpanUnit::Micros),
+            _ => None,
         }
     }
 }
@@ -306,10 +422,18 @@ pub enum Payload {
         reason: FlushReason,
         entries: u64,
     },
-    /// A named span in an Android scenario, in modeled cycles.
-    Phase { name: &'static str, cycles: u64 },
-    /// One sweep cell executed by the bench pool, wall-clock µs.
-    Cell { label: String, dur_us: u64 },
+    /// A duration span opened (an Android phase, a bench cell). Must
+    /// be closed by a [`Payload::SpanEnd`] with the same name on the
+    /// same (pid, asid) — `repro check` enforces the pairing.
+    SpanBegin { name: String },
+    /// A duration span closed, carrying the measured quantity (cycles
+    /// or wall-clock µs — logical ticks only order the span against
+    /// the events it contains).
+    SpanEnd {
+        name: String,
+        value: u64,
+        unit: SpanUnit,
+    },
 }
 
 impl Payload {
@@ -324,18 +448,7 @@ impl Payload {
             Payload::PtpUnshare { .. } => "ptp_unshare",
             Payload::PageFault { .. } => "page_fault",
             Payload::TlbFlush { .. } => "tlb_flush",
-            Payload::Phase { name, .. } => name,
-            Payload::Cell { label, .. } => label,
-        }
-    }
-
-    /// Span duration for "X" (complete) Chrome events; `None` renders
-    /// an instant ("i") event.
-    pub fn span_duration(&self) -> Option<u64> {
-        match self {
-            Payload::Phase { cycles, .. } => Some(*cycles),
-            Payload::Cell { dur_us, .. } => Some(*dur_us),
-            _ => None,
+            Payload::SpanBegin { name } | Payload::SpanEnd { name, .. } => name,
         }
     }
 }

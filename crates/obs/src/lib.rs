@@ -33,15 +33,18 @@
 
 #![forbid(unsafe_code)]
 
+pub mod analyze;
 mod chrome;
 mod event;
 pub mod json;
 mod metrics;
+pub mod report;
 mod sink;
 
-pub use chrome::{chrome_trace_json, metrics_json};
+pub use chrome::{chrome_trace_json, metrics_json, parse_chrome_trace, ParsedTrace};
 pub use event::{
-    Event, FaultClass, FlushReason, FlushScope, Payload, RegionOpKind, Subsystem, UnshareCause,
+    Event, FaultClass, FlushReason, FlushScope, Payload, RegionOpKind, SpanUnit, Subsystem,
+    UnshareCause,
 };
 pub use metrics::{Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use sink::{EventSink, NullSink, Recording, RingSink};
@@ -60,13 +63,34 @@ thread_local! {
 /// Default ring capacity (overridable via `SAT_OBS_RING`).
 pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
 
+/// Parses a `SAT_OBS_RING` value. `Err` carries the warning for an
+/// unparseable or zero value (the fallback is never silent); unset is
+/// the quiet default.
+pub fn parse_ring_capacity(var: Option<&str>) -> Result<usize, String> {
+    let Some(raw) = var else {
+        return Ok(DEFAULT_RING_CAPACITY);
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!(
+            "sat-obs: ignoring SAT_OBS_RING={raw:?} (want a positive integer); \
+             using default {DEFAULT_RING_CAPACITY}"
+        )),
+    }
+}
+
 /// Ring capacity from the `SAT_OBS_RING` env var, else the default.
+/// An unparseable value warns on stderr once per process.
 pub fn env_ring_capacity() -> usize {
-    std::env::var("SAT_OBS_RING")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(DEFAULT_RING_CAPACITY)
+    let var = std::env::var("SAT_OBS_RING").ok();
+    match parse_ring_capacity(var.as_deref()) {
+        Ok(n) => n,
+        Err(warning) => {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| eprintln!("{warning}"));
+            DEFAULT_RING_CAPACITY
+        }
+    }
 }
 
 /// Whether a live sink is installed on this thread. Call sites gate
@@ -226,6 +250,18 @@ mod tests {
         );
         assert_eq!(current_flush_reason(), FlushReason::Unattributed);
         uninstall();
+    }
+
+    #[test]
+    fn ring_capacity_parse_path() {
+        assert_eq!(parse_ring_capacity(None), Ok(DEFAULT_RING_CAPACITY));
+        assert_eq!(parse_ring_capacity(Some("1024")), Ok(1024));
+        assert_eq!(parse_ring_capacity(Some(" 8 ")), Ok(8));
+        for bad in ["", "zero", "0", "-4", "1e6", "65_536"] {
+            let err = parse_ring_capacity(Some(bad)).unwrap_err();
+            assert!(err.contains("SAT_OBS_RING"), "{err}");
+            assert!(err.contains(&DEFAULT_RING_CAPACITY.to_string()), "{err}");
+        }
     }
 
     #[test]

@@ -8,6 +8,8 @@
 
 use std::collections::BTreeMap;
 
+use crate::event::{Payload, Subsystem};
+
 /// Number of log2 buckets; bucket `i` counts values `v` with
 /// `floor(log2(max(v, 1))) == i` (so bucket 0 holds both 0 and 1).
 pub const HISTOGRAM_BUCKETS: usize = 64;
@@ -42,7 +44,9 @@ impl Histogram {
 
     pub fn record(&mut self, value: u64) {
         self.count += 1;
-        self.sum += value;
+        // Saturate: a clamped sum (and therefore mean) beats a panic
+        // when samples approach u64::MAX.
+        self.sum = self.sum.saturating_add(value);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
         self.buckets[Self::bucket_of(value)] += 1;
@@ -54,6 +58,37 @@ impl Histogram {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// The largest value bucket `i` can hold.
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i >= HISTOGRAM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 1
+        }
+    }
+
+    /// Estimates the `pct`-th percentile (0–100) from the log2
+    /// buckets: the upper bound of the bucket holding the rank-th
+    /// sample, clamped to the exact observed `[min, max]`. Within a
+    /// bucket the estimate errs high by at most 2×; the clamp makes
+    /// single-sample, all-equal, and tail (p100 = max) cases exact.
+    /// Empty histograms report 0.
+    pub fn percentile(&self, pct: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((pct / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_upper_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
     }
 
     pub fn merge(&mut self, other: &Histogram) {
@@ -122,6 +157,101 @@ impl MetricsRegistry {
         self.counters.is_empty() && self.histograms.is_empty()
     }
 
+    /// Derives the counter/histogram updates an event implies. Keys
+    /// are `&'static str` on the hot flush/fault paths — no per-event
+    /// allocation there. Called by the sink before ring admission
+    /// (exact under overflow) and by the trace analyzer when replaying
+    /// a parsed stream.
+    pub fn apply_event(&mut self, subsystem: Subsystem, payload: &Payload) {
+        match payload {
+            Payload::Fork {
+                ptps_shared,
+                ptes_copied,
+                shared,
+                ..
+            } => {
+                self.inc("kernel.fork", 1);
+                if *shared {
+                    self.inc("kernel.fork.shared", 1);
+                }
+                self.inc("kernel.fork.ptps_shared", *ptps_shared);
+                self.inc("kernel.fork.ptes_copied", *ptes_copied);
+            }
+            Payload::Exit => self.inc("kernel.exit", 1),
+            Payload::RegionOp { op, unshared, .. } => {
+                self.inc(op.counter_key(), 1);
+                self.inc("kernel.region_op.unshared", *unshared);
+            }
+            Payload::DomainFault { .. } => self.inc("kernel.domain_fault", 1),
+            Payload::PtpShare {
+                ptps,
+                write_protect_ops,
+            } => {
+                self.inc("share.fork_share", 1);
+                self.inc("share.fork_share.ptps", *ptps);
+                self.inc("share.fork_share.write_protect_ops", *write_protect_ops);
+            }
+            Payload::PtpUnshare {
+                cause,
+                ptes_copied,
+                last_sharer,
+                ..
+            } => {
+                self.inc("share.unshare", 1);
+                self.inc(cause.counter_key(), 1);
+                self.inc("share.unshare.ptes_copied", *ptes_copied);
+                if *last_sharer {
+                    self.inc("share.unshare.last_sharer", 1);
+                }
+            }
+            Payload::PageFault {
+                class, file_backed, ..
+            } => {
+                self.inc("vm.fault", 1);
+                self.inc(class.counter_key(), 1);
+                if *file_backed {
+                    self.inc("vm.fault.file_backed", 1);
+                }
+            }
+            Payload::TlbFlush {
+                scope,
+                reason,
+                entries,
+            } => {
+                self.inc(scope.counter_key(), 1);
+                self.inc(reason.counter_key(), 1);
+                if scope.is_main() {
+                    self.inc("tlb.flush.main", 1);
+                    self.inc("tlb.flush.main.entries", *entries);
+                    self.inc(reason.entries_key(), *entries);
+                    if matches!(scope, crate::FlushScope::All) {
+                        self.inc("tlb.flush.main.full", 1);
+                    }
+                } else {
+                    self.inc("tlb.flush.micro", 1);
+                    self.inc("tlb.flush.micro.entries", *entries);
+                }
+            }
+            // Only the closing half of a span moves metrics; the
+            // opening half exists for trace structure.
+            Payload::SpanBegin { .. } => {}
+            Payload::SpanEnd { name, value, .. } => match subsystem {
+                Subsystem::Android => {
+                    self.inc("android.phase", 1);
+                    self.record(&format!("android.phase.{name}.cycles"), *value);
+                }
+                Subsystem::Bench => {
+                    self.inc("bench.cell", 1);
+                    self.record("bench.cell.us", *value);
+                }
+                other => {
+                    self.inc("span.end", 1);
+                    self.record(&format!("span.{}.{name}", other.as_str()), *value);
+                }
+            },
+        }
+    }
+
     /// Accumulates another registry (used when the bench pool merges
     /// worker-thread recordings back into the submitting thread).
     pub fn merge(&mut self, other: &MetricsRegistry) {
@@ -170,6 +300,71 @@ mod tests {
         assert_eq!(a.count, 5);
         assert_eq!(a.max, 1000);
         assert_eq!(a.buckets[9], 1);
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.percentile(100.0), 0);
+    }
+
+    #[test]
+    fn percentile_of_single_sample_is_exact() {
+        // The bucket upper bound (7 for bucket 2) must clamp down to
+        // the one observed value.
+        let mut h = Histogram::default();
+        h.record(5);
+        for pct in [0.0, 50.0, 95.0, 100.0] {
+            assert_eq!(h.percentile(pct), 5, "p{pct}");
+        }
+    }
+
+    #[test]
+    fn percentile_of_all_equal_samples_is_exact() {
+        let mut h = Histogram::default();
+        for _ in 0..1000 {
+            h.record(300);
+        }
+        assert_eq!(h.percentile(50.0), 300);
+        assert_eq!(h.percentile(95.0), 300);
+        assert_eq!(h.percentile(100.0), 300);
+    }
+
+    #[test]
+    fn percentile_near_u64_max_does_not_overflow() {
+        // Bucket 63's upper bound would be 2^64 - computing it must
+        // not overflow, and the clamp keeps the answer at max.
+        let mut h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(Histogram::bucket_upper_bound(63), u64::MAX);
+        // Both samples share bucket 63; the estimator reports the
+        // bucket's upper bound clamped into [min, max].
+        assert_eq!(h.percentile(50.0), u64::MAX);
+        assert_eq!(h.percentile(100.0), u64::MAX);
+        assert!(h.percentile(50.0) >= h.min && h.percentile(50.0) <= h.max);
+        assert_eq!(h.sum, u64::MAX, "sum saturates instead of panicking");
+    }
+
+    #[test]
+    fn percentile_spread_lands_in_rank_bucket() {
+        // 90 fast samples (=4), 10 slow (=1024): p50 is exact in the
+        // fast bucket's clamp window, p95 lands in the slow bucket.
+        let mut h = Histogram::default();
+        for _ in 0..90 {
+            h.record(4);
+        }
+        for _ in 0..10 {
+            h.record(1024);
+        }
+        assert_eq!(h.percentile(50.0), 7); // bucket 2 upper bound
+        assert_eq!(h.percentile(95.0), 1024); // bucket 10, clamped to max
+        assert_eq!(h.percentile(100.0), 1024);
+        // Rank clamps to the first sample; the estimator reports its
+        // bucket's upper bound (an upper-bound estimate, not min).
+        assert_eq!(h.percentile(0.0), 7);
     }
 
     #[test]

@@ -1,0 +1,389 @@
+//! Rendering a [`Rollup`] for humans (`text`), machines (`json`), and
+//! flamegraph tooling (`folded`).
+//!
+//! `repro report --trace x.json --format <fmt>` is the CLI surface;
+//! the renderers are pure functions so tests can assert on output
+//! without touching the filesystem.
+
+use std::fmt::Write as _;
+
+use crate::analyze::Rollup;
+use crate::json::escape_into;
+use crate::metrics::Histogram;
+
+/// Output format for `repro report`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReportFormat {
+    Text,
+    Json,
+    Folded,
+}
+
+impl ReportFormat {
+    pub fn parse(s: &str) -> Option<ReportFormat> {
+        match s {
+            "text" => Some(ReportFormat::Text),
+            "json" => Some(ReportFormat::Json),
+            "folded" => Some(ReportFormat::Folded),
+            _ => None,
+        }
+    }
+}
+
+/// Renders the rollup in the requested format.
+pub fn render(rollup: &Rollup, format: ReportFormat) -> String {
+    match format {
+        ReportFormat::Text => render_text(rollup),
+        ReportFormat::Json => render_json(rollup),
+        ReportFormat::Folded => render_folded(rollup),
+    }
+}
+
+fn heading(out: &mut String, title: &str) {
+    let _ = writeln!(out, "\n## {title}\n");
+}
+
+fn rule(out: &mut String, widths: &[usize]) {
+    let line: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    let _ = writeln!(out, "{}", line.join("  "));
+}
+
+/// Human tables. Counts are exact (derived from the event stream);
+/// span latencies come from log2-bucket histograms, so p50/p95 are
+/// upper-bound estimates while min/max are exact.
+pub fn render_text(r: &Rollup) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# repro report — {} events, {} dropped, {} pids, {} subsystems",
+        r.event_count,
+        r.dropped,
+        r.pids.len(),
+        r.subsystems.len()
+    );
+
+    heading(&mut out, "Event volume by subsystem");
+    let _ = writeln!(out, "{:<12}  {:>10}", "subsystem", "events");
+    rule(&mut out, &[12, 10]);
+    for (name, n) in &r.subsystems {
+        let _ = writeln!(out, "{name:<12}  {n:>10}");
+    }
+
+    heading(&mut out, "Unshare causes (Figure 6)");
+    let _ = writeln!(out, "{:<12}  {:>9}  {:>6}", "cause", "unshares", "pct");
+    rule(&mut out, &[12, 9, 6]);
+    for (cause, n, pct) in r.fig6_breakdown() {
+        let _ = writeln!(out, "{cause:<12}  {n:>9}  {pct:>5.1}%");
+    }
+    let _ = writeln!(
+        out,
+        "PTEs copied by unshares: {}; last-sharer fast path: {}",
+        r.unshare_ptes_copied, r.unshare_last_sharer
+    );
+
+    for (title, table) in [
+        ("Main-TLB flushes by reason", &r.main_flush_reasons),
+        ("Micro-TLB flushes by reason", &r.micro_flush_reasons),
+    ] {
+        if table.is_empty() {
+            continue;
+        }
+        heading(&mut out, title);
+        let _ = writeln!(out, "{:<16}  {:>8}  {:>10}", "reason", "flushes", "entries");
+        rule(&mut out, &[16, 8, 10]);
+        for (reason, agg) in table.iter() {
+            let _ = writeln!(out, "{:<16}  {:>8}  {:>10}", reason, agg.flushes, agg.entries);
+        }
+    }
+
+    if !r.fault_classes.is_empty() {
+        heading(&mut out, "Page faults by class");
+        let _ = writeln!(out, "{:<14}  {:>8}", "class", "faults");
+        rule(&mut out, &[14, 8]);
+        for (class, n) in &r.fault_classes {
+            let _ = writeln!(out, "{class:<14}  {n:>8}");
+        }
+        let _ = writeln!(out, "file-backed: {}", r.faults_file_backed);
+    }
+
+    if !r.spans.is_empty() {
+        heading(&mut out, "Duration spans");
+        let _ = writeln!(
+            out,
+            "{:<28}  {:>6}  {:>12}  {:>10}  {:>10}  {:>10}  unit",
+            "span", "count", "total", "p50", "p95", "max"
+        );
+        rule(&mut out, &[28, 6, 12, 10, 10, 10]);
+        for (name, agg) in &r.spans {
+            let _ = writeln!(
+                out,
+                "{:<28}  {:>6}  {:>12}  {:>10}  {:>10}  {:>10}  {}",
+                name,
+                agg.count,
+                agg.hist.sum,
+                agg.hist.percentile(50.0),
+                agg.hist.percentile(95.0),
+                agg.hist.max,
+                agg.unit.as_str()
+            );
+        }
+    }
+
+    let fp = &r.footprint;
+    if fp.pids.len() >= 2 {
+        heading(&mut out, "Shared footprint overlap (paper §3)");
+        let _ = writeln!(
+            out,
+            "{:<8}  {:<8}  {:>8}  {:>8}  {:>8}  {:>8}",
+            "pid a", "pid b", "pages a", "pages b", "shared", "overlap"
+        );
+        rule(&mut out, &[8, 8, 8, 8, 8, 8]);
+        for i in 0..fp.pids.len() {
+            for j in (i + 1)..fp.pids.len() {
+                let _ = writeln!(
+                    out,
+                    "{:<8}  {:<8}  {:>8}  {:>8}  {:>8}  {:>7.1}%",
+                    fp.pids[i],
+                    fp.pids[j],
+                    fp.pages[i],
+                    fp.pages[j],
+                    fp.shared[i][j],
+                    fp.overlap_pct(i, j)
+                );
+            }
+        }
+    }
+
+    out
+}
+
+fn json_counter_map<K: std::fmt::Display, V: std::fmt::Display>(
+    out: &mut String,
+    name: &str,
+    entries: impl Iterator<Item = (K, V)>,
+    quote_keys_raw: bool,
+) {
+    let _ = write!(out, "  \"{name}\": {{");
+    let mut first = true;
+    for (k, v) in entries {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        if quote_keys_raw {
+            let _ = write!(out, "\"{k}\": {v}");
+        } else {
+            out.push('"');
+            escape_into(out, &k.to_string());
+            let _ = write!(out, "\": {v}");
+        }
+    }
+    out.push_str("},\n");
+}
+
+fn hist_summary_json(h: &Histogram) -> String {
+    format!(
+        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}}}",
+        h.count,
+        h.sum,
+        if h.count == 0 { 0 } else { h.min },
+        h.max,
+        h.percentile(50.0),
+        h.percentile(95.0)
+    )
+}
+
+/// Machine-readable rollup.
+pub fn render_json(r: &Rollup) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"sat-obs/report-v1\",");
+    let _ = writeln!(out, "  \"event_count\": {},", r.event_count);
+    let _ = writeln!(out, "  \"dropped_events\": {},", r.dropped);
+    json_counter_map(&mut out, "subsystems", r.subsystems.iter(), true);
+    json_counter_map(&mut out, "pids", r.pids.iter(), true);
+
+    out.push_str("  \"unshare_causes\": {");
+    for (i, (cause, n, pct)) in r.fig6_breakdown().into_iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{cause}\": {{\"count\": {n}, \"pct\": {pct:.3}}}");
+    }
+    out.push_str("},\n");
+
+    for (name, table) in [
+        ("main_tlb_flushes", &r.main_flush_reasons),
+        ("micro_tlb_flushes", &r.micro_flush_reasons),
+    ] {
+        let _ = write!(out, "  \"{name}\": {{");
+        for (i, (reason, agg)) in table.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "\"{reason}\": {{\"flushes\": {}, \"entries\": {}}}",
+                agg.flushes, agg.entries
+            );
+        }
+        out.push_str("},\n");
+    }
+
+    json_counter_map(&mut out, "fault_classes", r.fault_classes.iter(), true);
+    json_counter_map(&mut out, "region_ops", r.region_ops.iter(), true);
+
+    out.push_str("  \"spans\": {");
+    for (i, (name, agg)) in r.spans.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('"');
+        escape_into(&mut out, name);
+        let _ = write!(
+            out,
+            "\": {{\"count\": {}, \"unit\": \"{}\", \"values\": {}}}",
+            agg.count,
+            agg.unit.as_str(),
+            hist_summary_json(&agg.hist)
+        );
+    }
+    out.push_str("},\n");
+
+    let fp = &r.footprint;
+    out.push_str("  \"footprint\": {\"pids\": [");
+    for (i, pid) in fp.pids.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{pid}");
+    }
+    out.push_str("], \"pages\": [");
+    for (i, n) in fp.pages.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{n}");
+    }
+    out.push_str("], \"shared\": [");
+    for (i, row) in fp.shared.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('[');
+        for (j, n) in row.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{n}");
+        }
+        out.push(']');
+    }
+    out.push_str("]},\n");
+
+    let _ = writeln!(
+        out,
+        "  \"totals\": {{\"forks\": {}, \"shared_forks\": {}, \"exits\": {}, \
+         \"domain_faults\": {}, \"unshare_ptes_copied\": {}, \"faults_file_backed\": {}}}",
+        r.forks,
+        r.shared_forks,
+        r.exits,
+        r.domain_faults,
+        r.unshare_ptes_copied,
+        r.faults_file_backed
+    );
+    out.push_str("}\n");
+    out
+}
+
+/// Folded-stack output (`stack;frames value`), one line per distinct
+/// span path — pipe into flamegraph tooling.
+pub fn render_folded(r: &Rollup) -> String {
+    let mut out = String::new();
+    for (path, value) in &r.folded {
+        let _ = writeln!(out, "{path} {value}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, Payload, SpanUnit, Subsystem, UnshareCause};
+    use crate::json::Json;
+
+    fn sample_rollup() -> Rollup {
+        let events = vec![
+            Event {
+                tick: 0,
+                pid: 1,
+                asid: 1,
+                subsystem: Subsystem::Share,
+                payload: Payload::PtpUnshare {
+                    cause: UnshareCause::WriteFault,
+                    ptes_copied: 3,
+                    last_sharer: false,
+                    va: 0x1000,
+                },
+            },
+            Event {
+                tick: 1,
+                pid: 1,
+                asid: 1,
+                subsystem: Subsystem::Android,
+                payload: Payload::SpanBegin {
+                    name: "launch.exec".to_string(),
+                },
+            },
+            Event {
+                tick: 2,
+                pid: 1,
+                asid: 1,
+                subsystem: Subsystem::Android,
+                payload: Payload::SpanEnd {
+                    name: "launch.exec".to_string(),
+                    value: 750,
+                    unit: SpanUnit::Cycles,
+                },
+            },
+        ];
+        Rollup::from_events(&events, 2)
+    }
+
+    #[test]
+    fn text_report_contains_fig6_and_span_tables() {
+        let text = render_text(&sample_rollup());
+        assert!(text.contains("Unshare causes (Figure 6)"));
+        assert!(text.contains("write_fault"));
+        assert!(text.contains("100.0%"));
+        assert!(text.contains("android.launch.exec"));
+        assert!(text.contains("2 dropped"));
+    }
+
+    #[test]
+    fn json_report_parses_and_carries_percentiles() {
+        let doc = render_json(&sample_rollup());
+        let v = Json::parse(&doc).expect("report JSON parses");
+        assert_eq!(
+            v.get("schema").and_then(Json::as_str),
+            Some("sat-obs/report-v1")
+        );
+        let causes = v.get("unshare_causes").unwrap();
+        assert_eq!(
+            causes
+                .get("write_fault")
+                .and_then(|c| c.get("count"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        let span = v.get("spans").and_then(|s| s.get("android.launch.exec")).unwrap();
+        let values = span.get("values").unwrap();
+        assert_eq!(values.get("p50").and_then(Json::as_u64), Some(750));
+        assert_eq!(values.get("max").and_then(Json::as_u64), Some(750));
+    }
+
+    #[test]
+    fn folded_output_is_line_per_stack() {
+        let folded = render_folded(&sample_rollup());
+        assert_eq!(folded.trim(), "pid1;android;launch.exec 750");
+    }
+}

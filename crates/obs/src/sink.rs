@@ -109,7 +109,7 @@ impl RingSink {
 
 impl EventSink for RingSink {
     fn record(&mut self, pid: u32, asid: u8, subsystem: Subsystem, payload: Payload) {
-        apply_to_metrics(&mut self.metrics, &payload);
+        self.metrics.apply_event(subsystem, &payload);
         let tick = self.seq;
         self.seq += 1;
         self.push(Event {
@@ -150,90 +150,6 @@ impl EventSink for RingSink {
             events: self.events.into_iter().collect(),
             dropped: self.dropped,
             metrics: self.metrics,
-        }
-    }
-}
-
-/// Derives the counter/histogram updates an event implies. Keys are
-/// `&'static str` throughout — no allocation per event on the hot
-/// flush/fault paths.
-fn apply_to_metrics(metrics: &mut MetricsRegistry, payload: &Payload) {
-    match payload {
-        Payload::Fork {
-            ptps_shared,
-            ptes_copied,
-            shared,
-            ..
-        } => {
-            metrics.inc("kernel.fork", 1);
-            if *shared {
-                metrics.inc("kernel.fork.shared", 1);
-            }
-            metrics.inc("kernel.fork.ptps_shared", *ptps_shared);
-            metrics.inc("kernel.fork.ptes_copied", *ptes_copied);
-        }
-        Payload::Exit => metrics.inc("kernel.exit", 1),
-        Payload::RegionOp { op, unshared, .. } => {
-            metrics.inc(op.counter_key(), 1);
-            metrics.inc("kernel.region_op.unshared", *unshared);
-        }
-        Payload::DomainFault { .. } => metrics.inc("kernel.domain_fault", 1),
-        Payload::PtpShare {
-            ptps,
-            write_protect_ops,
-        } => {
-            metrics.inc("share.fork_share", 1);
-            metrics.inc("share.fork_share.ptps", *ptps);
-            metrics.inc("share.fork_share.write_protect_ops", *write_protect_ops);
-        }
-        Payload::PtpUnshare {
-            cause,
-            ptes_copied,
-            last_sharer,
-            ..
-        } => {
-            metrics.inc("share.unshare", 1);
-            metrics.inc(cause.counter_key(), 1);
-            metrics.inc("share.unshare.ptes_copied", *ptes_copied);
-            if *last_sharer {
-                metrics.inc("share.unshare.last_sharer", 1);
-            }
-        }
-        Payload::PageFault {
-            class, file_backed, ..
-        } => {
-            metrics.inc("vm.fault", 1);
-            metrics.inc(class.counter_key(), 1);
-            if *file_backed {
-                metrics.inc("vm.fault.file_backed", 1);
-            }
-        }
-        Payload::TlbFlush {
-            scope,
-            reason,
-            entries,
-        } => {
-            metrics.inc(scope.counter_key(), 1);
-            metrics.inc(reason.counter_key(), 1);
-            if scope.is_main() {
-                metrics.inc("tlb.flush.main", 1);
-                metrics.inc("tlb.flush.main.entries", *entries);
-                metrics.inc(reason.entries_key(), *entries);
-                if matches!(scope, crate::FlushScope::All) {
-                    metrics.inc("tlb.flush.main.full", 1);
-                }
-            } else {
-                metrics.inc("tlb.flush.micro", 1);
-                metrics.inc("tlb.flush.micro.entries", *entries);
-            }
-        }
-        Payload::Phase { name, cycles } => {
-            metrics.inc("android.phase", 1);
-            metrics.record(&format!("android.phase.{name}.cycles"), *cycles);
-        }
-        Payload::Cell { dur_us, .. } => {
-            metrics.inc("bench.cell", 1);
-            metrics.record("bench.cell.us", *dur_us);
         }
     }
 }

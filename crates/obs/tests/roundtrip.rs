@@ -4,8 +4,8 @@
 
 use sat_obs::json::Json;
 use sat_obs::{
-    chrome_trace_json, metrics_json, FaultClass, FlushReason, FlushScope, Payload, RegionOpKind,
-    Subsystem, UnshareCause,
+    chrome_trace_json, metrics_json, parse_chrome_trace, FaultClass, FlushReason, FlushScope,
+    Payload, RegionOpKind, SpanUnit, Subsystem, UnshareCause,
 };
 
 /// One event of every payload shape, exercising every arg type.
@@ -78,18 +78,36 @@ fn emit_one_of_each() {
         Subsystem::Android,
         4,
         4,
-        Payload::Phase {
-            name: "launch.exec",
-            cycles: 123_456,
+        Payload::SpanBegin {
+            name: "launch.exec".to_string(),
+        },
+    );
+    sat_obs::emit(
+        Subsystem::Android,
+        4,
+        4,
+        Payload::SpanEnd {
+            name: "launch.exec".to_string(),
+            value: 123_456,
+            unit: SpanUnit::Cycles,
         },
     );
     sat_obs::emit(
         Subsystem::Bench,
         0,
         0,
-        Payload::Cell {
-            label: "cell-0 \"quoted\"".to_string(),
-            dur_us: 900,
+        Payload::SpanBegin {
+            name: "cell-0 \"quoted\"".to_string(),
+        },
+    );
+    sat_obs::emit(
+        Subsystem::Bench,
+        0,
+        0,
+        Payload::SpanEnd {
+            name: "cell-0 \"quoted\"".to_string(),
+            value: 900,
+            unit: SpanUnit::Micros,
         },
     );
 }
@@ -114,13 +132,12 @@ fn chrome_trace_round_trips_field_by_field() {
         assert_eq!(json.get("ts").unwrap().as_u64(), Some(src.tick));
         assert_eq!(json.get("pid").unwrap().as_u64(), Some(u64::from(src.pid)));
         assert_eq!(json.get("tid").unwrap().as_u64(), Some(u64::from(src.asid)));
-        match src.payload.span_duration() {
-            Some(dur) => {
-                assert_eq!(json.get("ph").unwrap().as_str(), Some("X"));
-                assert_eq!(json.get("dur").unwrap().as_u64(), Some(dur));
-            }
-            None => assert_eq!(json.get("ph").unwrap().as_str(), Some("i")),
-        }
+        let expected_ph = match &src.payload {
+            Payload::SpanBegin { .. } => "B",
+            Payload::SpanEnd { .. } => "E",
+            _ => "i",
+        };
+        assert_eq!(json.get("ph").unwrap().as_str(), Some(expected_ph));
         let args = json.get("args").unwrap();
         match &src.payload {
             Payload::Fork {
@@ -188,11 +205,10 @@ fn chrome_trace_round_trips_field_by_field() {
                 assert_eq!(args.get("reason").unwrap().as_str(), Some(reason.as_str()));
                 assert_eq!(args.get("entries").unwrap().as_u64(), Some(*entries));
             }
-            Payload::Phase { cycles, .. } => {
-                assert_eq!(args.get("cycles").unwrap().as_u64(), Some(*cycles));
-            }
-            Payload::Cell { dur_us, .. } => {
-                assert_eq!(args.get("us").unwrap().as_u64(), Some(*dur_us));
+            Payload::SpanBegin { .. } => assert!(args.as_object().unwrap().is_empty()),
+            Payload::SpanEnd { value, unit, .. } => {
+                assert_eq!(args.get("value").unwrap().as_u64(), Some(*value));
+                assert_eq!(args.get("unit").unwrap().as_str(), Some(unit.as_str()));
             }
         }
     }
@@ -203,6 +219,25 @@ fn chrome_trace_round_trips_field_by_field() {
         other.get("event_count").unwrap().as_u64(),
         Some(rec.events.len() as u64)
     );
+}
+
+#[test]
+fn parsed_trace_reproduces_the_recording_exactly() {
+    sat_obs::install(64);
+    emit_one_of_each();
+    let rec = sat_obs::uninstall().unwrap();
+
+    let doc = Json::parse(&chrome_trace_json(&rec)).unwrap();
+    let parsed = parse_chrome_trace(&doc).expect("exporter output must re-ingest");
+    assert_eq!(parsed.dropped, rec.dropped);
+    assert_eq!(parsed.events.len(), rec.events.len());
+    for (got, want) in parsed.events.iter().zip(rec.events.iter()) {
+        assert_eq!(got.tick, want.tick);
+        assert_eq!(got.pid, want.pid);
+        assert_eq!(got.asid, want.asid);
+        assert_eq!(got.subsystem, want.subsystem);
+        assert_eq!(got.payload, want.payload);
+    }
 }
 
 #[test]

@@ -211,8 +211,11 @@ fn fork_storm_scales_without_new_page_tables() {
 /// up as exactly one `PtpUnshare` event with the matching cause, and
 /// fork/exit events match their stats counters. The scenario drives
 /// all four live unshare causes at least once.
-#[test]
-fn obs_events_reconcile_with_kernel_stats() {
+/// Drives every live unshare cause at least once under a recorder:
+/// WriteFault (COW write), NewRegion (mmap into a shared chunk),
+/// RegionOp (mprotect), RegionFree (munmap), plus forks and exits.
+/// Returns the harvested recording and the kernel's own stats.
+fn drive_unshare_scenario() -> (sat_obs::Recording, sat_core::KernelStats) {
     sat_obs::install(1 << 16);
     let (mut k, zygote) = boot(KernelConfig::shared_ptp());
     let children: Vec<Pid> = (0..4).map(|_| k.fork(zygote).unwrap().child).collect();
@@ -248,8 +251,12 @@ fn obs_events_reconcile_with_kernel_stats() {
     }
     let rec = sat_obs::uninstall().expect("recorder installed above");
     assert_eq!(rec.dropped, 0, "scenario fits the ring");
+    (rec, k.stats)
+}
 
-    let stats = k.stats;
+#[test]
+fn obs_events_reconcile_with_kernel_stats() {
+    let (rec, stats) = drive_unshare_scenario();
     // Every cause fired, and the by-cause counters partition the total.
     assert!(stats.unshares_write_fault > 0);
     assert!(stats.unshares_new_region > 0);
@@ -298,4 +305,57 @@ fn obs_events_reconcile_with_kernel_stats() {
     assert_eq!(by_cause.values().sum::<u64>(), stats.ptp_unshares);
     assert_eq!(forks, stats.forks);
     assert_eq!(exits, stats.exits);
+}
+
+/// The full analytics pipeline reconstructs Figure 6 from the trace
+/// file alone: recording → Chrome trace JSON → re-ingest → rollup,
+/// and the per-cause breakdown equals [`sat_core::KernelStats`]
+/// exactly. This is the `repro report` code path end to end.
+#[test]
+fn repro_report_rollup_reconstructs_fig6_from_events_alone() {
+    let (rec, stats) = drive_unshare_scenario();
+
+    let doc = sat_obs::json::Json::parse(&sat_obs::chrome_trace_json(&rec))
+        .expect("exporter emits valid JSON");
+    let parsed = sat_obs::parse_chrome_trace(&doc).expect("trace re-ingests");
+    assert_eq!(parsed.dropped, 0);
+    sat_obs::analyze::validate_events(&parsed.events).expect("stream invariants hold");
+
+    let rollup = sat_obs::analyze::Rollup::from_events(&parsed.events, parsed.dropped);
+    let by_cause: std::collections::BTreeMap<&str, u64> = rollup
+        .fig6_breakdown()
+        .into_iter()
+        .map(|(cause, n, _)| (cause, n))
+        .collect();
+    assert_eq!(by_cause["write_fault"], stats.unshares_write_fault);
+    assert_eq!(by_cause["new_region"], stats.unshares_new_region);
+    assert_eq!(by_cause["region_op"], stats.unshares_region_op);
+    assert_eq!(by_cause["region_free"], stats.unshares_region_free);
+    // Exit teardown dereferences without unsharing, so Figure 6's
+    // exit row stays zero and the four live causes partition the
+    // kernel's total.
+    assert_eq!(by_cause["exit"], 0);
+    assert_eq!(by_cause.values().sum::<u64>(), stats.ptp_unshares);
+    assert_eq!(rollup.forks, stats.forks);
+    assert_eq!(rollup.shared_forks, stats.share_forks);
+    assert_eq!(rollup.exits, stats.exits);
+    // The replayed metrics registry matches the live one the recorder
+    // kept — the rollup is lossless for an un-dropped stream.
+    assert_eq!(
+        rollup.metrics.counter("share.unshare"),
+        rec.metrics.counter("share.unshare")
+    );
+
+    // Rendered reports carry the same numbers.
+    let text = sat_obs::report::render(&rollup, sat_obs::report::ReportFormat::Text);
+    assert!(text.contains("Unshare causes (Figure 6)"));
+    let json = sat_obs::report::render(&rollup, sat_obs::report::ReportFormat::Json);
+    let v = sat_obs::json::Json::parse(&json).expect("report JSON parses");
+    assert_eq!(
+        v.get("unshare_causes")
+            .and_then(|c| c.get("write_fault"))
+            .and_then(|c| c.get("count"))
+            .and_then(sat_obs::json::Json::as_u64),
+        Some(stats.unshares_write_fault)
+    );
 }
