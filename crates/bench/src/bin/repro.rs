@@ -18,6 +18,7 @@
 //!   fig13                          binder IPC (Section 4.2.4)
 //!   ablations                      Section 3.1.3/3.2.3 design choices
 //!   scalability largepages grouped extensions
+//!   timeshare                      N apps timesharing 4 cores (sat-sched)
 //!   all                            everything, in paper order
 //! ```
 //!
@@ -60,7 +61,7 @@ use std::time::Instant;
 
 use sat_bench::{
     ablation, extensions, ipcbench, launchbench, motivation, pool, snapshot, steadybench,
-    zygotebench, Scale,
+    timesharebench, zygotebench, Scale,
 };
 use sat_obs::json::Json;
 use sat_obs::report::ReportFormat;
@@ -310,6 +311,10 @@ fn scalability_cells(scale: Scale) -> usize {
     2 * extensions::scalability_counts(scale).len()
 }
 
+fn timeshare_cells(scale: Scale) -> usize {
+    3 * timesharebench::timeshare_counts(scale).len()
+}
+
 fn run(cmd: &str, scale: Scale, records: &mut Vec<Record>) -> Fallible {
     let r = records;
     let out = match cmd {
@@ -343,6 +348,9 @@ fn run(cmd: &str, scale: Scale, records: &mut Vec<Record>) -> Fallible {
         "extensions" => timed(r, "extensions", scalability_cells(scale) + 4, || {
             Ok(extensions::all(scale)?)
         })?,
+        "timeshare" => timed(r, "timeshare", timeshare_cells(scale), || {
+            Ok(timesharebench::timeshare(scale)?)
+        })?,
         "all" => {
             let mut s = String::new();
             s.push_str(&format!(
@@ -367,13 +375,16 @@ fn run(cmd: &str, scale: Scale, records: &mut Vec<Record>) -> Fallible {
             s.push_str(&timed(r, "extensions", scalability_cells(scale) + 4, || {
                 Ok(extensions::all(scale)?)
             })?);
+            s.push_str(&timed(r, "timeshare", timeshare_cells(scale), || {
+                Ok(timesharebench::timeshare(scale)?)
+            })?);
             s
         }
         other => {
             return Err(format!(
                 "unknown experiment '{other}' (try: table1 fig2 fig3 table2 fig4 latfault \
                  table3 table4 launch steady fig13 ablations scalability largepages \
-                 grouped pollution smaps extensions all)"
+                 grouped pollution smaps extensions timeshare all)"
             )
             .into())
         }

@@ -18,6 +18,7 @@ pub mod pool;
 pub mod render;
 pub mod snapshot;
 pub mod steadybench;
+pub mod timesharebench;
 pub mod zygotebench;
 
 /// Experiment scale.

@@ -187,9 +187,11 @@ fn pct_change(old: f64, new: f64) -> f64 {
 
 /// Compares two snapshots metric by metric. A wall-time or counter
 /// increase beyond `threshold_pct` is a regression; decreases are
-/// reported as improvements; a vanished experiment is always a
-/// regression. Sub-floor metrics (see [`WALL_FLOOR_MS`],
-/// [`COUNTER_FLOOR`]) are compared but never gate.
+/// reported as improvements; an experiment that vanished between runs
+/// of the *same* command is a regression (when the commands differ the
+/// experiment lists are expected to differ, so it is informational).
+/// Sub-floor metrics (see [`WALL_FLOOR_MS`], [`COUNTER_FLOOR`]) are
+/// compared but never gate.
 pub fn diff(old: &Snapshot, new: &Snapshot, threshold_pct: f64) -> DiffReport {
     let mut report = DiffReport::default();
 
@@ -206,10 +208,19 @@ pub fn diff(old: &Snapshot, new: &Snapshot, threshold_pct: f64) -> DiffReport {
     for (name, old_exp) in &old.experiments {
         report.compared += 1;
         let Some(new_exp) = new.experiments.get(name) else {
-            report.lines.push((
-                DiffClass::Regression,
-                format!("experiment \"{name}\" missing from the new snapshot"),
-            ));
+            if old.command == new.command {
+                report.lines.push((
+                    DiffClass::Regression,
+                    format!("experiment \"{name}\" missing from the new snapshot"),
+                ));
+            } else {
+                report.lines.push((
+                    DiffClass::Note,
+                    format!(
+                        "experiment \"{name}\" not in the new snapshot (different command)"
+                    ),
+                ));
+            }
             continue;
         };
         let change = pct_change(old_exp.wall_ms, new_exp.wall_ms);
@@ -462,6 +473,21 @@ mod tests {
         let report = diff(&old, &new, 25.0);
         assert_eq!(report.regressions(), 1);
         assert!(report.lines[0].1.contains("steady"));
+    }
+
+    #[test]
+    fn cross_command_missing_experiment_is_informational() {
+        // Diffing a full-suite baseline against a single-experiment
+        // run: the absent experiments are expected, not regressions.
+        let old = parse(&snapshot_json(100.0, 150.0, 5000));
+        let mut new = parse(&snapshot_json(100.0, 150.0, 5000));
+        new.command = "launch".to_string();
+        new.experiments.remove("steady");
+        let report = diff(&old, &new, 25.0);
+        assert_eq!(report.regressions(), 0, "{:?}", report.lines);
+        assert!(report.lines.iter().any(|(c, l)| *c == DiffClass::Note
+            && l.contains("steady")
+            && l.contains("different command")));
     }
 
     #[test]

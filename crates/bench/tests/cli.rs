@@ -238,3 +238,30 @@ fn diff_gates_on_wall_time_regressions() {
     let out = repro(&["diff", baseline.to_str().unwrap()]);
     assert!(!out.status.success(), "diff requires two snapshots");
 }
+
+/// The sat-sched experiment is a pure function of its seed: the same
+/// run repeated, serial or fanned out over the worker pool, must
+/// produce byte-identical tables.
+#[test]
+fn timeshare_is_deterministic_across_runs_and_thread_counts() {
+    let run = |threads: &str, out_name: &str| -> String {
+        let out_path = tmp(out_name);
+        let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(["timeshare", "--quick", "--out", out_path.to_str().unwrap()])
+            .env("SAT_BENCH_THREADS", threads)
+            .output()
+            .expect("repro binary runs");
+        assert!(
+            out.status.success(),
+            "repro timeshare --quick failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("utf-8 stdout")
+    };
+    let serial = run("1", "ts-serial.json");
+    let parallel = run("4", "ts-parallel.json");
+    let repeat = run("4", "ts-repeat.json");
+    assert!(serial.contains("timesharing N apps"), "{serial}");
+    assert_eq!(serial, parallel, "thread count changed the table");
+    assert_eq!(parallel, repeat, "repeated run changed the table");
+}

@@ -59,6 +59,9 @@ pub struct KernelStats {
     pub unshares_region_free: u64,
     /// Unshares triggered by a protection change (case 2).
     pub unshares_region_op: u64,
+    /// ASID generation rollovers (8-bit space exhausted; non-global
+    /// TLB entries flushed, live ASIDs reassigned lazily).
+    pub asid_rollovers: u64,
 }
 
 /// What a fork did, merged across the sharing and copying paths.
@@ -116,8 +119,22 @@ pub struct Kernel {
     pub stats: KernelStats,
     procs: HashMap<Pid, Mm>,
     next_pid: u32,
-    next_asid: u8,
-    free_asids: Vec<Asid>,
+    /// Current ASID generation (starts at 1, bumped on rollover).
+    asid_generation: u64,
+    /// Next ASID value within the current generation; `> 255` means
+    /// the 8-bit space is exhausted and the next allocation rolls
+    /// over.
+    next_asid: u16,
+    /// Which generation each live process's ASID belongs to. A
+    /// process whose recorded generation is older than
+    /// [`Kernel::asid_generation`] carries a stale ASID that must be
+    /// reassigned before it runs again (see
+    /// [`Kernel::ensure_current_asid`]).
+    asid_gens: HashMap<Pid, u64>,
+    /// A rollover happened but the non-global TLB flush it requires
+    /// has not been issued yet (allocation sites have no TLB handle;
+    /// the flush is deferred to the next switch-in, as in Linux).
+    rollover_flush_pending: bool,
 }
 
 impl Kernel {
@@ -131,8 +148,10 @@ impl Kernel {
             stats: KernelStats::default(),
             procs: HashMap::new(),
             next_pid: 1,
+            asid_generation: 1,
             next_asid: 1,
-            free_asids: Vec::new(),
+            asid_gens: HashMap::new(),
+            rollover_flush_pending: false,
         }
     }
 
@@ -148,24 +167,78 @@ impl Kernel {
         let asid = self.alloc_asid();
         let mm = Mm::new(&mut self.phys, pid, asid)?;
         self.procs.insert(pid, mm);
+        self.asid_gens.insert(pid, self.asid_generation);
         Ok(pid)
     }
 
-    /// Allocates an 8-bit ASID: fresh while any remain, then recycled
-    /// from exited processes. (Linux handles exhaustion of *live*
-    /// ASIDs with a generation roll-over and full TLB flush; the
-    /// simulator instead caps live processes at 255, far above any
-    /// workload here, and recycles on exit — an exited process's
-    /// non-global entries were already flushed by [`Kernel::exit`].)
+    /// Allocates an 8-bit ASID, Linux-style: values 1..=255 are handed
+    /// out sequentially within a generation; exhausting them bumps the
+    /// generation and restarts the sequence. A rollover marks every
+    /// live process's ASID stale (reassigned lazily at its next
+    /// switch-in, see [`Kernel::ensure_current_asid`]) and schedules
+    /// one non-global TLB flush, so recycled values can never match a
+    /// live translation. Global (zygote library) entries survive the
+    /// rollover flush — the paper's §3.2 benefit at scale.
     fn alloc_asid(&mut self) -> Asid {
-        if self.next_asid < 255 {
-            let asid = Asid::new(self.next_asid);
-            self.next_asid += 1;
-            return asid;
+        if self.next_asid > 255 {
+            self.asid_generation += 1;
+            self.next_asid = 1;
+            self.rollover_flush_pending = true;
+            self.stats.asid_rollovers += 1;
+            if sat_obs::enabled() {
+                sat_obs::emit(
+                    sat_obs::Subsystem::Kernel,
+                    0,
+                    0,
+                    sat_obs::Payload::AsidRollover {
+                        generation: self.asid_generation,
+                    },
+                );
+            }
         }
-        self.free_asids
-            .pop()
-            .expect("more than 254 live processes: 8-bit ASID space exhausted")
+        let asid = Asid::new(self.next_asid as u8);
+        self.next_asid += 1;
+        asid
+    }
+
+    /// The current ASID generation (starts at 1).
+    pub fn asid_generation(&self) -> u64 {
+        self.asid_generation
+    }
+
+    /// True when a rollover's deferred non-global flush has not been
+    /// issued yet.
+    pub fn rollover_flush_pending(&self) -> bool {
+        self.rollover_flush_pending
+    }
+
+    /// Switch-in hook: returns `pid`'s valid ASID for the current
+    /// generation, reassigning it first when a rollover made it stale,
+    /// and issues the deferred rollover flush (non-global entries
+    /// only — global zygote entries survive). Call before `pid` runs
+    /// on any core.
+    pub fn ensure_current_asid(
+        &mut self,
+        pid: Pid,
+        tlb: &mut dyn TlbMaintenance,
+    ) -> SatResult<Asid> {
+        if !self.procs.contains_key(&pid) {
+            return Err(SatError::NoSuchProcess);
+        }
+        if self.asid_gens.get(&pid).copied().unwrap_or(0) != self.asid_generation {
+            let asid = self.alloc_asid();
+            let generation = self.asid_generation;
+            let mm = self.procs.get_mut(&pid).ok_or(SatError::NoSuchProcess)?;
+            mm.asid = asid;
+            self.asid_gens.insert(pid, generation);
+        }
+        if self.rollover_flush_pending {
+            self.rollover_flush_pending = false;
+            sat_obs::with_flush_reason(sat_obs::FlushReason::AsidRecycle, || {
+                tlb.flush_non_global();
+            });
+        }
+        Ok(self.procs[&pid].asid)
     }
 
     /// Marks `pid` as the zygote (the paper's `exec`-time zygote
@@ -506,6 +579,7 @@ impl Kernel {
         let child_pid = Pid::new(self.next_pid);
         self.next_pid += 1;
         let child_asid = self.alloc_asid();
+        let child_gen = self.asid_generation;
         let parent_mm = self.procs.get_mut(&parent).ok_or(SatError::NoSuchProcess)?;
         let parent_asid = parent_mm.asid.raw();
         self.stats.forks += 1;
@@ -554,6 +628,7 @@ impl Kernel {
             )
         };
         self.procs.insert(child_pid, child_mm);
+        self.asid_gens.insert(child_pid, child_gen);
         if sat_obs::enabled() {
             sat_obs::emit(
                 sat_obs::Subsystem::Kernel,
@@ -579,7 +654,7 @@ impl Kernel {
         sat_obs::with_flush_reason(sat_obs::FlushReason::Exit, || {
             tlb.flush_asid(mm.asid);
         });
-        self.free_asids.push(mm.asid);
+        self.asid_gens.remove(&pid);
         let asid = mm.asid.raw();
         mm.free_root(&mut self.phys);
         self.stats.exits += 1;
@@ -850,22 +925,73 @@ mod tests {
         assert!(k.pte(zygote, va).unwrap().is_some());
     }
 
+    /// A [`TlbMaintenance`] sink counting maintenance operations.
+    #[derive(Default)]
+    struct CountingTlb {
+        asid_flushes: u64,
+        non_global_flushes: u64,
+        full_flushes: u64,
+    }
+
+    impl TlbMaintenance for CountingTlb {
+        fn flush_asid(&mut self, _asid: Asid) {
+            self.asid_flushes += 1;
+        }
+        fn flush_va_all_asids(&mut self, _va: VirtAddr) {}
+        fn flush_all(&mut self) {
+            self.full_flushes += 1;
+        }
+        fn flush_non_global(&mut self) {
+            self.non_global_flushes += 1;
+        }
+    }
+
     #[test]
-    fn asids_recycle_through_many_process_generations() {
+    fn asid_rollover_survives_hundreds_of_process_generations() {
         let mut k = Kernel::new(KernelConfig::stock(), 16_384);
         let parent = k.create_process().unwrap();
-        // 600 fork/exit cycles would exhaust a non-recycling 8-bit
-        // allocator two times over.
-        let mut seen = std::collections::BTreeSet::new();
+        // 600 fork/exit cycles exhaust the 8-bit space twice over; the
+        // old free-list allocator would have coped only by recycling,
+        // the generation allocator instead rolls over.
         for _ in 0..600 {
             let child = k.fork(parent).unwrap().child;
-            let asid = k.mm(child).unwrap().asid;
-            // Never collides with a *live* process.
-            assert_ne!(asid, k.mm(parent).unwrap().asid);
-            seen.insert(asid.raw());
             k.exit(child, &mut NoTlb).unwrap();
         }
-        assert!(seen.len() <= 254);
+        // 601 allocations at 255 per generation = 2 rollovers.
+        assert_eq!(k.stats.asid_rollovers, 2);
+        assert_eq!(k.asid_generation(), 3);
+    }
+
+    #[test]
+    fn rollover_flushes_non_global_exactly_once_and_reassigns_lazily() {
+        let mut k = Kernel::new(KernelConfig::stock(), 16_384);
+        let parent = k.create_process().unwrap();
+        let mut tlb = CountingTlb::default();
+        for _ in 0..255 {
+            let child = k.fork(parent).unwrap().child;
+            k.exit(child, &mut tlb).unwrap();
+        }
+        // Allocation 256 rolled the generation; the flush is deferred
+        // until some process is switched in.
+        assert_eq!(k.stats.asid_rollovers, 1);
+        assert!(k.rollover_flush_pending());
+        assert_eq!(tlb.non_global_flushes, 0);
+        // The parent's gen-1 ASID (1) is stale; switch-in reassigns it
+        // and issues exactly one non-global flush — never a full flush,
+        // so global zygote entries survive.
+        let before = k.mm(parent).unwrap().asid;
+        assert_eq!(before.raw(), 1);
+        let after = k.ensure_current_asid(parent, &mut tlb).unwrap();
+        // Gen-2 value 1 went to the last child; the parent gets 2.
+        assert_eq!(after.raw(), 2);
+        assert_eq!(k.mm(parent).unwrap().asid, after);
+        assert_eq!(tlb.non_global_flushes, 1);
+        assert_eq!(tlb.full_flushes, 0);
+        assert!(!k.rollover_flush_pending());
+        // Idempotent once current: no second flush, no reassignment.
+        let again = k.ensure_current_asid(parent, &mut tlb).unwrap();
+        assert_eq!(again, after);
+        assert_eq!(tlb.non_global_flushes, 1);
     }
 
     #[test]

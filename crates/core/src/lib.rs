@@ -80,6 +80,13 @@ pub trait TlbMaintenance {
     fn flush_va_all_asids(&mut self, va: sat_types::VirtAddr);
     /// Invalidate the entire TLB.
     fn flush_all(&mut self);
+    /// Invalidate every non-global entry regardless of ASID
+    /// (`TLBIALL` with globals held), as the ASID-rollover path does.
+    /// Implementations without a global/non-global split may fall back
+    /// to a full flush.
+    fn flush_non_global(&mut self) {
+        self.flush_all();
+    }
 }
 
 /// A no-op [`TlbMaintenance`] sink for experiments that do not model

@@ -96,6 +96,15 @@ pub struct Rollup {
     pub shared_forks: u64,
     pub exits: u64,
     pub domain_faults: u64,
+    /// ASID generation rollovers (8-bit space exhausted).
+    pub asid_rollovers: u64,
+    /// Precise `flush_asid` shootdowns resolved against the residency
+    /// map, with how many cores took/avoided the IPI.
+    pub shootdowns: u64,
+    pub shootdown_cores_targeted: u64,
+    pub shootdown_cores_skipped: u64,
+    /// Scheduler timeslice preemptions.
+    pub preemptions: u64,
     /// Duration spans keyed `cat.name`.
     pub spans: BTreeMap<String, SpanAgg>,
     /// Folded stacks (`pid<p>;<cat>;<span>[;<nested>…] value`-ready)
@@ -136,6 +145,17 @@ impl Rollup {
                 }
                 Payload::Exit => r.exits += 1,
                 Payload::DomainFault { .. } => r.domain_faults += 1,
+                Payload::AsidRollover { .. } => r.asid_rollovers += 1,
+                Payload::TlbShootdown {
+                    cores_targeted,
+                    cores_skipped,
+                    ..
+                } => {
+                    r.shootdowns += 1;
+                    r.shootdown_cores_targeted += u64::from(*cores_targeted);
+                    r.shootdown_cores_skipped += u64::from(*cores_skipped);
+                }
+                Payload::Preempt { .. } => r.preemptions += 1,
                 Payload::RegionOp { op, va, pages: n, .. } => {
                     *r.region_ops.entry(op.as_str()).or_default() += 1;
                     let set = pages.entry(event.pid).or_default();

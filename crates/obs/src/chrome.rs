@@ -110,6 +110,22 @@ fn args_json(payload: &Payload) -> String {
             push_kv_str(&mut o, "reason", reason.as_str(), true);
             push_kv_num(&mut o, "entries", *entries, true);
         }
+        Payload::AsidRollover { generation } => {
+            push_kv_num(&mut o, "generation", *generation, false);
+        }
+        Payload::TlbShootdown {
+            asid,
+            cores_targeted,
+            cores_skipped,
+        } => {
+            push_kv_num(&mut o, "asid", u64::from(*asid), false);
+            push_kv_num(&mut o, "cores_targeted", u64::from(*cores_targeted), true);
+            push_kv_num(&mut o, "cores_skipped", u64::from(*cores_skipped), true);
+        }
+        Payload::Preempt { core, next } => {
+            push_kv_num(&mut o, "core", u64::from(*core), false);
+            push_kv_num(&mut o, "next", u64::from(*next), true);
+        }
         Payload::SpanBegin { .. } => {}
         Payload::SpanEnd { value, unit, .. } => {
             push_kv_num(&mut o, "value", *value, false);
@@ -298,6 +314,18 @@ fn parse_event(obj: &crate::json::Json, index: usize) -> Result<Event, String> {
                     entries: field_u64(args, "entries", &ctx)?,
                 }
             }
+            "asid_rollover" => Payload::AsidRollover {
+                generation: field_u64(args, "generation", &ctx)?,
+            },
+            "tlb_shootdown" => Payload::TlbShootdown {
+                asid: field_u64(args, "asid", &ctx)? as u8,
+                cores_targeted: field_u64(args, "cores_targeted", &ctx)? as u32,
+                cores_skipped: field_u64(args, "cores_skipped", &ctx)? as u32,
+            },
+            "preempt" => Payload::Preempt {
+                core: field_u64(args, "core", &ctx)? as u32,
+                next: field_u64(args, "next", &ctx)? as u32,
+            },
             op if RegionOpKind::parse(op).is_some() => Payload::RegionOp {
                 op: RegionOpKind::parse(op).unwrap(),
                 va: field_u64(args, "va", &ctx)? as u32,

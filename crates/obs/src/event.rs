@@ -27,6 +27,8 @@ pub enum Subsystem {
     Bench,
     /// `sat-sim` modeled-cost sampling.
     Sim,
+    /// `sat-sched` scheduling decisions (preemptions, migrations).
+    Sched,
 }
 
 impl Subsystem {
@@ -40,6 +42,7 @@ impl Subsystem {
             Subsystem::Android => "android",
             Subsystem::Bench => "bench",
             Subsystem::Sim => "sim",
+            Subsystem::Sched => "sched",
         }
     }
 
@@ -53,6 +56,7 @@ impl Subsystem {
             "android" => Subsystem::Android,
             "bench" => Subsystem::Bench,
             "sim" => Subsystem::Sim,
+            "sched" => Subsystem::Sched,
             _ => return None,
         })
     }
@@ -422,6 +426,21 @@ pub enum Payload {
         reason: FlushReason,
         entries: u64,
     },
+    /// The 8-bit ASID space was exhausted; the allocator bumped the
+    /// generation. Live ASIDs are reassigned lazily at switch-in and
+    /// one non-global flush follows (global entries survive).
+    AsidRollover { generation: u64 },
+    /// A `flush_asid` shootdown was resolved against the per-core
+    /// residency map: only `cores_targeted` cores took an IPI;
+    /// `cores_skipped` never held the ASID and were left alone.
+    TlbShootdown {
+        asid: u8,
+        cores_targeted: u32,
+        cores_skipped: u32,
+    },
+    /// The scheduler preempted `pid` on `core` in favour of `next`
+    /// (end of timeslice).
+    Preempt { core: u32, next: u32 },
     /// A duration span opened (an Android phase, a bench cell). Must
     /// be closed by a [`Payload::SpanEnd`] with the same name on the
     /// same (pid, asid) — `repro check` enforces the pairing.
@@ -448,6 +467,9 @@ impl Payload {
             Payload::PtpUnshare { .. } => "ptp_unshare",
             Payload::PageFault { .. } => "page_fault",
             Payload::TlbFlush { .. } => "tlb_flush",
+            Payload::AsidRollover { .. } => "asid_rollover",
+            Payload::TlbShootdown { .. } => "tlb_shootdown",
+            Payload::Preempt { .. } => "preempt",
             Payload::SpanBegin { name } | Payload::SpanEnd { name, .. } => name,
         }
     }

@@ -232,6 +232,17 @@ impl MetricsRegistry {
                     self.inc("tlb.flush.micro.entries", *entries);
                 }
             }
+            Payload::AsidRollover { .. } => self.inc("kernel.asid.rollover", 1),
+            Payload::TlbShootdown {
+                cores_targeted,
+                cores_skipped,
+                ..
+            } => {
+                self.inc("tlb.shootdown", 1);
+                self.inc("tlb.shootdown.cores", u64::from(*cores_targeted));
+                self.inc("tlb.shootdown.skipped", u64::from(*cores_skipped));
+            }
+            Payload::Preempt { .. } => self.inc("sched.preempt", 1),
             // Only the closing half of a span moves metrics; the
             // opening half exists for trace structure.
             Payload::SpanBegin { .. } => {}

@@ -106,6 +106,17 @@ pub fn render_text(r: &Rollup) -> String {
         let _ = writeln!(out, "file-backed: {}", r.faults_file_backed);
     }
 
+    if r.shootdowns + r.asid_rollovers + r.preemptions > 0 {
+        heading(&mut out, "Scheduling and shootdowns");
+        let _ = writeln!(out, "preemptions:            {}", r.preemptions);
+        let _ = writeln!(out, "asid rollovers:         {}", r.asid_rollovers);
+        let _ = writeln!(
+            out,
+            "precise shootdowns:     {} (cores IPI'd: {}, cores skipped: {})",
+            r.shootdowns, r.shootdown_cores_targeted, r.shootdown_cores_skipped
+        );
+    }
+
     if !r.spans.is_empty() {
         heading(&mut out, "Duration spans");
         let _ = writeln!(
@@ -283,13 +294,20 @@ pub fn render_json(r: &Rollup) -> String {
     let _ = writeln!(
         out,
         "  \"totals\": {{\"forks\": {}, \"shared_forks\": {}, \"exits\": {}, \
-         \"domain_faults\": {}, \"unshare_ptes_copied\": {}, \"faults_file_backed\": {}}}",
+         \"domain_faults\": {}, \"unshare_ptes_copied\": {}, \"faults_file_backed\": {}, \
+         \"asid_rollovers\": {}, \"shootdowns\": {}, \"shootdown_cores_targeted\": {}, \
+         \"shootdown_cores_skipped\": {}, \"preemptions\": {}}}",
         r.forks,
         r.shared_forks,
         r.exits,
         r.domain_faults,
         r.unshare_ptes_copied,
-        r.faults_file_backed
+        r.faults_file_backed,
+        r.asid_rollovers,
+        r.shootdowns,
+        r.shootdown_cores_targeted,
+        r.shootdown_cores_skipped,
+        r.preemptions
     );
     out.push_str("}\n");
     out

@@ -74,6 +74,18 @@ fn emit_one_of_each() {
             entries: 4,
         },
     );
+    sat_obs::emit(Subsystem::Kernel, 0, 0, Payload::AsidRollover { generation: 3 });
+    sat_obs::emit(
+        Subsystem::Sim,
+        0,
+        5,
+        Payload::TlbShootdown {
+            asid: 5,
+            cores_targeted: 1,
+            cores_skipped: 3,
+        },
+    );
+    sat_obs::emit(Subsystem::Sched, 7, 2, Payload::Preempt { core: 2, next: 9 });
     sat_obs::emit(
         Subsystem::Android,
         4,
@@ -204,6 +216,28 @@ fn chrome_trace_round_trips_field_by_field() {
                 assert_eq!(args.get("scope").unwrap().as_str(), Some(scope.as_str()));
                 assert_eq!(args.get("reason").unwrap().as_str(), Some(reason.as_str()));
                 assert_eq!(args.get("entries").unwrap().as_u64(), Some(*entries));
+            }
+            Payload::AsidRollover { generation } => {
+                assert_eq!(args.get("generation").unwrap().as_u64(), Some(*generation));
+            }
+            Payload::TlbShootdown {
+                asid,
+                cores_targeted,
+                cores_skipped,
+            } => {
+                assert_eq!(args.get("asid").unwrap().as_u64(), Some(u64::from(*asid)));
+                assert_eq!(
+                    args.get("cores_targeted").unwrap().as_u64(),
+                    Some(u64::from(*cores_targeted))
+                );
+                assert_eq!(
+                    args.get("cores_skipped").unwrap().as_u64(),
+                    Some(u64::from(*cores_skipped))
+                );
+            }
+            Payload::Preempt { core, next } => {
+                assert_eq!(args.get("core").unwrap().as_u64(), Some(u64::from(*core)));
+                assert_eq!(args.get("next").unwrap().as_u64(), Some(u64::from(*next)));
             }
             Payload::SpanBegin { .. } => assert!(args.as_object().unwrap().is_empty()),
             Payload::SpanEnd { value, unit, .. } => {

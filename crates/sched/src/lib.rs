@@ -1,0 +1,580 @@
+//! `sat-sched`: a deterministic multi-core scheduler and the
+//! timesharing workload driver built on it.
+//!
+//! The paper evaluates shared translation mostly under pinned,
+//! one-app-at-a-time workloads. This crate asks the follow-up
+//! question: what happens when N zygote children *timeshare* a
+//! four-core machine — context switches every few hundred
+//! instructions, process churn burning through the 8-bit ASID space,
+//! per-ASID shootdowns raining on every core? The scheduler is a
+//! plain round-robin with per-core run queues and fixed timeslices;
+//! everything (queue order, workload mix, churn victims) derives from
+//! one seed, so a run is a pure function of its options — the
+//! `repro timeshare` experiment and the determinism tests rely on
+//! byte-identical behaviour across runs and thread counts.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, VecDeque};
+
+use sat_android::{AndroidSystem, BootOptions, LibraryLayout};
+use sat_core::KernelConfig;
+use sat_sim::machine::{Core, BINDER_PATH_PAGE};
+use sat_types::{AccessType, Perms, Pid, SatError, SatResult, VirtAddr, PAGE_SIZE};
+use sat_vm::MmapRequest;
+
+/// Base address for per-process private heaps created by the driver
+/// (above the app images, below the stack).
+const SCHED_HEAP_BASE: u32 = 0x9000_0000;
+
+/// Address-space stride between driver heaps. The slot counter only
+/// ever increases (exited processes do not reuse slots), so the range
+/// bounds cumulative process count at ~750 — far beyond the 255-ASID
+/// rollover the tests drive through.
+const SCHED_HEAP_STRIDE: u32 = 0x0010_0000;
+
+/// Pages per driver heap.
+const SCHED_HEAP_PAGES: u32 = 16;
+
+/// A tiny deterministic PRNG (xorshift64*). The driver must not
+/// depend on host randomness, and keeping the generator local makes
+/// the sequence part of this crate's stable behaviour.
+#[derive(Clone)]
+struct Rng64(u64);
+
+impl Rng64 {
+    fn new(seed: u64) -> Rng64 {
+        Rng64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Per-process timeslice accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TimesliceAccount {
+    /// Timeslices this process has run.
+    pub quanta: u64,
+    /// Workload events executed across those timeslices.
+    pub events: u64,
+}
+
+/// A deterministic round-robin scheduler with per-core run queues.
+///
+/// Processes are admitted to the shortest queue (ties to the lowest
+/// core index), each `next`/`requeue` pair is one timeslice, and a
+/// requeue behind a waiting sibling is a preemption — reported as a
+/// [`sat_obs::Payload::Preempt`] event.
+pub struct Scheduler {
+    queues: Vec<VecDeque<Pid>>,
+    accounts: BTreeMap<Pid, TimesliceAccount>,
+    /// Preemptions observed (a timeslice expired with another process
+    /// waiting on the same core).
+    pub preemptions: u64,
+}
+
+impl Scheduler {
+    /// A scheduler over `cores` run queues.
+    pub fn new(cores: usize) -> Scheduler {
+        assert!(cores > 0);
+        Scheduler {
+            queues: (0..cores).map(|_| VecDeque::new()).collect(),
+            accounts: BTreeMap::new(),
+            preemptions: 0,
+        }
+    }
+
+    /// Admits `pid` to the shortest run queue.
+    pub fn admit(&mut self, pid: Pid) {
+        let core = (0..self.queues.len())
+            .min_by_key(|&c| self.queues[c].len())
+            .expect("at least one core");
+        self.queues[core].push_back(pid);
+        self.accounts.entry(pid).or_default();
+    }
+
+    /// Removes `pid` from whichever queue holds it (process exit).
+    pub fn remove(&mut self, pid: Pid) {
+        for q in &mut self.queues {
+            q.retain(|&p| p != pid);
+        }
+    }
+
+    /// Pops the next process to run on `core`, if any.
+    pub fn next(&mut self, core: usize) -> Option<Pid> {
+        self.queues[core].pop_front()
+    }
+
+    /// Returns `pid` to the back of `core`'s queue after a timeslice
+    /// of `events` workload events. If another process was waiting,
+    /// this is a preemption.
+    pub fn requeue(&mut self, core: usize, pid: Pid, events: u64) {
+        let acct = self.accounts.entry(pid).or_default();
+        acct.quanta += 1;
+        acct.events += events;
+        if let Some(&next) = self.queues[core].front() {
+            self.preemptions += 1;
+            if sat_obs::enabled() {
+                sat_obs::emit(
+                    sat_obs::Subsystem::Sched,
+                    pid.raw(),
+                    0,
+                    sat_obs::Payload::Preempt {
+                        core: core as u32,
+                        next: next.raw(),
+                    },
+                );
+            }
+        }
+        self.queues[core].push_back(pid);
+    }
+
+    /// Timeslice accounting for `pid` (zeroes if never admitted).
+    pub fn account(&self, pid: Pid) -> TimesliceAccount {
+        self.accounts.get(&pid).copied().unwrap_or_default()
+    }
+
+    /// Processes currently queued on `core`.
+    pub fn queue_len(&self, core: usize) -> usize {
+        self.queues[core].len()
+    }
+}
+
+/// Sizing for one timesharing run.
+#[derive(Clone, Copy, Debug)]
+pub struct TimeshareOptions {
+    /// Co-resident applications.
+    pub apps: usize,
+    /// Cores to timeshare.
+    pub cores: usize,
+    /// Scheduling rounds (each runs one timeslice per core).
+    pub rounds: usize,
+    /// Instruction fetches per timeslice.
+    pub quantum_events: usize,
+    /// Library code pages in each app's working set.
+    pub ws_pages: usize,
+    /// Extra processes created by exit-and-respawn churn over the
+    /// whole run (0 disables churn).
+    pub churn: usize,
+    /// Every k-th timeslice ends in a binder call to a sibling app
+    /// (0 disables IPC).
+    pub ipc_every: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl TimeshareOptions {
+    /// Defaults for `apps` co-resident applications on four cores.
+    pub fn new(apps: usize) -> TimeshareOptions {
+        TimeshareOptions {
+            apps,
+            cores: 4,
+            rounds: 12,
+            quantum_events: 300,
+            ws_pages: 48,
+            churn: 0,
+            ipc_every: 3,
+            seed: 1,
+        }
+    }
+}
+
+/// What a timesharing run measured, summed over all cores.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TimeshareReport {
+    /// Co-resident apps the run was configured with.
+    pub apps: usize,
+    /// Processes created over the run (initial apps + churn).
+    pub processes_created: u64,
+    /// ASID generation at the end (1 + rollovers).
+    pub asid_generation: u64,
+    /// ASID-space rollovers the allocator performed.
+    pub asid_rollovers: u64,
+    /// Context switches performed.
+    pub context_switches: u64,
+    /// Preemptions (timeslice expired with a sibling waiting).
+    pub preemptions: u64,
+    /// Instruction-fetch main-TLB stall cycles.
+    pub inst_tlb_stall: u64,
+    /// Data-access main-TLB stall cycles.
+    pub data_tlb_stall: u64,
+    /// Total cycles.
+    pub total_cycles: u64,
+    /// Page faults taken.
+    pub page_faults: u64,
+    /// Main-TLB hits on another process's global entry.
+    pub cross_asid_hits: u64,
+    /// Shootdown IPIs delivered (cores targeted by `flush_asid`).
+    pub shootdown_ipis: u64,
+    /// Per-core flushes a precise shootdown skipped.
+    pub avoided_flushes: u64,
+    /// Main-TLB entries invalidated by all flushes.
+    pub entries_flushed: u64,
+    /// Valid global main-TLB entries at the end of the run.
+    pub global_entries_now: u64,
+}
+
+/// One runnable process's workload state.
+struct Task {
+    /// Library-code working set (zygote-inherited mappings).
+    code: Vec<VirtAddr>,
+    cursor: usize,
+    heap: VirtAddr,
+    heap_cursor: u32,
+}
+
+/// The timesharing simulation: an [`AndroidSystem`] grown to
+/// `opts.cores` cores, a [`Scheduler`], and per-process workload
+/// state.
+pub struct TimeshareSim {
+    pub sys: AndroidSystem,
+    pub sched: Scheduler,
+    tasks: BTreeMap<Pid, Task>,
+    rng: Rng64,
+    opts: TimeshareOptions,
+    /// Processes created so far (spawns, not counting the zygote).
+    pub processes_created: u64,
+    /// Monotonic heap-slot counter (slots are never reused).
+    next_heap_slot: u32,
+    /// Timeslices run so far (drives the IPC cadence).
+    slices: u64,
+}
+
+impl TimeshareSim {
+    /// Boots a system under `config` and admits `opts.apps` zygote
+    /// children to the scheduler.
+    pub fn boot(config: KernelConfig, opts: TimeshareOptions) -> SatResult<TimeshareSim> {
+        assert!(opts.cores >= 1);
+        let mut sys =
+            AndroidSystem::boot(config, LibraryLayout::Original, opts.seed, 11, BootOptions::small())?;
+        while sys.machine.cores.len() < opts.cores {
+            sys.machine.cores.push(Core::default());
+        }
+        let mut sim = TimeshareSim {
+            sys,
+            sched: Scheduler::new(opts.cores),
+            tasks: BTreeMap::new(),
+            rng: Rng64::new(opts.seed),
+            opts,
+            processes_created: 0,
+            next_heap_slot: 0,
+            slices: 0,
+        };
+        for _ in 0..opts.apps {
+            sim.spawn()?;
+        }
+        Ok(sim)
+    }
+
+    /// Forks one process from the zygote, builds its working set, and
+    /// admits it.
+    pub fn spawn(&mut self) -> SatResult<Pid> {
+        let zygote = self.sys.zygote;
+        let (outcome, _) = self.sys.machine.fork(0, zygote)?;
+        let pid = outcome.child;
+        self.processes_created += 1;
+
+        // Working set: `ws_pages` pages drawn from the preloaded
+        // libraries — code every timeshared app has identical
+        // translations for, the target of the paper's sharing.
+        let preloaded = self.sys.catalog.zygote_preloaded();
+        let mut code = Vec::with_capacity(self.opts.ws_pages);
+        for _ in 0..self.opts.ws_pages {
+            let lib = preloaded[self.rng.below(preloaded.len() as u64) as usize];
+            let base = self.sys.map.code_base(lib).ok_or(SatError::InvalidArgument)?;
+            let page = self.rng.below(u64::from(self.sys.catalog.lib(lib).code_pages)) as u32;
+            code.push(VirtAddr::new(base.raw() + page * PAGE_SIZE));
+        }
+
+        // A private heap in the driver's own range (slots are never
+        // reused, so churned processes cannot collide).
+        let slot = self.next_heap_slot;
+        self.next_heap_slot += 1;
+        let heap = VirtAddr::new(SCHED_HEAP_BASE + slot * SCHED_HEAP_STRIDE);
+        let req = MmapRequest::anon(
+            SCHED_HEAP_PAGES * PAGE_SIZE,
+            Perms::RW,
+            sat_types::RegionTag::Heap,
+            "[anon:sched-heap]",
+        )
+        .at(heap);
+        self.sys.machine.syscall(|k, tlb| k.mmap(pid, &req, tlb))?;
+
+        self.tasks.insert(
+            pid,
+            Task {
+                code,
+                cursor: 0,
+                heap,
+                heap_cursor: 0,
+            },
+        );
+        self.sched.admit(pid);
+        Ok(pid)
+    }
+
+    /// Exits `pid` and removes it from the scheduler.
+    pub fn reap(&mut self, pid: Pid) -> SatResult<()> {
+        self.sched.remove(pid);
+        self.tasks.remove(&pid);
+        self.sys.machine.syscall(|k, tlb| k.exit(pid, tlb))?;
+        Ok(())
+    }
+
+    /// Runs one scheduling round: every core runs one timeslice of
+    /// whatever its queue offers.
+    pub fn round(&mut self) -> SatResult<()> {
+        for core in 0..self.opts.cores {
+            let Some(pid) = self.sched.next(core) else {
+                continue;
+            };
+            self.sys.machine.context_switch(core, pid)?;
+            let events = self.quantum(core, pid)?;
+            self.slices += 1;
+            if self.opts.ipc_every > 0 && self.slices.is_multiple_of(self.opts.ipc_every as u64) {
+                self.binder_call(core, pid)?;
+            }
+            self.sched.requeue(core, pid, events);
+        }
+        Ok(())
+    }
+
+    /// One timeslice of `pid` on `core`: walk the code working set,
+    /// with periodic heap writes. Returns the events executed.
+    fn quantum(&mut self, core: usize, pid: Pid) -> SatResult<u64> {
+        let task = self.tasks.get_mut(&pid).expect("scheduled pid has a task");
+        let machine = &mut self.sys.machine;
+        let events = self.opts.quantum_events;
+        for i in 0..events {
+            let va = task.code[task.cursor % task.code.len()];
+            task.cursor += 1;
+            machine.access(core, va, AccessType::Execute)?;
+            machine.access(core, VirtAddr::new(va.raw() + 64), AccessType::Execute)?;
+            if i % 24 == 23 {
+                let va = VirtAddr::new(
+                    task.heap.raw() + (task.heap_cursor % SCHED_HEAP_PAGES) * PAGE_SIZE,
+                );
+                task.heap_cursor += 1;
+                machine.access(core, va, AccessType::Write)?;
+            }
+        }
+        Ok(events as u64)
+    }
+
+    /// A binder call from `pid` to a deterministic sibling on the same
+    /// core: kernel binder path, switch to the server, a slice of the
+    /// server's code, kernel reply path, switch back.
+    fn binder_call(&mut self, core: usize, pid: Pid) -> SatResult<()> {
+        // Pick the first other live task in pid order (stable under
+        // churn because tasks is a BTreeMap).
+        let Some(&peer) = self.tasks.keys().find(|&&p| p != pid) else {
+            return Ok(());
+        };
+        self.sys.machine.run_kernel_lines(core, BINDER_PATH_PAGE, 120)?;
+        self.sys.machine.context_switch(core, peer)?;
+        {
+            let task = self.tasks.get_mut(&peer).expect("peer has a task");
+            let machine = &mut self.sys.machine;
+            for _ in 0..8 {
+                let va = task.code[task.cursor % task.code.len()];
+                task.cursor += 1;
+                machine.access(core, va, AccessType::Execute)?;
+            }
+        }
+        self.sys.machine.run_kernel_lines(core, BINDER_PATH_PAGE, 100)?;
+        self.sys.machine.context_switch(core, pid)?;
+        Ok(())
+    }
+
+    /// Runs the configured rounds, interleaving churn (exit the oldest
+    /// app, fork a replacement) evenly across them.
+    pub fn run(&mut self) -> SatResult<()> {
+        let churn_per_round = self.opts.churn.div_ceil(self.opts.rounds.max(1));
+        let mut churned = 0usize;
+        for _ in 0..self.opts.rounds {
+            self.round()?;
+            for _ in 0..churn_per_round {
+                if churned >= self.opts.churn {
+                    break;
+                }
+                // Victim: the oldest live app (lowest pid).
+                let Some(&victim) = self.tasks.keys().next() else {
+                    break;
+                };
+                self.reap(victim)?;
+                self.spawn()?;
+                churned += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Harvests the run's counters.
+    pub fn report(&self) -> TimeshareReport {
+        let m = &self.sys.machine;
+        let mut r = TimeshareReport {
+            apps: self.opts.apps,
+            processes_created: self.processes_created,
+            asid_generation: m.kernel.asid_generation(),
+            asid_rollovers: m.kernel.stats.asid_rollovers,
+            preemptions: self.sched.preemptions,
+            ..TimeshareReport::default()
+        };
+        for c in &m.cores {
+            r.context_switches += c.stats.context_switches;
+            r.inst_tlb_stall += c.stats.inst_main_tlb_stall_cycles;
+            r.data_tlb_stall += c.stats.data_main_tlb_stall_cycles;
+            r.total_cycles += c.stats.cycles;
+            r.page_faults += c.stats.page_faults;
+            r.shootdown_ipis += c.stats.tlb_shootdown_ipis;
+            let t = c.main_tlb.stats();
+            r.cross_asid_hits += t.cross_asid_hits;
+            r.avoided_flushes += t.avoided_flushes;
+            r.entries_flushed += t.entries_flushed;
+            r.global_entries_now += c.main_tlb.global_occupancy() as u64;
+        }
+        r
+    }
+}
+
+/// Boots, runs, and reports one timesharing experiment — the
+/// `repro timeshare` cell body.
+pub fn run_timeshare(config: KernelConfig, opts: TimeshareOptions) -> SatResult<TimeshareReport> {
+    let mut sim = TimeshareSim::boot(config, opts)?;
+    sim.run()?;
+    Ok(sim.report())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u32) -> Pid {
+        Pid::new(n)
+    }
+
+    #[test]
+    fn admit_balances_and_round_robin_rotates() {
+        let mut s = Scheduler::new(2);
+        for n in 1..=4 {
+            s.admit(pid(n));
+        }
+        assert_eq!(s.queue_len(0), 2);
+        assert_eq!(s.queue_len(1), 2);
+        // Core 0 got pids 1, 3; rotation returns them alternately.
+        assert_eq!(s.next(0), Some(pid(1)));
+        s.requeue(0, pid(1), 10);
+        assert_eq!(s.next(0), Some(pid(3)));
+        s.requeue(0, pid(3), 10);
+        assert_eq!(s.next(0), Some(pid(1)));
+        assert_eq!(s.account(pid(1)).quanta, 1);
+        assert_eq!(s.account(pid(1)).events, 10);
+        // Both requeues happened with a sibling waiting.
+        assert_eq!(s.preemptions, 2);
+    }
+
+    #[test]
+    fn remove_takes_a_process_out_of_rotation() {
+        let mut s = Scheduler::new(1);
+        s.admit(pid(1));
+        s.admit(pid(2));
+        s.remove(pid(1));
+        assert_eq!(s.next(0), Some(pid(2)));
+        s.requeue(0, pid(2), 1);
+        // Alone on the core: requeueing is not a preemption.
+        assert_eq!(s.preemptions, 0);
+        assert_eq!(s.next(0), Some(pid(2)));
+    }
+
+    #[test]
+    fn timeshare_runs_are_deterministic() {
+        let opts = TimeshareOptions {
+            rounds: 3,
+            quantum_events: 60,
+            churn: 2,
+            ..TimeshareOptions::new(6)
+        };
+        let a = run_timeshare(KernelConfig::shared_ptp_tlb(), opts).unwrap();
+        let b = run_timeshare(KernelConfig::shared_ptp_tlb(), opts).unwrap();
+        assert_eq!(a, b);
+        assert!(a.context_switches > 0);
+        assert!(a.preemptions > 0);
+        assert_eq!(a.processes_created, 8);
+    }
+
+    #[test]
+    fn precise_shootdowns_skip_cores_under_churn() {
+        let opts = TimeshareOptions {
+            rounds: 4,
+            quantum_events: 60,
+            churn: 4,
+            ..TimeshareOptions::new(4)
+        };
+        let r = run_timeshare(KernelConfig::shared_ptp_tlb(), opts).unwrap();
+        // Churned exits shoot down ASIDs that ran on one core at most:
+        // the other cores are skipped, not flushed.
+        assert!(r.avoided_flushes > 0, "no shootdown ever skipped a core");
+        assert!(
+            r.shootdown_ipis < r.shootdown_ipis + r.avoided_flushes,
+            "precise shootdown must IPI fewer cores than broadcast"
+        );
+    }
+
+    /// The >255-process rollover scenario (the seed kernel's free-list
+    /// allocator panicked here): generations bump, exactly one
+    /// non-global flush per rollover reaches every core, attributed to
+    /// `AsidRecycle`, and the zygote's global entries survive.
+    #[test]
+    fn rollover_past_255_processes_flushes_once_and_keeps_globals() {
+        sat_obs::install(1 << 18);
+        let opts = TimeshareOptions {
+            rounds: 10,
+            quantum_events: 40,
+            ws_pages: 16,
+            churn: 260,
+            ipc_every: 5,
+            ..TimeshareOptions::new(4)
+        };
+        let r = run_timeshare(KernelConfig::shared_ptp_tlb(), opts).unwrap();
+        let rec = sat_obs::uninstall().expect("recorder installed above");
+
+        // 264 processes through a 255-value space: at least one
+        // rollover, and the generation counter tracks them exactly.
+        assert_eq!(r.processes_created, 264);
+        assert!(r.asid_rollovers >= 1, "no rollover after 264 processes");
+        assert_eq!(r.asid_generation, 1 + r.asid_rollovers);
+
+        // Counters are exact even if the ring overflowed: one
+        // non-global flush per core per rollover, and a rollover event
+        // per generation bump.
+        let flushes = rec.metrics.counter("tlb.flush.scope.non_global");
+        assert_eq!(flushes, r.asid_rollovers * opts.cores as u64);
+        assert_eq!(rec.metrics.counter("kernel.asid.rollover"), r.asid_rollovers);
+
+        // Every non-global flush in the ring is attributed to the
+        // rollover path.
+        for e in &rec.events {
+            if let sat_obs::Payload::TlbFlush { scope, reason, .. } = &e.payload {
+                if *scope == sat_obs::FlushScope::NonGlobal {
+                    assert_eq!(*reason, sat_obs::FlushReason::AsidRecycle);
+                }
+            }
+        }
+
+        // Global zygote entries survived the rollovers and kept
+        // serving other processes.
+        assert!(r.global_entries_now > 0, "rollover killed the global entries");
+        assert!(r.cross_asid_hits > 0);
+    }
+}

@@ -48,6 +48,9 @@ pub struct CoreStats {
     pub inst_main_tlb_stall_cycles: u64,
     /// Stall cycles waiting on main-TLB misses for data accesses.
     pub data_main_tlb_stall_cycles: u64,
+    /// TLB-shootdown IPIs this core received (precise `flush_asid`
+    /// targeted it because the ASID was resident here).
+    pub tlb_shootdown_ipis: u64,
 }
 
 /// One Cortex-A9-like core.
@@ -65,21 +68,85 @@ pub struct Core {
     pub current: Option<Pid>,
     /// PMU counters.
     pub stats: CoreStats,
+    /// Which ASIDs have had a non-global entry inserted into this
+    /// core's main TLB since the last flush that could remove them —
+    /// the residency map precise shootdowns consult. One bit per
+    /// 8-bit ASID value. Conservative: per-VA flushes leave bits set.
+    resident_asids: [u64; 4],
+}
+
+impl Core {
+    /// Marks `asid` resident on this core (a non-global entry tagged
+    /// with it entered the main TLB).
+    fn note_resident(&mut self, asid: Asid) {
+        let a = asid.raw() as usize;
+        self.resident_asids[a / 64] |= 1 << (a % 64);
+    }
+
+    /// Whether `asid` may still have non-global entries here.
+    pub fn asid_resident(&self, asid: Asid) -> bool {
+        let a = asid.raw() as usize;
+        self.resident_asids[a / 64] & (1 << (a % 64)) != 0
+    }
+
+    /// Clears `asid`'s residency (after a per-ASID flush).
+    fn clear_resident(&mut self, asid: Asid) {
+        let a = asid.raw() as usize;
+        self.resident_asids[a / 64] &= !(1 << (a % 64));
+    }
+
+    /// Clears every residency bit (after a full or non-global flush).
+    fn clear_all_resident(&mut self) {
+        self.resident_asids = [0; 4];
+    }
 }
 
 
 /// A [`TlbMaintenance`] view over every core's TLBs: kernel flush
 /// operations behave as TLB shootdowns across the machine.
+///
+/// `flush_asid` is a *precise* shootdown: it consults each core's
+/// residency map and IPIs (flushes + charges `ipi_cost` to) only the
+/// cores where the target ASID may still hold non-global entries.
+/// Skipped cores pay nothing and bump `TlbStats::avoided_flushes`.
 pub struct MachineTlbView<'a> {
     cores: &'a mut [Core],
+    /// Cycles charged to each *targeted* core (`CycleModel::ipi`).
+    ipi_cost: u64,
 }
 
 impl TlbMaintenance for MachineTlbView<'_> {
     fn flush_asid(&mut self, asid: Asid) {
+        let mut targeted = 0u32;
+        let mut skipped = 0u32;
         for core in self.cores.iter_mut() {
-            core.main_tlb.flush_asid(asid);
-            core.micro_i.flush();
-            core.micro_d.flush();
+            if core.asid_resident(asid) {
+                core.main_tlb.flush_asid(asid);
+                core.micro_i.flush();
+                core.micro_d.flush();
+                core.clear_resident(asid);
+                core.stats.cycles += self.ipi_cost;
+                core.stats.tlb_shootdown_ipis += 1;
+                targeted += 1;
+            } else {
+                // The ASID never loaded a non-global entry here (and
+                // the untagged micro TLBs only ever mirror main-TLB
+                // fills): nothing to invalidate, no IPI.
+                core.main_tlb.note_avoided_flush();
+                skipped += 1;
+            }
+        }
+        if sat_obs::enabled() {
+            sat_obs::emit(
+                sat_obs::Subsystem::Sim,
+                0,
+                asid.raw(),
+                sat_obs::Payload::TlbShootdown {
+                    asid: asid.raw(),
+                    cores_targeted: targeted,
+                    cores_skipped: skipped,
+                },
+            );
         }
     }
 
@@ -96,6 +163,16 @@ impl TlbMaintenance for MachineTlbView<'_> {
             core.main_tlb.flush_all();
             core.micro_i.flush();
             core.micro_d.flush();
+            core.clear_all_resident();
+        }
+    }
+
+    fn flush_non_global(&mut self) {
+        for core in self.cores.iter_mut() {
+            core.main_tlb.flush_non_global();
+            core.micro_i.flush();
+            core.micro_d.flush();
+            core.clear_all_resident();
         }
     }
 }
@@ -147,6 +224,7 @@ impl Machine {
     pub fn tlb_view(&mut self) -> MachineTlbView<'_> {
         MachineTlbView {
             cores: &mut self.cores,
+            ipi_cost: self.model.ipi,
         }
     }
 
@@ -159,6 +237,7 @@ impl Machine {
     ) -> R {
         let mut view = MachineTlbView {
             cores: &mut self.cores,
+            ipi_cost: self.model.ipi,
         };
         f(&mut self.kernel, &mut view)
     }
@@ -173,6 +252,21 @@ impl Machine {
         }
         let prev = self.cores[core].current;
         let config = self.kernel.config;
+        // Lazy ASID reassignment: if the allocator's generation rolled
+        // over since `pid` last ran, it gets a fresh ASID here, and
+        // the deferred machine-wide non-global flush fires before it
+        // executes (global zygote entries survive).
+        let rollovers_before = self.kernel.stats.asid_rollovers;
+        let flush_was_pending = self.kernel.rollover_flush_pending();
+        {
+            let ipi_cost = self.model.ipi;
+            let (cores, kernel) = (&mut self.cores, &mut self.kernel);
+            let mut view = MachineTlbView { cores, ipi_cost };
+            kernel.ensure_current_asid(pid, &mut view)?;
+        }
+        if flush_was_pending || self.kernel.stats.asid_rollovers > rollovers_before {
+            self.cores[core].stats.cycles += self.model.asid_rollover;
+        }
         let c = &mut self.cores[core];
         sat_obs::with_flush_reason(sat_obs::FlushReason::ContextSwitch, || {
             c.micro_i.flush();
@@ -196,6 +290,7 @@ impl Machine {
             sat_obs::with_flush_reason(sat_obs::FlushReason::ContextSwitch, || {
                 c.main_tlb.flush_all();
             });
+            c.clear_all_resident();
         }
         c.current = Some(pid);
         c.stats.context_switches += 1;
@@ -299,12 +394,24 @@ impl Machine {
         // PTPs); stale writable translations cached before the fork
         // must not survive it (Linux: flush_tlb_mm in dup_mmap).
         let parent_asid = self.kernel.mm(parent)?.asid;
+        let ipi_cost = self.model.ipi;
         sat_obs::with_flush_reason(sat_obs::FlushReason::Fork, || {
             MachineTlbView {
                 cores: &mut self.cores,
+                ipi_cost,
             }
             .flush_asid(parent_asid);
         });
+        // The child's allocation may have exhausted the ASID space:
+        // apply the deferred rollover flush now (and refresh the
+        // parent's own ASID) rather than leaving it pending while the
+        // parent keeps running.
+        if self.kernel.rollover_flush_pending() {
+            let (cores, kernel) = (&mut self.cores, &mut self.kernel);
+            let mut view = MachineTlbView { cores, ipi_cost };
+            kernel.ensure_current_asid(parent, &mut view)?;
+            self.cores[core].stats.cycles += self.model.asid_rollover;
+        }
         let anon = outcome.ptes_copied - outcome.ptes_copied_file;
         let cycles = self.model.fork_cycles(
             anon,
@@ -438,6 +545,9 @@ impl Machine {
                     domain: t.domain,
                 };
                 self.cores[core].main_tlb.insert(e, asid);
+                if e.asid.is_some() {
+                    self.cores[core].note_resident(asid);
+                }
                 self.fill_micro(core, access, e);
                 self.charge_tlb_stall(core, access, stall);
                 Ok(WalkFill::Entry(e, stall))
@@ -484,8 +594,9 @@ impl Machine {
                 far: va,
             });
         }
+        let ipi_cost = self.model.ipi;
         let (cores, kernel) = (&mut self.cores, &mut self.kernel);
-        let mut view = MachineTlbView { cores };
+        let mut view = MachineTlbView { cores, ipi_cost };
         let outcome = kernel.page_fault(pid, va, access, &mut view)?;
         let model = self.model;
         let mut cycles = match outcome.vm.kind {
@@ -555,8 +666,9 @@ impl Machine {
         // TLB entries that match the faulting address" (§3.2.3).
         let record = self.last_fault.expect("just latched");
         debug_assert!(record.status.is_domain_fault());
+        let ipi_cost = self.model.ipi;
         let (cores, kernel) = (&mut self.cores, &mut self.kernel);
-        let mut view = MachineTlbView { cores };
+        let mut view = MachineTlbView { cores, ipi_cost };
         kernel.domain_fault(record.far, &mut view);
         let cycles = self.model.exception;
         self.run_kernel_lines(core, FAULT_HANDLER_PAGE + 8, 40)?;
@@ -817,6 +929,36 @@ mod tests {
         let (_, l1d) = m.cores[0].caches.l1_stats();
         // The walker allocated into L1-D (PageWalk routes there).
         assert!(l1d.misses > 0);
+    }
+
+    #[test]
+    fn precise_shootdown_ipis_only_resident_cores() {
+        let (mut m, zygote) = machine(KernelConfig::stock());
+        for _ in 0..3 {
+            m.cores.push(Core::default());
+        }
+        // The zygote runs — and loads a non-global entry — on core 0
+        // only.
+        let va = VirtAddr::new(0x0900_0000);
+        m.access(0, va, AccessType::Write).unwrap();
+        let asid = m.kernel.mm(zygote).unwrap().asid;
+        assert!(m.cores[0].asid_resident(asid));
+        assert!(!m.cores[1].asid_resident(asid));
+        let ipi = m.model.ipi;
+        let cycles_before: Vec<u64> = m.cores.iter().map(|c| c.stats.cycles).collect();
+        m.tlb_view().flush_asid(asid);
+        // Core 0 took the IPI and lost the entry...
+        assert!(m.cores[0].main_tlb.probe(va, asid).is_none());
+        assert!(!m.cores[0].asid_resident(asid));
+        assert_eq!(m.cores[0].stats.cycles, cycles_before[0] + ipi);
+        assert_eq!(m.cores[0].main_tlb.stats().avoided_flushes, 0);
+        // ...while the cores that never held it were left alone: no
+        // flush work, no IPI cost, one avoided flush each.
+        for (core, &before) in m.cores.iter().zip(&cycles_before).skip(1) {
+            assert_eq!(core.stats.cycles, before);
+            assert_eq!(core.main_tlb.stats().avoided_flushes, 1);
+            assert_eq!(core.main_tlb.stats().entries_flushed, 0);
+        }
     }
 
     #[test]

@@ -53,6 +53,14 @@ pub struct CycleModel {
     /// One binder IPC call's kernel work, excluding the context
     /// switches and the cache/TLB activity, which are simulated.
     pub binder_call: u64,
+    /// Delivering one TLB-shootdown IPI to a remote core (interrupt
+    /// entry, invalidate, acknowledge). Charged per *targeted* core by
+    /// the precise-shootdown path; skipped cores pay nothing.
+    pub ipi: u64,
+    /// ASID generation rollover: allocator bookkeeping plus issuing
+    /// the machine-wide non-global flush (the flush's entry
+    /// invalidations are modeled by the TLBs themselves).
+    pub asid_rollover: u64,
     /// Number of kernel-text cache lines executed on a soft fault
     /// (drives the paper's L1-I pollution effect); together with
     /// `soft_fault` this lands a soft fault near the paper's ≈2,700
@@ -85,6 +93,11 @@ impl Default for CycleModel {
             context_switch: 3_500,
             exception: 700,
             binder_call: 6_000,
+            // Remote-shootdown and rollover costs, plausible A9
+            // magnitudes (numaPTE reports IPIs dominating imprecise
+            // shootdowns at scale).
+            ipi: 2_000,
+            asid_rollover: 4_000,
             fault_path_lines: 300,
             hard_fault_extra_lines: 500,
         }

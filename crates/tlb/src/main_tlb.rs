@@ -60,6 +60,11 @@ pub struct TlbStats {
     pub full_flushes: u64,
     /// Valid entries evicted by replacement.
     pub evictions: u64,
+    /// Flush requests a precise shootdown skipped because the target
+    /// ASID was never resident here (bumped via
+    /// [`MainTlb::note_avoided_flush`] by the machine layer — no TLB
+    /// operation runs).
+    pub avoided_flushes: u64,
 }
 
 impl TlbStats {
@@ -150,6 +155,13 @@ impl MainTlb {
     /// Resets the statistics (not the contents).
     pub fn reset_stats(&mut self) {
         self.stats = TlbStats::default();
+    }
+
+    /// Records that a precise shootdown skipped this TLB (the target
+    /// ASID was never resident on its core). Pure accounting: contents
+    /// and flush counters are untouched.
+    pub fn note_avoided_flush(&mut self) {
+        self.stats.avoided_flushes += 1;
     }
 
     /// Number of valid entries.
