@@ -18,7 +18,7 @@
 //! - `domain_fault` → flush the TLB entries matching the faulting
 //!   address (Section 3.2.3).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use sat_mmu::{Mapper, PtpStore};
 use sat_mmu::pte::PteSlot;
@@ -135,6 +135,22 @@ pub struct Kernel {
     /// has not been issued yet (allocation sites have no TLB handle;
     /// the flush is deferred to the next switch-in, as in Linux).
     rollover_flush_pending: bool,
+    /// Which process is current on each core, as reported by the
+    /// machine layer through [`Kernel::note_running`]. A process on a
+    /// core keeps executing — and keeps inserting TLB entries tagged
+    /// with its ASID — without ever re-entering the allocator, so a
+    /// rollover must treat these ASIDs specially (see
+    /// [`Kernel::reserved_asids`]).
+    running: BTreeMap<usize, Pid>,
+    /// ASID values reserved for the whole current generation: the
+    /// values held by processes that were running at the last
+    /// rollover. Those processes keep their value (their generation is
+    /// bumped in place, mirroring Linux's ARM rollover), and the
+    /// allocator skips the value when restarting the sequence — so a
+    /// recycled value can never alias a translation the still-running
+    /// owner inserts after the rollover flush. One bit per 8-bit
+    /// value.
+    reserved_asids: [u64; 4],
 }
 
 impl Kernel {
@@ -152,6 +168,8 @@ impl Kernel {
             next_asid: 1,
             asid_gens: HashMap::new(),
             rollover_flush_pending: false,
+            running: BTreeMap::new(),
+            reserved_asids: [0; 4],
         }
     }
 
@@ -173,32 +191,95 @@ impl Kernel {
 
     /// Allocates an 8-bit ASID, Linux-style: values 1..=255 are handed
     /// out sequentially within a generation; exhausting them bumps the
-    /// generation and restarts the sequence. A rollover marks every
-    /// live process's ASID stale (reassigned lazily at its next
-    /// switch-in, see [`Kernel::ensure_current_asid`]) and schedules
-    /// one non-global TLB flush, so recycled values can never match a
-    /// live translation. Global (zygote library) entries survive the
-    /// rollover flush — the paper's §3.2 benefit at scale.
+    /// generation and restarts the sequence (see [`Kernel::rollover`]).
+    /// A rollover marks every live *non-running* process's ASID stale
+    /// (reassigned lazily at its next switch-in, see
+    /// [`Kernel::ensure_current_asid`]), reserves the values of
+    /// running processes, and schedules one non-global TLB flush, so
+    /// recycled values can never match a live translation. Global
+    /// (zygote library) entries survive the rollover flush — the
+    /// paper's §3.2 benefit at scale.
     fn alloc_asid(&mut self) -> Asid {
-        if self.next_asid > 255 {
-            self.asid_generation += 1;
-            self.next_asid = 1;
-            self.rollover_flush_pending = true;
-            self.stats.asid_rollovers += 1;
-            if sat_obs::enabled() {
-                sat_obs::emit(
-                    sat_obs::Subsystem::Kernel,
-                    0,
-                    0,
-                    sat_obs::Payload::AsidRollover {
-                        generation: self.asid_generation,
-                    },
-                );
+        loop {
+            if self.next_asid > 255 {
+                self.rollover();
+            }
+            let value = self.next_asid as u8;
+            self.next_asid += 1;
+            // Values reserved by processes that were running at the
+            // last rollover are never reissued this generation.
+            if !self.asid_reserved(value) {
+                return Asid::new(value);
             }
         }
-        let asid = Asid::new(self.next_asid as u8);
-        self.next_asid += 1;
-        asid
+    }
+
+    /// Whether `value` is reserved for the current generation.
+    fn asid_reserved(&self, value: u8) -> bool {
+        let v = value as usize;
+        self.reserved_asids[v / 64] & (1 << (v % 64)) != 0
+    }
+
+    /// The 8-bit space is exhausted: bump the generation and schedule
+    /// the deferred non-global flush. Mirroring Linux's ARM rollover,
+    /// every process currently on a core keeps its ASID: its value is
+    /// reserved (the allocator skips it for the whole new generation)
+    /// and its generation is bumped in place, so it is never treated
+    /// as stale. The aliasing argument: a *running* process may insert
+    /// entries tagged with its value even after the rollover flush,
+    /// but that value is never reissued; a *non-running* process
+    /// cannot insert entries until its next switch-in, which
+    /// reassigns it first — so everything tagged with a recycled
+    /// value predates the rollover and is removed by the flush before
+    /// the new owner can run.
+    fn rollover(&mut self) {
+        self.asid_generation += 1;
+        self.next_asid = 1;
+        self.rollover_flush_pending = true;
+        self.stats.asid_rollovers += 1;
+        self.reserved_asids = [0; 4];
+        assert!(
+            self.running.len() < 255,
+            "more running processes than ASID values"
+        );
+        let running: Vec<Pid> = self.running.values().copied().collect();
+        for pid in running {
+            if let Some(mm) = self.procs.get(&pid) {
+                let v = mm.asid.raw() as usize;
+                self.reserved_asids[v / 64] |= 1 << (v % 64);
+                self.asid_gens.insert(pid, self.asid_generation);
+            }
+        }
+        if sat_obs::enabled() {
+            sat_obs::emit(
+                sat_obs::Subsystem::Kernel,
+                0,
+                0,
+                sat_obs::Payload::AsidRollover {
+                    generation: self.asid_generation,
+                },
+            );
+        }
+    }
+
+    /// Reports that `pid` is now current on `core`; the machine layer
+    /// calls this on every context switch. A rollover reserves the
+    /// ASIDs of the processes recorded here — they keep running (and
+    /// filling TLBs) with their value without passing through the
+    /// allocator, so the value must not be reissued until a flush
+    /// separates the two owners.
+    pub fn note_running(&mut self, core: usize, pid: Pid) {
+        self.running.insert(core, pid);
+    }
+
+    /// True when `pid`'s ASID predates the current generation. Every
+    /// TLB entry tagged with a stale value predates the rollover (the
+    /// owner has not run since — running processes are re-generationed
+    /// in place), so the rollover flush covers them: already issued,
+    /// or pending and guaranteed to fire at the next switch-in before
+    /// the recycled value can be consumed.
+    pub fn asid_is_stale(&self, pid: Pid) -> bool {
+        self.asid_gens.get(&pid).copied().unwrap_or(0) != self.asid_generation
     }
 
     /// The current ASID generation (starts at 1).
@@ -225,7 +306,12 @@ impl Kernel {
         if !self.procs.contains_key(&pid) {
             return Err(SatError::NoSuchProcess);
         }
-        if self.asid_gens.get(&pid).copied().unwrap_or(0) != self.asid_generation {
+        if self.asid_is_stale(pid) {
+            // No entry tagged with the old value can outlive this
+            // reassignment: the pid has not run since the rollover
+            // (running pids kept their generation), so its entries
+            // predate the rollover flush — already issued, or issued
+            // just below before the pid executes.
             let asid = self.alloc_asid();
             let generation = self.asid_generation;
             let mm = self.procs.get_mut(&pid).ok_or(SatError::NoSuchProcess)?;
@@ -649,12 +735,20 @@ impl Kernel {
     /// dereferenced, not reclaimed, when other sharers remain (case
     /// 5).
     pub fn exit(&mut self, pid: Pid, tlb: &mut dyn TlbMaintenance) -> SatResult<()> {
+        let stale = self.asid_is_stale(pid);
         let mut mm = self.procs.remove(&pid).ok_or(SatError::NoSuchProcess)?;
         exit_mmap(&mut mm, &mut self.ptps, &mut self.phys);
-        sat_obs::with_flush_reason(sat_obs::FlushReason::Exit, || {
-            tlb.flush_asid(mm.asid);
-        });
+        if !stale {
+            sat_obs::with_flush_reason(sat_obs::FlushReason::Exit, || {
+                tlb.flush_asid(mm.asid);
+            });
+        }
+        // A stale generation's entries are covered by the rollover
+        // flush; flushing the raw value here would only hit — and
+        // charge shootdown IPIs to — a new-generation process that
+        // was reissued the same value.
         self.asid_gens.remove(&pid);
+        self.running.retain(|_, p| *p != pid);
         let asid = mm.asid.raw();
         mm.free_root(&mut self.phys);
         self.stats.exits += 1;
@@ -992,6 +1086,62 @@ mod tests {
         let again = k.ensure_current_asid(parent, &mut tlb).unwrap();
         assert_eq!(again, after);
         assert_eq!(tlb.non_global_flushes, 1);
+    }
+
+    /// The high-severity aliasing window: a process current on a core
+    /// over a rollover keeps running with its ASID, so the allocator
+    /// must reserve that value instead of reissuing it.
+    #[test]
+    fn running_process_keeps_its_asid_across_rollover() {
+        let mut k = Kernel::new(KernelConfig::stock(), 16_384);
+        let p = k.create_process().unwrap();
+        assert_eq!(k.mm(p).unwrap().asid.raw(), 1);
+        k.note_running(0, p);
+        let mut tlb = CountingTlb::default();
+        for _ in 0..300 {
+            let c = k.fork(p).unwrap().child;
+            if k.asid_generation() > 1 {
+                assert_ne!(
+                    k.mm(c).unwrap().asid.raw(),
+                    1,
+                    "reserved value reissued while its owner is running"
+                );
+            }
+            k.exit(c, &mut tlb).unwrap();
+        }
+        assert_eq!(k.stats.asid_rollovers, 1);
+        // Reserved in place: same value, current generation; the
+        // switch-in hook fires the deferred flush but does not
+        // reassign.
+        assert!(!k.asid_is_stale(p));
+        let asid = k.ensure_current_asid(p, &mut tlb).unwrap();
+        assert_eq!(asid.raw(), 1);
+        assert_eq!(tlb.non_global_flushes, 1);
+    }
+
+    /// A stale-generation exit must not flush (or IPI) by raw ASID
+    /// value: the rollover flush already covers its entries, and the
+    /// value may since have been reissued to a live process.
+    #[test]
+    fn stale_generation_exit_skips_the_per_asid_flush() {
+        let mut k = Kernel::new(KernelConfig::stock(), 16_384);
+        let keeper = k.create_process().unwrap(); // value 1, gen 1
+        let victim = k.create_process().unwrap(); // value 2, gen 1
+        let mut tlb = CountingTlb::default();
+        // Burn the rest of the space to force a rollover.
+        for _ in 0..254 {
+            let c = k.fork(keeper).unwrap().child;
+            k.exit(c, &mut tlb).unwrap();
+        }
+        assert_eq!(k.stats.asid_rollovers, 1);
+        assert!(k.asid_is_stale(victim));
+        let flushes_before = tlb.asid_flushes;
+        k.exit(victim, &mut tlb).unwrap();
+        assert_eq!(tlb.asid_flushes, flushes_before, "stale exit over-flushed");
+        // A current-generation exit still flushes its value.
+        k.ensure_current_asid(keeper, &mut tlb).unwrap();
+        k.exit(keeper, &mut tlb).unwrap();
+        assert_eq!(tlb.asid_flushes, flushes_before + 1);
     }
 
     #[test]

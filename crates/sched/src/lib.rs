@@ -515,6 +515,7 @@ mod tests {
 
     #[test]
     fn precise_shootdowns_skip_cores_under_churn() {
+        sat_obs::install(1 << 16);
         let opts = TimeshareOptions {
             rounds: 4,
             quantum_events: 60,
@@ -522,12 +523,30 @@ mod tests {
             ..TimeshareOptions::new(4)
         };
         let r = run_timeshare(KernelConfig::shared_ptp_tlb(), opts).unwrap();
-        // Churned exits shoot down ASIDs that ran on one core at most:
-        // the other cores are skipped, not flushed.
-        assert!(r.avoided_flushes > 0, "no shootdown ever skipped a core");
+        let rec = sat_obs::uninstall().expect("recorder installed above");
+        let cores = opts.cores as u64;
+
+        // Counter-verify against the shootdown metrics (exact even on
+        // ring overflow): every `flush_asid` resolves each core to an
+        // IPI or a skip, and both sides reconcile with the machine's
+        // own counters.
+        let calls = rec.metrics.counter("tlb.shootdown");
+        assert!(calls > 0, "the run never issued a flush_asid shootdown");
+        assert_eq!(rec.metrics.counter("tlb.shootdown.cores"), r.shootdown_ipis);
+        assert_eq!(rec.metrics.counter("tlb.shootdown.skipped"), r.avoided_flushes);
+        assert_eq!(
+            r.shootdown_ipis + r.avoided_flushes,
+            calls * cores,
+            "every shootdown must resolve each core exactly once"
+        );
+        // A broadcast flush would IPI every core on every call;
+        // precise shootdown must deliver strictly fewer IPIs.
+        let broadcast_ipis = calls * cores;
         assert!(
-            r.shootdown_ipis < r.shootdown_ipis + r.avoided_flushes,
-            "precise shootdown must IPI fewer cores than broadcast"
+            r.shootdown_ipis < broadcast_ipis,
+            "precise shootdown must IPI fewer cores than broadcast \
+             ({} vs {broadcast_ipis})",
+            r.shootdown_ipis
         );
     }
 

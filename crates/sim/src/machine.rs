@@ -247,15 +247,14 @@ impl Machine {
     /// per configuration — a full main-TLB flush (no ASIDs, or the
     /// flush-on-switch protection scheme for shared TLB entries).
     pub fn context_switch(&mut self, core: usize, pid: Pid) -> SatResult<()> {
-        if self.cores[core].current == Some(pid) {
-            return Ok(());
-        }
-        let prev = self.cores[core].current;
-        let config = self.kernel.config;
         // Lazy ASID reassignment: if the allocator's generation rolled
         // over since `pid` last ran, it gets a fresh ASID here, and
         // the deferred machine-wide non-global flush fires before it
-        // executes (global zygote entries survive).
+        // executes (global zygote entries survive). This runs even
+        // when `pid` is already current — a core whose sole runnable
+        // process stays current across a rollover must still validate
+        // its generation and fire the pending flush before executing
+        // again.
         let rollovers_before = self.kernel.stats.asid_rollovers;
         let flush_was_pending = self.kernel.rollover_flush_pending();
         {
@@ -267,6 +266,16 @@ impl Machine {
         if flush_was_pending || self.kernel.stats.asid_rollovers > rollovers_before {
             self.cores[core].stats.cycles += self.model.asid_rollover;
         }
+        // The allocator reserves the ASIDs of on-core processes at
+        // rollover time.
+        self.kernel.note_running(core, pid);
+        if self.cores[core].current == Some(pid) {
+            // Already current: the generation check above is all the
+            // re-schedule needs; skip the architectural switch work.
+            return Ok(());
+        }
+        let prev = self.cores[core].current;
+        let config = self.kernel.config;
         let c = &mut self.cores[core];
         sat_obs::with_flush_reason(sat_obs::FlushReason::ContextSwitch, || {
             c.micro_i.flush();
@@ -392,16 +401,22 @@ impl Machine {
         let outcome = self.kernel.fork(parent)?;
         // Fork write-protects parent PTEs (for COW and/or shared
         // PTPs); stale writable translations cached before the fork
-        // must not survive it (Linux: flush_tlb_mm in dup_mmap).
-        let parent_asid = self.kernel.mm(parent)?.asid;
+        // must not survive it (Linux: flush_tlb_mm in dup_mmap). If
+        // the parent's generation is stale (possibly rolled over by
+        // this very fork), the rollover flush covers its entries —
+        // flushing the raw value would only hit a same-valued
+        // new-generation process.
         let ipi_cost = self.model.ipi;
-        sat_obs::with_flush_reason(sat_obs::FlushReason::Fork, || {
-            MachineTlbView {
-                cores: &mut self.cores,
-                ipi_cost,
-            }
-            .flush_asid(parent_asid);
-        });
+        if !self.kernel.asid_is_stale(parent) {
+            let parent_asid = self.kernel.mm(parent)?.asid;
+            sat_obs::with_flush_reason(sat_obs::FlushReason::Fork, || {
+                MachineTlbView {
+                    cores: &mut self.cores,
+                    ipi_cost,
+                }
+                .flush_asid(parent_asid);
+            });
+        }
         // The child's allocation may have exhausted the ASID space:
         // apply the deferred rollover flush now (and refresh the
         // parent's own ASID) rather than leaving it pending while the
@@ -959,6 +974,45 @@ mod tests {
             assert_eq!(core.main_tlb.stats().avoided_flushes, 1);
             assert_eq!(core.main_tlb.stats().entries_flushed, 0);
         }
+    }
+
+    /// The rollover-aliasing regression: a process left current on a
+    /// core across a generation rollover keeps running with its ASID,
+    /// so that value must be reserved (never reissued), and
+    /// re-scheduling the same pid must still fire the deferred flush.
+    #[test]
+    fn current_process_survives_rollover_without_aliasing() {
+        let (mut m, zygote) = machine(KernelConfig::stock());
+        // The zygote is current on core 0 and holds a non-global heap
+        // entry there.
+        let heap = VirtAddr::new(0x0900_0000);
+        m.access(0, heap, AccessType::Write).unwrap();
+        let asid_before = m.kernel.mm(zygote).unwrap().asid;
+        // Burn through the ASID space behind its back (syscall-level
+        // fork/exit never passes through context_switch).
+        for _ in 0..300 {
+            let child = m.syscall(|k, _| k.fork(zygote)).unwrap().child;
+            if m.kernel.asid_generation() > 1 {
+                assert_ne!(
+                    m.kernel.mm(child).unwrap().asid,
+                    asid_before,
+                    "recycled value collided with the on-core zygote"
+                );
+            }
+            m.syscall(|k, tlb| k.exit(child, tlb)).unwrap();
+        }
+        assert!(m.kernel.stats.asid_rollovers >= 1);
+        // Running at the rollover: value kept, generation current.
+        assert_eq!(m.kernel.mm(zygote).unwrap().asid, asid_before);
+        assert!(!m.kernel.asid_is_stale(zygote));
+        // Re-scheduling the already-current pid fires the pending
+        // flush (the early-return path must not skip it).
+        assert!(m.kernel.rollover_flush_pending());
+        m.context_switch(0, zygote).unwrap();
+        assert!(!m.kernel.rollover_flush_pending());
+        // And a fresh process can never be issued the reserved value.
+        let fresh = m.syscall(|k, _| k.create_process()).unwrap();
+        assert_ne!(m.kernel.mm(fresh).unwrap().asid, asid_before);
     }
 
     #[test]
