@@ -143,8 +143,20 @@ pub fn run_binder_benchmark(
         // code, then trap into the kernel binder path.
         sys.machine.context_switch(0, client)?;
         let c0 = snapshot(sys);
-        walk_pages(sys, binder_base, opts.binder_pages, &mut client_cursor, opts.pages_per_call)?;
-        walk_pages(sys, client_base, opts.client_pages, &mut client_cursor, opts.pages_per_call / 2)?;
+        walk_pages(
+            sys,
+            binder_base,
+            opts.binder_pages,
+            &mut client_cursor,
+            opts.pages_per_call,
+        )?;
+        walk_pages(
+            sys,
+            client_base,
+            opts.client_pages,
+            &mut client_cursor,
+            opts.pages_per_call / 2,
+        )?;
         sys.machine
             .run_kernel_lines(0, sat_sim::machine::BINDER_PATH_PAGE, 120)?;
         let c1 = snapshot(sys);
@@ -158,8 +170,20 @@ pub fn run_binder_benchmark(
         // vs 19%).
         sys.machine.context_switch(0, server)?;
         let s0 = snapshot(sys);
-        walk_pages(sys, binder_base, opts.binder_pages, &mut server_cursor, opts.pages_per_call / 2)?;
-        walk_pages(sys, server_base, opts.server_pages, &mut server_cursor, opts.pages_per_call)?;
+        walk_pages(
+            sys,
+            binder_base,
+            opts.binder_pages,
+            &mut server_cursor,
+            opts.pages_per_call / 2,
+        )?;
+        walk_pages(
+            sys,
+            server_base,
+            opts.server_pages,
+            &mut server_cursor,
+            opts.pages_per_call,
+        )?;
         sys.machine
             .run_kernel_lines(0, sat_sim::machine::BINDER_PATH_PAGE, 100)?;
         let s1 = snapshot(sys);
@@ -205,8 +229,11 @@ fn map_private(
 
 fn touch_range(sys: &mut AndroidSystem, base: VirtAddr, pages: u32) -> SatResult<()> {
     for p in 0..pages {
-        sys.machine
-            .access(0, VirtAddr::new(base.raw() + p * PAGE_SIZE), AccessType::Execute)?;
+        sys.machine.access(
+            0,
+            VirtAddr::new(base.raw() + p * PAGE_SIZE),
+            AccessType::Execute,
+        )?;
     }
     Ok(())
 }

@@ -136,7 +136,12 @@ pub fn launch_page_set(sys: &AndroidSystem, opts: &LaunchOptions, seq: u64) -> V
 /// validates the pairing in exported traces.
 pub(crate) fn span_begin(sys: &AndroidSystem, pid: sat_types::Pid, name: &'static str) {
     if sat_obs::enabled() {
-        let asid = sys.machine.kernel.mm(pid).map(|m| m.asid.raw()).unwrap_or(0);
+        let asid = sys
+            .machine
+            .kernel
+            .mm(pid)
+            .map(|m| m.asid.raw())
+            .unwrap_or(0);
         sat_obs::emit(
             sat_obs::Subsystem::Android,
             pid.raw(),
@@ -152,7 +157,12 @@ pub(crate) fn span_begin(sys: &AndroidSystem, pid: sat_types::Pid, name: &'stati
 /// core 0.
 pub(crate) fn span_end(sys: &AndroidSystem, pid: sat_types::Pid, name: &'static str, cycles: u64) {
     if sat_obs::enabled() {
-        let asid = sys.machine.kernel.mm(pid).map(|m| m.asid.raw()).unwrap_or(0);
+        let asid = sys
+            .machine
+            .kernel
+            .mm(pid)
+            .map(|m| m.asid.raw())
+            .unwrap_or(0);
         sat_obs::emit(
             sat_obs::Subsystem::Android,
             pid.raw(),
@@ -226,8 +236,11 @@ pub fn launch_app_seq(
     for _ in 0..opts.ipcs {
         // Client side: call into libbinder.
         for p in 0..4u32 {
-            sys.machine
-                .access(0, VirtAddr::new(binder_base.raw() + p * PAGE_SIZE), AccessType::Execute)?;
+            sys.machine.access(
+                0,
+                VirtAddr::new(binder_base.raw() + p * PAGE_SIZE),
+                AccessType::Execute,
+            )?;
         }
         sys.machine
             .run_kernel_lines(0, sat_sim::machine::BINDER_PATH_PAGE, 160)?;
@@ -284,8 +297,11 @@ pub fn launch_app_seq(
     .at(heap_base);
     sys.machine.syscall(|k, tlb| k.mmap(pid, &heap, tlb))?;
     for p in 0..opts.heap_pages {
-        sys.machine
-            .access(0, VirtAddr::new(heap_base.raw() + p * PAGE_SIZE), AccessType::Write)?;
+        sys.machine.access(
+            0,
+            VirtAddr::new(heap_base.raw() + p * PAGE_SIZE),
+            AccessType::Write,
+        )?;
     }
 
     span_end(sys, pid, "launch.heap", core0_cycles(sys) - phase0);
@@ -336,7 +352,10 @@ mod tests {
                 .collect();
         let inherited = a.iter().filter(|p| preload.contains(p)).count();
         let frac = inherited as f64 / a.len() as f64;
-        assert!((frac - opts.inherited_fraction).abs() < 0.05, "inherited {frac}");
+        assert!(
+            (frac - opts.inherited_fraction).abs() < 0.05,
+            "inherited {frac}"
+        );
     }
 
     #[test]

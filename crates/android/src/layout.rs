@@ -213,9 +213,18 @@ mod tests {
         let libs: Vec<LibId> = catalog.zygote_native[..2].to_vec();
         let map = LibraryMap::place(&catalog, &libs, LibraryLayout::Original);
         let va = map
-            .code_page_va(CodePage::Lib { lib: libs[0], page: 3 }, VirtAddr::new(0))
+            .code_page_va(
+                CodePage::Lib {
+                    lib: libs[0],
+                    page: 3,
+                },
+                VirtAddr::new(0),
+            )
             .unwrap();
-        assert_eq!(va.raw(), map.code_base(libs[0]).unwrap().raw() + 3 * PAGE_SIZE);
+        assert_eq!(
+            va.raw(),
+            map.code_base(libs[0]).unwrap().raw() + 3 * PAGE_SIZE
+        );
         let private = map
             .code_page_va(CodePage::Private { page: 2 }, VirtAddr::new(0xA000_0000))
             .unwrap();

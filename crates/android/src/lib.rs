@@ -24,6 +24,8 @@ pub mod layout;
 pub mod system;
 
 pub use ipc::{run_binder_benchmark, BinderOptions, BinderReport};
-pub use launch::{launch_app, launch_app_seq, launch_data_libs, launch_page_set, LaunchOptions, LaunchReport};
+pub use launch::{
+    launch_app, launch_app_seq, launch_data_libs, launch_page_set, LaunchOptions, LaunchReport,
+};
 pub use layout::{LibraryLayout, LibraryMap};
 pub use system::{AndroidSystem, BootOptions, RunningApp, SteadyReport};

@@ -12,8 +12,8 @@ use sat_trace::{
     zygote_preload_pages, AppProfile, Catalog, CodePage, FetchEvent, FetchStream, LibId,
 };
 use sat_types::{
-    AccessType, Perms, Pid, SatError, SatResult, VirtAddr, KERNEL_SPACE_START,
-    PAGE_SHIFT, PAGE_SIZE,
+    AccessType, Perms, Pid, SatError, SatResult, VirtAddr, KERNEL_SPACE_START, PAGE_SHIFT,
+    PAGE_SIZE,
 };
 use sat_vm::MmapRequest;
 
@@ -143,9 +143,10 @@ impl AndroidSystem {
         let mut lib_files = HashMap::new();
         for (i, lib) in catalog.libs.iter().enumerate() {
             let id = LibId(i as u32);
-            let f = kernel
-                .files
-                .register(lib.name.clone(), (lib.code_pages + lib.data_pages) * PAGE_SIZE);
+            let f = kernel.files.register(
+                lib.name.clone(),
+                (lib.code_pages + lib.data_pages) * PAGE_SIZE,
+            );
             lib_files.insert(id, f);
         }
 
@@ -194,8 +195,11 @@ impl AndroidSystem {
             let base = sys.map.data_base(lib).expect("preloaded lib mapped");
             let pages = sys.catalog.lib(lib).data_pages.min(opts.data_pages_per_lib);
             for p in 0..pages {
-                sys.machine
-                    .access(0, VirtAddr::new(base.raw() + p * PAGE_SIZE), AccessType::Write)?;
+                sys.machine.access(
+                    0,
+                    VirtAddr::new(base.raw() + p * PAGE_SIZE),
+                    AccessType::Write,
+                )?;
             }
         }
 
@@ -212,8 +216,11 @@ impl AndroidSystem {
             .at(base);
             sys.machine.syscall(|k, tlb| k.mmap(zygote, &req, tlb))?;
             for p in 0..opts.anon_pages_each {
-                sys.machine
-                    .access(0, VirtAddr::new(base.raw() + p * PAGE_SIZE), AccessType::Write)?;
+                sys.machine.access(
+                    0,
+                    VirtAddr::new(base.raw() + p * PAGE_SIZE),
+                    AccessType::Write,
+                )?;
             }
         }
 
@@ -227,8 +234,11 @@ impl AndroidSystem {
         .at(VirtAddr::new(STACK_BASE));
         sys.machine.syscall(|k, tlb| k.mmap(zygote, &stack, tlb))?;
         for p in 0..7 {
-            sys.machine
-                .access(0, VirtAddr::new(STACK_BASE + p * PAGE_SIZE), AccessType::Write)?;
+            sys.machine.access(
+                0,
+                VirtAddr::new(STACK_BASE + p * PAGE_SIZE),
+                AccessType::Write,
+            )?;
         }
         Ok(sys)
     }
@@ -303,9 +313,7 @@ impl AndroidSystem {
             let base = self.map_library(pid, lib, Some(VirtAddr::new(cursor)))?;
             other_code.insert(lib, base);
             let spec = self.catalog.lib(lib);
-            cursor = base.raw()
-                + ((spec.code_pages + spec.data_pages) << PAGE_SHIFT)
-                + PAGE_SIZE;
+            cursor = base.raw() + ((spec.code_pages + spec.data_pages) << PAGE_SHIFT) + PAGE_SIZE;
         }
         // The app's own AOT-compiled image (private code).
         let private_pages = profile
@@ -403,7 +411,8 @@ impl AndroidSystem {
             &format!("content-{app_index}.dat"),
         )
         .at(content_base);
-        self.machine.syscall(|k, tlb| k.mmap(pid, &content_req, tlb))?;
+        self.machine
+            .syscall(|k, tlb| k.mmap(pid, &content_req, tlb))?;
         let kernel_pct = self.apps[slot].profile.spec.kernel_fetch_pct;
         let content_every = (28.0 - kernel_pct / 2.0).max(4.0) as usize;
         let mut content_cursor = 0u32;

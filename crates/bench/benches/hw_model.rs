@@ -7,7 +7,7 @@ use sat_cache::{Cache, CacheConfig};
 use sat_mmu::{walk, HwPte, Mapper, PtpStore, RootTable, SwPte};
 use sat_phys::{FrameKind, PhysMem};
 use sat_tlb::{MainTlb, TlbEntry};
-use sat_types::{Asid, Domain, PageSize, Perms, PhysAddr, Pfn, VirtAddr, PAGE_SIZE};
+use sat_types::{Asid, Domain, PageSize, Perms, Pfn, PhysAddr, VirtAddr, PAGE_SIZE};
 
 fn filled_tlb() -> MainTlb {
     let mut tlb = MainTlb::default();
@@ -16,7 +16,11 @@ fn filled_tlb() -> MainTlb {
             TlbEntry {
                 va_base: VirtAddr::new(0x4000_0000 + i * PAGE_SIZE),
                 size: PageSize::Small4K,
-                asid: if i % 4 == 0 { None } else { Some(Asid::new((i % 7 + 1) as u8)) },
+                asid: if i % 4 == 0 {
+                    None
+                } else {
+                    Some(Asid::new((i % 7 + 1) as u8))
+                },
                 pfn: Pfn::new(0x100 + i),
                 perms: Perms::RX,
                 domain: Domain::USER,
@@ -34,7 +38,10 @@ fn bench_tlb(c: &mut Criterion) {
         let mut i = 0u32;
         b.iter(|| {
             i = (i + 13) % 128;
-            tlb.lookup(VirtAddr::new(0x4000_0000 + i * PAGE_SIZE), Asid::new((i % 7 + 1) as u8))
+            tlb.lookup(
+                VirtAddr::new(0x4000_0000 + i * PAGE_SIZE),
+                Asid::new((i % 7 + 1) as u8),
+            )
         });
     });
     g.bench_function("lookup_miss", |b| {

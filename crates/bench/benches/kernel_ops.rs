@@ -16,13 +16,23 @@ fn boot(config: KernelConfig) -> (Kernel, Pid) {
     let lib = k.files.register("lib.so", 64 * PAGE_SIZE);
     k.mmap(
         z,
-        &MmapRequest::file(64 * PAGE_SIZE, Perms::RX, lib, 0, RegionTag::ZygoteNativeCode, "lib.so")
-            .at(VirtAddr::new(0x4000_0000)),
+        &MmapRequest::file(
+            64 * PAGE_SIZE,
+            Perms::RX,
+            lib,
+            0,
+            RegionTag::ZygoteNativeCode,
+            "lib.so",
+        )
+        .at(VirtAddr::new(0x4000_0000)),
         &mut NoTlb,
     )
     .unwrap();
-    k.populate(z, VaRange::from_len(VirtAddr::new(0x4000_0000), 64 * PAGE_SIZE))
-        .unwrap();
+    k.populate(
+        z,
+        VaRange::from_len(VirtAddr::new(0x4000_0000), 64 * PAGE_SIZE),
+    )
+    .unwrap();
     k.mmap(
         z,
         &MmapRequest::anon(32 * PAGE_SIZE, Perms::RW, RegionTag::Heap, "[heap]")
@@ -31,8 +41,13 @@ fn boot(config: KernelConfig) -> (Kernel, Pid) {
     )
     .unwrap();
     for i in 0..32 {
-        k.page_fault(z, VirtAddr::new(0x0800_0000 + i * PAGE_SIZE), AccessType::Write, &mut NoTlb)
-            .unwrap();
+        k.page_fault(
+            z,
+            VirtAddr::new(0x0800_0000 + i * PAGE_SIZE),
+            AccessType::Write,
+            &mut NoTlb,
+        )
+        .unwrap();
     }
     (k, z)
 }
@@ -63,13 +78,24 @@ fn bench_fault(c: &mut Criterion) {
             || {
                 let (mut k, z) = boot(KernelConfig::stock());
                 // Clear the code PTEs so refills are soft faults.
-                k.munmap(z, VaRange::from_len(VirtAddr::new(0x4000_0000), 64 * PAGE_SIZE), &mut NoTlb)
-                    .unwrap();
+                k.munmap(
+                    z,
+                    VaRange::from_len(VirtAddr::new(0x4000_0000), 64 * PAGE_SIZE),
+                    &mut NoTlb,
+                )
+                .unwrap();
                 let lib = k.files.find("lib.so").unwrap();
                 k.mmap(
                     z,
-                    &MmapRequest::file(64 * PAGE_SIZE, Perms::RX, lib, 0, RegionTag::ZygoteNativeCode, "lib.so")
-                        .at(VirtAddr::new(0x4000_0000)),
+                    &MmapRequest::file(
+                        64 * PAGE_SIZE,
+                        Perms::RX,
+                        lib,
+                        0,
+                        RegionTag::ZygoteNativeCode,
+                        "lib.so",
+                    )
+                    .at(VirtAddr::new(0x4000_0000)),
                     &mut NoTlb,
                 )
                 .unwrap();
@@ -78,7 +104,8 @@ fn bench_fault(c: &mut Criterion) {
             |(k, z, i)| {
                 let va = VirtAddr::new(0x4000_0000 + (*i % 64) * PAGE_SIZE);
                 *i += 1;
-                k.page_fault(*z, va, AccessType::Execute, &mut NoTlb).unwrap()
+                k.page_fault(*z, va, AccessType::Execute, &mut NoTlb)
+                    .unwrap()
             },
             BatchSize::SmallInput,
         );
@@ -94,7 +121,8 @@ fn bench_fault(c: &mut Criterion) {
             |(k, child, i)| {
                 let va = VirtAddr::new(0x0800_0000 + (*i % 32) * PAGE_SIZE);
                 *i += 1;
-                k.page_fault(*child, va, AccessType::Write, &mut NoTlb).unwrap()
+                k.page_fault(*child, va, AccessType::Write, &mut NoTlb)
+                    .unwrap()
             },
             BatchSize::SmallInput,
         );
@@ -114,8 +142,13 @@ fn bench_share_unshare(c: &mut Criterion) {
                 (k, child)
             },
             |(k, child)| {
-                k.page_fault(*child, VirtAddr::new(0x0800_0000), AccessType::Write, &mut NoTlb)
-                    .unwrap()
+                k.page_fault(
+                    *child,
+                    VirtAddr::new(0x0800_0000),
+                    AccessType::Write,
+                    &mut NoTlb,
+                )
+                .unwrap()
             },
             BatchSize::SmallInput,
         );
@@ -130,8 +163,13 @@ fn bench_share_unshare(c: &mut Criterion) {
                 (k, z)
             },
             |(k, z)| {
-                k.page_fault(*z, VirtAddr::new(0x0800_0000), AccessType::Write, &mut NoTlb)
-                    .unwrap()
+                k.page_fault(
+                    *z,
+                    VirtAddr::new(0x0800_0000),
+                    AccessType::Write,
+                    &mut NoTlb,
+                )
+                .unwrap()
             },
             BatchSize::SmallInput,
         );

@@ -2,14 +2,23 @@ use sat_android::*;
 use sat_core::KernelConfig;
 fn main() {
     for layout in [LibraryLayout::Original, LibraryLayout::Aligned2Mb] {
-        let mut sys = AndroidSystem::boot(KernelConfig::shared_ptp(), layout, 1, 11, BootOptions::paper()).unwrap();
+        let mut sys = AndroidSystem::boot(
+            KernelConfig::shared_ptp(),
+            layout,
+            1,
+            11,
+            BootOptions::paper(),
+        )
+        .unwrap();
         let spec = &sat_trace::app_specs()[0];
         let p = sat_trace::AppProfile::generate(&sys.catalog, spec, 0, 1);
         let (pid, _) = launch_app(&mut sys, &LaunchOptions::paper()).unwrap();
         let slot = sys.attach_app(pid, p).unwrap();
         sys.run_steady(slot, 20_000).unwrap();
         let r = sys.steady_report(slot).unwrap();
-        println!("{layout:?}: shared {} / total {} | unshares {} | alloc {} | faults {}",
-            r.ptps_shared_now, r.ptps_total_now, r.unshares, r.ptps_allocated, r.file_faults);
+        println!(
+            "{layout:?}: shared {} / total {} | unshares {} | alloc {} | faults {}",
+            r.ptps_shared_now, r.ptps_total_now, r.unshares, r.ptps_allocated, r.file_faults
+        );
     }
 }

@@ -34,7 +34,8 @@ pub fn ablation_unshare(scale: Scale) -> SatResult<String> {
             copy_on_unshare: policy,
             ..KernelConfig::shared_ptp()
         };
-        let mut sys = AndroidSystem::boot(config, LibraryLayout::Original, SEED, 11, boot_opts(scale))?;
+        let mut sys =
+            AndroidSystem::boot(config, LibraryLayout::Original, SEED, 11, boot_opts(scale))?;
         let p = profiles(&sys, scale).remove(0);
         let (pid, _) = launch_app(&mut sys, &launch_opts(scale))?;
         let slot = sys.attach_app(pid, p)?;
@@ -60,12 +61,16 @@ pub fn ablation_hw_assist(scale: Scale) -> SatResult<String> {
         "Ablation: level-1 write-protect hardware assist",
         &["Kernel", "fork cycles (x10^6)", "write-protect ops at fork"],
     );
-    for (label, l1_wp) in [("ARM (per-PTE pass)", false), ("Hypothetical L1 assist", true)] {
+    for (label, l1_wp) in [
+        ("ARM (per-PTE pass)", false),
+        ("Hypothetical L1 assist", true),
+    ] {
         let config = KernelConfig {
             l1_write_protect: l1_wp,
             ..KernelConfig::shared_ptp()
         };
-        let mut sys = AndroidSystem::boot(config, LibraryLayout::Original, SEED, 11, boot_opts(scale))?;
+        let mut sys =
+            AndroidSystem::boot(config, LibraryLayout::Original, SEED, 11, boot_opts(scale))?;
         let (outcome, cycles) = sys.machine.fork(0, sys.zygote)?;
         t.row(vec![
             label.to_string(),
@@ -94,11 +99,13 @@ pub fn ablation_stack(scale: Scale) -> SatResult<String> {
             share_stack,
             ..KernelConfig::shared_ptp()
         };
-        let mut sys = AndroidSystem::boot(config, LibraryLayout::Original, SEED, 11, boot_opts(scale))?;
+        let mut sys =
+            AndroidSystem::boot(config, LibraryLayout::Original, SEED, 11, boot_opts(scale))?;
         let (outcome, _) = sys.machine.fork(0, sys.zygote)?;
         sys.machine.context_switch(0, outcome.child)?;
         // The child touches its stack immediately.
-        sys.machine.access(0, VirtAddr::new(0xBF00_0000), AccessType::Write)?;
+        sys.machine
+            .access(0, VirtAddr::new(0xBF00_0000), AccessType::Write)?;
         let unshares = sys.machine.kernel.mm(outcome.child)?.counters.ptps_unshared;
         t.row(vec![
             label.to_string(),
@@ -178,14 +185,20 @@ pub fn ablation_tlb_protection(scale: Scale) -> SatResult<String> {
             sys.machine.context_switch(0, app)?;
             let s0 = sys.machine.cores[0].stats.inst_main_tlb_stall_cycles;
             for p in 0..16u32 {
-                sys.machine
-                    .access(0, VirtAddr::new(lib_base.raw() + p * PAGE_SIZE), AccessType::Execute)?;
+                sys.machine.access(
+                    0,
+                    VirtAddr::new(lib_base.raw() + p * PAGE_SIZE),
+                    AccessType::Execute,
+                )?;
             }
             app_stall += sys.machine.cores[0].stats.inst_main_tlb_stall_cycles - s0;
             sys.machine.context_switch(0, daemon)?;
             for p in 0..8u32 {
-                sys.machine
-                    .access(0, VirtAddr::new(lib_base.raw() + p * PAGE_SIZE), AccessType::Execute)?;
+                sys.machine.access(
+                    0,
+                    VirtAddr::new(lib_base.raw() + p * PAGE_SIZE),
+                    AccessType::Execute,
+                )?;
             }
         }
         let _ = stall0;
@@ -223,7 +236,10 @@ mod tests {
             .find(|l| l.contains("Hypothetical"))
             .unwrap()
             .to_string();
-        assert!(assist_line.trim_end().ends_with("| 0 |") || assist_line.contains("| 0 "), "{assist_line}");
+        assert!(
+            assist_line.trim_end().ends_with("| 0 |") || assist_line.contains("| 0 "),
+            "{assist_line}"
+        );
     }
 
     #[test]
@@ -255,7 +271,10 @@ mod tests {
         // Domain-fault mode costs the app fewer TLB stalls.
         let domain_stall = get("Domain faults", 2);
         let switch_stall = get("Flush on switch", 2);
-        assert!(domain_stall <= switch_stall, "{domain_stall} vs {switch_stall}");
+        assert!(
+            domain_stall <= switch_stall,
+            "{domain_stall} vs {switch_stall}"
+        );
     }
 
     #[test]

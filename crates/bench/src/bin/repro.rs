@@ -158,7 +158,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         _ => {}
     }
     let out = out
-        .or_else(|| std::env::var("SAT_BENCH_OUT").ok().filter(|s| !s.is_empty()))
+        .or_else(|| {
+            std::env::var("SAT_BENCH_OUT")
+                .ok()
+                .filter(|s| !s.is_empty())
+        })
         .unwrap_or_else(|| "BENCH_repro.json".to_string());
     Ok(Cli {
         cmd,
@@ -196,7 +200,10 @@ fn main() -> ExitCode {
 
     if cli.cmd == "report" {
         // The trace may arrive as `--trace <path>` or a positional.
-        let path = cli.trace.as_deref().or(cli.rest.first().map(String::as_str));
+        let path = cli
+            .trace
+            .as_deref()
+            .or(cli.rest.first().map(String::as_str));
         let Some(path) = path else {
             eprintln!("repro report: no trace given (repro report <trace.json>)");
             return ExitCode::FAILURE;
@@ -238,7 +245,11 @@ fn main() -> ExitCode {
     let started = Instant::now();
     match run(&cli.cmd, cli.scale, &mut records) {
         Ok(output) => {
-            let recording = if cli.trace.is_some() { sat_obs::uninstall() } else { None };
+            let recording = if cli.trace.is_some() {
+                sat_obs::uninstall()
+            } else {
+                None
+            };
             print!("{output}");
             if let (Some(path), Some(rec)) = (&cli.trace, &recording) {
                 if let Err(e) = std::fs::write(path, sat_obs::chrome_trace_json(rec)) {
@@ -361,7 +372,9 @@ fn run(cmd: &str, scale: Scale, records: &mut Vec<Record>) -> Fallible {
             s.push_str(&timed(r, "fig3", 1, || Ok(motivation::fig3()))?);
             s.push_str(&timed(r, "table2", 1, || Ok(motivation::table2()))?);
             s.push_str(&timed(r, "fig4", 1, || Ok(motivation::fig4()))?);
-            s.push_str(&timed(r, "latfault", 1, || Ok(zygotebench::latfault(scale)?))?);
+            s.push_str(&timed(r, "latfault", 1, || {
+                Ok(zygotebench::latfault(scale)?)
+            })?);
             s.push_str(&timed(r, "table3", 1, || Ok(zygotebench::table3(scale)?))?);
             s.push_str(&timed(r, "table4", 1, || Ok(zygotebench::table4(scale)?))?);
             s.push_str(&timed(r, "launch", launch_cells(), || {
@@ -372,9 +385,12 @@ fn run(cmd: &str, scale: Scale, records: &mut Vec<Record>) -> Fallible {
             })?);
             s.push_str(&timed(r, "fig13", 1, || Ok(ipcbench::fig13(scale)?))?);
             s.push_str(&timed(r, "ablations", 1, || Ok(ablation::all(scale)?))?);
-            s.push_str(&timed(r, "extensions", scalability_cells(scale) + 4, || {
-                Ok(extensions::all(scale)?)
-            })?);
+            s.push_str(&timed(
+                r,
+                "extensions",
+                scalability_cells(scale) + 4,
+                || Ok(extensions::all(scale)?),
+            )?);
             s.push_str(&timed(r, "timeshare", timeshare_cells(scale), || {
                 Ok(timesharebench::timeshare(scale)?)
             })?);
@@ -434,7 +450,12 @@ fn render_json(
     s.push_str(&format!("  \"total_wall_ms\": {total_ms:.3},\n"));
     s.push_str("  \"obs\": ");
     match recording {
-        Some(rec) => s.push_str(&sat_obs::metrics_json(&rec.metrics, true, rec.dropped, "  ")),
+        Some(rec) => s.push_str(&sat_obs::metrics_json(
+            &rec.metrics,
+            true,
+            rec.dropped,
+            "  ",
+        )),
         None => {
             let empty = sat_obs::MetricsRegistry::default();
             s.push_str(&sat_obs::metrics_json(&empty, false, 0, "  "));

@@ -60,8 +60,11 @@ pub fn scalability(scale: Scale) -> sat_types::SatResult<String> {
             let base = sys.map.code_base(lib).unwrap();
             let pages = sys.catalog.lib(lib).code_pages.min(16);
             for p in 0..pages {
-                sys.machine
-                    .access(0, VirtAddr::new(base.raw() + p * PAGE_SIZE), AccessType::Execute)?;
+                sys.machine.access(
+                    0,
+                    VirtAddr::new(base.raw() + p * PAGE_SIZE),
+                    AccessType::Execute,
+                )?;
             }
         }
         Ok(sys.machine.kernel.ptps.len())
@@ -121,9 +124,7 @@ pub fn large_pages(scale: Scale) -> sat_types::SatResult<String> {
     // Common workload driver: two processes alternately sweep the
     // touched pages (per-page first line), like the IPC experiment.
     type Setup = Box<dyn FnMut(&mut Kernel, Pid) -> sat_types::SatResult<u64>>;
-    let run = |mut setup: Setup,
-               config: KernelConfig|
-     -> sat_types::SatResult<(u64, u64)> {
+    let run = |mut setup: Setup, config: KernelConfig| -> sat_types::SatResult<(u64, u64)> {
         let mut kernel = Kernel::new(config, 1 << 18);
         let z = kernel.create_process()?;
         kernel.exec_zygote(z)?;
@@ -138,7 +139,11 @@ pub fn large_pages(scale: Scale) -> sat_types::SatResult<String> {
             m.context_switch(0, pid)?;
             for i in 0..touched_pages {
                 let page = (i as u64 * 16 / 6) as u32; // every ~2.7th page
-                m.access(0, VirtAddr::new(0x4000_0000 + page * PAGE_SIZE), AccessType::Execute)?;
+                m.access(
+                    0,
+                    VirtAddr::new(0x4000_0000 + page * PAGE_SIZE),
+                    AccessType::Execute,
+                )?;
             }
         }
         m.reset_hw_stats();
@@ -147,7 +152,11 @@ pub fn large_pages(scale: Scale) -> sat_types::SatResult<String> {
                 m.context_switch(0, pid)?;
                 for i in 0..touched_pages {
                     let page = (i as u64 * 16 / 6) as u32;
-                    m.access(0, VirtAddr::new(0x4000_0000 + page * PAGE_SIZE), AccessType::Execute)?;
+                    m.access(
+                        0,
+                        VirtAddr::new(0x4000_0000 + page * PAGE_SIZE),
+                        AccessType::Execute,
+                    )?;
                 }
             }
         }
@@ -158,17 +167,31 @@ pub fn large_pages(scale: Scale) -> sat_types::SatResult<String> {
     let file_pages = image_pages;
     let (frames_4k, stalls_4k) = run(
         Box::new(move |k, z| {
-            let f = k.files.register("image".to_string(), file_pages * PAGE_SIZE);
+            let f = k
+                .files
+                .register("image".to_string(), file_pages * PAGE_SIZE);
             k.mmap(
                 z,
-                &MmapRequest::file(file_pages * PAGE_SIZE, Perms::RX, f, 0, RegionTag::ZygoteNativeCode, "image")
-                    .at(VirtAddr::new(0x4000_0000)),
+                &MmapRequest::file(
+                    file_pages * PAGE_SIZE,
+                    Perms::RX,
+                    f,
+                    0,
+                    RegionTag::ZygoteNativeCode,
+                    "image",
+                )
+                .at(VirtAddr::new(0x4000_0000)),
                 &mut NoTlb,
             )?;
             // The zygote touches the working set (demand paging).
             for i in 0..touched_pages {
                 let page = (i as u64 * 16 / 6) as u32;
-                k.page_fault(z, VirtAddr::new(0x4000_0000 + page * PAGE_SIZE), AccessType::Execute, &mut NoTlb)?;
+                k.page_fault(
+                    z,
+                    VirtAddr::new(0x4000_0000 + page * PAGE_SIZE),
+                    AccessType::Execute,
+                    &mut NoTlb,
+                )?;
             }
             Ok(0)
         }),
@@ -192,7 +215,15 @@ pub fn large_pages(scale: Scale) -> sat_types::SatResult<String> {
                 // With the uniform 6-of-16 density every 64KB chunk
                 // contains touched pages, so every chunk is mapped.
                 let at = VirtAddr::new(0x4000_0000 + c * 16 * PAGE_SIZE);
-                k.mmap_large(z, at, 16 * PAGE_SIZE, Perms::RX, RegionTag::ZygoteNativeCode, "image-huge", &mut NoTlb)?;
+                k.mmap_large(
+                    z,
+                    at,
+                    16 * PAGE_SIZE,
+                    Perms::RX,
+                    RegionTag::ZygoteNativeCode,
+                    "image-huge",
+                    &mut NoTlb,
+                )?;
                 mapped += 1;
             }
             Ok(mapped)
@@ -210,16 +241,30 @@ pub fn large_pages(scale: Scale) -> sat_types::SatResult<String> {
     // Strategy 3: 4KB pages with shared PTPs + global TLB entries.
     let (frames_shared, stalls_shared) = run(
         Box::new(move |k, z| {
-            let f = k.files.register("image".to_string(), file_pages * PAGE_SIZE);
+            let f = k
+                .files
+                .register("image".to_string(), file_pages * PAGE_SIZE);
             k.mmap(
                 z,
-                &MmapRequest::file(file_pages * PAGE_SIZE, Perms::RX, f, 0, RegionTag::ZygoteNativeCode, "image")
-                    .at(VirtAddr::new(0x4000_0000)),
+                &MmapRequest::file(
+                    file_pages * PAGE_SIZE,
+                    Perms::RX,
+                    f,
+                    0,
+                    RegionTag::ZygoteNativeCode,
+                    "image",
+                )
+                .at(VirtAddr::new(0x4000_0000)),
                 &mut NoTlb,
             )?;
             for i in 0..touched_pages {
                 let page = (i as u64 * 16 / 6) as u32;
-                k.page_fault(z, VirtAddr::new(0x4000_0000 + page * PAGE_SIZE), AccessType::Execute, &mut NoTlb)?;
+                k.page_fault(
+                    z,
+                    VirtAddr::new(0x4000_0000 + page * PAGE_SIZE),
+                    AccessType::Execute,
+                    &mut NoTlb,
+                )?;
             }
             Ok(0)
         }),
@@ -301,7 +346,12 @@ pub fn pte_pollution(scale: Scale) -> sat_types::SatResult<String> {
     };
     let mut t = Table::new(
         "Extension: duplicated PTE lines in the shared L2 cache (Figure 1's claim)",
-        &["kernel", "resident PTE lines", "PTE bytes in L2", "per-process copies"],
+        &[
+            "kernel",
+            "resident PTE lines",
+            "PTE bytes in L2",
+            "per-process copies",
+        ],
     );
     for (label, config) in [
         ("Stock Android", KernelConfig::stock()),
@@ -322,8 +372,11 @@ pub fn pte_pollution(scale: Scale) -> sat_types::SatResult<String> {
             for &pid in &pids {
                 sys.machine.context_switch(0, pid)?;
                 for p in 0..pages {
-                    sys.machine
-                        .access(0, VirtAddr::new(base.raw() + p * PAGE_SIZE), AccessType::Execute)?;
+                    sys.machine.access(
+                        0,
+                        VirtAddr::new(base.raw() + p * PAGE_SIZE),
+                        AccessType::Execute,
+                    )?;
                 }
             }
         }
@@ -444,7 +497,13 @@ mod tests {
         let out = large_pages(Scale::Quick).unwrap();
         let get_kb = |label: &str| -> u64 {
             let line = out.lines().find(|l| l.contains(label)).unwrap();
-            line.split('|').nth(2).unwrap().trim().replace(',', "").parse().unwrap()
+            line.split('|')
+                .nth(2)
+                .unwrap()
+                .trim()
+                .replace(',', "")
+                .parse()
+                .unwrap()
         };
         let kb_4k = get_kb("4KB pages, stock");
         let kb_64k = get_kb("64KB pages");
@@ -461,7 +520,13 @@ mod tests {
         let out = pte_pollution(Scale::Quick).unwrap();
         let lines = |label: &str| -> u64 {
             let line = out.lines().find(|l| l.contains(label)).unwrap();
-            line.split('|').nth(2).unwrap().trim().replace(',', "").parse().unwrap()
+            line.split('|')
+                .nth(2)
+                .unwrap()
+                .trim()
+                .replace(',', "")
+                .parse()
+                .unwrap()
         };
         assert!(
             lines("Stock Android") >= 2 * lines("Shared PTP"),
@@ -476,7 +541,13 @@ mod tests {
         let out = memory_accounting(Scale::Quick).unwrap();
         let pt = |label: &str| -> u64 {
             let line = out.lines().find(|l| l.contains(label)).unwrap();
-            line.split('|').nth(5).unwrap().trim().replace(',', "").parse().unwrap()
+            line.split('|')
+                .nth(5)
+                .unwrap()
+                .trim()
+                .replace(',', "")
+                .parse()
+                .unwrap()
         };
         assert!(
             pt("Shared PTP") < pt("Stock Android"),

@@ -1,6 +1,8 @@
 //! The binder IPC experiment: Figure 13 (Section 4.2.4).
 
-use sat_android::{run_binder_benchmark, AndroidSystem, BinderOptions, BinderReport, LibraryLayout};
+use sat_android::{
+    run_binder_benchmark, AndroidSystem, BinderOptions, BinderReport, LibraryLayout,
+};
 use sat_core::KernelConfig;
 use sat_types::SatResult;
 
@@ -19,8 +21,7 @@ pub fn binder_opts(scale: Scale) -> BinderOptions {
 
 /// Runs the microbenchmark under one configuration.
 pub fn run_config(config: KernelConfig, scale: Scale) -> SatResult<BinderReport> {
-    let mut sys =
-        AndroidSystem::boot(config, LibraryLayout::Original, SEED, 11, boot_opts(scale))?;
+    let mut sys = AndroidSystem::boot(config, LibraryLayout::Original, SEED, 11, boot_opts(scale))?;
     run_binder_benchmark(&mut sys, &binder_opts(scale))
 }
 

@@ -13,7 +13,11 @@ use crate::Scale;
 /// The four launch configurations of Figures 7-9.
 pub fn launch_configs() -> [(&'static str, KernelConfig, LibraryLayout); 4] {
     [
-        ("Stock Android", KernelConfig::stock(), LibraryLayout::Original),
+        (
+            "Stock Android",
+            KernelConfig::stock(),
+            LibraryLayout::Original,
+        ),
         (
             "Shared PTP & TLB",
             KernelConfig::shared_ptp_tlb(),
@@ -76,9 +80,7 @@ pub fn launch_experiment(scale: Scale) -> SatResult<String> {
     let n = repetitions(scale);
     let jobs: Vec<_> = launch_configs()
         .into_iter()
-        .map(|(label, config, layout)| {
-            move || (label, run_launches(config, layout, scale, n))
-        })
+        .map(|(label, config, layout)| move || (label, run_launches(config, layout, scale, n)))
         .collect();
     let mut all: Vec<(&str, Vec<LaunchReport>)> = Vec::new();
     for (label, reports) in crate::pool::run_cells(jobs) {
@@ -121,7 +123,10 @@ pub fn launch_experiment(scale: Scale) -> SatResult<String> {
         &["Config", "min", "Q1", "median", "Q3", "max"],
     );
     for (label, reports) in &all {
-        let xs: Vec<f64> = reports.iter().map(|r| r.icache_stall_cycles as f64).collect();
+        let xs: Vec<f64> = reports
+            .iter()
+            .map(|r| r.icache_stall_cycles as f64)
+            .collect();
         let f = FiveNum::of(&xs);
         t8.row(vec![
             label.to_string(),
@@ -141,7 +146,13 @@ pub fn launch_experiment(scale: Scale) -> SatResult<String> {
     let base_faults = med(all[0].1.iter().map(|r| r.file_faults as f64).collect());
     let mut t9 = Table::new(
         "Figure 9: PTPs allocated and file-backed page faults during launch",
-        &["Config", "# PTPs", "PTPs vs stock", "# file faults", "faults vs stock"],
+        &[
+            "Config",
+            "# PTPs",
+            "PTPs vs stock",
+            "# file faults",
+            "faults vs stock",
+        ],
     );
     for (label, reports) in &all {
         let ptps = med(reports.iter().map(|r| r.ptps_allocated as f64).collect());

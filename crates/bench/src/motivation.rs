@@ -2,8 +2,8 @@
 //! (Section 2.3 of the paper).
 
 use sat_trace::{
-    app_specs, fetch_breakdown, page_breakdown, pairwise_overlap, zygote_preload_pages,
-    AppProfile, Catalog, CodePage, SparsityReport,
+    app_specs, fetch_breakdown, page_breakdown, pairwise_overlap, zygote_preload_pages, AppProfile,
+    Catalog, CodePage, SparsityReport,
 };
 
 use crate::render::{pct, Table};
@@ -129,7 +129,12 @@ pub fn table2() -> String {
     let m = pairwise_overlap(&profiles);
     // The paper prints 4 applications; we print the same 4 plus the
     // suite averages.
-    let picks = ["Adobe Reader", "Android Browser", "MX Player", "Laya Music Player"];
+    let picks = [
+        "Adobe Reader",
+        "Android Browser",
+        "MX Player",
+        "Laya Music Player",
+    ];
     let idx: Vec<usize> = picks
         .iter()
         .map(|p| m.names.iter().position(|n| n == p).expect("app present"))

@@ -179,9 +179,7 @@ mod tests {
                 move || {
                     // Stagger completion so late submissions finish
                     // first under any worker count.
-                    std::thread::sleep(std::time::Duration::from_micros(
-                        (32 - i) as u64 * 50,
-                    ));
+                    std::thread::sleep(std::time::Duration::from_micros((32 - i) as u64 * 50));
                     i * 10
                 }
             })

@@ -118,7 +118,10 @@ impl Snapshot {
                 .unwrap_or("?")
                 .to_string(),
             experiments,
-            total_wall_ms: doc.get("total_wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
+            total_wall_ms: doc
+                .get("total_wall_ms")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
             obs_enabled,
             counters,
         })
@@ -216,9 +219,7 @@ pub fn diff(old: &Snapshot, new: &Snapshot, threshold_pct: f64) -> DiffReport {
             } else {
                 report.lines.push((
                     DiffClass::Note,
-                    format!(
-                        "experiment \"{name}\" not in the new snapshot (different command)"
-                    ),
+                    format!("experiment \"{name}\" not in the new snapshot (different command)"),
                 ));
             }
             continue;
@@ -232,9 +233,10 @@ pub fn diff(old: &Snapshot, new: &Snapshot, threshold_pct: f64) -> DiffReport {
             if old_exp.wall_ms >= WALL_FLOOR_MS {
                 report.lines.push((DiffClass::Regression, line));
             } else {
-                report
-                    .lines
-                    .push((DiffClass::Note, format!("{line} — below {WALL_FLOOR_MS}ms floor")));
+                report.lines.push((
+                    DiffClass::Note,
+                    format!("{line} — below {WALL_FLOOR_MS}ms floor"),
+                ));
             }
         } else if change < -threshold_pct && old_exp.wall_ms >= WALL_FLOOR_MS {
             report.lines.push((DiffClass::Improvement, line));
@@ -311,7 +313,9 @@ pub fn check(trace: Option<&str>, out: &str) -> Result<String, String> {
         .and_then(Json::as_str)
         .ok_or_else(|| format!("{out}: missing \"schema\""))?;
     if schema != SCHEMA {
-        return Err(format!("{out}: schema \"{schema}\" (expected \"{SCHEMA}\")"));
+        return Err(format!(
+            "{out}: schema \"{schema}\" (expected \"{SCHEMA}\")"
+        ));
     }
     let experiments = doc
         .get("experiments")
@@ -336,8 +340,7 @@ pub fn check(trace: Option<&str>, out: &str) -> Result<String, String> {
         let text =
             std::fs::read_to_string(trace_path).map_err(|e| format!("read {trace_path}: {e}"))?;
         let doc = Json::parse(&text).map_err(|e| format!("{trace_path}: {e}"))?;
-        let parsed =
-            sat_obs::parse_chrome_trace(&doc).map_err(|e| format!("{trace_path}: {e}"))?;
+        let parsed = sat_obs::parse_chrome_trace(&doc).map_err(|e| format!("{trace_path}: {e}"))?;
         if parsed.events.is_empty() {
             return Err(format!("{trace_path}: empty event stream"));
         }
@@ -352,11 +355,8 @@ pub fn check(trace: Option<&str>, out: &str) -> Result<String, String> {
         } else {
             "span pairing skipped (ring overflow)"
         };
-        let cats: std::collections::BTreeSet<&str> = parsed
-            .events
-            .iter()
-            .map(|e| e.subsystem.as_str())
-            .collect();
+        let cats: std::collections::BTreeSet<&str> =
+            parsed.events.iter().map(|e| e.subsystem.as_str()).collect();
         let missing: Vec<&str> = REQUIRED_SUBSYSTEMS
             .iter()
             .filter(|s| !cats.contains(**s))
@@ -440,8 +440,10 @@ mod tests {
         let grown = parse(&snapshot_json(100.0, 150.0, 8000));
         let report = diff(&old, &grown, 25.0);
         assert_eq!(report.regressions(), 1, "{:?}", report.lines);
-        assert!(report.lines.iter().any(|(c, l)| *c == DiffClass::Regression
-            && l.contains("tlb.flush")));
+        assert!(report
+            .lines
+            .iter()
+            .any(|(c, l)| *c == DiffClass::Regression && l.contains("tlb.flush")));
 
         let shrunk = parse(&snapshot_json(100.0, 150.0, 1000));
         let report = diff(&old, &shrunk, 25.0);
@@ -461,8 +463,10 @@ mod tests {
         new.counters.insert("tiny.counter".to_string(), 6);
         let report = diff(&old, &new, 25.0);
         assert_eq!(report.regressions(), 0, "{:?}", report.lines);
-        assert!(report.lines.iter().any(|(c, l)| *c == DiffClass::Note
-            && l.contains("floor")));
+        assert!(report
+            .lines
+            .iter()
+            .any(|(c, l)| *c == DiffClass::Note && l.contains("floor")));
     }
 
     #[test]

@@ -46,10 +46,26 @@ pub fn run_suite(
 /// The four suite configurations.
 fn suite_configs() -> [(&'static str, KernelConfig, LibraryLayout); 4] {
     [
-        ("Stock Android", KernelConfig::stock(), LibraryLayout::Original),
-        ("Shared PTP", KernelConfig::shared_ptp(), LibraryLayout::Original),
-        ("Stock Android-2MB", KernelConfig::stock(), LibraryLayout::Aligned2Mb),
-        ("Shared PTP-2MB", KernelConfig::shared_ptp(), LibraryLayout::Aligned2Mb),
+        (
+            "Stock Android",
+            KernelConfig::stock(),
+            LibraryLayout::Original,
+        ),
+        (
+            "Shared PTP",
+            KernelConfig::shared_ptp(),
+            LibraryLayout::Original,
+        ),
+        (
+            "Stock Android-2MB",
+            KernelConfig::stock(),
+            LibraryLayout::Aligned2Mb,
+        ),
+        (
+            "Shared PTP-2MB",
+            KernelConfig::shared_ptp(),
+            LibraryLayout::Aligned2Mb,
+        ),
     ]
 }
 
@@ -67,7 +83,8 @@ pub fn steady_experiment(scale: Scale) -> SatResult<String> {
     for (label, reports) in crate::pool::run_cells(jobs) {
         results.push((label, reports?));
     }
-    let (stock, shared, _stock2, shared2) = (&results[0].1, &results[1].1, &results[2].1, &results[3].1);
+    let (stock, shared, _stock2, shared2) =
+        (&results[0].1, &results[1].1, &results[2].1, &results[3].1);
 
     let mut out = String::new();
 
@@ -98,7 +115,13 @@ pub fn steady_experiment(scale: Scale) -> SatResult<String> {
     // Figure 11: PTPs allocated, normalized to stock-original.
     let mut t11 = Table::new(
         "Figure 11: # PTPs allocated (normalized to stock, original alignment)",
-        &["Benchmark", "Stock", "Shared PTP", "Stock-2MB", "Shared PTP-2MB"],
+        &[
+            "Benchmark",
+            "Stock",
+            "Shared PTP",
+            "Stock-2MB",
+            "Shared PTP-2MB",
+        ],
     );
     let mut reduction_sum = 0.0;
     for i in 0..names.len() {
@@ -107,9 +130,18 @@ pub fn steady_experiment(scale: Scale) -> SatResult<String> {
         t11.row(vec![
             names[i].to_string(),
             "100%".to_string(),
-            format!("{:.0}%", 100.0 * results[1].1[i].ptps_allocated as f64 / base),
-            format!("{:.0}%", 100.0 * results[2].1[i].ptps_allocated as f64 / base),
-            format!("{:.0}%", 100.0 * results[3].1[i].ptps_allocated as f64 / base),
+            format!(
+                "{:.0}%",
+                100.0 * results[1].1[i].ptps_allocated as f64 / base
+            ),
+            format!(
+                "{:.0}%",
+                100.0 * results[2].1[i].ptps_allocated as f64 / base
+            ),
+            format!(
+                "{:.0}%",
+                100.0 * results[3].1[i].ptps_allocated as f64 / base
+            ),
         ]);
     }
     out.push_str(&t11.render());
@@ -161,16 +193,29 @@ mod tests {
 
     #[test]
     fn steady_suite_quick_directional_checks() {
-        let stock = run_suite(KernelConfig::stock(), LibraryLayout::Original, Scale::Quick).unwrap();
-        let shared = run_suite(KernelConfig::shared_ptp(), LibraryLayout::Original, Scale::Quick).unwrap();
-        let shared2 =
-            run_suite(KernelConfig::shared_ptp(), LibraryLayout::Aligned2Mb, Scale::Quick).unwrap();
+        let stock =
+            run_suite(KernelConfig::stock(), LibraryLayout::Original, Scale::Quick).unwrap();
+        let shared = run_suite(
+            KernelConfig::shared_ptp(),
+            LibraryLayout::Original,
+            Scale::Quick,
+        )
+        .unwrap();
+        let shared2 = run_suite(
+            KernelConfig::shared_ptp(),
+            LibraryLayout::Aligned2Mb,
+            Scale::Quick,
+        )
+        .unwrap();
         let mut reduced = 0;
         for i in 0..stock.len() {
             if shared[i].file_faults < stock[i].file_faults {
                 reduced += 1;
             }
-            assert!(shared[i].ptps_allocated <= stock[i].ptps_allocated, "app {i}");
+            assert!(
+                shared[i].ptps_allocated <= stock[i].ptps_allocated,
+                "app {i}"
+            );
         }
         assert!(reduced >= 9, "only {reduced}/11 apps saw fault reductions");
         // Figure 12: the 2MB layout keeps a larger fraction shared.

@@ -26,7 +26,10 @@ fn configs() -> [(&'static str, KernelConfig); 3] {
     [
         ("Stock Android", KernelConfig::stock()),
         ("Shared PTP & TLB", KernelConfig::shared_ptp_tlb()),
-        ("Shared, no ASID", KernelConfig::shared_ptp_tlb().without_asid()),
+        (
+            "Shared, no ASID",
+            KernelConfig::shared_ptp_tlb().without_asid(),
+        ),
     ]
 }
 

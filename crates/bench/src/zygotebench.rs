@@ -82,7 +82,11 @@ pub fn profiles(sys: &AndroidSystem, scale: Scale) -> Vec<AppProfile> {
 
 /// Counts how many of `profile`'s zygote-preloaded code pages already
 /// have a PTE in `pid`'s page tables.
-fn inherited_ptes(sys: &mut AndroidSystem, pid: sat_types::Pid, profile: &AppProfile) -> SatResult<u64> {
+fn inherited_ptes(
+    sys: &mut AndroidSystem,
+    pid: sat_types::Pid,
+    profile: &AppProfile,
+) -> SatResult<u64> {
     let mut n = 0;
     for page in profile.zygote_preloaded_pages() {
         let va = sys
@@ -108,7 +112,8 @@ pub fn table3(scale: Scale) -> SatResult<String> {
     for p in &profiles {
         let (outcome, _) = sys.machine.fork(0, sys.zygote)?;
         cold.push(inherited_ptes(&mut sys, outcome.child, p)?);
-        sys.machine.syscall(|k, _tlb| k.exit(outcome.child, &mut NoTlb))?;
+        sys.machine
+            .syscall(|k, _tlb| k.exit(outcome.child, &mut NoTlb))?;
     }
 
     // Warm pass: run each application once (touch its preloaded
@@ -125,11 +130,13 @@ pub fn table3(scale: Scale) -> SatResult<String> {
                 .expect("mapped");
             sys.machine.access(0, va, AccessType::Execute)?;
         }
-        sys.machine.syscall(|k, _tlb| k.exit(outcome.child, &mut NoTlb))?;
+        sys.machine
+            .syscall(|k, _tlb| k.exit(outcome.child, &mut NoTlb))?;
         // Relaunch.
         let (outcome2, _) = sys.machine.fork(0, sys.zygote)?;
         warm.push(inherited_ptes(&mut sys, outcome2.child, p)?);
-        sys.machine.syscall(|k, _tlb| k.exit(outcome2.child, &mut NoTlb))?;
+        sys.machine
+            .syscall(|k, _tlb| k.exit(outcome2.child, &mut NoTlb))?;
     }
 
     let mut t = Table::new(
@@ -195,8 +202,15 @@ mod tests {
         let out = table3(Scale::Quick).unwrap();
         assert!(out.contains("Cold start"));
         // Parse rows: warm >= cold for every app.
-        for line in out.lines().filter(|l| l.starts_with('|') && !l.contains("Benchmark") && !l.contains('-')) {
-            let cells: Vec<&str> = line.split('|').map(str::trim).filter(|s| !s.is_empty()).collect();
+        for line in out
+            .lines()
+            .filter(|l| l.starts_with('|') && !l.contains("Benchmark") && !l.contains('-'))
+        {
+            let cells: Vec<&str> = line
+                .split('|')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
             if cells.len() == 3 {
                 let cold: f64 = cells[1].parse().unwrap();
                 let warm: f64 = cells[2].parse().unwrap();

@@ -200,11 +200,7 @@ fn report_renders_all_three_formats_from_a_trace() {
 fn diff_gates_on_wall_time_regressions() {
     let baseline = write_snapshot("diff-old.json", 100.0, 200.0);
     let same = write_snapshot("diff-same.json", 100.0, 200.0);
-    let out = repro(&[
-        "diff",
-        baseline.to_str().unwrap(),
-        same.to_str().unwrap(),
-    ]);
+    let out = repro(&["diff", baseline.to_str().unwrap(), same.to_str().unwrap()]);
     assert!(
         out.status.success(),
         "identical snapshots must pass: {}",
@@ -237,6 +233,40 @@ fn diff_gates_on_wall_time_regressions() {
 
     let out = repro(&["diff", baseline.to_str().unwrap()]);
     assert!(!out.status.success(), "diff requires two snapshots");
+}
+
+/// Malformed flag input must produce an error message and a nonzero
+/// exit, never a panic.
+#[test]
+fn malformed_threshold_pct_exits_nonzero_with_a_message() {
+    let baseline = write_snapshot("bad-flag-old.json", 100.0, 200.0);
+    let same = write_snapshot("bad-flag-new.json", 100.0, 200.0);
+    for bad in ["abc", "-5", "25%"] {
+        let out = repro(&[
+            "diff",
+            baseline.to_str().unwrap(),
+            same.to_str().unwrap(),
+            "--threshold-pct",
+            bad,
+        ]);
+        assert!(!out.status.success(), "--threshold-pct {bad} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("bad --threshold-pct"), "{stderr}");
+        assert!(
+            !stderr.contains("panicked"),
+            "bad input must not panic: {stderr}"
+        );
+    }
+    // A flag with its value missing is an error too.
+    let out = repro(&[
+        "diff",
+        baseline.to_str().unwrap(),
+        same.to_str().unwrap(),
+        "--threshold-pct",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("requires a number"), "{stderr}");
 }
 
 /// The sat-sched experiment is a pure function of its seed: the same

@@ -68,7 +68,11 @@ pub struct CacheHierarchy {
 
 impl Default for CacheHierarchy {
     fn default() -> Self {
-        CacheHierarchy::new(CacheConfig::L1_32K, CacheConfig::L1_32K, LatencyModel::default())
+        CacheHierarchy::new(
+            CacheConfig::L1_32K,
+            CacheConfig::L1_32K,
+            LatencyModel::default(),
+        )
     }
 }
 

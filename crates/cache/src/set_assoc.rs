@@ -81,7 +81,10 @@ impl Cache {
     /// Panics if line size or set count is not a power of two.
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Cache {
             config,
@@ -151,10 +154,7 @@ impl Cache {
         let line_addr = pa.raw() >> self.line_shift;
         let set_idx = (line_addr & self.set_mask) as usize;
         let tag = line_addr >> self.set_mask.count_ones();
-        self.sets[set_idx]
-            .iter()
-            .flatten()
-            .any(|l| l.tag == tag)
+        self.sets[set_idx].iter().flatten().any(|l| l.tag == tag)
     }
 
     /// Invalidates everything.

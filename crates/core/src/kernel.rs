@@ -18,20 +18,22 @@
 //! - `domain_fault` → flush the TLB entries matching the faulting
 //!   address (Section 3.2.3).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
-use sat_mmu::{Mapper, PtpStore};
 use sat_mmu::pte::PteSlot;
+use sat_mmu::{Mapper, PtpStore};
 use sat_phys::{FileRegistry, PhysMem};
 use sat_types::{
-    AccessType, Asid, Dacr, Domain, Perms, Pid, SatError, SatResult, VaRange, VirtAddr,
+    AccessType, Asid, Dacr, Domain, Perms, Pid, SatError, SatResult, VaRange, VirtAddr, VpnRange,
 };
 use sat_vm::{
     exit_mmap, fork_mm, handle_fault, mmap as vm_mmap, mprotect as vm_mprotect,
     munmap as vm_munmap, populate, Backing, FaultCtx, FaultOutcome, Mm, MmapRequest,
 };
 
+use crate::asid::AsidAllocator;
 use crate::config::KernelConfig;
+use crate::flush::FlushBatch;
 use crate::share::{fork_share, unshare, unshare_range, UnshareTrigger};
 use crate::TlbMaintenance;
 
@@ -119,38 +121,8 @@ pub struct Kernel {
     pub stats: KernelStats,
     procs: HashMap<Pid, Mm>,
     next_pid: u32,
-    /// Current ASID generation (starts at 1, bumped on rollover).
-    asid_generation: u64,
-    /// Next ASID value within the current generation; `> 255` means
-    /// the 8-bit space is exhausted and the next allocation rolls
-    /// over.
-    next_asid: u16,
-    /// Which generation each live process's ASID belongs to. A
-    /// process whose recorded generation is older than
-    /// [`Kernel::asid_generation`] carries a stale ASID that must be
-    /// reassigned before it runs again (see
-    /// [`Kernel::ensure_current_asid`]).
-    asid_gens: HashMap<Pid, u64>,
-    /// A rollover happened but the non-global TLB flush it requires
-    /// has not been issued yet (allocation sites have no TLB handle;
-    /// the flush is deferred to the next switch-in, as in Linux).
-    rollover_flush_pending: bool,
-    /// Which process is current on each core, as reported by the
-    /// machine layer through [`Kernel::note_running`]. A process on a
-    /// core keeps executing — and keeps inserting TLB entries tagged
-    /// with its ASID — without ever re-entering the allocator, so a
-    /// rollover must treat these ASIDs specially (see
-    /// [`Kernel::reserved_asids`]).
-    running: BTreeMap<usize, Pid>,
-    /// ASID values reserved for the whole current generation: the
-    /// values held by processes that were running at the last
-    /// rollover. Those processes keep their value (their generation is
-    /// bumped in place, mirroring Linux's ARM rollover), and the
-    /// allocator skips the value when restarting the sequence — so a
-    /// recycled value can never alias a translation the still-running
-    /// owner inserts after the rollover flush. One bit per 8-bit
-    /// value.
-    reserved_asids: [u64; 4],
+    /// The generational 8-bit ASID allocator (see [`crate::asid`]).
+    asids: AsidAllocator,
 }
 
 impl Kernel {
@@ -164,12 +136,7 @@ impl Kernel {
             stats: KernelStats::default(),
             procs: HashMap::new(),
             next_pid: 1,
-            asid_generation: 1,
-            next_asid: 1,
-            asid_gens: HashMap::new(),
-            rollover_flush_pending: false,
-            running: BTreeMap::new(),
-            reserved_asids: [0; 4],
+            asids: AsidAllocator::new(),
         }
     }
 
@@ -185,81 +152,18 @@ impl Kernel {
         let asid = self.alloc_asid();
         let mm = Mm::new(&mut self.phys, pid, asid)?;
         self.procs.insert(pid, mm);
-        self.asid_gens.insert(pid, self.asid_generation);
+        self.asids.assign_current(pid);
         Ok(pid)
     }
 
-    /// Allocates an 8-bit ASID, Linux-style: values 1..=255 are handed
-    /// out sequentially within a generation; exhausting them bumps the
-    /// generation and restarts the sequence (see [`Kernel::rollover`]).
-    /// A rollover marks every live *non-running* process's ASID stale
-    /// (reassigned lazily at its next switch-in, see
-    /// [`Kernel::ensure_current_asid`]), reserves the values of
-    /// running processes, and schedules one non-global TLB flush, so
-    /// recycled values can never match a live translation. Global
-    /// (zygote library) entries survive the rollover flush — the
-    /// paper's §3.2 benefit at scale.
+    /// Allocates an 8-bit ASID through the generational allocator
+    /// ([`crate::asid::AsidAllocator`]) and mirrors its rollover count
+    /// into [`KernelStats::asid_rollovers`].
     fn alloc_asid(&mut self) -> Asid {
-        loop {
-            if self.next_asid > 255 {
-                self.rollover();
-            }
-            let value = self.next_asid as u8;
-            self.next_asid += 1;
-            // Values reserved by processes that were running at the
-            // last rollover are never reissued this generation.
-            if !self.asid_reserved(value) {
-                return Asid::new(value);
-            }
-        }
-    }
-
-    /// Whether `value` is reserved for the current generation.
-    fn asid_reserved(&self, value: u8) -> bool {
-        let v = value as usize;
-        self.reserved_asids[v / 64] & (1 << (v % 64)) != 0
-    }
-
-    /// The 8-bit space is exhausted: bump the generation and schedule
-    /// the deferred non-global flush. Mirroring Linux's ARM rollover,
-    /// every process currently on a core keeps its ASID: its value is
-    /// reserved (the allocator skips it for the whole new generation)
-    /// and its generation is bumped in place, so it is never treated
-    /// as stale. The aliasing argument: a *running* process may insert
-    /// entries tagged with its value even after the rollover flush,
-    /// but that value is never reissued; a *non-running* process
-    /// cannot insert entries until its next switch-in, which
-    /// reassigns it first — so everything tagged with a recycled
-    /// value predates the rollover and is removed by the flush before
-    /// the new owner can run.
-    fn rollover(&mut self) {
-        self.asid_generation += 1;
-        self.next_asid = 1;
-        self.rollover_flush_pending = true;
-        self.stats.asid_rollovers += 1;
-        self.reserved_asids = [0; 4];
-        assert!(
-            self.running.len() < 255,
-            "more running processes than ASID values"
-        );
-        let running: Vec<Pid> = self.running.values().copied().collect();
-        for pid in running {
-            if let Some(mm) = self.procs.get(&pid) {
-                let v = mm.asid.raw() as usize;
-                self.reserved_asids[v / 64] |= 1 << (v % 64);
-                self.asid_gens.insert(pid, self.asid_generation);
-            }
-        }
-        if sat_obs::enabled() {
-            sat_obs::emit(
-                sat_obs::Subsystem::Kernel,
-                0,
-                0,
-                sat_obs::Payload::AsidRollover {
-                    generation: self.asid_generation,
-                },
-            );
-        }
+        let procs = &self.procs;
+        let asid = self.asids.alloc(|pid| procs.get(&pid).map(|mm| mm.asid));
+        self.stats.asid_rollovers = self.asids.rollovers();
+        asid
     }
 
     /// Reports that `pid` is now current on `core`; the machine layer
@@ -269,7 +173,7 @@ impl Kernel {
     /// allocator, so the value must not be reissued until a flush
     /// separates the two owners.
     pub fn note_running(&mut self, core: usize, pid: Pid) {
-        self.running.insert(core, pid);
+        self.asids.note_running(core, pid);
     }
 
     /// True when `pid`'s ASID predates the current generation. Every
@@ -279,18 +183,18 @@ impl Kernel {
     /// or pending and guaranteed to fire at the next switch-in before
     /// the recycled value can be consumed.
     pub fn asid_is_stale(&self, pid: Pid) -> bool {
-        self.asid_gens.get(&pid).copied().unwrap_or(0) != self.asid_generation
+        self.asids.is_stale(pid)
     }
 
     /// The current ASID generation (starts at 1).
     pub fn asid_generation(&self) -> u64 {
-        self.asid_generation
+        self.asids.generation()
     }
 
     /// True when a rollover's deferred non-global flush has not been
     /// issued yet.
     pub fn rollover_flush_pending(&self) -> bool {
-        self.rollover_flush_pending
+        self.asids.flush_pending()
     }
 
     /// Switch-in hook: returns `pid`'s valid ASID for the current
@@ -313,13 +217,11 @@ impl Kernel {
             // predate the rollover flush — already issued, or issued
             // just below before the pid executes.
             let asid = self.alloc_asid();
-            let generation = self.asid_generation;
             let mm = self.procs.get_mut(&pid).ok_or(SatError::NoSuchProcess)?;
             mm.asid = asid;
-            self.asid_gens.insert(pid, generation);
+            self.asids.assign_current(pid);
         }
-        if self.rollover_flush_pending {
-            self.rollover_flush_pending = false;
+        if self.asids.take_flush_pending() {
             sat_obs::with_flush_reason(sat_obs::FlushReason::AsidRecycle, || {
                 tlb.flush_non_global();
             });
@@ -390,6 +292,10 @@ impl Kernel {
         let addr = vm_mmap(mm, req)?;
         let len = req.len.div_ceil(sat_types::PAGE_SIZE) * sat_types::PAGE_SIZE;
         let range = VaRange::from_len(addr, len);
+        // Gather the operation's TLB maintenance (the freshly mapped
+        // pages held no translations, so only unsharing contributes)
+        // and resolve it once at the end.
+        let mut batch = FlushBatch::new(pid, mm.asid);
         let mut unshared = 0;
         if config.share_ptp {
             unshared = unshare_range(
@@ -398,7 +304,7 @@ impl Kernel {
                 &mut self.phys,
                 range,
                 &config,
-                tlb,
+                &mut batch,
                 UnshareTrigger::NewRegion,
             )? as u64;
             self.stats.ptp_unshares += unshared;
@@ -413,6 +319,7 @@ impl Kernel {
                 vma.global = true;
             }
         }
+        batch.apply(tlb);
         if sat_obs::enabled() {
             sat_obs::emit(
                 sat_obs::Subsystem::Kernel,
@@ -439,7 +346,12 @@ impl Kernel {
     ) -> SatResult<usize> {
         let config = self.config;
         let mm = self.procs.get_mut(&pid).ok_or(SatError::NoSuchProcess)?;
-        let asid = mm.asid.raw();
+        let asid = mm.asid;
+        let mut batch = FlushBatch::new(pid, asid);
+        // Checked before vm_munmap removes the VMAs: a region carrying
+        // global (zygote library) translations needs a machine-wide
+        // flush — ASID-scoped maintenance cannot evict global entries.
+        let any_global = mm.vmas_overlapping(range).any(|v| v.global);
         let mut unshared = 0;
         if config.share_ptp {
             unshared = unshare_range(
@@ -448,25 +360,33 @@ impl Kernel {
                 &mut self.phys,
                 range,
                 &config,
-                tlb,
+                &mut batch,
                 UnshareTrigger::RegionFree,
             )? as u64;
             self.stats.ptp_unshares += unshared;
             self.stats.unshares_region_free += unshared;
         }
         let cleared = vm_munmap(mm, &mut self.ptps, &mut self.phys, range)?;
-        // The unmapped translations must not survive in any TLB
-        // (Linux's flush_tlb_range on the munmap path).
-        sat_obs::with_flush_reason(sat_obs::FlushReason::RegionOp, || {
-            for page in range.pages() {
-                tlb.flush_va_all_asids(page);
-            }
-        });
+        // The unmapped translations must not survive (Linux's
+        // flush_tlb_range on the munmap path). Eager unsharing means
+        // no other address space holds a PTE that this unmap changed,
+        // so the flush is scoped to the operating ASID — except when
+        // the region was global.
+        if any_global {
+            batch.global(sat_obs::FlushReason::RegionOp);
+        } else {
+            batch.range(
+                asid,
+                VpnRange::from_va_range(&range),
+                sat_obs::FlushReason::RegionOp,
+            );
+        }
+        batch.apply(tlb);
         if sat_obs::enabled() {
             sat_obs::emit(
                 sat_obs::Subsystem::Kernel,
                 pid.raw(),
-                asid,
+                asid.raw(),
                 sat_obs::Payload::RegionOp {
                     op: sat_obs::RegionOpKind::Munmap,
                     va: range.start.raw(),
@@ -489,7 +409,9 @@ impl Kernel {
     ) -> SatResult<()> {
         let config = self.config;
         let mm = self.procs.get_mut(&pid).ok_or(SatError::NoSuchProcess)?;
-        let asid = mm.asid.raw();
+        let asid = mm.asid;
+        let mut batch = FlushBatch::new(pid, asid);
+        let any_global = mm.vmas_overlapping(range).any(|v| v.global);
         let mut unshared = 0;
         if config.share_ptp {
             unshared = unshare_range(
@@ -498,7 +420,7 @@ impl Kernel {
                 &mut self.phys,
                 range,
                 &config,
-                tlb,
+                &mut batch,
                 UnshareTrigger::RegionOp,
             )? as u64;
             self.stats.ptp_unshares += unshared;
@@ -506,17 +428,24 @@ impl Kernel {
         }
         vm_mprotect(mm, &mut self.ptps, &mut self.phys, range, perms)?;
         // Old (possibly more-permissive) translations must be evicted
-        // (Linux's flush_tlb_range on the mprotect path).
-        sat_obs::with_flush_reason(sat_obs::FlushReason::RegionOp, || {
-            for page in range.pages() {
-                tlb.flush_va_all_asids(page);
-            }
-        });
+        // (Linux's flush_tlb_range on the mprotect path); as for
+        // munmap, unsharing is eager so only the operating ASID — and
+        // globals, when the region is global — can be stale.
+        if any_global {
+            batch.global(sat_obs::FlushReason::RegionOp);
+        } else {
+            batch.range(
+                asid,
+                VpnRange::from_va_range(&range),
+                sat_obs::FlushReason::RegionOp,
+            );
+        }
+        batch.apply(tlb);
         if sat_obs::enabled() {
             sat_obs::emit(
                 sat_obs::Subsystem::Kernel,
                 pid.raw(),
-                asid,
+                asid.raw(),
                 sat_obs::Payload::RegionOp {
                     op: sat_obs::RegionOpKind::Mprotect,
                     va: range.start.raw(),
@@ -540,6 +469,7 @@ impl Kernel {
     ) -> SatResult<ProcFaultOutcome> {
         let config = self.config;
         let mm = self.procs.get_mut(&pid).ok_or(SatError::NoSuchProcess)?;
+        let mut batch = FlushBatch::new(pid, mm.asid);
         let mut unshared = false;
         let mut unshare_ptes_copied = 0;
         if access.is_write() && mm.root.entry_for(va).need_copy() {
@@ -549,7 +479,7 @@ impl Kernel {
                 &mut self.phys,
                 va,
                 &config,
-                tlb,
+                &mut batch,
                 UnshareTrigger::WriteFault,
             )?
             .expect("NEED_COPY checked above");
@@ -568,6 +498,7 @@ impl Kernel {
             },
         };
         let vm = handle_fault(mm, &mut self.ptps, &mut self.phys, va, access, ctx)?;
+        batch.apply(tlb);
         Ok(ProcFaultOutcome {
             vm,
             unshared,
@@ -620,6 +551,7 @@ impl Kernel {
         // other sharers' address spaces.
         let range = sat_vm::round_to_large(sat_types::VaRange::from_len(at, len));
         let asid = mm.asid.raw();
+        let mut batch = FlushBatch::new(pid, mm.asid);
         let mut unshared = 0;
         if config.share_ptp {
             unshared = unshare_range(
@@ -628,14 +560,24 @@ impl Kernel {
                 &mut self.phys,
                 range,
                 &config,
-                tlb,
+                &mut batch,
                 UnshareTrigger::NewRegion,
             )? as u64;
             self.stats.ptp_unshares += unshared;
             self.stats.unshares_new_region += unshared;
         }
-        let report =
-            sat_vm::mmap_large(mm, &mut self.ptps, &mut self.phys, at, len, perms, tag, name, domain)?;
+        let report = sat_vm::mmap_large(
+            mm,
+            &mut self.ptps,
+            &mut self.phys,
+            at,
+            len,
+            perms,
+            tag,
+            name,
+            domain,
+        )?;
+        batch.apply(tlb);
         if sat_obs::enabled() {
             sat_obs::emit(
                 sat_obs::Subsystem::Kernel,
@@ -655,22 +597,32 @@ impl Kernel {
     /// `fork(2)`: shares PTPs when enabled, else copies per the
     /// configured policy.
     ///
-    /// Both paths write-protect parent PTEs (COW and/or PTP-sharing
-    /// protection). Callers that model a TLB must flush the parent's
-    /// cached translations afterwards, as Linux's `dup_mmap` does —
-    /// [`sat_sim::Machine::fork`] performs that flush; direct kernel
-    /// users with no TLB have nothing to go stale.
+    /// Both paths may write-protect parent PTEs (COW and/or
+    /// PTP-sharing protection). Callers that model a TLB must flush
+    /// the parent's cached translations for the *protected* ranges
+    /// afterwards, as Linux's `dup_mmap`/`flush_tlb_mm` does — use
+    /// [`Kernel::fork_with_flush`] to learn which ranges those are
+    /// ([`sat_sim::Machine::fork`] gathers them into a
+    /// [`FlushBatch`]); direct kernel users with no TLB have nothing
+    /// to go stale.
     pub fn fork(&mut self, parent: Pid) -> SatResult<ForkOutcome> {
+        self.fork_with_flush(parent).map(|(outcome, _)| outcome)
+    }
+
+    /// [`Kernel::fork`] plus the VPN ranges of parent PTEs the fork
+    /// write-protected (empty when nothing changed — e.g. every chunk
+    /// was already `NEED_COPY` from an earlier fork). Only entries in
+    /// these ranges can have gone stale in the parent's TLB.
+    pub fn fork_with_flush(&mut self, parent: Pid) -> SatResult<(ForkOutcome, Vec<VpnRange>)> {
         let config = self.config;
         let child_pid = Pid::new(self.next_pid);
         self.next_pid += 1;
         let child_asid = self.alloc_asid();
-        let child_gen = self.asid_generation;
         let parent_mm = self.procs.get_mut(&parent).ok_or(SatError::NoSuchProcess)?;
         let parent_asid = parent_mm.asid.raw();
         self.stats.forks += 1;
 
-        let (child_mm, outcome) = if config.share_ptp {
+        let (child_mm, outcome, protected) = if config.share_ptp {
             self.stats.share_forks += 1;
             let (child_mm, r) = fork_share(
                 parent_mm,
@@ -680,17 +632,15 @@ impl Kernel {
                 child_asid,
                 &config,
             )?;
-            (
-                child_mm,
-                ForkOutcome {
-                    child: child_pid,
-                    ptes_copied: r.ptes_copied,
-                    ptes_copied_file: r.ptes_copied_file,
-                    ptps_allocated: r.ptps_allocated,
-                    ptps_shared: r.ptps_shared,
-                    write_protect_ops: r.write_protect_ops,
-                },
-            )
+            let outcome = ForkOutcome {
+                child: child_pid,
+                ptes_copied: r.ptes_copied,
+                ptes_copied_file: r.ptes_copied_file,
+                ptps_allocated: r.ptps_allocated,
+                ptps_shared: r.ptps_shared,
+                write_protect_ops: r.write_protect_ops,
+            };
+            (child_mm, outcome, r.protected)
         } else {
             let (child_mm, r) = fork_mm(
                 parent_mm,
@@ -701,20 +651,31 @@ impl Kernel {
                 config.fork_policy,
                 Domain::USER,
             )?;
-            (
-                child_mm,
-                ForkOutcome {
-                    child: child_pid,
-                    ptes_copied: r.ptes_copied,
-                    ptes_copied_file: r.ptes_copied_file,
-                    ptps_allocated: r.ptps_allocated,
-                    ptps_shared: 0,
-                    write_protect_ops: r.cow_protected,
-                },
-            )
+            // The stock COW pass write-protects across every writable
+            // region; their spans are the Linux `flush_tlb_mm`
+            // equivalent (a wide enough total escalates to a full
+            // per-ASID flush at the gather's ceiling).
+            let protected: Vec<VpnRange> = if r.cow_protected > 0 {
+                parent_mm
+                    .vmas()
+                    .filter(|v| v.perms.write())
+                    .map(|v| VpnRange::from_va_range(&v.range))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let outcome = ForkOutcome {
+                child: child_pid,
+                ptes_copied: r.ptes_copied,
+                ptes_copied_file: r.ptes_copied_file,
+                ptps_allocated: r.ptps_allocated,
+                ptps_shared: 0,
+                write_protect_ops: r.cow_protected,
+            };
+            (child_mm, outcome, protected)
         };
         self.procs.insert(child_pid, child_mm);
-        self.asid_gens.insert(child_pid, child_gen);
+        self.asids.assign_current(child_pid);
         if sat_obs::enabled() {
             sat_obs::emit(
                 sat_obs::Subsystem::Kernel,
@@ -728,7 +689,7 @@ impl Kernel {
                 },
             );
         }
-        Ok(outcome)
+        Ok((outcome, protected))
     }
 
     /// Process exit: tears down the address space. Shared PTPs are
@@ -739,21 +700,25 @@ impl Kernel {
         let mut mm = self.procs.remove(&pid).ok_or(SatError::NoSuchProcess)?;
         exit_mmap(&mut mm, &mut self.ptps, &mut self.phys);
         if !stale {
-            sat_obs::with_flush_reason(sat_obs::FlushReason::Exit, || {
-                tlb.flush_asid(mm.asid);
-            });
+            let mut batch = FlushBatch::new(pid, mm.asid);
+            batch.asid(mm.asid, sat_obs::FlushReason::Exit);
+            batch.apply(tlb);
         }
         // A stale generation's entries are covered by the rollover
         // flush; flushing the raw value here would only hit — and
         // charge shootdown IPIs to — a new-generation process that
         // was reissued the same value.
-        self.asid_gens.remove(&pid);
-        self.running.retain(|_, p| *p != pid);
+        self.asids.forget(pid);
         let asid = mm.asid.raw();
         mm.free_root(&mut self.phys);
         self.stats.exits += 1;
         if sat_obs::enabled() {
-            sat_obs::emit(sat_obs::Subsystem::Kernel, pid.raw(), asid, sat_obs::Payload::Exit);
+            sat_obs::emit(
+                sat_obs::Subsystem::Kernel,
+                pid.raw(),
+                asid,
+                sat_obs::Payload::Exit,
+            );
         }
         Ok(())
     }
@@ -829,14 +794,23 @@ mod tests {
         let lib = k.files.register("libtest.so", 8 * PAGE_SIZE);
         let zygote = k.create_process().unwrap();
         k.exec_zygote(zygote).unwrap();
-        k.mmap(zygote, &code_req(lib, 8, 0x4000_0000), &mut NoTlb).unwrap();
-        k.populate(zygote, VaRange::from_len(VirtAddr::new(0x4000_0000), 8 * PAGE_SIZE))
+        k.mmap(zygote, &code_req(lib, 8, 0x4000_0000), &mut NoTlb)
             .unwrap();
+        k.populate(
+            zygote,
+            VaRange::from_len(VirtAddr::new(0x4000_0000), 8 * PAGE_SIZE),
+        )
+        .unwrap();
         let heap = MmapRequest::anon(2 * PAGE_SIZE, Perms::RW, RegionTag::Heap, "[heap]")
             .at(VirtAddr::new(0x0900_0000));
         k.mmap(zygote, &heap, &mut NoTlb).unwrap();
-        k.page_fault(zygote, VirtAddr::new(0x0900_0000), AccessType::Write, &mut NoTlb)
-            .unwrap();
+        k.page_fault(
+            zygote,
+            VirtAddr::new(0x0900_0000),
+            AccessType::Write,
+            &mut NoTlb,
+        )
+        .unwrap();
         (k, zygote)
     }
 
@@ -846,9 +820,14 @@ mod tests {
         let f = k.fork(zygote).unwrap();
         assert_eq!(f.ptps_shared, 0);
         assert_eq!(f.ptes_copied, 1); // the heap page only
-        // Child faults on code: soft fault (page cache warm).
+                                      // Child faults on code: soft fault (page cache warm).
         let o = k
-            .page_fault(f.child, VirtAddr::new(0x4000_0000), AccessType::Execute, &mut NoTlb)
+            .page_fault(
+                f.child,
+                VirtAddr::new(0x4000_0000),
+                AccessType::Execute,
+                &mut NoTlb,
+            )
             .unwrap();
         assert_eq!(o.vm.kind, sat_vm::FaultKind::Minor);
         assert!(!o.unshared);
@@ -859,7 +838,10 @@ mod tests {
         let (mut k, zygote) = boot(KernelConfig::copied_ptes());
         let f = k.fork(zygote).unwrap();
         assert_eq!(f.ptes_copied, 9); // 8 code + 1 heap
-        assert!(k.pte(f.child, VirtAddr::new(0x4000_0000)).unwrap().is_some());
+        assert!(k
+            .pte(f.child, VirtAddr::new(0x4000_0000))
+            .unwrap()
+            .is_some());
     }
 
     #[test]
@@ -868,8 +850,11 @@ mod tests {
         let f = k.fork(zygote).unwrap();
         assert!(f.ptps_shared >= 1);
         assert_eq!(f.ptes_copied, 0); // heap PTE is in a shared PTP too
-        // The child's code PTEs are immediately present.
-        assert!(k.pte(f.child, VirtAddr::new(0x4000_0000)).unwrap().is_some());
+                                      // The child's code PTEs are immediately present.
+        assert!(k
+            .pte(f.child, VirtAddr::new(0x4000_0000))
+            .unwrap()
+            .is_some());
     }
 
     #[test]
@@ -891,7 +876,13 @@ mod tests {
     #[test]
     fn zygote_mmap_of_code_marks_region_global_under_tlb_sharing() {
         let (mut k, zygote) = boot(KernelConfig::shared_ptp_tlb());
-        assert!(k.mm(zygote).unwrap().vma_at(VirtAddr::new(0x4000_0000)).unwrap().global);
+        assert!(
+            k.mm(zygote)
+                .unwrap()
+                .vma_at(VirtAddr::new(0x4000_0000))
+                .unwrap()
+                .global
+        );
         // And the populated PTEs carry the global bit.
         let slot = k.pte(zygote, VirtAddr::new(0x4000_0000)).unwrap().unwrap();
         assert!(slot.hw.global);
@@ -902,7 +893,13 @@ mod tests {
         let (mut k, zygote) = boot(KernelConfig::stock());
         let slot = k.pte(zygote, VirtAddr::new(0x4000_0000)).unwrap().unwrap();
         assert!(!slot.hw.global);
-        assert!(!k.mm(zygote).unwrap().vma_at(VirtAddr::new(0x4000_0000)).unwrap().global);
+        assert!(
+            !k.mm(zygote)
+                .unwrap()
+                .vma_at(VirtAddr::new(0x4000_0000))
+                .unwrap()
+                .global
+        );
     }
 
     #[test]
@@ -933,10 +930,18 @@ mod tests {
             .at(VirtAddr::new(0x4010_0000));
         k.mmap(f.child, &req, &mut NoTlb).unwrap();
         let child_mm = k.mm(f.child).unwrap();
-        assert!(!child_mm.root.entry_for(VirtAddr::new(0x4000_0000)).need_copy());
+        assert!(!child_mm
+            .root
+            .entry_for(VirtAddr::new(0x4000_0000))
+            .need_copy());
         assert_eq!(child_mm.counters.unshares_by_region_op, 1);
         // The zygote still considers its PTP shared until it modifies.
-        assert!(k.mm(zygote).unwrap().root.entry_for(VirtAddr::new(0x4000_0000)).need_copy());
+        assert!(k
+            .mm(zygote)
+            .unwrap()
+            .root
+            .entry_for(VirtAddr::new(0x4000_0000))
+            .need_copy());
     }
 
     #[test]
@@ -945,7 +950,11 @@ mod tests {
         let f = k.fork(zygote).unwrap();
         let heap_range = VaRange::from_len(VirtAddr::new(0x0900_0000), 2 * PAGE_SIZE);
         k.munmap(f.child, heap_range, &mut NoTlb).unwrap();
-        assert!(k.mm(f.child).unwrap().vma_at(VirtAddr::new(0x0900_0000)).is_none());
+        assert!(k
+            .mm(f.child)
+            .unwrap()
+            .vma_at(VirtAddr::new(0x0900_0000))
+            .is_none());
         // Parent's heap PTE must be intact (the child unshared first).
         assert!(k.pte(zygote, VirtAddr::new(0x0900_0000)).unwrap().is_some());
     }
@@ -956,13 +965,21 @@ mod tests {
         let f = k.fork(zygote).unwrap();
         let code = VaRange::from_len(VirtAddr::new(0x4000_0000), 8 * PAGE_SIZE);
         k.mprotect(f.child, code, Perms::R, &mut NoTlb).unwrap();
-        assert!(!k.mm(f.child).unwrap().root.entry_for(code.start).need_copy());
+        assert!(!k
+            .mm(f.child)
+            .unwrap()
+            .root
+            .entry_for(code.start)
+            .need_copy());
         // Parent keeps executable permissions.
         assert_eq!(
             k.pte(zygote, code.start).unwrap().unwrap().hw.perms,
             Perms::RX
         );
-        assert_eq!(k.pte(f.child, code.start).unwrap().unwrap().hw.perms, Perms::R);
+        assert_eq!(
+            k.pte(f.child, code.start).unwrap().unwrap().hw.perms,
+            Perms::R
+        );
     }
 
     #[test]
@@ -1006,11 +1023,14 @@ mod tests {
         let (mut k, zygote) = boot(KernelConfig::shared_ptp());
         // Extend the library mapping with untouched pages.
         let lib2 = k.files.register("libextra.so", 4 * PAGE_SIZE);
-        k.mmap(zygote, &code_req(lib2, 4, 0x4008_0000), &mut NoTlb).unwrap();
+        k.mmap(zygote, &code_req(lib2, 4, 0x4008_0000), &mut NoTlb)
+            .unwrap();
         let f1 = k.fork(zygote).unwrap();
         // Child 1 faults a page the zygote never touched.
         let va = VirtAddr::new(0x4008_1000);
-        let o = k.page_fault(f1.child, va, AccessType::Execute, &mut NoTlb).unwrap();
+        let o = k
+            .page_fault(f1.child, va, AccessType::Execute, &mut NoTlb)
+            .unwrap();
         assert_eq!(o.vm.kind, sat_vm::FaultKind::Major);
         // A child forked afterwards sees the PTE without faulting.
         let f2 = k.fork(zygote).unwrap();
@@ -1019,130 +1039,8 @@ mod tests {
         assert!(k.pte(zygote, va).unwrap().is_some());
     }
 
-    /// A [`TlbMaintenance`] sink counting maintenance operations.
-    #[derive(Default)]
-    struct CountingTlb {
-        asid_flushes: u64,
-        non_global_flushes: u64,
-        full_flushes: u64,
-    }
-
-    impl TlbMaintenance for CountingTlb {
-        fn flush_asid(&mut self, _asid: Asid) {
-            self.asid_flushes += 1;
-        }
-        fn flush_va_all_asids(&mut self, _va: VirtAddr) {}
-        fn flush_all(&mut self) {
-            self.full_flushes += 1;
-        }
-        fn flush_non_global(&mut self) {
-            self.non_global_flushes += 1;
-        }
-    }
-
-    #[test]
-    fn asid_rollover_survives_hundreds_of_process_generations() {
-        let mut k = Kernel::new(KernelConfig::stock(), 16_384);
-        let parent = k.create_process().unwrap();
-        // 600 fork/exit cycles exhaust the 8-bit space twice over; the
-        // old free-list allocator would have coped only by recycling,
-        // the generation allocator instead rolls over.
-        for _ in 0..600 {
-            let child = k.fork(parent).unwrap().child;
-            k.exit(child, &mut NoTlb).unwrap();
-        }
-        // 601 allocations at 255 per generation = 2 rollovers.
-        assert_eq!(k.stats.asid_rollovers, 2);
-        assert_eq!(k.asid_generation(), 3);
-    }
-
-    #[test]
-    fn rollover_flushes_non_global_exactly_once_and_reassigns_lazily() {
-        let mut k = Kernel::new(KernelConfig::stock(), 16_384);
-        let parent = k.create_process().unwrap();
-        let mut tlb = CountingTlb::default();
-        for _ in 0..255 {
-            let child = k.fork(parent).unwrap().child;
-            k.exit(child, &mut tlb).unwrap();
-        }
-        // Allocation 256 rolled the generation; the flush is deferred
-        // until some process is switched in.
-        assert_eq!(k.stats.asid_rollovers, 1);
-        assert!(k.rollover_flush_pending());
-        assert_eq!(tlb.non_global_flushes, 0);
-        // The parent's gen-1 ASID (1) is stale; switch-in reassigns it
-        // and issues exactly one non-global flush — never a full flush,
-        // so global zygote entries survive.
-        let before = k.mm(parent).unwrap().asid;
-        assert_eq!(before.raw(), 1);
-        let after = k.ensure_current_asid(parent, &mut tlb).unwrap();
-        // Gen-2 value 1 went to the last child; the parent gets 2.
-        assert_eq!(after.raw(), 2);
-        assert_eq!(k.mm(parent).unwrap().asid, after);
-        assert_eq!(tlb.non_global_flushes, 1);
-        assert_eq!(tlb.full_flushes, 0);
-        assert!(!k.rollover_flush_pending());
-        // Idempotent once current: no second flush, no reassignment.
-        let again = k.ensure_current_asid(parent, &mut tlb).unwrap();
-        assert_eq!(again, after);
-        assert_eq!(tlb.non_global_flushes, 1);
-    }
-
-    /// The high-severity aliasing window: a process current on a core
-    /// over a rollover keeps running with its ASID, so the allocator
-    /// must reserve that value instead of reissuing it.
-    #[test]
-    fn running_process_keeps_its_asid_across_rollover() {
-        let mut k = Kernel::new(KernelConfig::stock(), 16_384);
-        let p = k.create_process().unwrap();
-        assert_eq!(k.mm(p).unwrap().asid.raw(), 1);
-        k.note_running(0, p);
-        let mut tlb = CountingTlb::default();
-        for _ in 0..300 {
-            let c = k.fork(p).unwrap().child;
-            if k.asid_generation() > 1 {
-                assert_ne!(
-                    k.mm(c).unwrap().asid.raw(),
-                    1,
-                    "reserved value reissued while its owner is running"
-                );
-            }
-            k.exit(c, &mut tlb).unwrap();
-        }
-        assert_eq!(k.stats.asid_rollovers, 1);
-        // Reserved in place: same value, current generation; the
-        // switch-in hook fires the deferred flush but does not
-        // reassign.
-        assert!(!k.asid_is_stale(p));
-        let asid = k.ensure_current_asid(p, &mut tlb).unwrap();
-        assert_eq!(asid.raw(), 1);
-        assert_eq!(tlb.non_global_flushes, 1);
-    }
-
-    /// A stale-generation exit must not flush (or IPI) by raw ASID
-    /// value: the rollover flush already covers its entries, and the
-    /// value may since have been reissued to a live process.
-    #[test]
-    fn stale_generation_exit_skips_the_per_asid_flush() {
-        let mut k = Kernel::new(KernelConfig::stock(), 16_384);
-        let keeper = k.create_process().unwrap(); // value 1, gen 1
-        let victim = k.create_process().unwrap(); // value 2, gen 1
-        let mut tlb = CountingTlb::default();
-        // Burn the rest of the space to force a rollover.
-        for _ in 0..254 {
-            let c = k.fork(keeper).unwrap().child;
-            k.exit(c, &mut tlb).unwrap();
-        }
-        assert_eq!(k.stats.asid_rollovers, 1);
-        assert!(k.asid_is_stale(victim));
-        let flushes_before = tlb.asid_flushes;
-        k.exit(victim, &mut tlb).unwrap();
-        assert_eq!(tlb.asid_flushes, flushes_before, "stale exit over-flushed");
-        // A current-generation exit still flushes its value.
-        k.ensure_current_asid(keeper, &mut tlb).unwrap();
-        k.exit(keeper, &mut tlb).unwrap();
-        assert_eq!(tlb.asid_flushes, flushes_before + 1);
-    }
+    // The ASID-rollover invariant tests live with the allocator in
+    // `crate::asid`.
 
     #[test]
     fn domain_fault_counter_increments() {

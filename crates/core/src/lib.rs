@@ -56,11 +56,15 @@
 
 #![forbid(unsafe_code)]
 
+pub mod asid;
 pub mod config;
+pub mod flush;
 pub mod kernel;
 pub mod share;
 
+pub use asid::AsidAllocator;
 pub use config::{CopyOnUnshare, KernelConfig, TlbProtection};
+pub use flush::{BatchOutcome, FlushBatch, FlushOp, FLUSH_CEILING_PAGES};
 pub use kernel::{ForkOutcome, Kernel, KernelStats, ProcFaultOutcome};
 pub use share::{fork_share, unshare, unshare_range, ShareForkReport, UnshareTrigger};
 
@@ -87,6 +91,19 @@ pub trait TlbMaintenance {
     fn flush_non_global(&mut self) {
         self.flush_all();
     }
+    /// Invalidate the entries for page `vpn` tagged with `asid`
+    /// (`TLBIMVA`); globals survive. Implementations without
+    /// page-granular maintenance may over-flush the whole ASID.
+    fn flush_page(&mut self, asid: sat_types::Asid, _vpn: u32) {
+        self.flush_asid(asid);
+    }
+    /// Invalidate the entries overlapping `range` tagged with `asid`
+    /// (back-to-back `TLBIMVA`s); globals survive. Implementations
+    /// without range-granular maintenance may over-flush the whole
+    /// ASID.
+    fn flush_range(&mut self, asid: sat_types::Asid, _range: sat_types::VpnRange) {
+        self.flush_asid(asid);
+    }
 }
 
 /// A no-op [`TlbMaintenance`] sink for experiments that do not model
@@ -97,4 +114,6 @@ impl TlbMaintenance for NoTlb {
     fn flush_asid(&mut self, _asid: sat_types::Asid) {}
     fn flush_va_all_asids(&mut self, _va: sat_types::VirtAddr) {}
     fn flush_all(&mut self) {}
+    fn flush_page(&mut self, _asid: sat_types::Asid, _vpn: u32) {}
+    fn flush_range(&mut self, _asid: sat_types::Asid, _range: sat_types::VpnRange) {}
 }

@@ -2,13 +2,11 @@
 
 use sat_mmu::{Mapper, Ptp, PtpStore, TableHalf};
 use sat_phys::{FrameKind, PhysMem};
-use sat_types::{
-    Asid, Domain, Pid, SatError, SatResult, VaRange, VirtAddr, PTP_SPAN,
-};
+use sat_types::{Asid, Domain, Pid, SatError, SatResult, VaRange, VirtAddr, VpnRange, PTP_SPAN};
 use sat_vm::{copies_ptes, copy_vma_ptes_in_range, ForkReport, Mm};
 
 use crate::config::{CopyOnUnshare, KernelConfig};
-use crate::TlbMaintenance;
+use crate::flush::FlushBatch;
 
 /// Why an unshare was performed — the five cases of Section 3.1.2.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -60,7 +58,7 @@ fn emit_unshare(mm: &Mm, chunk: VirtAddr, trigger: UnshareTrigger, report: &Unsh
 }
 
 /// Accounting from a shared-PTP fork (the Table 4 row).
-#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
 pub struct ShareForkReport {
     /// PTPs the child attached to as shared.
     pub ptps_shared: u64,
@@ -74,6 +72,14 @@ pub struct ShareForkReport {
     pub write_protect_ops: u64,
     /// Regions inherited.
     pub vmas: usize,
+    /// VPN ranges of parent PTEs this fork made *less permissive*:
+    /// the write-protected spans (or, under the `l1_write_protect`
+    /// ablation, the whole span of each first-shared chunk — the
+    /// hardware assist strips write permission with no per-PTE pass).
+    /// Cached parent translations for these ranges are stale; the
+    /// caller gathers them into a [`FlushBatch`] (Linux's
+    /// `flush_tlb_mm` on `dup_mmap`, narrowed to what changed).
+    pub protected: Vec<VpnRange>,
 }
 
 /// Result of one [`unshare`] call.
@@ -152,8 +158,16 @@ pub fn fork_share(
                         .collect();
                     let mut mapper = Mapper::new(&mut parent.root, ptps, phys);
                     for r in vma_ranges {
-                        report.write_protect_ops += mapper.write_protect_range(r) as u64;
+                        let protected = mapper.write_protect_range(r) as u64;
+                        report.write_protect_ops += protected;
+                        if protected > 0 {
+                            report.protected.push(VpnRange::from_va_range(&r));
+                        }
                     }
+                } else {
+                    // The assist demotes the whole chunk at walk time;
+                    // anything cached writable for it is now stale.
+                    report.protected.push(VpnRange::from_va_range(&span));
                 }
                 // Age the referenced bits: the child has touched
                 // nothing yet, and on ARM the "referenced" bit is
@@ -163,8 +177,7 @@ pub fn fork_share(
                 // share are copied.
                 if let Some(table) = ptps.get_mut(ptp_frame) {
                     for half in [TableHalf::Lower, TableHalf::Upper] {
-                        let idxs: Vec<usize> =
-                            table.iter_half(half).map(|(i, _)| i).collect();
+                        let idxs: Vec<usize> = table.iter_half(half).map(|(i, _)| i).collect();
                         for i in idxs {
                             if let Some(sw) = table.sw_mut(half, i) {
                                 sw.young = false;
@@ -186,6 +199,7 @@ pub fn fork_share(
                 if !copies_ptes(config.fork_policy, vma) {
                     continue;
                 }
+                let cow_before = fr.cow_protected;
                 copy_vma_ptes_in_range(
                     parent,
                     &mut child,
@@ -196,6 +210,14 @@ pub fn fork_share(
                     Domain::USER,
                     &mut fr,
                 )?;
+                // The stock copy COW-protected parent PTEs here: any
+                // writable translation cached for them is stale and
+                // must be in the fork flush.
+                if fr.cow_protected > cow_before {
+                    if let Some(r) = vma.range.intersect(&span) {
+                        report.protected.push(VpnRange::from_va_range(&r));
+                    }
+                }
             }
             report.ptes_copied += fr.ptes_copied;
             report.ptes_copied_file += fr.ptes_copied_file;
@@ -223,17 +245,26 @@ pub fn fork_share(
 /// chunk is not shared.
 ///
 /// If the caller is the last sharer, only the `NEED_COPY` flag is
-/// cleared. Otherwise: the level-1 pair is cleared, the process's TLB
-/// entries are flushed, a new PTP is allocated, the valid PTEs are
-/// copied into it (all of them, or only referenced ones, per
-/// `config.copy_on_unshare`), and the sharer count is decremented.
+/// cleared. Otherwise: the level-1 pair is cleared, a new PTP is
+/// allocated, the valid PTEs are copied into it (all of them, or only
+/// referenced ones, per `config.copy_on_unshare`), and the sharer
+/// count is decremented.
+///
+/// TLB maintenance is *gathered* into `batch`, not issued: the copied
+/// PTEs are normally bit-identical to the shared originals, so cached
+/// translations stay valid and a write-fault unshare owes only the
+/// faulting page. Only when the private copy diverges (PTEs dropped
+/// by `ReferencedOnly`, or write-stripped under `l1_write_protect`)
+/// is the whole chunk span gathered — wide enough that the batch
+/// escalates it to a per-ASID flush. Region-op triggers gather
+/// nothing here; the caller's own range op covers the operated pages.
 pub fn unshare(
     mm: &mut Mm,
     ptps: &mut PtpStore,
     phys: &mut PhysMem,
     va: VirtAddr,
     config: &KernelConfig,
-    tlb: &mut dyn TlbMaintenance,
+    batch: &mut FlushBatch,
     trigger: UnshareTrigger,
 ) -> SatResult<Option<UnshareReport>> {
     let chunk = va.ptp_base();
@@ -243,6 +274,7 @@ pub fn unshare(
     }
     let shared_frame = entry.ptp().expect("NEED_COPY implies a table entry");
     let domain = entry.domain().unwrap_or(Domain::USER);
+    let span = VaRange::from_len(chunk, PTP_SPAN);
 
     mm.counters.ptps_unshared += 1;
     if !matches!(trigger, UnshareTrigger::WriteFault) {
@@ -262,9 +294,11 @@ pub fn unshare(
             // protection) must be evicted so the new permissions take
             // effect.
             protect_multiply_mapped(mm, ptps, phys, chunk);
-            sat_obs::with_flush_reason(sat_obs::FlushReason::Unshare, || {
-                tlb.flush_asid(mm.asid)
-            });
+            batch.range(
+                mm.asid,
+                VpnRange::from_va_range(&span),
+                sat_obs::FlushReason::Unshare,
+            );
         }
         let report = UnshareReport {
             last_sharer: true,
@@ -274,9 +308,9 @@ pub fn unshare(
         return Ok(Some(report));
     }
 
-    // Clear our level-1 pair and flush our TLB entries.
+    // Clear our level-1 pair; the TLB maintenance the copy owes is
+    // decided below, once we know whether the copy diverges.
     mm.root.clear_table_pair(chunk);
-    sat_obs::with_flush_reason(sat_obs::FlushReason::Unshare, || tlb.flush_asid(mm.asid));
 
     // Allocate and populate the private copy.
     let new_frame = phys.alloc(FrameKind::PageTable)?;
@@ -285,6 +319,7 @@ pub fn unshare(
         .ok_or(SatError::Internal("shared PTP missing from store"))?;
     let mut copy = Ptp::new();
     let mut copied = 0u64;
+    let mut diverged = false;
     for (half, idx, slot) in shared.iter() {
         let keep = match config.copy_on_unshare {
             CopyOnUnshare::All => true,
@@ -298,6 +333,8 @@ pub fn unshare(
             CopyOnUnshare::ReferencedOnly => slot.sw.young || !slot.sw.file_backed,
         };
         if !keep {
+            // A dropped PTE must not keep serving from the TLB.
+            diverged = true;
             continue;
         }
         let mut hw = slot.hw;
@@ -306,9 +343,21 @@ pub fn unshare(
             // mapped by the shared PTP, so private-writable entries
             // must be COW-protected.
             hw = hw.write_protected();
+            diverged = true;
         }
         copy.set(half, idx, hw, slot.sw);
         copied += 1;
+    }
+    if diverged {
+        batch.range(
+            mm.asid,
+            VpnRange::from_va_range(&span),
+            sat_obs::FlushReason::Unshare,
+        );
+    } else if matches!(trigger, UnshareTrigger::WriteFault) {
+        // Identical copy: only the faulting page's translation is
+        // about to change (the COW repair that follows).
+        batch.page(mm.asid, va.vpn(), sat_obs::FlushReason::Unshare);
     }
     // The copied PTEs are new mappings of their frames (slot-aware:
     // each replicated 64KB descriptor references its own 4KB frame of
@@ -342,12 +391,12 @@ pub fn unshare_range(
     phys: &mut PhysMem,
     range: VaRange,
     config: &KernelConfig,
-    tlb: &mut dyn TlbMaintenance,
+    batch: &mut FlushBatch,
     trigger: UnshareTrigger,
 ) -> SatResult<usize> {
     let mut count = 0;
     for chunk in range.ptps() {
-        if unshare(mm, ptps, phys, chunk, config, tlb, trigger)?.is_some() {
+        if unshare(mm, ptps, phys, chunk, config, batch, trigger)?.is_some() {
             count += 1;
         }
     }
@@ -379,10 +428,14 @@ fn protect_multiply_mapped(mm: &mut Mm, ptps: &mut PtpStore, phys: &mut PhysMem,
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::NoTlb;
     use sat_phys::FileId;
     use sat_types::{AccessType, Perms, RegionTag, PAGE_SIZE};
     use sat_vm::{handle_fault, FaultCtx, MmapRequest};
+
+    /// A throwaway gather for tests that don't assert on flushes.
+    fn batch() -> FlushBatch {
+        FlushBatch::new(Pid::new(1), Asid::new(1))
+    }
 
     struct Fx {
         phys: PhysMem,
@@ -401,7 +454,15 @@ mod tests {
     }
 
     fn touch(mm: &mut Mm, ptps: &mut PtpStore, phys: &mut PhysMem, va: u32, access: AccessType) {
-        handle_fault(mm, ptps, phys, VirtAddr::new(va), access, FaultCtx::default()).unwrap();
+        handle_fault(
+            mm,
+            ptps,
+            phys,
+            VirtAddr::new(va),
+            access,
+            FaultCtx::default(),
+        )
+        .unwrap();
     }
 
     /// Maps 4 pages of library code at 0x4000_0000 and touches them.
@@ -417,7 +478,13 @@ mod tests {
         .at(VirtAddr::new(0x4000_0000));
         sat_vm::mmap(&mut f.mm, &req).unwrap();
         for i in 0..4 {
-            touch(&mut f.mm, &mut f.ptps, &mut f.phys, 0x4000_0000 + i * PAGE_SIZE, AccessType::Execute);
+            touch(
+                &mut f.mm,
+                &mut f.ptps,
+                &mut f.phys,
+                0x4000_0000 + i * PAGE_SIZE,
+                AccessType::Execute,
+            );
         }
     }
 
@@ -428,7 +495,13 @@ mod tests {
             .at(VirtAddr::new(0x4010_0000));
         sat_vm::mmap(&mut f.mm, &req).unwrap();
         for i in 0..2 {
-            touch(&mut f.mm, &mut f.ptps, &mut f.phys, 0x4010_0000 + i * PAGE_SIZE, AccessType::Write);
+            touch(
+                &mut f.mm,
+                &mut f.ptps,
+                &mut f.phys,
+                0x4010_0000 + i * PAGE_SIZE,
+                AccessType::Write,
+            );
         }
     }
 
@@ -457,8 +530,14 @@ mod tests {
         let chunk = VirtAddr::new(0x4000_0000);
         assert!(f.mm.root.entry_for(chunk).need_copy());
         assert!(child.root.entry_for(chunk).need_copy());
-        assert_eq!(f.mm.root.entry_for(chunk).ptp(), child.root.entry_for(chunk).ptp());
-        assert_eq!(f.phys.mapcount(f.mm.root.entry_for(chunk).ptp().unwrap()), 2);
+        assert_eq!(
+            f.mm.root.entry_for(chunk).ptp(),
+            child.root.entry_for(chunk).ptp()
+        );
+        assert_eq!(
+            f.phys.mapcount(f.mm.root.entry_for(chunk).ptp().unwrap()),
+            2
+        );
     }
 
     #[test]
@@ -469,9 +548,17 @@ mod tests {
         let (_, report) = share_fork(&mut f, 2);
         assert_eq!(report.write_protect_ops, 2); // the two heap pages
         let mapper = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys);
-        assert!(!mapper.get_pte(VirtAddr::new(0x4010_0000)).unwrap().hw.perms.write());
+        assert!(!mapper
+            .get_pte(VirtAddr::new(0x4010_0000))
+            .unwrap()
+            .hw
+            .perms
+            .write());
         // Code PTEs were never writable: untouched.
-        assert_eq!(mapper.get_pte(VirtAddr::new(0x4000_0000)).unwrap().hw.perms, Perms::RX);
+        assert_eq!(
+            mapper.get_pte(VirtAddr::new(0x4000_0000)).unwrap().hw.perms,
+            Perms::RX
+        );
     }
 
     #[test]
@@ -483,7 +570,11 @@ mod tests {
         let (_c2, r2) = share_fork(&mut f, 3);
         assert_eq!(r1.write_protect_ops, 2);
         assert_eq!(r2.write_protect_ops, 0); // NEED_COPY already set
-        let ptp = f.mm.root.entry_for(VirtAddr::new(0x4000_0000)).ptp().unwrap();
+        let ptp =
+            f.mm.root
+                .entry_for(VirtAddr::new(0x4000_0000))
+                .ptp()
+                .unwrap();
         assert_eq!(f.phys.mapcount(ptp), 3);
     }
 
@@ -496,7 +587,13 @@ mod tests {
             .at(VirtAddr::new(0xBF00_0000));
         sat_vm::mmap(&mut f.mm, &req).unwrap();
         for i in 0..2 {
-            touch(&mut f.mm, &mut f.ptps, &mut f.phys, 0xBF00_0000 + i * PAGE_SIZE, AccessType::Write);
+            touch(
+                &mut f.mm,
+                &mut f.ptps,
+                &mut f.phys,
+                0xBF00_0000 + i * PAGE_SIZE,
+                AccessType::Write,
+            );
         }
         let (mut child, report) = share_fork(&mut f, 2);
         assert_eq!(report.ptps_shared, 1); // code chunk
@@ -513,7 +610,13 @@ mod tests {
         let req = MmapRequest::anon(4 * PAGE_SIZE, Perms::RW, RegionTag::Stack, "[stack]")
             .at(VirtAddr::new(0xBF00_0000));
         sat_vm::mmap(&mut f.mm, &req).unwrap();
-        touch(&mut f.mm, &mut f.ptps, &mut f.phys, 0xBF00_0000, AccessType::Write);
+        touch(
+            &mut f.mm,
+            &mut f.ptps,
+            &mut f.phys,
+            0xBF00_0000,
+            AccessType::Write,
+        );
         let config = KernelConfig {
             share_stack: true,
             ..KernelConfig::shared_ptp()
@@ -564,8 +667,15 @@ mod tests {
         sat_vm::mmap(&mut f.mm, &req).unwrap();
         sat_vm::mmap(&mut child, &req).unwrap();
         // Child faults it read-only; allowed to fill the shared PTP.
-        handle_fault(&mut child, &mut f.ptps, &mut f.phys, va, AccessType::Execute, FaultCtx::default())
-            .unwrap();
+        handle_fault(
+            &mut child,
+            &mut f.ptps,
+            &mut f.phys,
+            va,
+            AccessType::Execute,
+            FaultCtx::default(),
+        )
+        .unwrap();
         // The parent now sees the PTE without any fault.
         let pm = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys);
         assert!(pm.get_pte(va).is_some());
@@ -592,7 +702,7 @@ mod tests {
             &mut f.phys,
             VirtAddr::new(0x4000_1234),
             &KernelConfig::shared_ptp(),
-            &mut NoTlb,
+            &mut batch(),
             UnshareTrigger::WriteFault,
         )
         .unwrap()
@@ -616,7 +726,7 @@ mod tests {
             &mut f.phys,
             VirtAddr::new(0x4000_2000),
             &KernelConfig::shared_ptp(),
-            &mut NoTlb,
+            &mut batch(),
             UnshareTrigger::WriteFault,
         )
         .unwrap()
@@ -649,7 +759,7 @@ mod tests {
             &mut f.phys,
             VirtAddr::new(0x4000_0000),
             &KernelConfig::shared_ptp(),
-            &mut NoTlb,
+            &mut batch(),
             UnshareTrigger::WriteFault,
         )
         .unwrap();
@@ -666,7 +776,11 @@ mod tests {
         // of the four pages, marking only those young again. (Young
         // bits are metadata the access-bit emulation updates in place,
         // even in a shared PTP.)
-        let frame = child.root.entry_for(VirtAddr::new(0x4000_0000)).ptp().unwrap();
+        let frame = child
+            .root
+            .entry_for(VirtAddr::new(0x4000_0000))
+            .ptp()
+            .unwrap();
         for i in [0usize, 2] {
             let va = VirtAddr::new(0x4000_0000 + (i as u32) * PAGE_SIZE);
             let table = f.ptps.get_mut(frame).unwrap();
@@ -685,7 +799,7 @@ mod tests {
             &mut f.phys,
             VirtAddr::new(0x4000_0000),
             &config,
-            &mut NoTlb,
+            &mut batch(),
             UnshareTrigger::WriteFault,
         )
         .unwrap()
@@ -711,7 +825,13 @@ mod tests {
             )
             .at(VirtAddr::new(base));
             sat_vm::mmap(&mut f.mm, &req).unwrap();
-            touch(&mut f.mm, &mut f.ptps, &mut f.phys, base, AccessType::Execute);
+            touch(
+                &mut f.mm,
+                &mut f.ptps,
+                &mut f.phys,
+                base,
+                AccessType::Execute,
+            );
         }
         let (mut child, report) = share_fork(&mut f, 2);
         assert_eq!(report.ptps_shared, 2);
@@ -721,7 +841,7 @@ mod tests {
             &mut f.phys,
             VaRange::from_len(VirtAddr::new(0x4000_0000), 0x40_0000),
             &KernelConfig::shared_ptp(),
-            &mut NoTlb,
+            &mut batch(),
             UnshareTrigger::RegionOp,
         )
         .unwrap();
@@ -751,13 +871,20 @@ mod tests {
             &mut f.phys,
             va,
             &KernelConfig::shared_ptp(),
-            &mut NoTlb,
+            &mut batch(),
             UnshareTrigger::WriteFault,
         )
         .unwrap()
         .unwrap();
-        handle_fault(&mut f.mm, &mut f.ptps, &mut f.phys, va, AccessType::Write, FaultCtx::default())
-            .unwrap();
+        handle_fault(
+            &mut f.mm,
+            &mut f.ptps,
+            &mut f.phys,
+            va,
+            AccessType::Write,
+            FaultCtx::default(),
+        )
+        .unwrap();
         let parent_pfn = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys)
             .get_pte(va)
             .unwrap()
@@ -791,23 +918,46 @@ mod tests {
         )
         .unwrap();
         assert_eq!(report.write_protect_ops, 0); // hw assist: no pass
-        // Child "writes": the L1 protection faults, child unshares.
-        unshare(&mut child, &mut f.ptps, &mut f.phys, va, &config, &mut NoTlb, UnshareTrigger::WriteFault)
-            .unwrap()
-            .unwrap();
+                                                 // Child "writes": the L1 protection faults, child unshares.
+        unshare(
+            &mut child,
+            &mut f.ptps,
+            &mut f.phys,
+            va,
+            &config,
+            &mut batch(),
+            UnshareTrigger::WriteFault,
+        )
+        .unwrap()
+        .unwrap();
         // The copy must have COW-protected the heap PTE.
         let cm = Mapper::new(&mut child.root, &mut f.ptps, &mut f.phys);
         assert!(!cm.get_pte(va).unwrap().hw.perms.write());
         let _ = cm;
         // Child's write fault now COWs.
-        let o = handle_fault(&mut child, &mut f.ptps, &mut f.phys, va, AccessType::Write, FaultCtx::default())
-            .unwrap();
+        let o = handle_fault(
+            &mut child,
+            &mut f.ptps,
+            &mut f.phys,
+            va,
+            AccessType::Write,
+            FaultCtx::default(),
+        )
+        .unwrap();
         assert_eq!(o.kind, sat_vm::FaultKind::Cow);
         // Parent (last sharer) clears NEED_COPY; its writable PTE to a
         // still-shared frame must be protected by the fix-up.
-        unshare(&mut f.mm, &mut f.ptps, &mut f.phys, va, &config, &mut NoTlb, UnshareTrigger::WriteFault)
-            .unwrap()
-            .unwrap();
+        unshare(
+            &mut f.mm,
+            &mut f.ptps,
+            &mut f.phys,
+            va,
+            &config,
+            &mut batch(),
+            UnshareTrigger::WriteFault,
+        )
+        .unwrap()
+        .unwrap();
         let pm = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys);
         let pte = pm.get_pte(VirtAddr::new(0x4010_1000)).unwrap();
         // Page still shared with nobody after child COW'd page 0 only;

@@ -1,9 +1,7 @@
 //! The first-level (root) translation table.
 
 use sat_phys::{FrameKind, PhysMem};
-use sat_types::{
-    Dacr, Domain, PageSize, Perms, PhysAddr, Pfn, SatResult, VirtAddr, L1_ENTRIES,
-};
+use sat_types::{Dacr, Domain, PageSize, Perms, Pfn, PhysAddr, SatResult, VirtAddr, L1_ENTRIES};
 
 use crate::ptp::TableHalf;
 
@@ -58,7 +56,13 @@ impl L1Entry {
 
     /// Returns `true` if this is a table entry with NEED_COPY set.
     pub fn need_copy(&self) -> bool {
-        matches!(self, L1Entry::Table { need_copy: true, .. })
+        matches!(
+            self,
+            L1Entry::Table {
+                need_copy: true,
+                ..
+            }
+        )
     }
 
     /// Returns the entry's domain, if valid.
@@ -174,9 +178,11 @@ impl RootTable {
     /// Iterates over `(pair_base_index, ptp_frame)` for every distinct
     /// PTP referenced by this table.
     pub fn iter_ptps(&self) -> impl Iterator<Item = (usize, Pfn)> + '_ {
-        self.entries.iter().enumerate().step_by(2).filter_map(|(i, e)| {
-            e.ptp().map(|p| (i, p))
-        })
+        self.entries
+            .iter()
+            .enumerate()
+            .step_by(2)
+            .filter_map(|(i, e)| e.ptp().map(|p| (i, p)))
     }
 
     /// Counts distinct PTPs referenced by this table.

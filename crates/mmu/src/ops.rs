@@ -15,9 +15,7 @@
 //! modify a PTP it shares).
 
 use sat_phys::{FrameKind, PhysMem};
-use sat_types::{
-    Domain, Pfn, SatError, SatResult, VaRange, VirtAddr,
-};
+use sat_types::{Domain, Pfn, SatError, SatResult, VaRange, VirtAddr};
 
 use crate::l1::{L1Entry, RootTable};
 use crate::pte::{HwPte, PteSlot, SwPte};
@@ -62,18 +60,14 @@ impl<'a> Mapper<'a> {
                 self.root.set_table_pair(va, frame, domain, false);
                 Ok((frame, true))
             }
-            L1Entry::Section { .. } => Err(SatError::Internal(
-                "ensure_ptp over a section mapping",
-            )),
+            L1Entry::Section { .. } => Err(SatError::Internal("ensure_ptp over a section mapping")),
         }
     }
 
     /// Reads the PTE slot for `va`, if the mapping hierarchy exists.
     pub fn get_pte(&self, va: VirtAddr) -> Option<PteSlot> {
         match self.root.entry_for(va) {
-            L1Entry::Table { ptp, half, .. } => {
-                self.ptps.get(ptp)?.get(half, va.l2_index())
-            }
+            L1Entry::Table { ptp, half, .. } => self.ptps.get(ptp)?.get(half, va.l2_index()),
             _ => None,
         }
     }
@@ -142,11 +136,7 @@ impl<'a> Mapper<'a> {
 
     /// Updates the hardware permissions and software flags of an
     /// existing PTE. Returns `true` if a PTE was present.
-    pub fn update_pte(
-        &mut self,
-        va: VirtAddr,
-        f: impl FnOnce(&mut HwPte, &mut SwPte),
-    ) -> bool {
+    pub fn update_pte(&mut self, va: VirtAddr, f: impl FnOnce(&mut HwPte, &mut SwPte)) -> bool {
         debug_assert!(
             !self.root.entry_for(va).need_copy(),
             "update_pte in a NEED_COPY (shared) PTP at {va:?}"
@@ -312,8 +302,13 @@ mod tests {
         assert_eq!(fx.phys.page(frame).refcount, 1);
         let va = VirtAddr::new(0x0100_0000);
         let mut m = fx.mapper();
-        m.set_pte(va, HwPte::small(frame, Perms::RW, false), SwPte::anon(true), Domain::USER)
-            .unwrap();
+        m.set_pte(
+            va,
+            HwPte::small(frame, Perms::RW, false),
+            SwPte::anon(true),
+            Domain::USER,
+        )
+        .unwrap();
         assert_eq!(m.phys.page(frame).refcount, 2);
         assert_eq!(m.phys.mapcount(frame), 1);
         m.clear_pte(va);
@@ -328,8 +323,13 @@ mod tests {
         let f2 = fx.anon_frame();
         let base = VirtAddr::new(0x0200_0000);
         let mut m = fx.mapper();
-        m.set_pte(base, HwPte::small(f1, Perms::RW, false), SwPte::anon(true), Domain::USER)
-            .unwrap();
+        m.set_pte(
+            base,
+            HwPte::small(f1, Perms::RW, false),
+            SwPte::anon(true),
+            Domain::USER,
+        )
+        .unwrap();
         m.set_pte(
             VirtAddr::new(0x0200_1000),
             HwPte::small(f2, Perms::RX, false),
@@ -352,8 +352,13 @@ mod tests {
         let frame = fx.anon_frame();
         let va = VirtAddr::new(0x0300_0000);
         let mut m = fx.mapper();
-        m.set_pte(va, HwPte::small(frame, Perms::RW, false), SwPte::anon(true), Domain::USER)
-            .unwrap();
+        m.set_pte(
+            va,
+            HwPte::small(frame, Perms::RW, false),
+            SwPte::anon(true),
+            Domain::USER,
+        )
+        .unwrap();
         let ptp = m.root.entry_for(va).ptp().unwrap();
         assert!(m.release_ptp_pair(va));
         assert!(m.ptps.get(ptp).is_none());
@@ -369,8 +374,13 @@ mod tests {
         let frame = fx.anon_frame();
         let va = VirtAddr::new(0x0300_0000);
         let mut m = fx.mapper();
-        m.set_pte(va, HwPte::small(frame, Perms::R, false), SwPte::anon(false), Domain::USER)
-            .unwrap();
+        m.set_pte(
+            va,
+            HwPte::small(frame, Perms::R, false),
+            SwPte::anon(false),
+            Domain::USER,
+        )
+        .unwrap();
         let ptp = m.root.entry_for(va).ptp().unwrap();
         // Simulate a second process referencing the PTP.
         m.phys.map_inc(ptp);
@@ -385,8 +395,13 @@ mod tests {
         let frame = fx.anon_frame();
         let va = VirtAddr::new(0x0400_0000);
         let mut m = fx.mapper();
-        m.set_pte(va, HwPte::small(frame, Perms::R, false), SwPte::anon(false), Domain::USER)
-            .unwrap();
+        m.set_pte(
+            va,
+            HwPte::small(frame, Perms::R, false),
+            SwPte::anon(false),
+            Domain::USER,
+        )
+        .unwrap();
         assert!(m.update_pte(va, |hw, sw| {
             hw.perms = Perms::RW;
             sw.dirty = true;
@@ -404,8 +419,13 @@ mod tests {
         let f2 = fx.anon_frame();
         let base = VirtAddr::new(0x0600_0000);
         let mut m = fx.mapper();
-        m.set_pte(base, HwPte::small(f1, Perms::RW, false), SwPte::anon(true), Domain::USER)
-            .unwrap();
+        m.set_pte(
+            base,
+            HwPte::small(f1, Perms::RW, false),
+            SwPte::anon(true),
+            Domain::USER,
+        )
+        .unwrap();
         m.set_pte(
             VirtAddr::new(0x0600_3000),
             HwPte::small(f2, Perms::RW, false),

@@ -90,12 +90,7 @@ impl HwPte {
         let xn = !self.perms.execute() as u32;
         match self.size {
             PageSize::Small4K => {
-                (self.pfn.raw() << 12)
-                    | (ng << 11)
-                    | (ap2 << 9)
-                    | (ap10 << 4)
-                    | 0b10
-                    | xn
+                (self.pfn.raw() << 12) | (ng << 11) | (ap2 << 9) | (ap10 << 4) | 0b10 | xn
             }
             PageSize::Large64K => {
                 ((self.pfn.raw() << 12) & 0xFFFF_0000)
@@ -123,11 +118,7 @@ impl HwPte {
                 word & (1 << 15) != 0,
             )
         } else {
-            (
-                PageSize::Small4K,
-                Pfn::new(word >> 12),
-                word & 1 != 0,
-            )
+            (PageSize::Small4K, Pfn::new(word >> 12), word & 1 != 0)
         };
         let ng = word & (1 << 11) != 0;
         let ap2 = word & (1 << 9) != 0;

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use sat_types::{PhysAddr, Pfn, VirtAddr, L2_ENTRIES};
+use sat_types::{Pfn, PhysAddr, VirtAddr, L2_ENTRIES};
 
 use crate::pte::{HwPte, PteSlot, SwPte};
 
@@ -129,10 +129,17 @@ impl Ptp {
     /// Iterates over populated slots in `half` as `(idx, slot)`.
     pub fn iter_half(&self, half: TableHalf) -> impl Iterator<Item = (usize, PteSlot)> + '_ {
         let h = half.index();
-        self.hw[h]
-            .iter()
-            .enumerate()
-            .filter_map(move |(i, hw)| hw.map(|hw| (i, PteSlot { hw, sw: self.sw[h][i] })))
+        self.hw[h].iter().enumerate().filter_map(move |(i, hw)| {
+            hw.map(|hw| {
+                (
+                    i,
+                    PteSlot {
+                        hw,
+                        sw: self.sw[h][i],
+                    },
+                )
+            })
+        })
     }
 
     /// Iterates over populated slots in both halves as
@@ -223,7 +230,9 @@ mod tests {
     fn set_get_clear_and_counts() {
         let mut ptp = Ptp::new();
         let hw = HwPte::small(Pfn::new(7), Perms::RX, false);
-        assert!(ptp.set(TableHalf::Lower, 3, hw, SwPte::file(false, false)).is_none());
+        assert!(ptp
+            .set(TableHalf::Lower, 3, hw, SwPte::file(false, false))
+            .is_none());
         assert_eq!(ptp.valid_count(TableHalf::Lower), 1);
         assert_eq!(ptp.total_valid(), 1);
         let slot = ptp.get(TableHalf::Lower, 3).unwrap();
@@ -240,9 +249,11 @@ mod tests {
         let hw = HwPte::small(Pfn::new(1), Perms::R, false);
         ptp.set(TableHalf::Upper, 10, hw, SwPte::default());
         ptp.set(TableHalf::Lower, 20, hw, SwPte::default());
-        let visited: Vec<(TableHalf, usize)> =
-            ptp.iter().map(|(h, i, _)| (h, i)).collect();
-        assert_eq!(visited, vec![(TableHalf::Lower, 20), (TableHalf::Upper, 10)]);
+        let visited: Vec<(TableHalf, usize)> = ptp.iter().map(|(h, i, _)| (h, i)).collect();
+        assert_eq!(
+            visited,
+            vec![(TableHalf::Lower, 20), (TableHalf::Upper, 10)]
+        );
     }
 
     #[test]
@@ -261,10 +272,12 @@ mod tests {
         store.insert(f);
         assert!(store.get(f).is_some());
         assert_eq!(store.len(), 1);
-        store
-            .get_mut(f)
-            .unwrap()
-            .set(TableHalf::Lower, 0, HwPte::small(Pfn::new(9), Perms::R, false), SwPte::default());
+        store.get_mut(f).unwrap().set(
+            TableHalf::Lower,
+            0,
+            HwPte::small(Pfn::new(9), Perms::R, false),
+            SwPte::default(),
+        );
         let removed = store.remove(f).unwrap();
         assert_eq!(removed.total_valid(), 1);
         assert!(store.is_empty());
@@ -275,10 +288,12 @@ mod tests {
         let mut store = PtpStore::new();
         let a = Pfn::new(1);
         store.insert(a);
-        store
-            .get_mut(a)
-            .unwrap()
-            .set(TableHalf::Upper, 42, HwPte::small(Pfn::new(3), Perms::RX, true), SwPte::default());
+        store.get_mut(a).unwrap().set(
+            TableHalf::Upper,
+            42,
+            HwPte::small(Pfn::new(3), Perms::RX, true),
+            SwPte::default(),
+        );
         let copy = store.get(a).unwrap().clone();
         let b = Pfn::new(2);
         store.insert_clone(b, copy);

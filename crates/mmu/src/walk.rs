@@ -8,7 +8,7 @@
 //! traffic; duplicated private page tables mean duplicated PTE cache
 //! lines, which is one of the inefficiencies the paper eliminates.
 
-use sat_types::{Domain, PageSize, Perms, PhysAddr, Pfn, VirtAddr};
+use sat_types::{Domain, PageSize, Perms, Pfn, PhysAddr, VirtAddr};
 
 use crate::l1::{L1Entry, RootTable};
 use crate::ptp::{Ptp, PtpStore};
@@ -156,10 +156,12 @@ mod tests {
             }
             e => panic!("unexpected {e:?}"),
         };
-        fx.ptps
-            .get_mut(ptp_frame)
-            .unwrap()
-            .set(TableHalf::of(va), va.l2_index(), HwPte::small(pfn, perms, global), SwPte::default());
+        fx.ptps.get_mut(ptp_frame).unwrap().set(
+            TableHalf::of(va),
+            va.l2_index(),
+            HwPte::small(pfn, perms, global),
+            SwPte::default(),
+        );
     }
 
     #[test]

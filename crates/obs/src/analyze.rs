@@ -98,11 +98,21 @@ pub struct Rollup {
     pub domain_faults: u64,
     /// ASID generation rollovers (8-bit space exhausted).
     pub asid_rollovers: u64,
-    /// Precise `flush_asid` shootdowns resolved against the residency
-    /// map, with how many cores took/avoided the IPI.
+    /// Precise shootdowns resolved against the residency map, with how
+    /// many cores took the flush, did it locally (no IPI), or avoided
+    /// it entirely.
     pub shootdowns: u64,
     pub shootdown_cores_targeted: u64,
+    pub shootdown_cores_local: u64,
     pub shootdown_cores_skipped: u64,
+    /// Shootdowns delivered at range/page granularity (the rest were
+    /// whole-ASID).
+    pub shootdowns_ranged: u64,
+    /// `FlushBatch` applications and their accumulated op statistics.
+    pub batches: u64,
+    pub batch_ops: u64,
+    pub batch_coalesced: u64,
+    pub batch_escalated: u64,
     /// Scheduler timeslice preemptions.
     pub preemptions: u64,
     /// Duration spans keyed `cat.name`.
@@ -147,16 +157,34 @@ impl Rollup {
                 Payload::DomainFault { .. } => r.domain_faults += 1,
                 Payload::AsidRollover { .. } => r.asid_rollovers += 1,
                 Payload::TlbShootdown {
+                    scope,
                     cores_targeted,
+                    cores_local,
                     cores_skipped,
                     ..
                 } => {
                     r.shootdowns += 1;
                     r.shootdown_cores_targeted += u64::from(*cores_targeted);
+                    r.shootdown_cores_local += u64::from(*cores_local);
                     r.shootdown_cores_skipped += u64::from(*cores_skipped);
+                    if matches!(scope, crate::FlushScope::Range | crate::FlushScope::Page) {
+                        r.shootdowns_ranged += 1;
+                    }
+                }
+                Payload::FlushBatch {
+                    ops,
+                    coalesced,
+                    escalated,
+                } => {
+                    r.batches += 1;
+                    r.batch_ops += ops;
+                    r.batch_coalesced += coalesced;
+                    r.batch_escalated += escalated;
                 }
                 Payload::Preempt { .. } => r.preemptions += 1,
-                Payload::RegionOp { op, va, pages: n, .. } => {
+                Payload::RegionOp {
+                    op, va, pages: n, ..
+                } => {
                     *r.region_ops.entry(op.as_str()).or_default() += 1;
                     let set = pages.entry(event.pid).or_default();
                     let first = va / PAGE_BYTES;
@@ -282,7 +310,11 @@ impl Rollup {
         UnshareCause::ALL
             .into_iter()
             .map(|cause| {
-                let n = self.unshare_causes.get(cause.as_str()).copied().unwrap_or(0);
+                let n = self
+                    .unshare_causes
+                    .get(cause.as_str())
+                    .copied()
+                    .unwrap_or(0);
                 let pct = if total == 0 {
                     0.0
                 } else {

@@ -115,12 +115,25 @@ fn args_json(payload: &Payload) -> String {
         }
         Payload::TlbShootdown {
             asid,
+            scope,
             cores_targeted,
+            cores_local,
             cores_skipped,
         } => {
             push_kv_num(&mut o, "asid", u64::from(*asid), false);
+            push_kv_str(&mut o, "scope", scope.as_str(), true);
             push_kv_num(&mut o, "cores_targeted", u64::from(*cores_targeted), true);
+            push_kv_num(&mut o, "cores_local", u64::from(*cores_local), true);
             push_kv_num(&mut o, "cores_skipped", u64::from(*cores_skipped), true);
+        }
+        Payload::FlushBatch {
+            ops,
+            coalesced,
+            escalated,
+        } => {
+            push_kv_num(&mut o, "ops", *ops, false);
+            push_kv_num(&mut o, "coalesced", *coalesced, true);
+            push_kv_num(&mut o, "escalated", *escalated, true);
         }
         Payload::Preempt { core, next } => {
             push_kv_num(&mut o, "core", u64::from(*core), false);
@@ -185,11 +198,7 @@ pub fn chrome_trace_json(rec: &Recording) -> String {
 fn histogram_json(h: &Histogram) -> String {
     // Trailing zero buckets are trimmed; bucket i covers values with
     // floor(log2(max(v,1))) == i.
-    let last = h
-        .buckets
-        .iter()
-        .rposition(|&b| b != 0)
-        .map_or(0, |i| i + 1);
+    let last = h.buckets.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
     let buckets: Vec<String> = h.buckets[..last].iter().map(|b| b.to_string()).collect();
     format!(
         "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.3}, \"p50\": {}, \"p95\": {}, \"log2_buckets\": [{}]}}",
@@ -317,10 +326,21 @@ fn parse_event(obj: &crate::json::Json, index: usize) -> Result<Event, String> {
             "asid_rollover" => Payload::AsidRollover {
                 generation: field_u64(args, "generation", &ctx)?,
             },
-            "tlb_shootdown" => Payload::TlbShootdown {
-                asid: field_u64(args, "asid", &ctx)? as u8,
-                cores_targeted: field_u64(args, "cores_targeted", &ctx)? as u32,
-                cores_skipped: field_u64(args, "cores_skipped", &ctx)? as u32,
+            "tlb_shootdown" => {
+                let scope_s = arg_str(args, "scope", &ctx)?;
+                Payload::TlbShootdown {
+                    asid: field_u64(args, "asid", &ctx)? as u8,
+                    scope: FlushScope::parse(scope_s)
+                        .ok_or_else(|| format!("{ctx}: unknown flush scope \"{scope_s}\""))?,
+                    cores_targeted: field_u64(args, "cores_targeted", &ctx)? as u32,
+                    cores_local: field_u64(args, "cores_local", &ctx)? as u32,
+                    cores_skipped: field_u64(args, "cores_skipped", &ctx)? as u32,
+                }
+            }
+            "flush_batch" => Payload::FlushBatch {
+                ops: field_u64(args, "ops", &ctx)?,
+                coalesced: field_u64(args, "coalesced", &ctx)?,
+                escalated: field_u64(args, "escalated", &ctx)?,
             },
             "preempt" => Payload::Preempt {
                 core: field_u64(args, "core", &ctx)? as u32,
@@ -369,7 +389,12 @@ pub fn parse_chrome_trace(doc: &crate::json::Json) -> Result<ParsedTrace, String
 /// Serializes the metrics registry (plus the ring's drop counter) as a
 /// JSON object — the `obs` section of `BENCH_repro.json` v2. `indent`
 /// is the base indentation applied to every line after the first.
-pub fn metrics_json(metrics: &MetricsRegistry, enabled: bool, dropped: u64, indent: &str) -> String {
+pub fn metrics_json(
+    metrics: &MetricsRegistry,
+    enabled: bool,
+    dropped: u64,
+    indent: &str,
+) -> String {
     let mut out = String::from("{\n");
     let field = |out: &mut String, name: &str| {
         out.push_str(indent);

@@ -210,6 +210,11 @@ pub enum FlushScope {
     VaAllAsids,
     /// `MainTlb::flush_va`.
     Va,
+    /// `MainTlb::flush_page` — one ASID-tagged page, globals survive.
+    Page,
+    /// `MainTlb::flush_range` — a VPN range within one ASID, globals
+    /// survive (the gather escalates to `Asid` past the ceiling).
+    Range,
     /// `MainTlb::flush_non_global`.
     NonGlobal,
     /// `MicroTlb::flush` (context-switch full clear).
@@ -225,6 +230,8 @@ impl FlushScope {
             FlushScope::Asid => "asid",
             FlushScope::VaAllAsids => "va_all_asids",
             FlushScope::Va => "va",
+            FlushScope::Page => "page",
+            FlushScope::Range => "range",
             FlushScope::NonGlobal => "non_global",
             FlushScope::MicroAll => "micro_all",
             FlushScope::MicroVa => "micro_va",
@@ -237,11 +244,13 @@ impl FlushScope {
     }
 
     /// Every scope, in `as_str` order.
-    pub const ALL: [FlushScope; 7] = [
+    pub const ALL: [FlushScope; 9] = [
         FlushScope::All,
         FlushScope::Asid,
         FlushScope::VaAllAsids,
         FlushScope::Va,
+        FlushScope::Page,
+        FlushScope::Range,
         FlushScope::NonGlobal,
         FlushScope::MicroAll,
         FlushScope::MicroVa,
@@ -258,6 +267,8 @@ impl FlushScope {
             FlushScope::Asid => "tlb.flush.scope.asid",
             FlushScope::VaAllAsids => "tlb.flush.scope.va_all_asids",
             FlushScope::Va => "tlb.flush.scope.va",
+            FlushScope::Page => "tlb.flush.scope.page",
+            FlushScope::Range => "tlb.flush.scope.range",
             FlushScope::NonGlobal => "tlb.flush.scope.non_global",
             FlushScope::MicroAll => "tlb.flush.scope.micro_all",
             FlushScope::MicroVa => "tlb.flush.scope.micro_va",
@@ -430,13 +441,28 @@ pub enum Payload {
     /// generation. Live ASIDs are reassigned lazily at switch-in and
     /// one non-global flush follows (global entries survive).
     AsidRollover { generation: u64 },
-    /// A `flush_asid` shootdown was resolved against the per-core
-    /// residency map: only `cores_targeted` cores took an IPI;
-    /// `cores_skipped` never held the ASID and were left alone.
+    /// A precise shootdown was resolved against the per-core residency
+    /// map. `scope` is the invalidation granularity the resident cores
+    /// flushed at (`Asid`, `Range`, or `Page`); `cores_targeted` cores
+    /// held the ASID and flushed, of which `cores_local` were the
+    /// initiating core itself (a local TLBI, no IPI — the IPI count is
+    /// `cores_targeted - cores_local`); `cores_skipped` never held the
+    /// ASID and were left alone.
     TlbShootdown {
         asid: u8,
+        scope: FlushScope,
         cores_targeted: u32,
+        cores_local: u32,
         cores_skipped: u32,
+    },
+    /// A `FlushBatch` (mmu_gather analogue) resolved its accumulated
+    /// invalidations: `ops` as enqueued by call sites, `coalesced`
+    /// merges of adjacent/overlapping pages and ranges, `escalated`
+    /// per-ASID widenings past the page-count ceiling.
+    FlushBatch {
+        ops: u64,
+        coalesced: u64,
+        escalated: u64,
     },
     /// The scheduler preempted `pid` on `core` in favour of `next`
     /// (end of timeslice).
@@ -469,6 +495,7 @@ impl Payload {
             Payload::TlbFlush { .. } => "tlb_flush",
             Payload::AsidRollover { .. } => "asid_rollover",
             Payload::TlbShootdown { .. } => "tlb_shootdown",
+            Payload::FlushBatch { .. } => "flush_batch",
             Payload::Preempt { .. } => "preempt",
             Payload::SpanBegin { name } | Payload::SpanEnd { name, .. } => name,
         }

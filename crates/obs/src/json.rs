@@ -339,7 +339,10 @@ mod tests {
         let v = Json::parse(doc).unwrap();
         assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
         assert_eq!(v.get("a").unwrap().as_array().unwrap()[0].as_u64(), Some(1));
-        assert_eq!(v.get("b").and_then(|b| b.get("c")).unwrap().as_bool(), Some(true));
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("c")).unwrap().as_bool(),
+            Some(true)
+        );
         assert_eq!(v.get("b").and_then(|b| b.get("d")), Some(&Json::Null));
         assert_eq!(v.get("e").unwrap().as_str(), Some("x\ny"));
     }
@@ -370,7 +373,9 @@ mod tests {
         let item = r#"{"name": "event.name.padding.padding", "cat": "tlb", "args": {"reason": "context_switch"}}"#;
         let doc = format!(
             "[{}]",
-            std::iter::repeat_n(item, 40_000).collect::<Vec<_>>().join(", ")
+            std::iter::repeat_n(item, 40_000)
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         assert!(doc.len() > 3_000_000);
         let v = Json::parse(&doc).unwrap();

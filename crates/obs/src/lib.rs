@@ -117,7 +117,8 @@ pub fn install_sink(sink: Box<dyn EventSink>) {
 pub fn uninstall() -> Option<Recording> {
     ENABLED.with(|e| e.set(false));
     FLUSH_REASON.with(|r| r.set(FlushReason::Unattributed));
-    SINK.with(|s| s.borrow_mut().take()).map(|sink| sink.finish())
+    SINK.with(|s| s.borrow_mut().take())
+        .map(|sink| sink.finish())
 }
 
 /// Records one event on this thread's sink (no-op when disabled —
@@ -221,7 +222,13 @@ mod tests {
         assert!(!enabled());
         assert_eq!(rec.events.len(), 1);
         assert_eq!(rec.events[0].pid, 3);
-        assert_eq!(rec.metrics.histogram("sim.soft_fault_cycles").unwrap().count, 1);
+        assert_eq!(
+            rec.metrics
+                .histogram("sim.soft_fault_cycles")
+                .unwrap()
+                .count,
+            1
+        );
         assert!(uninstall().is_none());
     }
 

@@ -234,13 +234,31 @@ impl MetricsRegistry {
             }
             Payload::AsidRollover { .. } => self.inc("kernel.asid.rollover", 1),
             Payload::TlbShootdown {
+                scope,
                 cores_targeted,
+                cores_local,
                 cores_skipped,
                 ..
             } => {
                 self.inc("tlb.shootdown", 1);
                 self.inc("tlb.shootdown.cores", u64::from(*cores_targeted));
+                self.inc("tlb.shootdown.local", u64::from(*cores_local));
                 self.inc("tlb.shootdown.skipped", u64::from(*cores_skipped));
+                if matches!(scope, crate::FlushScope::Range | crate::FlushScope::Page) {
+                    self.inc("tlb.shootdown.scope.range", 1);
+                } else {
+                    self.inc("tlb.shootdown.scope.asid", 1);
+                }
+            }
+            Payload::FlushBatch {
+                ops,
+                coalesced,
+                escalated,
+            } => {
+                self.inc("tlb.batch", 1);
+                self.inc("tlb.batch.ops", *ops);
+                self.inc("tlb.batch.coalesced", *coalesced);
+                self.inc("tlb.batch.escalated", *escalated);
             }
             Payload::Preempt { .. } => self.inc("sched.preempt", 1),
             // Only the closing half of a span moves metrics; the

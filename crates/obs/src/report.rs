@@ -92,7 +92,11 @@ pub fn render_text(r: &Rollup) -> String {
         let _ = writeln!(out, "{:<16}  {:>8}  {:>10}", "reason", "flushes", "entries");
         rule(&mut out, &[16, 8, 10]);
         for (reason, agg) in table.iter() {
-            let _ = writeln!(out, "{:<16}  {:>8}  {:>10}", reason, agg.flushes, agg.entries);
+            let _ = writeln!(
+                out,
+                "{:<16}  {:>8}  {:>10}",
+                reason, agg.flushes, agg.entries
+            );
         }
     }
 
@@ -112,9 +116,22 @@ pub fn render_text(r: &Rollup) -> String {
         let _ = writeln!(out, "asid rollovers:         {}", r.asid_rollovers);
         let _ = writeln!(
             out,
-            "precise shootdowns:     {} (cores IPI'd: {}, cores skipped: {})",
-            r.shootdowns, r.shootdown_cores_targeted, r.shootdown_cores_skipped
+            "precise shootdowns:     {} (cores flushed: {}, local no-IPI: {}, cores skipped: {}, \
+             range-granular: {})",
+            r.shootdowns,
+            r.shootdown_cores_targeted,
+            r.shootdown_cores_local,
+            r.shootdown_cores_skipped,
+            r.shootdowns_ranged
         );
+    }
+
+    if r.batches > 0 {
+        heading(&mut out, "Flush batching (mmu_gather)");
+        let _ = writeln!(out, "batches applied:        {}", r.batches);
+        let _ = writeln!(out, "ops gathered:           {}", r.batch_ops);
+        let _ = writeln!(out, "ops coalesced away:     {}", r.batch_coalesced);
+        let _ = writeln!(out, "escalated to asid:      {}", r.batch_escalated);
     }
 
     if !r.spans.is_empty() {
@@ -296,7 +313,9 @@ pub fn render_json(r: &Rollup) -> String {
         "  \"totals\": {{\"forks\": {}, \"shared_forks\": {}, \"exits\": {}, \
          \"domain_faults\": {}, \"unshare_ptes_copied\": {}, \"faults_file_backed\": {}, \
          \"asid_rollovers\": {}, \"shootdowns\": {}, \"shootdown_cores_targeted\": {}, \
-         \"shootdown_cores_skipped\": {}, \"preemptions\": {}}}",
+         \"shootdown_cores_local\": {}, \"shootdown_cores_skipped\": {}, \
+         \"shootdowns_ranged\": {}, \"preemptions\": {}, \"flush_batches\": {}, \
+         \"flush_batch_ops\": {}, \"flush_batch_coalesced\": {}, \"flush_batch_escalated\": {}}}",
         r.forks,
         r.shared_forks,
         r.exits,
@@ -306,8 +325,14 @@ pub fn render_json(r: &Rollup) -> String {
         r.asid_rollovers,
         r.shootdowns,
         r.shootdown_cores_targeted,
+        r.shootdown_cores_local,
         r.shootdown_cores_skipped,
-        r.preemptions
+        r.shootdowns_ranged,
+        r.preemptions,
+        r.batches,
+        r.batch_ops,
+        r.batch_coalesced,
+        r.batch_escalated
     );
     out.push_str("}\n");
     out
@@ -393,7 +418,10 @@ mod tests {
                 .and_then(Json::as_u64),
             Some(1)
         );
-        let span = v.get("spans").and_then(|s| s.get("android.launch.exec")).unwrap();
+        let span = v
+            .get("spans")
+            .and_then(|s| s.get("android.launch.exec"))
+            .unwrap();
         let values = span.get("values").unwrap();
         assert_eq!(values.get("p50").and_then(Json::as_u64), Some(750));
         assert_eq!(values.get("max").and_then(Json::as_u64), Some(750));

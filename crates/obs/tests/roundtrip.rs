@@ -33,7 +33,12 @@ fn emit_one_of_each() {
             unshared: 1,
         },
     );
-    sat_obs::emit(Subsystem::Kernel, 3, 3, Payload::DomainFault { va: 0x4000_2000 });
+    sat_obs::emit(
+        Subsystem::Kernel,
+        3,
+        3,
+        Payload::DomainFault { va: 0x4000_2000 },
+    );
     sat_obs::emit(
         Subsystem::Share,
         2,
@@ -74,18 +79,72 @@ fn emit_one_of_each() {
             entries: 4,
         },
     );
-    sat_obs::emit(Subsystem::Kernel, 0, 0, Payload::AsidRollover { generation: 3 });
+    sat_obs::emit(
+        Subsystem::Kernel,
+        0,
+        0,
+        Payload::AsidRollover { generation: 3 },
+    );
     sat_obs::emit(
         Subsystem::Sim,
         0,
         5,
         Payload::TlbShootdown {
             asid: 5,
+            scope: FlushScope::Asid,
+            cores_targeted: 2,
+            cores_local: 1,
+            cores_skipped: 2,
+        },
+    );
+    sat_obs::emit(
+        Subsystem::Sim,
+        0,
+        5,
+        Payload::TlbShootdown {
+            asid: 5,
+            scope: FlushScope::Range,
             cores_targeted: 1,
+            cores_local: 0,
             cores_skipped: 3,
         },
     );
-    sat_obs::emit(Subsystem::Sched, 7, 2, Payload::Preempt { core: 2, next: 9 });
+    sat_obs::emit(
+        Subsystem::Tlb,
+        0,
+        2,
+        Payload::TlbFlush {
+            scope: FlushScope::Range,
+            reason: FlushReason::RegionOp,
+            entries: 3,
+        },
+    );
+    sat_obs::emit(
+        Subsystem::Tlb,
+        0,
+        2,
+        Payload::TlbFlush {
+            scope: FlushScope::Page,
+            reason: FlushReason::Unshare,
+            entries: 1,
+        },
+    );
+    sat_obs::emit(
+        Subsystem::Tlb,
+        0,
+        2,
+        Payload::FlushBatch {
+            ops: 5,
+            coalesced: 3,
+            escalated: 1,
+        },
+    );
+    sat_obs::emit(
+        Subsystem::Sched,
+        7,
+        2,
+        Payload::Preempt { core: 2, next: 9 },
+    );
     sat_obs::emit(
         Subsystem::Android,
         4,
@@ -159,8 +218,14 @@ fn chrome_trace_round_trips_field_by_field() {
                 shared,
             } => {
                 assert_eq!(args.get("child").unwrap().as_u64(), Some(u64::from(*child)));
-                assert_eq!(args.get("ptps_shared").unwrap().as_u64(), Some(*ptps_shared));
-                assert_eq!(args.get("ptes_copied").unwrap().as_u64(), Some(*ptes_copied));
+                assert_eq!(
+                    args.get("ptps_shared").unwrap().as_u64(),
+                    Some(*ptps_shared)
+                );
+                assert_eq!(
+                    args.get("ptes_copied").unwrap().as_u64(),
+                    Some(*ptes_copied)
+                );
                 assert_eq!(args.get("shared").unwrap().as_bool(), Some(*shared));
             }
             Payload::Exit => assert!(args.as_object().unwrap().is_empty()),
@@ -195,8 +260,14 @@ fn chrome_trace_round_trips_field_by_field() {
                 va,
             } => {
                 assert_eq!(args.get("cause").unwrap().as_str(), Some(cause.as_str()));
-                assert_eq!(args.get("ptes_copied").unwrap().as_u64(), Some(*ptes_copied));
-                assert_eq!(args.get("last_sharer").unwrap().as_bool(), Some(*last_sharer));
+                assert_eq!(
+                    args.get("ptes_copied").unwrap().as_u64(),
+                    Some(*ptes_copied)
+                );
+                assert_eq!(
+                    args.get("last_sharer").unwrap().as_bool(),
+                    Some(*last_sharer)
+                );
                 assert_eq!(args.get("va").unwrap().as_u64(), Some(u64::from(*va)));
             }
             Payload::PageFault {
@@ -206,7 +277,10 @@ fn chrome_trace_round_trips_field_by_field() {
             } => {
                 assert_eq!(args.get("class").unwrap().as_str(), Some(class.as_str()));
                 assert_eq!(args.get("va").unwrap().as_u64(), Some(u64::from(*va)));
-                assert_eq!(args.get("file_backed").unwrap().as_bool(), Some(*file_backed));
+                assert_eq!(
+                    args.get("file_backed").unwrap().as_bool(),
+                    Some(*file_backed)
+                );
             }
             Payload::TlbFlush {
                 scope,
@@ -222,18 +296,34 @@ fn chrome_trace_round_trips_field_by_field() {
             }
             Payload::TlbShootdown {
                 asid,
+                scope,
                 cores_targeted,
+                cores_local,
                 cores_skipped,
             } => {
                 assert_eq!(args.get("asid").unwrap().as_u64(), Some(u64::from(*asid)));
+                assert_eq!(args.get("scope").unwrap().as_str(), Some(scope.as_str()));
                 assert_eq!(
                     args.get("cores_targeted").unwrap().as_u64(),
                     Some(u64::from(*cores_targeted))
                 );
                 assert_eq!(
+                    args.get("cores_local").unwrap().as_u64(),
+                    Some(u64::from(*cores_local))
+                );
+                assert_eq!(
                     args.get("cores_skipped").unwrap().as_u64(),
                     Some(u64::from(*cores_skipped))
                 );
+            }
+            Payload::FlushBatch {
+                ops,
+                coalesced,
+                escalated,
+            } => {
+                assert_eq!(args.get("ops").unwrap().as_u64(), Some(*ops));
+                assert_eq!(args.get("coalesced").unwrap().as_u64(), Some(*coalesced));
+                assert_eq!(args.get("escalated").unwrap().as_u64(), Some(*escalated));
             }
             Payload::Preempt { core, next } => {
                 assert_eq!(args.get("core").unwrap().as_u64(), Some(u64::from(*core)));

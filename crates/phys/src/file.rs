@@ -59,9 +59,7 @@ impl FileRegistry {
 
     /// Looks up a file's metadata.
     pub fn get(&self, id: FileId) -> SatResult<&FileMeta> {
-        self.files
-            .get(id.0 as usize)
-            .ok_or(SatError::NoSuchFile)
+        self.files.get(id.0 as usize).ok_or(SatError::NoSuchFile)
     }
 
     /// Finds a file by name.

@@ -223,7 +223,10 @@ mod tests {
     fn exhaustion_returns_enomem() {
         let mut pm = PhysMem::new(1);
         pm.alloc(FrameKind::Anon).unwrap();
-        assert_eq!(pm.alloc(FrameKind::Anon).unwrap_err(), SatError::OutOfMemory);
+        assert_eq!(
+            pm.alloc(FrameKind::Anon).unwrap_err(),
+            SatError::OutOfMemory
+        );
     }
 
     #[test]

@@ -111,6 +111,12 @@ impl Scheduler {
         }
     }
 
+    /// The core whose run queue currently holds `pid` — the process's
+    /// home core, where its exit path runs.
+    pub fn core_of(&self, pid: Pid) -> Option<usize> {
+        self.queues.iter().position(|q| q.contains(&pid))
+    }
+
     /// Pops the next process to run on `core`, if any.
     pub fn next(&mut self, core: usize) -> Option<Pid> {
         self.queues[core].pop_front()
@@ -215,7 +221,8 @@ pub struct TimeshareReport {
     pub page_faults: u64,
     /// Main-TLB hits on another process's global entry.
     pub cross_asid_hits: u64,
-    /// Shootdown IPIs delivered (cores targeted by `flush_asid`).
+    /// Shootdown IPIs delivered (remote cores targeted by a precise
+    /// shootdown; the initiating core's local invalidation is free).
     pub shootdown_ipis: u64,
     /// Per-core flushes a precise shootdown skipped.
     pub avoided_flushes: u64,
@@ -256,8 +263,13 @@ impl TimeshareSim {
     /// children to the scheduler.
     pub fn boot(config: KernelConfig, opts: TimeshareOptions) -> SatResult<TimeshareSim> {
         assert!(opts.cores >= 1);
-        let mut sys =
-            AndroidSystem::boot(config, LibraryLayout::Original, opts.seed, 11, BootOptions::small())?;
+        let mut sys = AndroidSystem::boot(
+            config,
+            LibraryLayout::Original,
+            opts.seed,
+            11,
+            BootOptions::small(),
+        )?;
         while sys.machine.cores.len() < opts.cores {
             sys.machine.cores.push(Core::default());
         }
@@ -292,8 +304,14 @@ impl TimeshareSim {
         let mut code = Vec::with_capacity(self.opts.ws_pages);
         for _ in 0..self.opts.ws_pages {
             let lib = preloaded[self.rng.below(preloaded.len() as u64) as usize];
-            let base = self.sys.map.code_base(lib).ok_or(SatError::InvalidArgument)?;
-            let page = self.rng.below(u64::from(self.sys.catalog.lib(lib).code_pages)) as u32;
+            let base = self
+                .sys
+                .map
+                .code_base(lib)
+                .ok_or(SatError::InvalidArgument)?;
+            let page =
+                self.rng
+                    .below(u64::from(self.sys.catalog.lib(lib).code_pages)) as u32;
             code.push(VirtAddr::new(base.raw() + page * PAGE_SIZE));
         }
 
@@ -324,11 +342,21 @@ impl TimeshareSim {
         Ok(pid)
     }
 
-    /// Exits `pid` and removes it from the scheduler.
+    /// Exits `pid` and removes it from the scheduler. The exit runs
+    /// on the victim's home core, so the per-ASID exit flush
+    /// invalidates that core's TLB locally and IPIs only the *other*
+    /// cores where the ASID is resident.
     pub fn reap(&mut self, pid: Pid) -> SatResult<()> {
+        let home = self.sched.core_of(pid);
         self.sched.remove(pid);
         self.tasks.remove(&pid);
-        self.sys.machine.syscall(|k, tlb| k.exit(pid, tlb))?;
+        match home {
+            Some(core) => self
+                .sys
+                .machine
+                .syscall_on(core, |k, tlb| k.exit(pid, tlb))?,
+            None => self.sys.machine.syscall(|k, tlb| k.exit(pid, tlb))?,
+        };
         Ok(())
     }
 
@@ -381,7 +409,9 @@ impl TimeshareSim {
         let Some(&peer) = self.tasks.keys().find(|&&p| p != pid) else {
             return Ok(());
         };
-        self.sys.machine.run_kernel_lines(core, BINDER_PATH_PAGE, 120)?;
+        self.sys
+            .machine
+            .run_kernel_lines(core, BINDER_PATH_PAGE, 120)?;
         self.sys.machine.context_switch(core, peer)?;
         {
             let task = self.tasks.get_mut(&peer).expect("peer has a task");
@@ -392,7 +422,9 @@ impl TimeshareSim {
                 machine.access(core, va, AccessType::Execute)?;
             }
         }
-        self.sys.machine.run_kernel_lines(core, BINDER_PATH_PAGE, 100)?;
+        self.sys
+            .machine
+            .run_kernel_lines(core, BINDER_PATH_PAGE, 100)?;
         self.sys.machine.context_switch(core, pid)?;
         Ok(())
     }
@@ -527,15 +559,27 @@ mod tests {
         let cores = opts.cores as u64;
 
         // Counter-verify against the shootdown metrics (exact even on
-        // ring overflow): every `flush_asid` resolves each core to an
-        // IPI or a skip, and both sides reconcile with the machine's
-        // own counters.
+        // ring overflow): every shootdown resolves each core to an
+        // IPI, a free local invalidation on the initiating core, or a
+        // skip — and all three sides reconcile with the machine's own
+        // counters.
         let calls = rec.metrics.counter("tlb.shootdown");
-        assert!(calls > 0, "the run never issued a flush_asid shootdown");
-        assert_eq!(rec.metrics.counter("tlb.shootdown.cores"), r.shootdown_ipis);
-        assert_eq!(rec.metrics.counter("tlb.shootdown.skipped"), r.avoided_flushes);
+        let local = rec.metrics.counter("tlb.shootdown.local");
+        assert!(calls > 0, "the run never issued a shootdown");
+        assert!(
+            local > 0,
+            "reaping on the home core must invalidate locally"
+        );
         assert_eq!(
-            r.shootdown_ipis + r.avoided_flushes,
+            rec.metrics.counter("tlb.shootdown.cores"),
+            r.shootdown_ipis + local
+        );
+        assert_eq!(
+            rec.metrics.counter("tlb.shootdown.skipped"),
+            r.avoided_flushes
+        );
+        assert_eq!(
+            r.shootdown_ipis + local + r.avoided_flushes,
             calls * cores,
             "every shootdown must resolve each core exactly once"
         );
@@ -579,7 +623,10 @@ mod tests {
         // per generation bump.
         let flushes = rec.metrics.counter("tlb.flush.scope.non_global");
         assert_eq!(flushes, r.asid_rollovers * opts.cores as u64);
-        assert_eq!(rec.metrics.counter("kernel.asid.rollover"), r.asid_rollovers);
+        assert_eq!(
+            rec.metrics.counter("kernel.asid.rollover"),
+            r.asid_rollovers
+        );
 
         // Every non-global flush in the ring is attributed to the
         // rollover path.
@@ -593,7 +640,10 @@ mod tests {
 
         // Global zygote entries survived the rollovers and kept
         // serving other processes.
-        assert!(r.global_entries_now > 0, "rollover killed the global entries");
+        assert!(
+            r.global_entries_now > 0,
+            "rollover killed the global entries"
+        );
         assert!(r.cross_asid_hits > 0);
     }
 }

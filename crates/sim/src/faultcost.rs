@@ -16,7 +16,9 @@ use crate::machine::Machine;
 /// faults, LMbench-style. Returns `(mean_cycles, faults_measured)`.
 pub fn measure_soft_fault_cycles(pages: u32) -> SatResult<(f64, u64)> {
     let mut kernel = Kernel::new(KernelConfig::stock(), 4 * pages + 4096);
-    let file = kernel.files.register("lat_pagefault.dat", pages * PAGE_SIZE);
+    let file = kernel
+        .files
+        .register("lat_pagefault.dat", pages * PAGE_SIZE);
     let pid = kernel.create_process()?;
     let mut m = Machine::single_core(kernel);
     m.context_switch(0, pid)?;
@@ -33,7 +35,11 @@ pub fn measure_soft_fault_cycles(pages: u32) -> SatResult<(f64, u64)> {
 
     // Pass 1: hard faults warm the page cache.
     for i in 0..pages {
-        m.access(0, VirtAddr::new(addr.raw() + i * PAGE_SIZE), AccessType::Read)?;
+        m.access(
+            0,
+            VirtAddr::new(addr.raw() + i * PAGE_SIZE),
+            AccessType::Read,
+        )?;
     }
     // Unmap and remap: the PTEs are gone, the page cache is warm.
     let range = VaRange::from_len(addr, pages * PAGE_SIZE);
@@ -47,7 +53,11 @@ pub fn measure_soft_fault_cycles(pages: u32) -> SatResult<(f64, u64)> {
     let faults_before = m.kernel.mm(pid)?.counters.faults_soft;
     let mut total_cycles = 0u64;
     for i in 0..pages {
-        let cycles = m.access(0, VirtAddr::new(addr.raw() + i * PAGE_SIZE), AccessType::Read)?;
+        let cycles = m.access(
+            0,
+            VirtAddr::new(addr.raw() + i * PAGE_SIZE),
+            AccessType::Read,
+        )?;
         sat_obs::record_value("sim.soft_fault_cycles", cycles);
         total_cycles += cycles;
     }

@@ -101,33 +101,58 @@ impl Core {
     }
 }
 
-
 /// A [`TlbMaintenance`] view over every core's TLBs: kernel flush
 /// operations behave as TLB shootdowns across the machine.
 ///
-/// `flush_asid` is a *precise* shootdown: it consults each core's
-/// residency map and IPIs (flushes + charges `ipi_cost` to) only the
-/// cores where the target ASID may still hold non-global entries.
-/// Skipped cores pay nothing and bump `TlbStats::avoided_flushes`.
+/// `flush_asid`, `flush_page`, and `flush_range` are *precise*
+/// shootdowns: they consult each core's residency map and IPI
+/// (flush + charge `ipi_cost` to) only the cores where the target
+/// ASID may still hold non-global entries. Skipped cores pay nothing
+/// and bump `TlbStats::avoided_flushes`. When the view carries an
+/// `initiator`, that core invalidates with a local `TLBI` instead of
+/// an IPI — Linux's `flush_tlb_*` issue the local invalidation
+/// inline and IPI only the *other* CPUs in `mm_cpumask`.
 pub struct MachineTlbView<'a> {
     cores: &'a mut [Core],
     /// Cycles charged to each *targeted* core (`CycleModel::ipi`).
     ipi_cost: u64,
+    /// The core running the kernel operation, if known: its own
+    /// invalidation is local, not an IPI.
+    initiator: Option<usize>,
 }
 
-impl TlbMaintenance for MachineTlbView<'_> {
-    fn flush_asid(&mut self, asid: Asid) {
+impl MachineTlbView<'_> {
+    /// Resolves one precise shootdown: runs `invalidate` on every
+    /// core where `asid` may be resident, charges IPIs to all
+    /// targeted cores but the initiator, and emits the
+    /// [`sat_obs::Payload::TlbShootdown`] accounting event.
+    /// `clear_residency` is set for full-ASID invalidations only —
+    /// page/range flushes may leave other entries of the ASID behind.
+    fn shootdown(
+        &mut self,
+        asid: Asid,
+        scope: sat_obs::FlushScope,
+        clear_residency: bool,
+        mut invalidate: impl FnMut(&mut Core),
+    ) {
         let mut targeted = 0u32;
+        let mut local = 0u32;
         let mut skipped = 0u32;
-        for core in self.cores.iter_mut() {
+        for (i, core) in self.cores.iter_mut().enumerate() {
             if core.asid_resident(asid) {
-                core.main_tlb.flush_asid(asid);
-                core.micro_i.flush();
-                core.micro_d.flush();
-                core.clear_resident(asid);
-                core.stats.cycles += self.ipi_cost;
-                core.stats.tlb_shootdown_ipis += 1;
+                invalidate(core);
+                if clear_residency {
+                    core.clear_resident(asid);
+                }
                 targeted += 1;
+                if self.initiator == Some(i) {
+                    // The initiating core invalidates its own TLB
+                    // inline; no interrupt, no IPI latency.
+                    local += 1;
+                } else {
+                    core.stats.cycles += self.ipi_cost;
+                    core.stats.tlb_shootdown_ipis += 1;
+                }
             } else {
                 // The ASID never loaded a non-global entry here (and
                 // the untagged micro TLBs only ever mirror main-TLB
@@ -143,11 +168,42 @@ impl TlbMaintenance for MachineTlbView<'_> {
                 asid.raw(),
                 sat_obs::Payload::TlbShootdown {
                     asid: asid.raw(),
+                    scope,
                     cores_targeted: targeted,
+                    cores_local: local,
                     cores_skipped: skipped,
                 },
             );
         }
+    }
+}
+
+impl TlbMaintenance for MachineTlbView<'_> {
+    fn flush_asid(&mut self, asid: Asid) {
+        self.shootdown(asid, sat_obs::FlushScope::Asid, true, |core| {
+            core.main_tlb.flush_asid(asid);
+            core.micro_i.flush();
+            core.micro_d.flush();
+        });
+    }
+
+    fn flush_page(&mut self, asid: Asid, vpn: u32) {
+        // The untagged micro TLBs honour per-VA maintenance (ARM's
+        // `TLBIMVA` reaches them), so the narrow scope carries down.
+        let range = sat_types::VpnRange::single(vpn);
+        self.shootdown(asid, sat_obs::FlushScope::Page, false, |core| {
+            core.main_tlb.flush_page(asid, vpn);
+            core.micro_i.flush_range(range);
+            core.micro_d.flush_range(range);
+        });
+    }
+
+    fn flush_range(&mut self, asid: Asid, range: sat_types::VpnRange) {
+        self.shootdown(asid, sat_obs::FlushScope::Range, false, |core| {
+            core.main_tlb.flush_range(asid, range);
+            core.micro_i.flush_range(range);
+            core.micro_d.flush_range(range);
+        });
     }
 
     fn flush_va_all_asids(&mut self, va: VirtAddr) {
@@ -225,19 +281,37 @@ impl Machine {
         MachineTlbView {
             cores: &mut self.cores,
             ipi_cost: self.model.ipi,
+            initiator: None,
         }
     }
 
     /// Runs a kernel operation with a TLB-shootdown view over this
     /// machine's cores, splitting the borrow so the closure can use
-    /// both the kernel and the TLBs.
-    pub fn syscall<R>(
+    /// both the kernel and the TLBs. No initiating core is known, so
+    /// every targeted core — including the caller's, if any — pays an
+    /// IPI; prefer [`Machine::syscall_on`] when the operation runs on
+    /// a specific core.
+    pub fn syscall<R>(&mut self, f: impl FnOnce(&mut Kernel, &mut dyn TlbMaintenance) -> R) -> R {
+        let mut view = MachineTlbView {
+            cores: &mut self.cores,
+            ipi_cost: self.model.ipi,
+            initiator: None,
+        };
+        f(&mut self.kernel, &mut view)
+    }
+
+    /// Like [`Machine::syscall`], but the operation runs on `core`:
+    /// shootdowns it triggers invalidate that core's TLB locally
+    /// instead of paying an IPI there.
+    pub fn syscall_on<R>(
         &mut self,
+        core: usize,
         f: impl FnOnce(&mut Kernel, &mut dyn TlbMaintenance) -> R,
     ) -> R {
         let mut view = MachineTlbView {
             cores: &mut self.cores,
             ipi_cost: self.model.ipi,
+            initiator: Some(core),
         };
         f(&mut self.kernel, &mut view)
     }
@@ -260,7 +334,11 @@ impl Machine {
         {
             let ipi_cost = self.model.ipi;
             let (cores, kernel) = (&mut self.cores, &mut self.kernel);
-            let mut view = MachineTlbView { cores, ipi_cost };
+            let mut view = MachineTlbView {
+                cores,
+                ipi_cost,
+                initiator: Some(core),
+            };
             kernel.ensure_current_asid(pid, &mut view)?;
         }
         if flush_was_pending || self.kernel.stats.asid_rollovers > rollovers_before {
@@ -287,7 +365,12 @@ impl Machine {
             // non-zygote process, so the latter cannot consume global
             // entries.
             let prev_zygote = prev
-                .map(|p| self.kernel.mm(p).map(|m| m.is_zygote_like()).unwrap_or(false))
+                .map(|p| {
+                    self.kernel
+                        .mm(p)
+                        .map(|m| m.is_zygote_like())
+                        .unwrap_or(false)
+                })
                 .unwrap_or(false);
             let next_zygote = self.kernel.mm(pid)?.is_zygote_like();
             if prev_zygote && !next_zygote {
@@ -398,24 +481,35 @@ impl Machine {
     /// Charges a fork to `core` and returns the kernel's outcome plus
     /// the cycles consumed (the Table 4 measurement).
     pub fn fork(&mut self, core: usize, parent: Pid) -> SatResult<(sat_core::ForkOutcome, u64)> {
-        let outcome = self.kernel.fork(parent)?;
+        let (outcome, protected) = self.kernel.fork_with_flush(parent)?;
         // Fork write-protects parent PTEs (for COW and/or shared
-        // PTPs); stale writable translations cached before the fork
-        // must not survive it (Linux: flush_tlb_mm in dup_mmap). If
-        // the parent's generation is stale (possibly rolled over by
-        // this very fork), the rollover flush covers its entries —
-        // flushing the raw value would only hit a same-valued
-        // new-generation process.
+        // PTPs); stale *writable* translations cached before the fork
+        // must not survive it (Linux: flush_tlb_mm in dup_mmap). The
+        // kernel reports exactly the spans it write-protected, so the
+        // flush is ranged — a fork that protected nothing (every
+        // chunk already NEED_COPY, or nothing writable populated)
+        // owes no maintenance at all. If the parent's generation is
+        // stale (possibly rolled over by this very fork), the
+        // rollover flush covers its entries — flushing the raw value
+        // would only hit a same-valued new-generation process.
         let ipi_cost = self.model.ipi;
-        if !self.kernel.asid_is_stale(parent) {
+        if !protected.is_empty() && !self.kernel.asid_is_stale(parent) {
             let parent_asid = self.kernel.mm(parent)?.asid;
-            sat_obs::with_flush_reason(sat_obs::FlushReason::Fork, || {
-                MachineTlbView {
-                    cores: &mut self.cores,
-                    ipi_cost,
-                }
-                .flush_asid(parent_asid);
-            });
+            // No escalation ceiling here: the spans are exactly the
+            // write-protected pages, and widening to a full ASID
+            // flush would also discard the parent's read-only
+            // translations — the zygote code entries sharing exists
+            // to keep warm.
+            let mut batch = sat_core::FlushBatch::new(parent, parent_asid).with_ceiling(u32::MAX);
+            for r in protected {
+                batch.range(parent_asid, r, sat_obs::FlushReason::Fork);
+            }
+            let mut view = MachineTlbView {
+                cores: &mut self.cores,
+                ipi_cost,
+                initiator: Some(core),
+            };
+            batch.apply(&mut view);
         }
         // The child's allocation may have exhausted the ASID space:
         // apply the deferred rollover flush now (and refresh the
@@ -423,7 +517,11 @@ impl Machine {
         // parent keeps running.
         if self.kernel.rollover_flush_pending() {
             let (cores, kernel) = (&mut self.cores, &mut self.kernel);
-            let mut view = MachineTlbView { cores, ipi_cost };
+            let mut view = MachineTlbView {
+                cores,
+                ipi_cost,
+                initiator: Some(core),
+            };
             kernel.ensure_current_asid(parent, &mut view)?;
             self.cores[core].stats.cycles += self.model.asid_rollover;
         }
@@ -446,7 +544,10 @@ impl Machine {
         let mut cycles = 0;
         for i in 0..lines {
             let va = VirtAddr::new(
-                KERNEL_SPACE_START + base_page * 4096 + (i % LINES_PER_PAGE) * 32 + (i / LINES_PER_PAGE) * 4096,
+                KERNEL_SPACE_START
+                    + base_page * 4096
+                    + (i % LINES_PER_PAGE) * 32
+                    + (i / LINES_PER_PAGE) * 4096,
             );
             cycles += self.kernel_fetch(core, va)?;
         }
@@ -476,9 +577,11 @@ impl Machine {
                         let desc = sat_types::PhysAddr::new(
                             KERNEL_PHYS_BASE + 0x0FF0_0000 + (va.l1_index() as u32) * 4,
                         );
-                        let stall = self.cores[core]
-                            .caches
-                            .access(AccessKind::PageWalk, desc, &mut self.l2);
+                        let stall = self.cores[core].caches.access(
+                            AccessKind::PageWalk,
+                            desc,
+                            &mut self.l2,
+                        );
                         cycles += 8 + stall;
                         self.cores[core].main_tlb.insert(e, asid);
                         self.cores[core].micro_i.insert(e);
@@ -488,8 +591,7 @@ impl Machine {
             }
         };
         let pa = entry.translate(va);
-        let stall = self
-            .cores[core]
+        let stall = self.cores[core]
             .caches
             .access(AccessKind::Instruction, pa, &mut self.l2);
         cycles += self.model.cpi + stall;
@@ -550,7 +652,11 @@ impl Machine {
         }
         match result.translation() {
             Some(t) => {
-                let perms = if l1_wp { t.perms.without_write() } else { t.perms };
+                let perms = if l1_wp {
+                    t.perms.without_write()
+                } else {
+                    t.perms
+                };
                 let e = TlbEntry {
                     va_base: VirtAddr::new(va.raw() & !(t.size.bytes() - 1)),
                     size: t.size,
@@ -604,14 +710,22 @@ impl Machine {
                     None => FaultStatus::TranslationPage,
                     Some(_) => FaultStatus::PermissionPage,
                 },
-                domain: mm.root.entry_for(va).domain().unwrap_or(sat_types::Domain::USER),
+                domain: mm
+                    .root
+                    .entry_for(va)
+                    .domain()
+                    .unwrap_or(sat_types::Domain::USER),
                 write: access.is_write(),
                 far: va,
             });
         }
         let ipi_cost = self.model.ipi;
         let (cores, kernel) = (&mut self.cores, &mut self.kernel);
-        let mut view = MachineTlbView { cores, ipi_cost };
+        let mut view = MachineTlbView {
+            cores,
+            ipi_cost,
+            initiator: Some(core),
+        };
         let outcome = kernel.page_fault(pid, va, access, &mut view)?;
         let model = self.model;
         let mut cycles = match outcome.vm.kind {
@@ -648,7 +762,8 @@ impl Machine {
         for i in 0..lines {
             let line = (start + i) % window;
             let va = VirtAddr::new(
-                KERNEL_SPACE_START + (FAULT_HANDLER_PAGE + line / LINES_PER_PAGE) * 4096
+                KERNEL_SPACE_START
+                    + (FAULT_HANDLER_PAGE + line / LINES_PER_PAGE) * 4096
                     + (line % LINES_PER_PAGE) * 32,
             );
             self.kernel_fetch(core, va)?;
@@ -683,7 +798,11 @@ impl Machine {
         debug_assert!(record.status.is_domain_fault());
         let ipi_cost = self.model.ipi;
         let (cores, kernel) = (&mut self.cores, &mut self.kernel);
-        let mut view = MachineTlbView { cores, ipi_cost };
+        let mut view = MachineTlbView {
+            cores,
+            ipi_cost,
+            initiator: Some(core),
+        };
         kernel.domain_fault(record.far, &mut view);
         let cycles = self.model.exception;
         self.run_kernel_lines(core, FAULT_HANDLER_PAGE + 8, 40)?;
@@ -807,13 +926,20 @@ mod tests {
     fn disabled_asid_flushes_main_tlb_on_switch() {
         let (mut m, zygote) = machine(KernelConfig::stock().without_asid());
         let other = m.kernel.create_process().unwrap();
-        m.access(0, VirtAddr::new(0x4000_0000), AccessType::Execute).unwrap();
+        m.access(0, VirtAddr::new(0x4000_0000), AccessType::Execute)
+            .unwrap();
         let asid = m.kernel.mm(zygote).unwrap().asid;
-        assert!(m.cores[0].main_tlb.probe(VirtAddr::new(0x4000_0000), asid).is_some());
+        assert!(m.cores[0]
+            .main_tlb
+            .probe(VirtAddr::new(0x4000_0000), asid)
+            .is_some());
         m.context_switch(0, other).unwrap();
         // The switch flushed everything; only the scheduler's kernel
         // entry may have been reloaded afterwards.
-        assert!(m.cores[0].main_tlb.probe(VirtAddr::new(0x4000_0000), asid).is_none());
+        assert!(m.cores[0]
+            .main_tlb
+            .probe(VirtAddr::new(0x4000_0000), asid)
+            .is_none());
         assert!(m.cores[0].main_tlb.stats().full_flushes >= 1);
     }
 
@@ -850,9 +976,10 @@ mod tests {
         assert!(stats.misses >= 1);
         assert_eq!(stats.cross_asid_hits, 0);
         assert_eq!(m.cores[0].stats.page_faults, faults_before + 1);
-        // After the parent reloads its translation (fork flushed it,
-        // as dup_mmap does), both processes hold separate entries for
-        // the same page — the duplication the paper eliminates.
+        // The parent's RX entry survived the fork (the ranged fork
+        // flush touches only write-protected spans): both processes
+        // hold separate entries for the same page — the duplication
+        // the paper eliminates.
         m.context_switch(0, zygote).unwrap();
         m.access(0, va, AccessType::Execute).unwrap();
         let child_asid = m.kernel.mm(o.child).unwrap().asid;
@@ -903,12 +1030,27 @@ mod tests {
         let (mut m_share, z2) = machine(KernelConfig::shared_ptp());
         // Touch the same pages in both.
         for i in 0..8u32 {
-            m_stock.access(0, VirtAddr::new(0x0900_0000 + i * PAGE_SIZE), AccessType::Write).unwrap();
-            m_share.access(0, VirtAddr::new(0x0900_0000 + i * PAGE_SIZE), AccessType::Write).unwrap();
+            m_stock
+                .access(
+                    0,
+                    VirtAddr::new(0x0900_0000 + i * PAGE_SIZE),
+                    AccessType::Write,
+                )
+                .unwrap();
+            m_share
+                .access(
+                    0,
+                    VirtAddr::new(0x0900_0000 + i * PAGE_SIZE),
+                    AccessType::Write,
+                )
+                .unwrap();
         }
         let (_, stock_cycles) = m_stock.fork(0, z1).unwrap();
         let (_, share_cycles) = m_share.fork(0, z2).unwrap();
-        assert!(share_cycles < stock_cycles, "{share_cycles} vs {stock_cycles}");
+        assert!(
+            share_cycles < stock_cycles,
+            "{share_cycles} vs {stock_cycles}"
+        );
     }
 
     #[test]
@@ -922,17 +1064,15 @@ mod tests {
         assert_eq!(rec.far, va);
         assert!(!rec.write);
         // The register encoding round-trips.
-        assert_eq!(
-            sat_mmu::FaultRecord::decode(rec.fsr(), rec.far),
-            Some(rec)
-        );
+        assert_eq!(sat_mmu::FaultRecord::decode(rec.fsr(), rec.far), Some(rec));
     }
 
     #[test]
     fn page_fault_pollutes_icache() {
         let (mut m, _z) = machine(KernelConfig::stock());
         let before = m.cores[0].stats.inst_fetches;
-        m.access(0, VirtAddr::new(0x4000_0000), AccessType::Execute).unwrap();
+        m.access(0, VirtAddr::new(0x4000_0000), AccessType::Execute)
+            .unwrap();
         // The fault handler executed hundreds of kernel lines.
         assert!(m.cores[0].stats.inst_fetches > before + 100);
     }
@@ -940,7 +1080,8 @@ mod tests {
     #[test]
     fn walks_put_pte_lines_in_the_l2() {
         let (mut m, _z) = machine(KernelConfig::stock());
-        m.access(0, VirtAddr::new(0x4000_0000), AccessType::Execute).unwrap();
+        m.access(0, VirtAddr::new(0x4000_0000), AccessType::Execute)
+            .unwrap();
         let (_, l1d) = m.cores[0].caches.l1_stats();
         // The walker allocated into L1-D (PageWalk routes there).
         assert!(l1d.misses > 0);
@@ -1019,8 +1160,12 @@ mod tests {
     fn main_tlb_stall_cycles_accumulate_on_fetch_misses() {
         let (mut m, _z) = machine(KernelConfig::stock());
         for i in 0..16u32 {
-            m.access(0, VirtAddr::new(0x4000_0000 + i * PAGE_SIZE), AccessType::Execute)
-                .unwrap();
+            m.access(
+                0,
+                VirtAddr::new(0x4000_0000 + i * PAGE_SIZE),
+                AccessType::Execute,
+            )
+            .unwrap();
         }
         assert!(m.cores[0].stats.inst_main_tlb_stall_cycles > 0);
         assert_eq!(m.cores[0].stats.data_main_tlb_stall_cycles, 0);

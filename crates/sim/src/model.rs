@@ -139,8 +139,14 @@ mod tests {
         let shared = m.fork_cycles(7, 0, 1, 81, 3_900);
         // Paper: 2.9M / 4.6M / 1.4M.
         assert!((stock as f64 - 2.9e6).abs() / 2.9e6 < 0.12, "stock {stock}");
-        assert!((copied as f64 - 4.6e6).abs() / 4.6e6 < 0.12, "copied {copied}");
-        assert!((shared as f64 - 1.4e6).abs() / 1.4e6 < 0.15, "shared {shared}");
+        assert!(
+            (copied as f64 - 4.6e6).abs() / 4.6e6 < 0.12,
+            "copied {copied}"
+        );
+        assert!(
+            (shared as f64 - 1.4e6).abs() / 1.4e6 < 0.15,
+            "shared {shared}"
+        );
         // Shape: sharing beats stock by ≈2.1×; copying is ≈1.6× worse.
         let speedup = stock as f64 / shared as f64;
         assert!((1.8..=2.4).contains(&speedup), "speedup {speedup:.2}");

@@ -1,6 +1,6 @@
 //! TLB entries.
 
-use sat_types::{Asid, Domain, PageSize, Perms, PhysAddr, Pfn, VirtAddr};
+use sat_types::{Asid, Domain, PageSize, Perms, Pfn, PhysAddr, VirtAddr};
 
 /// One TLB entry: a cached translation plus the tags the MMU checks.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -41,6 +41,15 @@ impl TlbEntry {
     /// Returns `true` for global entries.
     pub fn is_global(&self) -> bool {
         self.asid.is_none()
+    }
+
+    /// Returns `true` if any 4KB page of the entry's mapping falls in
+    /// `range` (the match rule for range-granular invalidation).
+    pub fn overlaps_vpns(&self, range: &sat_types::VpnRange) -> bool {
+        let pages = self.size.bytes() >> sat_types::PAGE_SHIFT;
+        let mask = !(self.size.bytes() - 1);
+        let first = (self.va_base.raw() & mask) >> sat_types::PAGE_SHIFT;
+        first < range.end && range.start < first + pages
     }
 
     /// Translates an address within the entry's page.
@@ -94,5 +103,27 @@ mod tests {
         assert!(e.covers(VirtAddr::new(0x0001_FFFF)));
         assert!(!e.covers(VirtAddr::new(0x0002_0000)));
         assert_eq!(e.translate(VirtAddr::new(0x0001_2345)).raw(), 0x54_2345);
+    }
+
+    #[test]
+    fn vpn_range_overlap_respects_page_size() {
+        use sat_types::VpnRange;
+        let small = entry(Some(Asid::new(1)));
+        // 0x4000_0000 is vpn 0x40000.
+        assert!(small.overlaps_vpns(&VpnRange::new(0x40000, 0x40001)));
+        assert!(small.overlaps_vpns(&VpnRange::new(0x3FFF0, 0x40008)));
+        assert!(!small.overlaps_vpns(&VpnRange::new(0x40001, 0x40010)));
+        let large = TlbEntry {
+            va_base: VirtAddr::new(0x0001_0000),
+            size: PageSize::Large64K,
+            asid: None,
+            pfn: Pfn::new(0x540),
+            perms: Perms::RX,
+            domain: Domain::USER,
+        };
+        // The 64KB entry spans vpns 0x10..0x20; any of them overlaps.
+        assert!(large.overlaps_vpns(&VpnRange::new(0x1F, 0x30)));
+        assert!(!large.overlaps_vpns(&VpnRange::new(0x20, 0x30)));
+        assert!(large.overlaps_vpns(&VpnRange::single(0x10)));
     }
 }

@@ -342,6 +342,46 @@ impl MainTlb {
         n
     }
 
+    /// Invalidates the entries tagged `asid` whose mapping contains
+    /// page `vpn` — a single-page `TLBIMVA` restricted to the ASID
+    /// tag. Global entries survive; a caller that must invalidate a
+    /// global mapping escalates to a global-class flush instead. O(1)
+    /// through the VA-page→slot direct map.
+    pub fn flush_page(&mut self, asid: Asid, vpn: u32) -> usize {
+        let va = VirtAddr::new(vpn << sat_types::PAGE_SHIFT);
+        let n = self.flush_covering(va, |e| e.asid == Some(asid));
+        emit_flush(sat_obs::FlushScope::Page, Some(asid), n);
+        n
+    }
+
+    /// Invalidates the entries tagged `asid` overlapping the VPN range
+    /// (back-to-back `TLBIMVA`s in hardware). Global entries survive.
+    /// Walks the ASID's tag chain, so the cost is bounded by that
+    /// ASID's residency, not the range width.
+    pub fn flush_range(&mut self, asid: Asid, range: sat_types::VpnRange) -> usize {
+        // Collect first: clearing a slot mutates the chain the walk
+        // is traversing.
+        let mut slots = std::mem::take(&mut self.scratch);
+        slots.clear();
+        {
+            let entries = &self.entries;
+            self.tag_index.for_tag(Some(asid), |slot| {
+                let (e, _) = entries[slot].as_ref().expect("indexed slot is valid");
+                if e.overlaps_vpns(&range) {
+                    slots.push(slot);
+                }
+            });
+        }
+        let n = slots.len();
+        for &slot in &slots {
+            self.clear_slot(slot);
+        }
+        self.scratch = slots;
+        self.stats.entries_flushed += n as u64;
+        emit_flush(sat_obs::FlushScope::Range, Some(asid), n);
+        n
+    }
+
     /// Invalidates all non-global entries (used when ASIDs are
     /// recycled).
     pub fn flush_non_global(&mut self) -> usize {
@@ -424,7 +464,10 @@ mod tests {
             tlb.lookup(VirtAddr::new(0x1ABC), Asid::new(1)),
             TlbLookup::Hit(_)
         ));
-        assert_eq!(tlb.lookup(VirtAddr::new(0x2000), Asid::new(1)), TlbLookup::Miss);
+        assert_eq!(
+            tlb.lookup(VirtAddr::new(0x2000), Asid::new(1)),
+            TlbLookup::Miss
+        );
         assert_eq!(tlb.stats().hits, 1);
         assert_eq!(tlb.stats().misses, 1);
     }
@@ -453,7 +496,12 @@ mod tests {
         updated.perms = Perms::R;
         tlb.insert(updated, Asid::new(1));
         assert_eq!(tlb.occupancy(), 1);
-        assert_eq!(tlb.probe(VirtAddr::new(0x1000), Asid::new(1)).unwrap().perms, Perms::R);
+        assert_eq!(
+            tlb.probe(VirtAddr::new(0x1000), Asid::new(1))
+                .unwrap()
+                .perms,
+            Perms::R
+        );
     }
 
     #[test]
@@ -529,6 +577,68 @@ mod tests {
     }
 
     #[test]
+    fn flush_page_hits_only_the_asid_tagged_page() {
+        let mut tlb = MainTlb::new(8);
+        tlb.insert(entry(0x1000, Some(1)), Asid::new(1));
+        tlb.insert(entry(0x1000, Some(2)), Asid::new(2));
+        tlb.insert(entry(0x1000, None), Asid::new(1));
+        tlb.insert(entry(0x2000, Some(1)), Asid::new(1));
+        assert_eq!(tlb.flush_page(Asid::new(1), 0x1), 1);
+        assert!(tlb.probe(VirtAddr::new(0x1000), Asid::new(2)).is_some());
+        assert!(
+            tlb.probe(VirtAddr::new(0x1000), Asid::new(9)).is_some(),
+            "global survives"
+        );
+        assert!(tlb.probe(VirtAddr::new(0x2000), Asid::new(1)).is_some());
+        assert_eq!(tlb.occupancy(), 3);
+    }
+
+    #[test]
+    fn flush_range_spares_globals_and_neighbours() {
+        let mut tlb = MainTlb::new(16);
+        for vpn in 0x10..0x18u32 {
+            tlb.insert(entry(vpn << 12, Some(3)), Asid::new(3));
+        }
+        tlb.insert(entry(0x12 << 12, None), Asid::new(3));
+        tlb.insert(entry(0x13 << 12, Some(4)), Asid::new(4));
+        // Flush [0x12, 0x16): four ASID-3 pages die, the global and
+        // the ASID-4 entry in range survive, as do out-of-range pages.
+        assert_eq!(
+            tlb.flush_range(Asid::new(3), sat_types::VpnRange::new(0x12, 0x16)),
+            4
+        );
+        assert!(tlb.probe(VirtAddr::new(0x10 << 12), Asid::new(3)).is_some());
+        assert!(tlb.probe(VirtAddr::new(0x17 << 12), Asid::new(3)).is_some());
+        assert!(
+            tlb.probe(VirtAddr::new(0x12 << 12), Asid::new(9)).is_some(),
+            "global survives"
+        );
+        assert!(tlb.probe(VirtAddr::new(0x13 << 12), Asid::new(4)).is_some());
+        assert!(tlb.probe(VirtAddr::new(0x14 << 12), Asid::new(3)).is_none());
+    }
+
+    #[test]
+    fn flush_range_removes_large_pages_overlapping_the_range() {
+        let mut tlb = MainTlb::new(8);
+        let large = TlbEntry {
+            va_base: VirtAddr::new(0x0001_0000),
+            size: PageSize::Large64K,
+            asid: Some(Asid::new(5)),
+            pfn: Pfn::new(0x540),
+            perms: Perms::RX,
+            domain: Domain::USER,
+        };
+        tlb.insert(large, Asid::new(5));
+        // The 64KB entry spans vpns 0x10..0x20; a range touching its
+        // last page removes it.
+        assert_eq!(
+            tlb.flush_range(Asid::new(5), sat_types::VpnRange::new(0x1F, 0x40)),
+            1
+        );
+        assert_eq!(tlb.occupancy(), 0);
+    }
+
+    #[test]
     fn mixed_page_sizes_index_correctly() {
         // A 64KB entry and a 4KB entry under different tags: lookups
         // resolve through different per-size maps, and the by-address
@@ -544,11 +654,15 @@ mod tests {
         };
         tlb.insert(large, Asid::new(1));
         tlb.insert(entry(0x0001_2000, Some(4)), Asid::new(4));
-        assert!(tlb.probe(VirtAddr::new(0x0001_F000), Asid::new(9)).is_some());
+        assert!(tlb
+            .probe(VirtAddr::new(0x0001_F000), Asid::new(9))
+            .is_some());
         // The 4KB entry sits at a lower slot? No: the large entry was
         // inserted first, so slot 0 wins for ASID 4 at 0x12000.
         assert_eq!(
-            tlb.probe(VirtAddr::new(0x0001_2000), Asid::new(4)).unwrap().size,
+            tlb.probe(VirtAddr::new(0x0001_2000), Asid::new(4))
+                .unwrap()
+                .size,
             PageSize::Large64K
         );
         assert_eq!(tlb.flush_va_all_asids(VirtAddr::new(0x0001_2345)), 2);

@@ -164,6 +164,31 @@ impl MicroTlb {
         }
     }
 
+    /// Invalidates entries overlapping the VPN range (kept coherent
+    /// with main-TLB range maintenance). Micro entries are untagged,
+    /// so every overlapping entry dies regardless of loader; the event
+    /// reports `MicroVa` scope — architecturally this is a batch of
+    /// per-VA micro invalidations, not a new primitive.
+    pub fn flush_range(&mut self, range: sat_types::VpnRange) {
+        let valid_before = self.valid;
+        for slot in 0..self.entries.len() {
+            let covers = self.entries[slot]
+                .as_ref()
+                .is_some_and(|e| e.overlaps_vpns(&range));
+            if !covers {
+                continue;
+            }
+            let entry = self.entries[slot].take().expect("slot is valid");
+            self.va_index.remove(&entry, slot);
+            self.free.release(slot);
+            self.valid -= 1;
+        }
+        let n = valid_before - self.valid;
+        if n > 0 {
+            emit_micro_flush(sat_obs::FlushScope::MicroVa, n);
+        }
+    }
+
     /// (hits, misses) counters.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)

@@ -148,6 +148,19 @@ impl RefMainTlb {
         self.flush_where(|e| e.covers(va) && (e.is_global() || e.asid == Some(asid)))
     }
 
+    /// Invalidates the entries tagged `asid` whose mapping contains
+    /// page `vpn` (globals survive).
+    pub fn flush_page(&mut self, asid: Asid, vpn: u32) -> usize {
+        let va = VirtAddr::new(vpn << sat_types::PAGE_SHIFT);
+        self.flush_where(|e| e.covers(va) && e.asid == Some(asid))
+    }
+
+    /// Invalidates the entries tagged `asid` overlapping the VPN range
+    /// (globals survive).
+    pub fn flush_range(&mut self, asid: Asid, range: sat_types::VpnRange) -> usize {
+        self.flush_where(|e| e.overlaps_vpns(&range) && e.asid == Some(asid))
+    }
+
     /// Invalidates all non-global entries.
     pub fn flush_non_global(&mut self) -> usize {
         self.flush_where(|e| !e.is_global())
@@ -225,6 +238,15 @@ impl RefMicroTlb {
     pub fn flush_va(&mut self, va: VirtAddr) {
         for s in self.entries.iter_mut() {
             if s.as_ref().is_some_and(|e| e.covers(va)) {
+                *s = None;
+            }
+        }
+    }
+
+    /// Invalidates entries overlapping the VPN range.
+    pub fn flush_range(&mut self, range: sat_types::VpnRange) {
+        for s in self.entries.iter_mut() {
+            if s.as_ref().is_some_and(|e| e.overlaps_vpns(&range)) {
                 *s = None;
             }
         }

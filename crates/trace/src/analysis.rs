@@ -57,7 +57,11 @@ pub fn page_breakdown(profiles: &[AppProfile]) -> Vec<(String, [usize; 5], Categ
         .iter()
         .map(|p| {
             let counts = p.category_counts();
-            (p.spec.name.to_string(), counts, CategoryShares::from_counts(counts))
+            (
+                p.spec.name.to_string(),
+                counts,
+                CategoryShares::from_counts(counts),
+            )
         })
         .collect()
 }
@@ -119,7 +123,10 @@ impl OverlapMatrix {
 
 /// Computes the Table 2 overlap matrix.
 pub fn pairwise_overlap(profiles: &[AppProfile]) -> OverlapMatrix {
-    let zyg_sets: Vec<BTreeSet<_>> = profiles.iter().map(|p| p.zygote_preloaded_pages()).collect();
+    let zyg_sets: Vec<BTreeSet<_>> = profiles
+        .iter()
+        .map(|p| p.zygote_preloaded_pages())
+        .collect();
     let all_sets: Vec<BTreeSet<_>> = profiles.iter().map(|p| p.shared_code_pages()).collect();
     let mut matrix = Vec::new();
     for i in 0..profiles.len() {
@@ -191,7 +198,10 @@ mod tests {
     fn fetch_breakdown_average_near_98pct_shared() {
         let rows = fetch_breakdown(&profiles());
         let avg: f64 = rows.iter().map(|(_, s)| s.shared()).sum::<f64>() / rows.len() as f64;
-        assert!((avg - 0.98).abs() < 0.015, "avg shared fetch share {avg:.3}");
+        assert!(
+            (avg - 0.98).abs() < 0.015,
+            "avg shared fetch share {avg:.3}"
+        );
     }
 
     #[test]
@@ -207,7 +217,10 @@ mod tests {
         }
         let (zyg_avg, all_avg) = m.averages();
         assert!((28.0..=48.0).contains(&zyg_avg), "zygote avg {zyg_avg:.1}%");
-        assert!(all_avg > zyg_avg, "all {all_avg:.1}% vs zygote {zyg_avg:.1}%");
+        assert!(
+            all_avg > zyg_avg,
+            "all {all_avg:.1}% vs zygote {zyg_avg:.1}%"
+        );
     }
 
     #[test]

@@ -52,28 +52,114 @@ pub fn app_specs() -> Vec<AppSpec> {
     // shares.
     let specs = [
         // name, footprint, kernel%, page shares, fetch shares, libs
-        ("Angrybirds", 4060, 7.8, [0.33, 0.31, 0.001, 0.28, 0.079], [0.58, 0.12, 0.001, 0.28, 0.019], 56),
-        ("Adobe Reader", 5320, 6.7, [0.34, 0.30, 0.001, 0.29, 0.069], [0.55, 0.10, 0.001, 0.32, 0.029], 58),
-        ("Android Browser", 5180, 14.2, [0.40, 0.33, 0.001, 0.20, 0.069], [0.66, 0.12, 0.001, 0.20, 0.019], 62),
-        ("Chrome", 4340, 14.7, [0.30, 0.28, 0.001, 0.33, 0.089], [0.52, 0.08, 0.001, 0.37, 0.029], 52),
-        ("Chrome Sandbox", 2310, 11.2, [0.36, 0.33, 0.001, 0.24, 0.069], [0.62, 0.11, 0.001, 0.25, 0.019], 44),
-        ("Chrome Privilege", 2520, 72.1, [0.35, 0.34, 0.001, 0.24, 0.069], [0.63, 0.12, 0.001, 0.23, 0.019], 46),
-        ("Email", 1890, 13.0, [0.38, 0.36, 0.001, 0.19, 0.069], [0.67, 0.13, 0.001, 0.18, 0.019], 40),
-        ("Google Calendar", 4480, 3.8, [0.37, 0.35, 0.001, 0.21, 0.069], [0.65, 0.12, 0.001, 0.21, 0.019], 54),
-        ("MX Player", 6790, 40.7, [0.36, 0.32, 0.001, 0.26, 0.059], [0.60, 0.10, 0.001, 0.28, 0.019], 62),
-        ("Laya Music Player", 5110, 17.4, [0.35, 0.33, 0.001, 0.25, 0.069], [0.62, 0.11, 0.001, 0.25, 0.019], 58),
-        ("WPS", 4410, 52.9, [0.35, 0.32, 0.001, 0.25, 0.079], [0.61, 0.10, 0.001, 0.26, 0.029], 56),
+        (
+            "Angrybirds",
+            4060,
+            7.8,
+            [0.33, 0.31, 0.001, 0.28, 0.079],
+            [0.58, 0.12, 0.001, 0.28, 0.019],
+            56,
+        ),
+        (
+            "Adobe Reader",
+            5320,
+            6.7,
+            [0.34, 0.30, 0.001, 0.29, 0.069],
+            [0.55, 0.10, 0.001, 0.32, 0.029],
+            58,
+        ),
+        (
+            "Android Browser",
+            5180,
+            14.2,
+            [0.40, 0.33, 0.001, 0.20, 0.069],
+            [0.66, 0.12, 0.001, 0.20, 0.019],
+            62,
+        ),
+        (
+            "Chrome",
+            4340,
+            14.7,
+            [0.30, 0.28, 0.001, 0.33, 0.089],
+            [0.52, 0.08, 0.001, 0.37, 0.029],
+            52,
+        ),
+        (
+            "Chrome Sandbox",
+            2310,
+            11.2,
+            [0.36, 0.33, 0.001, 0.24, 0.069],
+            [0.62, 0.11, 0.001, 0.25, 0.019],
+            44,
+        ),
+        (
+            "Chrome Privilege",
+            2520,
+            72.1,
+            [0.35, 0.34, 0.001, 0.24, 0.069],
+            [0.63, 0.12, 0.001, 0.23, 0.019],
+            46,
+        ),
+        (
+            "Email",
+            1890,
+            13.0,
+            [0.38, 0.36, 0.001, 0.19, 0.069],
+            [0.67, 0.13, 0.001, 0.18, 0.019],
+            40,
+        ),
+        (
+            "Google Calendar",
+            4480,
+            3.8,
+            [0.37, 0.35, 0.001, 0.21, 0.069],
+            [0.65, 0.12, 0.001, 0.21, 0.019],
+            54,
+        ),
+        (
+            "MX Player",
+            6790,
+            40.7,
+            [0.36, 0.32, 0.001, 0.26, 0.059],
+            [0.60, 0.10, 0.001, 0.28, 0.019],
+            62,
+        ),
+        (
+            "Laya Music Player",
+            5110,
+            17.4,
+            [0.35, 0.33, 0.001, 0.25, 0.069],
+            [0.62, 0.11, 0.001, 0.25, 0.019],
+            58,
+        ),
+        (
+            "WPS",
+            4410,
+            52.9,
+            [0.35, 0.32, 0.001, 0.25, 0.079],
+            [0.61, 0.10, 0.001, 0.26, 0.029],
+            56,
+        ),
     ];
     specs
         .into_iter()
-        .map(|(name, footprint_pages, kernel_fetch_pct, page_shares, fetch_shares, native_libs_used)| AppSpec {
-            name,
-            footprint_pages,
-            kernel_fetch_pct,
-            page_shares,
-            fetch_shares,
-            native_libs_used,
-        })
+        .map(
+            |(
+                name,
+                footprint_pages,
+                kernel_fetch_pct,
+                page_shares,
+                fetch_shares,
+                native_libs_used,
+            )| AppSpec {
+                name,
+                footprint_pages,
+                kernel_fetch_pct,
+                page_shares,
+                fetch_shares,
+                native_libs_used,
+            },
+        )
         .collect()
 }
 
@@ -101,8 +187,16 @@ mod tests {
         for s in &specs {
             let page_sum: f64 = s.page_shares.iter().sum();
             let fetch_sum: f64 = s.fetch_shares.iter().sum();
-            assert!((page_sum - 1.0).abs() < 0.01, "{}: page shares {page_sum}", s.name);
-            assert!((fetch_sum - 1.0).abs() < 0.01, "{}: fetch shares {fetch_sum}", s.name);
+            assert!(
+                (page_sum - 1.0).abs() < 0.01,
+                "{}: page shares {page_sum}",
+                s.name
+            );
+            assert!(
+                (fetch_sum - 1.0).abs() < 0.01,
+                "{}: fetch shares {fetch_sum}",
+                s.name
+            );
             assert!(s.native_libs_used <= 62);
         }
     }
@@ -112,13 +206,25 @@ mod tests {
         let specs = app_specs();
         let n = specs.len() as f64;
         // Figure 2: shared code ≈ 92.8% of the instruction pages.
-        let shared_pages: f64 =
-            specs.iter().map(AppSpec::shared_code_page_share).sum::<f64>() / n;
-        assert!((shared_pages - 0.928).abs() < 0.02, "shared pages {shared_pages}");
+        let shared_pages: f64 = specs
+            .iter()
+            .map(AppSpec::shared_code_page_share)
+            .sum::<f64>()
+            / n;
+        assert!(
+            (shared_pages - 0.928).abs() < 0.02,
+            "shared pages {shared_pages}"
+        );
         // Figure 3: shared code ≈ 98% of the fetches.
-        let shared_fetches: f64 =
-            specs.iter().map(AppSpec::shared_code_fetch_share).sum::<f64>() / n;
-        assert!((shared_fetches - 0.98).abs() < 0.02, "shared fetches {shared_fetches}");
+        let shared_fetches: f64 = specs
+            .iter()
+            .map(AppSpec::shared_code_fetch_share)
+            .sum::<f64>()
+            / n;
+        assert!(
+            (shared_fetches - 0.98).abs() < 0.02,
+            "shared fetches {shared_fetches}"
+        );
         // Table 1: kernel fractions reproduced verbatim.
         let chrome_priv = &specs[5];
         assert_eq!(chrome_priv.kernel_fetch_pct, 72.1);

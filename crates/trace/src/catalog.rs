@@ -95,7 +95,11 @@ impl Catalog {
         // ART-compiled Java libraries: a few large .oat images
         // (boot.oat is ~25MB of code on KitKat/ART devices).
         let mut zygote_java = Vec::new();
-        for (i, pages) in [6400u32, 1200, 600, 300].iter().take(ZYGOTE_JAVA_LIBS).enumerate() {
+        for (i, pages) in [6400u32, 1200, 600, 300]
+            .iter()
+            .take(ZYGOTE_JAVA_LIBS)
+            .enumerate()
+        {
             zygote_java.push(LibId(libs.len() as u32));
             libs.push(LibrarySpec {
                 name: format!("boot{i}.oat"),
@@ -248,7 +252,10 @@ mod tests {
             c.lib(c.zygote_native[0]).data_tag(),
             RegionTag::ZygoteNativeData
         );
-        assert_eq!(c.lib(c.zygote_java[0]).data_tag(), RegionTag::ZygoteJavaData);
+        assert_eq!(
+            c.lib(c.zygote_java[0]).data_tag(),
+            RegionTag::ZygoteJavaData
+        );
         assert_eq!(c.lib(c.app_process).data_tag(), RegionTag::ZygoteBinaryData);
         assert_eq!(
             c.lib(c.other_per_app[0][0]).data_tag(),

@@ -121,10 +121,24 @@ impl AppProfile {
         let mut native: Vec<LibId> = catalog.zygote_native.clone();
         native.shuffle(&mut rng);
         native.truncate(spec.native_libs_used);
-        select_from_libs(catalog, &native, native_target, RegionTag::ZygoteNativeCode, &mut rng, &mut pages);
+        select_from_libs(
+            catalog,
+            &native,
+            native_target,
+            RegionTag::ZygoteNativeCode,
+            &mut rng,
+            &mut pages,
+        );
 
         // Java .oat libraries: all of them.
-        select_from_libs(catalog, &catalog.zygote_java, java_target, RegionTag::ZygoteJavaCode, &mut rng, &mut pages);
+        select_from_libs(
+            catalog,
+            &catalog.zygote_java,
+            java_target,
+            RegionTag::ZygoteJavaCode,
+            &mut rng,
+            &mut pages,
+        );
 
         // app_process.
         select_from_libs(
@@ -138,7 +152,14 @@ impl AppProfile {
 
         // Other (platform + app-specific) libraries.
         let others = &catalog.other_per_app[app_index];
-        select_from_libs(catalog, others, other_target, RegionTag::OtherLibCode, &mut rng, &mut pages);
+        select_from_libs(
+            catalog,
+            others,
+            other_target,
+            RegionTag::OtherLibCode,
+            &mut rng,
+            &mut pages,
+        );
 
         // Private code: a contiguous-ish set of the app's own pages.
         for page in 0..private_target {
@@ -238,7 +259,11 @@ fn select_from_libs(
         while chosen.len() < quota as usize && chosen.len() < lib.code_pages as usize {
             chosen.insert(rng.gen_range(0..lib.code_pages));
         }
-        out.extend(chosen.into_iter().map(|page| (CodePage::Lib { lib: *id, page }, tag)));
+        out.extend(
+            chosen
+                .into_iter()
+                .map(|page| (CodePage::Lib { lib: *id, page }, tag)),
+        );
     }
 }
 

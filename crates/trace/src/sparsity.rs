@@ -108,7 +108,10 @@ mod tests {
 
     #[test]
     fn single_page_chunk_has_15_untouched() {
-        let pages = [CodePage::Lib { lib: LibId(0), page: 5 }];
+        let pages = [CodePage::Lib {
+            lib: LibId(0),
+            page: 5,
+        }];
         let r = SparsityReport::from_pages(&pages);
         assert_eq!(r.histogram[15], 1);
         assert!((r.blowup() - 16.0).abs() < 1e-9);
@@ -117,7 +120,13 @@ mod tests {
 
     #[test]
     fn private_pages_are_ignored() {
-        let pages = [CodePage::Private { page: 1 }, CodePage::Lib { lib: LibId(1), page: 0 }];
+        let pages = [
+            CodePage::Private { page: 1 },
+            CodePage::Lib {
+                lib: LibId(1),
+                page: 0,
+            },
+        ];
         let r = SparsityReport::from_pages(&pages);
         assert_eq!(r.pages_4k, 1);
     }

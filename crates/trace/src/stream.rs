@@ -201,8 +201,10 @@ mod tests {
         let events = s.take(1000);
         let mut sequential = 0;
         for w in events.windows(2) {
-            if let (FetchEvent::User { page: p1, line: l1 }, FetchEvent::User { page: p2, line: l2 }) =
-                (w[0], w[1])
+            if let (
+                FetchEvent::User { page: p1, line: l1 },
+                FetchEvent::User { page: p2, line: l2 },
+            ) = (w[0], w[1])
             {
                 if p1 == p2 && l2 == (l1 + 1) % LINES_PER_PAGE {
                     sequential += 1;

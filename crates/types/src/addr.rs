@@ -231,9 +231,7 @@ impl VaRange {
     pub fn pages(&self) -> impl Iterator<Item = VirtAddr> {
         let first = self.start.page_base().0;
         let end = self.end.0;
-        (first..end)
-            .step_by(PAGE_SIZE as usize)
-            .map(VirtAddr)
+        (first..end).step_by(PAGE_SIZE as usize).map(VirtAddr)
     }
 
     /// Iterates over the base addresses of the 2MB PTP chunks the
@@ -241,14 +239,110 @@ impl VaRange {
     pub fn ptps(&self) -> impl Iterator<Item = VirtAddr> {
         let first = self.start.ptp_base().0;
         let end = self.end.0;
-        (first..end)
-            .step_by(PTP_SPAN as usize)
-            .map(VirtAddr)
+        (first..end).step_by(PTP_SPAN as usize).map(VirtAddr)
     }
 
     /// Number of whole 4KB pages the range touches.
     pub fn page_count(&self) -> usize {
         self.pages().count()
+    }
+}
+
+/// A half-open range of virtual page numbers `[start, end)`.
+///
+/// This is the unit of range-granular TLB invalidation: a `FlushOp`
+/// carries a `VpnRange` rather than a byte range so that coalescing
+/// adjacent pages and counting pages against the escalation ceiling
+/// are integer arithmetic, never address arithmetic.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VpnRange {
+    /// Inclusive first virtual page number.
+    pub start: u32,
+    /// Exclusive last virtual page number.
+    pub end: u32,
+}
+
+impl fmt::Debug for VpnRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VPN[{:#x}, {:#x})", self.start, self.end)
+    }
+}
+
+impl VpnRange {
+    /// Creates a range; `start` must not exceed `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: u32, end: u32) -> Self {
+        assert!(start <= end, "VpnRange start {start:#x} > end {end:#x}");
+        VpnRange { start, end }
+    }
+
+    /// The single-page range containing `vpn`.
+    pub const fn single(vpn: u32) -> Self {
+        VpnRange {
+            start: vpn,
+            end: vpn + 1,
+        }
+    }
+
+    /// The page numbers of every 4KB page a byte range touches.
+    pub fn from_va_range(r: &VaRange) -> Self {
+        if r.is_empty() {
+            return VpnRange {
+                start: r.start.vpn(),
+                end: r.start.vpn(),
+            };
+        }
+        // end is exclusive in bytes; the last touched page is the one
+        // containing `end - 1`.
+        VpnRange {
+            start: r.start.vpn(),
+            end: VirtAddr(r.end.0 - 1).vpn() + 1,
+        }
+    }
+
+    /// Number of pages in the range.
+    pub const fn page_count(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Returns `true` if the range holds no pages.
+    pub const fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Returns `true` if `vpn` falls within the range.
+    pub const fn contains(&self, vpn: u32) -> bool {
+        self.start <= vpn && vpn < self.end
+    }
+
+    /// Returns `true` if the two ranges share any page.
+    pub const fn overlaps(&self, other: &VpnRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Merges `other` into this range if they overlap or are adjacent,
+    /// returning `true` on success. Disjoint non-adjacent ranges are
+    /// left untouched and return `false`.
+    pub fn try_merge(&mut self, other: &VpnRange) -> bool {
+        if other.start > self.end || self.start > other.end {
+            return false;
+        }
+        self.start = self.start.min(other.start);
+        self.end = self.end.max(other.end);
+        true
+    }
+
+    /// Iterates over the page numbers in the range.
+    pub fn vpns(&self) -> impl Iterator<Item = u32> {
+        self.start..self.end
+    }
+
+    /// Iterates over the base addresses of the pages in the range.
+    pub fn pages(&self) -> impl Iterator<Item = VirtAddr> {
+        (self.start..self.end).map(|vpn| VirtAddr(vpn << PAGE_SHIFT))
     }
 }
 
@@ -297,6 +391,51 @@ mod tests {
         let r = VaRange::from_len(VirtAddr::new(0x0010_0000), 0x40_0000);
         let ptps: Vec<u32> = r.ptps().map(VirtAddr::raw).collect();
         assert_eq!(ptps, vec![0x0000_0000, 0x0020_0000, 0x0040_0000]);
+    }
+
+    #[test]
+    fn vpn_range_from_va_range_rounds_to_touched_pages() {
+        let r = VaRange::new(VirtAddr::new(0x1800), VirtAddr::new(0x3800));
+        let vr = VpnRange::from_va_range(&r);
+        assert_eq!((vr.start, vr.end), (0x1, 0x4));
+        assert_eq!(vr.page_count(), 3);
+        let aligned = VaRange::from_len(VirtAddr::new(0x2000), 0x2000);
+        let va = VpnRange::from_va_range(&aligned);
+        assert_eq!((va.start, va.end), (0x2, 0x4));
+        let empty = VaRange::new(VirtAddr::new(0x5000), VirtAddr::new(0x5000));
+        assert!(VpnRange::from_va_range(&empty).is_empty());
+    }
+
+    #[test]
+    fn vpn_range_merge_adjacent_and_overlapping() {
+        let mut a = VpnRange::new(0x10, 0x14);
+        assert!(a.try_merge(&VpnRange::new(0x14, 0x18)), "adjacent merges");
+        assert_eq!((a.start, a.end), (0x10, 0x18));
+        assert!(
+            a.try_merge(&VpnRange::new(0x12, 0x20)),
+            "overlapping merges"
+        );
+        assert_eq!((a.start, a.end), (0x10, 0x20));
+        assert!(
+            !a.try_merge(&VpnRange::new(0x30, 0x34)),
+            "disjoint does not"
+        );
+        assert_eq!((a.start, a.end), (0x10, 0x20));
+        assert!(a.contains(0x1f) && !a.contains(0x20));
+        assert!(a.overlaps(&VpnRange::new(0x1f, 0x30)));
+        assert!(!a.overlaps(&VpnRange::new(0x20, 0x30)));
+    }
+
+    #[test]
+    fn vpn_range_page_iteration() {
+        let r = VpnRange::single(0x12345);
+        assert_eq!(r.page_count(), 1);
+        let pages: Vec<u32> = r.pages().map(VirtAddr::raw).collect();
+        assert_eq!(pages, vec![0x1234_5000]);
+        assert_eq!(
+            VpnRange::new(2, 5).vpns().collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub mod page;
 pub mod perms;
 pub mod region;
 
-pub use addr::{PhysAddr, VaRange, VirtAddr};
+pub use addr::{PhysAddr, VaRange, VirtAddr, VpnRange};
 pub use dacr::{Dacr, Domain, DomainAccess};
 pub use error::{SatError, SatResult};
 pub use ids::{Asid, Pfn, Pid};

@@ -69,9 +69,7 @@ impl RegionTag {
     pub const fn is_zygote_preloaded_code(self) -> bool {
         matches!(
             self,
-            RegionTag::ZygoteNativeCode
-                | RegionTag::ZygoteJavaCode
-                | RegionTag::ZygoteBinaryCode
+            RegionTag::ZygoteNativeCode | RegionTag::ZygoteJavaCode | RegionTag::ZygoteBinaryCode
         )
     }
 

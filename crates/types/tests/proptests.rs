@@ -4,9 +4,8 @@ use proptest::prelude::*;
 use sat_types::{Dacr, Domain, DomainAccess, VaRange, VirtAddr, PAGE_SIZE, PTP_SPAN};
 
 fn aligned_range() -> impl Strategy<Value = VaRange> {
-    (0u32..0x8_0000, 1u32..0x400).prop_map(|(page, len)| {
-        VaRange::from_len(VirtAddr::new(page * PAGE_SIZE), len * PAGE_SIZE)
-    })
+    (0u32..0x8_0000, 1u32..0x400)
+        .prop_map(|(page, len)| VaRange::from_len(VirtAddr::new(page * PAGE_SIZE), len * PAGE_SIZE))
 }
 
 proptest! {

@@ -10,9 +10,7 @@
 
 use sat_mmu::{HwPte, Mapper, PtpStore, SwPte};
 use sat_phys::{FrameKind, PhysMem};
-use sat_types::{
-    AccessType, Domain, Perms, SatError, SatResult, VirtAddr,
-};
+use sat_types::{AccessType, Domain, Perms, SatError, SatResult, VirtAddr};
 
 use crate::mm::Mm;
 use crate::vma::{Backing, Vma};
@@ -221,7 +219,11 @@ fn resolve_not_present(
                 .file_page_index(page)
                 .expect("file backing produces an index");
             let (frame, cached) = mapper.phys.file_page(file, index)?;
-            let kind = if cached { FaultKind::Minor } else { FaultKind::Major };
+            let kind = if cached {
+                FaultKind::Minor
+            } else {
+                FaultKind::Major
+            };
 
             if access.is_write() && !vma.shared {
                 // Private file write: COW immediately into an
@@ -231,7 +233,8 @@ fn resolve_not_present(
                 let mut sw = SwPte::anon(true);
                 sw.dirty = true;
                 sw.young = true;
-                let res = mapper.set_pte(page, HwPte::small(copy, vma.perms, false), sw, ctx.domain)?;
+                let res =
+                    mapper.set_pte(page, HwPte::small(copy, vma.perms, false), sw, ctx.domain)?;
                 mapper.phys.put_page(copy);
                 return Ok(FaultOutcome {
                     kind,
@@ -255,7 +258,8 @@ fn resolve_not_present(
             if access.is_write() {
                 sw.dirty = true;
             }
-            let res = mapper.set_pte(page, HwPte::small(frame, hw_perms, global), sw, ctx.domain)?;
+            let res =
+                mapper.set_pte(page, HwPte::small(frame, hw_perms, global), sw, ctx.domain)?;
             Ok(FaultOutcome {
                 kind,
                 ptp_allocated: res.ptp_allocated,
@@ -378,8 +382,7 @@ mod tests {
         assert!(o.ptp_allocated);
         // Re-fault on the same page in a fresh mm is minor (page
         // cache warm). Simulate by clearing the PTE.
-        Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys)
-            .clear_pte(VirtAddr::new(0x4000_0000));
+        Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys).clear_pte(VirtAddr::new(0x4000_0000));
         let o2 = fault(&mut f, 0x4000_0123, AccessType::Execute).unwrap();
         assert_eq!(o2.kind, FaultKind::Minor);
         assert!(!o2.ptp_allocated);
@@ -457,9 +460,8 @@ mod tests {
         add_anon_vma(&mut f, 0x0800_0000, 1);
         fault(&mut f, 0x0800_0000, AccessType::Read).unwrap();
         // Write-protect it, as a fork would.
-        Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys).write_protect_range(
-            VaRange::from_len(VirtAddr::new(0x0800_0000), PAGE_SIZE),
-        );
+        Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys)
+            .write_protect_range(VaRange::from_len(VirtAddr::new(0x0800_0000), PAGE_SIZE));
         let frames_before = f.phys.frames_in_use();
         let o = fault(&mut f, 0x0800_0000, AccessType::Write).unwrap();
         assert_eq!(o.kind, FaultKind::WriteEnable);

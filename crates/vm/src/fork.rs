@@ -93,7 +93,15 @@ pub fn fork_mm(
         if !copies_ptes(policy, vma) {
             continue;
         }
-        copy_vma_ptes(parent, &mut child, ptps, phys, vma, child_domain, &mut report)?;
+        copy_vma_ptes(
+            parent,
+            &mut child,
+            ptps,
+            phys,
+            vma,
+            child_domain,
+            &mut report,
+        )?;
     }
     child.counters.ptes_copied_fork = report.ptes_copied;
     child.counters.ptps_allocated = report.ptps_allocated;
@@ -111,7 +119,16 @@ pub fn copy_vma_ptes(
     child_domain: Domain,
     report: &mut ForkReport,
 ) -> SatResult<()> {
-    copy_vma_ptes_in_range(parent, child, ptps, phys, vma, vma.range, child_domain, report)
+    copy_vma_ptes_in_range(
+        parent,
+        child,
+        ptps,
+        phys,
+        vma,
+        vma.range,
+        child_domain,
+        report,
+    )
 }
 
 /// Copies the populated PTEs of `vma` that fall within `clamp` from
@@ -213,7 +230,15 @@ mod tests {
     }
 
     fn touch(fx_mm: &mut Mm, ptps: &mut PtpStore, phys: &mut PhysMem, va: u32, access: AccessType) {
-        handle_fault(fx_mm, ptps, phys, VirtAddr::new(va), access, FaultCtx::default()).unwrap();
+        handle_fault(
+            fx_mm,
+            ptps,
+            phys,
+            VirtAddr::new(va),
+            access,
+            FaultCtx::default(),
+        )
+        .unwrap();
     }
 
     fn add_heap(f: &mut Fx, start: u32, pages: u32) {
@@ -244,8 +269,20 @@ mod tests {
         add_heap(&mut f, 0x0800_0000, 4);
         add_code(&mut f, 0x4000_0000, 4);
         for i in 0..4 {
-            touch(&mut f.mm, &mut f.ptps, &mut f.phys, 0x0800_0000 + i * PAGE_SIZE, AccessType::Write);
-            touch(&mut f.mm, &mut f.ptps, &mut f.phys, 0x4000_0000 + i * PAGE_SIZE, AccessType::Execute);
+            touch(
+                &mut f.mm,
+                &mut f.ptps,
+                &mut f.phys,
+                0x0800_0000 + i * PAGE_SIZE,
+                AccessType::Write,
+            );
+            touch(
+                &mut f.mm,
+                &mut f.ptps,
+                &mut f.phys,
+                0x4000_0000 + i * PAGE_SIZE,
+                AccessType::Execute,
+            );
         }
         let (child, report) = fork_mm(
             &mut f.mm,
@@ -276,7 +313,13 @@ mod tests {
         let mut f = fx();
         add_code(&mut f, 0x4000_0000, 4);
         for i in 0..4 {
-            touch(&mut f.mm, &mut f.ptps, &mut f.phys, 0x4000_0000 + i * PAGE_SIZE, AccessType::Execute);
+            touch(
+                &mut f.mm,
+                &mut f.ptps,
+                &mut f.phys,
+                0x4000_0000 + i * PAGE_SIZE,
+                AccessType::Execute,
+            );
         }
         let (_child, report) = fork_mm(
             &mut f.mm,
@@ -296,7 +339,13 @@ mod tests {
     fn cow_protects_both_parent_and_child() {
         let mut f = fx();
         add_heap(&mut f, 0x0800_0000, 1);
-        touch(&mut f.mm, &mut f.ptps, &mut f.phys, 0x0800_0000, AccessType::Write);
+        touch(
+            &mut f.mm,
+            &mut f.ptps,
+            &mut f.phys,
+            0x0800_0000,
+            AccessType::Write,
+        );
         let (mut child, _) = fork_mm(
             &mut f.mm,
             &mut f.ptps,
@@ -325,7 +374,13 @@ mod tests {
     fn write_after_fork_triggers_cow_copy() {
         let mut f = fx();
         add_heap(&mut f, 0x0800_0000, 1);
-        touch(&mut f.mm, &mut f.ptps, &mut f.phys, 0x0800_0000, AccessType::Write);
+        touch(
+            &mut f.mm,
+            &mut f.ptps,
+            &mut f.phys,
+            0x0800_0000,
+            AccessType::Write,
+        );
         let (mut child, _) = fork_mm(
             &mut f.mm,
             &mut f.ptps,
@@ -338,7 +393,15 @@ mod tests {
         .unwrap();
         let va = VirtAddr::new(0x0800_0000);
         // Child writes: gets its own copy.
-        let o = handle_fault(&mut child, &mut f.ptps, &mut f.phys, va, AccessType::Write, FaultCtx::default()).unwrap();
+        let o = handle_fault(
+            &mut child,
+            &mut f.ptps,
+            &mut f.phys,
+            va,
+            AccessType::Write,
+            FaultCtx::default(),
+        )
+        .unwrap();
         assert_eq!(o.kind, FaultKind::Cow);
         let child_pfn = Mapper::new(&mut child.root, &mut f.ptps, &mut f.phys)
             .get_pte(va)
@@ -353,7 +416,15 @@ mod tests {
         assert_ne!(child_pfn, parent_pfn);
         // Parent now writes: sole mapper again, so write is re-enabled
         // without copying.
-        let o2 = handle_fault(&mut f.mm, &mut f.ptps, &mut f.phys, va, AccessType::Write, FaultCtx::default()).unwrap();
+        let o2 = handle_fault(
+            &mut f.mm,
+            &mut f.ptps,
+            &mut f.phys,
+            va,
+            AccessType::Write,
+            FaultCtx::default(),
+        )
+        .unwrap();
         assert_eq!(o2.kind, FaultKind::WriteEnable);
     }
 

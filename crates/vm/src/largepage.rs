@@ -52,7 +52,9 @@ pub fn map_large(
     domain: Domain,
 ) -> SatResult<LargeMapReport> {
     let range = vma.range;
-    if !range.start.raw().is_multiple_of(LARGE_PAGE_BYTES) || !range.end.raw().is_multiple_of(LARGE_PAGE_BYTES) {
+    if !range.start.raw().is_multiple_of(LARGE_PAGE_BYTES)
+        || !range.end.raw().is_multiple_of(LARGE_PAGE_BYTES)
+    {
         return Err(SatError::InvalidArgument);
     }
     let mut report = LargeMapReport::default();
@@ -117,7 +119,15 @@ pub fn map_large(
                 .ptps
                 .get_mut(ptp)
                 .ok_or(SatError::Internal("PTP vanished"))?
-                .set(half, page.l2_index(), HwPte { size: PageSize::Large64K, ..hw }, sw);
+                .set(
+                    half,
+                    page.l2_index(),
+                    HwPte {
+                        size: PageSize::Large64K,
+                        ..hw
+                    },
+                    sw,
+                );
             debug_assert!(prev.is_none(), "pre-checked: no existing PTE");
             // Reference counting: each slot holds a reference on its
             // own 4KB frame of the group.
@@ -142,18 +152,18 @@ pub fn map_large(
 /// unmapped or re-protected in whole 64KB units: a partial operation
 /// would leave the surviving replicated descriptors advertising a
 /// translation that spans freed or re-protected frames.
-pub fn check_large_boundaries(
-    mm: &Mm,
-    ptps: &PtpStore,
-    range: VaRange,
-) -> SatResult<()> {
+pub fn check_large_boundaries(mm: &Mm, ptps: &PtpStore, range: VaRange) -> SatResult<()> {
     for addr in [range.start.raw(), range.end.raw()] {
         if addr.is_multiple_of(LARGE_PAGE_BYTES) {
             continue;
         }
         // The page containing the boundary (for the exclusive end,
         // the page just inside the range).
-        let probe = if addr == range.end.raw() { addr - 1 } else { addr };
+        let probe = if addr == range.end.raw() {
+            addr - 1
+        } else {
+            addr
+        };
         let page = VirtAddr::new(probe).page_base();
         let entry = mm.root.entry_for(page);
         let slot = entry

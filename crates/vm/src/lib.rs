@@ -26,7 +26,7 @@ pub mod syscalls;
 pub mod vma;
 
 pub use fault::{handle_fault, FaultCtx, FaultKind, FaultOutcome};
-pub use fork::{copy_vma_ptes_in_range, copies_ptes, fork_mm, ForkPtePolicy, ForkReport};
+pub use fork::{copies_ptes, copy_vma_ptes_in_range, fork_mm, ForkPtePolicy, ForkReport};
 pub use largepage::{map_large, mmap_large, round_to_large, LargeMapReport};
 pub use mm::{Mm, MmCounters};
 pub use smaps::{smaps, smaps_rollup, SmapsEntry};

@@ -4,9 +4,7 @@ use std::collections::BTreeMap;
 
 use sat_mmu::RootTable;
 use sat_phys::PhysMem;
-use sat_types::{
-    Asid, Dacr, Pid, SatError, SatResult, VaRange, VirtAddr, PAGE_SIZE,
-};
+use sat_types::{Asid, Dacr, Pid, SatError, SatResult, VaRange, VirtAddr, PAGE_SIZE};
 
 use crate::vma::Vma;
 
@@ -121,9 +119,7 @@ impl Mm {
 
     /// Returns regions overlapping `range`.
     pub fn vmas_overlapping(&self, range: VaRange) -> impl Iterator<Item = &Vma> {
-        self.vmas
-            .values()
-            .filter(move |v| v.range.overlaps(&range))
+        self.vmas.values().filter(move |v| v.range.overlaps(&range))
     }
 
     /// Returns `true` if any region overlaps `range`.
@@ -200,9 +196,7 @@ impl Mm {
             if vma.range.end.raw() <= candidate {
                 continue;
             }
-            if vma.range.start.raw() >= candidate
-                && vma.range.start.raw() - candidate >= len
-            {
+            if vma.range.start.raw() >= candidate && vma.range.start.raw() - candidate >= len {
                 break;
             }
             candidate = match align_up(vma.range.end.raw()) {
@@ -341,7 +335,10 @@ mod tests {
         mm.insert_vma(anon(0x4000_0000, 1)).unwrap();
         mm.insert_vma(anon(0x4000_2000, 1)).unwrap();
         // The 1-page hole at 0x4000_1000 fits a 1-page request.
-        assert_eq!(mm.find_free(PAGE_SIZE, PAGE_SIZE).unwrap().raw(), 0x4000_1000);
+        assert_eq!(
+            mm.find_free(PAGE_SIZE, PAGE_SIZE).unwrap().raw(),
+            0x4000_1000
+        );
         // A 2-page request must go after the second region.
         assert_eq!(
             mm.find_free(2 * PAGE_SIZE, PAGE_SIZE).unwrap().raw(),

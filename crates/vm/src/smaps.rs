@@ -142,8 +142,15 @@ mod tests {
     }
 
     fn touch(f: &mut Fx, va: u32, access: AccessType) {
-        handle_fault(&mut f.mm, &mut f.ptps, &mut f.phys, VirtAddr::new(va), access, FaultCtx::default())
-            .unwrap();
+        handle_fault(
+            &mut f.mm,
+            &mut f.ptps,
+            &mut f.phys,
+            VirtAddr::new(va),
+            access,
+            FaultCtx::default(),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -196,8 +203,15 @@ mod tests {
                 "lib.so",
             ))
             .unwrap();
-        handle_fault(&mut other, &mut f.ptps, &mut f.phys, VirtAddr::new(0x4000_0000), AccessType::Execute, FaultCtx::default())
-            .unwrap();
+        handle_fault(
+            &mut other,
+            &mut f.ptps,
+            &mut f.phys,
+            VirtAddr::new(0x4000_0000),
+            AccessType::Execute,
+            FaultCtx::default(),
+        )
+        .unwrap();
         let e = &smaps(&f.mm, &f.ptps, &f.phys)[0];
         assert_eq!(e.rss, PAGE_SIZE as u64);
         assert_eq!(e.pss, PAGE_SIZE as u64 / 2);
@@ -220,7 +234,11 @@ mod tests {
         let before = smaps_rollup(&f.mm, &f.ptps, &f.phys).page_table_pss;
         assert_eq!(before, PAGE_SIZE as u64);
         // Simulate a shared fork: bump the PTP's sharer count.
-        let ptp = f.mm.root.entry_for(VirtAddr::new(0x0800_0000)).ptp().unwrap();
+        let ptp =
+            f.mm.root
+                .entry_for(VirtAddr::new(0x0800_0000))
+                .ptp()
+                .unwrap();
         f.phys.map_inc(ptp);
         let after = smaps_rollup(&f.mm, &f.ptps, &f.phys).page_table_pss;
         assert_eq!(after, PAGE_SIZE as u64 / 2);

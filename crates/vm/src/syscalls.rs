@@ -9,8 +9,7 @@
 use sat_mmu::{Mapper, PtpStore};
 use sat_phys::{FileId, PhysMem};
 use sat_types::{
-    AccessType, Perms, RegionTag, SatError, SatResult, VaRange, VirtAddr, PAGE_SIZE,
-    PTP_SPAN,
+    AccessType, Perms, RegionTag, SatError, SatResult, VaRange, VirtAddr, PAGE_SIZE, PTP_SPAN,
 };
 
 use crate::fault::{handle_fault, FaultCtx};
@@ -328,7 +327,14 @@ mod tests {
         let mut f = fx();
         let a = mmap(&mut f.mm, &heap_req(4)).unwrap();
         let range = VaRange::from_len(a, 4 * PAGE_SIZE);
-        populate(&mut f.mm, &mut f.ptps, &mut f.phys, range, FaultCtx::default()).unwrap();
+        populate(
+            &mut f.mm,
+            &mut f.ptps,
+            &mut f.phys,
+            range,
+            FaultCtx::default(),
+        )
+        .unwrap();
         assert_eq!(f.ptps.len(), 1);
         let frames_mapped = f.phys.frames_in_use();
         let cleared = munmap(&mut f.mm, &mut f.ptps, &mut f.phys, range).unwrap();
@@ -344,7 +350,14 @@ mod tests {
         let mut f = fx();
         let a = mmap(&mut f.mm, &heap_req(4)).unwrap();
         let range = VaRange::from_len(a, 4 * PAGE_SIZE);
-        populate(&mut f.mm, &mut f.ptps, &mut f.phys, range, FaultCtx::default()).unwrap();
+        populate(
+            &mut f.mm,
+            &mut f.ptps,
+            &mut f.phys,
+            range,
+            FaultCtx::default(),
+        )
+        .unwrap();
         // Unmap the middle two pages.
         let middle = VaRange::from_len(VirtAddr::new(a.raw() + PAGE_SIZE), 2 * PAGE_SIZE);
         let cleared = munmap(&mut f.mm, &mut f.ptps, &mut f.phys, middle).unwrap();
@@ -358,7 +371,14 @@ mod tests {
         let mut f = fx();
         let a = mmap(&mut f.mm, &heap_req(2)).unwrap();
         let range = VaRange::from_len(a, 2 * PAGE_SIZE);
-        populate(&mut f.mm, &mut f.ptps, &mut f.phys, range, FaultCtx::default()).unwrap();
+        populate(
+            &mut f.mm,
+            &mut f.ptps,
+            &mut f.phys,
+            range,
+            FaultCtx::default(),
+        )
+        .unwrap();
         mprotect(&mut f.mm, &mut f.ptps, &mut f.phys, range, Perms::R).unwrap();
         assert_eq!(f.mm.vma_at(a).unwrap().perms, Perms::R);
         let m = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys);

@@ -178,15 +178,30 @@ mod tests {
 
     #[test]
     fn stack_regions_opt_out_of_ptp_sharing() {
-        let v = Vma::anon(range(0xBF00_0000, 16 * PAGE_SIZE), Perms::RW, RegionTag::Stack, "[stack]");
+        let v = Vma::anon(
+            range(0xBF00_0000, 16 * PAGE_SIZE),
+            Perms::RW,
+            RegionTag::Stack,
+            "[stack]",
+        );
         assert!(v.dont_share_ptp);
-        let h = Vma::anon(range(0x0800_0000, 16 * PAGE_SIZE), Perms::RW, RegionTag::Heap, "[heap]");
+        let h = Vma::anon(
+            range(0x0800_0000, 16 * PAGE_SIZE),
+            Perms::RW,
+            RegionTag::Heap,
+            "[heap]",
+        );
         assert!(!h.dont_share_ptp);
     }
 
     #[test]
     fn private_writable_classification() {
-        let mut v = Vma::anon(range(0x1000_0000, PAGE_SIZE), Perms::RW, RegionTag::Heap, "[heap]");
+        let mut v = Vma::anon(
+            range(0x1000_0000, PAGE_SIZE),
+            Perms::RW,
+            RegionTag::Heap,
+            "[heap]",
+        );
         assert!(v.is_private_writable());
         v.shared = true;
         assert!(!v.is_private_writable());

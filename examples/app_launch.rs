@@ -15,9 +15,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = LaunchOptions::paper();
     let mut rows = Vec::new();
     for (label, config, layout) in [
-        ("stock/original", KernelConfig::stock(), LibraryLayout::Original),
-        ("shared/original", KernelConfig::shared_ptp_tlb(), LibraryLayout::Original),
-        ("shared/2MB-aligned", KernelConfig::shared_ptp_tlb(), LibraryLayout::Aligned2Mb),
+        (
+            "stock/original",
+            KernelConfig::stock(),
+            LibraryLayout::Original,
+        ),
+        (
+            "shared/original",
+            KernelConfig::shared_ptp_tlb(),
+            LibraryLayout::Original,
+        ),
+        (
+            "shared/2MB-aligned",
+            KernelConfig::shared_ptp_tlb(),
+            LibraryLayout::Aligned2Mb,
+        ),
     ] {
         println!("booting {label} ...");
         let mut sys = AndroidSystem::boot(config, layout, 1, 11, BootOptions::paper())?;

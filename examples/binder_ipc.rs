@@ -25,7 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("Shared PTP", KernelConfig::shared_ptp()),
         ("Shared PTP & TLB", KernelConfig::shared_ptp_tlb()),
     ] {
-        let mut sys = AndroidSystem::boot(config, LibraryLayout::Original, 1, 11, BootOptions::paper())?;
+        let mut sys =
+            AndroidSystem::boot(config, LibraryLayout::Original, 1, 11, BootOptions::paper())?;
         let r = run_binder_benchmark(&mut sys, &opts)?;
         let (bc, bs) = *base.get_or_insert((r.client_tlb_stall, r.server_tlb_stall));
         println!(

@@ -24,8 +24,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let code = VirtAddr::new(0x4000_0000);
     kernel.mmap(
         zygote,
-        &MmapRequest::file(16 * PAGE_SIZE, Perms::RX, libc, 0, RegionTag::ZygoteNativeCode, "libc.so")
-            .at(code),
+        &MmapRequest::file(
+            16 * PAGE_SIZE,
+            Perms::RX,
+            libc,
+            0,
+            RegionTag::ZygoteNativeCode,
+            "libc.so",
+        )
+        .at(code),
         &mut NoTlb,
     )?;
     kernel.populate(zygote, VaRange::from_len(code, 16 * PAGE_SIZE))?;
@@ -59,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let zygote_frame = kernel.pte(zygote, heap)?.unwrap().hw.pfn;
     let child_frame = kernel.pte(child, heap)?.unwrap().hw.pfn;
-    assert_ne!(zygote_frame, child_frame, "COW gave the child its own frame");
+    assert_ne!(
+        zygote_frame, child_frame,
+        "COW gave the child its own frame"
+    );
     println!("COW intact: zygote frame {zygote_frame:?}, child frame {child_frame:?}");
 
     // The code PTP is still shared.

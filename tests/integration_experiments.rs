@@ -47,7 +47,10 @@ fn ipc_experiment_quick() {
     let out = ipcbench::fig13(Scale::Quick).unwrap();
     assert!(out.contains("Disabled ASID"));
     // Shared PTP & TLB must improve on stock for the client.
-    let line = out.lines().find(|l| l.contains("Shared PTP & TLB")).unwrap();
+    let line = out
+        .lines()
+        .find(|l| l.contains("Shared PTP & TLB"))
+        .unwrap();
     let client_pct: f64 = line
         .split('|')
         .nth(2)

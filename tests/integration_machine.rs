@@ -16,8 +16,15 @@ fn machine(config: KernelConfig) -> (Machine, Pid) {
     m.syscall(|k, tlb| {
         k.mmap(
             zygote,
-            &MmapRequest::file(32 * PAGE_SIZE, Perms::RX, lib, 0, RegionTag::ZygoteNativeCode, "lib.so")
-                .at(VirtAddr::new(0x4000_0000)),
+            &MmapRequest::file(
+                32 * PAGE_SIZE,
+                Perms::RX,
+                lib,
+                0,
+                RegionTag::ZygoteNativeCode,
+                "lib.so",
+            )
+            .at(VirtAddr::new(0x4000_0000)),
             tlb,
         )
     })
@@ -83,8 +90,15 @@ fn domain_protection_isolates_non_zygote_processes() {
     m.syscall(|k, tlb| {
         k.mmap(
             daemon,
-            &MmapRequest::file(4 * PAGE_SIZE, Perms::RX, other, 0, RegionTag::OtherLibCode, "other.so")
-                .at(va),
+            &MmapRequest::file(
+                4 * PAGE_SIZE,
+                Perms::RX,
+                other,
+                0,
+                RegionTag::OtherLibCode,
+                "other.so",
+            )
+            .at(va),
             tlb,
         )
     })
@@ -127,16 +141,15 @@ fn access_stream_is_deterministic() {
 fn full_launch_is_reproducible_per_config() {
     for config in [KernelConfig::stock(), KernelConfig::shared_ptp_tlb()] {
         let run = || {
-            let mut sys = AndroidSystem::boot(
-                config,
-                LibraryLayout::Original,
-                7,
-                1,
-                BootOptions::small(),
-            )
-            .unwrap();
+            let mut sys =
+                AndroidSystem::boot(config, LibraryLayout::Original, 7, 1, BootOptions::small())
+                    .unwrap();
             let (_pid, report) = launch_app_seq(&mut sys, &LaunchOptions::small(), 0).unwrap();
-            (report.window_cycles, report.file_faults, report.ptps_allocated)
+            (
+                report.window_cycles,
+                report.file_faults,
+                report.ptps_allocated,
+            )
         };
         assert_eq!(run(), run(), "nondeterministic launch under {config:?}");
     }
@@ -168,8 +181,12 @@ fn cycles_accumulate_monotonically_across_workload() {
     let mut last = 0;
     for i in 0..500u32 {
         let _ = zygote;
-        m.access(0, VirtAddr::new(0x4000_0000 + (i % 32) * PAGE_SIZE), AccessType::Execute)
-            .unwrap();
+        m.access(
+            0,
+            VirtAddr::new(0x4000_0000 + (i % 32) * PAGE_SIZE),
+            AccessType::Execute,
+        )
+        .unwrap();
         let now = m.cores[0].stats.cycles;
         assert!(now > last);
         last = now;
@@ -186,8 +203,15 @@ fn two_cores_private_tlbs_shared_l2() {
     m.syscall(|k, tlb| {
         k.mmap(
             zygote,
-            &MmapRequest::file(16 * PAGE_SIZE, Perms::RX, lib, 0, RegionTag::ZygoteNativeCode, "lib.so")
-                .at(VirtAddr::new(0x4000_0000)),
+            &MmapRequest::file(
+                16 * PAGE_SIZE,
+                Perms::RX,
+                lib,
+                0,
+                RegionTag::ZygoteNativeCode,
+                "lib.so",
+            )
+            .at(VirtAddr::new(0x4000_0000)),
             tlb,
         )
     })
@@ -195,7 +219,10 @@ fn two_cores_private_tlbs_shared_l2() {
     // The zygote pre-faults the code, so the fork shares a populated
     // PTP with the child.
     m.syscall(|k, _| {
-        k.populate(zygote, sat_types::VaRange::from_len(VirtAddr::new(0x4000_0000), 16 * PAGE_SIZE))
+        k.populate(
+            zygote,
+            sat_types::VaRange::from_len(VirtAddr::new(0x4000_0000), 16 * PAGE_SIZE),
+        )
     })
     .unwrap();
     let child = m.syscall(|k, _| k.fork(zygote)).unwrap().child;
@@ -215,7 +242,10 @@ fn two_cores_private_tlbs_shared_l2() {
     // below the all-miss worst case.
     let faults_before = m.cores[1].stats.page_faults;
     let cost = m.access(1, va, AccessType::Execute).unwrap();
-    assert_eq!(m.cores[1].stats.page_faults, faults_before, "no fault on core 1");
+    assert_eq!(
+        m.cores[1].stats.page_faults, faults_before,
+        "no fault on core 1"
+    );
     assert!(
         cost < 400,
         "core 1 paid {cost} cycles; expected L2 hits on the shared lines"
@@ -251,14 +281,8 @@ fn tlb_shootdown_reaches_all_cores() {
     // A munmap through the kernel flushes the ASID on EVERY core
     // (shootdown semantics) — here via the unshare-free stock path,
     // exercised through exit which flushes by ASID.
-    m.syscall(|k, tlb| {
-        k.munmap(
-            zygote,
-            sat_types::VaRange::from_len(va, 8 * PAGE_SIZE),
-            tlb,
-        )
-    })
-    .unwrap();
+    m.syscall(|k, tlb| k.munmap(zygote, sat_types::VaRange::from_len(va, 8 * PAGE_SIZE), tlb))
+        .unwrap();
     // The mapping is gone; a fresh access on either core must fault,
     // not silently hit a stale entry.
     assert!(m.access(0, va, AccessType::Read).is_err());
@@ -312,10 +336,20 @@ fn mmap_large_unshares_before_installing_ptes() {
         )
         .unwrap();
     kernel
-        .page_fault(zygote, VirtAddr::new(0x0800_0000), AccessType::Write, &mut NoTlb)
+        .page_fault(
+            zygote,
+            VirtAddr::new(0x0800_0000),
+            AccessType::Write,
+            &mut NoTlb,
+        )
         .unwrap();
     let child = kernel.fork(zygote).unwrap().child;
-    assert!(kernel.mm(child).unwrap().root.entry_for(VirtAddr::new(0x0800_0000)).need_copy());
+    assert!(kernel
+        .mm(child)
+        .unwrap()
+        .root
+        .entry_for(VirtAddr::new(0x0800_0000))
+        .need_copy());
     // Child maps a 64KB large page in a free hole of the shared chunk.
     kernel
         .mmap_large(
@@ -329,9 +363,20 @@ fn mmap_large_unshares_before_installing_ptes() {
         )
         .unwrap();
     // The chunk was unshared first: the zygote must NOT see the PTEs.
-    assert!(kernel.pte(zygote, VirtAddr::new(0x0810_0000)).unwrap().is_none());
-    assert!(kernel.pte(child, VirtAddr::new(0x0810_0000)).unwrap().is_some());
-    assert!(!kernel.mm(child).unwrap().root.entry_for(VirtAddr::new(0x0800_0000)).need_copy());
+    assert!(kernel
+        .pte(zygote, VirtAddr::new(0x0810_0000))
+        .unwrap()
+        .is_none());
+    assert!(kernel
+        .pte(child, VirtAddr::new(0x0810_0000))
+        .unwrap()
+        .is_some());
+    assert!(!kernel
+        .mm(child)
+        .unwrap()
+        .root
+        .entry_for(VirtAddr::new(0x0800_0000))
+        .need_copy());
 }
 
 #[test]
@@ -358,7 +403,12 @@ fn unshare_of_large_page_chunk_balances_refcounts() {
     // The child's write fault unshares the chunk (copying the 32
     // large-page slots into a private PTP).
     kernel
-        .page_fault(child, VirtAddr::new(0x0900_0000), AccessType::Write, &mut NoTlb)
+        .page_fault(
+            child,
+            VirtAddr::new(0x0900_0000),
+            AccessType::Write,
+            &mut NoTlb,
+        )
         .unwrap();
     // Tear everything down: every frame must come back.
     kernel.exit(child, &mut NoTlb).unwrap();
@@ -392,7 +442,10 @@ fn partial_large_page_operations_are_rejected() {
     let whole = sat_types::VaRange::from_len(VirtAddr::new(0x0900_0000), 64 * 1024);
     kernel.mprotect(pid, whole, Perms::R, &mut NoTlb).unwrap();
     kernel.munmap(pid, whole, &mut NoTlb).unwrap();
-    assert!(kernel.pte(pid, VirtAddr::new(0x0900_0000)).unwrap().is_none());
+    assert!(kernel
+        .pte(pid, VirtAddr::new(0x0900_0000))
+        .unwrap()
+        .is_none());
 }
 
 /// Conservation (observability): every `TlbStats` flush increment has
@@ -411,10 +464,18 @@ fn obs_flush_events_reconcile_with_tlb_stats() {
     // ASID shootdown), region ops, domain setup, and exit.
     let heap = VirtAddr::new(0x0800_0000);
     for i in 0..8u32 {
-        m.access(0, VirtAddr::new(0x4000_0000 + i * PAGE_SIZE), AccessType::Execute)
-            .unwrap();
-        m.access(0, VirtAddr::new(heap.raw() + i * PAGE_SIZE), AccessType::Write)
-            .unwrap();
+        m.access(
+            0,
+            VirtAddr::new(0x4000_0000 + i * PAGE_SIZE),
+            AccessType::Execute,
+        )
+        .unwrap();
+        m.access(
+            0,
+            VirtAddr::new(heap.raw() + i * PAGE_SIZE),
+            AccessType::Write,
+        )
+        .unwrap();
     }
     let (fork, _) = m.fork(0, zygote).unwrap();
     let child = fork.child;
@@ -446,7 +507,12 @@ fn obs_flush_events_reconcile_with_tlb_stats() {
     let mut main_entries = 0u64;
     let mut unattributed = 0u64;
     for event in &rec.events {
-        if let sat_obs::Payload::TlbFlush { scope, reason, entries } = &event.payload {
+        if let sat_obs::Payload::TlbFlush {
+            scope,
+            reason,
+            entries,
+        } = &event.payload
+        {
             if scope.is_main() {
                 main_entries += entries;
                 if *scope == sat_obs::FlushScope::All {
@@ -458,8 +524,16 @@ fn obs_flush_events_reconcile_with_tlb_stats() {
             }
         }
     }
-    let stats_full: u64 = m.cores.iter().map(|c| c.main_tlb.stats().full_flushes).sum();
-    let stats_entries: u64 = m.cores.iter().map(|c| c.main_tlb.stats().entries_flushed).sum();
+    let stats_full: u64 = m
+        .cores
+        .iter()
+        .map(|c| c.main_tlb.stats().full_flushes)
+        .sum();
+    let stats_entries: u64 = m
+        .cores
+        .iter()
+        .map(|c| c.main_tlb.stats().entries_flushed)
+        .sum();
     assert!(stats_full > 0, "workload performed full flushes");
     assert!(stats_entries > 0, "workload invalidated entries");
     assert_eq!(full_flush_events, stats_full);

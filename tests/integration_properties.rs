@@ -50,13 +50,23 @@ fn boot(config: KernelConfig) -> (Kernel, Pid) {
     let lib = k.files.register("lib.so", CODE_PAGES * PAGE_SIZE);
     k.mmap(
         z,
-        &MmapRequest::file(CODE_PAGES * PAGE_SIZE, Perms::RX, lib, 0, RegionTag::ZygoteNativeCode, "lib.so")
-            .at(VirtAddr::new(CODE)),
+        &MmapRequest::file(
+            CODE_PAGES * PAGE_SIZE,
+            Perms::RX,
+            lib,
+            0,
+            RegionTag::ZygoteNativeCode,
+            "lib.so",
+        )
+        .at(VirtAddr::new(CODE)),
         &mut NoTlb,
     )
     .unwrap();
-    k.populate(z, VaRange::from_len(VirtAddr::new(CODE), CODE_PAGES * PAGE_SIZE))
-        .unwrap();
+    k.populate(
+        z,
+        VaRange::from_len(VirtAddr::new(CODE), CODE_PAGES * PAGE_SIZE),
+    )
+    .unwrap();
     k.mmap(
         z,
         &MmapRequest::anon(HEAP_PAGES * PAGE_SIZE, Perms::RW, RegionTag::Heap, "[heap]")
@@ -65,8 +75,13 @@ fn boot(config: KernelConfig) -> (Kernel, Pid) {
     )
     .unwrap();
     for i in 0..HEAP_PAGES {
-        k.page_fault(z, VirtAddr::new(HEAP + i * PAGE_SIZE), AccessType::Write, &mut NoTlb)
-            .unwrap();
+        k.page_fault(
+            z,
+            VirtAddr::new(HEAP + i * PAGE_SIZE),
+            AccessType::Write,
+            &mut NoTlb,
+        )
+        .unwrap();
     }
     (k, z)
 }
@@ -89,7 +104,8 @@ fn run_ops(k: &mut Kernel, zygote: Pid, ops: &[Op]) -> Vec<Pid> {
                 let va = VirtAddr::new(HEAP + g * PAGE_SIZE);
                 // May fail only if a ProtectFlip left it read-only —
                 // we always flip back, so it must succeed.
-                k.page_fault(pid, va, AccessType::Write, &mut NoTlb).unwrap();
+                k.page_fault(pid, va, AccessType::Write, &mut NoTlb)
+                    .unwrap();
             }
             Op::ReadHeap(p, g) => {
                 let pid = live[p % live.len()];
@@ -99,7 +115,8 @@ fn run_ops(k: &mut Kernel, zygote: Pid, ops: &[Op]) -> Vec<Pid> {
             Op::ExecCode(p, g) => {
                 let pid = live[p % live.len()];
                 let va = VirtAddr::new(CODE + g * PAGE_SIZE);
-                k.page_fault(pid, va, AccessType::Execute, &mut NoTlb).unwrap();
+                k.page_fault(pid, va, AccessType::Execute, &mut NoTlb)
+                    .unwrap();
             }
             Op::Exit(p) => {
                 if live.len() > 1 {

@@ -17,13 +17,23 @@ fn boot(config: KernelConfig) -> (Kernel, Pid) {
     let lib = k.files.register("lib.so", 8 * PAGE_SIZE);
     k.mmap(
         zygote,
-        &MmapRequest::file(8 * PAGE_SIZE, Perms::RX, lib, 0, RegionTag::ZygoteNativeCode, "lib.so")
-            .at(VirtAddr::new(CODE)),
+        &MmapRequest::file(
+            8 * PAGE_SIZE,
+            Perms::RX,
+            lib,
+            0,
+            RegionTag::ZygoteNativeCode,
+            "lib.so",
+        )
+        .at(VirtAddr::new(CODE)),
         &mut NoTlb,
     )
     .unwrap();
-    k.populate(zygote, VaRange::from_len(VirtAddr::new(CODE), 8 * PAGE_SIZE))
-        .unwrap();
+    k.populate(
+        zygote,
+        VaRange::from_len(VirtAddr::new(CODE), 8 * PAGE_SIZE),
+    )
+    .unwrap();
     k.mmap(
         zygote,
         &MmapRequest::anon(4 * PAGE_SIZE, Perms::RW, RegionTag::Heap, "[heap]")
@@ -32,8 +42,13 @@ fn boot(config: KernelConfig) -> (Kernel, Pid) {
     )
     .unwrap();
     for i in 0..4 {
-        k.page_fault(zygote, VirtAddr::new(HEAP + i * PAGE_SIZE), AccessType::Write, &mut NoTlb)
-            .unwrap();
+        k.page_fault(
+            zygote,
+            VirtAddr::new(HEAP + i * PAGE_SIZE),
+            AccessType::Write,
+            &mut NoTlb,
+        )
+        .unwrap();
     }
     (k, zygote)
 }
@@ -51,7 +66,8 @@ fn ten_generations_of_sharing_and_exit_leak_nothing() {
         // code.
         for (i, &c) in children.iter().enumerate() {
             let heap_page = VirtAddr::new(HEAP + ((i as u32) % 4) * PAGE_SIZE);
-            k.page_fault(c, heap_page, AccessType::Write, &mut NoTlb).unwrap();
+            k.page_fault(c, heap_page, AccessType::Write, &mut NoTlb)
+                .unwrap();
             k.page_fault(c, VirtAddr::new(CODE), AccessType::Execute, &mut NoTlb)
                 .unwrap_or_else(|e| panic!("round {round}: {e}"));
         }
@@ -76,7 +92,8 @@ fn cow_isolation_across_five_sharers() {
     // frame, and the zygote must keep the original.
     let mut frames = std::collections::BTreeSet::new();
     for &c in &children {
-        k.page_fault(c, page, AccessType::Write, &mut NoTlb).unwrap();
+        k.page_fault(c, page, AccessType::Write, &mut NoTlb)
+            .unwrap();
         let f = k.pte(c, page).unwrap().unwrap().hw.pfn;
         assert!(frames.insert(f), "duplicate COW frame {f:?}");
     }
@@ -85,7 +102,10 @@ fn cow_isolation_across_five_sharers() {
     // All children still share the untouched code frame.
     let code_frame = k.pte(zygote, VirtAddr::new(CODE)).unwrap().unwrap().hw.pfn;
     for &c in &children {
-        assert_eq!(k.pte(c, VirtAddr::new(CODE)).unwrap().unwrap().hw.pfn, code_frame);
+        assert_eq!(
+            k.pte(c, VirtAddr::new(CODE)).unwrap().unwrap().hw.pfn,
+            code_frame
+        );
     }
 }
 
@@ -98,15 +118,31 @@ fn stock_and_shared_kernels_agree_on_final_frame_topology() {
         let a = k.fork(zygote).unwrap().child;
         let b = k.fork(zygote).unwrap().child;
         // a writes page 0; b writes page 1; zygote writes page 2.
-        k.page_fault(a, VirtAddr::new(HEAP), AccessType::Write, &mut NoTlb).unwrap();
-        k.page_fault(b, VirtAddr::new(HEAP + PAGE_SIZE), AccessType::Write, &mut NoTlb)
+        k.page_fault(a, VirtAddr::new(HEAP), AccessType::Write, &mut NoTlb)
             .unwrap();
-        k.page_fault(zygote, VirtAddr::new(HEAP + 2 * PAGE_SIZE), AccessType::Write, &mut NoTlb)
-            .unwrap();
+        k.page_fault(
+            b,
+            VirtAddr::new(HEAP + PAGE_SIZE),
+            AccessType::Write,
+            &mut NoTlb,
+        )
+        .unwrap();
+        k.page_fault(
+            zygote,
+            VirtAddr::new(HEAP + 2 * PAGE_SIZE),
+            AccessType::Write,
+            &mut NoTlb,
+        )
+        .unwrap();
         // Everyone reads code page 3.
         for p in [zygote, a, b] {
-            k.page_fault(p, VirtAddr::new(CODE + 3 * PAGE_SIZE), AccessType::Execute, &mut NoTlb)
-                .unwrap();
+            k.page_fault(
+                p,
+                VirtAddr::new(CODE + 3 * PAGE_SIZE),
+                AccessType::Execute,
+                &mut NoTlb,
+            )
+            .unwrap();
         }
         // Build the sharing topology over the pages each process
         // actually *touched*. (PTE presence for untouched pages
@@ -153,15 +189,26 @@ fn mprotect_and_munmap_under_sharing_do_not_disturb_siblings() {
     assert!(k
         .page_fault(a, VirtAddr::new(CODE), AccessType::Execute, &mut NoTlb)
         .is_err());
-    k.page_fault(b, VirtAddr::new(CODE), AccessType::Execute, &mut NoTlb).unwrap();
-    k.page_fault(zygote, VirtAddr::new(CODE), AccessType::Execute, &mut NoTlb).unwrap();
-    // b unmaps its heap; a's and the zygote's heaps survive.
-    k.munmap(b, VaRange::from_len(VirtAddr::new(HEAP), 4 * PAGE_SIZE), &mut NoTlb)
+    k.page_fault(b, VirtAddr::new(CODE), AccessType::Execute, &mut NoTlb)
         .unwrap();
+    k.page_fault(zygote, VirtAddr::new(CODE), AccessType::Execute, &mut NoTlb)
+        .unwrap();
+    // b unmaps its heap; a's and the zygote's heaps survive.
+    k.munmap(
+        b,
+        VaRange::from_len(VirtAddr::new(HEAP), 4 * PAGE_SIZE),
+        &mut NoTlb,
+    )
+    .unwrap();
     assert!(k.pte(b, VirtAddr::new(HEAP)).unwrap().is_none());
     assert!(k.pte(zygote, VirtAddr::new(HEAP)).unwrap().is_some());
-    k.page_fault(a, VirtAddr::new(HEAP + 3 * PAGE_SIZE), AccessType::Write, &mut NoTlb)
-        .unwrap();
+    k.page_fault(
+        a,
+        VirtAddr::new(HEAP + 3 * PAGE_SIZE),
+        AccessType::Write,
+        &mut NoTlb,
+    )
+    .unwrap();
 }
 
 #[test]
@@ -172,9 +219,18 @@ fn deep_fork_chain_shares_transitively() {
     let b = k.fork(a).unwrap().child;
     let fc = k.fork(b).unwrap();
     assert!(fc.ptps_shared > 0);
-    let code_ptp = k.mm(zygote).unwrap().root.entry_for(VirtAddr::new(CODE)).ptp();
+    let code_ptp = k
+        .mm(zygote)
+        .unwrap()
+        .root
+        .entry_for(VirtAddr::new(CODE))
+        .ptp();
     assert_eq!(
-        k.mm(fc.child).unwrap().root.entry_for(VirtAddr::new(CODE)).ptp(),
+        k.mm(fc.child)
+            .unwrap()
+            .root
+            .entry_for(VirtAddr::new(CODE))
+            .ptp(),
         code_ptp
     );
     assert_eq!(k.phys.mapcount(code_ptp.unwrap()), 4);
@@ -220,8 +276,13 @@ fn drive_unshare_scenario() -> (sat_obs::Recording, sat_core::KernelStats) {
     let (mut k, zygote) = boot(KernelConfig::shared_ptp());
     let children: Vec<Pid> = (0..4).map(|_| k.fork(zygote).unwrap().child).collect();
     // WriteFault (case 1): child 0 writes a shared heap page.
-    k.page_fault(children[0], VirtAddr::new(HEAP), AccessType::Write, &mut NoTlb)
-        .unwrap();
+    k.page_fault(
+        children[0],
+        VirtAddr::new(HEAP),
+        AccessType::Write,
+        &mut NoTlb,
+    )
+    .unwrap();
     // NewRegion (case 3): child 0 maps into the shared code chunk's
     // 2MB span (its code chunk is still NEED_COPY).
     k.mmap(
@@ -273,10 +334,19 @@ fn obs_events_reconcile_with_kernel_stats() {
     // Counter registry ⇔ KernelStats, exactly.
     let counter = |key: &str| rec.metrics.counter(key);
     assert_eq!(counter("share.unshare"), stats.ptp_unshares);
-    assert_eq!(counter("share.unshare.write_fault"), stats.unshares_write_fault);
-    assert_eq!(counter("share.unshare.new_region"), stats.unshares_new_region);
+    assert_eq!(
+        counter("share.unshare.write_fault"),
+        stats.unshares_write_fault
+    );
+    assert_eq!(
+        counter("share.unshare.new_region"),
+        stats.unshares_new_region
+    );
     assert_eq!(counter("share.unshare.region_op"), stats.unshares_region_op);
-    assert_eq!(counter("share.unshare.region_free"), stats.unshares_region_free);
+    assert_eq!(
+        counter("share.unshare.region_free"),
+        stats.unshares_region_free
+    );
     assert_eq!(counter("kernel.fork"), stats.forks);
     assert_eq!(counter("kernel.fork.shared"), stats.share_forks);
     assert_eq!(counter("kernel.exit"), stats.exits);

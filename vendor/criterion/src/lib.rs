@@ -134,11 +134,7 @@ impl Bencher {
         }
     }
 
-    fn iter_batched_impl<I>(
-        &mut self,
-        setup: &mut dyn FnMut() -> I,
-        mut run_one: impl FnMut(I),
-    ) {
+    fn iter_batched_impl<I>(&mut self, setup: &mut dyn FnMut() -> I, mut run_one: impl FnMut(I)) {
         // Calibrate on a handful of one-shot runs (setup excluded).
         let mut probe_ns = 0.0;
         const PROBES: usize = 5;
