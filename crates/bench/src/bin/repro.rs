@@ -19,6 +19,7 @@
 //!   ablations                      Section 3.1.3/3.2.3 design choices
 //!   scalability largepages grouped extensions
 //!   timeshare                      N apps timesharing 4 cores (sat-sched)
+//!   fleet                          fork/timeshare/reap fleets to 4096 apps
 //!   all                            everything, in paper order
 //! ```
 //!
@@ -60,8 +61,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use sat_bench::{
-    ablation, extensions, ipcbench, launchbench, motivation, pool, snapshot, steadybench,
-    timesharebench, zygotebench, Scale,
+    ablation, extensions, fleetbench, ipcbench, launchbench, motivation, pool, snapshot,
+    steadybench, timesharebench, zygotebench, Scale,
 };
 use sat_obs::json::Json;
 use sat_obs::report::ReportFormat;
@@ -326,6 +327,18 @@ fn timeshare_cells(scale: Scale) -> usize {
     3 * timesharebench::timeshare_counts(scale).len()
 }
 
+/// Runs every fleet size of the scale's grid, one timed record per N
+/// (static names: `repro diff` gates each fleet size on its own).
+fn run_fleet_grid(records: &mut Vec<Record>, scale: Scale) -> Fallible {
+    let mut s = String::new();
+    for &(apps, cores) in fleetbench::fleet_counts(scale) {
+        s.push_str(&timed(records, fleetbench::record_name(apps), 2, || {
+            Ok(fleetbench::fleet_n(apps, cores)?)
+        })?);
+    }
+    Ok(s)
+}
+
 fn run(cmd: &str, scale: Scale, records: &mut Vec<Record>) -> Fallible {
     let r = records;
     let out = match cmd {
@@ -362,6 +375,7 @@ fn run(cmd: &str, scale: Scale, records: &mut Vec<Record>) -> Fallible {
         "timeshare" => timed(r, "timeshare", timeshare_cells(scale), || {
             Ok(timesharebench::timeshare(scale)?)
         })?,
+        "fleet" => run_fleet_grid(r, scale)?,
         "all" => {
             let mut s = String::new();
             s.push_str(&format!(
@@ -394,13 +408,14 @@ fn run(cmd: &str, scale: Scale, records: &mut Vec<Record>) -> Fallible {
             s.push_str(&timed(r, "timeshare", timeshare_cells(scale), || {
                 Ok(timesharebench::timeshare(scale)?)
             })?);
+            s.push_str(&run_fleet_grid(r, scale)?);
             s
         }
         other => {
             return Err(format!(
                 "unknown experiment '{other}' (try: table1 fig2 fig3 table2 fig4 latfault \
                  table3 table4 launch steady fig13 ablations scalability largepages \
-                 grouped pollution smaps extensions timeshare all)"
+                 grouped pollution smaps extensions timeshare fleet all)"
             )
             .into())
         }

@@ -11,6 +11,7 @@
 
 pub mod ablation;
 pub mod extensions;
+pub mod fleetbench;
 pub mod ipcbench;
 pub mod launchbench;
 pub mod motivation;

@@ -31,6 +31,11 @@ const DIFFABLE_SCHEMAS: [&str; 2] = ["sat-bench/repro-v2", "sat-bench/repro-v3"]
 /// healthy (the acceptance floor; `sim` and `bench` ride along).
 pub const REQUIRED_SUBSYSTEMS: [&str; 5] = ["kernel", "share", "vm-fault", "tlb", "android"];
 
+/// Coverage floor for a `repro fleet --trace` run: the fleet drives
+/// fork/timeshare/reap through the scheduler and never walks the
+/// app-launch sequence, so no `android` events are expected.
+pub const FLEET_REQUIRED_SUBSYSTEMS: [&str; 5] = ["kernel", "share", "tlb", "sched", "bench"];
+
 /// Experiments whose wall time is too small to gate on: below this
 /// floor, scheduler noise dominates and a 25% swing means nothing.
 const WALL_FLOOR_MS: f64 = 25.0;
@@ -324,6 +329,11 @@ pub fn check(trace: Option<&str>, out: &str) -> Result<String, String> {
     if experiments.is_empty() {
         return Err(format!("{out}: empty \"experiments\" array"));
     }
+    let command = doc
+        .get("command")
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .to_string();
     let obs = doc
         .get("obs")
         .and_then(Json::as_object)
@@ -357,7 +367,12 @@ pub fn check(trace: Option<&str>, out: &str) -> Result<String, String> {
         };
         let cats: std::collections::BTreeSet<&str> =
             parsed.events.iter().map(|e| e.subsystem.as_str()).collect();
-        let missing: Vec<&str> = REQUIRED_SUBSYSTEMS
+        let required: &[&str] = if command == "fleet" {
+            &FLEET_REQUIRED_SUBSYSTEMS
+        } else {
+            &REQUIRED_SUBSYSTEMS
+        };
+        let missing: Vec<&str> = required
             .iter()
             .filter(|s| !cats.contains(**s))
             .copied()
@@ -492,6 +507,41 @@ mod tests {
         assert!(report.lines.iter().any(|(c, l)| *c == DiffClass::Note
             && l.contains("steady")
             && l.contains("different command")));
+    }
+
+    #[test]
+    fn fleet_regression_at_one_n_is_not_masked_by_the_aggregate() {
+        // The fleet grid writes one record per N. A 3x wall-time blowup
+        // at N=4096 with every other cell *faster* keeps the aggregate
+        // total inside the threshold — the per-N record must still fail
+        // the gate on its own.
+        let fleet = |n256: f64, n4096: f64, total: f64| -> Snapshot {
+            parse(&format!(
+                r#"{{
+  "schema": "sat-bench/repro-v3",
+  "command": "fleet",
+  "scale": "paper",
+  "threads": 4,
+  "experiments": [
+    {{"name": "fleet_n256", "wall_ms": {n256:.3}, "cells": 2, "events": {{}}}},
+    {{"name": "fleet_n4096", "wall_ms": {n4096:.3}, "cells": 2, "events": {{}}}}
+  ],
+  "total_wall_ms": {total:.3},
+  "obs": {{"enabled": false, "dropped_events": 0, "counters": {{}}, "histograms": {{}}}}
+}}
+"#
+            ))
+        };
+        let old = fleet(400.0, 400.0, 800.0);
+        let new = fleet(100.0, 800.0, 900.0);
+        let total_change = pct_change(old.total_wall_ms, new.total_wall_ms);
+        assert!(total_change < 25.0, "aggregate must stay inside threshold");
+        let report = diff(&old, &new, 25.0);
+        assert_eq!(report.regressions(), 1, "{:?}", report.lines);
+        assert!(report
+            .lines
+            .iter()
+            .any(|(c, l)| *c == DiffClass::Regression && l.contains("fleet_n4096")));
     }
 
     #[test]

@@ -34,6 +34,7 @@ use sat_vm::{
 use crate::asid::AsidAllocator;
 use crate::config::KernelConfig;
 use crate::flush::FlushBatch;
+use crate::registry::{RegistryStats, SharedPtpRegistry};
 use crate::share::{fork_share, unshare, unshare_range, UnshareTrigger};
 use crate::TlbMaintenance;
 
@@ -64,6 +65,21 @@ pub struct KernelStats {
     /// ASID generation rollovers (8-bit space exhausted; non-global
     /// TLB entries flushed, live ASIDs reassigned lazily).
     pub asid_rollovers: u64,
+}
+
+impl KernelStats {
+    /// Mirrors the registry's authoritative share/unshare counters
+    /// into this kernel-global stats block. The registry owns the
+    /// Figure-6 cause attribution; `KernelStats` keeps its public
+    /// shape so every consumer (experiments, conservation checks)
+    /// reads the same fields as before.
+    fn mirror_share(&mut self, r: &RegistryStats) {
+        self.ptp_unshares = r.ptp_unshares;
+        self.unshares_write_fault = r.unshares_write_fault;
+        self.unshares_new_region = r.unshares_new_region;
+        self.unshares_region_free = r.unshares_region_free;
+        self.unshares_region_op = r.unshares_region_op;
+    }
 }
 
 /// What a fork did, merged across the sharing and copying paths.
@@ -115,6 +131,10 @@ pub struct Kernel {
     pub phys: PhysMem,
     /// The machine-wide PTP arena.
     pub ptps: PtpStore,
+    /// The refcounted registry of shared PTPs: one entry per shared
+    /// table, owning the sharer count and the Figure-6 cause
+    /// attribution ([`crate::registry`]).
+    pub registry: SharedPtpRegistry,
     /// Registered files (libraries, binaries, data files).
     pub files: FileRegistry,
     /// Kernel-global statistics.
@@ -132,6 +152,7 @@ impl Kernel {
             config,
             phys: PhysMem::new(frames),
             ptps: PtpStore::new(),
+            registry: SharedPtpRegistry::new(),
             files: FileRegistry::new(),
             stats: KernelStats::default(),
             procs: HashMap::new(),
@@ -302,13 +323,13 @@ impl Kernel {
                 mm,
                 &mut self.ptps,
                 &mut self.phys,
+                &mut self.registry,
                 range,
                 &config,
                 &mut batch,
                 UnshareTrigger::NewRegion,
             )? as u64;
-            self.stats.ptp_unshares += unshared;
-            self.stats.unshares_new_region += unshared;
+            self.stats.mirror_share(&self.registry.stats);
         }
         if config.share_tlb
             && mm.is_zygote
@@ -358,13 +379,13 @@ impl Kernel {
                 mm,
                 &mut self.ptps,
                 &mut self.phys,
+                &mut self.registry,
                 range,
                 &config,
                 &mut batch,
                 UnshareTrigger::RegionFree,
             )? as u64;
-            self.stats.ptp_unshares += unshared;
-            self.stats.unshares_region_free += unshared;
+            self.stats.mirror_share(&self.registry.stats);
         }
         let cleared = vm_munmap(mm, &mut self.ptps, &mut self.phys, range)?;
         // The unmapped translations must not survive (Linux's
@@ -418,13 +439,13 @@ impl Kernel {
                 mm,
                 &mut self.ptps,
                 &mut self.phys,
+                &mut self.registry,
                 range,
                 &config,
                 &mut batch,
                 UnshareTrigger::RegionOp,
             )? as u64;
-            self.stats.ptp_unshares += unshared;
-            self.stats.unshares_region_op += unshared;
+            self.stats.mirror_share(&self.registry.stats);
         }
         vm_mprotect(mm, &mut self.ptps, &mut self.phys, range, perms)?;
         // Old (possibly more-permissive) translations must be evicted
@@ -477,6 +498,7 @@ impl Kernel {
                 mm,
                 &mut self.ptps,
                 &mut self.phys,
+                &mut self.registry,
                 va,
                 &config,
                 &mut batch,
@@ -485,8 +507,7 @@ impl Kernel {
             .expect("NEED_COPY checked above");
             unshared = true;
             unshare_ptes_copied = r.ptes_copied;
-            self.stats.ptp_unshares += 1;
-            self.stats.unshares_write_fault += 1;
+            self.stats.mirror_share(&self.registry.stats);
         }
         let zygote_like = mm.is_zygote_like();
         let ctx = FaultCtx {
@@ -558,13 +579,13 @@ impl Kernel {
                 mm,
                 &mut self.ptps,
                 &mut self.phys,
+                &mut self.registry,
                 range,
                 &config,
                 &mut batch,
                 UnshareTrigger::NewRegion,
             )? as u64;
-            self.stats.ptp_unshares += unshared;
-            self.stats.unshares_new_region += unshared;
+            self.stats.mirror_share(&self.registry.stats);
         }
         let report = sat_vm::mmap_large(
             mm,
@@ -628,6 +649,7 @@ impl Kernel {
                 parent_mm,
                 &mut self.ptps,
                 &mut self.phys,
+                &mut self.registry,
                 child_pid,
                 child_asid,
                 &config,
@@ -698,6 +720,15 @@ impl Kernel {
     pub fn exit(&mut self, pid: Pid, tlb: &mut dyn TlbMaintenance) -> SatResult<()> {
         let stale = self.asid_is_stale(pid);
         let mut mm = self.procs.remove(&pid).ok_or(SatError::NoSuchProcess)?;
+        // Drop this process's shared-PTP references from the registry
+        // before teardown releases the frames (case 5: exit
+        // dereferences without copying, so this is a detach, not an
+        // unshare).
+        for (idx, frame) in mm.root.iter_ptps() {
+            if mm.root.entry(idx).need_copy() {
+                self.registry.exit_detach(frame);
+            }
+        }
         exit_mmap(&mut mm, &mut self.ptps, &mut self.phys);
         if !stale {
             let mut batch = FlushBatch::new(pid, mm.asid);
@@ -754,18 +785,71 @@ impl Kernel {
 
     /// Snapshot for the paper's Figure 12: of the PTPs currently
     /// referenced by `pid`, how many are shared with at least one
-    /// other process. Returns `(shared, total)`.
+    /// other process. Returns `(shared, total)`. Answered from the
+    /// registry — no mapcount scan.
     pub fn ptp_share_snapshot(&self, pid: Pid) -> SatResult<(usize, usize)> {
         let mm = self.mm(pid)?;
         let mut shared = 0;
         let mut total = 0;
         for (_, frame) in mm.root.iter_ptps() {
             total += 1;
-            if self.phys.mapcount(frame) > 1 {
+            if self.registry.shared_with_others(frame) {
                 shared += 1;
             }
         }
         Ok((shared, total))
+    }
+
+    /// Reconciliation check used by the property tests: every registry
+    /// entry's sharer count must equal both the frame's mapcount and
+    /// the number of live processes whose level-1 pair references the
+    /// frame with `NEED_COPY` — and no `NEED_COPY` reference may exist
+    /// outside the registry. Also checks that the four by-cause
+    /// unshare counters sum to `ptp_unshares`. Returns a description
+    /// of the first violation found.
+    pub fn verify_share_accounting(&self) -> Result<(), String> {
+        let mut refs: std::collections::BTreeMap<sat_types::Pfn, u32> =
+            std::collections::BTreeMap::new();
+        for mm in self.procs.values() {
+            for (idx, frame) in mm.root.iter_ptps() {
+                if mm.root.entry(idx).need_copy() {
+                    *refs.entry(frame).or_insert(0) += 1;
+                }
+            }
+        }
+        for (frame, entry) in self.registry.iter() {
+            let n = refs.remove(&frame).unwrap_or(0);
+            if entry.sharers != n {
+                return Err(format!(
+                    "registry records {} sharers for {frame:?} but {n} NEED_COPY references exist",
+                    entry.sharers
+                ));
+            }
+            let mapcount = self.phys.mapcount(frame);
+            if entry.sharers != mapcount {
+                return Err(format!(
+                    "registry records {} sharers for {frame:?} but mapcount is {mapcount}",
+                    entry.sharers
+                ));
+            }
+        }
+        if let Some((frame, n)) = refs.into_iter().next() {
+            return Err(format!(
+                "{n} NEED_COPY references to {frame:?} with no registry entry"
+            ));
+        }
+        let s = &self.registry.stats;
+        let by_cause = s.unshares_write_fault
+            + s.unshares_new_region
+            + s.unshares_region_free
+            + s.unshares_region_op;
+        if s.ptp_unshares != by_cause {
+            return Err(format!(
+                "by-cause unshare counters sum to {by_cause}, ptp_unshares is {}",
+                s.ptp_unshares
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -7,6 +7,7 @@ use sat_vm::{copies_ptes, copy_vma_ptes_in_range, ForkReport, Mm};
 
 use crate::config::{CopyOnUnshare, KernelConfig};
 use crate::flush::FlushBatch;
+use crate::registry::SharedPtpRegistry;
 
 /// Why an unshare was performed — the five cases of Section 3.1.2.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -118,10 +119,20 @@ pub fn chunk_sharable(mm: &Mm, chunk: VirtAddr, config: &KernelConfig) -> bool {
 ///
 /// Unsharable chunks fall back to the stock copy (per
 /// `config.fork_policy`).
+///
+/// A chunk whose parent pair already carries `NEED_COPY` takes the
+/// registry fast path: the eager-unshare invariant (any region op on
+/// the chunk unshares — and so clears the bit — before proceeding)
+/// guarantees the chunk has stayed sharable since its first share, so
+/// the child attaches with one refcount bump and no VMA-overlap scan,
+/// write-protect pass, or aging walk. This is what makes fork of a
+/// fully-shared image O(shared regions).
+#[allow(clippy::too_many_arguments)]
 pub fn fork_share(
     parent: &mut Mm,
     ptps: &mut PtpStore,
     phys: &mut PhysMem,
+    registry: &mut SharedPtpRegistry,
     child_pid: Pid,
     child_asid: Asid,
     config: &KernelConfig,
@@ -142,51 +153,59 @@ pub fn fork_share(
         debug_assert!(chunk.is_ptp_aligned());
         let span = VaRange::from_len(chunk, PTP_SPAN);
 
-        if chunk_sharable(parent, chunk, config) {
-            let entry = parent.root.entry(pair_idx);
+        let entry = parent.root.entry(pair_idx);
+        if entry.need_copy() {
+            // Fast path: the PTP is already shared and registered —
+            // eager unsharing keeps NEED_COPY truthful, so no scan or
+            // protection work is owed. One refcount bump attaches the
+            // child.
             let domain = entry.domain().unwrap_or(Domain::USER);
-            if !entry.need_copy() {
-                // First share of this PTP: establish COW protection.
-                // (With the hypothetical level-1 write-protect
-                // hardware assist, the per-PTE pass is unnecessary —
-                // the cost the paper attributes to ARM's lack of it.)
-                if !config.l1_write_protect {
-                    let vma_ranges: Vec<VaRange> = parent
-                        .vmas_overlapping(span)
-                        .filter(|v| v.perms.write())
-                        .filter_map(|v| v.range.intersect(&span))
-                        .collect();
-                    let mut mapper = Mapper::new(&mut parent.root, ptps, phys);
-                    for r in vma_ranges {
-                        let protected = mapper.write_protect_range(r) as u64;
-                        report.write_protect_ops += protected;
-                        if protected > 0 {
-                            report.protected.push(VpnRange::from_va_range(&r));
-                        }
-                    }
-                } else {
-                    // The assist demotes the whole chunk at walk time;
-                    // anything cached writable for it is now stale.
-                    report.protected.push(VpnRange::from_va_range(&span));
-                }
-                // Age the referenced bits: the child has touched
-                // nothing yet, and on ARM the "referenced" bit is
-                // software-maintained anyway. This is what gives the
-                // copy-only-referenced unshare policy (Section 3.1.3)
-                // something to distinguish: only PTEs used since the
-                // share are copied.
-                if let Some(table) = ptps.get_mut(ptp_frame) {
-                    for half in [TableHalf::Lower, TableHalf::Upper] {
-                        let idxs: Vec<usize> = table.iter_half(half).map(|(i, _)| i).collect();
-                        for i in idxs {
-                            if let Some(sw) = table.sw_mut(half, i) {
-                                sw.young = false;
-                            }
-                        }
+            registry.share(ptp_frame, chunk, domain);
+            child.root.set_table_pair(chunk, ptp_frame, domain, true);
+            phys.map_inc(ptp_frame);
+            report.ptps_shared += 1;
+            child.counters.ptps_shared_at_fork += 1;
+        } else if chunk_sharable(parent, chunk, config) {
+            let domain = entry.domain().unwrap_or(Domain::USER);
+            // First share of this PTP: establish COW protection.
+            // (With the hypothetical level-1 write-protect
+            // hardware assist, the per-PTE pass is unnecessary —
+            // the cost the paper attributes to ARM's lack of it.)
+            if !config.l1_write_protect {
+                let vma_ranges: Vec<VaRange> = parent
+                    .vmas_overlapping(span)
+                    .filter(|v| v.perms.write())
+                    .filter_map(|v| v.range.intersect(&span))
+                    .collect();
+                let mut mapper = Mapper::new(&mut parent.root, ptps, phys);
+                for r in vma_ranges {
+                    let protected = mapper.write_protect_range(r) as u64;
+                    report.write_protect_ops += protected;
+                    if protected > 0 {
+                        report.protected.push(VpnRange::from_va_range(&r));
                     }
                 }
-                parent.root.set_need_copy(chunk, true);
+            } else {
+                // The assist demotes the whole chunk at walk time;
+                // anything cached writable for it is now stale.
+                report.protected.push(VpnRange::from_va_range(&span));
             }
+            // Age the referenced bits: the child has touched
+            // nothing yet, and on ARM the "referenced" bit is
+            // software-maintained anyway. This is what gives the
+            // copy-only-referenced unshare policy (Section 3.1.3)
+            // something to distinguish: only PTEs used since the
+            // share are copied.
+            if let Some(table) = ptps.get_mut(ptp_frame) {
+                for half in [TableHalf::Lower, TableHalf::Upper] {
+                    let idxs: Vec<usize> = table.iter_half(half).map(|(i, _)| i).collect();
+                    for i in idxs {
+                        table.update_sw(half, i, |sw| sw.young = false);
+                    }
+                }
+            }
+            parent.root.set_need_copy(chunk, true);
+            registry.share(ptp_frame, chunk, domain);
             child.root.set_table_pair(chunk, ptp_frame, domain, true);
             phys.map_inc(ptp_frame);
             report.ptps_shared += 1;
@@ -244,11 +263,13 @@ pub fn fork_share(
 /// `NEED_COPY` (the Figure 6 procedure). Returns `None` when the
 /// chunk is not shared.
 ///
-/// If the caller is the last sharer, only the `NEED_COPY` flag is
+/// The last-sharer decision and the cause attribution both come from
+/// the registry: [`SharedPtpRegistry::detach`] decrements the entry's
+/// refcount, records the Figure-6 trigger, and reports whether the
+/// caller was the last sharer. If so, only the `NEED_COPY` flag is
 /// cleared. Otherwise: the level-1 pair is cleared, a new PTP is
-/// allocated, the valid PTEs are copied into it (all of them, or only
-/// referenced ones, per `config.copy_on_unshare`), and the sharer
-/// count is decremented.
+/// allocated, and the valid PTEs are copied into it (all of them, or
+/// only referenced ones, per `config.copy_on_unshare`).
 ///
 /// TLB maintenance is *gathered* into `batch`, not issued: the copied
 /// PTEs are normally bit-identical to the shared originals, so cached
@@ -258,10 +279,12 @@ pub fn fork_share(
 /// is the whole chunk span gathered — wide enough that the batch
 /// escalates it to a per-ASID flush. Region-op triggers gather
 /// nothing here; the caller's own range op covers the operated pages.
+#[allow(clippy::too_many_arguments)]
 pub fn unshare(
     mm: &mut Mm,
     ptps: &mut PtpStore,
     phys: &mut PhysMem,
+    registry: &mut SharedPtpRegistry,
     va: VirtAddr,
     config: &KernelConfig,
     batch: &mut FlushBatch,
@@ -281,7 +304,12 @@ pub fn unshare(
         mm.counters.unshares_by_region_op += 1;
     }
 
-    if phys.mapcount(shared_frame) == 1 {
+    debug_assert_eq!(
+        registry.sharers(shared_frame),
+        Some(phys.mapcount(shared_frame)),
+        "registry sharer count out of sync with frame mapcount"
+    );
+    if registry.detach(shared_frame, trigger) {
         // Last sharer: just clear NEED_COPY.
         mm.root.set_need_copy(chunk, false);
         if config.l1_write_protect {
@@ -385,10 +413,12 @@ pub fn unshare(
 /// Unshares every shared PTP whose chunk overlaps `range` (the
 /// multi-PTP case of Section 3.1.2's system-call trigger). Returns the
 /// number of PTPs unshared.
+#[allow(clippy::too_many_arguments)]
 pub fn unshare_range(
     mm: &mut Mm,
     ptps: &mut PtpStore,
     phys: &mut PhysMem,
+    registry: &mut SharedPtpRegistry,
     range: VaRange,
     config: &KernelConfig,
     batch: &mut FlushBatch,
@@ -396,7 +426,7 @@ pub fn unshare_range(
 ) -> SatResult<usize> {
     let mut count = 0;
     for chunk in range.ptps() {
-        if unshare(mm, ptps, phys, chunk, config, batch, trigger)?.is_some() {
+        if unshare(mm, ptps, phys, registry, chunk, config, batch, trigger)?.is_some() {
             count += 1;
         }
     }
@@ -440,6 +470,7 @@ mod tests {
     struct Fx {
         phys: PhysMem,
         ptps: PtpStore,
+        reg: SharedPtpRegistry,
         mm: Mm,
     }
 
@@ -449,6 +480,7 @@ mod tests {
         Fx {
             phys,
             ptps: PtpStore::new(),
+            reg: SharedPtpRegistry::new(),
             mm,
         }
     }
@@ -510,6 +542,7 @@ mod tests {
             &mut f.mm,
             &mut f.ptps,
             &mut f.phys,
+            &mut f.reg,
             Pid::new(pid),
             Asid::new(pid as u8),
             &KernelConfig::shared_ptp(),
@@ -625,6 +658,7 @@ mod tests {
             &mut f.mm,
             &mut f.ptps,
             &mut f.phys,
+            &mut f.reg,
             Pid::new(2),
             Asid::new(2),
             &config,
@@ -693,13 +727,17 @@ mod tests {
             let mut child = child;
             sat_vm::exit_mmap(&mut child, &mut f.ptps, &mut f.phys);
             child.free_root(&mut f.phys);
+            // What Kernel::exit does for every NEED_COPY pair.
+            f.reg.exit_detach(ptp);
         }
         assert_eq!(f.phys.mapcount(ptp), 1);
+        assert_eq!(f.reg.sharers(ptp), Some(1));
         // Parent still has NEED_COPY; an unshare is now the cheap path.
         let r = unshare(
             &mut f.mm,
             &mut f.ptps,
             &mut f.phys,
+            &mut f.reg,
             VirtAddr::new(0x4000_1234),
             &KernelConfig::shared_ptp(),
             &mut batch(),
@@ -711,6 +749,7 @@ mod tests {
         assert_eq!(r.ptes_copied, 0);
         assert!(!f.mm.root.entry_for(chunk).need_copy());
         assert_eq!(f.mm.root.entry_for(chunk).ptp(), Some(ptp)); // same PTP kept
+        assert!(f.reg.is_empty(), "last-sharer unshare must drop the entry");
     }
 
     #[test]
@@ -724,6 +763,7 @@ mod tests {
             &mut child,
             &mut f.ptps,
             &mut f.phys,
+            &mut f.reg,
             VirtAddr::new(0x4000_2000),
             &KernelConfig::shared_ptp(),
             &mut batch(),
@@ -757,6 +797,7 @@ mod tests {
             &mut f.mm,
             &mut f.ptps,
             &mut f.phys,
+            &mut f.reg,
             VirtAddr::new(0x4000_0000),
             &KernelConfig::shared_ptp(),
             &mut batch(),
@@ -784,10 +825,11 @@ mod tests {
         for i in [0usize, 2] {
             let va = VirtAddr::new(0x4000_0000 + (i as u32) * PAGE_SIZE);
             let table = f.ptps.get_mut(frame).unwrap();
-            table
-                .sw_mut(sat_mmu::TableHalf::of(va), va.l2_index())
-                .unwrap()
-                .young = true;
+            assert!(
+                table.update_sw(sat_mmu::TableHalf::of(va), va.l2_index(), |sw| {
+                    sw.young = true;
+                })
+            );
         }
         let config = KernelConfig {
             copy_on_unshare: CopyOnUnshare::ReferencedOnly,
@@ -797,6 +839,7 @@ mod tests {
             &mut child,
             &mut f.ptps,
             &mut f.phys,
+            &mut f.reg,
             VirtAddr::new(0x4000_0000),
             &config,
             &mut batch(),
@@ -839,6 +882,7 @@ mod tests {
             &mut child,
             &mut f.ptps,
             &mut f.phys,
+            &mut f.reg,
             VaRange::from_len(VirtAddr::new(0x4000_0000), 0x40_0000),
             &KernelConfig::shared_ptp(),
             &mut batch(),
@@ -869,6 +913,7 @@ mod tests {
             &mut f.mm,
             &mut f.ptps,
             &mut f.phys,
+            &mut f.reg,
             va,
             &KernelConfig::shared_ptp(),
             &mut batch(),
@@ -912,6 +957,7 @@ mod tests {
             &mut f.mm,
             &mut f.ptps,
             &mut f.phys,
+            &mut f.reg,
             Pid::new(2),
             Asid::new(2),
             &config,
@@ -923,6 +969,7 @@ mod tests {
             &mut child,
             &mut f.ptps,
             &mut f.phys,
+            &mut f.reg,
             va,
             &config,
             &mut batch(),
@@ -951,6 +998,7 @@ mod tests {
             &mut f.mm,
             &mut f.ptps,
             &mut f.phys,
+            &mut f.reg,
             va,
             &config,
             &mut batch(),

@@ -1,0 +1,176 @@
+//! Allocation microbenchmarks for the PTP arena.
+//!
+//! Every case runs twice: once against the slab-backed [`PtpStore`]
+//! and once against a plain `HashMap<Pfn, Box<Ptp>>` — the
+//! global-allocator path the store replaced, where each PTP is a fresh
+//! heap allocation and each free returns it. The headline case is
+//! fork-churn: the fleet experiment's steady state, where exits free
+//! tables that the next wave of forks immediately reallocates. The
+//! slab recycles those slots in place (resetting only the halves that
+//! were populated), so the churn loop never touches the global
+//! allocator.
+
+use std::collections::HashMap;
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use sat_mmu::{HwPte, Ptp, PtpStore, SwPte, TableHalf};
+use sat_types::{Perms, Pfn};
+
+/// Tables per wave; matches one stock fork of the Android zygote
+/// image, which allocates ~32 PTPs.
+const WAVE: usize = 32;
+
+/// Slots the image populates per table half in the fleet runs; keeps
+/// the reset path honest (a recycled slot must clear them).
+const POPULATED: usize = 64;
+
+fn populate(ptp: &mut Ptp, frame_base: u32) {
+    for i in 0..POPULATED {
+        ptp.set(
+            TableHalf::Lower,
+            i,
+            HwPte::small(Pfn::new(frame_base + i as u32), Perms::RX, false),
+            SwPte::anon(false),
+        );
+    }
+}
+
+/// The global-allocator reference: boxed tables keyed by frame.
+#[derive(Default)]
+struct BoxedStore {
+    tables: HashMap<Pfn, Box<Ptp>>,
+}
+
+impl BoxedStore {
+    fn insert(&mut self, frame: Pfn) {
+        self.tables.insert(frame, Box::new(Ptp::new()));
+    }
+
+    fn get_mut(&mut self, frame: Pfn) -> Option<&mut Ptp> {
+        self.tables.get_mut(&frame).map(|b| b.as_mut())
+    }
+
+    fn remove(&mut self, frame: Pfn) -> Option<Box<Ptp>> {
+        self.tables.remove(&frame)
+    }
+}
+
+/// One fork: allocate a wave of tables and populate each.
+fn fork_slab(store: &mut PtpStore, base: u32) {
+    for f in 0..WAVE as u32 {
+        let frame = Pfn::new(base + f);
+        store.insert(frame);
+        populate(store.get_mut(frame).unwrap(), base + f * POPULATED as u32);
+    }
+}
+
+fn fork_boxed(store: &mut BoxedStore, base: u32) {
+    for f in 0..WAVE as u32 {
+        let frame = Pfn::new(base + f);
+        store.insert(frame);
+        populate(store.get_mut(frame).unwrap(), base + f * POPULATED as u32);
+    }
+}
+
+/// One exit: free the wave again.
+fn exit_slab(store: &mut PtpStore, base: u32) {
+    for f in 0..WAVE as u32 {
+        store.remove(Pfn::new(base + f));
+    }
+}
+
+fn exit_boxed(store: &mut BoxedStore, base: u32) {
+    for f in 0..WAVE as u32 {
+        store.remove(Pfn::new(base + f));
+    }
+}
+
+fn alloc_free_benches(c: &mut Criterion) {
+    // Cold allocation: N fresh tables into an empty store. The slab
+    // still grows its backing vector here, so the gap is smaller than
+    // under churn — this case bounds the first fork after boot.
+    {
+        let mut group = c.benchmark_group("ptp_alloc_cold_wave");
+        group.bench_function("slab", |b| {
+            b.iter_batched_ref(
+                PtpStore::new,
+                |store| fork_slab(store, 0x1000),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function("boxed", |b| {
+            b.iter_batched_ref(
+                BoxedStore::default,
+                |store| fork_boxed(store, 0x1000),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    // Free: tear a populated wave back down (the exit path).
+    {
+        let mut group = c.benchmark_group("ptp_free_wave");
+        let mut warm_slab = PtpStore::new();
+        fork_slab(&mut warm_slab, 0x1000);
+        group.bench_function("slab", |b| {
+            b.iter_batched_ref(
+                || {
+                    let mut s = PtpStore::new();
+                    fork_slab(&mut s, 0x1000);
+                    s
+                },
+                |store| exit_slab(store, 0x1000),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function("boxed", |b| {
+            b.iter_batched_ref(
+                || {
+                    let mut s = BoxedStore::default();
+                    fork_boxed(&mut s, 0x1000);
+                    s
+                },
+                |store| exit_boxed(store, 0x1000),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+}
+
+fn churn_benches(c: &mut Criterion) {
+    // Fork-churn: the fleet steady state. A resident process holds its
+    // tables while waves of fork + exit cycle through; every slab
+    // alloc after the first wave recycles a freed slot in place.
+    let mut group = c.benchmark_group("ptp_fork_churn");
+    group.bench_function("slab", |b| {
+        let mut store = PtpStore::new();
+        fork_slab(&mut store, 0x10_0000); // resident process
+        fork_slab(&mut store, 0x1000);
+        b.iter(|| {
+            exit_slab(&mut store, 0x1000);
+            fork_slab(&mut store, 0x1000);
+            black_box(store.len())
+        })
+    });
+    group.bench_function("boxed", |b| {
+        let mut store = BoxedStore::default();
+        fork_boxed(&mut store, 0x10_0000);
+        fork_boxed(&mut store, 0x1000);
+        b.iter(|| {
+            exit_boxed(&mut store, 0x1000);
+            fork_boxed(&mut store, 0x1000);
+            black_box(store.tables.len())
+        })
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    alloc_free_benches(c);
+    churn_benches(c);
+}
+
+criterion_group!(ptp_alloc, benches);
+criterion_main!(ptp_alloc);

@@ -1,5 +1,7 @@
 //! The first-level (root) translation table.
 
+use std::collections::BTreeMap;
+
 use sat_phys::{FrameKind, PhysMem};
 use sat_types::{Dacr, Domain, PageSize, Perms, Pfn, PhysAddr, SatResult, VirtAddr, L1_ENTRIES};
 
@@ -82,6 +84,12 @@ impl L1Entry {
 pub struct RootTable {
     entries: Vec<L1Entry>,
     frames: [Pfn; 4],
+    /// Even indices of pairs holding table entries, mapped to their
+    /// PTP frame. Kept in sync by the mutators so [`RootTable::iter_ptps`]
+    /// walks the populated pairs instead of scanning all 4096 entries
+    /// — the difference between O(address-space size) and O(#PTPs) on
+    /// every fork and exit.
+    pairs: BTreeMap<u16, Pfn>,
 }
 
 impl RootTable {
@@ -96,6 +104,7 @@ impl RootTable {
         Ok(RootTable {
             entries: vec![L1Entry::Fault; L1_ENTRIES],
             frames,
+            pairs: BTreeMap::new(),
         })
     }
 
@@ -118,6 +127,16 @@ impl RootTable {
 
     /// Sets the entry at index `idx`.
     pub fn set_entry(&mut self, idx: usize, e: L1Entry) {
+        if idx.is_multiple_of(2) {
+            match e.ptp() {
+                Some(ptp) => {
+                    self.pairs.insert(idx as u16, ptp);
+                }
+                None => {
+                    self.pairs.remove(&(idx as u16));
+                }
+            }
+        }
         self.entries[idx] = e;
     }
 
@@ -128,6 +147,7 @@ impl RootTable {
     /// one PTP carries both hardware tables of the pair.
     pub fn set_table_pair(&mut self, va: VirtAddr, ptp: Pfn, domain: Domain, need_copy: bool) {
         let even = va.l1_index() & !1;
+        self.pairs.insert(even as u16, ptp);
         self.entries[even] = L1Entry::Table {
             ptp,
             half: TableHalf::Lower,
@@ -147,6 +167,7 @@ impl RootTable {
     pub fn clear_table_pair(&mut self, va: VirtAddr) -> Option<Pfn> {
         let even = va.l1_index() & !1;
         let ptp = self.entries[even].ptp();
+        self.pairs.remove(&(even as u16));
         self.entries[even] = L1Entry::Fault;
         self.entries[even + 1] = L1Entry::Fault;
         ptp
@@ -176,18 +197,16 @@ impl RootTable {
     }
 
     /// Iterates over `(pair_base_index, ptp_frame)` for every distinct
-    /// PTP referenced by this table.
+    /// PTP referenced by this table, in ascending pair order.
+    ///
+    /// Served from the populated-pair index: O(#PTPs), not O(4096).
     pub fn iter_ptps(&self) -> impl Iterator<Item = (usize, Pfn)> + '_ {
-        self.entries
-            .iter()
-            .enumerate()
-            .step_by(2)
-            .filter_map(|(i, e)| e.ptp().map(|p| (i, p)))
+        self.pairs.iter().map(|(&i, &p)| (i as usize, p))
     }
 
     /// Counts distinct PTPs referenced by this table.
     pub fn ptp_count(&self) -> usize {
-        self.iter_ptps().count()
+        self.pairs.len()
     }
 }
 
@@ -270,6 +289,55 @@ mod tests {
         assert_eq!(a1023.raw() - a0.raw(), 1023 * 4);
         // Entry 1024 lives in the second frame.
         assert_ne!(a1024.frame_base(), a0.frame_base());
+    }
+
+    #[test]
+    fn pair_index_tracks_all_mutators() {
+        let (_p, mut rt) = root();
+        let va = VirtAddr::new(0x0040_0000); // pair (4, 5)
+        rt.set_table_pair(va, Pfn::new(7), Domain::USER, false);
+        assert_eq!(rt.iter_ptps().collect::<Vec<_>>(), vec![(4, Pfn::new(7))]);
+        // Direct overwrite through set_entry keeps the index honest.
+        rt.set_entry(
+            4,
+            L1Entry::Table {
+                ptp: Pfn::new(8),
+                half: TableHalf::Lower,
+                domain: Domain::USER,
+                need_copy: false,
+            },
+        );
+        assert_eq!(rt.iter_ptps().collect::<Vec<_>>(), vec![(4, Pfn::new(8))]);
+        // A section entry at an even index drops the pair.
+        rt.set_entry(
+            4,
+            L1Entry::Section {
+                base: Pfn::new(0x100),
+                size: PageSize::Section1M,
+                perms: Perms::RX,
+                domain: Domain::USER,
+                global: false,
+            },
+        );
+        assert_eq!(rt.ptp_count(), 0);
+        rt.set_table_pair(va, Pfn::new(9), Domain::USER, true);
+        rt.clear_table_pair(va);
+        assert_eq!(rt.ptp_count(), 0);
+    }
+
+    #[test]
+    fn iter_ptps_yields_pairs_in_ascending_order() {
+        let (_p, mut rt) = root();
+        for &(idx, pfn) in &[(0x800usize, 3u32), (2usize, 1), (0x400usize, 2)] {
+            rt.set_table_pair(
+                VirtAddr::new((idx as u32) << 20),
+                Pfn::new(pfn),
+                Domain::USER,
+                false,
+            );
+        }
+        let order: Vec<usize> = rt.iter_ptps().map(|(i, _)| i).collect();
+        assert_eq!(order, vec![2, 0x400, 0x800]);
     }
 
     #[test]

@@ -167,6 +167,27 @@ pub struct SwPte {
 }
 
 impl SwPte {
+    /// Packs the flags into the byte the PTP's shadow table stores
+    /// (bit 0 young, 1 dirty, 2 writable, 3 shared, 4 file-backed).
+    pub fn pack(self) -> u8 {
+        (self.young as u8)
+            | (self.dirty as u8) << 1
+            | (self.writable as u8) << 2
+            | (self.shared as u8) << 3
+            | (self.file_backed as u8) << 4
+    }
+
+    /// Unpacks a shadow-table byte written by [`SwPte::pack`].
+    pub fn unpack(b: u8) -> SwPte {
+        SwPte {
+            young: b & 1 != 0,
+            dirty: b & 2 != 0,
+            writable: b & 4 != 0,
+            shared: b & 8 != 0,
+            file_backed: b & 16 != 0,
+        }
+    }
+
     /// Software flags for a fresh anonymous private mapping.
     pub fn anon(writable: bool) -> Self {
         SwPte {
@@ -227,6 +248,16 @@ mod tests {
     fn fault_descriptor_decodes_to_none() {
         assert_eq!(HwPte::decode(0), None);
         assert_eq!(HwPte::decode(0xFFFF_F000), None); // type bits 00
+    }
+
+    #[test]
+    fn sw_pte_pack_round_trips_every_flag_combination() {
+        for bits in 0u8..32 {
+            let sw = SwPte::unpack(bits);
+            assert_eq!(sw.pack(), bits);
+        }
+        let sw = SwPte::file(true, false);
+        assert_eq!(SwPte::unpack(sw.pack()), sw);
     }
 
     #[test]

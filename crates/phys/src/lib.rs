@@ -22,7 +22,9 @@
 pub mod file;
 pub mod frame;
 pub mod page;
+pub mod slab;
 
 pub use file::{FileId, FileRegistry};
 pub use frame::{FrameKind, PhysMem, PhysMemStats};
 pub use page::PageInfo;
+pub use slab::{Slab, SlabItem, SlabStats};

@@ -27,11 +27,18 @@ use sat_vm::MmapRequest;
 /// (above the app images, below the stack).
 const SCHED_HEAP_BASE: u32 = 0x9000_0000;
 
-/// Address-space stride between driver heaps. The slot counter only
-/// ever increases (exited processes do not reuse slots), so the range
-/// bounds cumulative process count at ~750 — far beyond the 255-ASID
-/// rollover the tests drive through.
+/// Address-space stride between driver heaps.
 const SCHED_HEAP_STRIDE: u32 = 0x0010_0000;
+
+/// Distinct heap slots before the driver's addresses cycle. Heaps are
+/// private anonymous mappings, so two processes holding the same slot
+/// merely map the same virtual address in different address spaces —
+/// ASID tagging keeps their TLB entries apart. Cycling (rather than a
+/// monotonic counter) is what lets a fleet run create thousands of
+/// processes inside the `0x9000_0000..0xBF00_0000` window; the first
+/// 752 spawns get exactly the addresses the pre-fleet driver handed
+/// out, so existing runs are byte-identical.
+const SCHED_HEAP_SLOTS: u32 = (0xBF00_0000u32 - SCHED_HEAP_BASE) / SCHED_HEAP_STRIDE;
 
 /// Pages per driver heap.
 const SCHED_HEAP_PAGES: u32 = 16;
@@ -315,9 +322,10 @@ impl TimeshareSim {
             code.push(VirtAddr::new(base.raw() + page * PAGE_SIZE));
         }
 
-        // A private heap in the driver's own range (slots are never
-        // reused, so churned processes cannot collide).
-        let slot = self.next_heap_slot;
+        // A private heap in the driver's own range (slots cycle after
+        // [`SCHED_HEAP_SLOTS`] spawns; see the const's docs for why
+        // reuse across address spaces is safe).
+        let slot = self.next_heap_slot % SCHED_HEAP_SLOTS;
         self.next_heap_slot += 1;
         let heap = VirtAddr::new(SCHED_HEAP_BASE + slot * SCHED_HEAP_STRIDE);
         let req = MmapRequest::anon(
@@ -488,6 +496,167 @@ pub fn run_timeshare(config: KernelConfig, opts: TimeshareOptions) -> SatResult<
     Ok(sim.report())
 }
 
+/// Sizing for one fleet run: N processes forked from the zygote,
+/// timeshared briefly, then all torn down.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetOptions {
+    /// Fleet size (processes forked from the zygote).
+    pub apps: usize,
+    /// Cores to schedule them on.
+    pub cores: usize,
+    /// Scheduling rounds.
+    pub rounds: usize,
+    /// Instruction fetches per timeslice.
+    pub quantum_events: usize,
+    /// Library code pages in each app's working set.
+    pub ws_pages: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl FleetOptions {
+    /// Defaults for `apps` processes on `cores` cores. The scheduled
+    /// work is held roughly constant across fleet sizes (the quantum
+    /// shrinks as the core count grows), so wall-clock differences
+    /// between N's isolate the per-process fork/teardown cost — the
+    /// quantity the shared-PTP registry is supposed to flatten.
+    pub fn new(apps: usize, cores: usize) -> FleetOptions {
+        FleetOptions {
+            apps,
+            cores,
+            rounds: 8,
+            quantum_events: (4096 / cores.max(1)).max(8),
+            ws_pages: 24,
+            seed: 1,
+        }
+    }
+}
+
+/// What a fleet run measured: scheduling/TLB counters from the
+/// timeshare phase plus the kernel's fork/exit/share accounting and
+/// the post-teardown residue (leak witnesses).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FleetReport {
+    /// Fleet size the run was configured with.
+    pub apps: usize,
+    /// Cores the fleet was scheduled on.
+    pub cores: usize,
+    /// Processes created (equals `apps`: no churn in a fleet run).
+    pub processes_created: u64,
+    /// Forks the kernel performed.
+    pub forks: u64,
+    /// Of those, forks that used PTP sharing.
+    pub share_forks: u64,
+    /// Processes exited (the whole fleet, at teardown).
+    pub exits: u64,
+    /// PTPs unshared during the run.
+    pub ptp_unshares: u64,
+    /// ASID-space rollovers.
+    pub asid_rollovers: u64,
+    /// Page faults taken.
+    pub page_faults: u64,
+    /// Context switches performed.
+    pub context_switches: u64,
+    /// Instruction-fetch main-TLB stall cycles.
+    pub inst_tlb_stall: u64,
+    /// Data-access main-TLB stall cycles.
+    pub data_tlb_stall: u64,
+    /// Total cycles.
+    pub total_cycles: u64,
+    /// PTP-arena slots recycled from the free list (the slab at work:
+    /// teardown churn feeds later allocations without touching the
+    /// global allocator).
+    pub ptp_slab_recycled: u64,
+    /// Frames still in use after the whole fleet exited (the zygote's
+    /// footprint; anything above a lone-zygote boot is a leak).
+    pub frames_in_use_after: u64,
+    /// Registry entries still shared with more than one process after
+    /// teardown (must be 0). Lone zygote references keep their entry
+    /// at `sharers == 1` by design — NEED_COPY persists until the
+    /// zygote's next unshare takes the cheap last-sharer path.
+    pub registry_shared_after: usize,
+    /// Live processes left (must be 1: the zygote).
+    pub live_processes_after: usize,
+}
+
+/// Brackets one fleet phase with a `sched` span (wall-clock µs), so
+/// `repro report --format folded` attributes fleet time to spawn,
+/// run, or reap. No-op without a recorder installed.
+fn fleet_span<T>(name: &str, body: impl FnOnce() -> T) -> T {
+    if !sat_obs::enabled() {
+        return body();
+    }
+    sat_obs::emit(
+        sat_obs::Subsystem::Sched,
+        0,
+        0,
+        sat_obs::Payload::SpanBegin {
+            name: name.to_string(),
+        },
+    );
+    let t0 = std::time::Instant::now();
+    let out = body();
+    sat_obs::emit(
+        sat_obs::Subsystem::Sched,
+        0,
+        0,
+        sat_obs::Payload::SpanEnd {
+            name: name.to_string(),
+            value: t0.elapsed().as_micros() as u64,
+            unit: sat_obs::SpanUnit::Micros,
+        },
+    );
+    out
+}
+
+/// Boots a fleet of `opts.apps` zygote children, timeshares them for
+/// `opts.rounds` rounds, then reaps every one (lowest pid first) —
+/// the `repro fleet` cell body. Teardown is part of the measured
+/// cell: exit must detach every shared PTP through the registry and
+/// return the frames.
+pub fn run_fleet(config: KernelConfig, opts: FleetOptions) -> SatResult<FleetReport> {
+    let topts = TimeshareOptions {
+        apps: opts.apps,
+        cores: opts.cores,
+        rounds: opts.rounds,
+        quantum_events: opts.quantum_events,
+        ws_pages: opts.ws_pages,
+        churn: 0,
+        ipc_every: 0,
+        seed: opts.seed,
+    };
+    let mut sim = fleet_span("fleet.spawn", || TimeshareSim::boot(config, topts))?;
+    fleet_span("fleet.run", || sim.run())?;
+    fleet_span("fleet.reap", || -> SatResult<()> {
+        let fleet: Vec<Pid> = sim.tasks.keys().copied().collect();
+        for pid in fleet {
+            sim.reap(pid)?;
+        }
+        Ok(())
+    })?;
+    let t = sim.report();
+    let k = &sim.sys.machine.kernel;
+    Ok(FleetReport {
+        apps: opts.apps,
+        cores: opts.cores,
+        processes_created: sim.processes_created,
+        forks: k.stats.forks,
+        share_forks: k.stats.share_forks,
+        exits: k.stats.exits,
+        ptp_unshares: k.stats.ptp_unshares,
+        asid_rollovers: k.stats.asid_rollovers,
+        page_faults: t.page_faults,
+        context_switches: t.context_switches,
+        inst_tlb_stall: t.inst_tlb_stall,
+        data_tlb_stall: t.data_tlb_stall,
+        total_cycles: t.total_cycles,
+        ptp_slab_recycled: k.ptps.slab_stats().recycled,
+        frames_in_use_after: k.phys.frames_in_use(),
+        registry_shared_after: k.registry.iter().filter(|(_, e)| e.sharers > 1).count(),
+        live_processes_after: k.process_count(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -645,5 +814,56 @@ mod tests {
             "rollover killed the global entries"
         );
         assert!(r.cross_asid_hits > 0);
+    }
+
+    #[test]
+    fn fleet_runs_are_deterministic_and_tear_down_clean() {
+        let opts = FleetOptions {
+            rounds: 2,
+            quantum_events: 40,
+            ws_pages: 8,
+            ..FleetOptions::new(24, 4)
+        };
+        let a = run_fleet(KernelConfig::shared_ptp(), opts).unwrap();
+        let b = run_fleet(KernelConfig::shared_ptp(), opts).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.processes_created, 24);
+        assert_eq!(a.forks, 24);
+        assert_eq!(a.share_forks, 24);
+        assert_eq!(a.exits, 24);
+        // Teardown left nothing behind: no PTP still shared with
+        // others, only the zygote alive, and the arena recycled the
+        // fleet's PTP slots.
+        assert_eq!(a.registry_shared_after, 0);
+        assert_eq!(a.live_processes_after, 1);
+        // The stock fleet must reach the same clean end state with
+        // the same footprint — sharing changes the route, not the
+        // destination.
+        let s = run_fleet(KernelConfig::stock(), opts).unwrap();
+        assert_eq!(s.registry_shared_after, 0);
+        assert_eq!(s.live_processes_after, 1);
+        assert_eq!(s.frames_in_use_after, a.frames_in_use_after);
+    }
+
+    #[test]
+    fn fleet_heap_slots_cycle_beyond_the_window() {
+        // More processes than heap slots (752): the cyclic slot
+        // assignment must keep every spawn valid, and teardown must
+        // still reclaim everything.
+        let opts = FleetOptions {
+            rounds: 1,
+            quantum_events: 8,
+            ws_pages: 4,
+            ..FleetOptions::new(760, 8)
+        };
+        let r = run_fleet(KernelConfig::shared_ptp_tlb(), opts).unwrap();
+        assert_eq!(r.processes_created, 760);
+        assert_eq!(r.exits, 760);
+        assert_eq!(r.registry_shared_after, 0);
+        assert_eq!(r.live_processes_after, 1);
+        assert!(
+            r.asid_rollovers >= 2,
+            "760 processes must roll the ASID space"
+        );
     }
 }
