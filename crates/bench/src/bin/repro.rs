@@ -6,7 +6,8 @@
 //! ```text
 //! repro <experiment> [--quick] [--trace <path>] [--out <path>]
 //! repro check [--trace <path>] [--out <path>]
-//! repro report [--trace] <trace.json> [--format text|json|folded]
+//! repro report [--trace] <trace.json> [--format text|json|folded] [--experiment <name>]
+//! repro timeline [--trace] <trace.json> [--window N] [--experiment <name>]
 //! repro diff <old.json> <new.json> [--threshold-pct N]
 //!
 //! experiments:
@@ -42,10 +43,15 @@
 //!
 //! `repro report` re-ingests a trace and renders the analytics rollup
 //! (Figure-6 unshare causes, flush attribution, span latencies with
-//! p50/p95, footprint overlap) as text tables, JSON, or folded
-//! flamegraph stacks. `repro diff` compares two snapshots and exits
-//! non-zero on above-threshold regressions — the perf gate the verify
-//! skill runs against the committed `BENCH_baseline.json`.
+//! p50/p95/p99, footprint overlap, gauge series) as text tables,
+//! JSON, or folded flamegraph stacks. `repro timeline` rebuckets the
+//! trace into tick windows — per-window fork/fault/flush-IPI rates
+//! plus per-gauge min/max/high-water — and `--experiment <name>`
+//! slices either verb to one experiment's `exp.<name>` bracket.
+//! `repro diff` compares two snapshots and exits non-zero on
+//! above-threshold regressions (wall time, counters, and gauge
+//! high-water marks) — the perf gate the verify skill runs against
+//! the committed `BENCH_baseline.json`.
 //!
 //! Independent sweep cells fan out across cores (see
 //! `sat_bench::pool`); `SAT_BENCH_THREADS=1` forces a serial run. The
@@ -53,9 +59,10 @@
 //! are wall-clock and naturally vary).
 //!
 //! Besides the tables on stdout, every run writes the
-//! `sat-bench/repro-v3` snapshot: per-experiment wall time, scale,
+//! `sat-bench/repro-v4` snapshot: per-experiment wall time, scale,
 //! worker count, sweep cell counts, per-experiment observability
-//! counter deltas, and the run-wide counter/histogram registry.
+//! counter deltas and gauge high-water marks, and the run-wide
+//! counter/histogram/gauge registry.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -75,6 +82,9 @@ struct Record {
     wall_ms: f64,
     cells: usize,
     events: std::collections::BTreeMap<String, u64>,
+    /// Per-gauge high-water marks over the experiment's sampling
+    /// window (empty without `--trace`).
+    gauges: std::collections::BTreeMap<String, u64>,
 }
 
 /// Parsed command line.
@@ -87,6 +97,10 @@ struct Cli {
     out: String,
     format: ReportFormat,
     threshold_pct: f64,
+    /// Timeline window width in ticks (0 = auto: span/20).
+    window: u64,
+    /// Restrict report/timeline to one experiment's bracket.
+    experiment: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -97,6 +111,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut quick = false;
     let mut format = ReportFormat::Text;
     let mut threshold_pct = 25.0;
+    let mut window = 0u64;
+    let mut experiment = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -126,9 +142,24 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .filter(|t| *t >= 0.0)
                     .ok_or_else(|| format!("bad --threshold-pct '{raw}' (want a number >= 0)"))?;
             }
+            "--window" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--window requires a tick count")?;
+                window = raw
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|w| *w >= 1)
+                    .ok_or_else(|| format!("bad --window '{raw}' (want an integer >= 1)"))?;
+            }
+            "--experiment" => {
+                i += 1;
+                let name = args.get(i).ok_or("--experiment requires a name")?;
+                experiment = Some(name.clone());
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!(
-                    "unknown flag '{flag}' (known: --quick --trace --out --format --threshold-pct)"
+                    "unknown flag '{flag}' (known: --quick --trace --out --format \
+                     --threshold-pct --window --experiment)"
                 ));
             }
             positional => {
@@ -149,7 +180,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 rest.len()
             ));
         }
-        "diff" | "report" => {}
+        "diff" | "report" | "timeline" => {}
         _ if !rest.is_empty() => {
             return Err(format!(
                 "unexpected argument '{}' (command already given: '{cmd}')",
@@ -173,6 +204,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         out,
         format,
         threshold_pct,
+        window,
+        experiment,
     })
 }
 
@@ -199,23 +232,31 @@ fn main() -> ExitCode {
         };
     }
 
-    if cli.cmd == "report" {
+    if cli.cmd == "report" || cli.cmd == "timeline" {
         // The trace may arrive as `--trace <path>` or a positional.
         let path = cli
             .trace
             .as_deref()
             .or(cli.rest.first().map(String::as_str));
         let Some(path) = path else {
-            eprintln!("repro report: no trace given (repro report <trace.json>)");
+            eprintln!(
+                "repro {0}: no trace given (repro {0} <trace.json>)",
+                cli.cmd
+            );
             return ExitCode::FAILURE;
         };
-        return match report(path, cli.format) {
+        let result = if cli.cmd == "timeline" {
+            timeline(path, cli.window, cli.experiment.as_deref())
+        } else {
+            report(path, cli.format, cli.experiment.as_deref())
+        };
+        return match result {
             Ok(text) => {
                 print!("{text}");
                 ExitCode::SUCCESS
             }
             Err(e) => {
-                eprintln!("repro report: {e}");
+                eprintln!("repro {}: {e}", cli.cmd);
                 ExitCode::FAILURE
             }
         };
@@ -289,9 +330,37 @@ fn timed(
     body: impl FnOnce() -> Fallible,
 ) -> Fallible {
     let before = sat_obs::counters_snapshot().unwrap_or_default();
+    // Bracket the experiment with an `exp.<name>` span (machine-level:
+    // pid 0) so `repro report/timeline --experiment <name>` can slice
+    // the trace, and open a fresh gauge window so the snapshot carries
+    // this experiment's own high-water marks.
+    if sat_obs::enabled() {
+        sat_obs::begin_gauge_window();
+        sat_obs::emit(
+            sat_obs::Subsystem::Bench,
+            0,
+            0,
+            sat_obs::Payload::SpanBegin {
+                name: format!("exp.{name}"),
+            },
+        );
+    }
     let t = Instant::now();
     let out = body()?;
     let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    if sat_obs::enabled() {
+        sat_obs::emit(
+            sat_obs::Subsystem::Bench,
+            0,
+            0,
+            sat_obs::Payload::SpanEnd {
+                name: format!("exp.{name}"),
+                value: t.elapsed().as_micros() as u64,
+                unit: sat_obs::SpanUnit::Micros,
+            },
+        );
+    }
+    let gauges = sat_obs::window_gauge_high_waters().unwrap_or_default();
     let mut events = std::collections::BTreeMap::new();
     if let Some(after) = sat_obs::counters_snapshot() {
         for (key, v) in after {
@@ -306,6 +375,7 @@ fn timed(
         wall_ms,
         cells,
         events,
+        gauges,
     });
     Ok(out)
 }
@@ -456,6 +526,13 @@ fn render_json(
                 if j + 1 < rec.events.len() { ", " } else { "" }
             ));
         }
+        s.push_str("}, \"gauges\": {");
+        for (j, (key, v)) in rec.gauges.iter().enumerate() {
+            s.push_str(&format!(
+                "\"{key}\": {v}{}",
+                if j + 1 < rec.gauges.len() { ", " } else { "" }
+            ));
+        }
         s.push_str(&format!(
             "}}}}{}\n",
             if i + 1 < records.len() { "," } else { "" }
@@ -481,14 +558,39 @@ fn render_json(
     s
 }
 
-/// Re-ingests a Chrome trace and renders the analytics rollup.
-fn report(trace_path: &str, format: ReportFormat) -> Fallible {
+/// Re-ingests a Chrome trace, optionally sliced to one experiment's
+/// `exp.<name>` bracket.
+fn load_trace(
+    trace_path: &str,
+    experiment: Option<&str>,
+) -> Result<(Vec<sat_obs::Event>, u64), Box<dyn std::error::Error>> {
     let text =
         std::fs::read_to_string(trace_path).map_err(|e| format!("read {trace_path}: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("{trace_path}: {e}"))?;
     let parsed = sat_obs::parse_chrome_trace(&doc).map_err(|e| format!("{trace_path}: {e}"))?;
-    let rollup = sat_obs::analyze::Rollup::from_events(&parsed.events, parsed.dropped);
+    match experiment {
+        Some(name) => {
+            let events = sat_obs::analyze::filter_experiment(&parsed.events, name)?;
+            Ok((events, parsed.dropped))
+        }
+        None => Ok((parsed.events, parsed.dropped)),
+    }
+}
+
+/// Re-ingests a Chrome trace and renders the analytics rollup.
+fn report(trace_path: &str, format: ReportFormat, experiment: Option<&str>) -> Fallible {
+    let (events, dropped) = load_trace(trace_path, experiment)?;
+    let rollup = sat_obs::analyze::Rollup::from_events(&events, dropped);
     Ok(sat_obs::report::render(&rollup, format))
+}
+
+/// Re-ingests a Chrome trace and renders the windowed timeline
+/// (per-window event rates plus gauge series).
+fn timeline(trace_path: &str, window: u64, experiment: Option<&str>) -> Fallible {
+    let (events, dropped) = load_trace(trace_path, experiment)?;
+    let rollup = sat_obs::analyze::Rollup::from_events(&events, dropped);
+    let tl = sat_obs::analyze::Timeline::from_events(&events, window)?;
+    Ok(sat_obs::report::render_timeline(&rollup, &tl))
 }
 
 /// Loads and compares two snapshots (see `sat_bench::snapshot::diff`).

@@ -19,13 +19,19 @@ use sat_obs::json::Json;
 ///
 /// History: `repro-v1` carried command/scale/threads/experiments/
 /// total_wall_ms; `repro-v2` added per-experiment `"events"` counter
-/// deltas and the run-wide `"obs"` section; `repro-v3` adds `"p50"`/
-/// `"p95"` summaries to every exported histogram.
-pub const SCHEMA: &str = "sat-bench/repro-v3";
+/// deltas and the run-wide `"obs"` section; `repro-v3` added `"p50"`/
+/// `"p95"` summaries to every exported histogram; `repro-v4` adds
+/// `"p99"`, per-experiment `"gauges"` high-water marks, and the
+/// run-wide `"gauges"` section.
+pub const SCHEMA: &str = "sat-bench/repro-v4";
 
 /// Schemas `repro diff` can compare (the diff reads only fields that
-/// exist since v2).
-const DIFFABLE_SCHEMAS: [&str; 2] = ["sat-bench/repro-v2", "sat-bench/repro-v3"];
+/// exist since v2; gauge gating engages from v4).
+const DIFFABLE_SCHEMAS: [&str; 3] = [
+    "sat-bench/repro-v2",
+    "sat-bench/repro-v3",
+    "sat-bench/repro-v4",
+];
 
 /// Subsystems `repro all --trace` must cover for the trace to count as
 /// healthy (the acceptance floor; `sim` and `bench` ride along).
@@ -44,11 +50,18 @@ const WALL_FLOOR_MS: f64 = 25.0;
 /// diff — a handful of events swinging 25% is noise, not a signal.
 const COUNTER_FLOOR: u64 = 100;
 
+/// Gauge high-water marks below this level (in both snapshots) never
+/// gate: a tiny occupancy doubling is noise, a big one is a leak.
+const GAUGE_FLOOR: u64 = 64;
+
 /// One parsed experiment record.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct Experiment {
     pub wall_ms: f64,
     pub cells: u64,
+    /// Per-gauge high-water marks over the experiment's sampling
+    /// window (v4 traced runs; empty otherwise).
+    pub gauges: BTreeMap<String, u64>,
 }
 
 /// The parts of a snapshot the diff compares.
@@ -86,11 +99,20 @@ impl Snapshot {
                 .get("name")
                 .and_then(Json::as_str)
                 .ok_or_else(|| format!("{label}: experiment without \"name\""))?;
+            let mut gauges = BTreeMap::new();
+            if let Some(map) = exp.get("gauges").and_then(Json::as_object) {
+                for (k, v) in map {
+                    if let Some(n) = v.as_u64() {
+                        gauges.insert(k.clone(), n);
+                    }
+                }
+            }
             experiments.insert(
                 name.to_string(),
                 Experiment {
                     wall_ms: exp.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
                     cells: exp.get("cells").and_then(Json::as_u64).unwrap_or(0),
+                    gauges,
                 },
             );
         }
@@ -252,6 +274,26 @@ pub fn diff(old: &Snapshot, new: &Snapshot, threshold_pct: f64) -> DiffReport {
                 format!("{name}.cells: {} -> {}", old_exp.cells, new_exp.cells),
             ));
         }
+        // Gauge high-water marks gate peak occupancy the same way
+        // counters gate volume: above-threshold growth in peak frame /
+        // slab / registry population is a leak or a regression.
+        for (key, &old_hw) in &old_exp.gauges {
+            let Some(&new_hw) = new_exp.gauges.get(key) else {
+                continue;
+            };
+            report.compared += 1;
+            if old_hw.max(new_hw) < GAUGE_FLOOR {
+                continue;
+            }
+            let change = pct_change(old_hw as f64, new_hw as f64);
+            let line =
+                format!("{name}.gauge {key} high water: {old_hw} -> {new_hw} ({change:+.1}%)");
+            if change > threshold_pct {
+                report.lines.push((DiffClass::Regression, line));
+            } else if change < -threshold_pct {
+                report.lines.push((DiffClass::Improvement, line));
+            }
+        }
     }
     for name in new.experiments.keys() {
         if !old.experiments.contains_key(name) {
@@ -356,6 +398,11 @@ pub fn check(trace: Option<&str>, out: &str) -> Result<String, String> {
         }
         sat_obs::analyze::validate_ticks(&parsed.events)
             .map_err(|e| format!("{trace_path}: {e}"))?;
+        // Counter-track samples must carry non-empty gauge names on
+        // strictly increasing per-gauge ticks (exact even under ring
+        // overflow: a monotone series minus a prefix stays monotone).
+        sat_obs::analyze::validate_samples(&parsed.events)
+            .map_err(|e| format!("{trace_path}: {e}"))?;
         // Span pairing is only checkable on a lossless stream: ring
         // overflow drops the oldest events, begins first.
         let spans_note = if parsed.dropped == 0 {
@@ -389,10 +436,21 @@ pub fn check(trace: Option<&str>, out: &str) -> Result<String, String> {
                 "{out}: obs section disabled although a trace was produced"
             ));
         }
+        let (samples, gauges) = {
+            let mut n = 0usize;
+            let mut names = std::collections::BTreeSet::new();
+            for e in &parsed.events {
+                if let sat_obs::Payload::Sample { gauge, .. } = &e.payload {
+                    n += 1;
+                    names.insert(gauge.as_str());
+                }
+            }
+            (n, names.len())
+        };
         let _ = writeln!(
             report,
             "repro check: {trace_path} ok ({} events, {} dropped, ticks monotonic, \
-             {spans_note}, subsystems: {})",
+             {spans_note}, {samples} samples over {gauges} gauges, subsystems: {})",
             parsed.events.len(),
             parsed.dropped,
             cats.into_iter().collect::<Vec<_>>().join(", ")
@@ -542,6 +600,49 @@ mod tests {
             .lines
             .iter()
             .any(|(c, l)| *c == DiffClass::Regression && l.contains("fleet_n4096")));
+    }
+
+    #[test]
+    fn doctored_gauge_high_water_regresses_and_tiny_gauges_never_gate() {
+        let v4 = |slab_hw: u64, runq_hw: u64| -> Snapshot {
+            parse(&format!(
+                r#"{{
+  "schema": "sat-bench/repro-v4",
+  "command": "fleet",
+  "scale": "quick",
+  "threads": 4,
+  "experiments": [
+    {{"name": "fleet_n256", "wall_ms": 100.000, "cells": 2, "events": {{}},
+      "gauges": {{"phys.slab.live": {slab_hw}, "sched.runq.c0": {runq_hw}}}}}
+  ],
+  "total_wall_ms": 100.000,
+  "obs": {{"enabled": true, "dropped_events": 0, "counters": {{}}, "histograms": {{}}}}
+}}
+"#
+            ))
+        };
+        let old = v4(1000, 3);
+        assert_eq!(old.experiments["fleet_n256"].gauges["phys.slab.live"], 1000);
+
+        // A +50% slab high-water mark fails the 25% gate.
+        let doctored = v4(1500, 3);
+        let report = diff(&old, &doctored, 25.0);
+        assert_eq!(report.regressions(), 1, "{:?}", report.lines);
+        assert!(report.lines.iter().any(|(c, l)| *c == DiffClass::Regression
+            && l.contains("phys.slab.live")
+            && l.contains("1000 -> 1500")));
+
+        // A sub-floor gauge doubling (3 -> 6 run-queue peak) is noise.
+        let report = diff(&old, &v4(1000, 6), 25.0);
+        assert_eq!(report.regressions(), 0, "{:?}", report.lines);
+
+        // Shrinkage is an improvement, not a failure.
+        let report = diff(&old, &v4(600, 3), 25.0);
+        assert_eq!(report.regressions(), 0, "{:?}", report.lines);
+        assert!(report
+            .lines
+            .iter()
+            .any(|(c, _)| *c == DiffClass::Improvement));
     }
 
     #[test]

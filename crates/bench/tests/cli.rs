@@ -1,6 +1,6 @@
-//! End-to-end CLI tests for `repro check`, `repro report`, and
-//! `repro diff`: real artifacts on disk, the real binary, real exit
-//! codes.
+//! End-to-end CLI tests for `repro check`, `repro report`,
+//! `repro timeline`, and `repro diff`: real artifacts on disk, the
+//! real binary, real exit codes.
 
 use std::path::PathBuf;
 use std::process::{Command, Output};
@@ -25,6 +25,17 @@ fn tmp(name: &str) -> PathBuf {
 /// before export.
 fn write_trace(name: &str, breakage: Option<&str>) -> PathBuf {
     sat_obs::install(256);
+    sat_obs::emit(
+        Subsystem::Bench,
+        0,
+        0,
+        Payload::SpanBegin {
+            name: "exp.launch".to_string(),
+        },
+    );
+    sat_obs::gauge_set("phys.frames.free", 1000);
+    sat_obs::gauge_set("phys.slab.live", 80);
+    sat_obs::sample_gauges();
     sat_obs::emit(
         Subsystem::Kernel,
         1,
@@ -87,6 +98,19 @@ fn write_trace(name: &str, breakage: Option<&str>) -> PathBuf {
             },
         );
     }
+    sat_obs::gauge_set("phys.frames.free", 850);
+    sat_obs::gauge_set("phys.slab.live", 120);
+    sat_obs::sample_gauges();
+    sat_obs::emit(
+        Subsystem::Bench,
+        0,
+        0,
+        Payload::SpanEnd {
+            name: "exp.launch".to_string(),
+            value: 1234,
+            unit: SpanUnit::Micros,
+        },
+    );
     let mut rec = sat_obs::uninstall().unwrap();
     if breakage == Some("tick_rewind") {
         // Hand-edit the last event's timestamp backwards, as a corrupt
@@ -105,13 +129,14 @@ fn write_snapshot(name: &str, launch_wall_ms: f64, total_wall_ms: f64) -> PathBu
         &path,
         format!(
             r#"{{
-  "schema": "sat-bench/repro-v3",
+  "schema": "sat-bench/repro-v4",
   "command": "all",
   "scale": "quick",
   "threads": 2,
   "experiments": [
-    {{"name": "launch", "wall_ms": {launch_wall_ms:.3}, "cells": 6, "events": {{}}}},
-    {{"name": "steady", "wall_ms": 64.000, "cells": 4, "events": {{}}}}
+    {{"name": "launch", "wall_ms": {launch_wall_ms:.3}, "cells": 6, "events": {{}},
+      "gauges": {{"phys.frames.in_use": 1000}}}},
+    {{"name": "steady", "wall_ms": 64.000, "cells": 4, "events": {{}}, "gauges": {{}}}}
   ],
   "total_wall_ms": {total_wall_ms:.3},
   "obs": {{"enabled": true, "dropped_events": 0, "counters": {{"share.unshare": 400}}, "histograms": {{}}}}
@@ -141,6 +166,7 @@ fn check_passes_on_healthy_artifacts_and_fails_on_corruption() {
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("spans paired"), "{stdout}");
+    assert!(stdout.contains("4 samples over 2 gauges"), "{stdout}");
 
     // Deliberately corrupted trace #1: a span that never ends.
     let broken = write_trace("check-dangling.json", Some("dangling_begin"));
@@ -194,6 +220,63 @@ fn report_renders_all_three_formats_from_a_trace() {
 
     let out = repro(&["report"]);
     assert!(!out.status.success(), "report without a trace must fail");
+}
+
+#[test]
+fn timeline_renders_windows_and_gauge_series_from_a_trace() {
+    let trace = write_trace("timeline-trace.json", None);
+    let path = trace.to_str().unwrap();
+
+    let out = repro(&["timeline", path]);
+    assert!(
+        out.status.success(),
+        "timeline failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("repro timeline"), "{text}");
+    assert!(text.contains("Windowed event counts"), "{text}");
+    assert!(text.contains("Windowed rates (per 1k ticks)"), "{text}");
+    assert!(text.contains("phys.frames.free"), "{text}");
+    assert!(text.contains("phys.slab.live"), "{text}");
+
+    // An explicit window width works and still reconciles.
+    let out = repro(&["timeline", "--trace", path, "--window", "2"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("window 2 ticks"), "{text}");
+
+    let out = repro(&["timeline"]);
+    assert!(!out.status.success(), "timeline without a trace must fail");
+
+    let out = repro(&["timeline", path, "--window", "0"]);
+    assert!(!out.status.success(), "--window 0 must be rejected");
+}
+
+#[test]
+fn experiment_filter_slices_report_and_timeline() {
+    let trace = write_trace("exp-trace.json", None);
+    let path = trace.to_str().unwrap();
+
+    let out = repro(&["report", path, "--experiment", "launch"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("write_fault"), "{text}");
+
+    let out = repro(&["timeline", path, "--experiment", "launch"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("phys.frames.free"), "{text}");
+
+    // An unknown experiment fails and names the traced ones.
+    let out = repro(&["timeline", path, "--experiment", "nope"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("launch"), "{stderr}");
 }
 
 #[test]

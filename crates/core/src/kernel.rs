@@ -283,6 +283,24 @@ impl Kernel {
         self.procs.len()
     }
 
+    /// Publishes kernel-owned occupancy gauges (frame allocator, PTP
+    /// slab, shared-PTP registry, process table, ASID generation) to
+    /// the installed obs sink. Pure reads of existing bookkeeping —
+    /// safe to call at any sampling point without perturbing the sim.
+    pub fn publish_gauges(&self) {
+        self.phys.publish_gauges();
+        self.ptps.publish_gauges();
+        let sharers: u64 = self
+            .registry
+            .iter()
+            .map(|(_, e)| u64::from(e.sharers))
+            .sum();
+        sat_obs::gauge_set("registry.entries", self.registry.len() as u64);
+        sat_obs::gauge_set("registry.sharers", sharers);
+        sat_obs::gauge_set("kernel.processes", self.procs.len() as u64);
+        sat_obs::gauge_set("kernel.asid.generation", self.asids.generation());
+    }
+
     /// The fault-handling context for a process under the current
     /// configuration.
     pub fn fault_ctx(&self, mm: &Mm) -> FaultCtx {

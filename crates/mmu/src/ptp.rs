@@ -325,6 +325,13 @@ impl PtpStore {
     pub fn slab_stats(&self) -> sat_phys::SlabStats {
         self.tables.stats()
     }
+
+    /// Publishes slab occupancy gauges to the installed obs sink.
+    pub fn publish_gauges(&self) {
+        sat_obs::gauge_set("phys.slab.live", self.tables.live() as u64);
+        sat_obs::gauge_set("phys.slab.capacity", self.tables.capacity() as u64);
+        sat_obs::gauge_set("phys.slab.recycled", self.tables.stats().recycled);
+    }
 }
 
 #[cfg(test)]

@@ -71,6 +71,32 @@ impl FootprintMatrix {
     }
 }
 
+/// Run-wide summary of one gauge's sampled time series.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GaugeSeries {
+    /// Number of [`Payload::Sample`] points seen.
+    pub samples: u64,
+    pub first: u64,
+    pub last: u64,
+    pub min: u64,
+    /// Sampled maximum — the gauge's high-water mark as reconstructed
+    /// from the trace alone.
+    pub max: u64,
+}
+
+impl GaugeSeries {
+    fn observe(&mut self, value: u64) {
+        if self.samples == 0 {
+            self.first = value;
+            self.min = value;
+        }
+        self.samples += 1;
+        self.last = value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+}
+
 /// Everything the analyzer derives from one event stream.
 #[derive(Clone, Debug, Default)]
 pub struct Rollup {
@@ -115,6 +141,11 @@ pub struct Rollup {
     pub batch_escalated: u64,
     /// Scheduler timeslice preemptions.
     pub preemptions: u64,
+    /// Gauge sample points in the stream.
+    pub samples: u64,
+    /// Per-gauge time-series summaries (first/last/min/max over the
+    /// sampled values, in key order).
+    pub gauges: BTreeMap<String, GaugeSeries>,
     /// Duration spans keyed `cat.name`.
     pub spans: BTreeMap<String, SpanAgg>,
     /// Folded stacks (`pid<p>;<cat>;<span>[;<nested>…] value`-ready)
@@ -182,6 +213,10 @@ impl Rollup {
                     r.batch_escalated += escalated;
                 }
                 Payload::Preempt { .. } => r.preemptions += 1,
+                Payload::Sample { gauge, value } => {
+                    r.samples += 1;
+                    r.gauges.entry(gauge.clone()).or_default().observe(*value);
+                }
                 Payload::RegionOp {
                     op, va, pages: n, ..
                 } => {
@@ -326,16 +361,237 @@ impl Rollup {
     }
 }
 
+/// Hard cap on timeline rows — a guard against a `--window` far
+/// smaller than the trace span blowing up memory/output.
+pub const TIMELINE_MAX_WINDOWS: u64 = 1 << 16;
+
+/// Default window count when the caller does not pick a width: the
+/// span divides into about this many windows.
+const TIMELINE_DEFAULT_WINDOWS: u64 = 20;
+
+/// One tick window's event counts (the numerators of the windowed
+/// rates `repro timeline` prints).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WindowRow {
+    /// First tick covered by this window.
+    pub start: u64,
+    pub events: u64,
+    pub forks: u64,
+    pub faults: u64,
+    pub unshares: u64,
+    /// TLB flush primitive invocations (main + micro).
+    pub flushes: u64,
+    /// Cross-core shootdown IPIs: `cores_targeted - cores_local`
+    /// summed over the window's shootdowns.
+    pub flush_ipis: u64,
+    pub preemptions: u64,
+    /// Gauge sample points in the window.
+    pub samples: u64,
+}
+
+impl WindowRow {
+    fn add(&mut self, payload: &Payload) {
+        self.events += 1;
+        match payload {
+            Payload::Fork { .. } => self.forks += 1,
+            Payload::PageFault { .. } => self.faults += 1,
+            Payload::PtpUnshare { .. } => self.unshares += 1,
+            Payload::TlbFlush { .. } => self.flushes += 1,
+            Payload::TlbShootdown {
+                cores_targeted,
+                cores_local,
+                ..
+            } => self.flush_ipis += u64::from(cores_targeted - cores_local),
+            Payload::Preempt { .. } => self.preemptions += 1,
+            Payload::Sample { .. } => self.samples += 1,
+            _ => {}
+        }
+    }
+}
+
+/// The event stream rebucketed into fixed-width tick windows, plus the
+/// per-gauge series summaries — everything `repro timeline` renders.
+///
+/// Windows tile the trace contiguously from the first event's tick to
+/// the last's, so a quiet window shows up as a row of zeros instead of
+/// silently vanishing (transients are the whole point of a timeline).
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    /// Window width in ticks.
+    pub window: u64,
+    /// Tick of the first event (windows are offset from here).
+    pub start: u64,
+    /// Tick of the last event.
+    pub end: u64,
+    pub rows: Vec<WindowRow>,
+    /// Per-gauge series over the whole (possibly filtered) stream.
+    pub gauges: BTreeMap<String, GaugeSeries>,
+}
+
+impl Timeline {
+    /// Buckets `events` into windows of `window` ticks; `window == 0`
+    /// picks a width dividing the span into about
+    /// [`TIMELINE_DEFAULT_WINDOWS`] windows. Errors when the explicit
+    /// width would produce more than [`TIMELINE_MAX_WINDOWS`] rows.
+    pub fn from_events(events: &[Event], window: u64) -> Result<Timeline, String> {
+        let Some(first) = events.first() else {
+            return Ok(Timeline::default());
+        };
+        let start = first.tick;
+        let end = events.last().map_or(start, |e| e.tick);
+        let span = end - start + 1;
+        let window = if window == 0 {
+            span.div_ceil(TIMELINE_DEFAULT_WINDOWS).max(1)
+        } else {
+            window
+        };
+        let count = span.div_ceil(window);
+        if count > TIMELINE_MAX_WINDOWS {
+            return Err(format!(
+                "--window {window} would produce {count} windows over a span of {span} ticks \
+                 (max {TIMELINE_MAX_WINDOWS}); pick a wider window"
+            ));
+        }
+        let mut t = Timeline {
+            window,
+            start,
+            end,
+            rows: (0..count)
+                .map(|i| WindowRow {
+                    start: start + i * window,
+                    ..WindowRow::default()
+                })
+                .collect(),
+            gauges: BTreeMap::new(),
+        };
+        for event in events {
+            if event.tick < start {
+                return Err(format!(
+                    "event stream is not tick-sorted (tick {} before start {start})",
+                    event.tick
+                ));
+            }
+            let idx = ((event.tick - start) / window) as usize;
+            let Some(row) = t.rows.get_mut(idx) else {
+                return Err(format!(
+                    "event stream is not tick-sorted (tick {} after the last event's {end})",
+                    event.tick
+                ));
+            };
+            row.add(&event.payload);
+            if let Payload::Sample { gauge, value } = &event.payload {
+                t.gauges.entry(gauge.clone()).or_default().observe(*value);
+            }
+        }
+        Ok(t)
+    }
+
+    /// Sums every window — the reconciliation hook: these totals must
+    /// equal the whole-stream [`Rollup`] counts exactly.
+    pub fn totals(&self) -> WindowRow {
+        let mut total = WindowRow {
+            start: self.start,
+            ..WindowRow::default()
+        };
+        for row in &self.rows {
+            total.events += row.events;
+            total.forks += row.forks;
+            total.faults += row.faults;
+            total.unshares += row.unshares;
+            total.flushes += row.flushes;
+            total.flush_ipis += row.flush_ipis;
+            total.preemptions += row.preemptions;
+            total.samples += row.samples;
+        }
+        total
+    }
+}
+
+/// Slices an `all`-style trace down to one experiment's events, using
+/// the `exp.<name>` bench span brackets `repro` emits around each
+/// experiment. Experiments run sequentially on the recorder's global
+/// tick sequence, so the bracket's tick range is exactly the
+/// experiment's events. A bracket whose end was dropped by ring
+/// overflow keeps everything from its begin onward.
+pub fn filter_experiment(events: &[Event], name: &str) -> Result<Vec<Event>, String> {
+    let span = format!("exp.{name}");
+    let mut available: BTreeSet<&str> = BTreeSet::new();
+    let mut begin: Option<u64> = None;
+    let mut end: Option<u64> = None;
+    for event in events {
+        match &event.payload {
+            Payload::SpanBegin { name: n } => {
+                if let Some(exp) = n.strip_prefix("exp.") {
+                    available.insert(exp);
+                    if begin.is_none() && *n == span {
+                        begin = Some(event.tick);
+                    }
+                }
+            }
+            Payload::SpanEnd { name: n, .. } if end.is_none() && begin.is_some() && *n == span => {
+                end = Some(event.tick);
+            }
+            _ => {}
+        }
+    }
+    let Some(b) = begin else {
+        let known: Vec<&str> = available.into_iter().collect();
+        return Err(if known.is_empty() {
+            format!("experiment \"{name}\": trace carries no exp.* brackets (re-record it)")
+        } else {
+            format!(
+                "experiment \"{name}\" not in trace; traced experiments: {}",
+                known.join(", ")
+            )
+        });
+    };
+    let e = end.unwrap_or(u64::MAX);
+    Ok(events
+        .iter()
+        .filter(|ev| ev.tick >= b && ev.tick <= e)
+        .cloned()
+        .collect())
+}
+
 /// Validates stream invariants the recorder guarantees: per-(pid,
-/// asid) tick monotonicity (via [`validate_ticks`]) and strict
-/// begin/end pairing of duration spans (via [`validate_spans`]).
-/// `repro check` runs this over re-ingested traces; a corrupted or
+/// asid) tick monotonicity (via [`validate_ticks`]), strict begin/end
+/// pairing of duration spans (via [`validate_spans`]), and
+/// well-formed gauge samples (via [`validate_samples`]). `repro
+/// check` runs this over re-ingested traces; a corrupted or
 /// hand-edited file fails loudly. Only valid for lossless streams —
 /// when the ring dropped events, span begins may be missing from the
-/// front, so callers must fall back to [`validate_ticks`] alone.
+/// front, so callers must fall back to [`validate_ticks`] plus
+/// [`validate_samples`] (both survive overflow).
 pub fn validate_events(events: &[Event]) -> Result<(), String> {
     validate_ticks(events)?;
-    validate_spans(events)
+    validate_spans(events)?;
+    validate_samples(events)
+}
+
+/// Gauge-sample well-formedness: every sample names a non-empty
+/// gauge, and each gauge's sample ticks are strictly increasing.
+/// Like tick monotonicity, this survives ring overflow (dropping a
+/// prefix of a monotone series keeps it monotone).
+pub fn validate_samples(events: &[Event]) -> Result<(), String> {
+    let mut last_tick: BTreeMap<&str, u64> = BTreeMap::new();
+    for (i, event) in events.iter().enumerate() {
+        let Payload::Sample { gauge, .. } = &event.payload else {
+            continue;
+        };
+        if gauge.is_empty() {
+            return Err(format!("event {i}: sample with an empty gauge name"));
+        }
+        if let Some(&prev) = last_tick.get(gauge.as_str()) {
+            if event.tick <= prev {
+                return Err(format!(
+                    "event {i}: sample tick {} not monotonic for gauge \"{gauge}\" (previous {prev})",
+                    event.tick
+                ));
+            }
+        }
+        last_tick.insert(gauge, event.tick);
+    }
+    Ok(())
 }
 
 /// Per-(pid, asid) tick monotonicity: ticks are a recorder-global
@@ -573,6 +829,173 @@ mod tests {
         assert_eq!(r.footprint.shared[a][b], 4);
         assert!((r.footprint.overlap_pct(z, a) - 100.0).abs() < 1e-9);
         assert!((r.footprint.overlap_pct(a, b) - 100.0).abs() < 1e-9);
+    }
+
+    fn sample(tick: u64, gauge: &str, value: u64) -> Event {
+        ev(
+            tick,
+            0,
+            0,
+            Subsystem::Sim,
+            Payload::Sample {
+                gauge: gauge.to_string(),
+                value,
+            },
+        )
+    }
+
+    fn fault(tick: u64, pid: u32) -> Event {
+        ev(
+            tick,
+            pid,
+            pid as u8,
+            Subsystem::VmFault,
+            Payload::PageFault {
+                class: crate::FaultClass::Minor,
+                va: 0x1000,
+                file_backed: false,
+            },
+        )
+    }
+
+    #[test]
+    fn rollup_summarizes_gauge_series() {
+        let events = vec![
+            sample(0, "phys.frames.free", 100),
+            sample(1, "phys.frames.free", 40),
+            sample(2, "phys.frames.free", 70),
+        ];
+        let r = Rollup::from_events(&events, 0);
+        assert_eq!(r.samples, 3);
+        let s = r.gauges["phys.frames.free"];
+        assert_eq!((s.first, s.last, s.min, s.max), (100, 70, 40, 100));
+        // The replayed registry carries the same high-water mark.
+        assert_eq!(r.metrics.gauge("phys.frames.free").unwrap().high_water, 100);
+    }
+
+    #[test]
+    fn timeline_windows_tile_the_span_and_totals_reconcile() {
+        let events = vec![
+            fault(0, 1),
+            fault(1, 1),
+            sample(2, "sched.runq.c0", 2),
+            // Ticks 10..19 are a quiet window: an explicit zero row.
+            fault(25, 2),
+            ev(
+                29,
+                2,
+                2,
+                Subsystem::Sched,
+                Payload::TlbShootdown {
+                    asid: 2,
+                    scope: crate::FlushScope::Asid,
+                    cores_targeted: 3,
+                    cores_local: 1,
+                    cores_skipped: 1,
+                },
+            ),
+        ];
+        let t = Timeline::from_events(&events, 10).unwrap();
+        assert_eq!(t.window, 10);
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.rows[0].start, 0);
+        assert_eq!(t.rows[0].faults, 2);
+        assert_eq!(t.rows[0].samples, 1);
+        assert_eq!(
+            t.rows[1],
+            WindowRow {
+                start: 10,
+                ..WindowRow::default()
+            }
+        );
+        assert_eq!(t.rows[2].faults, 1);
+        assert_eq!(t.rows[2].flush_ipis, 2);
+        let totals = t.totals();
+        let r = Rollup::from_events(&events, 0);
+        assert_eq!(totals.faults, r.metrics.counter("vm.fault"));
+        assert_eq!(totals.events, r.event_count);
+        assert_eq!(
+            totals.flush_ipis,
+            r.shootdown_cores_targeted - r.shootdown_cores_local
+        );
+        assert_eq!(t.gauges["sched.runq.c0"].max, 2);
+    }
+
+    #[test]
+    fn timeline_auto_window_and_row_cap() {
+        let events: Vec<Event> = (0..100).map(|i| fault(i, 1)).collect();
+        let t = Timeline::from_events(&events, 0).unwrap();
+        assert_eq!(t.window, 5); // span 100 / 20 default windows
+        assert_eq!(t.rows.len(), 20);
+        // An explicit window smaller than span/cap errors out.
+        let wide: Vec<Event> = vec![fault(0, 1), fault(TIMELINE_MAX_WINDOWS * 2, 1)];
+        let err = Timeline::from_events(&wide, 1).unwrap_err();
+        assert!(err.contains("pick a wider window"), "{err}");
+        // Empty stream: an empty timeline, not an error.
+        assert!(Timeline::from_events(&[], 0).unwrap().rows.is_empty());
+    }
+
+    #[test]
+    fn validate_samples_rejects_empty_names_and_rewinds() {
+        let ok = vec![sample(0, "a", 1), sample(1, "b", 5), sample(2, "a", 2)];
+        assert!(validate_samples(&ok).is_ok());
+        let empty = vec![sample(0, "", 1)];
+        let err = validate_samples(&empty).unwrap_err();
+        assert!(err.contains("empty gauge name"), "{err}");
+        // Same tick twice for one gauge is a rewind.
+        let rewind = vec![sample(5, "a", 1), sample(5, "a", 2)];
+        let err = validate_samples(&rewind).unwrap_err();
+        assert!(err.contains("not monotonic"), "{err}");
+        // Interleaved gauges at increasing ticks stay valid even when
+        // another gauge's tick sits between them.
+        assert!(validate_events(&ok).is_ok());
+    }
+
+    #[test]
+    fn filter_experiment_slices_by_bracket_tick_range() {
+        let bracket_begin = |tick, name: &str| {
+            ev(
+                tick,
+                0,
+                0,
+                Subsystem::Bench,
+                Payload::SpanBegin {
+                    name: name.to_string(),
+                },
+            )
+        };
+        let bracket_end = |tick, name: &str| {
+            ev(
+                tick,
+                0,
+                0,
+                Subsystem::Bench,
+                Payload::SpanEnd {
+                    name: name.to_string(),
+                    value: 1,
+                    unit: SpanUnit::Micros,
+                },
+            )
+        };
+        let events = vec![
+            bracket_begin(0, "exp.launch"),
+            fault(1, 1),
+            bracket_end(2, "exp.launch"),
+            bracket_begin(3, "exp.steady"),
+            fault(4, 2),
+            fault(5, 2),
+            bracket_end(6, "exp.steady"),
+        ];
+        let steady = filter_experiment(&events, "steady").unwrap();
+        assert_eq!(steady.len(), 4);
+        assert!(steady.iter().all(|e| e.tick >= 3 && e.tick <= 6));
+        let r = Rollup::from_events(&steady, 0);
+        assert_eq!(r.metrics.counter("vm.fault"), 2);
+        // Unknown name: the error lists what the trace does carry.
+        let err = filter_experiment(&events, "nope").unwrap_err();
+        assert!(err.contains("launch, steady"), "{err}");
+        let err = filter_experiment(&[fault(0, 1)], "launch").unwrap_err();
+        assert!(err.contains("no exp.* brackets"), "{err}");
     }
 
     #[test]

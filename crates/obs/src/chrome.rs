@@ -139,6 +139,11 @@ fn args_json(payload: &Payload) -> String {
             push_kv_num(&mut o, "core", u64::from(*core), false);
             push_kv_num(&mut o, "next", u64::from(*next), true);
         }
+        // Counter tracks plot args.value; Perfetto keys the track on
+        // the event name (the gauge key).
+        Payload::Sample { value, .. } => {
+            push_kv_num(&mut o, "value", *value, false);
+        }
         Payload::SpanBegin { .. } => {}
         Payload::SpanEnd { value, unit, .. } => {
             push_kv_num(&mut o, "value", *value, false);
@@ -159,6 +164,9 @@ fn event_json(event: &Event) -> String {
         // measured quantity rides in the end event's args.
         Payload::SpanBegin { .. } => push_kv_str(&mut o, "ph", "B", true),
         Payload::SpanEnd { .. } => push_kv_str(&mut o, "ph", "E", true),
+        // Gauge samples are counter events: Perfetto renders each
+        // distinct name as its own counter track, stacked over time.
+        Payload::Sample { .. } => push_kv_str(&mut o, "ph", "C", true),
         _ => {
             push_kv_str(&mut o, "ph", "i", true);
             push_kv_str(&mut o, "s", "t", true);
@@ -201,7 +209,7 @@ fn histogram_json(h: &Histogram) -> String {
     let last = h.buckets.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
     let buckets: Vec<String> = h.buckets[..last].iter().map(|b| b.to_string()).collect();
     format!(
-        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.3}, \"p50\": {}, \"p95\": {}, \"log2_buckets\": [{}]}}",
+        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.3}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"log2_buckets\": [{}]}}",
         h.count,
         h.sum,
         if h.count == 0 { 0 } else { h.min },
@@ -209,6 +217,7 @@ fn histogram_json(h: &Histogram) -> String {
         h.mean(),
         h.percentile(50.0),
         h.percentile(95.0),
+        h.percentile(99.0),
         buckets.join(", ")
     )
 }
@@ -268,6 +277,12 @@ fn parse_event(obj: &crate::json::Json, index: usize) -> Result<Event, String> {
     let payload = match ph {
         "B" => Payload::SpanBegin {
             name: name.to_string(),
+        },
+        // A counter-track point round-trips into the gauge sample it
+        // was exported from; the event name is the gauge key.
+        "C" => Payload::Sample {
+            gauge: name.to_string(),
+            value: field_u64(args, "value", &ctx)?,
         },
         "E" => {
             let unit_s = arg_str(args, "unit", &ctx)?;
@@ -436,6 +451,26 @@ pub fn metrics_json(
         out.push_str("\": ");
         out.push_str(&histogram_json(h));
         if i + 1 != hists.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str(indent);
+    out.push_str("  },\n");
+
+    field(&mut out, "gauges");
+    out.push_str("{\n");
+    let gauges: Vec<(&str, crate::metrics::Gauge)> = metrics.gauges().collect();
+    for (i, (k, g)) in gauges.iter().enumerate() {
+        out.push_str(indent);
+        out.push_str("    \"");
+        escape_into(&mut out, k);
+        out.push_str("\": ");
+        out.push_str(&format!(
+            "{{\"value\": {}, \"high_water\": {}}}",
+            g.value, g.high_water
+        ));
+        if i + 1 != gauges.len() {
             out.push(',');
         }
         out.push('\n');

@@ -46,6 +46,27 @@ impl Subsystem {
         }
     }
 
+    /// The subsystem owning a dotted gauge key, by its first segment.
+    /// The gauge taxonomy (DESIGN.md §12) is rooted at the layer that
+    /// publishes the value: `phys.*` and `kernel.*` → [`Kernel`],
+    /// `registry.*` → [`Share`], `tlb.*` → [`Tlb`], `sched.*` →
+    /// [`Sched`], everything else → [`Sim`].
+    ///
+    /// [`Kernel`]: Subsystem::Kernel
+    /// [`Share`]: Subsystem::Share
+    /// [`Tlb`]: Subsystem::Tlb
+    /// [`Sched`]: Subsystem::Sched
+    /// [`Sim`]: Subsystem::Sim
+    pub fn for_gauge(key: &str) -> Subsystem {
+        match key.split('.').next().unwrap_or("") {
+            "phys" | "kernel" => Subsystem::Kernel,
+            "registry" => Subsystem::Share,
+            "tlb" => Subsystem::Tlb,
+            "sched" => Subsystem::Sched,
+            _ => Subsystem::Sim,
+        }
+    }
+
     /// Inverse of [`Subsystem::as_str`] (trace re-ingestion).
     pub fn parse(s: &str) -> Option<Subsystem> {
         Some(match s {
@@ -467,6 +488,12 @@ pub enum Payload {
     /// The scheduler preempted `pid` on `core` in favour of `next`
     /// (end of timeslice).
     Preempt { core: u32, next: u32 },
+    /// One gauge's value at a sample point, snapshotted by
+    /// [`crate::sample_gauges`]. Exported as a Chrome counter-track
+    /// point (`"ph":"C"`), so Perfetto renders the gauge as a live
+    /// timeline next to the event spans. Samples are stamped (pid 0,
+    /// asid 0): gauges describe whole-machine state, not one process.
+    Sample { gauge: String, value: u64 },
     /// A duration span opened (an Android phase, a bench cell). Must
     /// be closed by a [`Payload::SpanEnd`] with the same name on the
     /// same (pid, asid) — `repro check` enforces the pairing.
@@ -497,6 +524,7 @@ impl Payload {
             Payload::TlbShootdown { .. } => "tlb_shootdown",
             Payload::FlushBatch { .. } => "flush_batch",
             Payload::Preempt { .. } => "preempt",
+            Payload::Sample { gauge, .. } => gauge,
             Payload::SpanBegin { name } | Payload::SpanEnd { name, .. } => name,
         }
     }

@@ -46,7 +46,7 @@ pub use event::{
     Event, FaultClass, FlushReason, FlushScope, Payload, RegionOpKind, SpanUnit, Subsystem,
     UnshareCause,
 };
-pub use metrics::{Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
+pub use metrics::{Gauge, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use sink::{EventSink, NullSink, Recording, RingSink};
 
 use std::cell::{Cell, RefCell};
@@ -144,6 +144,133 @@ pub fn record_value(name: &str, value: u64) {
             sink.record_value(name, value);
         }
     });
+}
+
+/// Publishes a gauge's current value on this thread's sink.
+///
+/// Gauges are *polled*, not pushed: the layers owning the state
+/// (sat-phys, sat-core, sat-sim, sat-sched) expose `publish_gauges`
+/// methods that read their existing bookkeeping and call this, and the
+/// driver loop invokes them only at sample points. The hot paths
+/// therefore pay nothing for the time-series layer — the disabled
+/// check is the same single thread-local branch as [`emit`].
+pub fn gauge_set(key: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    SINK.with(|s| {
+        if let Some(sink) = s.borrow_mut().as_mut() {
+            sink.gauge_set(key, value);
+        }
+    });
+}
+
+/// Moves a gauge up by `n` (saturating).
+pub fn gauge_add(key: &str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    SINK.with(|s| {
+        if let Some(sink) = s.borrow_mut().as_mut() {
+            sink.gauge_add(key, n);
+        }
+    });
+}
+
+/// Moves a gauge down by `n` (saturating at zero).
+pub fn gauge_sub(key: &str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    SINK.with(|s| {
+        if let Some(sink) = s.borrow_mut().as_mut() {
+            sink.gauge_sub(key, n);
+        }
+    });
+}
+
+/// Snapshots every registered gauge into the event ring as
+/// [`Payload::Sample`] events — one consistent cut across the whole
+/// gauge set. Drive this from a [`Sampler`] rather than calling it
+/// directly, so the cadence is explicit.
+pub fn sample_gauges() {
+    if !enabled() {
+        return;
+    }
+    SINK.with(|s| {
+        if let Some(sink) = s.borrow_mut().as_mut() {
+            sink.sample_gauges();
+        }
+    });
+}
+
+/// Starts a fresh per-experiment gauge window on this thread's sink
+/// (see [`MetricsRegistry::begin_gauge_window`]).
+pub fn begin_gauge_window() {
+    if !enabled() {
+        return;
+    }
+    SINK.with(|s| {
+        if let Some(sink) = s.borrow_mut().as_mut() {
+            sink.begin_gauge_window();
+        }
+    });
+}
+
+/// Clones the per-gauge window high-water marks, if a metrics-keeping
+/// sink is live (the per-experiment `gauges` snapshot section).
+pub fn window_gauge_high_waters() -> Option<BTreeMap<String, u64>> {
+    with_metrics(|m| m.window_gauge_high_waters())
+}
+
+/// The sample clock: the loop that owns simulated time (scheduler
+/// rounds, fleet spawn batches) calls [`Sampler::tick`] once per
+/// logical step, and every `every`-th step the sampler runs the
+/// caller's publish closure and snapshots the gauge set into the ring.
+///
+/// The publish closure is only invoked when a sample is actually due
+/// *and* a sink is enabled, so an untraced run never polls the layers
+/// at all.
+#[derive(Clone, Copy, Debug)]
+pub struct Sampler {
+    every: u64,
+    ticks: u64,
+}
+
+impl Sampler {
+    /// A sampler firing every `every` ticks (`every` is clamped to at
+    /// least 1).
+    pub fn new(every: u64) -> Sampler {
+        Sampler {
+            every: every.max(1),
+            ticks: 0,
+        }
+    }
+
+    /// Ticks this sampler's clock forward. Fires first on tick
+    /// `every`, then every `every` ticks after. Returns whether a
+    /// sample was cut.
+    pub fn tick(&mut self, publish: impl FnOnce()) -> bool {
+        self.ticks += 1;
+        if !enabled() || !self.ticks.is_multiple_of(self.every) {
+            return false;
+        }
+        publish();
+        sample_gauges();
+        true
+    }
+
+    /// Cuts a sample immediately, off the clock (the final
+    /// state-of-the-machine snapshot after a reap phase). The clock
+    /// position is unchanged.
+    pub fn sample_now(&mut self, publish: impl FnOnce()) -> bool {
+        if !enabled() {
+            return false;
+        }
+        publish();
+        sample_gauges();
+        true
+    }
 }
 
 /// Runs `f` with the thread's flush-reason set to `reason`, restoring
@@ -257,6 +384,63 @@ mod tests {
         );
         assert_eq!(current_flush_reason(), FlushReason::Unattributed);
         uninstall();
+    }
+
+    #[test]
+    fn sampler_fires_every_k_ticks_and_skips_when_disabled() {
+        // Disabled: the publish closure must never run.
+        let mut sampler = Sampler::new(2);
+        let mut published = 0;
+        assert!(!sampler.tick(|| published += 1));
+        assert!(!sampler.tick(|| published += 1));
+        assert_eq!(published, 0);
+
+        install(64);
+        let mut sampler = Sampler::new(3);
+        let mut fired = Vec::new();
+        for i in 1..=9u64 {
+            if sampler.tick(|| gauge_set("sim.x", i)) {
+                fired.push(i);
+            }
+        }
+        assert_eq!(fired, vec![3, 6, 9]);
+        let rec = uninstall().unwrap();
+        let samples: Vec<u64> = rec
+            .events
+            .iter()
+            .filter_map(|e| match &e.payload {
+                Payload::Sample { value, .. } => Some(*value),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(samples, vec![3, 6, 9]);
+    }
+
+    #[test]
+    fn sample_now_cuts_an_off_clock_snapshot() {
+        install(64);
+        let mut sampler = Sampler::new(100);
+        assert!(sampler.sample_now(|| gauge_set("sim.final", 42)));
+        let rec = uninstall().unwrap();
+        assert_eq!(rec.events.len(), 1);
+        assert_eq!(
+            rec.events[0].payload,
+            Payload::Sample {
+                gauge: "sim.final".to_string(),
+                value: 42
+            }
+        );
+    }
+
+    #[test]
+    fn gauge_free_functions_are_noops_when_disabled() {
+        assert!(!enabled());
+        gauge_set("x", 1);
+        gauge_add("x", 1);
+        gauge_sub("x", 1);
+        sample_gauges();
+        begin_gauge_window();
+        assert!(window_gauge_high_waters().is_none());
     }
 
     #[test]

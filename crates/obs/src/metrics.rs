@@ -102,13 +102,42 @@ impl Histogram {
     }
 }
 
-/// Named counters plus named histograms. Key taxonomy is dotted and
-/// stable (documented in DESIGN.md §7): `kernel.*`, `share.unshare.*`,
-/// `vm.fault.*`, `tlb.flush.*`, `android.*`, `bench.*`, `sim.*`.
+/// An instantaneous level (free frames, run-queue depth, TLB
+/// occupancy) with its tracked peaks. Unlike a counter, a gauge moves
+/// both ways; unlike a histogram, it is a *state*, not a population of
+/// samples — so the registry keeps the current value plus two
+/// high-water marks: the run-wide peak and the peak since the last
+/// [`MetricsRegistry::begin_gauge_window`] (per-experiment gating).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct Gauge {
+    /// Most recently published value.
+    pub value: u64,
+    /// Run-wide peak of every published value.
+    pub high_water: u64,
+    /// Peak since the last window reset (the snapshot's per-experiment
+    /// `gauges` section reads this).
+    pub window_high_water: u64,
+}
+
+impl Gauge {
+    fn publish(&mut self, value: u64) {
+        self.value = value;
+        self.high_water = self.high_water.max(value);
+        self.window_high_water = self.window_high_water.max(value);
+    }
+}
+
+/// Named counters plus named histograms and gauges. Key taxonomy is
+/// dotted and stable (documented in DESIGN.md §7 and §12):
+/// `kernel.*`, `share.unshare.*`, `vm.fault.*`, `tlb.flush.*`,
+/// `android.*`, `bench.*`, `sim.*`, and the gauge set rooted at
+/// `phys.*` / `registry.*` / `kernel.*` / `tlb.*` / `sim.*` /
+/// `sched.*`.
 #[derive(Default, Clone, PartialEq, Eq, Debug)]
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
+    gauges: BTreeMap<String, Gauge>,
 }
 
 impl MetricsRegistry {
@@ -153,8 +182,60 @@ impl MetricsRegistry {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// Publishes a gauge's current value (creating it at zero first).
+    pub fn gauge_set(&mut self, key: &str, value: u64) {
+        if let Some(g) = self.gauges.get_mut(key) {
+            g.publish(value);
+        } else {
+            let mut g = Gauge::default();
+            g.publish(value);
+            self.gauges.insert(key.to_string(), g);
+        }
+    }
+
+    /// Moves a gauge up by `n` (saturating).
+    pub fn gauge_add(&mut self, key: &str, n: u64) {
+        let current = self.gauges.get(key).map_or(0, |g| g.value);
+        self.gauge_set(key, current.saturating_add(n));
+    }
+
+    /// Moves a gauge down by `n` (saturating at zero).
+    pub fn gauge_sub(&mut self, key: &str, n: u64) {
+        let current = self.gauges.get(key).map_or(0, |g| g.value);
+        self.gauge_set(key, current.saturating_sub(n));
+    }
+
+    /// The gauge registered under `key`, if any.
+    pub fn gauge(&self, key: &str) -> Option<Gauge> {
+        self.gauges.get(key).copied()
+    }
+
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, Gauge)> {
+        self.gauges.iter().map(|(k, &g)| (k.as_str(), g))
+    }
+
+    /// Starts a fresh per-experiment window: every gauge's window
+    /// high-water restarts from its *current* value (the level carried
+    /// into the window is part of the window's peak).
+    pub fn begin_gauge_window(&mut self) {
+        for g in self.gauges.values_mut() {
+            g.window_high_water = g.value;
+        }
+    }
+
+    /// The per-gauge peaks since the last window reset. Gauges that
+    /// never rose above zero are omitted (mirrors the per-experiment
+    /// event-delta convention: absent means untouched).
+    pub fn window_gauge_high_waters(&self) -> BTreeMap<String, u64> {
+        self.gauges
+            .iter()
+            .filter(|(_, g)| g.window_high_water > 0)
+            .map(|(k, g)| (k.clone(), g.window_high_water))
+            .collect()
+    }
+
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty() && self.histograms.is_empty() && self.gauges.is_empty()
     }
 
     /// Derives the counter/histogram updates an event implies. Keys
@@ -261,6 +342,12 @@ impl MetricsRegistry {
                 self.inc("tlb.batch.escalated", *escalated);
             }
             Payload::Preempt { .. } => self.inc("sched.preempt", 1),
+            // Replaying a parsed trace reconstructs the gauges exactly:
+            // the live side publishes at sample points only, so setting
+            // the gauge per Sample event reproduces the same values and
+            // high-water marks. (At live-record time this re-set is
+            // idempotent — the sampler reads the value it writes back.)
+            Payload::Sample { gauge, value } => self.gauge_set(gauge, *value),
             // Only the closing half of a span moves metrics; the
             // opening half exists for trace structure.
             Payload::SpanBegin { .. } => {}
@@ -293,6 +380,16 @@ impl MetricsRegistry {
             } else {
                 self.histograms.insert(k.clone(), h.clone());
             }
+        }
+        // Gauges merge by max: worker cells are independent simulated
+        // machines, so "current value" has no single meaning across
+        // them — the peak does. All three fields take the maximum,
+        // which keeps high-water exact under parallel absorption.
+        for (k, g) in &other.gauges {
+            let mine = self.gauges.entry(k.clone()).or_default();
+            mine.value = mine.value.max(g.value);
+            mine.high_water = mine.high_water.max(g.high_water);
+            mine.window_high_water = mine.window_high_water.max(g.window_high_water);
         }
     }
 }
@@ -394,6 +491,83 @@ mod tests {
         // Rank clamps to the first sample; the estimator reports its
         // bucket's upper bound (an upper-bound estimate, not min).
         assert_eq!(h.percentile(0.0), 7);
+    }
+
+    #[test]
+    fn gauge_tracks_value_and_high_water() {
+        let mut m = MetricsRegistry::default();
+        m.gauge_set("phys.frames.free", 100);
+        m.gauge_sub("phys.frames.free", 30);
+        m.gauge_add("phys.frames.free", 10);
+        let g = m.gauge("phys.frames.free").unwrap();
+        assert_eq!(g.value, 80);
+        assert_eq!(g.high_water, 100);
+        // Saturating at zero, never wrapping.
+        m.gauge_sub("phys.frames.free", u64::MAX);
+        assert_eq!(m.gauge("phys.frames.free").unwrap().value, 0);
+        assert_eq!(m.gauge("phys.frames.free").unwrap().high_water, 100);
+        assert_eq!(m.gauge("missing"), None);
+    }
+
+    #[test]
+    fn gauge_window_restarts_from_current_value() {
+        let mut m = MetricsRegistry::default();
+        m.gauge_set("phys.slab.live", 50);
+        m.gauge_set("phys.slab.live", 10);
+        assert_eq!(m.gauge("phys.slab.live").unwrap().window_high_water, 50);
+        m.begin_gauge_window();
+        // The level carried into the window (10) is the new floor.
+        assert_eq!(m.gauge("phys.slab.live").unwrap().window_high_water, 10);
+        m.gauge_set("phys.slab.live", 30);
+        let windows = m.window_gauge_high_waters();
+        assert_eq!(windows.get("phys.slab.live"), Some(&30));
+        // Run-wide high-water is untouched by window resets.
+        assert_eq!(m.gauge("phys.slab.live").unwrap().high_water, 50);
+    }
+
+    #[test]
+    fn window_high_waters_omit_zero_gauges() {
+        let mut m = MetricsRegistry::default();
+        m.gauge_set("a", 0);
+        m.gauge_set("b", 1);
+        assert_eq!(m.window_gauge_high_waters().len(), 1);
+    }
+
+    #[test]
+    fn sample_event_replay_reconstructs_gauges() {
+        let mut live = MetricsRegistry::default();
+        let mut replay = MetricsRegistry::default();
+        for v in [5u64, 12, 3] {
+            live.gauge_set("registry.sharers", v);
+            replay.apply_event(
+                Subsystem::Share,
+                &Payload::Sample {
+                    gauge: "registry.sharers".to_string(),
+                    value: v,
+                },
+            );
+        }
+        assert_eq!(
+            live.gauge("registry.sharers"),
+            replay.gauge("registry.sharers")
+        );
+        assert_eq!(replay.gauge("registry.sharers").unwrap().high_water, 12);
+    }
+
+    #[test]
+    fn registry_merge_takes_gauge_maxima() {
+        let mut a = MetricsRegistry::default();
+        a.gauge_set("g", 40);
+        a.gauge_set("g", 5);
+        let mut b = MetricsRegistry::default();
+        b.gauge_set("g", 90);
+        b.gauge_set("g", 7);
+        b.gauge_set("other", 3);
+        a.merge(&b);
+        let g = a.gauge("g").unwrap();
+        assert_eq!(g.value, 7, "merge keeps the max of current values");
+        assert_eq!(g.high_water, 90);
+        assert_eq!(a.gauge("other").unwrap().value, 3);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use std::fmt::Write as _;
 
-use crate::analyze::Rollup;
+use crate::analyze::{Rollup, Timeline};
 use crate::json::escape_into;
 use crate::metrics::Histogram;
 
@@ -138,21 +138,39 @@ pub fn render_text(r: &Rollup) -> String {
         heading(&mut out, "Duration spans");
         let _ = writeln!(
             out,
-            "{:<28}  {:>6}  {:>12}  {:>10}  {:>10}  {:>10}  unit",
-            "span", "count", "total", "p50", "p95", "max"
+            "{:<28}  {:>6}  {:>12}  {:>10}  {:>10}  {:>10}  {:>10}  unit",
+            "span", "count", "total", "p50", "p95", "p99", "max"
         );
-        rule(&mut out, &[28, 6, 12, 10, 10, 10]);
+        rule(&mut out, &[28, 6, 12, 10, 10, 10, 10]);
         for (name, agg) in &r.spans {
             let _ = writeln!(
                 out,
-                "{:<28}  {:>6}  {:>12}  {:>10}  {:>10}  {:>10}  {}",
+                "{:<28}  {:>6}  {:>12}  {:>10}  {:>10}  {:>10}  {:>10}  {}",
                 name,
                 agg.count,
                 agg.hist.sum,
                 agg.hist.percentile(50.0),
                 agg.hist.percentile(95.0),
+                agg.hist.percentile(99.0),
                 agg.hist.max,
                 agg.unit.as_str()
+            );
+        }
+    }
+
+    if !r.gauges.is_empty() {
+        heading(&mut out, "Gauges (sampled)");
+        let _ = writeln!(
+            out,
+            "{:<28}  {:>7}  {:>10}  {:>10}  {:>10}  {:>10}",
+            "gauge", "samples", "first", "min", "max", "last"
+        );
+        rule(&mut out, &[28, 7, 10, 10, 10, 10]);
+        for (name, s) in &r.gauges {
+            let _ = writeln!(
+                out,
+                "{:<28}  {:>7}  {:>10}  {:>10}  {:>10}  {:>10}",
+                name, s.samples, s.first, s.min, s.max, s.last
             );
         }
     }
@@ -185,6 +203,100 @@ pub fn render_text(r: &Rollup) -> String {
     out
 }
 
+/// Renders `repro timeline`: the event stream rebucketed into tick
+/// windows (absolute counts plus per-kilotick rates — logical ticks
+/// are the simulator's only clock) and the per-gauge series
+/// summaries. The totals row is the reconciliation surface: it must
+/// match the whole-stream rollup (and therefore `KernelStats`)
+/// exactly.
+pub fn render_timeline(r: &Rollup, t: &Timeline) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# repro timeline — {} events over ticks {}..{}, window {} ticks, {} samples",
+        r.event_count, t.start, t.end, t.window, r.samples
+    );
+    if t.rows.is_empty() {
+        let _ = writeln!(out, "\n(empty trace)");
+        return out;
+    }
+
+    heading(&mut out, "Windowed event counts");
+    let _ = writeln!(
+        out,
+        "{:>10}  {:>8}  {:>6}  {:>7}  {:>8}  {:>8}  {:>6}  {:>8}  {:>7}",
+        "tick", "events", "forks", "faults", "unshares", "flushes", "ipis", "preempts", "samples"
+    );
+    rule(&mut out, &[10, 8, 6, 7, 8, 8, 6, 8, 7]);
+    for row in &t.rows {
+        let _ = writeln!(
+            out,
+            "{:>10}  {:>8}  {:>6}  {:>7}  {:>8}  {:>8}  {:>6}  {:>8}  {:>7}",
+            row.start,
+            row.events,
+            row.forks,
+            row.faults,
+            row.unshares,
+            row.flushes,
+            row.flush_ipis,
+            row.preemptions,
+            row.samples
+        );
+    }
+    rule(&mut out, &[10, 8, 6, 7, 8, 8, 6, 8, 7]);
+    let totals = t.totals();
+    let _ = writeln!(
+        out,
+        "{:>10}  {:>8}  {:>6}  {:>7}  {:>8}  {:>8}  {:>6}  {:>8}  {:>7}",
+        "total",
+        totals.events,
+        totals.forks,
+        totals.faults,
+        totals.unshares,
+        totals.flushes,
+        totals.flush_ipis,
+        totals.preemptions,
+        totals.samples
+    );
+
+    heading(&mut out, "Windowed rates (per 1k ticks)");
+    let _ = writeln!(
+        out,
+        "{:>10}  {:>10}  {:>10}  {:>10}",
+        "tick", "forks/kt", "faults/kt", "ipis/kt"
+    );
+    rule(&mut out, &[10, 10, 10, 10]);
+    let per_kt = |n: u64| n as f64 * 1000.0 / t.window as f64;
+    for row in &t.rows {
+        let _ = writeln!(
+            out,
+            "{:>10}  {:>10.1}  {:>10.1}  {:>10.1}",
+            row.start,
+            per_kt(row.forks),
+            per_kt(row.faults),
+            per_kt(row.flush_ipis)
+        );
+    }
+
+    if !t.gauges.is_empty() {
+        heading(&mut out, "Gauge series (high water = sampled max)");
+        let _ = writeln!(
+            out,
+            "{:<28}  {:>7}  {:>10}  {:>10}  {:>10}  {:>10}",
+            "gauge", "samples", "first", "min", "high-water", "last"
+        );
+        rule(&mut out, &[28, 7, 10, 10, 10, 10]);
+        for (name, s) in &t.gauges {
+            let _ = writeln!(
+                out,
+                "{:<28}  {:>7}  {:>10}  {:>10}  {:>10}  {:>10}",
+                name, s.samples, s.first, s.min, s.max, s.last
+            );
+        }
+    }
+    out
+}
+
 fn json_counter_map<K: std::fmt::Display, V: std::fmt::Display>(
     out: &mut String,
     name: &str,
@@ -211,13 +323,14 @@ fn json_counter_map<K: std::fmt::Display, V: std::fmt::Display>(
 
 fn hist_summary_json(h: &Histogram) -> String {
     format!(
-        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}}}",
+        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
         h.count,
         h.sum,
         if h.count == 0 { 0 } else { h.min },
         h.max,
         h.percentile(50.0),
-        h.percentile(95.0)
+        h.percentile(95.0),
+        h.percentile(99.0)
     )
 }
 
@@ -273,6 +386,21 @@ pub fn render_json(r: &Rollup) -> String {
             agg.count,
             agg.unit.as_str(),
             hist_summary_json(&agg.hist)
+        );
+    }
+    out.push_str("},\n");
+
+    out.push_str("  \"gauges\": {");
+    for (i, (name, s)) in r.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('"');
+        escape_into(&mut out, name);
+        let _ = write!(
+            out,
+            "\": {{\"samples\": {}, \"first\": {}, \"last\": {}, \"min\": {}, \"max\": {}}}",
+            s.samples, s.first, s.last, s.min, s.max
         );
     }
     out.push_str("},\n");

@@ -34,6 +34,26 @@ pub trait EventSink {
     /// Records a histogram sample.
     fn record_value(&mut self, name: &str, value: u64);
 
+    /// Publishes a gauge's current value (no-op for metrics-less
+    /// sinks).
+    fn gauge_set(&mut self, _key: &str, _value: u64) {}
+
+    /// Moves a gauge up by `n` (saturating).
+    fn gauge_add(&mut self, _key: &str, _n: u64) {}
+
+    /// Moves a gauge down by `n` (saturating at zero).
+    fn gauge_sub(&mut self, _key: &str, _n: u64) {}
+
+    /// Snapshots every registered gauge into the event stream as one
+    /// [`Payload::Sample`] each (a Chrome counter-track point). The
+    /// sink owns both the registry and the ring, so this is the one
+    /// place a consistent multi-gauge snapshot can be cut.
+    fn sample_gauges(&mut self) {}
+
+    /// Starts a fresh per-experiment gauge window (see
+    /// [`MetricsRegistry::begin_gauge_window`]).
+    fn begin_gauge_window(&mut self) {}
+
     /// Read-only view of the live metrics, if the sink keeps any.
     fn metrics(&self) -> Option<&MetricsRegistry> {
         None
@@ -125,6 +145,37 @@ impl EventSink for RingSink {
         self.metrics.record(name, value);
     }
 
+    fn gauge_set(&mut self, key: &str, value: u64) {
+        self.metrics.gauge_set(key, value);
+    }
+
+    fn gauge_add(&mut self, key: &str, n: u64) {
+        self.metrics.gauge_add(key, n);
+    }
+
+    fn gauge_sub(&mut self, key: &str, n: u64) {
+        self.metrics.gauge_sub(key, n);
+    }
+
+    fn sample_gauges(&mut self) {
+        // Samples carry (pid 0, asid 0): gauges are machine state, not
+        // per-process. Recording a Sample re-applies it to the
+        // registry, which is idempotent (same value written back).
+        let snapshot: Vec<(String, u64)> = self
+            .metrics
+            .gauges()
+            .map(|(k, g)| (k.to_string(), g.value))
+            .collect();
+        for (gauge, value) in snapshot {
+            let subsystem = Subsystem::for_gauge(&gauge);
+            self.record(0, 0, subsystem, Payload::Sample { gauge, value });
+        }
+    }
+
+    fn begin_gauge_window(&mut self) {
+        self.metrics.begin_gauge_window();
+    }
+
     fn metrics(&self) -> Option<&MetricsRegistry> {
         Some(&self.metrics)
     }
@@ -183,6 +234,76 @@ mod tests {
         assert_eq!(rec.metrics.counter("tlb.flush.scope.asid"), 10);
         assert_eq!(rec.metrics.counter("tlb.flush.main.entries"), 45);
         assert_eq!(rec.metrics.counter("tlb.flush.reason.fork.entries"), 45);
+    }
+
+    #[test]
+    fn sample_gauges_snapshots_every_gauge_into_the_ring() {
+        let mut sink = RingSink::new(16);
+        sink.gauge_set("phys.frames.free", 900);
+        sink.gauge_set("sched.runq.c0", 3);
+        sink.sample_gauges();
+        sink.gauge_sub("phys.frames.free", 100);
+        sink.sample_gauges();
+        let rec = Box::new(sink).finish();
+        let samples: Vec<(&str, u64)> = rec
+            .events
+            .iter()
+            .filter_map(|e| match &e.payload {
+                Payload::Sample { gauge, value } => Some((gauge.as_str(), *value)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            samples,
+            vec![
+                ("phys.frames.free", 900),
+                ("sched.runq.c0", 3),
+                ("phys.frames.free", 800),
+                ("sched.runq.c0", 3),
+            ]
+        );
+        // Subsystem attribution follows the key taxonomy.
+        assert_eq!(rec.events[0].subsystem, Subsystem::Kernel);
+        assert_eq!(rec.events[1].subsystem, Subsystem::Sched);
+        // All samples on the machine-wide (pid 0, asid 0) track.
+        assert!(rec.events.iter().all(|e| e.pid == 0 && e.asid == 0));
+        // Re-applying each Sample at record time left the gauges exact.
+        assert_eq!(rec.metrics.gauge("phys.frames.free").unwrap().value, 800);
+        assert_eq!(
+            rec.metrics.gauge("phys.frames.free").unwrap().high_water,
+            900
+        );
+    }
+
+    /// The required absorb-correctness property: when worker-thread
+    /// recordings merge back into the parent sink, every gauge's
+    /// high-water mark is the true maximum over all workers — a
+    /// worker's transient peak survives even if its final value was
+    /// lower and even if another worker never touched the gauge.
+    #[test]
+    fn absorb_keeps_gauge_high_water_across_workers() {
+        let run_worker = |peak: u64, last: u64| -> Recording {
+            let mut w = RingSink::new(16);
+            w.gauge_set("phys.slab.live", peak);
+            w.sample_gauges();
+            w.gauge_set("phys.slab.live", last);
+            w.sample_gauges();
+            Box::new(w).finish()
+        };
+        let mut parent = RingSink::new(64);
+        parent.gauge_set("phys.slab.live", 5);
+        // Submission order is deterministic; the peak (700, from the
+        // second worker) must survive both absorptions.
+        parent.absorb(run_worker(300, 120));
+        parent.absorb(run_worker(700, 80));
+        let rec = Box::new(parent).finish();
+        let g = rec.metrics.gauge("phys.slab.live").unwrap();
+        assert_eq!(g.high_water, 700);
+        assert_eq!(g.value, 120);
+        // Absorbed sample events were re-stamped onto one strictly
+        // increasing tick sequence.
+        let ticks: Vec<u64> = rec.events.iter().map(|e| e.tick).collect();
+        assert!(ticks.windows(2).all(|w| w[1] > w[0]), "{ticks:?}");
     }
 
     #[test]

@@ -145,6 +145,13 @@ fn emit_one_of_each() {
         2,
         Payload::Preempt { core: 2, next: 9 },
     );
+    // Counter-track points: published gauges snapshotted twice, so
+    // the parsed trace must reproduce a moving series, not one value.
+    sat_obs::gauge_set("phys.frames.free", 1000);
+    sat_obs::gauge_set("sched.runq.c1", 3);
+    sat_obs::sample_gauges();
+    sat_obs::gauge_sub("phys.frames.free", 137);
+    sat_obs::sample_gauges();
     sat_obs::emit(
         Subsystem::Android,
         4,
@@ -206,6 +213,7 @@ fn chrome_trace_round_trips_field_by_field() {
         let expected_ph = match &src.payload {
             Payload::SpanBegin { .. } => "B",
             Payload::SpanEnd { .. } => "E",
+            Payload::Sample { .. } => "C",
             _ => "i",
         };
         assert_eq!(json.get("ph").unwrap().as_str(), Some(expected_ph));
@@ -329,6 +337,12 @@ fn chrome_trace_round_trips_field_by_field() {
                 assert_eq!(args.get("core").unwrap().as_u64(), Some(u64::from(*core)));
                 assert_eq!(args.get("next").unwrap().as_u64(), Some(u64::from(*next)));
             }
+            Payload::Sample { gauge, value } => {
+                // The counter track is keyed on the event name (the
+                // gauge), and Perfetto plots args.value.
+                assert_eq!(json.get("name").unwrap().as_str(), Some(gauge.as_str()));
+                assert_eq!(args.get("value").unwrap().as_u64(), Some(*value));
+            }
             Payload::SpanBegin { .. } => assert!(args.as_object().unwrap().is_empty()),
             Payload::SpanEnd { value, unit, .. } => {
                 assert_eq!(args.get("value").unwrap().as_u64(), Some(*value));
@@ -362,6 +376,49 @@ fn parsed_trace_reproduces_the_recording_exactly() {
         assert_eq!(got.subsystem, want.subsystem);
         assert_eq!(got.payload, want.payload);
     }
+}
+
+/// The counter-track round trip in isolation: every sample exported as
+/// a `"ph":"C"` event re-ingests into the identical `Payload::Sample`
+/// series, and the replayed registry reconstructs the same gauges
+/// (values and high-water marks) as the live recorder.
+#[test]
+fn counter_tracks_round_trip_to_identical_samples() {
+    sat_obs::install(256);
+    for (free, runq) in [(4096u64, 0u64), (2048, 5), (3072, 2), (512, 9)] {
+        sat_obs::gauge_set("phys.frames.free", free);
+        sat_obs::gauge_set("sched.runq.c0", runq);
+        sat_obs::sample_gauges();
+    }
+    let rec = sat_obs::uninstall().unwrap();
+
+    let doc = Json::parse(&chrome_trace_json(&rec)).unwrap();
+    let parsed = parse_chrome_trace(&doc).unwrap();
+    let samples = |events: &[sat_obs::Event]| -> Vec<(u64, String, u64)> {
+        events
+            .iter()
+            .filter_map(|e| match &e.payload {
+                Payload::Sample { gauge, value } => Some((e.tick, gauge.clone(), *value)),
+                _ => None,
+            })
+            .collect()
+    };
+    let want = samples(&rec.events);
+    assert_eq!(want.len(), 8, "4 sample points x 2 gauges");
+    assert_eq!(samples(&parsed.events), want);
+
+    // Replaying the parsed stream reconstructs the gauges exactly.
+    let rollup = sat_obs::analyze::Rollup::from_events(&parsed.events, parsed.dropped);
+    assert_eq!(
+        rollup.metrics.gauge("phys.frames.free"),
+        rec.metrics.gauge("phys.frames.free")
+    );
+    assert_eq!(
+        rollup.metrics.gauge("phys.frames.free").unwrap().high_water,
+        4096
+    );
+    assert_eq!(rollup.gauges["sched.runq.c0"].max, 9);
+    assert_eq!(rollup.samples, 8);
 }
 
 #[test]
@@ -459,4 +516,20 @@ fn metrics_snapshot_round_trips_field_by_field() {
     assert_eq!(buckets[2].as_u64(), Some(1)); // 7
     assert_eq!(buckets[7].as_u64(), Some(2)); // 250, 251
     assert_eq!(buckets[12].as_u64(), Some(1)); // 4096
+                                               // Histogram summaries carry the whole percentile ladder.
+    for pct in ["p50", "p95", "p99"] {
+        assert!(fault.get(pct).and_then(Json::as_u64).is_some(), "{pct}");
+    }
+
+    // The gauges section mirrors the registry's values and peaks.
+    let gauges = snap.get("gauges").unwrap().as_object().unwrap();
+    assert_eq!(gauges.len(), rec.metrics.gauges().count());
+    for (name, g) in rec.metrics.gauges() {
+        let j = gauges.get(name).unwrap_or_else(|| panic!("missing {name}"));
+        assert_eq!(j.get("value").unwrap().as_u64(), Some(g.value));
+        assert_eq!(j.get("high_water").unwrap().as_u64(), Some(g.high_water));
+    }
+    let frames = gauges.get("phys.frames.free").unwrap();
+    assert_eq!(frames.get("value").unwrap().as_u64(), Some(863));
+    assert_eq!(frames.get("high_water").unwrap().as_u64(), Some(1000));
 }

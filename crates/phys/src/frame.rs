@@ -198,6 +198,14 @@ impl PhysMem {
     pub fn frames_in_use(&self) -> u64 {
         self.stats.in_use
     }
+
+    /// Publishes allocator occupancy gauges to the installed obs sink.
+    pub fn publish_gauges(&self) {
+        let total = self.pages.len() as u64;
+        sat_obs::gauge_set("phys.frames.in_use", self.stats.in_use);
+        sat_obs::gauge_set("phys.frames.free", total - self.stats.in_use);
+        sat_obs::gauge_set("phys.page_cache.pages", self.page_cache.len() as u64);
+    }
 }
 
 #[cfg(test)]

@@ -162,6 +162,14 @@ impl Scheduler {
     pub fn queue_len(&self, core: usize) -> usize {
         self.queues[core].len()
     }
+
+    /// Publishes per-core run-queue depth gauges to the installed obs
+    /// sink.
+    pub fn publish_gauges(&self) {
+        for (i, q) in self.queues.iter().enumerate() {
+            sat_obs::gauge_set(&format!("sched.runq.c{i}"), q.len() as u64);
+        }
+    }
 }
 
 /// Sizing for one timesharing run.
@@ -263,6 +271,9 @@ pub struct TimeshareSim {
     next_heap_slot: u32,
     /// Timeslices run so far (drives the IPC cadence).
     slices: u64,
+    /// Gauge sampling clock: one sample per scheduling round, plus
+    /// off-clock samples at boot/teardown edges.
+    sampler: sat_obs::Sampler,
 }
 
 impl TimeshareSim {
@@ -289,11 +300,60 @@ impl TimeshareSim {
             processes_created: 0,
             next_heap_slot: 0,
             slices: 0,
+            sampler: sat_obs::Sampler::new(1),
         };
-        for _ in 0..opts.apps {
+        for i in 0..opts.apps {
             sim.spawn()?;
+            // Sample the spawn ramp every 64 forks so a fleet trace
+            // shows frame/slab/registry occupancy growing, not just
+            // the post-boot plateau.
+            if (i + 1) % 64 == 0 {
+                sim.sample_now();
+            }
         }
+        sim.sample_now();
         Ok(sim)
+    }
+
+    /// Publishes every layer's gauges: the machine's (kernel frame
+    /// allocator, PTP slab, shared-PTP registry, per-core TLBs) plus
+    /// the scheduler's run-queue depths.
+    pub fn publish_gauges(&self) {
+        if !sat_obs::enabled() {
+            return;
+        }
+        self.sys.machine.publish_gauges();
+        self.sched.publish_gauges();
+    }
+
+    /// Emits one off-clock gauge sample (boot/teardown edges) without
+    /// advancing the per-round sampling clock.
+    pub fn sample_now(&mut self) {
+        let TimeshareSim {
+            sampler,
+            sys,
+            sched,
+            ..
+        } = self;
+        sampler.sample_now(|| {
+            sys.machine.publish_gauges();
+            sched.publish_gauges();
+        });
+    }
+
+    /// Advances the sampling clock by one round, snapshotting every
+    /// gauge into the event ring when a sample is due.
+    fn sample_tick(&mut self) {
+        let TimeshareSim {
+            sampler,
+            sys,
+            sched,
+            ..
+        } = self;
+        sampler.tick(|| {
+            sys.machine.publish_gauges();
+            sched.publish_gauges();
+        });
     }
 
     /// Forks one process from the zygote, builds its working set, and
@@ -383,6 +443,7 @@ impl TimeshareSim {
             }
             self.sched.requeue(core, pid, events);
         }
+        self.sample_tick();
         Ok(())
     }
 
@@ -493,6 +554,7 @@ impl TimeshareSim {
 pub fn run_timeshare(config: KernelConfig, opts: TimeshareOptions) -> SatResult<TimeshareReport> {
     let mut sim = TimeshareSim::boot(config, opts)?;
     sim.run()?;
+    sim.sample_now();
     Ok(sim.report())
 }
 
@@ -629,11 +691,17 @@ pub fn run_fleet(config: KernelConfig, opts: FleetOptions) -> SatResult<FleetRep
     fleet_span("fleet.run", || sim.run())?;
     fleet_span("fleet.reap", || -> SatResult<()> {
         let fleet: Vec<Pid> = sim.tasks.keys().copied().collect();
-        for pid in fleet {
+        for (i, pid) in fleet.into_iter().enumerate() {
             sim.reap(pid)?;
+            // Mirror the spawn ramp: sample the teardown drain so the
+            // trace shows frames/slab slots returning to the pool.
+            if (i + 1) % 64 == 0 {
+                sim.sample_now();
+            }
         }
         Ok(())
     })?;
+    sim.sample_now();
     let t = sim.report();
     let k = &sim.sys.machine.kernel;
     Ok(FleetReport {
@@ -843,6 +911,71 @@ mod tests {
         assert_eq!(s.registry_shared_after, 0);
         assert_eq!(s.live_processes_after, 1);
         assert_eq!(s.frames_in_use_after, a.frames_in_use_after);
+    }
+
+    /// A traced fleet run must carry the full gauge taxonomy as
+    /// counter-track samples, and the sampled series must reconcile
+    /// exactly with the machine's own end-of-run accounting.
+    #[test]
+    fn traced_fleet_samples_gauges_that_reconcile_with_the_report() {
+        sat_obs::install(1 << 18);
+        let opts = FleetOptions {
+            rounds: 2,
+            quantum_events: 40,
+            ws_pages: 8,
+            ..FleetOptions::new(130, 2)
+        };
+        let r = run_fleet(KernelConfig::shared_ptp_tlb(), opts).unwrap();
+        let rec = sat_obs::uninstall().expect("recorder installed above");
+
+        // The acceptance taxonomy: frame pool, registry, slab,
+        // per-core TLB occupancy, run-queue depth — all present.
+        for key in [
+            "phys.frames.free",
+            "phys.frames.in_use",
+            "phys.slab.live",
+            "phys.slab.capacity",
+            "registry.entries",
+            "registry.sharers",
+            "kernel.processes",
+            "tlb.main.occupancy.c0",
+            "tlb.micro.occupancy.c1",
+            "sim.asid.residency.c0",
+            "sched.runq.c1",
+        ] {
+            assert!(
+                rec.metrics.gauge(key).is_some(),
+                "traced fleet run never sampled gauge {key:?}"
+            );
+        }
+
+        // The final off-clock sample is cut after the reap phase, so
+        // each gauge's last value IS the machine's end state.
+        let procs = rec.metrics.gauge("kernel.processes").unwrap();
+        assert_eq!(procs.value, r.live_processes_after as u64);
+        let frames = rec.metrics.gauge("phys.frames.in_use").unwrap();
+        assert_eq!(frames.value, r.frames_in_use_after);
+        let recycled = rec.metrics.gauge("phys.slab.recycled").unwrap();
+        assert_eq!(recycled.value, r.ptp_slab_recycled);
+
+        // The spawn ramp was sampled: the process-count high water
+        // saw the whole fleet alive (130 apps + zygote), not just the
+        // lone-zygote end state.
+        assert_eq!(procs.high_water, 130 + 1);
+        assert!(frames.high_water > frames.value);
+
+        // Samples landed in the ring with valid shape (monotone
+        // per-gauge ticks, non-empty names).
+        sat_obs::analyze::validate_events(&rec.events).expect("trace validates");
+        let samples = rec
+            .events
+            .iter()
+            .filter(|e| matches!(e.payload, sat_obs::Payload::Sample { .. }))
+            .count();
+        assert!(
+            samples > 0,
+            "no Sample events survived in the ring (capacity too small?)"
+        );
     }
 
     #[test]

@@ -99,6 +99,12 @@ impl Core {
     fn clear_all_resident(&mut self) {
         self.resident_asids = [0; 4];
     }
+
+    /// Number of ASIDs currently marked resident on this core — the
+    /// population the precise-shootdown path consults.
+    pub fn resident_asid_count(&self) -> u32 {
+        self.resident_asids.iter().map(|w| w.count_ones()).sum()
+    }
 }
 
 /// A [`TlbMaintenance`] view over every core's TLBs: kernel flush
@@ -273,6 +279,28 @@ impl Machine {
     /// one core with `cpuset`).
     pub fn single_core(kernel: Kernel) -> Machine {
         Machine::new(kernel, 1)
+    }
+
+    /// Publishes machine-wide occupancy gauges: the kernel's (frames,
+    /// slab, registry, processes) plus per-core Main/Micro-TLB
+    /// occupancy and ASID-residency population. Pure reads — safe at
+    /// any sampling point.
+    pub fn publish_gauges(&self) {
+        self.kernel.publish_gauges();
+        for (i, core) in self.cores.iter().enumerate() {
+            sat_obs::gauge_set(
+                &format!("tlb.main.occupancy.c{i}"),
+                core.main_tlb.occupancy() as u64,
+            );
+            sat_obs::gauge_set(
+                &format!("tlb.micro.occupancy.c{i}"),
+                (core.micro_i.occupancy() + core.micro_d.occupancy()) as u64,
+            );
+            sat_obs::gauge_set(
+                &format!("sim.asid.residency.c{i}"),
+                u64::from(core.resident_asid_count()),
+            );
+        }
     }
 
     /// A TLB-maintenance view over all cores (pass to kernel

@@ -249,6 +249,45 @@ fn obs_overhead_benches(c: &mut Criterion) {
         let _ = sat_obs::uninstall();
         group.finish();
     }
+    {
+        // The gauge sampling clock on the flush path: ticking a
+        // Sampler per flush costs one increment + one branch when no
+        // sample is due. `every_64` pays the publish + ring admission
+        // on 1/64 of iterations; `sink_disabled` must stay within the
+        // same guard as the uninstrumented baseline (the tick
+        // short-circuits on the thread-local enabled flag).
+        let mut group = c.benchmark_group("obs_flush_asid_gauges");
+        let warm = filled_main(64, 16);
+        let mut sampler = sat_obs::Sampler::new(64);
+        group.bench_function("sink_disabled", |b| {
+            b.iter_batched_ref(
+                || warm.clone(),
+                |tlb| {
+                    black_box(tlb.flush_asid(Asid::new(1)));
+                    sampler.tick(|| {
+                        sat_obs::gauge_set("tlb.main.occupancy.c0", 64);
+                    });
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        sat_obs::install(1 << 12);
+        let mut sampler = sat_obs::Sampler::new(64);
+        group.bench_function("every_64", |b| {
+            b.iter_batched_ref(
+                || warm.clone(),
+                |tlb| {
+                    black_box(tlb.flush_asid(Asid::new(1)));
+                    sampler.tick(|| {
+                        sat_obs::gauge_set("tlb.main.occupancy.c0", 64);
+                    });
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        let _ = sat_obs::uninstall();
+        group.finish();
+    }
 }
 
 fn benches(c: &mut Criterion) {
