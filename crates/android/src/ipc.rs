@@ -203,6 +203,70 @@ fn snapshot(sys: &AndroidSystem) -> (u64, u64) {
     (s.inst_main_tlb_stall_cycles, s.cycles)
 }
 
+/// Kernel binder lines a served request crosses on ingress (dispatch
+/// into the server process). Matches the microbenchmark's client→
+/// kernel trap above.
+pub const REQUEST_INGRESS_LINES: u32 = 120;
+
+/// Kernel binder lines on egress (marshalling the reply out).
+pub const REQUEST_EGRESS_LINES: u32 = 100;
+
+/// Runs the kernel binder ingress path for an accepted request on
+/// `core`, announcing the flow's service start. The `FlowBegin` is
+/// emitted *before* the kernel lines run so every cycle of binder
+/// dispatch falls inside the request's serviced window; the caller
+/// must already have bound `flow` to `pid` (the ingress lines charge
+/// to whatever flow is active on the core).
+pub fn request_ingress(
+    sys: &mut AndroidSystem,
+    core: usize,
+    pid: Pid,
+    flow: u32,
+) -> SatResult<u64> {
+    if sat_obs::enabled() && sat_obs::flow_tracing() {
+        sat_obs::emit(
+            sat_obs::Subsystem::Android,
+            pid.raw(),
+            0,
+            sat_obs::Payload::FlowBegin { flow },
+        );
+    }
+    sys.machine.run_kernel_lines(
+        core,
+        sat_sim::machine::BINDER_PATH_PAGE,
+        REQUEST_INGRESS_LINES,
+    )
+}
+
+/// Runs the kernel binder egress (reply) path for a completing
+/// request on `core` and closes the flow: emits `FlowEnd` carrying
+/// the request's wall time in `core` cycles since `arrived_at` —
+/// measured *after* the reply lines, so the egress cost is inside the
+/// wall. Returns that wall; the caller still owns unbinding the flow.
+pub fn request_egress(
+    sys: &mut AndroidSystem,
+    core: usize,
+    pid: Pid,
+    flow: u32,
+    arrived_at: u64,
+) -> SatResult<u64> {
+    sys.machine.run_kernel_lines(
+        core,
+        sat_sim::machine::BINDER_PATH_PAGE,
+        REQUEST_EGRESS_LINES,
+    )?;
+    let wall = sys.machine.cores[core].stats.cycles - arrived_at;
+    if sat_obs::enabled() && sat_obs::flow_tracing() {
+        sat_obs::emit(
+            sat_obs::Subsystem::Android,
+            pid.raw(),
+            0,
+            sat_obs::Payload::FlowEnd { flow, wall },
+        );
+    }
+    Ok(wall)
+}
+
 fn map_private(
     sys: &mut AndroidSystem,
     pid: Pid,

@@ -8,6 +8,7 @@
 //! repro check [--trace <path>] [--out <path>]
 //! repro report [--trace] <trace.json> [--format text|json|folded] [--experiment <name>]
 //! repro timeline [--trace] <trace.json> [--window N] [--experiment <name>]
+//! repro tails [--trace] <trace.json> [--top K] [--experiment <name>]
 //! repro diff <old.json> <new.json> [--threshold-pct N]
 //!
 //! experiments:
@@ -21,6 +22,7 @@
 //!   scalability largepages grouped extensions
 //!   timeshare                      N apps timesharing 4 cores (sat-sched)
 //!   fleet                          fork/timeshare/reap fleets to 4096 apps
+//!   serve                          bursty request serving, stock vs shared
 //!   all                            everything, in paper order
 //! ```
 //!
@@ -48,7 +50,11 @@
 //! trace into tick windows — per-window fork/fault/flush-IPI rates
 //! plus per-gauge min/max/high-water — and `--experiment <name>`
 //! slices either verb to one experiment's `exp.<name>` bracket.
-//! `repro diff` compares two snapshots and exits non-zero on
+//! `repro tails` rebuilds per-request critical paths from the
+//! `Flow*`/`CycleCharge` stream of a traced serve run and prints the
+//! `--top K` slowest requests with their blame broken down by cause
+//! (exact on lossless traces: every request's charges sum to its
+//! wall). `repro diff` compares two snapshots and exits non-zero on
 //! above-threshold regressions (wall time, counters, and gauge
 //! high-water marks) — the perf gate the verify skill runs against
 //! the committed `BENCH_baseline.json`.
@@ -59,17 +65,17 @@
 //! are wall-clock and naturally vary).
 //!
 //! Besides the tables on stdout, every run writes the
-//! `sat-bench/repro-v4` snapshot: per-experiment wall time, scale,
+//! `sat-bench/repro-v5` snapshot: per-experiment wall time, scale,
 //! worker count, sweep cell counts, per-experiment observability
-//! counter deltas and gauge high-water marks, and the run-wide
-//! counter/histogram/gauge registry.
+//! counter deltas, gauge high-water marks, serve latency percentiles,
+//! and the run-wide counter/histogram/gauge registry.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use sat_bench::{
-    ablation, extensions, fleetbench, ipcbench, launchbench, motivation, pool, snapshot,
-    steadybench, timesharebench, zygotebench, Scale,
+    ablation, extensions, fleetbench, ipcbench, launchbench, motivation, pool, servebench,
+    snapshot, steadybench, timesharebench, zygotebench, Scale,
 };
 use sat_obs::json::Json;
 use sat_obs::report::ReportFormat;
@@ -85,6 +91,9 @@ struct Record {
     /// Per-gauge high-water marks over the experiment's sampling
     /// window (empty without `--trace`).
     gauges: std::collections::BTreeMap<String, u64>,
+    /// Request-latency percentiles in simulated cycles (serve cells
+    /// only) — deterministic, so `repro diff` gates the p99 tail.
+    latency: Option<(u64, u64, u64)>,
 }
 
 /// Parsed command line.
@@ -101,6 +110,8 @@ struct Cli {
     window: u64,
     /// Restrict report/timeline to one experiment's bracket.
     experiment: Option<String>,
+    /// Slowest requests `repro tails` breaks down.
+    top: usize,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -113,6 +124,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut threshold_pct = 25.0;
     let mut window = 0u64;
     let mut experiment = None;
+    let mut top = 10usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -156,10 +168,19 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 let name = args.get(i).ok_or("--experiment requires a name")?;
                 experiment = Some(name.clone());
             }
+            "--top" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--top requires a count")?;
+                top = raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|t| *t >= 1)
+                    .ok_or_else(|| format!("bad --top '{raw}' (want an integer >= 1)"))?;
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!(
                     "unknown flag '{flag}' (known: --quick --trace --out --format \
-                     --threshold-pct --window --experiment)"
+                     --threshold-pct --window --experiment --top)"
                 ));
             }
             positional => {
@@ -180,7 +201,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 rest.len()
             ));
         }
-        "diff" | "report" | "timeline" => {}
+        "diff" | "report" | "timeline" | "tails" => {}
         _ if !rest.is_empty() => {
             return Err(format!(
                 "unexpected argument '{}' (command already given: '{cmd}')",
@@ -206,6 +227,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         threshold_pct,
         window,
         experiment,
+        top,
     })
 }
 
@@ -232,7 +254,7 @@ fn main() -> ExitCode {
         };
     }
 
-    if cli.cmd == "report" || cli.cmd == "timeline" {
+    if cli.cmd == "report" || cli.cmd == "timeline" || cli.cmd == "tails" {
         // The trace may arrive as `--trace <path>` or a positional.
         let path = cli
             .trace
@@ -245,10 +267,10 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         };
-        let result = if cli.cmd == "timeline" {
-            timeline(path, cli.window, cli.experiment.as_deref())
-        } else {
-            report(path, cli.format, cli.experiment.as_deref())
+        let result = match cli.cmd.as_str() {
+            "timeline" => timeline(path, cli.window, cli.experiment.as_deref()),
+            "tails" => tails(path, cli.top, cli.experiment.as_deref()),
+            _ => report(path, cli.format, cli.experiment.as_deref()),
         };
         return match result {
             Ok(text) => {
@@ -376,6 +398,7 @@ fn timed(
         cells,
         events,
         gauges,
+        latency: None,
     });
     Ok(out)
 }
@@ -395,6 +418,28 @@ fn scalability_cells(scale: Scale) -> usize {
 
 fn timeshare_cells(scale: Scale) -> usize {
     3 * timesharebench::timeshare_counts(scale).len()
+}
+
+/// Runs both serve kernels as separate timed records (static names:
+/// `repro diff` gates each kernel's p99 tail on its own), then the
+/// cross-kernel summary line.
+fn run_serve_pair(records: &mut Vec<Record>, scale: Scale) -> Fallible {
+    let mut s = String::new();
+    let mut reports = Vec::new();
+    for (name, label, config) in servebench::serve_kernels() {
+        let cells = servebench::serve_counts(scale).len();
+        let mut rep = None;
+        s.push_str(&timed(records, name, cells, || {
+            let (text, r) = servebench::serve_kernel(scale, label, config)?;
+            rep = Some(r);
+            Ok(text)
+        })?);
+        let r = rep.expect("serve_kernel returns a report on success");
+        records.last_mut().expect("timed pushed a record").latency = Some((r.p50, r.p95, r.p99));
+        reports.push(r);
+    }
+    s.push_str(&servebench::serve_summary(scale, &reports[0], &reports[1]));
+    Ok(s)
 }
 
 /// Runs every fleet size of the scale's grid, one timed record per N
@@ -446,6 +491,7 @@ fn run(cmd: &str, scale: Scale, records: &mut Vec<Record>) -> Fallible {
             Ok(timesharebench::timeshare(scale)?)
         })?,
         "fleet" => run_fleet_grid(r, scale)?,
+        "serve" => run_serve_pair(r, scale)?,
         "all" => {
             let mut s = String::new();
             s.push_str(&format!(
@@ -479,13 +525,14 @@ fn run(cmd: &str, scale: Scale, records: &mut Vec<Record>) -> Fallible {
                 Ok(timesharebench::timeshare(scale)?)
             })?);
             s.push_str(&run_fleet_grid(r, scale)?);
+            s.push_str(&run_serve_pair(r, scale)?);
             s
         }
         other => {
             return Err(format!(
                 "unknown experiment '{other}' (try: table1 fig2 fig3 table2 fig4 latfault \
                  table3 table4 launch steady fig13 ablations scalability largepages \
-                 grouped pollution smaps extensions timeshare fleet all)"
+                 grouped pollution smaps extensions timeshare fleet serve all)"
             )
             .into())
         }
@@ -517,9 +564,15 @@ fn render_json(
     s.push_str("  \"experiments\": [\n");
     for (i, rec) in records.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"cells\": {}, \"events\": {{",
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"cells\": {}, ",
             rec.name, rec.wall_ms, rec.cells,
         ));
+        if let Some((p50, p95, p99)) = rec.latency {
+            s.push_str(&format!(
+                "\"latency\": {{\"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}}}, "
+            ));
+        }
+        s.push_str("\"events\": {");
         for (j, (key, v)) in rec.events.iter().enumerate() {
             s.push_str(&format!(
                 "\"{key}\": {v}{}",
@@ -591,6 +644,56 @@ fn timeline(trace_path: &str, window: u64, experiment: Option<&str>) -> Fallible
     let rollup = sat_obs::analyze::Rollup::from_events(&events, dropped);
     let tl = sat_obs::analyze::Timeline::from_events(&events, window)?;
     Ok(sat_obs::report::render_timeline(&rollup, &tl))
+}
+
+/// Re-ingests a trace and renders per-request tail blame. Defaults to
+/// the serve experiments' `exp.serve_*` brackets when present (each
+/// gets its own section); `--experiment` narrows to one bracket, and a
+/// trace with flows but no brackets is read whole.
+fn tails(trace_path: &str, top: usize, experiment: Option<&str>) -> Fallible {
+    let (all_events, dropped) = load_trace(trace_path, None)?;
+    let slices: Vec<(String, Vec<sat_obs::Event>)> = match experiment {
+        Some(name) => vec![(
+            name.to_string(),
+            sat_obs::analyze::filter_experiment(&all_events, name)?,
+        )],
+        None => {
+            let mut v = Vec::new();
+            for (name, _, _) in servebench::serve_kernels() {
+                if let Ok(events) = sat_obs::analyze::filter_experiment(&all_events, name) {
+                    v.push((name.to_string(), events));
+                }
+            }
+            if v.is_empty() {
+                v.push(("whole trace".to_string(), all_events));
+            }
+            v
+        }
+    };
+    let mut out = String::new();
+    if dropped > 0 {
+        out.push_str(&format!(
+            "repro tails: warning: {dropped} events were dropped from the ring — \
+             blame attribution is partial\n\n"
+        ));
+    }
+    let mut any = false;
+    for (label, events) in &slices {
+        let table = sat_obs::analyze::FlowTable::from_events(events);
+        if table.completed() == 0 && table.charges == 0 {
+            continue;
+        }
+        any = true;
+        out.push_str(&sat_obs::report::render_tails(label, &table, top));
+        out.push('\n');
+    }
+    if !any {
+        return Err(
+            "no flow events in this trace (produce one with: repro serve --quick --trace <path>)"
+                .into(),
+        );
+    }
+    Ok(out)
 }
 
 /// Loads and compares two snapshots (see `sat_bench::snapshot::diff`).

@@ -17,6 +17,7 @@ pub mod launchbench;
 pub mod motivation;
 pub mod pool;
 pub mod render;
+pub mod servebench;
 pub mod snapshot;
 pub mod steadybench;
 pub mod timesharebench;

@@ -20,17 +20,20 @@ use sat_obs::json::Json;
 /// History: `repro-v1` carried command/scale/threads/experiments/
 /// total_wall_ms; `repro-v2` added per-experiment `"events"` counter
 /// deltas and the run-wide `"obs"` section; `repro-v3` added `"p50"`/
-/// `"p95"` summaries to every exported histogram; `repro-v4` adds
+/// `"p95"` summaries to every exported histogram; `repro-v4` added
 /// `"p99"`, per-experiment `"gauges"` high-water marks, and the
-/// run-wide `"gauges"` section.
-pub const SCHEMA: &str = "sat-bench/repro-v4";
+/// run-wide `"gauges"` section; `repro-v5` adds per-experiment
+/// `"latency"` request percentiles (serve cells) — in simulated
+/// cycles, deterministic, and gated by the diff like wall times.
+pub const SCHEMA: &str = "sat-bench/repro-v5";
 
 /// Schemas `repro diff` can compare (the diff reads only fields that
-/// exist since v2; gauge gating engages from v4).
-const DIFFABLE_SCHEMAS: [&str; 3] = [
+/// exist since v2; gauge gating engages from v4, latency from v5).
+const DIFFABLE_SCHEMAS: [&str; 4] = [
     "sat-bench/repro-v2",
     "sat-bench/repro-v3",
     "sat-bench/repro-v4",
+    "sat-bench/repro-v5",
 ];
 
 /// Subsystems `repro all --trace` must cover for the trace to count as
@@ -41,6 +44,13 @@ pub const REQUIRED_SUBSYSTEMS: [&str; 5] = ["kernel", "share", "vm-fault", "tlb"
 /// fork/timeshare/reap through the scheduler and never walks the
 /// app-launch sequence, so no `android` events are expected.
 pub const FLEET_REQUIRED_SUBSYSTEMS: [&str; 5] = ["kernel", "share", "tlb", "sched", "bench"];
+
+/// Coverage floor for a `repro serve --trace` run: request flows
+/// arrive through the scheduler (`sched`), every charge site is
+/// machine-level (`sim`), and the servers boot from the zygote
+/// (`android`, `kernel`, `share`, `tlb`).
+pub const SERVE_REQUIRED_SUBSYSTEMS: [&str; 6] =
+    ["kernel", "share", "tlb", "sched", "sim", "android"];
 
 /// Experiments whose wall time is too small to gate on: below this
 /// floor, scheduler noise dominates and a 25% swing means nothing.
@@ -54,6 +64,12 @@ const COUNTER_FLOOR: u64 = 100;
 /// gate: a tiny occupancy doubling is noise, a big one is a leak.
 const GAUGE_FLOOR: u64 = 64;
 
+/// Latency percentiles below this many cycles (in both snapshots)
+/// never gate. Request walls are deterministic, but a sub-floor
+/// percentile swinging past the threshold is a few kernel lines, not
+/// a tail regression.
+const LATENCY_FLOOR_CYCLES: u64 = 10_000;
+
 /// One parsed experiment record.
 #[derive(Clone, Debug, Default)]
 pub struct Experiment {
@@ -62,6 +78,9 @@ pub struct Experiment {
     /// Per-gauge high-water marks over the experiment's sampling
     /// window (v4 traced runs; empty otherwise).
     pub gauges: BTreeMap<String, u64>,
+    /// Request-latency percentiles `(p50, p95, p99)` in simulated
+    /// cycles (v5 serve cells; absent otherwise).
+    pub latency: Option<(u64, u64, u64)>,
 }
 
 /// The parts of a snapshot the diff compares.
@@ -107,12 +126,20 @@ impl Snapshot {
                     }
                 }
             }
+            let latency = exp.get("latency").and_then(|l| {
+                Some((
+                    l.get("p50").and_then(Json::as_u64)?,
+                    l.get("p95").and_then(Json::as_u64)?,
+                    l.get("p99").and_then(Json::as_u64)?,
+                ))
+            });
             experiments.insert(
                 name.to_string(),
                 Experiment {
                     wall_ms: exp.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
                     cells: exp.get("cells").and_then(Json::as_u64).unwrap_or(0),
                     gauges,
+                    latency,
                 },
             );
         }
@@ -294,6 +321,26 @@ pub fn diff(old: &Snapshot, new: &Snapshot, threshold_pct: f64) -> DiffReport {
                 report.lines.push((DiffClass::Improvement, line));
             }
         }
+        // Serve latency percentiles are deterministic simulated
+        // cycles: an above-threshold p99 (or p95/p50) growth means the
+        // critical path of the tail actually got longer.
+        if let (Some(old_lat), Some(new_lat)) = (old_exp.latency, new_exp.latency) {
+            let olds = [old_lat.0, old_lat.1, old_lat.2];
+            let news = [new_lat.0, new_lat.1, new_lat.2];
+            for (pname, (o, n)) in ["p50", "p95", "p99"].iter().zip(olds.into_iter().zip(news)) {
+                report.compared += 1;
+                if o.max(n) < LATENCY_FLOOR_CYCLES {
+                    continue;
+                }
+                let change = pct_change(o as f64, n as f64);
+                let line = format!("{name}.latency {pname}: {o} -> {n} cycles ({change:+.1}%)");
+                if change > threshold_pct {
+                    report.lines.push((DiffClass::Regression, line));
+                } else if change < -threshold_pct {
+                    report.lines.push((DiffClass::Improvement, line));
+                }
+            }
+        }
     }
     for name in new.experiments.keys() {
         if !old.experiments.contains_key(name) {
@@ -412,12 +459,27 @@ pub fn check(trace: Option<&str>, out: &str) -> Result<String, String> {
         } else {
             "span pairing skipped (ring overflow)"
         };
+        // A lossy ring under a charge-carrying trace means blame can
+        // no longer be reconstructed exactly: some `CycleCharge`
+        // events are gone, so per-request sums understate their walls.
+        let has_charges = parsed
+            .events
+            .iter()
+            .any(|e| matches!(e.payload, sat_obs::Payload::CycleCharge { .. }));
+        if parsed.dropped > 0 && has_charges {
+            let _ = writeln!(
+                report,
+                "repro check: warning: blame attribution is partial ({} events dropped \
+                 from a stream carrying cycle charges; raise SAT_OBS_RING for exact tails)",
+                parsed.dropped
+            );
+        }
         let cats: std::collections::BTreeSet<&str> =
             parsed.events.iter().map(|e| e.subsystem.as_str()).collect();
-        let required: &[&str] = if command == "fleet" {
-            &FLEET_REQUIRED_SUBSYSTEMS
-        } else {
-            &REQUIRED_SUBSYSTEMS
+        let required: &[&str] = match command.as_str() {
+            "fleet" => &FLEET_REQUIRED_SUBSYSTEMS,
+            "serve" => &SERVE_REQUIRED_SUBSYSTEMS,
+            _ => &REQUIRED_SUBSYSTEMS,
         };
         let missing: Vec<&str> = required
             .iter()
@@ -643,6 +705,51 @@ mod tests {
             .lines
             .iter()
             .any(|(c, _)| *c == DiffClass::Improvement));
+    }
+
+    #[test]
+    fn doctored_serve_p99_regresses_and_sub_floor_latency_never_gates() {
+        let v5 = |p99: u64, p50: u64| -> Snapshot {
+            parse(&format!(
+                r#"{{
+  "schema": "sat-bench/repro-v5",
+  "command": "serve",
+  "scale": "quick",
+  "threads": 4,
+  "experiments": [
+    {{"name": "serve_shared", "wall_ms": 100.000, "cells": 1,
+      "latency": {{"p50": {p50}, "p95": 90000, "p99": {p99}}}, "events": {{}}, "gauges": {{}}}}
+  ],
+  "total_wall_ms": 100.000,
+  "obs": {{"enabled": false, "dropped_events": 0, "counters": {{}}, "histograms": {{}}}}
+}}
+"#
+            ))
+        };
+        let old = v5(120_000, 500);
+        assert_eq!(
+            old.experiments["serve_shared"].latency,
+            Some((500, 90_000, 120_000))
+        );
+
+        // A +50% p99 tail fails the 25% gate on its own.
+        let report = diff(&old, &v5(180_000, 500), 25.0);
+        assert_eq!(report.regressions(), 1, "{:?}", report.lines);
+        assert!(report.lines.iter().any(|(c, l)| *c == DiffClass::Regression
+            && l.contains("serve_shared.latency p99")
+            && l.contains("120000 -> 180000")));
+
+        // A sub-floor p50 doubling (500 -> 1000 cycles) is noise.
+        let report = diff(&old, &v5(120_000, 1000), 25.0);
+        assert_eq!(report.regressions(), 0, "{:?}", report.lines);
+
+        // A shrinking tail is an improvement, not a failure.
+        let report = diff(&old, &v5(60_000, 500), 25.0);
+        assert_eq!(report.regressions(), 0, "{:?}", report.lines);
+        assert!(report
+            .lines
+            .iter()
+            .any(|(c, l)| *c == DiffClass::Improvement && l.contains("p99")));
     }
 
     #[test]

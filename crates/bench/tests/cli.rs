@@ -129,7 +129,7 @@ fn write_snapshot(name: &str, launch_wall_ms: f64, total_wall_ms: f64) -> PathBu
         &path,
         format!(
             r#"{{
-  "schema": "sat-bench/repro-v4",
+  "schema": "sat-bench/repro-v5",
   "command": "all",
   "scale": "quick",
   "threads": 2,
@@ -350,6 +350,152 @@ fn malformed_threshold_pct_exits_nonzero_with_a_message() {
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("requires a number"), "{stderr}");
+}
+
+/// Runs `repro serve --quick` with a trace, returning stdout and the
+/// artifact paths.
+fn run_serve_traced(tag: &str, ring: &str) -> (String, PathBuf, PathBuf) {
+    let trace = tmp(&format!("serve-trace-{tag}.json"));
+    let snap = tmp(&format!("serve-snap-{tag}.json"));
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "serve",
+            "--quick",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--out",
+            snap.to_str().unwrap(),
+        ])
+        .env("SAT_OBS_RING", ring)
+        .output()
+        .expect("repro binary runs");
+    assert!(
+        out.status.success(),
+        "repro serve --quick failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        trace,
+        snap,
+    )
+}
+
+/// The serve workload is seeded and cycle-clocked: repeated runs must
+/// be byte-identical, and the snapshot must carry the latency
+/// percentiles `repro diff` gates on.
+#[test]
+fn serve_is_deterministic_and_snapshots_latency() {
+    let run = |out_name: &str| -> String {
+        let out_path = tmp(out_name);
+        let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(["serve", "--quick", "--out", out_path.to_str().unwrap()])
+            .output()
+            .expect("repro binary runs");
+        assert!(
+            out.status.success(),
+            "repro serve --quick failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("utf-8 stdout")
+    };
+    let first = run("serve-a.json");
+    let second = run("serve-b.json");
+    assert!(first.contains("serving bursty requests"), "{first}");
+    assert!(first.contains("p99"), "{first}");
+    assert_eq!(first, second, "repeated serve run changed the table");
+
+    let snap = std::fs::read_to_string(tmp("serve-a.json")).unwrap();
+    assert!(
+        snap.contains("\"schema\": \"sat-bench/repro-v5\""),
+        "{snap}"
+    );
+    assert!(snap.contains("\"name\": \"serve_stock\""), "{snap}");
+    assert!(snap.contains("\"name\": \"serve_shared\""), "{snap}");
+    assert!(snap.contains("\"latency\": {\"p50\":"), "{snap}");
+}
+
+/// A losslessly traced serve run reconciles exactly, and `repro tails`
+/// honors `--top K`.
+#[test]
+fn tails_breaks_down_slowest_requests_from_a_serve_trace() {
+    let (_, trace, snap) = run_serve_traced("tails", "2097152");
+    let path = trace.to_str().unwrap();
+
+    let out = repro(&["check", "--trace", path, "--out", snap.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 dropped"), "{stdout}");
+    assert!(
+        !stdout.contains("blame attribution is partial"),
+        "lossless trace must not warn: {stdout}"
+    );
+
+    let out = repro(&["tails", path, "--top", "2"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("serve_stock"), "{text}");
+    assert!(text.contains("serve_shared"), "{text}");
+    assert!(text.contains("attribution exact"), "{text}");
+    assert!(text.contains("Top 2 slowest requests"), "{text}");
+    assert!(text.contains("runq_wait"), "{text}");
+
+    // --experiment narrows to one bracket.
+    let out = repro(&["tails", path, "--experiment", "serve_shared"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("serve_shared"), "{text}");
+    assert!(!text.contains("serve_stock"), "{text}");
+
+    // No trace, bad --top, unknown flag: errors, not panics.
+    let out = repro(&["tails"]);
+    assert!(!out.status.success(), "tails without a trace must fail");
+    let out = repro(&["tails", path, "--top", "0"]);
+    assert!(!out.status.success(), "--top 0 must be rejected");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad --top"), "{stderr}");
+    let out = repro(&["serve", "--quick", "--bogus"]);
+    assert!(!out.status.success(), "unknown flags must be rejected");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag '--bogus'"), "{stderr}");
+    assert!(stderr.contains("--top"), "{stderr}");
+
+    // A flow-free trace is an error for tails.
+    let plain = write_trace("tails-no-flows.json", None);
+    let out = repro(&["tails", plain.to_str().unwrap()]);
+    assert!(!out.status.success(), "flow-free trace must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no flow events"), "{stderr}");
+}
+
+/// An overflowing ring under a charge-carrying trace makes `repro
+/// check` warn that blame attribution is partial (and still pass —
+/// the stream itself is valid).
+#[test]
+fn check_warns_on_partial_blame_attribution() {
+    let (_, trace, snap) = run_serve_traced("partial", "65536");
+    let out = repro(&[
+        "check",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--out",
+        snap.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("blame attribution is partial"), "{stdout}");
 }
 
 /// The sat-sched experiment is a pure function of its seed: the same

@@ -16,7 +16,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use crate::event::{Event, Payload, SpanUnit, UnshareCause};
+use crate::event::{ChargeCause, Event, Payload, SpanUnit, UnshareCause};
 use crate::metrics::{Histogram, MetricsRegistry};
 
 /// Simulated page size (bytes). The simulator targets ARMv7's 4KB
@@ -141,6 +141,15 @@ pub struct Rollup {
     pub batch_escalated: u64,
     /// Scheduler timeslice preemptions.
     pub preemptions: u64,
+    /// Cycle-charge volume per blame cause (flow 0 included — the
+    /// unattributed bucket).
+    pub charge_causes: BTreeMap<&'static str, u64>,
+    /// `CycleCharge` events in the stream.
+    pub charges: u64,
+    /// Request-flow lifecycle counts.
+    pub flow_arrivals: u64,
+    pub flow_begins: u64,
+    pub flow_ends: u64,
     /// Gauge sample points in the stream.
     pub samples: u64,
     /// Per-gauge time-series summaries (first/last/min/max over the
@@ -213,6 +222,13 @@ impl Rollup {
                     r.batch_escalated += escalated;
                 }
                 Payload::Preempt { .. } => r.preemptions += 1,
+                Payload::CycleCharge { cause, cycles, .. } => {
+                    r.charges += 1;
+                    *r.charge_causes.entry(cause.as_str()).or_default() += cycles;
+                }
+                Payload::FlowArrive { .. } => r.flow_arrivals += 1,
+                Payload::FlowBegin { .. } => r.flow_begins += 1,
+                Payload::FlowEnd { .. } => r.flow_ends += 1,
                 Payload::Sample { gauge, value } => {
                     r.samples += 1;
                     r.gauges.entry(gauge.clone()).or_default().observe(*value);
@@ -504,6 +520,213 @@ impl Timeline {
             total.samples += row.samples;
         }
         total
+    }
+}
+
+const CAUSES: usize = ChargeCause::ALL.len();
+
+/// Exact nearest-rank percentile over an ascending-sorted slice.
+/// Unlike [`Histogram::percentile`]'s log2-bucket upper bounds, this
+/// is exact — tail blame needs the real request, not a bucket edge.
+pub fn nearest_rank(sorted: &[u64], p: f64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// One request flow reconstructed from the stream: its lifecycle
+/// events plus every cycle charged against it, split by cause.
+#[derive(Clone, Debug)]
+pub struct FlowRecord {
+    pub flow: u32,
+    /// The serving pid (stamped on the flow's `FlowBegin`).
+    pub pid: u32,
+    pub arrived: bool,
+    pub began: bool,
+    /// Wall ticks (completion − arrival on the serving core's cycle
+    /// clock) from the `FlowEnd` event; `None` while in flight.
+    pub wall: Option<u64>,
+    /// Charged cycles per cause, in [`ChargeCause::ALL`] order.
+    by_cause: [u64; CAUSES],
+}
+
+impl FlowRecord {
+    pub fn cycles(&self, cause: ChargeCause) -> u64 {
+        self.by_cause[cause as usize]
+    }
+
+    /// Every cycle charged to this flow, all causes.
+    pub fn attributed(&self) -> u64 {
+        self.by_cause.iter().sum()
+    }
+}
+
+/// Per-request critical paths rebuilt from `Flow*`/`CycleCharge`
+/// events — what `repro tails` renders and the reconciliation
+/// invariant is asserted on. Only meaningful on lossless streams: a
+/// dropped charge silently shifts blame, which is why `repro check`
+/// warns when a trace carries charges *and* drops.
+#[derive(Clone, Debug, Default)]
+pub struct FlowTable {
+    /// Flows seen, ascending id (flow 0 — the unattributed bucket —
+    /// is kept out and accumulated separately).
+    pub flows: Vec<FlowRecord>,
+    /// Cycles charged while no request was active, per cause.
+    unattributed: [u64; CAUSES],
+    /// `CycleCharge` events consumed.
+    pub charges: u64,
+}
+
+impl FlowTable {
+    pub fn from_events(events: &[Event]) -> FlowTable {
+        let mut by_flow: BTreeMap<u32, FlowRecord> = BTreeMap::new();
+        let mut t = FlowTable::default();
+        fn record(by_flow: &mut BTreeMap<u32, FlowRecord>, flow: u32) -> &mut FlowRecord {
+            by_flow.entry(flow).or_insert(FlowRecord {
+                flow,
+                pid: 0,
+                arrived: false,
+                began: false,
+                wall: None,
+                by_cause: [0; CAUSES],
+            })
+        }
+        for event in events {
+            match &event.payload {
+                Payload::CycleCharge {
+                    flow,
+                    cause,
+                    cycles,
+                } => {
+                    t.charges += 1;
+                    if *flow == 0 {
+                        t.unattributed[*cause as usize] += cycles;
+                    } else {
+                        record(&mut by_flow, *flow).by_cause[*cause as usize] += cycles;
+                    }
+                }
+                Payload::FlowArrive { flow } if *flow != 0 => {
+                    record(&mut by_flow, *flow).arrived = true
+                }
+                Payload::FlowBegin { flow } if *flow != 0 => {
+                    let r = record(&mut by_flow, *flow);
+                    r.began = true;
+                    r.pid = event.pid;
+                }
+                Payload::FlowEnd { flow, wall } if *flow != 0 => {
+                    record(&mut by_flow, *flow).wall = Some(*wall);
+                }
+                _ => {}
+            }
+        }
+        t.flows = by_flow.into_values().collect();
+        t
+    }
+
+    /// Cycles charged to no flow under `cause`.
+    pub fn unattributed(&self, cause: ChargeCause) -> u64 {
+        self.unattributed[cause as usize]
+    }
+
+    /// Whole-stream charge volume under `cause` (attributed +
+    /// unattributed) — the side that reconciles against
+    /// `TlbStats`/`KernelStats`.
+    pub fn total(&self, cause: ChargeCause) -> u64 {
+        self.unattributed[cause as usize]
+            + self
+                .flows
+                .iter()
+                .map(|f| f.by_cause[cause as usize])
+                .sum::<u64>()
+    }
+
+    /// Completed requests (a `FlowEnd` was seen).
+    pub fn completed(&self) -> usize {
+        self.flows.iter().filter(|f| f.wall.is_some()).count()
+    }
+
+    /// The house invariant, asserted exactly (no tolerance): every
+    /// completed request's attributed cycles — execution charges plus
+    /// the run-queue wait that fills its preempted gaps — sum to its
+    /// measured wall ticks. Returns how many flows reconciled; any
+    /// residue on a lossless stream is a missed or double charge site.
+    pub fn reconcile(&self) -> Result<u64, String> {
+        let mut checked = 0;
+        for f in &self.flows {
+            let Some(wall) = f.wall else { continue };
+            if !f.began {
+                return Err(format!("flow {}: ended without beginning", f.flow));
+            }
+            let attributed = f.attributed();
+            if attributed != wall {
+                let breakdown: Vec<String> = ChargeCause::ALL
+                    .into_iter()
+                    .filter(|c| f.cycles(*c) > 0)
+                    .map(|c| format!("{}={}", c.as_str(), f.cycles(c)))
+                    .collect();
+                return Err(format!(
+                    "flow {} (pid {}): attributed {} != wall {} (residue {}; {})",
+                    f.flow,
+                    f.pid,
+                    attributed,
+                    wall,
+                    wall as i64 - attributed as i64,
+                    breakdown.join(" ")
+                ));
+            }
+            checked += 1;
+        }
+        Ok(checked)
+    }
+
+    fn sorted_walls(&self) -> Vec<u64> {
+        let mut walls: Vec<u64> = self.flows.iter().filter_map(|f| f.wall).collect();
+        walls.sort_unstable();
+        walls
+    }
+
+    /// Exact (p50, p95, p99) request latency, nearest-rank over the
+    /// completed requests' walls. `None` when nothing completed.
+    pub fn percentiles(&self) -> Option<(u64, u64, u64)> {
+        let walls = self.sorted_walls();
+        if walls.is_empty() {
+            return None;
+        }
+        Some((
+            nearest_rank(&walls, 50.0),
+            nearest_rank(&walls, 95.0),
+            nearest_rank(&walls, 99.0),
+        ))
+    }
+
+    /// Exact (p50, p95, p99) of per-request cycles charged under
+    /// `cause`, over completed requests — which causes are background
+    /// hum versus tail-makers.
+    pub fn cause_percentiles(&self, cause: ChargeCause) -> Option<(u64, u64, u64)> {
+        let mut v: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|f| f.wall.is_some())
+            .map(|f| f.cycles(cause))
+            .collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_unstable();
+        Some((
+            nearest_rank(&v, 50.0),
+            nearest_rank(&v, 95.0),
+            nearest_rank(&v, 99.0),
+        ))
+    }
+
+    /// The `k` slowest completed requests, worst first (ties broken by
+    /// ascending flow id for stable output).
+    pub fn slowest(&self, k: usize) -> Vec<&FlowRecord> {
+        let mut done: Vec<&FlowRecord> = self.flows.iter().filter(|f| f.wall.is_some()).collect();
+        done.sort_by(|a, b| b.wall.cmp(&a.wall).then(a.flow.cmp(&b.flow)));
+        done.truncate(k);
+        done
     }
 }
 
@@ -996,6 +1219,105 @@ mod tests {
         assert!(err.contains("launch, steady"), "{err}");
         let err = filter_experiment(&[fault(0, 1)], "launch").unwrap_err();
         assert!(err.contains("no exp.* brackets"), "{err}");
+    }
+
+    fn charge(tick: u64, flow: u32, cause: ChargeCause, cycles: u64) -> Event {
+        ev(
+            tick,
+            0,
+            0,
+            Subsystem::Sim,
+            Payload::CycleCharge {
+                flow,
+                cause,
+                cycles,
+            },
+        )
+    }
+
+    fn flow_end(tick: u64, pid: u32, flow: u32, wall: u64) -> Event {
+        ev(
+            tick,
+            pid,
+            pid as u8,
+            Subsystem::Sched,
+            Payload::FlowEnd { flow, wall },
+        )
+    }
+
+    #[test]
+    fn flow_table_reconciles_exact_walls_and_splits_unattributed() {
+        let events = vec![
+            ev(0, 5, 5, Subsystem::Sched, Payload::FlowArrive { flow: 1 }),
+            ev(1, 5, 5, Subsystem::Sched, Payload::FlowBegin { flow: 1 }),
+            charge(2, 1, ChargeCause::RunqWait, 100),
+            charge(3, 1, ChargeCause::Exec, 50),
+            charge(4, 0, ChargeCause::Ipi, 2000), // idle-core IPI: nobody's fault
+            charge(5, 1, ChargeCause::TlbStall, 10),
+            flow_end(6, 5, 1, 160),
+        ];
+        let t = FlowTable::from_events(&events);
+        assert_eq!(t.flows.len(), 1);
+        assert_eq!(t.completed(), 1);
+        assert_eq!(t.reconcile(), Ok(1));
+        let f = &t.flows[0];
+        assert_eq!((f.flow, f.pid, f.wall), (1, 5, Some(160)));
+        assert_eq!(f.cycles(ChargeCause::RunqWait), 100);
+        assert_eq!(f.attributed(), 160);
+        assert_eq!(t.unattributed(ChargeCause::Ipi), 2000);
+        assert_eq!(t.total(ChargeCause::Ipi), 2000);
+        assert_eq!(t.total(ChargeCause::Exec), 50);
+        // The rollup sees the same per-cause volume.
+        let r = Rollup::from_events(&events, 0);
+        assert_eq!(r.charge_causes["ipi"], 2000);
+        assert_eq!(r.charges, 4);
+        assert_eq!((r.flow_arrivals, r.flow_begins, r.flow_ends), (1, 1, 1));
+        assert_eq!(r.metrics.counter("flow.cycles.exec"), 50);
+        assert_eq!(r.metrics.counter("flow.cycles.unattributed"), 2000);
+    }
+
+    #[test]
+    fn flow_table_reports_residue_with_breakdown() {
+        let events = vec![
+            ev(0, 7, 7, Subsystem::Sched, Payload::FlowBegin { flow: 2 }),
+            charge(1, 2, ChargeCause::Exec, 30),
+            flow_end(2, 7, 2, 40),
+        ];
+        let err = FlowTable::from_events(&events).reconcile().unwrap_err();
+        assert!(err.contains("attributed 30 != wall 40"), "{err}");
+        assert!(err.contains("residue 10"), "{err}");
+        assert!(err.contains("exec=30"), "{err}");
+    }
+
+    #[test]
+    fn flow_table_percentiles_are_exact_and_slowest_ranks_worst_first() {
+        let mut events = Vec::new();
+        for i in 1..=100u32 {
+            events.push(ev(
+                u64::from(i) * 3,
+                i,
+                i as u8,
+                Subsystem::Sched,
+                Payload::FlowBegin { flow: i },
+            ));
+            events.push(charge(
+                u64::from(i) * 3 + 1,
+                i,
+                ChargeCause::Exec,
+                u64::from(i),
+            ));
+            events.push(flow_end(u64::from(i) * 3 + 2, i, i, u64::from(i)));
+        }
+        let t = FlowTable::from_events(&events);
+        assert_eq!(t.reconcile(), Ok(100));
+        // Nearest-rank over 1..=100 is exact, not a bucket bound.
+        assert_eq!(t.percentiles(), Some((50, 95, 99)));
+        assert_eq!(t.cause_percentiles(ChargeCause::Exec), Some((50, 95, 99)));
+        assert_eq!(t.cause_percentiles(ChargeCause::Fault), Some((0, 0, 0)));
+        let top: Vec<u32> = t.slowest(3).iter().map(|f| f.flow).collect();
+        assert_eq!(top, vec![100, 99, 98]);
+        // An empty table has no percentiles.
+        assert_eq!(FlowTable::default().percentiles(), None);
     }
 
     #[test]

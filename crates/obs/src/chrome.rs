@@ -149,6 +149,22 @@ fn args_json(payload: &Payload) -> String {
             push_kv_num(&mut o, "value", *value, false);
             push_kv_str(&mut o, "unit", unit.as_str(), true);
         }
+        Payload::CycleCharge {
+            flow,
+            cause,
+            cycles,
+        } => {
+            push_kv_num(&mut o, "flow", u64::from(*flow), false);
+            push_kv_str(&mut o, "cause", cause.as_str(), true);
+            push_kv_num(&mut o, "cycles", *cycles, true);
+        }
+        Payload::FlowArrive { flow } | Payload::FlowBegin { flow } => {
+            push_kv_num(&mut o, "flow", u64::from(*flow), false);
+        }
+        Payload::FlowEnd { flow, wall } => {
+            push_kv_num(&mut o, "flow", u64::from(*flow), false);
+            push_kv_num(&mut o, "wall", *wall, true);
+        }
     }
     o.push('}');
     o
@@ -360,6 +376,25 @@ fn parse_event(obj: &crate::json::Json, index: usize) -> Result<Event, String> {
             "preempt" => Payload::Preempt {
                 core: field_u64(args, "core", &ctx)? as u32,
                 next: field_u64(args, "next", &ctx)? as u32,
+            },
+            "cycle_charge" => {
+                let cause_s = arg_str(args, "cause", &ctx)?;
+                Payload::CycleCharge {
+                    flow: field_u64(args, "flow", &ctx)? as u32,
+                    cause: ChargeCause::parse(cause_s)
+                        .ok_or_else(|| format!("{ctx}: unknown charge cause \"{cause_s}\""))?,
+                    cycles: field_u64(args, "cycles", &ctx)?,
+                }
+            }
+            "flow_arrive" => Payload::FlowArrive {
+                flow: field_u64(args, "flow", &ctx)? as u32,
+            },
+            "flow_begin" => Payload::FlowBegin {
+                flow: field_u64(args, "flow", &ctx)? as u32,
+            },
+            "flow_end" => Payload::FlowEnd {
+                flow: field_u64(args, "flow", &ctx)? as u32,
+                wall: field_u64(args, "wall", &ctx)?,
             },
             op if RegionOpKind::parse(op).is_some() => Payload::RegionOp {
                 op: RegionOpKind::parse(op).unwrap(),

@@ -412,6 +412,94 @@ impl SpanUnit {
     }
 }
 
+/// Why simulated cycles were charged to a request flow. A closed
+/// enum: every point where the machine adds to a core's cycle counter
+/// tags the charge with exactly one cause, so a flow's critical path
+/// decomposes without residue — [`crate::analyze::FlowTable`] asserts
+/// that the per-cause sums reconcile exactly with the request's wall
+/// ticks on lossless streams.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum ChargeCause {
+    /// Useful work: instruction CPI plus cache stalls on hits.
+    Exec,
+    /// Main-TLB miss walk stall (the page tables were walked but no
+    /// fault was taken).
+    TlbStall,
+    /// Page-fault handling: walk, repair, and the handler's kernel
+    /// instruction fetches.
+    Fault,
+    /// ARM domain fault (shared-entry protection check).
+    DomainFault,
+    /// PTP unshare work inside a fault (base cost + per-PTE copies),
+    /// split out of [`ChargeCause::Fault`].
+    Unshare,
+    /// Cross-core shootdown IPI receipt.
+    Ipi,
+    /// Pending ASID-rollover non-global flush.
+    RolloverFlush,
+    /// Context-switch cost (register/TTBR swap + scheduler kernel
+    /// path).
+    ContextSwitch,
+    /// Fork cost (PTP alloc/share, PTE copies, write-protect ops).
+    Fork,
+    /// Run-queue wait: wall ticks a request spent preempted or queued,
+    /// not executing. Charged by `sat-sched`, not the machine — it is
+    /// elapsed time on the core's clock, not cycles the flow consumed.
+    RunqWait,
+}
+
+impl ChargeCause {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ChargeCause::Exec => "exec",
+            ChargeCause::TlbStall => "tlb_stall",
+            ChargeCause::Fault => "fault",
+            ChargeCause::DomainFault => "domain_fault",
+            ChargeCause::Unshare => "unshare",
+            ChargeCause::Ipi => "ipi",
+            ChargeCause::RolloverFlush => "rollover_flush",
+            ChargeCause::ContextSwitch => "context_switch",
+            ChargeCause::Fork => "fork",
+            ChargeCause::RunqWait => "runq_wait",
+        }
+    }
+
+    /// The per-cause charged-cycles accumulator.
+    pub fn counter_key(self) -> &'static str {
+        match self {
+            ChargeCause::Exec => "flow.cycles.exec",
+            ChargeCause::TlbStall => "flow.cycles.tlb_stall",
+            ChargeCause::Fault => "flow.cycles.fault",
+            ChargeCause::DomainFault => "flow.cycles.domain_fault",
+            ChargeCause::Unshare => "flow.cycles.unshare",
+            ChargeCause::Ipi => "flow.cycles.ipi",
+            ChargeCause::RolloverFlush => "flow.cycles.rollover_flush",
+            ChargeCause::ContextSwitch => "flow.cycles.context_switch",
+            ChargeCause::Fork => "flow.cycles.fork",
+            ChargeCause::RunqWait => "flow.cycles.runq_wait",
+        }
+    }
+
+    /// Every cause, in `as_str` order (reporting iterates these).
+    pub const ALL: [ChargeCause; 10] = [
+        ChargeCause::Exec,
+        ChargeCause::TlbStall,
+        ChargeCause::Fault,
+        ChargeCause::DomainFault,
+        ChargeCause::Unshare,
+        ChargeCause::Ipi,
+        ChargeCause::RolloverFlush,
+        ChargeCause::ContextSwitch,
+        ChargeCause::Fork,
+        ChargeCause::RunqWait,
+    ];
+
+    /// Inverse of [`ChargeCause::as_str`] (trace re-ingestion).
+    pub fn parse(s: &str) -> Option<ChargeCause> {
+        ChargeCause::ALL.into_iter().find(|c| c.as_str() == s)
+    }
+}
+
 /// The typed body of an event. Numeric fields are the quantities the
 /// paper's evaluation attributes per cause.
 #[derive(Clone, PartialEq, Debug)]
@@ -506,6 +594,24 @@ pub enum Payload {
         value: u64,
         unit: SpanUnit,
     },
+    /// Simulated cycles charged to a request flow, tagged with the
+    /// cause. `flow` 0 is the unattributed bucket (work done while no
+    /// request was bound to the charging core).
+    CycleCharge {
+        flow: u32,
+        cause: ChargeCause,
+        cycles: u64,
+    },
+    /// A request arrived at its server's queue (open-loop arrival; the
+    /// flow may wait before its first instruction runs).
+    FlowArrive { flow: u32 },
+    /// The flow was bound at binder-request ingress and started
+    /// executing.
+    FlowBegin { flow: u32 },
+    /// The flow's reply left; `wall` is completion minus arrival on
+    /// the serving core's cycle clock — the quantity the per-cause
+    /// charges must reconcile to exactly.
+    FlowEnd { flow: u32, wall: u64 },
 }
 
 impl Payload {
@@ -526,6 +632,10 @@ impl Payload {
             Payload::Preempt { .. } => "preempt",
             Payload::Sample { gauge, .. } => gauge,
             Payload::SpanBegin { name } | Payload::SpanEnd { name, .. } => name,
+            Payload::CycleCharge { .. } => "cycle_charge",
+            Payload::FlowArrive { .. } => "flow_arrive",
+            Payload::FlowBegin { .. } => "flow_begin",
+            Payload::FlowEnd { .. } => "flow_end",
         }
     }
 }

@@ -43,8 +43,8 @@ mod sink;
 
 pub use chrome::{chrome_trace_json, metrics_json, parse_chrome_trace, ParsedTrace};
 pub use event::{
-    Event, FaultClass, FlushReason, FlushScope, Payload, RegionOpKind, SpanUnit, Subsystem,
-    UnshareCause,
+    ChargeCause, Event, FaultClass, FlushReason, FlushScope, Payload, RegionOpKind, SpanUnit,
+    Subsystem, UnshareCause,
 };
 pub use metrics::{Gauge, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use sink::{EventSink, NullSink, Recording, RingSink};
@@ -58,6 +58,19 @@ thread_local! {
     /// check on the disabled path.
     static ENABLED: Cell<bool> = const { Cell::new(false) };
     static FLUSH_REASON: Cell<FlushReason> = const { Cell::new(FlushReason::Unattributed) };
+    /// Scoped default cause for aggregate kernel-path charges (see
+    /// [`with_charge_cause`]).
+    static CHARGE_CAUSE: Cell<ChargeCause> = const { Cell::new(ChargeCause::Exec) };
+    /// Request-flow context: pid → flow binding (survives preemption
+    /// and core migration) and the flow currently executing per core
+    /// (0 = unattributed). Thread-local like the recorder itself.
+    static FLOW_BY_PID: RefCell<BTreeMap<u32, u32>> = const { RefCell::new(BTreeMap::new()) };
+    static FLOW_BY_CORE: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+    /// Whether cycle-charge attribution is on. Off by default even
+    /// with a sink installed: per-access `CycleCharge` events would
+    /// swamp the ring on workloads that never look at flows. The
+    /// serve driver (and flow tests) opt in via [`set_flow_tracing`].
+    static FLOW_TRACING: Cell<bool> = const { Cell::new(false) };
 }
 
 /// Default ring capacity (overridable via `SAT_OBS_RING`).
@@ -117,6 +130,10 @@ pub fn install_sink(sink: Box<dyn EventSink>) {
 pub fn uninstall() -> Option<Recording> {
     ENABLED.with(|e| e.set(false));
     FLUSH_REASON.with(|r| r.set(FlushReason::Unattributed));
+    CHARGE_CAUSE.with(|c| c.set(ChargeCause::Exec));
+    FLOW_BY_PID.with(|m| m.borrow_mut().clear());
+    FLOW_BY_CORE.with(|v| v.borrow_mut().clear());
+    FLOW_TRACING.with(|t| t.set(false));
     SINK.with(|s| s.borrow_mut().take())
         .map(|sink| sink.finish())
 }
@@ -292,6 +309,142 @@ pub fn current_flush_reason() -> FlushReason {
     FLUSH_REASON.with(|r| r.get())
 }
 
+/// Runs `f` with the thread's default charge cause set to `cause`,
+/// restoring the previous cause afterwards. Aggregate kernel-path
+/// charges (e.g. the machine's kernel-line fetch loops) read this so
+/// the path that *issued* the work — context switch, fault handler,
+/// binder ingress — owns the cycles, without signature changes.
+pub fn with_charge_cause<R>(cause: ChargeCause, f: impl FnOnce() -> R) -> R {
+    if !enabled() {
+        return f();
+    }
+    let prev = CHARGE_CAUSE.with(|c| c.replace(cause));
+    let out = f();
+    CHARGE_CAUSE.with(|c| c.set(prev));
+    out
+}
+
+/// The charge cause currently in scope (see [`with_charge_cause`]).
+/// [`ChargeCause::Exec`] when no path claimed the work.
+pub fn current_charge_cause() -> ChargeCause {
+    CHARGE_CAUSE.with(|c| c.get())
+}
+
+/// Turns cycle-charge attribution on or off for this thread. Off (the
+/// default), [`charge`] and the flow-binding calls are no-ops even
+/// with a sink installed, so workloads that never establish flows pay
+/// nothing and emit nothing — per-access `CycleCharge` events would
+/// otherwise swamp the ring on every traced experiment.
+pub fn set_flow_tracing(on: bool) {
+    FLOW_TRACING.with(|t| t.set(on));
+}
+
+/// Whether cycle-charge attribution is on for this thread.
+#[inline]
+pub fn flow_tracing() -> bool {
+    FLOW_TRACING.with(|t| t.get())
+}
+
+/// Binds request `flow` to `pid` and marks it the active flow on
+/// `core`. The per-pid binding survives preemption and core migration:
+/// [`flow_note_scheduled`] re-establishes the core slot whenever the
+/// pid is switched back in, wherever that happens.
+pub fn flow_bind(core: usize, pid: u32, flow: u32) {
+    if !enabled() || !flow_tracing() {
+        return;
+    }
+    FLOW_BY_PID.with(|m| m.borrow_mut().insert(pid, flow));
+    set_core_flow(core, flow);
+}
+
+/// Drops `pid`'s flow binding (request complete) and clears any core
+/// slot still holding its flow.
+pub fn flow_unbind(pid: u32) {
+    if !enabled() || !flow_tracing() {
+        return;
+    }
+    let flow = FLOW_BY_PID.with(|m| m.borrow_mut().remove(&pid));
+    if let Some(flow) = flow {
+        FLOW_BY_CORE.with(|v| {
+            for slot in v.borrow_mut().iter_mut() {
+                if *slot == flow {
+                    *slot = 0;
+                }
+            }
+        });
+    }
+}
+
+/// Notes that `pid` was switched in on `core`: the core's active flow
+/// becomes whatever flow is bound to the pid (0 when none). The
+/// machine's context-switch path calls this, so attribution follows a
+/// request through preemption and migration with no scheduler help.
+pub fn flow_note_scheduled(core: usize, pid: u32) {
+    if !enabled() || !flow_tracing() {
+        return;
+    }
+    let flow = FLOW_BY_PID.with(|m| m.borrow().get(&pid).copied().unwrap_or(0));
+    set_core_flow(core, flow);
+}
+
+/// Clears `core`'s active flow without touching the pid binding: the
+/// request was preempted and left the core. Cycles the core spends
+/// until the next switch-in (driver bookkeeping, fork churn, other
+/// requests) are unattributed or theirs — the preempted request's gap
+/// is covered by the driver's explicit run-queue-wait charge instead,
+/// so nothing is counted twice.
+pub fn flow_park(core: usize) {
+    if !enabled() || !flow_tracing() {
+        return;
+    }
+    set_core_flow(core, 0);
+}
+
+fn set_core_flow(core: usize, flow: u32) {
+    FLOW_BY_CORE.with(|v| {
+        let mut v = v.borrow_mut();
+        if v.len() <= core {
+            v.resize(core + 1, 0);
+        }
+        v[core] = flow;
+    });
+}
+
+/// The flow currently active on `core` (0 = unattributed).
+pub fn active_flow(core: usize) -> u32 {
+    FLOW_BY_CORE.with(|v| v.borrow().get(core).copied().unwrap_or(0))
+}
+
+/// Charges `cycles` to the flow active on `core` under `cause`,
+/// emitting a [`Payload::CycleCharge`]. Flow 0 (no active request) is
+/// recorded too: the unattributed bucket is what lets per-cause global
+/// totals reconcile against `TlbStats`/`KernelStats` even on runs with
+/// no requests in flight. Disabled-path cost is the usual single
+/// thread-local branch; with a sink but [`flow_tracing`] off this is
+/// still a no-op (see [`set_flow_tracing`]).
+pub fn charge(core: usize, cause: ChargeCause, cycles: u64) {
+    if !enabled() || !flow_tracing() || cycles == 0 {
+        return;
+    }
+    let flow = active_flow(core);
+    emit(
+        Subsystem::Sim,
+        0,
+        0,
+        Payload::CycleCharge {
+            flow,
+            cause,
+            cycles,
+        },
+    );
+}
+
+/// [`charge`] under the scoped default cause — the aggregation point
+/// for kernel-line fetch loops.
+pub fn charge_scoped(core: usize, cycles: u64) {
+    charge(core, current_charge_cause(), cycles);
+}
+
 /// Merges a recording harvested on another thread into this thread's
 /// sink (no-op when disabled). Events are re-stamped in order.
 pub fn absorb(rec: Recording) {
@@ -463,5 +616,86 @@ mod tests {
         FLUSH_REASON.with(|r| r.set(FlushReason::Fork));
         uninstall();
         assert_eq!(current_flush_reason(), FlushReason::Unattributed);
+    }
+
+    #[test]
+    fn charge_cause_scopes_nest_and_restore() {
+        install(8);
+        assert_eq!(current_charge_cause(), ChargeCause::Exec);
+        let causes = with_charge_cause(ChargeCause::Fault, || {
+            let outer = current_charge_cause();
+            let inner = with_charge_cause(ChargeCause::Unshare, current_charge_cause);
+            (outer, inner)
+        });
+        assert_eq!(causes, (ChargeCause::Fault, ChargeCause::Unshare));
+        assert_eq!(current_charge_cause(), ChargeCause::Exec);
+        uninstall();
+    }
+
+    #[test]
+    fn flow_binding_follows_pid_through_reschedule() {
+        install(64);
+        set_flow_tracing(true);
+        flow_bind(0, 7, 42);
+        assert_eq!(active_flow(0), 42);
+        // Preemption: another pid (no flow) takes core 0.
+        flow_note_scheduled(0, 9);
+        assert_eq!(active_flow(0), 0);
+        // The request's pid migrates to core 2: the binding follows.
+        flow_note_scheduled(2, 7);
+        assert_eq!(active_flow(2), 42);
+        charge(2, ChargeCause::TlbStall, 8);
+        charge(0, ChargeCause::Ipi, 2000);
+        flow_unbind(7);
+        assert_eq!(active_flow(2), 0);
+        let rec = uninstall().unwrap();
+        let charges: Vec<(u32, ChargeCause, u64)> = rec
+            .events
+            .iter()
+            .filter_map(|e| match e.payload {
+                Payload::CycleCharge {
+                    flow,
+                    cause,
+                    cycles,
+                } => Some((flow, cause, cycles)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            charges,
+            vec![(42, ChargeCause::TlbStall, 8), (0, ChargeCause::Ipi, 2000)]
+        );
+    }
+
+    #[test]
+    fn charges_are_noops_when_disabled_and_zero_is_elided() {
+        assert!(!enabled());
+        flow_bind(0, 1, 5);
+        charge(0, ChargeCause::Exec, 10);
+        assert_eq!(active_flow(0), 0);
+        install(8);
+        // Sink up, but flow tracing not opted into: still silent.
+        charge(0, ChargeCause::Exec, 10);
+        flow_bind(0, 1, 5);
+        assert_eq!(active_flow(0), 0);
+        set_flow_tracing(true);
+        charge(0, ChargeCause::Exec, 0); // zero-cycle charges are noise
+        let rec = uninstall().unwrap();
+        assert!(rec.events.is_empty());
+    }
+
+    #[test]
+    fn uninstall_resets_flow_state() {
+        install(8);
+        set_flow_tracing(true);
+        flow_bind(1, 3, 9);
+        uninstall();
+        assert!(!flow_tracing(), "tracing opt-in must not leak across runs");
+        install(8);
+        set_flow_tracing(true);
+        assert_eq!(active_flow(1), 0);
+        flow_note_scheduled(1, 3);
+        assert_eq!(active_flow(1), 0, "pid binding must not leak across runs");
+        uninstall();
     }
 }

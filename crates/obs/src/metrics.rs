@@ -365,6 +365,23 @@ impl MetricsRegistry {
                     self.record(&format!("span.{}.{name}", other.as_str()), *value);
                 }
             },
+            Payload::CycleCharge {
+                flow,
+                cause,
+                cycles,
+            } => {
+                self.inc("flow.charges", 1);
+                self.inc(cause.counter_key(), *cycles);
+                if *flow == 0 {
+                    self.inc("flow.cycles.unattributed", *cycles);
+                }
+            }
+            Payload::FlowArrive { .. } => self.inc("flow.arrive", 1),
+            Payload::FlowBegin { .. } => self.inc("flow.begin", 1),
+            Payload::FlowEnd { wall, .. } => {
+                self.inc("flow.end", 1);
+                self.record("flow.wall_cycles", *wall);
+            }
         }
     }
 

@@ -126,6 +126,31 @@ pub fn render_text(r: &Rollup) -> String {
         );
     }
 
+    if r.charges > 0 {
+        heading(&mut out, "Cycle charges by blame cause");
+        let total: u64 = r.charge_causes.values().sum();
+        let _ = writeln!(out, "{:<16}  {:>14}  {:>6}", "cause", "cycles", "pct");
+        rule(&mut out, &[16, 14, 6]);
+        for cause in crate::ChargeCause::ALL {
+            let n = r.charge_causes.get(cause.as_str()).copied().unwrap_or(0);
+            if n == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<16}  {:>14}  {:>5.1}%",
+                cause.as_str(),
+                n,
+                100.0 * n as f64 / total.max(1) as f64
+            );
+        }
+        let _ = writeln!(
+            out,
+            "charges: {}; flows arrived/begun/completed: {}/{}/{}",
+            r.charges, r.flow_arrivals, r.flow_begins, r.flow_ends
+        );
+    }
+
     if r.batches > 0 {
         heading(&mut out, "Flush batching (mmu_gather)");
         let _ = writeln!(out, "batches applied:        {}", r.batches);
@@ -334,6 +359,96 @@ fn hist_summary_json(h: &Histogram) -> String {
     )
 }
 
+/// Renders `repro tails` for one experiment slice: the request-latency
+/// distribution per cause, then the `top` slowest requests with their
+/// per-cause blame breakdowns. States up front whether attribution on
+/// this trace is exact (every completed flow's charges summed to its
+/// wall) or partial (lossy ring or foreign charges).
+pub fn render_tails(label: &str, table: &crate::analyze::FlowTable, top: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# repro tails — {label}: {} flows completed, {} charge events",
+        table.completed(),
+        table.charges
+    );
+    match table.reconcile() {
+        Ok(n) => {
+            let _ = writeln!(
+                out,
+                "attribution exact: {n} flows reconcile (charges == wall)"
+            );
+        }
+        Err(e) => {
+            let first = e.lines().next().unwrap_or("unreconciled");
+            let _ = writeln!(out, "attribution partial: {first}");
+        }
+    }
+    let Some((p50, p95, p99)) = table.percentiles() else {
+        let _ = writeln!(out, "\n(no completed flows in this slice)");
+        return out;
+    };
+    let _ = writeln!(out, "request wall p50/p95/p99: {p50}/{p95}/{p99} cycles");
+
+    heading(&mut out, "Latency percentiles by blame cause");
+    let _ = writeln!(
+        out,
+        "{:<16}  {:>12}  {:>12}  {:>12}  {:>14}",
+        "cause", "p50", "p95", "p99", "total cycles"
+    );
+    rule(&mut out, &[16, 12, 12, 12, 14]);
+    for cause in crate::ChargeCause::ALL {
+        let Some((c50, c95, c99)) = table.cause_percentiles(cause) else {
+            continue;
+        };
+        let total = table.total(cause);
+        if total == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{:<16}  {:>12}  {:>12}  {:>12}  {:>14}",
+            cause.as_str(),
+            c50,
+            c95,
+            c99,
+            total
+        );
+    }
+
+    heading(
+        &mut out,
+        &format!("Top {top} slowest requests, blame attributed"),
+    );
+    for f in table.slowest(top) {
+        let wall = f.wall.unwrap_or(0);
+        let mut causes: Vec<(crate::ChargeCause, u64)> = crate::ChargeCause::ALL
+            .into_iter()
+            .map(|c| (c, f.cycles(c)))
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        causes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.as_str().cmp(b.0.as_str())));
+        let breakdown = causes
+            .iter()
+            .map(|&(c, n)| {
+                format!(
+                    "{} {} ({:.1}%)",
+                    c.as_str(),
+                    n,
+                    100.0 * n as f64 / wall.max(1) as f64
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            out,
+            "flow {:>5}  pid {:>4}  wall {:>10}  {breakdown}",
+            f.flow, f.pid, wall
+        );
+    }
+    out
+}
+
 /// Machine-readable rollup.
 pub fn render_json(r: &Rollup) -> String {
     let mut out = String::from("{\n");
@@ -372,6 +487,7 @@ pub fn render_json(r: &Rollup) -> String {
 
     json_counter_map(&mut out, "fault_classes", r.fault_classes.iter(), true);
     json_counter_map(&mut out, "region_ops", r.region_ops.iter(), true);
+    json_counter_map(&mut out, "cycle_charges", r.charge_causes.iter(), true);
 
     out.push_str("  \"spans\": {");
     for (i, (name, agg)) in r.spans.iter().enumerate() {
@@ -443,7 +559,8 @@ pub fn render_json(r: &Rollup) -> String {
          \"asid_rollovers\": {}, \"shootdowns\": {}, \"shootdown_cores_targeted\": {}, \
          \"shootdown_cores_local\": {}, \"shootdown_cores_skipped\": {}, \
          \"shootdowns_ranged\": {}, \"preemptions\": {}, \"flush_batches\": {}, \
-         \"flush_batch_ops\": {}, \"flush_batch_coalesced\": {}, \"flush_batch_escalated\": {}}}",
+         \"flush_batch_ops\": {}, \"flush_batch_coalesced\": {}, \"flush_batch_escalated\": {}, \
+         \"cycle_charges\": {}, \"flow_arrivals\": {}, \"flow_begins\": {}, \"flow_ends\": {}}}",
         r.forks,
         r.shared_forks,
         r.exits,
@@ -460,7 +577,11 @@ pub fn render_json(r: &Rollup) -> String {
         r.batches,
         r.batch_ops,
         r.batch_coalesced,
-        r.batch_escalated
+        r.batch_escalated,
+        r.charges,
+        r.flow_arrivals,
+        r.flow_begins,
+        r.flow_ends
     );
     out.push_str("}\n");
     out

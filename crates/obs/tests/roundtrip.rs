@@ -4,8 +4,8 @@
 
 use sat_obs::json::Json;
 use sat_obs::{
-    chrome_trace_json, metrics_json, parse_chrome_trace, FaultClass, FlushReason, FlushScope,
-    Payload, RegionOpKind, SpanUnit, Subsystem, UnshareCause,
+    chrome_trace_json, metrics_json, parse_chrome_trace, ChargeCause, FaultClass, FlushReason,
+    FlushScope, Payload, RegionOpKind, SpanUnit, Subsystem, UnshareCause,
 };
 
 /// One event of every payload shape, exercising every arg type.
@@ -188,6 +188,27 @@ fn emit_one_of_each() {
             unit: SpanUnit::Micros,
         },
     );
+    sat_obs::emit(Subsystem::Sched, 11, 0, Payload::FlowArrive { flow: 7 });
+    sat_obs::emit(Subsystem::Sched, 11, 0, Payload::FlowBegin { flow: 7 });
+    sat_obs::emit(
+        Subsystem::Sim,
+        0,
+        0,
+        Payload::CycleCharge {
+            flow: 7,
+            cause: ChargeCause::TlbStall,
+            cycles: 4_321,
+        },
+    );
+    sat_obs::emit(
+        Subsystem::Sched,
+        11,
+        0,
+        Payload::FlowEnd {
+            flow: 7,
+            wall: 98_765,
+        },
+    );
 }
 
 #[test]
@@ -347,6 +368,22 @@ fn chrome_trace_round_trips_field_by_field() {
             Payload::SpanEnd { value, unit, .. } => {
                 assert_eq!(args.get("value").unwrap().as_u64(), Some(*value));
                 assert_eq!(args.get("unit").unwrap().as_str(), Some(unit.as_str()));
+            }
+            Payload::CycleCharge {
+                flow,
+                cause,
+                cycles,
+            } => {
+                assert_eq!(args.get("flow").unwrap().as_u64(), Some(u64::from(*flow)));
+                assert_eq!(args.get("cause").unwrap().as_str(), Some(cause.as_str()));
+                assert_eq!(args.get("cycles").unwrap().as_u64(), Some(*cycles));
+            }
+            Payload::FlowArrive { flow } | Payload::FlowBegin { flow } => {
+                assert_eq!(args.get("flow").unwrap().as_u64(), Some(u64::from(*flow)));
+            }
+            Payload::FlowEnd { flow, wall } => {
+                assert_eq!(args.get("flow").unwrap().as_u64(), Some(u64::from(*flow)));
+                assert_eq!(args.get("wall").unwrap().as_u64(), Some(*wall));
             }
         }
     }

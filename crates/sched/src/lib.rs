@@ -15,6 +15,10 @@
 
 #![forbid(unsafe_code)]
 
+mod serve;
+
+pub use serve::{run_serve, ServeOptions, ServeReport, ServeSim};
+
 use std::collections::{BTreeMap, VecDeque};
 
 use sat_android::{AndroidSystem, BootOptions, LibraryLayout};

@@ -1,0 +1,129 @@
+//! Property test for the tentpole invariant: on a lossless trace of a
+//! serve run, blame attribution is *exact*. Every completed request's
+//! per-cause charges sum to its measured wall time with `assert_eq`
+//! (no tolerance), and the global per-cause totals reconcile against
+//! the machine's own hardware counters.
+
+use proptest::prelude::*;
+use sat_core::KernelConfig;
+use sat_obs::analyze::FlowTable;
+use sat_obs::ChargeCause;
+use sat_sched::{ServeOptions, ServeReport, ServeSim};
+
+/// Mirrors `run_serve` but keeps the simulator around so the test can
+/// read the cycle model, and returns the recording for reconciliation.
+fn traced_serve(
+    config: KernelConfig,
+    opts: ServeOptions,
+) -> (ServeReport, sat_obs::Recording, u64) {
+    sat_obs::install(1 << 20);
+    let mut sim = ServeSim::boot(config, opts).expect("boot");
+    sim.sys.machine.reset_hw_stats();
+    sat_obs::set_flow_tracing(true);
+    sim.run().expect("serve schedule must drain");
+    sim.sample_now();
+    sat_obs::set_flow_tracing(false);
+    let ipi_cost = sim.sys.machine.model.ipi;
+    let report = sim.report();
+    let rec = sat_obs::uninstall().expect("recorder was installed");
+    (report, rec, ipi_cost)
+}
+
+fn config_strategy() -> impl Strategy<Value = KernelConfig> {
+    prop_oneof![
+        Just(KernelConfig::stock()),
+        Just(KernelConfig::shared_ptp()),
+        Just(KernelConfig::shared_ptp_tlb()),
+    ]
+}
+
+fn opts_strategy() -> impl Strategy<Value = ServeOptions> {
+    (
+        (
+            1usize..6,
+            1usize..5,
+            8usize..41,
+            1usize..7,
+            1usize..4,
+            40usize..161,
+        ),
+        (
+            1usize..301,
+            30usize..141,
+            8usize..41,
+            0usize..4,
+            any::<u64>(),
+        ),
+    )
+        .prop_map(
+            |(
+                (servers, cores, requests, burst_max, burst_every, work_min),
+                (work_spread, quantum, ws_pages, churn, seed),
+            )| ServeOptions {
+                servers,
+                cores,
+                requests,
+                burst_max,
+                burst_every,
+                work_min,
+                work_spread,
+                quantum,
+                ws_pages,
+                churn,
+                seed,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random serve schedules: every request's attributed cycles sum
+    /// exactly to its span latency, and global per-cause totals
+    /// reconcile with the TLB and kernel statistics.
+    #[test]
+    fn serve_blame_attribution_is_exact(
+        config in config_strategy(),
+        opts in opts_strategy(),
+    ) {
+        let (report, rec, ipi_cost) = traced_serve(config, opts);
+        prop_assert_eq!(rec.dropped, 0, "ring sized for lossless capture");
+
+        let table = FlowTable::from_events(&rec.events);
+        // Per-request: charges == wall, exactly, for every flow.
+        let reconciled = table.reconcile().map_err(|e| {
+            TestCaseError::fail(format!("reconciliation failed: {e}"))
+        })?;
+        prop_assert_eq!(reconciled, report.requests);
+        prop_assert_eq!(table.completed() as u64, report.requests);
+
+        // The table's latency distribution is the report's.
+        let mut table_walls: Vec<u64> =
+            table.flows.iter().filter_map(|f| f.wall).collect();
+        table_walls.sort_unstable();
+        prop_assert_eq!(&table_walls, &report.walls);
+        prop_assert_eq!(
+            table.percentiles(),
+            Some((report.p50, report.p95, report.p99))
+        );
+
+        // Global per-cause totals against the machine's own counters.
+        prop_assert_eq!(
+            table.total(ChargeCause::TlbStall),
+            report.inst_tlb_stall + report.data_tlb_stall
+        );
+        prop_assert_eq!(
+            table.total(ChargeCause::Ipi),
+            report.shootdown_ipis * ipi_cost
+        );
+        // Every post-reset cycle on every core was charged exactly
+        // once; RunqWait is excluded because queueing overlaps other
+        // requests' service by design.
+        let charged: u64 = ChargeCause::ALL
+            .iter()
+            .filter(|&&c| c != ChargeCause::RunqWait)
+            .map(|&c| table.total(c))
+            .sum();
+        prop_assert_eq!(charged, report.total_cycles);
+    }
+}

@@ -158,6 +158,9 @@ impl MachineTlbView<'_> {
                 } else {
                     core.stats.cycles += self.ipi_cost;
                     core.stats.tlb_shootdown_ipis += 1;
+                    // The interrupted core pays the IPI, so whatever
+                    // request is running *there* gets the blame.
+                    sat_obs::charge(i, sat_obs::ChargeCause::Ipi, self.ipi_cost);
                 }
             } else {
                 // The ASID never loaded a non-global entry here (and
@@ -349,6 +352,13 @@ impl Machine {
     /// per configuration — a full main-TLB flush (no ASIDs, or the
     /// flush-on-switch protection scheme for shared TLB entries).
     pub fn context_switch(&mut self, core: usize, pid: Pid) -> SatResult<()> {
+        // Attribution follows the incoming pid from the first cycle of
+        // switch work: charges below (rollover flush, switch cost,
+        // scheduler text) land on the request bound to `pid`, or on
+        // flow 0 when it carries none. Re-attributing *before* any
+        // charge keeps the previous request's ledger closed at its
+        // suspend stamp.
+        sat_obs::flow_note_scheduled(core, pid.0);
         // Lazy ASID reassignment: if the allocator's generation rolled
         // over since `pid` last ran, it gets a fresh ASID here, and
         // the deferred machine-wide non-global flush fires before it
@@ -371,6 +381,11 @@ impl Machine {
         }
         if flush_was_pending || self.kernel.stats.asid_rollovers > rollovers_before {
             self.cores[core].stats.cycles += self.model.asid_rollover;
+            sat_obs::charge(
+                core,
+                sat_obs::ChargeCause::RolloverFlush,
+                self.model.asid_rollover,
+            );
         }
         // The allocator reserves the ASIDs of on-core processes at
         // rollover time.
@@ -415,8 +430,15 @@ impl Machine {
         c.current = Some(pid);
         c.stats.context_switches += 1;
         c.stats.cycles += self.model.context_switch;
+        sat_obs::charge(
+            core,
+            sat_obs::ChargeCause::ContextSwitch,
+            self.model.context_switch,
+        );
         // The scheduler itself executes kernel code.
-        self.run_kernel_lines(core, SCHED_PATH_PAGE, 80)?;
+        sat_obs::with_charge_cause(sat_obs::ChargeCause::ContextSwitch, || {
+            self.run_kernel_lines(core, SCHED_PATH_PAGE, 80)
+        })?;
         Ok(())
     }
 
@@ -450,6 +472,7 @@ impl Machine {
                         TlbLookup::Hit(e) => {
                             self.fill_micro(core, access, e);
                             cycles += 1; // micro-miss, main-hit penalty
+                            sat_obs::charge_scoped(core, 1);
                             e
                         }
                         TlbLookup::Miss => {
@@ -494,6 +517,7 @@ impl Machine {
             };
             let stall = self.cores[core].caches.access(kind, pa, &mut self.l2);
             cycles += self.model.cpi + stall;
+            sat_obs::charge_scoped(core, self.model.cpi + stall);
             let stats = &mut self.cores[core].stats;
             if access.is_fetch() {
                 stats.inst_fetches += 1;
@@ -552,6 +576,11 @@ impl Machine {
             };
             kernel.ensure_current_asid(parent, &mut view)?;
             self.cores[core].stats.cycles += self.model.asid_rollover;
+            sat_obs::charge(
+                core,
+                sat_obs::ChargeCause::RolloverFlush,
+                self.model.asid_rollover,
+            );
         }
         let anon = outcome.ptes_copied - outcome.ptes_copied_file;
         let cycles = self.model.fork_cycles(
@@ -562,6 +591,7 @@ impl Machine {
             outcome.write_protect_ops,
         );
         self.cores[core].stats.cycles += cycles;
+        sat_obs::charge(core, sat_obs::ChargeCause::Fork, cycles);
         Ok((outcome, cycles))
     }
 
@@ -579,6 +609,11 @@ impl Machine {
             );
             cycles += self.kernel_fetch(core, va)?;
         }
+        // One aggregate charge for the whole stretch of kernel text —
+        // per-line events would drown the ring. The scoped cause lets
+        // the issuing path (context switch, binder, fault handler)
+        // claim the cycles; untagged stretches default to `Exec`.
+        sat_obs::charge_scoped(core, cycles);
         Ok(cycles)
     }
 
@@ -702,6 +737,10 @@ impl Machine {
                 Ok(WalkFill::Entry(e, stall))
             }
             None => {
+                // The failed walk's descriptor fetches are part of the
+                // fault path, not TLB-stall time: `charge_tlb_stall`
+                // never sees them, so they blame the fault.
+                sat_obs::charge(core, sat_obs::ChargeCause::Fault, stall);
                 let fault_cycles = self.page_fault_path(core, pid, va, access)?;
                 Ok(WalkFill::Faulted(stall + fault_cycles))
             }
@@ -715,6 +754,7 @@ impl Machine {
         } else {
             stats.data_main_tlb_stall_cycles += stall;
         }
+        sat_obs::charge(core, sat_obs::ChargeCause::TlbStall, stall);
     }
 
     /// The software page-fault path: kernel handler plus its
@@ -763,8 +803,14 @@ impl Machine {
             FaultKind::WriteEnable => model.soft_fault,
             FaultKind::Spurious => model.exception,
         };
+        sat_obs::charge(core, sat_obs::ChargeCause::Fault, cycles);
         if outcome.unshared {
-            cycles += model.unshare_base + outcome.unshare_ptes_copied * model.unshare_per_pte;
+            let unshare = model.unshare_base + outcome.unshare_ptes_copied * model.unshare_per_pte;
+            cycles += unshare;
+            // The unshare (break-COW-of-the-page-table) work is split
+            // out from the plain fault cost: it is the price of shared
+            // PTPs specifically, and the tail analysis wants it named.
+            sat_obs::charge(core, sat_obs::ChargeCause::Unshare, unshare);
         }
         // The PTE serving `va` changed: invalidate stale entries.
         {
@@ -787,6 +833,7 @@ impl Machine {
         let window = FAULT_PATH_PAGES * LINES_PER_PAGE;
         let start = ((self.fault_seq * 149) % window as u64) as u32;
         self.fault_seq += 1;
+        let mut handler_cycles = 0u64;
         for i in 0..lines {
             let line = (start + i) % window;
             let va = VirtAddr::new(
@@ -794,8 +841,11 @@ impl Machine {
                     + (FAULT_HANDLER_PAGE + line / LINES_PER_PAGE) * 4096
                     + (line % LINES_PER_PAGE) * 32,
             );
-            self.kernel_fetch(core, va)?;
+            handler_cycles += self.kernel_fetch(core, va)?;
         }
+        // The handler's instruction-fetch footprint is fault time too;
+        // one aggregate charge (see `run_kernel_lines`).
+        sat_obs::charge(core, sat_obs::ChargeCause::Fault, handler_cycles);
         // `cycles` is returned to the access loop, which adds it to
         // the core's cycle count on the successful retry — do not add
         // it here too (the handler's kernel-line fetches have already
@@ -833,7 +883,10 @@ impl Machine {
         };
         kernel.domain_fault(record.far, &mut view);
         let cycles = self.model.exception;
-        self.run_kernel_lines(core, FAULT_HANDLER_PAGE + 8, 40)?;
+        sat_obs::charge(core, sat_obs::ChargeCause::DomainFault, cycles);
+        sat_obs::with_charge_cause(sat_obs::ChargeCause::DomainFault, || {
+            self.run_kernel_lines(core, FAULT_HANDLER_PAGE + 8, 40)
+        })?;
         // Returned to the access loop, which accounts it once.
         self.cores[core].stats.domain_faults += 1;
         Ok(cycles)

@@ -290,10 +290,54 @@ fn obs_overhead_benches(c: &mut Criterion) {
     }
 }
 
+/// Cycle-charge tagging on the simulator's hottest path (every
+/// `Machine::access` charges its stall cycles). With no recorder — or
+/// a recorder installed but flow tracing off, the state every
+/// experiment except `repro serve` runs in — `sat_obs::charge` must
+/// cost two thread-local branches and nothing else: `sink_disabled`
+/// and `tracing_off` are the regression guard against the
+/// `uninstrumented` baseline, with a 2% hot-path budget. Only
+/// `tracing_on` pays the per-cause counter bump and ring admission.
+fn obs_charge_tagging_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_charge_tagging");
+    let miss = VirtAddr::new(0x7000_0000);
+    let mut tlb = filled_main(CAPACITY, 4);
+    group.bench_function("uninstrumented", |b| {
+        b.iter(|| black_box(tlb.lookup(black_box(miss), Asid::new(1))))
+    });
+    group.bench_function("sink_disabled", |b| {
+        b.iter(|| {
+            let r = black_box(tlb.lookup(black_box(miss), Asid::new(1)));
+            sat_obs::charge(0, sat_obs::ChargeCause::TlbStall, black_box(29));
+            r
+        })
+    });
+    sat_obs::install(1 << 12);
+    group.bench_function("tracing_off", |b| {
+        b.iter(|| {
+            let r = black_box(tlb.lookup(black_box(miss), Asid::new(1)));
+            sat_obs::charge(0, sat_obs::ChargeCause::TlbStall, black_box(29));
+            r
+        })
+    });
+    sat_obs::set_flow_tracing(true);
+    group.bench_function("tracing_on", |b| {
+        b.iter(|| {
+            let r = black_box(tlb.lookup(black_box(miss), Asid::new(1)));
+            sat_obs::charge(0, sat_obs::ChargeCause::TlbStall, black_box(29));
+            r
+        })
+    });
+    sat_obs::set_flow_tracing(false);
+    let _ = sat_obs::uninstall();
+    group.finish();
+}
+
 fn benches(c: &mut Criterion) {
     main_tlb_benches(c);
     micro_tlb_benches(c);
     obs_overhead_benches(c);
+    obs_charge_tagging_benches(c);
 }
 
 criterion_group!(tlb_hot_path, benches);
