@@ -82,7 +82,7 @@ fn bench_walk(c: &mut Criterion) {
     let mut root = RootTable::alloc(&mut phys).unwrap();
     let mut ptps = PtpStore::new();
     {
-        let mut mapper = Mapper::new(&mut root, &mut ptps, &mut phys);
+        let mut mapper = Mapper::new(&mut root, &mut ptps, &mut phys, sat_types::Pid::new(1));
         for i in 0..256u32 {
             let frame = mapper.phys.alloc(FrameKind::Anon).unwrap();
             mapper

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! repro <experiment> [--quick] [--trace <path>] [--out <path>]
+//! repro serve [--mem-frames N] [--quick] [--trace <path>] [--out <path>]
 //! repro check [--trace <path>] [--out <path>]
 //! repro report [--trace] <trace.json> [--format text|json|folded] [--experiment <name>]
 //! repro timeline [--trace] <trace.json> [--window N] [--experiment <name>]
@@ -23,10 +24,21 @@
 //!   timeshare                      N apps timesharing 4 cores (sat-sched)
 //!   fleet                          fork/timeshare/reap fleets to 4096 apps
 //!   serve                          bursty request serving, stock vs shared
+//!   pressure                       serving under a frame budget, stock vs shared
 //!   all                            everything, in paper order
 //! ```
 //!
 //! `--quick` runs scaled-down workloads (seconds instead of minutes).
+//!
+//! `--mem-frames N` (serve only) installs a physical-frame budget of N
+//! frames before the servers fork: allocations that cross the low
+//! watermark trigger LRU reclaim, which evicts file page-cache frames
+//! and tears the PTEs mapping them — through the shared PTP when one
+//! exists — so the working set refaults under pressure. The serve
+//! table grows reclaim columns and the snapshot records carry
+//! `"mem_frames"` and `"reclaim"` totals. The `pressure` experiment
+//! runs the whole stock-vs-shared grid over budgets it derives itself
+//! (`inf`/`tight`/`starved` from the uncapped peak footprint).
 //!
 //! `--trace <path>` installs the `sat-obs` recorder for the whole run
 //! and writes a Chrome trace-event JSON (load it at `chrome://tracing`
@@ -65,17 +77,18 @@
 //! are wall-clock and naturally vary).
 //!
 //! Besides the tables on stdout, every run writes the
-//! `sat-bench/repro-v5` snapshot: per-experiment wall time, scale,
+//! `sat-bench/repro-v6` snapshot: per-experiment wall time, scale,
 //! worker count, sweep cell counts, per-experiment observability
 //! counter deltas, gauge high-water marks, serve latency percentiles,
-//! and the run-wide counter/histogram/gauge registry.
+//! frame budgets and reclaim totals for budgeted cells, and the
+//! run-wide counter/histogram/gauge registry.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use sat_bench::{
-    ablation, extensions, fleetbench, ipcbench, launchbench, motivation, pool, servebench,
-    snapshot, steadybench, timesharebench, zygotebench, Scale,
+    ablation, extensions, fleetbench, ipcbench, launchbench, motivation, pool, pressurebench,
+    servebench, snapshot, steadybench, timesharebench, zygotebench, Scale,
 };
 use sat_obs::json::Json;
 use sat_obs::report::ReportFormat;
@@ -84,7 +97,7 @@ use sat_obs::report::ReportFormat;
 /// its sweep fanned out to the worker pool (1 = no fan-out), and the
 /// observability counters it moved (empty without `--trace`).
 struct Record {
-    name: &'static str,
+    name: String,
     wall_ms: f64,
     cells: usize,
     events: std::collections::BTreeMap<String, u64>,
@@ -94,6 +107,33 @@ struct Record {
     /// Request-latency percentiles in simulated cycles (serve cells
     /// only) — deterministic, so `repro diff` gates the p99 tail.
     latency: Option<(u64, u64, u64)>,
+    /// Frame budget the cell ran under (budgeted serve / pressure
+    /// cells only).
+    mem_frames: Option<u64>,
+    /// Reclaim totals of a budgeted cell — deterministic, so `repro
+    /// diff` gates eviction volume like any counter.
+    reclaim: Option<ReclaimTotals>,
+}
+
+/// What a budgeted cell's reclaim did, for the snapshot.
+struct ReclaimTotals {
+    passes: u64,
+    pages: u64,
+    pte_tears: u64,
+    shared_tears: u64,
+    refaults: u64,
+}
+
+impl ReclaimTotals {
+    fn of(r: &sat_sched::ServeReport) -> ReclaimTotals {
+        ReclaimTotals {
+            passes: r.reclaims,
+            pages: r.reclaimed_pages,
+            pte_tears: r.reclaim_pte_tears,
+            shared_tears: r.reclaim_shared_tears,
+            refaults: r.refaults,
+        }
+    }
 }
 
 /// Parsed command line.
@@ -112,6 +152,8 @@ struct Cli {
     experiment: Option<String>,
     /// Slowest requests `repro tails` breaks down.
     top: usize,
+    /// Physical-frame budget for `repro serve` (None = uncapped).
+    mem_frames: Option<u64>,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -125,6 +167,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut window = 0u64;
     let mut experiment = None;
     let mut top = 10usize;
+    let mut mem_frames = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -177,10 +220,18 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .filter(|t| *t >= 1)
                     .ok_or_else(|| format!("bad --top '{raw}' (want an integer >= 1)"))?;
             }
+            "--mem-frames" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--mem-frames requires a frame count")?;
+                mem_frames =
+                    Some(raw.parse::<u64>().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                        format!("bad --mem-frames '{raw}' (want an integer >= 1)")
+                    })?);
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!(
                     "unknown flag '{flag}' (known: --quick --trace --out --format \
-                     --threshold-pct --window --experiment --top)"
+                     --threshold-pct --window --experiment --top --mem-frames)"
                 ));
             }
             positional => {
@@ -210,6 +261,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         }
         _ => {}
     }
+    if mem_frames.is_some() && cmd != "serve" {
+        return Err(format!(
+            "--mem-frames only applies to the serve experiment (got '{cmd}'; \
+             the pressure grid derives its own budgets)"
+        ));
+    }
     let out = out
         .or_else(|| {
             std::env::var("SAT_BENCH_OUT")
@@ -228,6 +285,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         window,
         experiment,
         top,
+        mem_frames,
     })
 }
 
@@ -307,7 +365,7 @@ fn main() -> ExitCode {
 
     let mut records = Vec::new();
     let started = Instant::now();
-    match run(&cli.cmd, cli.scale, &mut records) {
+    match run(&cli.cmd, cli.scale, cli.mem_frames, &mut records) {
         Ok(output) => {
             let recording = if cli.trace.is_some() {
                 sat_obs::uninstall()
@@ -347,7 +405,7 @@ type Fallible = Result<String, Box<dyn std::error::Error>>;
 /// volume per experiment.
 fn timed(
     records: &mut Vec<Record>,
-    name: &'static str,
+    name: &str,
     cells: usize,
     body: impl FnOnce() -> Fallible,
 ) -> Fallible {
@@ -393,12 +451,14 @@ fn timed(
         }
     }
     records.push(Record {
-        name,
+        name: name.to_string(),
         wall_ms,
         cells,
         events,
         gauges,
         latency: None,
+        mem_frames: None,
+        reclaim: None,
     });
     Ok(out)
 }
@@ -422,24 +482,60 @@ fn timeshare_cells(scale: Scale) -> usize {
 
 /// Runs both serve kernels as separate timed records (static names:
 /// `repro diff` gates each kernel's p99 tail on its own), then the
-/// cross-kernel summary line.
-fn run_serve_pair(records: &mut Vec<Record>, scale: Scale) -> Fallible {
+/// cross-kernel summary line. A budgeted run (`--mem-frames N`) gets
+/// `_mem`-suffixed record names so diffing against an uncapped
+/// baseline never pits capped tails against uncapped ones.
+fn run_serve_pair(records: &mut Vec<Record>, scale: Scale, mem_frames: Option<u64>) -> Fallible {
     let mut s = String::new();
     let mut reports = Vec::new();
     for (name, label, config) in servebench::serve_kernels() {
+        let record = match mem_frames {
+            Some(_) => format!("{name}_mem"),
+            None => name.to_string(),
+        };
         let cells = servebench::serve_counts(scale).len();
         let mut rep = None;
-        s.push_str(&timed(records, name, cells, || {
-            let (text, r) = servebench::serve_kernel(scale, label, config)?;
+        s.push_str(&timed(records, &record, cells, || {
+            let (text, r) = servebench::serve_kernel(scale, label, config, mem_frames)?;
             rep = Some(r);
             Ok(text)
         })?);
         let r = rep.expect("serve_kernel returns a report on success");
-        records.last_mut().expect("timed pushed a record").latency = Some((r.p50, r.p95, r.p99));
+        let rec = records.last_mut().expect("timed pushed a record");
+        rec.latency = Some((r.p50, r.p95, r.p99));
+        if mem_frames.is_some() {
+            rec.mem_frames = mem_frames;
+            rec.reclaim = Some(ReclaimTotals::of(&r));
+        }
         reports.push(r);
     }
     s.push_str(&servebench::serve_summary(scale, &reports[0], &reports[1]));
     Ok(s)
+}
+
+/// Runs the sharing-under-pressure grid: one timed record per cell
+/// (static names from `pressurebench::record_names`), each carrying
+/// latency percentiles and — for the finite-budget cells — the frame
+/// budget and reclaim totals `repro diff` gates.
+fn run_pressure_grid(records: &mut Vec<Record>, scale: Scale) -> Fallible {
+    let (text, _) = pressurebench::grid(scale, |name, opts, config| {
+        let budget = opts.mem_frames;
+        let mut rep = None;
+        timed(records, name, 1, || {
+            let r = sat_sched::run_serve(config, opts)?;
+            rep = Some(r);
+            Ok(String::new())
+        })?;
+        let r = rep.expect("run_serve returns a report on success");
+        let rec = records.last_mut().expect("timed pushed a record");
+        rec.latency = Some((r.p50, r.p95, r.p99));
+        if budget.is_some() {
+            rec.mem_frames = budget;
+            rec.reclaim = Some(ReclaimTotals::of(&r));
+        }
+        Ok::<_, Box<dyn std::error::Error>>(r)
+    })?;
+    Ok(text)
 }
 
 /// Runs every fleet size of the scale's grid, one timed record per N
@@ -454,7 +550,7 @@ fn run_fleet_grid(records: &mut Vec<Record>, scale: Scale) -> Fallible {
     Ok(s)
 }
 
-fn run(cmd: &str, scale: Scale, records: &mut Vec<Record>) -> Fallible {
+fn run(cmd: &str, scale: Scale, mem_frames: Option<u64>, records: &mut Vec<Record>) -> Fallible {
     let r = records;
     let out = match cmd {
         "table1" => timed(r, "table1", 1, || Ok(motivation::table1()))?,
@@ -491,7 +587,8 @@ fn run(cmd: &str, scale: Scale, records: &mut Vec<Record>) -> Fallible {
             Ok(timesharebench::timeshare(scale)?)
         })?,
         "fleet" => run_fleet_grid(r, scale)?,
-        "serve" => run_serve_pair(r, scale)?,
+        "serve" => run_serve_pair(r, scale, mem_frames)?,
+        "pressure" => run_pressure_grid(r, scale)?,
         "all" => {
             let mut s = String::new();
             s.push_str(&format!(
@@ -525,14 +622,14 @@ fn run(cmd: &str, scale: Scale, records: &mut Vec<Record>) -> Fallible {
                 Ok(timesharebench::timeshare(scale)?)
             })?);
             s.push_str(&run_fleet_grid(r, scale)?);
-            s.push_str(&run_serve_pair(r, scale)?);
+            s.push_str(&run_serve_pair(r, scale, None)?);
             s
         }
         other => {
             return Err(format!(
                 "unknown experiment '{other}' (try: table1 fig2 fig3 table2 fig4 latfault \
                  table3 table4 launch steady fig13 ablations scalability largepages \
-                 grouped pollution smaps extensions timeshare fleet serve all)"
+                 grouped pollution smaps extensions timeshare fleet serve pressure all)"
             )
             .into())
         }
@@ -570,6 +667,16 @@ fn render_json(
         if let Some((p50, p95, p99)) = rec.latency {
             s.push_str(&format!(
                 "\"latency\": {{\"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}}}, "
+            ));
+        }
+        if let Some(frames) = rec.mem_frames {
+            s.push_str(&format!("\"mem_frames\": {frames}, "));
+        }
+        if let Some(rc) = &rec.reclaim {
+            s.push_str(&format!(
+                "\"reclaim\": {{\"passes\": {}, \"pages\": {}, \"pte_tears\": {}, \
+                 \"shared_tears\": {}, \"refaults\": {}}}, ",
+                rc.passes, rc.pages, rc.pte_tears, rc.shared_tears, rc.refaults
             ));
         }
         s.push_str("\"events\": {");
@@ -658,10 +765,18 @@ fn tails(trace_path: &str, top: usize, experiment: Option<&str>) -> Fallible {
             sat_obs::analyze::filter_experiment(&all_events, name)?,
         )],
         None => {
-            let mut v = Vec::new();
+            // Every bracket that can carry flows: the serve kernels,
+            // their budgeted `_mem` variants, and the pressure cells.
+            let mut candidates: Vec<String> = Vec::new();
             for (name, _, _) in servebench::serve_kernels() {
+                candidates.push(name.to_string());
+                candidates.push(format!("{name}_mem"));
+            }
+            candidates.extend(pressurebench::record_names());
+            let mut v = Vec::new();
+            for name in &candidates {
                 if let Ok(events) = sat_obs::analyze::filter_experiment(&all_events, name) {
-                    v.push((name.to_string(), events));
+                    v.push((name.clone(), events));
                 }
             }
             if v.is_empty() {

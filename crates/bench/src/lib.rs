@@ -16,6 +16,7 @@ pub mod ipcbench;
 pub mod launchbench;
 pub mod motivation;
 pub mod pool;
+pub mod pressurebench;
 pub mod render;
 pub mod servebench;
 pub mod snapshot;

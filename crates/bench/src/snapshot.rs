@@ -22,18 +22,23 @@ use sat_obs::json::Json;
 /// deltas and the run-wide `"obs"` section; `repro-v3` added `"p50"`/
 /// `"p95"` summaries to every exported histogram; `repro-v4` added
 /// `"p99"`, per-experiment `"gauges"` high-water marks, and the
-/// run-wide `"gauges"` section; `repro-v5` adds per-experiment
+/// run-wide `"gauges"` section; `repro-v5` added per-experiment
 /// `"latency"` request percentiles (serve cells) — in simulated
-/// cycles, deterministic, and gated by the diff like wall times.
-pub const SCHEMA: &str = "sat-bench/repro-v5";
+/// cycles, deterministic, and gated by the diff like wall times;
+/// `repro-v6` adds per-experiment `"mem_frames"` budgets and
+/// `"reclaim"` totals (passes/pages/pte_tears/shared_tears/refaults)
+/// for budgeted serve and pressure cells, gated like counters.
+pub const SCHEMA: &str = "sat-bench/repro-v6";
 
 /// Schemas `repro diff` can compare (the diff reads only fields that
-/// exist since v2; gauge gating engages from v4, latency from v5).
-const DIFFABLE_SCHEMAS: [&str; 4] = [
+/// exist since v2; gauge gating engages from v4, latency from v5,
+/// reclaim from v6).
+const DIFFABLE_SCHEMAS: [&str; 5] = [
     "sat-bench/repro-v2",
     "sat-bench/repro-v3",
     "sat-bench/repro-v4",
     "sat-bench/repro-v5",
+    "sat-bench/repro-v6",
 ];
 
 /// Subsystems `repro all --trace` must cover for the trace to count as
@@ -70,6 +75,11 @@ const GAUGE_FLOOR: u64 = 64;
 /// a tail regression.
 const LATENCY_FLOOR_CYCLES: u64 = 10_000;
 
+/// Reclaim totals below this volume (in both snapshots) never gate:
+/// a budgeted cell evicting a handful more pages is quantisation, a
+/// big swing means the pressure the workload faces actually changed.
+const RECLAIM_FLOOR: u64 = 50;
+
 /// One parsed experiment record.
 #[derive(Clone, Debug, Default)]
 pub struct Experiment {
@@ -81,6 +91,12 @@ pub struct Experiment {
     /// Request-latency percentiles `(p50, p95, p99)` in simulated
     /// cycles (v5 serve cells; absent otherwise).
     pub latency: Option<(u64, u64, u64)>,
+    /// Physical-frame budget the cell ran under (v6 budgeted serve /
+    /// pressure cells; absent otherwise).
+    pub mem_frames: Option<u64>,
+    /// Reclaim totals (v6 budgeted cells; empty otherwise):
+    /// passes, pages, pte_tears, shared_tears, refaults.
+    pub reclaim: BTreeMap<String, u64>,
 }
 
 /// The parts of a snapshot the diff compares.
@@ -133,6 +149,14 @@ impl Snapshot {
                     l.get("p99").and_then(Json::as_u64)?,
                 ))
             });
+            let mut reclaim = BTreeMap::new();
+            if let Some(map) = exp.get("reclaim").and_then(Json::as_object) {
+                for (k, v) in map {
+                    if let Some(n) = v.as_u64() {
+                        reclaim.insert(k.clone(), n);
+                    }
+                }
+            }
             experiments.insert(
                 name.to_string(),
                 Experiment {
@@ -140,6 +164,8 @@ impl Snapshot {
                     cells: exp.get("cells").and_then(Json::as_u64).unwrap_or(0),
                     gauges,
                     latency,
+                    mem_frames: exp.get("mem_frames").and_then(Json::as_u64),
+                    reclaim,
                 },
             );
         }
@@ -321,6 +347,38 @@ pub fn diff(old: &Snapshot, new: &Snapshot, threshold_pct: f64) -> DiffReport {
                 report.lines.push((DiffClass::Improvement, line));
             }
         }
+        // Reclaim totals of budgeted cells are deterministic, so they
+        // gate like counters: above-threshold eviction growth under
+        // the *same* frame budget means reclaim got hungrier. A budget
+        // change makes old and new incomparable — note it instead.
+        if old_exp.mem_frames != new_exp.mem_frames {
+            if old_exp.mem_frames.is_some() || new_exp.mem_frames.is_some() {
+                report.lines.push((
+                    DiffClass::Note,
+                    format!(
+                        "{name}.mem_frames: {:?} -> {:?} (budget changed; reclaim not compared)",
+                        old_exp.mem_frames, new_exp.mem_frames
+                    ),
+                ));
+            }
+        } else {
+            for (key, &old_n) in &old_exp.reclaim {
+                let Some(&new_n) = new_exp.reclaim.get(key) else {
+                    continue;
+                };
+                report.compared += 1;
+                if old_n.max(new_n) < RECLAIM_FLOOR {
+                    continue;
+                }
+                let change = pct_change(old_n as f64, new_n as f64);
+                let line = format!("{name}.reclaim {key}: {old_n} -> {new_n} ({change:+.1}%)");
+                if change > threshold_pct {
+                    report.lines.push((DiffClass::Regression, line));
+                } else if change < -threshold_pct {
+                    report.lines.push((DiffClass::Improvement, line));
+                }
+            }
+        }
         // Serve latency percentiles are deterministic simulated
         // cycles: an above-threshold p99 (or p95/p50) growth means the
         // critical path of the tail actually got longer.
@@ -434,6 +492,32 @@ pub fn check(trace: Option<&str>, out: &str) -> Result<String, String> {
         experiments.len(),
         if obs_enabled { "enabled" } else { "disabled" }
     );
+
+    // A run under a frame budget that never reclaimed proves nothing
+    // about behaviour under pressure: the budget sat above the peak
+    // footprint the whole time. Warn, mirroring the partial-blame
+    // warning (works untraced — the totals live in the snapshot).
+    let budgeted: Vec<&Json> = experiments
+        .iter()
+        .filter(|e| e.get("mem_frames").and_then(Json::as_u64).is_some())
+        .collect();
+    if !budgeted.is_empty() {
+        let pages: u64 = budgeted
+            .iter()
+            .filter_map(|e| e.get("reclaim"))
+            .filter_map(|r| r.get("pages"))
+            .filter_map(Json::as_u64)
+            .sum();
+        if pages == 0 {
+            let _ = writeln!(
+                report,
+                "repro check: warning: the frame budget never bit ({} budgeted \
+                 experiment(s) reclaimed zero pages; lower --mem-frames below the \
+                 uncapped peak for real pressure)",
+                budgeted.len()
+            );
+        }
+    }
 
     if let Some(trace_path) = trace {
         let text =
@@ -750,6 +834,67 @@ mod tests {
             .lines
             .iter()
             .any(|(c, l)| *c == DiffClass::Improvement && l.contains("p99")));
+    }
+
+    fn v6(budget: u64, pages: u64, shared_tears: u64) -> Snapshot {
+        parse(&format!(
+            r#"{{
+  "schema": "sat-bench/repro-v6",
+  "command": "pressure",
+  "scale": "quick",
+  "threads": 4,
+  "experiments": [
+    {{"name": "pressure_shared_starved", "wall_ms": 100.000, "cells": 1,
+      "latency": {{"p50": 20000, "p95": 90000, "p99": 120000}},
+      "mem_frames": {budget},
+      "reclaim": {{"passes": 40, "pages": {pages}, "pte_tears": 30,
+                   "shared_tears": {shared_tears}, "refaults": {pages}}},
+      "events": {{}}, "gauges": {{}}}}
+  ],
+  "total_wall_ms": 100.000,
+  "obs": {{"enabled": false, "dropped_events": 0, "counters": {{}}, "histograms": {{}}}}
+}}
+"#
+        ))
+    }
+
+    #[test]
+    fn doctored_reclaim_totals_regress_under_the_same_budget() {
+        let old = v6(900, 400, 120);
+        let exp = &old.experiments["pressure_shared_starved"];
+        assert_eq!(exp.mem_frames, Some(900));
+        assert_eq!(exp.reclaim["pages"], 400);
+
+        // +50% eviction volume under the same budget fails the gate.
+        let report = diff(&old, &v6(900, 600, 120), 25.0);
+        assert_eq!(report.regressions(), 2, "{:?}", report.lines);
+        assert!(report.lines.iter().any(|(c, l)| *c == DiffClass::Regression
+            && l.contains("pressure_shared_starved.reclaim pages")
+            && l.contains("400 -> 600")));
+        // (refaults mirror pages in this fixture, hence the second.)
+
+        // Shrinking shared tears is an improvement, not a failure.
+        let report = diff(&old, &v6(900, 400, 60), 25.0);
+        assert_eq!(report.regressions(), 0, "{:?}", report.lines);
+        assert!(report
+            .lines
+            .iter()
+            .any(|(c, l)| *c == DiffClass::Improvement && l.contains("shared_tears")));
+
+        // Sub-floor totals never gate (passes 40 stays under 50).
+        let report = diff(&old, &v6(900, 400, 120), 25.0);
+        assert_eq!(report.regressions(), 0, "{:?}", report.lines);
+    }
+
+    #[test]
+    fn changed_budget_notes_instead_of_comparing_reclaim() {
+        let old = v6(900, 400, 120);
+        let new = v6(600, 4000, 1200);
+        let report = diff(&old, &new, 25.0);
+        assert_eq!(report.regressions(), 0, "{:?}", report.lines);
+        assert!(report.lines.iter().any(|(c, l)| *c == DiffClass::Note
+            && l.contains("mem_frames")
+            && l.contains("budget changed")));
     }
 
     #[test]

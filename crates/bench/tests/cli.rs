@@ -129,7 +129,7 @@ fn write_snapshot(name: &str, launch_wall_ms: f64, total_wall_ms: f64) -> PathBu
         &path,
         format!(
             r#"{{
-  "schema": "sat-bench/repro-v5",
+  "schema": "sat-bench/repro-v6",
   "command": "all",
   "scale": "quick",
   "threads": 2,
@@ -407,12 +407,15 @@ fn serve_is_deterministic_and_snapshots_latency() {
 
     let snap = std::fs::read_to_string(tmp("serve-a.json")).unwrap();
     assert!(
-        snap.contains("\"schema\": \"sat-bench/repro-v5\""),
+        snap.contains("\"schema\": \"sat-bench/repro-v6\""),
         "{snap}"
     );
     assert!(snap.contains("\"name\": \"serve_stock\""), "{snap}");
     assert!(snap.contains("\"name\": \"serve_shared\""), "{snap}");
     assert!(snap.contains("\"latency\": {\"p50\":"), "{snap}");
+    // Without a budget the records carry no reclaim section at all.
+    assert!(!snap.contains("\"mem_frames\""), "{snap}");
+    assert!(!snap.contains("\"reclaim\""), "{snap}");
 }
 
 /// A losslessly traced serve run reconciles exactly, and `repro tails`
@@ -496,6 +499,237 @@ fn check_warns_on_partial_blame_attribution() {
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("blame attribution is partial"), "{stdout}");
+}
+
+/// The quick-scale uncapped serve peak, for sizing budgets that must
+/// bite on both kernels.
+fn quick_serve_peak_floor() -> u64 {
+    use sat_bench::servebench::{serve_kernel, serve_kernels};
+    use sat_bench::Scale;
+    serve_kernels()
+        .into_iter()
+        .map(|(_, label, config)| {
+            let (_, r) = serve_kernel(Scale::Quick, label, config, None).unwrap();
+            r.frames_peak
+        })
+        .min()
+        .expect("two serve kernels")
+}
+
+/// `--mem-frames` is validated like every other flag: bad values and
+/// wrong commands are errors with messages, never panics.
+#[test]
+fn mem_frames_flag_is_validated() {
+    for bad in ["0", "abc", "-5", "12.5"] {
+        let out = repro(&["serve", "--quick", "--mem-frames", bad]);
+        assert!(!out.status.success(), "--mem-frames {bad} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("bad --mem-frames"), "{stderr}");
+        assert!(!stderr.contains("panicked"), "{stderr}");
+    }
+    // Value missing entirely.
+    let out = repro(&["serve", "--quick", "--mem-frames"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("requires a frame count"), "{stderr}");
+    // Only serve takes a budget; pressure derives its own.
+    for cmd in ["timeshare", "pressure", "all"] {
+        let out = repro(&[cmd, "--quick", "--mem-frames", "1000"]);
+        assert!(!out.status.success(), "{cmd} must reject --mem-frames");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("only applies to the serve experiment"),
+            "{stderr}"
+        );
+    }
+    // The unknown-flag hint advertises it.
+    let out = repro(&["serve", "--quick", "--bogus"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--mem-frames"), "{stderr}");
+}
+
+/// A budgeted serve run reclaims, renders the reclaim columns, stays
+/// deterministic, and snapshots `_mem`-suffixed records that diff
+/// cleanly against an uncapped baseline.
+#[test]
+fn budgeted_serve_reclaims_and_snapshots_mem_records() {
+    let budget = (quick_serve_peak_floor() * 3 / 4).to_string();
+    let run = |out_name: &str| -> String {
+        let out_path = tmp(out_name);
+        let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args([
+                "serve",
+                "--quick",
+                "--mem-frames",
+                &budget,
+                "--out",
+                out_path.to_str().unwrap(),
+            ])
+            .output()
+            .expect("repro binary runs");
+        assert!(
+            out.status.success(),
+            "budgeted serve failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("utf-8 stdout")
+    };
+    let first = run("serve-mem-a.json");
+    let second = run("serve-mem-b.json");
+    assert!(first.contains("frame budget"), "{first}");
+    assert!(first.contains("reclaims"), "{first}");
+    assert!(first.contains("refaults"), "{first}");
+    assert_eq!(first, second, "budgeted serve run changed the table");
+
+    let snap = std::fs::read_to_string(tmp("serve-mem-a.json")).unwrap();
+    assert!(snap.contains("\"name\": \"serve_stock_mem\""), "{snap}");
+    assert!(snap.contains("\"name\": \"serve_shared_mem\""), "{snap}");
+    assert!(
+        snap.contains(&format!("\"mem_frames\": {budget}")),
+        "{snap}"
+    );
+    assert!(snap.contains("\"reclaim\": {\"passes\":"), "{snap}");
+
+    // The budget bit, so check must not warn about it.
+    let out = repro(&["check", "--out", tmp("serve-mem-a.json").to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("never bit"), "{stdout}");
+
+    // Two identical budgeted runs diff clean, reclaim gate included.
+    let out = repro(&[
+        "diff",
+        tmp("serve-mem-a.json").to_str().unwrap(),
+        tmp("serve-mem-b.json").to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "identical budgeted serve runs must diff clean: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+/// A budget far above the peak never reclaims; `repro check` says so.
+#[test]
+fn check_warns_when_the_frame_budget_never_bites() {
+    let snap = tmp("serve-slack.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "serve",
+            "--quick",
+            "--mem-frames",
+            "100000000",
+            "--out",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .expect("repro binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = repro(&["check", "--out", snap.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "a slack budget warns but still passes: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("frame budget never bit"), "{stdout}");
+    assert!(stdout.contains("reclaimed zero pages"), "{stdout}");
+}
+
+/// The pressure grid derives its budgets from the uncapped wave, so
+/// the whole run is a pure function of the seed: byte-identical
+/// across repeats and worker-pool thread counts.
+#[test]
+fn pressure_is_deterministic_across_runs_and_thread_counts() {
+    let run = |threads: &str, out_name: &str| -> String {
+        let out_path = tmp(out_name);
+        let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(["pressure", "--quick", "--out", out_path.to_str().unwrap()])
+            .env("SAT_BENCH_THREADS", threads)
+            .output()
+            .expect("repro binary runs");
+        assert!(
+            out.status.success(),
+            "repro pressure --quick failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("utf-8 stdout")
+    };
+    let serial = run("1", "pr-serial.json");
+    let parallel = run("4", "pr-parallel.json");
+    let repeat = run("4", "pr-repeat.json");
+    assert!(serial.contains("serving under memory pressure"), "{serial}");
+    assert!(serial.contains("starved"), "{serial}");
+    assert_eq!(serial, parallel, "thread count changed the pressure grid");
+    assert_eq!(parallel, repeat, "repeated run changed the pressure grid");
+
+    // The snapshot carries every cell; finite cells carry budgets and
+    // reclaim totals for the diff gate.
+    let snap = std::fs::read_to_string(tmp("pr-serial.json")).unwrap();
+    for name in sat_bench::pressurebench::record_names() {
+        assert!(snap.contains(&format!("\"name\": \"{name}\"")), "{snap}");
+    }
+    assert!(snap.contains("\"mem_frames\": "), "{snap}");
+    assert!(snap.contains("\"reclaim\": {\"passes\":"), "{snap}");
+}
+
+/// A doctored pressure snapshot with inflated reclaim volume fails
+/// `repro diff` on the reclaim gate specifically.
+#[test]
+fn diff_gates_on_doctored_reclaim_totals() {
+    let write = |name: &str, pages: u64| -> PathBuf {
+        let path = tmp(name);
+        std::fs::write(
+            &path,
+            format!(
+                r#"{{
+  "schema": "sat-bench/repro-v6",
+  "command": "pressure",
+  "scale": "quick",
+  "threads": 2,
+  "experiments": [
+    {{"name": "pressure_shared_starved", "wall_ms": 100.000, "cells": 1,
+      "latency": {{"p50": 20000, "p95": 90000, "p99": 120000}},
+      "mem_frames": 900,
+      "reclaim": {{"passes": 40, "pages": {pages}, "pte_tears": 80,
+                   "shared_tears": 120, "refaults": {pages}}},
+      "events": {{}}, "gauges": {{}}}}
+  ],
+  "total_wall_ms": 100.000,
+  "obs": {{"enabled": false, "dropped_events": 0, "counters": {{}}, "histograms": {{}}}}
+}}
+"#
+            ),
+        )
+        .unwrap();
+        path
+    };
+    let old = write("reclaim-old.json", 400);
+    let same = write("reclaim-same.json", 400);
+    let out = repro(&["diff", old.to_str().unwrap(), same.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "identical reclaim totals must pass: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    let doctored = write("reclaim-new.json", 600);
+    let out = repro(&["diff", old.to_str().unwrap(), doctored.to_str().unwrap()]);
+    assert!(!out.status.success(), "+50% eviction volume must fail");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSION"), "{stdout}");
+    assert!(
+        stdout.contains("pressure_shared_starved.reclaim pages"),
+        "{stdout}"
+    );
 }
 
 /// The sat-sched experiment is a pure function of its seed: the same

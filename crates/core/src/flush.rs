@@ -14,7 +14,7 @@
 //! shootdown per operation instead of one per call site.
 
 use sat_obs::FlushReason;
-use sat_types::{Asid, Pid, VpnRange};
+use sat_types::{Asid, Pid, VirtAddr, VpnRange};
 
 use crate::TlbMaintenance;
 
@@ -44,6 +44,11 @@ pub enum FlushOp {
         /// Pages whose entries die.
         range: VpnRange,
     },
+    /// One page in *every* address space, globals included
+    /// (`TLBIMVAA`) — used when a shared-PTP PTE is torn and the
+    /// sharers' ASIDs cannot be enumerated, or when the torn PTE was
+    /// global.
+    VaAllAsids(VirtAddr),
     /// Every non-global entry of one address space (`TLBIASID`).
     Asid(Asid),
     /// Everything, globals included (`TLBIALL`) — the escalation for
@@ -109,6 +114,11 @@ impl FlushBatch {
         if !range.is_empty() {
             self.ops.push((FlushOp::Range { asid, range }, reason));
         }
+    }
+
+    /// Gathers a one-page-all-ASIDs invalidation (`TLBIMVAA`).
+    pub fn va_all_asids(&mut self, va: VirtAddr, reason: FlushReason) {
+        self.ops.push((FlushOp::VaAllAsids(va), reason));
     }
 
     /// Gathers a full per-ASID invalidation.
@@ -207,12 +217,24 @@ fn resolve_group(
             }
         }
     }
+    // One-page-all-ASIDs ops, deduplicated. A full-ASID op does *not*
+    // subsume them: globals survive `TLBIASID` but not `TLBIMVAA`.
+    let mut vaa: Vec<VirtAddr> = Vec::new();
+    for op in group {
+        if let FlushOp::VaAllAsids(va) = op {
+            if vaa.contains(va) {
+                outcome.coalesced += 1;
+            } else {
+                vaa.push(*va);
+            }
+        }
+    }
     let mut by_asid: Vec<(Asid, Vec<VpnRange>)> = Vec::new();
     for op in group {
         let (asid, range) = match op {
             FlushOp::Page { asid, vpn } => (*asid, VpnRange::single(*vpn)),
             FlushOp::Range { asid, range } => (*asid, *range),
-            FlushOp::Asid(_) | FlushOp::Global => continue,
+            FlushOp::Asid(_) | FlushOp::VaAllAsids(_) | FlushOp::Global => continue,
         };
         if full.contains(&asid) {
             outcome.coalesced += 1;
@@ -225,6 +247,9 @@ fn resolve_group(
     }
     for asid in &full {
         tlb.flush_asid(*asid);
+    }
+    for va in &vaa {
+        tlb.flush_va_all_asids(*va);
     }
     for (asid, mut ranges) in by_asid {
         ranges.sort_by_key(|r| (r.start, r.end));
@@ -426,6 +451,38 @@ mod tests {
                 ("range 7 0x50..0x52".into(), FlushReason::RegionOp),
             ]
         );
+    }
+
+    #[test]
+    fn va_all_asids_dedups_and_survives_asid_subsumption() {
+        let mut b = batch();
+        let va = VirtAddr::new(0x4000_2000);
+        b.va_all_asids(va, FlushReason::Reclaim);
+        b.va_all_asids(va, FlushReason::Reclaim);
+        // A full-ASID flush must not subsume the all-ASIDs page op:
+        // globals survive TLBIASID but not TLBIMVAA.
+        b.asid(Asid::new(3), FlushReason::Reclaim);
+        b.page(Asid::new(4), 0x77, FlushReason::Reclaim);
+        let mut tlb = Recorder::default();
+        let o = apply_traced(b, &mut tlb);
+        assert_eq!(
+            tlb.calls,
+            vec![
+                ("asid 3".into(), FlushReason::Reclaim),
+                ("vaa 0x40002000".into(), FlushReason::Reclaim),
+                ("page 4 0x77".into(), FlushReason::Reclaim),
+            ]
+        );
+        assert_eq!(o.coalesced, 1);
+
+        // Global still subsumes the whole group.
+        let mut g = batch();
+        g.va_all_asids(va, FlushReason::Reclaim);
+        g.global(FlushReason::Reclaim);
+        let mut tlb = Recorder::default();
+        let o = apply_traced(g, &mut tlb);
+        assert_eq!(tlb.calls, vec![("all".into(), FlushReason::Reclaim)]);
+        assert_eq!(o.coalesced, 1);
     }
 
     #[test]

@@ -65,6 +65,15 @@ pub struct KernelStats {
     /// ASID generation rollovers (8-bit space exhausted; non-global
     /// TLB entries flushed, live ASIDs reassigned lazily).
     pub asid_rollovers: u64,
+    /// Reclaim passes run ([`Kernel::reclaim`]).
+    pub reclaims: u64,
+    /// File page-cache frames evicted by reclaim.
+    pub reclaim_pages: u64,
+    /// PTEs torn from private PTPs by reclaim.
+    pub reclaim_pte_tears: u64,
+    /// PTEs torn out of *shared* PTPs by reclaim (each tear repairs
+    /// every sharer at once; the PTP stays shared).
+    pub reclaim_shared_tears: u64,
 }
 
 impl KernelStats {
@@ -139,7 +148,7 @@ pub struct Kernel {
     pub files: FileRegistry,
     /// Kernel-global statistics.
     pub stats: KernelStats,
-    procs: HashMap<Pid, Mm>,
+    pub(crate) procs: HashMap<Pid, Mm>,
     next_pid: u32,
     /// The generational 8-bit ASID allocator (see [`crate::asid`]).
     asids: AsidAllocator,
@@ -325,6 +334,9 @@ impl Kernel {
         req: &MmapRequest,
         tlb: &mut dyn TlbMaintenance,
     ) -> SatResult<VirtAddr> {
+        // Allocation pressure check before the map materializes
+        // anything (no-op without a frame budget).
+        self.maybe_reclaim(tlb);
         let config = self.config;
         let mm = self.procs.get_mut(&pid).ok_or(SatError::NoSuchProcess)?;
         let asid = mm.asid.raw();
@@ -506,6 +518,10 @@ impl Kernel {
         access: AccessType,
         tlb: &mut dyn TlbMaintenance,
     ) -> SatResult<ProcFaultOutcome> {
+        // The fault path is where frames are actually allocated;
+        // crossing the low watermark triggers a reclaim pass first
+        // (no-op without a frame budget).
+        self.maybe_reclaim(tlb);
         let config = self.config;
         let mm = self.procs.get_mut(&pid).ok_or(SatError::NoSuchProcess)?;
         let mut batch = FlushBatch::new(pid, mm.asid);
@@ -576,6 +592,9 @@ impl Kernel {
         name: &str,
         tlb: &mut dyn TlbMaintenance,
     ) -> SatResult<sat_vm::LargeMapReport> {
+        // Eager population allocates the whole region up front; check
+        // pressure first (no-op without a frame budget).
+        self.maybe_reclaim(tlb);
         let config = self.config;
         let mm = self.procs.get_mut(&pid).ok_or(SatError::NoSuchProcess)?;
         let zygote_like = mm.is_zygote_like();
@@ -797,7 +816,7 @@ impl Kernel {
     /// Reads the PTE slot serving `va` in `pid`, if populated.
     pub fn pte(&mut self, pid: Pid, va: VirtAddr) -> SatResult<Option<PteSlot>> {
         let mm = self.procs.get_mut(&pid).ok_or(SatError::NoSuchProcess)?;
-        let mapper = Mapper::new(&mut mm.root, &mut self.ptps, &mut self.phys);
+        let mapper = Mapper::new(&mut mm.root, &mut self.ptps, &mut self.phys, pid);
         Ok(mapper.get_pte(va))
     }
 

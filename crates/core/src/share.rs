@@ -177,7 +177,7 @@ pub fn fork_share(
                     .filter(|v| v.perms.write())
                     .filter_map(|v| v.range.intersect(&span))
                     .collect();
-                let mut mapper = Mapper::new(&mut parent.root, ptps, phys);
+                let mut mapper = Mapper::new(&mut parent.root, ptps, phys, parent.pid);
                 for r in vma_ranges {
                     let protected = mapper.write_protect_range(r) as u64;
                     report.write_protect_ops += protected;
@@ -208,6 +208,29 @@ pub fn fork_share(
             registry.share(ptp_frame, chunk, domain);
             child.root.set_table_pair(chunk, ptp_frame, domain, true);
             phys.map_inc(ptp_frame);
+            // The PTP's PTEs now serve every sharer, so their rmap
+            // entries move from the parent to the sentinel owner:
+            // reclaim must tear each physical PTE exactly once,
+            // through the shared path, not once per recorded owner.
+            if let Some(table) = ptps.get(ptp_frame) {
+                let slots: Vec<(TableHalf, usize, sat_types::Pfn)> = table
+                    .iter()
+                    .map(|(half, idx, slot)| (half, idx, slot.hw.frame_for_slot(idx)))
+                    .collect();
+                for (half, idx, frame) in slots {
+                    if matches!(
+                        phys.page(frame).kind,
+                        FrameKind::Anon | FrameKind::File { .. }
+                    ) {
+                        phys.rmap_reown(
+                            frame,
+                            parent.pid,
+                            Pid::new(0),
+                            Mapper::slot_va(chunk, half, idx),
+                        );
+                    }
+                }
+            }
             report.ptps_shared += 1;
             child.counters.ptps_shared_at_fork += 1;
         } else {
@@ -389,11 +412,19 @@ pub fn unshare(
     }
     // The copied PTEs are new mappings of their frames (slot-aware:
     // each replicated 64KB descriptor references its own 4KB frame of
-    // the group, matching the teardown accounting).
-    for (_, idx, slot) in copy.iter() {
+    // the group, matching the teardown accounting). Each copy is a
+    // private PTE of `mm`, so it gets its own rmap entry under `mm`'s
+    // pid (the shared original stays recorded under the sentinel).
+    for (half, idx, slot) in copy.iter() {
         let frame = slot.hw.frame_for_slot(idx);
         phys.get_page(frame);
         phys.map_inc(frame);
+        if matches!(
+            phys.page(frame).kind,
+            FrameKind::Anon | FrameKind::File { .. }
+        ) {
+            phys.rmap_add(frame, mm.pid, Mapper::slot_va(chunk, half, idx));
+        }
     }
     ptps.insert_clone(new_frame, copy);
     phys.map_inc(new_frame);
@@ -580,7 +611,7 @@ mod tests {
         setup_heap_same_chunk(&mut f);
         let (_, report) = share_fork(&mut f, 2);
         assert_eq!(report.write_protect_ops, 2); // the two heap pages
-        let mapper = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys);
+        let mapper = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys, Pid::new(1));
         assert!(!mapper
             .get_pte(VirtAddr::new(0x4010_0000))
             .unwrap()
@@ -633,7 +664,7 @@ mod tests {
         assert_eq!(report.ptes_copied, 2); // stack PTEs
         assert_eq!(report.ptps_allocated, 1); // child's private stack PTP
         assert!(!child.root.entry_for(VirtAddr::new(0xBF00_0000)).need_copy());
-        let cm = Mapper::new(&mut child.root, &mut f.ptps, &mut f.phys);
+        let cm = Mapper::new(&mut child.root, &mut f.ptps, &mut f.phys, Pid::new(2));
         assert!(cm.get_pte(VirtAddr::new(0xBF00_0000)).is_some());
     }
 
@@ -711,7 +742,7 @@ mod tests {
         )
         .unwrap();
         // The parent now sees the PTE without any fault.
-        let pm = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys);
+        let pm = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys, Pid::new(1));
         assert!(pm.get_pte(va).is_some());
     }
 
@@ -782,7 +813,7 @@ mod tests {
         assert!(f.mm.root.entry_for(chunk).need_copy());
         assert_eq!(f.phys.mapcount(shared_ptp), 1);
         // Data frames now have two PTE mappings each.
-        let cm = Mapper::new(&mut child.root, &mut f.ptps, &mut f.phys);
+        let cm = Mapper::new(&mut child.root, &mut f.ptps, &mut f.phys, Pid::new(2));
         let pfn = cm.get_pte(chunk).unwrap().hw.pfn;
         assert_eq!(f.phys.mapcount(pfn), 2);
         assert_eq!(child.counters.ptes_copied_unshare, 4);
@@ -848,7 +879,7 @@ mod tests {
         .unwrap()
         .unwrap();
         assert_eq!(r.ptes_copied, 2);
-        let cm = Mapper::new(&mut child.root, &mut f.ptps, &mut f.phys);
+        let cm = Mapper::new(&mut child.root, &mut f.ptps, &mut f.phys, Pid::new(2));
         assert!(cm.get_pte(VirtAddr::new(0x4000_0000)).is_some());
         assert!(cm.get_pte(VirtAddr::new(0x4000_1000)).is_none()); // refaults later
     }
@@ -901,7 +932,7 @@ mod tests {
         let mut f = fx();
         setup_heap_same_chunk(&mut f);
         let va = VirtAddr::new(0x4010_0000);
-        let orig_pfn = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys)
+        let orig_pfn = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys, Pid::new(1))
             .get_pte(va)
             .unwrap()
             .hw
@@ -930,12 +961,12 @@ mod tests {
             FaultCtx::default(),
         )
         .unwrap();
-        let parent_pfn = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys)
+        let parent_pfn = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys, Pid::new(1))
             .get_pte(va)
             .unwrap()
             .hw
             .pfn;
-        let child_pfn = Mapper::new(&mut child.root, &mut f.ptps, &mut f.phys)
+        let child_pfn = Mapper::new(&mut child.root, &mut f.ptps, &mut f.phys, Pid::new(2))
             .get_pte(va)
             .unwrap()
             .hw
@@ -978,7 +1009,7 @@ mod tests {
         .unwrap()
         .unwrap();
         // The copy must have COW-protected the heap PTE.
-        let cm = Mapper::new(&mut child.root, &mut f.ptps, &mut f.phys);
+        let cm = Mapper::new(&mut child.root, &mut f.ptps, &mut f.phys, Pid::new(2));
         assert!(!cm.get_pte(va).unwrap().hw.perms.write());
         let _ = cm;
         // Child's write fault now COWs.
@@ -1006,7 +1037,7 @@ mod tests {
         )
         .unwrap()
         .unwrap();
-        let pm = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys);
+        let pm = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys, Pid::new(1));
         let pte = pm.get_pte(VirtAddr::new(0x4010_1000)).unwrap();
         // Page still shared with nobody after child COW'd page 0 only;
         // page 1 is still multiply-mapped (child copy kept it).

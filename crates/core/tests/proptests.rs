@@ -10,6 +10,16 @@
 //! whole system down and check nothing leaked: no registry entries, no
 //! PTPs in the arena (a double-free would underflow the slab first),
 //! and every physical frame back on the free list.
+//!
+//! Reclaim rides along: every sequence runs under a tight frame
+//! budget (so allocation pressure fires organic reclaim through the
+//! mmap/fault hooks), explicit `Reclaim` ops force extra passes, and
+//! `Refault` ops fault evicted code pages back in. After every op the
+//! reverse map must reconcile against live PTEs
+//! ([`sat_phys::PhysMem::rmap_verify`]) and the eviction ledger must
+//! conserve (`evictions == refaults + still_evicted`); at teardown
+//! the rmap must be empty and the cache deficit must equal the
+//! still-evicted count exactly.
 
 use proptest::prelude::*;
 use sat_core::{Kernel, KernelConfig, NoTlb};
@@ -37,6 +47,11 @@ enum Op {
     Munmap(usize),
     /// Exit the `n`-th live *child* (the zygote outlives the ops).
     Exit(usize),
+    /// Force a reclaim pass evicting up to `1 + p % 4` file pages.
+    Reclaim(u8),
+    /// Refault code page `p` in process `n` if reclaim evicted it
+    /// (no-op while the PTE is still live).
+    Refault(usize, u8),
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -46,6 +61,8 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (0usize..64).prop_map(Op::MmapNew),
         (0usize..64).prop_map(Op::Munmap),
         (0usize..64).prop_map(Op::Exit),
+        any::<u8>().prop_map(Op::Reclaim),
+        ((0usize..64), any::<u8>()).prop_map(|(n, p)| Op::Refault(n, p)),
     ]
 }
 
@@ -100,6 +117,10 @@ fn teardown_floor(config: KernelConfig) -> u64 {
 fn run_sequence(config: KernelConfig, ops: &[Op]) {
     let floor = teardown_floor(config);
     let (mut k, zygote) = boot(config);
+    // A budget just above the boot footprint: forks and fresh
+    // mappings cross the low watermark organically, so reclaim also
+    // fires through the mmap/fault hooks, not only via Op::Reclaim.
+    k.set_frame_budget(Some(k.phys.frames_in_use() + 32));
     let mut live = vec![zygote]; // index 0 is always the zygote
     let mut mapped: Vec<(Pid, VirtAddr)> = Vec::new();
     let mut next_slot = 0u32;
@@ -146,12 +167,32 @@ fn run_sequence(config: KernelConfig, ops: &[Op]) {
                 let pid = live.remove(1 + n % (live.len() - 1));
                 k.exit(pid, &mut NoTlb).unwrap();
             }
+            Op::Reclaim(p) => {
+                k.reclaim(1 + (p as u64) % 4, &mut NoTlb);
+            }
+            Op::Refault(n, p) => {
+                let pid = live[n % live.len()];
+                let va = VirtAddr::new(CODE_BASE + (p as u32 % CODE_PAGES) * PAGE_SIZE);
+                if k.pte(pid, va).unwrap().is_none() {
+                    k.page_fault(pid, va, AccessType::Execute, &mut NoTlb)
+                        .unwrap();
+                }
+            }
         }
         k.verify_share_accounting()
             .unwrap_or_else(|e| panic!("after {op:?}: {e}"));
         assert_eq!(
             k.stats.ptp_unshares, k.registry.stats.ptp_unshares,
             "KernelStats out of sync with the registry after {op:?}"
+        );
+        k.phys
+            .rmap_verify()
+            .unwrap_or_else(|e| panic!("rmap broken after {op:?}: {e}"));
+        let s = k.phys.stats();
+        assert_eq!(
+            s.evictions,
+            s.refaults + k.phys.still_evicted() as u64,
+            "eviction ledger does not conserve after {op:?}"
         );
     }
 
@@ -168,8 +209,19 @@ fn run_sequence(config: KernelConfig, ops: &[Op]) {
         "registry entries leaked past the last exit"
     );
     assert!(k.ptps.is_empty(), "PTPs leaked past the last exit");
+    assert!(
+        k.phys.rmap_is_empty(),
+        "rmap entries leaked past the last exit"
+    );
+    // Only page-cache residency survives the last exit, and evicted
+    // pages that never refaulted account for the whole cache deficit.
     assert_eq!(
         k.phys.frames_in_use(),
+        k.phys.page_cache_len() as u64,
+        "non-cache frames leaked past the last exit"
+    );
+    assert_eq!(
+        k.phys.frames_in_use() + k.phys.still_evicted() as u64,
         floor,
         "physical frames leaked past the last exit"
     );

@@ -15,7 +15,7 @@
 //! modify a PTP it shares).
 
 use sat_phys::{FrameKind, PhysMem};
-use sat_types::{Domain, Pfn, SatError, SatResult, VaRange, VirtAddr};
+use sat_types::{Domain, Pfn, Pid, SatError, SatResult, VaRange, VirtAddr, PAGE_SIZE};
 
 use crate::l1::{L1Entry, RootTable};
 use crate::pte::{HwPte, PteSlot, SwPte};
@@ -38,12 +38,26 @@ pub struct Mapper<'a> {
     pub ptps: &'a mut PtpStore,
     /// Physical memory.
     pub phys: &'a mut PhysMem,
+    /// The process whose address space this mapper mutates; recorded
+    /// in the reverse map so reclaim can find every PTE mapping a
+    /// victim frame.
+    pub pid: Pid,
 }
 
 impl<'a> Mapper<'a> {
-    /// Creates a mapper over the given structures.
-    pub fn new(root: &'a mut RootTable, ptps: &'a mut PtpStore, phys: &'a mut PhysMem) -> Self {
-        Mapper { root, ptps, phys }
+    /// Creates a mapper over the given structures for process `pid`.
+    pub fn new(
+        root: &'a mut RootTable,
+        ptps: &'a mut PtpStore,
+        phys: &'a mut PhysMem,
+        pid: Pid,
+    ) -> Self {
+        Mapper {
+            root,
+            ptps,
+            phys,
+            pid,
+        }
     }
 
     /// Returns the PTP frame covering `va`, allocating (and installing
@@ -101,6 +115,18 @@ impl<'a> Mapper<'a> {
         let data_frame = hw.frame_for_slot(va.l2_index());
         self.phys.get_page(data_frame);
         self.phys.map_inc(data_frame);
+        if self.is_data_frame(data_frame) {
+            // A PTE populated into a shared (NEED_COPY) PTP belongs to
+            // no single process — the populating sharer may exit while
+            // the PTE lives on — so it is recorded under the sentinel
+            // pid 0; reclaim resolves it through the share registry.
+            let owner = if self.root.entry_for(va).need_copy() {
+                Pid::new(0)
+            } else {
+                self.pid
+            };
+            self.phys.rmap_add(data_frame, owner, va);
+        }
         let half = TableHalf::of(va);
         let prev = self
             .ptps
@@ -108,7 +134,7 @@ impl<'a> Mapper<'a> {
             .expect("PTP in store")
             .set(half, va.l2_index(), hw, sw);
         if let Some(old) = prev {
-            self.drop_frame_ref(old, va.l2_index());
+            self.drop_frame_ref(old, va);
         }
         Ok(SetPte {
             ptp_allocated: allocated,
@@ -129,7 +155,27 @@ impl<'a> Mapper<'a> {
         };
         let prev = self.ptps.get_mut(ptp)?.clear(half, va.l2_index());
         if let Some(old) = prev {
-            self.drop_frame_ref(old, va.l2_index());
+            self.drop_frame_ref(old, va);
+        }
+        prev
+    }
+
+    /// Tears the PTE for `va` out of the page table on behalf of
+    /// reclaim, dropping the mapped frame's references. Unlike
+    /// [`Mapper::clear_pte`] this is *permitted* on a `NEED_COPY`
+    /// (shared) PTP: eviction removes the entry from the single
+    /// physical table, repairing every sharer at once — each sharer
+    /// simply refaults the page through the page cache, exactly as the
+    /// paper's shared-PTP populate path works in reverse. Returns the
+    /// removed hardware entry.
+    pub fn reclaim_pte(&mut self, va: VirtAddr) -> Option<HwPte> {
+        let (ptp, half) = match self.root.entry_for(va) {
+            L1Entry::Table { ptp, half, .. } => (ptp, half),
+            _ => return None,
+        };
+        let prev = self.ptps.get_mut(ptp)?.clear(half, va.l2_index());
+        if let Some(old) = prev {
+            self.drop_frame_ref(old, va);
         }
         prev
     }
@@ -210,12 +256,21 @@ impl<'a> Mapper<'a> {
         if self.phys.map_dec(frame) > 0 {
             return false; // other processes still reference it
         }
+        let chunk = va.ptp_base();
         let table = self.ptps.remove(frame).expect("PTP in store");
-        for (_, idx, slot) in table.iter() {
-            self.drop_frame_ref(slot.hw, idx);
+        for (half, idx, slot) in table.iter() {
+            let slot_va = Mapper::slot_va(chunk, half, idx);
+            self.drop_frame_ref(slot.hw, slot_va);
         }
         self.phys.put_page(frame);
         true
+    }
+
+    /// The virtual address mapped by slot (`half`, `idx`) of the PTP
+    /// pair covering the 2MB chunk at `chunk`.
+    pub fn slot_va(chunk: VirtAddr, half: TableHalf, idx: usize) -> VirtAddr {
+        debug_assert!(chunk.is_ptp_aligned());
+        VirtAddr::new(chunk.raw() + ((half.index() as u32) << 20) + (idx as u32) * PAGE_SIZE)
     }
 
     /// Iterates populated PTEs in `range` as `(va, slot)`.
@@ -226,13 +281,25 @@ impl<'a> Mapper<'a> {
             .collect()
     }
 
-    /// Drops the frame reference held by the PTE at second-level slot
-    /// `l2_idx`. A 64KB large-page slot references its own 4KB frame
-    /// of the sixteen-frame group (`base + slot-within-group`).
-    fn drop_frame_ref(&mut self, hw: HwPte, l2_idx: usize) {
-        let frame = hw.frame_for_slot(l2_idx);
+    /// Drops the frame reference held by the PTE at `va`. A 64KB
+    /// large-page slot references its own 4KB frame of the
+    /// sixteen-frame group (`base + slot-within-group`).
+    fn drop_frame_ref(&mut self, hw: HwPte, va: VirtAddr) {
+        let frame = hw.frame_for_slot(va.l2_index());
+        if self.is_data_frame(frame) {
+            self.phys.rmap_remove(frame, self.pid, va);
+        }
         self.phys.map_dec(frame);
         self.phys.put_page(frame);
+    }
+
+    /// Returns `true` for frames tracked in the reverse map: user data
+    /// frames, not page tables or kernel-identity frames.
+    fn is_data_frame(&self, pfn: Pfn) -> bool {
+        matches!(
+            self.phys.page(pfn).kind,
+            FrameKind::Anon | FrameKind::File { .. }
+        )
     }
 }
 
@@ -259,7 +326,7 @@ mod tests {
         }
 
         fn mapper(&mut self) -> Mapper<'_> {
-            Mapper::new(&mut self.root, &mut self.ptps, &mut self.phys)
+            Mapper::new(&mut self.root, &mut self.ptps, &mut self.phys, Pid::new(1))
         }
 
         fn anon_frame(&mut self) -> Pfn {

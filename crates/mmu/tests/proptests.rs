@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use sat_mmu::{walk, HwPte, Mapper, PtpStore, RootTable, SwPte, WalkOutcome};
 use sat_phys::{FrameKind, PhysMem};
-use sat_types::{Domain, PageSize, Perms, Pfn, VaRange, VirtAddr, PAGE_SIZE};
+use sat_types::{Domain, PageSize, Perms, Pfn, Pid, VaRange, VirtAddr, PAGE_SIZE};
 
 fn perms_strategy() -> impl Strategy<Value = Perms> {
     prop_oneof![
@@ -52,7 +52,7 @@ proptest! {
 
         let mut frames = Vec::new();
         {
-            let mut m = Mapper::new(&mut root, &mut ptps, &mut phys);
+            let mut m = Mapper::new(&mut root, &mut ptps, &mut phys, Pid::new(1));
             for &p in &pages {
                 let frame = m.phys.alloc(FrameKind::Anon).unwrap();
                 let va = VirtAddr::new(0x1000_0000 + p * PAGE_SIZE);
@@ -79,7 +79,7 @@ proptest! {
 
         // Tear down: all data and table frames return.
         {
-            let mut m = Mapper::new(&mut root, &mut ptps, &mut phys);
+            let mut m = Mapper::new(&mut root, &mut ptps, &mut phys, Pid::new(1));
             let chunks: Vec<usize> = m.root.iter_ptps().map(|(i, _)| i).collect();
             for c in chunks {
                 m.release_ptp_pair(VirtAddr::new((c as u32) << 20));
@@ -97,7 +97,7 @@ proptest! {
         let mut phys = PhysMem::new(4096);
         let mut root = RootTable::alloc(&mut phys).unwrap();
         let mut ptps = PtpStore::new();
-        let mut m = Mapper::new(&mut root, &mut ptps, &mut phys);
+        let mut m = Mapper::new(&mut root, &mut ptps, &mut phys, Pid::new(1));
         for &p in &pages {
             let frame = m.phys.alloc(FrameKind::Anon).unwrap();
             let va = VirtAddr::new(0x2000_0000 + p * PAGE_SIZE);

@@ -141,6 +141,14 @@ pub struct Rollup {
     pub batch_escalated: u64,
     /// Scheduler timeslice preemptions.
     pub preemptions: u64,
+    /// Reclaim passes that evicted at least one page.
+    pub reclaims: u64,
+    /// Pages evicted across all reclaim passes.
+    pub reclaim_pages: u64,
+    /// Private PTEs torn by reclaim (one mapping each).
+    pub reclaim_pte_tears: u64,
+    /// Shared-PTP slots torn by reclaim (all sharers repaired at once).
+    pub reclaim_shared_tears: u64,
     /// Cycle-charge volume per blame cause (flow 0 included — the
     /// unattributed bucket).
     pub charge_causes: BTreeMap<&'static str, u64>,
@@ -222,6 +230,16 @@ impl Rollup {
                     r.batch_escalated += escalated;
                 }
                 Payload::Preempt { .. } => r.preemptions += 1,
+                Payload::Reclaim {
+                    pages,
+                    pte_tears,
+                    shared_tears,
+                } => {
+                    r.reclaims += 1;
+                    r.reclaim_pages += pages;
+                    r.reclaim_pte_tears += pte_tears;
+                    r.reclaim_shared_tears += shared_tears;
+                }
                 Payload::CycleCharge { cause, cycles, .. } => {
                     r.charges += 1;
                     *r.charge_causes.entry(cause.as_str()).or_default() += cycles;
@@ -401,6 +419,8 @@ pub struct WindowRow {
     /// summed over the window's shootdowns.
     pub flush_ipis: u64,
     pub preemptions: u64,
+    /// Pages evicted by reclaim passes in the window.
+    pub reclaimed: u64,
     /// Gauge sample points in the window.
     pub samples: u64,
 }
@@ -419,6 +439,7 @@ impl WindowRow {
                 ..
             } => self.flush_ipis += u64::from(cores_targeted - cores_local),
             Payload::Preempt { .. } => self.preemptions += 1,
+            Payload::Reclaim { pages, .. } => self.reclaimed += pages,
             Payload::Sample { .. } => self.samples += 1,
             _ => {}
         }
@@ -517,6 +538,7 @@ impl Timeline {
             total.flushes += row.flushes;
             total.flush_ipis += row.flush_ipis;
             total.preemptions += row.preemptions;
+            total.reclaimed += row.reclaimed;
             total.samples += row.samples;
         }
         total

@@ -165,6 +165,15 @@ fn args_json(payload: &Payload) -> String {
             push_kv_num(&mut o, "flow", u64::from(*flow), false);
             push_kv_num(&mut o, "wall", *wall, true);
         }
+        Payload::Reclaim {
+            pages,
+            pte_tears,
+            shared_tears,
+        } => {
+            push_kv_num(&mut o, "pages", *pages, false);
+            push_kv_num(&mut o, "pte_tears", *pte_tears, true);
+            push_kv_num(&mut o, "shared_tears", *shared_tears, true);
+        }
     }
     o.push('}');
     o
@@ -395,6 +404,11 @@ fn parse_event(obj: &crate::json::Json, index: usize) -> Result<Event, String> {
             "flow_end" => Payload::FlowEnd {
                 flow: field_u64(args, "flow", &ctx)? as u32,
                 wall: field_u64(args, "wall", &ctx)?,
+            },
+            "reclaim" => Payload::Reclaim {
+                pages: field_u64(args, "pages", &ctx)?,
+                pte_tears: field_u64(args, "pte_tears", &ctx)?,
+                shared_tears: field_u64(args, "shared_tears", &ctx)?,
             },
             op if RegionOpKind::parse(op).is_some() => Payload::RegionOp {
                 op: RegionOpKind::parse(op).unwrap(),

@@ -96,6 +96,10 @@ pub enum UnshareCause {
     RegionOp,
     /// Address-space teardown.
     Exit,
+    /// Memory-pressure reclaim tore a PTE out of the shared PTP (the
+    /// table stays shared; every sharer is repaired at once and
+    /// refaults through the page cache).
+    Reclaim,
 }
 
 impl UnshareCause {
@@ -106,6 +110,7 @@ impl UnshareCause {
             UnshareCause::RegionFree => "region_free",
             UnshareCause::RegionOp => "region_op",
             UnshareCause::Exit => "exit",
+            UnshareCause::Reclaim => "reclaim",
         }
     }
 
@@ -117,16 +122,18 @@ impl UnshareCause {
             UnshareCause::RegionFree => "share.unshare.region_free",
             UnshareCause::RegionOp => "share.unshare.region_op",
             UnshareCause::Exit => "share.unshare.exit",
+            UnshareCause::Reclaim => "share.unshare.reclaim",
         }
     }
 
     /// Every live cause, in Figure-6 order.
-    pub const ALL: [UnshareCause; 5] = [
+    pub const ALL: [UnshareCause; 6] = [
         UnshareCause::WriteFault,
         UnshareCause::NewRegion,
         UnshareCause::RegionFree,
         UnshareCause::RegionOp,
         UnshareCause::Exit,
+        UnshareCause::Reclaim,
     ];
 
     /// Inverse of [`UnshareCause::as_str`] (trace re-ingestion).
@@ -154,6 +161,9 @@ pub enum FlushReason {
     FaultRepair,
     DomainFault,
     AsidRecycle,
+    /// Memory-pressure reclaim tore PTEs and must evict their cached
+    /// translations before the frame is reused.
+    Reclaim,
 }
 
 impl FlushReason {
@@ -168,6 +178,7 @@ impl FlushReason {
             FlushReason::FaultRepair => "fault_repair",
             FlushReason::DomainFault => "domain_fault",
             FlushReason::AsidRecycle => "asid_recycle",
+            FlushReason::Reclaim => "reclaim",
         }
     }
 
@@ -183,11 +194,12 @@ impl FlushReason {
             FlushReason::FaultRepair => "tlb.flush.reason.fault_repair",
             FlushReason::DomainFault => "tlb.flush.reason.domain_fault",
             FlushReason::AsidRecycle => "tlb.flush.reason.asid_recycle",
+            FlushReason::Reclaim => "tlb.flush.reason.reclaim",
         }
     }
 
     /// Every reason (reporting iterates these in a stable order).
-    pub const ALL: [FlushReason; 9] = [
+    pub const ALL: [FlushReason; 10] = [
         FlushReason::ContextSwitch,
         FlushReason::Fork,
         FlushReason::Exit,
@@ -196,6 +208,7 @@ impl FlushReason {
         FlushReason::FaultRepair,
         FlushReason::DomainFault,
         FlushReason::AsidRecycle,
+        FlushReason::Reclaim,
         FlushReason::Unattributed,
     ];
 
@@ -216,6 +229,7 @@ impl FlushReason {
             FlushReason::FaultRepair => "tlb.flush.reason.fault_repair.entries",
             FlushReason::DomainFault => "tlb.flush.reason.domain_fault.entries",
             FlushReason::AsidRecycle => "tlb.flush.reason.asid_recycle.entries",
+            FlushReason::Reclaim => "tlb.flush.reason.reclaim.entries",
         }
     }
 }
@@ -612,6 +626,15 @@ pub enum Payload {
     /// the serving core's cycle clock — the quantity the per-cause
     /// charges must reconcile to exactly.
     FlowEnd { flow: u32, wall: u64 },
+    /// One memory-pressure reclaim pass completed: `pages` file frames
+    /// were evicted back to the free pool, tearing `pte_tears` PTEs,
+    /// of which `shared_tears` lived in shared PTPs (torn in place —
+    /// one tear repairs every sharer, who refault via the page cache).
+    Reclaim {
+        pages: u64,
+        pte_tears: u64,
+        shared_tears: u64,
+    },
 }
 
 impl Payload {
@@ -636,6 +659,7 @@ impl Payload {
             Payload::FlowArrive { .. } => "flow_arrive",
             Payload::FlowBegin { .. } => "flow_begin",
             Payload::FlowEnd { .. } => "flow_end",
+            Payload::Reclaim { .. } => "reclaim",
         }
     }
 }

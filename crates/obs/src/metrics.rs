@@ -382,6 +382,16 @@ impl MetricsRegistry {
                 self.inc("flow.end", 1);
                 self.record("flow.wall_cycles", *wall);
             }
+            Payload::Reclaim {
+                pages,
+                pte_tears,
+                shared_tears,
+            } => {
+                self.inc("kernel.reclaim", 1);
+                self.inc("kernel.reclaim.pages", *pages);
+                self.inc("kernel.reclaim.pte_tears", *pte_tears);
+                self.inc("kernel.reclaim.shared_tears", *shared_tears);
+            }
         }
     }
 

@@ -151,6 +151,14 @@ pub fn render_text(r: &Rollup) -> String {
         );
     }
 
+    if r.reclaims > 0 {
+        heading(&mut out, "Memory reclaim");
+        let _ = writeln!(out, "reclaim passes:         {}", r.reclaims);
+        let _ = writeln!(out, "pages evicted:          {}", r.reclaim_pages);
+        let _ = writeln!(out, "private PTEs torn:      {}", r.reclaim_pte_tears);
+        let _ = writeln!(out, "shared-PTP slots torn:  {}", r.reclaim_shared_tears);
+    }
+
     if r.batches > 0 {
         heading(&mut out, "Flush batching (mmu_gather)");
         let _ = writeln!(out, "batches applied:        {}", r.batches);
@@ -283,6 +291,17 @@ pub fn render_timeline(r: &Rollup, t: &Timeline) -> String {
         totals.preemptions,
         totals.samples
     );
+
+    if totals.reclaimed > 0 {
+        heading(&mut out, "Windowed reclaim (pages evicted)");
+        let _ = writeln!(out, "{:>10}  {:>9}", "tick", "reclaimed");
+        rule(&mut out, &[10, 9]);
+        for row in &t.rows {
+            let _ = writeln!(out, "{:>10}  {:>9}", row.start, row.reclaimed);
+        }
+        rule(&mut out, &[10, 9]);
+        let _ = writeln!(out, "{:>10}  {:>9}", "total", totals.reclaimed);
+    }
 
     heading(&mut out, "Windowed rates (per 1k ticks)");
     let _ = writeln!(
@@ -560,7 +579,9 @@ pub fn render_json(r: &Rollup) -> String {
          \"shootdown_cores_local\": {}, \"shootdown_cores_skipped\": {}, \
          \"shootdowns_ranged\": {}, \"preemptions\": {}, \"flush_batches\": {}, \
          \"flush_batch_ops\": {}, \"flush_batch_coalesced\": {}, \"flush_batch_escalated\": {}, \
-         \"cycle_charges\": {}, \"flow_arrivals\": {}, \"flow_begins\": {}, \"flow_ends\": {}}}",
+         \"cycle_charges\": {}, \"flow_arrivals\": {}, \"flow_begins\": {}, \"flow_ends\": {}, \
+         \"reclaims\": {}, \"reclaim_pages\": {}, \"reclaim_pte_tears\": {}, \
+         \"reclaim_shared_tears\": {}}}",
         r.forks,
         r.shared_forks,
         r.exits,
@@ -581,7 +602,11 @@ pub fn render_json(r: &Rollup) -> String {
         r.charges,
         r.flow_arrivals,
         r.flow_begins,
-        r.flow_ends
+        r.flow_ends,
+        r.reclaims,
+        r.reclaim_pages,
+        r.reclaim_pte_tears,
+        r.reclaim_shared_tears
     );
     out.push_str("}\n");
     out

@@ -209,6 +209,16 @@ fn emit_one_of_each() {
             wall: 98_765,
         },
     );
+    sat_obs::emit(
+        Subsystem::Kernel,
+        0,
+        0,
+        Payload::Reclaim {
+            pages: 12,
+            pte_tears: 9,
+            shared_tears: 3,
+        },
+    );
 }
 
 #[test]
@@ -384,6 +394,18 @@ fn chrome_trace_round_trips_field_by_field() {
             Payload::FlowEnd { flow, wall } => {
                 assert_eq!(args.get("flow").unwrap().as_u64(), Some(u64::from(*flow)));
                 assert_eq!(args.get("wall").unwrap().as_u64(), Some(*wall));
+            }
+            Payload::Reclaim {
+                pages,
+                pte_tears,
+                shared_tears,
+            } => {
+                assert_eq!(args.get("pages").unwrap().as_u64(), Some(*pages));
+                assert_eq!(args.get("pte_tears").unwrap().as_u64(), Some(*pte_tears));
+                assert_eq!(
+                    args.get("shared_tears").unwrap().as_u64(),
+                    Some(*shared_tears)
+                );
             }
         }
     }

@@ -1,8 +1,8 @@
 //! The frame allocator and page cache.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
-use sat_types::{Pfn, SatError, SatResult};
+use sat_types::{Pfn, Pid, SatError, SatResult, VirtAddr};
 
 use crate::file::FileId;
 use crate::page::PageInfo;
@@ -48,6 +48,42 @@ pub struct PhysMemStats {
     pub page_cache_hits: u64,
     /// Page-cache misses (simulated disk reads).
     pub page_cache_misses: u64,
+    /// Minimum of the free-frame count (budget-relative when a frame
+    /// budget is installed) over the lifetime of the allocator — the
+    /// low-water complement of `high_water`, so pressure runs can
+    /// assert the watermark floor was actually reached.
+    pub free_low_water: u64,
+    /// File page-cache frames evicted by reclaim.
+    pub evictions: u64,
+    /// Page-cache misses that re-read a previously evicted page.
+    pub refaults: u64,
+    /// Allocations that crossed the low watermark while a budget was
+    /// installed.
+    pub low_watermark_hits: u64,
+}
+
+/// Reclaim watermarks derived from the installed frame budget,
+/// mirroring the kernel's per-zone `low`/`high` pair: reclaim kicks in
+/// when budget-relative free frames drop below `low` and aims to
+/// restore `high`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Watermarks {
+    /// Reclaim trigger: free frames below this means pressure.
+    pub low: u64,
+    /// Reclaim target: eviction stops once this many frames are free.
+    pub high: u64,
+}
+
+impl Watermarks {
+    /// Derives watermarks from a frame budget: `low` is 1/16th of the
+    /// budget and `high` 1/8th, each clamped to a small floor so tiny
+    /// budgets still leave reclaim headroom.
+    pub fn for_budget(budget: u64) -> Self {
+        Watermarks {
+            low: (budget / 16).max(8),
+            high: (budget / 8).max(16),
+        }
+    }
 }
 
 /// The physical memory of the simulated machine.
@@ -60,6 +96,28 @@ pub struct PhysMem {
     free: Vec<Pfn>,
     page_cache: HashMap<(FileId, u32), Pfn>,
     stats: PhysMemStats,
+    /// Optional soft frame budget. Allocation never hard-fails on the
+    /// budget (the backing pool is the real limit); crossing the low
+    /// watermark instead flags pressure so the kernel can reclaim.
+    budget: Option<u64>,
+    watermarks: Watermarks,
+    /// Clock-LRU candidate list over file page-cache frames, in
+    /// first-faulted order. Entries go stale when a frame is freed or
+    /// evicted; the sweep drops them lazily.
+    clock: Vec<Pfn>,
+    clock_hand: usize,
+    /// File pages evicted by reclaim and not yet refaulted, for the
+    /// conservation invariant `evictions == refaults + evicted.len()`.
+    evicted: HashSet<(FileId, u32)>,
+    /// Reverse map: data frame -> every (pid, va) PTE mapping it, with
+    /// multiplicity, so eviction can find and tear all PTEs pointing
+    /// at a victim. A PTE living in a *shared* PTP is keyed under the
+    /// sentinel `Pid::new(0)` (no single process owns it — sharers
+    /// come and go while the physical PTE lives on); private PTEs are
+    /// keyed by their owning pid. The count handles two disjoint
+    /// sharing groups mapping the same file page at the same va. BTree
+    /// containers keep reclaim's iteration order deterministic.
+    rmap: BTreeMap<Pfn, BTreeMap<(Pid, VirtAddr), u32>>,
 }
 
 impl PhysMem {
@@ -72,7 +130,16 @@ impl PhysMem {
             // traces deterministic and readable.
             free: (0..frames).rev().map(Pfn::new).collect(),
             page_cache: HashMap::new(),
-            stats: PhysMemStats::default(),
+            stats: PhysMemStats {
+                free_low_water: frames as u64,
+                ..PhysMemStats::default()
+            },
+            budget: None,
+            watermarks: Watermarks::for_budget(frames as u64),
+            clock: Vec::new(),
+            clock_hand: 0,
+            evicted: HashSet::new(),
+            rmap: BTreeMap::new(),
         }
     }
 
@@ -99,6 +166,11 @@ impl PhysMem {
         self.stats.total_allocs += 1;
         self.stats.in_use += 1;
         self.stats.high_water = self.stats.high_water.max(self.stats.in_use);
+        let free = self.budget_free();
+        self.stats.free_low_water = self.stats.free_low_water.min(free);
+        if self.budget.is_some() && free < self.watermarks.low {
+            self.stats.low_watermark_hits += 1;
+        }
         Ok(pfn)
     }
 
@@ -181,11 +253,18 @@ impl PhysMem {
     pub fn file_page(&mut self, file: FileId, index: u32) -> SatResult<(Pfn, bool)> {
         if let Some(pfn) = self.page_cache_lookup(file, index) {
             self.stats.page_cache_hits += 1;
+            // Feed the clock's access bit from the lookup path.
+            self.pages[pfn.raw() as usize].referenced = true;
             return Ok((pfn, true));
         }
         let pfn = self.alloc(FrameKind::File { file, index })?;
         self.page_cache.insert((file, index), pfn);
         self.stats.page_cache_misses += 1;
+        self.pages[pfn.raw() as usize].referenced = true;
+        self.clock.push(pfn);
+        if self.evicted.remove(&(file, index)) {
+            self.stats.refaults += 1;
+        }
         Ok((pfn, false))
     }
 
@@ -199,12 +278,257 @@ impl PhysMem {
         self.stats.in_use
     }
 
+    /// Installs (or removes) a soft physical-frame budget and derives
+    /// the reclaim watermarks from it. Allocation never hard-fails on
+    /// the budget; it only drives watermark pressure.
+    pub fn set_budget(&mut self, frames: Option<u64>) {
+        self.budget = frames;
+        if let Some(b) = frames {
+            self.watermarks = Watermarks::for_budget(b);
+            self.stats.free_low_water = self.budget_free();
+        }
+    }
+
+    /// The installed frame budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// The current reclaim watermarks (meaningful when a budget is
+    /// installed).
+    pub fn watermarks(&self) -> Watermarks {
+        self.watermarks
+    }
+
+    /// Free frames relative to the budget (or to the physical pool
+    /// when no budget is installed).
+    pub fn budget_free(&self) -> u64 {
+        match self.budget {
+            Some(b) => b.saturating_sub(self.stats.in_use),
+            None => self.pages.len() as u64 - self.stats.in_use,
+        }
+    }
+
+    /// Returns `true` when a budget is installed and budget-relative
+    /// free frames have dropped below the low watermark.
+    pub fn below_low_watermark(&self) -> bool {
+        self.budget.is_some() && self.budget_free() < self.watermarks.low
+    }
+
+    /// How many frames reclaim should evict to restore the high
+    /// watermark; zero when there is no pressure.
+    pub fn reclaim_target(&self) -> u64 {
+        if self.below_low_watermark() {
+            self.watermarks.high.saturating_sub(self.budget_free())
+        } else {
+            0
+        }
+    }
+
+    /// Advances the clock hand to the next eviction candidate: a live,
+    /// unreferenced file page-cache frame. Referenced frames get their
+    /// access bit cleared (a second chance) and are skipped; stale
+    /// entries are dropped. Returns `None` once two full sweeps find
+    /// nothing evictable.
+    pub fn clock_next_victim(&mut self) -> Option<Pfn> {
+        let mut scanned = 0;
+        let budget = 2 * self.clock.len();
+        while scanned <= budget && !self.clock.is_empty() {
+            if self.clock_hand >= self.clock.len() {
+                self.clock_hand = 0;
+            }
+            let pfn = self.clock[self.clock_hand];
+            let live = matches!(
+                self.pages[pfn.raw() as usize].kind,
+                FrameKind::File { file, index } if self.page_cache.get(&(file, index)) == Some(&pfn)
+            );
+            if !live {
+                self.clock.swap_remove(self.clock_hand);
+                continue;
+            }
+            scanned += 1;
+            let page = &mut self.pages[pfn.raw() as usize];
+            if page.referenced {
+                page.referenced = false;
+                self.clock_hand += 1;
+                continue;
+            }
+            self.clock_hand += 1;
+            return Some(pfn);
+        }
+        None
+    }
+
+    /// Evicts a file page-cache frame whose PTEs have all been torn
+    /// (mapcount zero), recording it for refault accounting. Returns
+    /// `true` if the frame was freed.
+    pub fn evict_file_frame(&mut self, pfn: Pfn) -> bool {
+        let p = self.page(pfn);
+        debug_assert_eq!(p.mapcount, 0, "evicting frame {pfn:?} with live PTEs");
+        let FrameKind::File { file, index } = p.kind else {
+            debug_assert!(false, "evict_file_frame on non-file frame {pfn:?}");
+            return false;
+        };
+        debug_assert_eq!(
+            p.refcount, 1,
+            "evicting frame {pfn:?} with references beyond the page cache"
+        );
+        self.evicted.insert((file, index));
+        self.stats.evictions += 1;
+        self.put_page(pfn)
+    }
+
+    /// File pages evicted and not yet refaulted. Together with the
+    /// stats this pins the conservation invariant
+    /// `evictions == refaults + still_evicted()`.
+    pub fn still_evicted(&self) -> usize {
+        self.evicted.len()
+    }
+
+    /// Records that `pid` maps `pfn` at `va` through a PTE, one entry
+    /// per *physical* PTE. A PTE in a shared PTP is recorded once,
+    /// under the sentinel `Pid::new(0)`; the multiset count rises when
+    /// two disjoint sharing groups map the same page at the same va.
+    pub fn rmap_add(&mut self, pfn: Pfn, pid: Pid, va: VirtAddr) {
+        *self
+            .rmap
+            .entry(pfn)
+            .or_default()
+            .entry((pid, va))
+            .or_insert(0) += 1;
+    }
+
+    /// Removes one rmap entry for a torn PTE. The exact `(pid, va)`
+    /// pair is preferred; if the tearing process is not the recorded
+    /// owner (a sharer tearing down a shared-PTP PTE recorded under
+    /// the sentinel, or vice versa), any entry at the same `va` is
+    /// decremented instead.
+    pub fn rmap_remove(&mut self, pfn: Pfn, pid: Pid, va: VirtAddr) {
+        let Some(set) = self.rmap.get_mut(&pfn) else {
+            debug_assert!(false, "rmap_remove on unmapped frame {pfn:?}");
+            return;
+        };
+        let key = if set.contains_key(&(pid, va)) {
+            Some((pid, va))
+        } else {
+            set.keys().find(|(_, v)| *v == va).copied()
+        };
+        match key {
+            Some(key) => {
+                let count = set.get_mut(&key).unwrap();
+                *count -= 1;
+                if *count == 0 {
+                    set.remove(&key);
+                }
+            }
+            None => debug_assert!(false, "no rmap entry for {pfn:?} at {va:?}"),
+        }
+        if set.is_empty() {
+            self.rmap.remove(&pfn);
+        }
+    }
+
+    /// Transfers one rmap entry at `va` from `from` to `to`. Used when
+    /// a private PTP becomes shared at fork: its PTEs now serve every
+    /// sharer, so their entries move to the sentinel owner and reclaim
+    /// tears them through the shared path. No-op when `from` holds no
+    /// entry at `va` (the PTE was faulted while already shared, or was
+    /// already re-owned by an earlier share of the same table).
+    pub fn rmap_reown(&mut self, pfn: Pfn, from: Pid, to: Pid, va: VirtAddr) {
+        let Some(set) = self.rmap.get_mut(&pfn) else {
+            return;
+        };
+        let Some(count) = set.get_mut(&(from, va)) else {
+            return;
+        };
+        *count -= 1;
+        if *count == 0 {
+            set.remove(&(from, va));
+        }
+        *set.entry((to, va)).or_insert(0) += 1;
+    }
+
+    /// Returns the recorded PTE mappings for `pfn` with multiplicity,
+    /// in deterministic order.
+    pub fn rmap_entries(&self, pfn: Pfn) -> Vec<(Pid, VirtAddr)> {
+        self.rmap
+            .get(&pfn)
+            .map(|s| {
+                s.iter()
+                    .flat_map(|(&key, &n)| std::iter::repeat_n(key, n as usize))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Number of rmap entries (with multiplicity) recorded for `pfn`.
+    pub fn rmap_len(&self, pfn: Pfn) -> usize {
+        self.rmap
+            .get(&pfn)
+            .map_or(0, |s| s.values().map(|&n| n as usize).sum())
+    }
+
+    /// Total rmap entries (with multiplicity) across all frames.
+    pub fn rmap_total(&self) -> usize {
+        self.rmap
+            .values()
+            .flat_map(|s| s.values())
+            .map(|&n| n as usize)
+            .sum()
+    }
+
+    /// Returns `true` if the rmap records no mappings at all.
+    pub fn rmap_is_empty(&self) -> bool {
+        self.rmap.is_empty()
+    }
+
+    /// Checks that every rmap entry count reconciles exactly with the
+    /// frame's live PTE count (`mapcount`), and that no freed frame
+    /// retains entries. Returns a description of the first mismatch.
+    pub fn rmap_verify(&self) -> Result<(), String> {
+        for (pfn, set) in &self.rmap {
+            let p = self.page(*pfn);
+            let entries: usize = set.values().map(|&n| n as usize).sum();
+            if p.is_free() {
+                return Err(format!(
+                    "rmap holds {entries} entries for free frame {pfn:?}"
+                ));
+            }
+            if p.mapcount as usize != entries {
+                return Err(format!(
+                    "frame {pfn:?}: mapcount {} != rmap entries {entries}",
+                    p.mapcount
+                ));
+            }
+        }
+        for (raw, p) in self.pages.iter().enumerate() {
+            let pfn = Pfn::new(raw as u32);
+            if matches!(p.kind, FrameKind::Anon | FrameKind::File { .. })
+                && p.mapcount > 0
+                && !self.rmap.contains_key(&pfn)
+            {
+                return Err(format!(
+                    "frame {pfn:?}: mapcount {} but no rmap entries",
+                    p.mapcount
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Publishes allocator occupancy gauges to the installed obs sink.
     pub fn publish_gauges(&self) {
         let total = self.pages.len() as u64;
         sat_obs::gauge_set("phys.frames.in_use", self.stats.in_use);
         sat_obs::gauge_set("phys.frames.free", total - self.stats.in_use);
         sat_obs::gauge_set("phys.page_cache.pages", self.page_cache.len() as u64);
+        // Pressure gauges only exist when a frame budget is installed,
+        // keeping budget-less runs byte-identical to earlier versions.
+        if self.budget.is_some() {
+            sat_obs::gauge_set("phys.frames.budget_free", self.budget_free());
+            sat_obs::gauge_set("phys.frames.free_low", self.stats.free_low_water);
+            sat_obs::gauge_set("phys.frames.reclaimed", self.stats.evictions);
+        }
     }
 }
 
@@ -296,5 +620,143 @@ mod tests {
         pm.put_page(b);
         pm.alloc(FrameKind::Anon).unwrap();
         assert_eq!(pm.stats().high_water, 2);
+    }
+
+    #[test]
+    fn free_low_water_tracks_floor() {
+        let mut pm = PhysMem::new(8);
+        assert_eq!(pm.stats().free_low_water, 8);
+        let a = pm.alloc(FrameKind::Anon).unwrap();
+        let b = pm.alloc(FrameKind::Anon).unwrap();
+        let c = pm.alloc(FrameKind::Anon).unwrap();
+        assert_eq!(pm.stats().free_low_water, 5);
+        pm.put_page(a);
+        pm.put_page(b);
+        pm.put_page(c);
+        // Freeing does not raise the floor back up.
+        assert_eq!(pm.stats().free_low_water, 5);
+    }
+
+    #[test]
+    fn budget_watermarks_flag_pressure() {
+        let mut pm = PhysMem::new(1024);
+        pm.set_budget(Some(160));
+        let wm = pm.watermarks();
+        assert_eq!(wm.low, 10);
+        assert_eq!(wm.high, 20);
+        assert!(!pm.below_low_watermark());
+        assert_eq!(pm.reclaim_target(), 0);
+        let mut held = Vec::new();
+        while !pm.below_low_watermark() {
+            held.push(pm.alloc(FrameKind::Anon).unwrap());
+        }
+        // Free dropped below low; the target restores high.
+        assert!(pm.budget_free() < wm.low);
+        assert_eq!(pm.reclaim_target(), wm.high - pm.budget_free());
+        assert!(pm.stats().low_watermark_hits > 0);
+        assert_eq!(pm.stats().free_low_water, pm.budget_free());
+        // Allocation stays soft: the budget never hard-fails.
+        held.push(pm.alloc(FrameKind::Anon).unwrap());
+    }
+
+    #[test]
+    fn clock_gives_second_chances_then_evicts() {
+        let mut pm = PhysMem::new(8);
+        let f = FileId(0);
+        let (a, _) = pm.file_page(f, 0).unwrap();
+        let (b, _) = pm.file_page(f, 1).unwrap();
+        // Both frames were referenced at fault time: the first sweep
+        // ages them, the second finds `a` (hand order) evictable.
+        assert_eq!(pm.clock_next_victim(), Some(a));
+        // `b` is next; a fresh lookup re-references it first.
+        pm.file_page(f, 1).unwrap();
+        assert_eq!(pm.clock_next_victim(), Some(a));
+        // With both referenced again and `a` evicted, only `b` remains.
+        pm.evict_file_frame(a);
+        assert_eq!(pm.clock_next_victim(), Some(b));
+        pm.evict_file_frame(b);
+        assert_eq!(pm.clock_next_victim(), None);
+    }
+
+    #[test]
+    fn eviction_and_refault_conserve() {
+        let mut pm = PhysMem::new(8);
+        let f = FileId(3);
+        let (p, _) = pm.file_page(f, 7).unwrap();
+        assert!(pm.evict_file_frame(p));
+        assert_eq!(pm.stats().evictions, 1);
+        assert_eq!(pm.still_evicted(), 1);
+        assert_eq!(pm.page_cache_lookup(f, 7), None);
+        // Refault: a miss that re-reads an evicted page.
+        let (_, hit) = pm.file_page(f, 7).unwrap();
+        assert!(!hit);
+        assert_eq!(pm.stats().refaults, 1);
+        assert_eq!(pm.still_evicted(), 0);
+        assert_eq!(
+            pm.stats().evictions,
+            pm.stats().refaults + pm.still_evicted() as u64
+        );
+    }
+
+    #[test]
+    fn rmap_reconciles_with_mapcount() {
+        let mut pm = PhysMem::new(8);
+        let f = FileId(0);
+        let (p, _) = pm.file_page(f, 0).unwrap();
+        let pid1 = Pid::new(1);
+        let pid2 = Pid::new(2);
+        let va1 = VirtAddr::new(0x4000_0000);
+        let va2 = VirtAddr::new(0x5000_0000);
+        pm.get_page(p);
+        pm.map_inc(p);
+        pm.rmap_add(p, pid1, va1);
+        pm.get_page(p);
+        pm.map_inc(p);
+        pm.rmap_add(p, pid2, va2);
+        assert_eq!(pm.rmap_len(p), 2);
+        pm.rmap_verify().unwrap();
+        // Tearing by a non-owner at the same va falls back to the
+        // recorded entry (shared-PTP teardown by a different sharer).
+        pm.rmap_remove(p, Pid::new(9), va1);
+        pm.map_dec(p);
+        pm.put_page(p);
+        pm.rmap_verify().unwrap();
+        assert_eq!(pm.rmap_entries(p), vec![(pid2, va2)]);
+        pm.rmap_remove(p, pid2, va2);
+        pm.map_dec(p);
+        pm.put_page(p);
+        assert!(pm.rmap_is_empty());
+        pm.rmap_verify().unwrap();
+    }
+
+    #[test]
+    fn rmap_counts_duplicate_sentinel_entries() {
+        // Two disjoint sharing groups mapping the same file page at
+        // the same va both record the sentinel key; the multiset count
+        // keeps rmap totals reconciled with mapcount.
+        let mut pm = PhysMem::new(8);
+        let f = FileId(0);
+        let (p, _) = pm.file_page(f, 0).unwrap();
+        let sentinel = Pid::new(0);
+        let va = VirtAddr::new(0x4000_0000);
+        pm.get_page(p);
+        pm.map_inc(p);
+        pm.rmap_add(p, sentinel, va);
+        pm.get_page(p);
+        pm.map_inc(p);
+        pm.rmap_add(p, sentinel, va);
+        assert_eq!(pm.rmap_len(p), 2);
+        assert_eq!(pm.rmap_entries(p), vec![(sentinel, va), (sentinel, va)]);
+        pm.rmap_verify().unwrap();
+        pm.rmap_remove(p, sentinel, va);
+        pm.map_dec(p);
+        pm.put_page(p);
+        assert_eq!(pm.rmap_len(p), 1);
+        pm.rmap_verify().unwrap();
+        pm.rmap_remove(p, sentinel, va);
+        pm.map_dec(p);
+        pm.put_page(p);
+        assert!(pm.rmap_is_empty());
+        pm.rmap_verify().unwrap();
     }
 }

@@ -25,6 +25,6 @@ pub mod page;
 pub mod slab;
 
 pub use file::{FileId, FileRegistry};
-pub use frame::{FrameKind, PhysMem, PhysMemStats};
+pub use frame::{FrameKind, PhysMem, PhysMemStats, Watermarks};
 pub use page::PageInfo;
 pub use slab::{Slab, SlabItem, SlabStats};

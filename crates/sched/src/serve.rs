@@ -53,6 +53,13 @@ pub struct ServeOptions {
     pub churn: usize,
     /// Workload seed.
     pub seed: u64,
+    /// Physical-frame budget installed before the servers fork
+    /// (`None` leaves memory uncapped). A finite budget arms the
+    /// kernel's reclaim path: allocations that cross the low watermark
+    /// trigger LRU eviction of file page-cache frames, tearing the
+    /// PTEs that map them — through the shared PTP when one exists —
+    /// and the serve working set refaults them on next touch.
+    pub mem_frames: Option<u64>,
 }
 
 impl ServeOptions {
@@ -70,6 +77,7 @@ impl ServeOptions {
             ws_pages: 32,
             churn: 0,
             seed: 1,
+            mem_frames: None,
         }
     }
 }
@@ -114,6 +122,24 @@ pub struct ServeReport {
     pub ptp_unshares: u64,
     /// ASID-space rollovers.
     pub asid_rollovers: u64,
+    /// Reclaim passes the kernel ran (0 when `mem_frames` is unset).
+    pub reclaims: u64,
+    /// File page-cache frames those passes evicted.
+    pub reclaimed_pages: u64,
+    /// Private PTEs reclaim tore while freeing victims.
+    pub reclaim_pte_tears: u64,
+    /// Shared-PTP slots reclaim tore — each tear repairs every
+    /// sharer of the PTP at once.
+    pub reclaim_shared_tears: u64,
+    /// Page-cache misses that re-read a previously evicted page.
+    pub refaults: u64,
+    /// Allocations that crossed the low watermark.
+    pub low_watermark_hits: u64,
+    /// Lowest (budget-relative) free-frame count the run observed.
+    pub free_low_water: u64,
+    /// Highest frames-in-use the run reached, boot included — the
+    /// uncapped peak the pressure experiment derives budgets from.
+    pub frames_peak: u64,
     /// Every completed request's wall time in home-core cycles,
     /// ascending.
     pub walls: Vec<u64>,
@@ -179,6 +205,12 @@ impl ServeSim {
         )?;
         while sys.machine.cores.len() < opts.cores {
             sys.machine.cores.push(Core::default());
+        }
+        // Install the frame budget before any server forks, so memory
+        // pressure (and therefore reclaim) covers the whole serve
+        // lifecycle — spawn, warm-up, and the measured phase alike.
+        if opts.mem_frames.is_some() {
+            sys.machine.kernel.set_frame_budget(opts.mem_frames);
         }
         let mut sim = ServeSim {
             sys,
@@ -526,6 +558,7 @@ impl ServeSim {
             )
         };
         let m = &self.sys.machine;
+        let phys = m.kernel.phys.stats();
         let mut r = ServeReport {
             servers: self.opts.servers,
             requests: walls.len() as u64,
@@ -537,6 +570,14 @@ impl ServeSim {
             max_wall,
             ptp_unshares: m.kernel.stats.ptp_unshares,
             asid_rollovers: m.kernel.stats.asid_rollovers,
+            reclaims: m.kernel.stats.reclaims,
+            reclaimed_pages: m.kernel.stats.reclaim_pages,
+            reclaim_pte_tears: m.kernel.stats.reclaim_pte_tears,
+            reclaim_shared_tears: m.kernel.stats.reclaim_shared_tears,
+            refaults: phys.refaults,
+            low_watermark_hits: phys.low_watermark_hits,
+            free_low_water: phys.free_low_water,
+            frames_peak: phys.high_water,
             walls,
             ..ServeReport::default()
         };
@@ -610,6 +651,54 @@ mod tests {
         let r = run_serve(KernelConfig::stock(), opts).unwrap();
         assert_eq!(r.processes_created, 4 + 3);
         assert_eq!(r.requests, opts.requests as u64);
+    }
+
+    #[test]
+    fn pressure_serve_reclaims_refaults_and_stays_deterministic() {
+        // Derive a tight budget from the uncapped run's peak
+        // footprint, then rerun under it: reclaim must engage, evict
+        // file pages, and see them refault — and the run must still
+        // drain every request, deterministically.
+        let mut opts = ServeOptions::new(4);
+        let uncapped = run_serve(KernelConfig::shared_ptp_tlb(), opts).unwrap();
+        assert_eq!(uncapped.reclaims, 0, "no budget, no reclaim");
+        assert!(uncapped.frames_peak > 0);
+
+        opts.mem_frames = Some(uncapped.frames_peak * 3 / 4);
+        let a = run_serve(KernelConfig::shared_ptp_tlb(), opts).unwrap();
+        let b = run_serve(KernelConfig::shared_ptp_tlb(), opts).unwrap();
+        assert_eq!(a, b, "budgeted serve must stay deterministic");
+        assert_eq!(a.requests, opts.requests as u64, "run must drain");
+        assert!(a.reclaims > 0, "a 3/4-peak budget must force reclaim");
+        assert!(a.reclaimed_pages > 0, "reclaim must evict file pages");
+        assert!(a.refaults > 0, "evicted working-set pages must refault");
+        assert!(
+            a.low_watermark_hits > 0,
+            "allocs must cross the low watermark"
+        );
+        assert!(
+            a.reclaim_shared_tears > 0,
+            "shared working-set pages must be torn through the shared PTP"
+        );
+        // The budget slows the tail; it must never change the work.
+        assert!(
+            a.p99 >= uncapped.p99,
+            "pressure cannot make the tail faster"
+        );
+    }
+
+    #[test]
+    fn uncapped_report_is_reclaim_free_and_unchanged_by_the_new_fields() {
+        // `mem_frames: None` must leave the pre-existing serve
+        // behaviour untouched: zero in every reclaim counter.
+        let r = run_serve(KernelConfig::stock(), ServeOptions::new(4)).unwrap();
+        assert_eq!(r.reclaims, 0);
+        assert_eq!(r.reclaimed_pages, 0);
+        assert_eq!(r.reclaim_pte_tears, 0);
+        assert_eq!(r.reclaim_shared_tears, 0);
+        assert_eq!(r.refaults, 0);
+        assert_eq!(r.low_watermark_hits, 0);
+        assert!(r.frames_peak > 0, "peak tracking is unconditional");
     }
 
     #[test]

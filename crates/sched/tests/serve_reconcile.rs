@@ -71,6 +71,7 @@ fn opts_strategy() -> impl Strategy<Value = ServeOptions> {
                 ws_pages,
                 churn,
                 seed,
+                mem_frames: None,
             },
         )
 }

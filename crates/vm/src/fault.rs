@@ -96,7 +96,7 @@ pub fn handle_fault(
     }
     let file_backed = matches!(vma.backing, Backing::File { .. });
     let page = va.page_base();
-    let mut mapper = Mapper::new(&mut mm.root, ptps, phys);
+    let mut mapper = Mapper::new(&mut mm.root, ptps, phys, mm.pid);
 
     let outcome = match mapper.get_pte(page) {
         Some(slot) => {
@@ -382,7 +382,8 @@ mod tests {
         assert!(o.ptp_allocated);
         // Re-fault on the same page in a fresh mm is minor (page
         // cache warm). Simulate by clearing the PTE.
-        Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys).clear_pte(VirtAddr::new(0x4000_0000));
+        Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys, f.mm.pid)
+            .clear_pte(VirtAddr::new(0x4000_0000));
         let o2 = fault(&mut f, 0x4000_0123, AccessType::Execute).unwrap();
         assert_eq!(o2.kind, FaultKind::Minor);
         assert!(!o2.ptp_allocated);
@@ -401,7 +402,7 @@ mod tests {
         assert!(!o.file_backed);
         // One frame for the page, one for the PTP.
         assert_eq!(f.phys.frames_in_use(), before + 2);
-        let slot = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys)
+        let slot = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys, f.mm.pid)
             .get_pte(VirtAddr::new(0x0800_1000))
             .unwrap();
         assert!(slot.hw.perms.write());
@@ -422,7 +423,7 @@ mod tests {
         f.mm.insert_vma(vma).unwrap();
         let o = fault(&mut f, 0x5000_0000, AccessType::Write).unwrap();
         assert_eq!(o.kind, FaultKind::Major); // first touch read the file page
-        let slot = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys)
+        let slot = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys, f.mm.pid)
             .get_pte(VirtAddr::new(0x5000_0000))
             .unwrap();
         assert!(!slot.sw.file_backed); // the mapping is now anonymous
@@ -444,7 +445,7 @@ mod tests {
         let o1 = fault(&mut f, 0x5000_0000, AccessType::Read).unwrap();
         assert_eq!(o1.kind, FaultKind::Major);
         // Mapped write-protected (COW pending).
-        let slot = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys)
+        let slot = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys, f.mm.pid)
             .get_pte(VirtAddr::new(0x5000_0000))
             .unwrap();
         assert!(!slot.hw.perms.write());
@@ -460,7 +461,7 @@ mod tests {
         add_anon_vma(&mut f, 0x0800_0000, 1);
         fault(&mut f, 0x0800_0000, AccessType::Read).unwrap();
         // Write-protect it, as a fork would.
-        Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys)
+        Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys, f.mm.pid)
             .write_protect_range(VaRange::from_len(VirtAddr::new(0x0800_0000), PAGE_SIZE));
         let frames_before = f.phys.frames_in_use();
         let o = fault(&mut f, 0x0800_0000, AccessType::Write).unwrap();
@@ -484,7 +485,7 @@ mod tests {
         let o1 = fault(&mut f, 0x6000_0000, AccessType::Read).unwrap();
         assert_eq!(o1.kind, FaultKind::Major);
         // Shared mapping maps writable right away.
-        let slot = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys)
+        let slot = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys, f.mm.pid)
             .get_pte(VirtAddr::new(0x6000_0000))
             .unwrap();
         assert!(slot.hw.perms.write());
@@ -533,7 +534,7 @@ mod tests {
         )
         .unwrap();
         assert!(o2.global);
-        let slot = Mapper::new(&mut f2.mm.root, &mut f2.ptps, &mut f2.phys)
+        let slot = Mapper::new(&mut f2.mm.root, &mut f2.ptps, &mut f2.phys, f2.mm.pid)
             .get_pte(VirtAddr::new(0x4000_0000))
             .unwrap();
         assert!(slot.hw.global);

@@ -153,7 +153,7 @@ pub fn copy_vma_ptes_in_range(
     // Collect the parent's populated PTEs first (cannot hold a borrow
     // of the parent's tables while mutating the child's).
     let parent_ptes = {
-        let parent_mapper = Mapper::new(&mut parent.root, ptps, phys);
+        let parent_mapper = Mapper::new(&mut parent.root, ptps, phys, parent.pid);
         parent_mapper.iter_range(range)
     };
     let cow = vma.is_private_writable();
@@ -161,13 +161,13 @@ pub fn copy_vma_ptes_in_range(
         let mut hw = slot.hw;
         if cow && hw.perms.write() {
             // Write-protect in the parent...
-            let mut pm = Mapper::new(&mut parent.root, ptps, phys);
+            let mut pm = Mapper::new(&mut parent.root, ptps, phys, parent.pid);
             pm.update_pte(va, |hw, _| *hw = hw.write_protected());
             report.cow_protected += 1;
             // ...and copy the protected version into the child.
             hw = hw.write_protected();
         }
-        let mut cm = Mapper::new(&mut child.root, ptps, phys);
+        let mut cm = Mapper::new(&mut child.root, ptps, phys, child.pid);
         let res = cm.set_pte(va, hw, slot.sw, child_domain)?;
         report.ptes_copied += 1;
         if matches!(vma.backing, Backing::File { .. }) {
@@ -299,11 +299,11 @@ mod tests {
         assert_eq!(report.vmas, 2);
         assert_eq!(report.ptps_allocated, 1);
         // Child has the heap PTEs but not the code PTEs.
-        let cm = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys);
+        let cm = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys, f.mm.pid);
         assert!(cm.get_pte(VirtAddr::new(0x0800_0000)).is_some());
         let _ = cm;
         let mut child = child;
-        let ccm = Mapper::new(&mut child.root, &mut f.ptps, &mut f.phys);
+        let ccm = Mapper::new(&mut child.root, &mut f.ptps, &mut f.phys, child.pid);
         assert!(ccm.get_pte(VirtAddr::new(0x0800_0000)).is_some());
         assert!(ccm.get_pte(VirtAddr::new(0x4000_0000)).is_none());
     }
@@ -357,10 +357,10 @@ mod tests {
         )
         .unwrap();
         let va = VirtAddr::new(0x0800_0000);
-        let parent_pte = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys)
+        let parent_pte = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys, f.mm.pid)
             .get_pte(va)
             .unwrap();
-        let child_pte = Mapper::new(&mut child.root, &mut f.ptps, &mut f.phys)
+        let child_pte = Mapper::new(&mut child.root, &mut f.ptps, &mut f.phys, child.pid)
             .get_pte(va)
             .unwrap();
         assert!(!parent_pte.hw.perms.write());
@@ -403,12 +403,12 @@ mod tests {
         )
         .unwrap();
         assert_eq!(o.kind, FaultKind::Cow);
-        let child_pfn = Mapper::new(&mut child.root, &mut f.ptps, &mut f.phys)
+        let child_pfn = Mapper::new(&mut child.root, &mut f.ptps, &mut f.phys, child.pid)
             .get_pte(va)
             .unwrap()
             .hw
             .pfn;
-        let parent_pfn = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys)
+        let parent_pfn = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys, f.mm.pid)
             .get_pte(va)
             .unwrap()
             .hw

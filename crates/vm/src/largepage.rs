@@ -58,7 +58,7 @@ pub fn map_large(
         return Err(SatError::InvalidArgument);
     }
     let mut report = LargeMapReport::default();
-    let mut mapper = Mapper::new(&mut mm.root, ptps, phys);
+    let mut mapper = Mapper::new(&mut mm.root, ptps, phys, mm.pid);
     // Pre-check every target slot: a large page must never overwrite
     // an existing translation (the caller would leak its frames).
     for page in range.pages() {
@@ -134,6 +134,7 @@ pub fn map_large(
             let frame = sat_types::Pfn::new(base.raw() + i);
             mapper.phys.get_page(frame);
             mapper.phys.map_inc(frame);
+            mapper.phys.rmap_add(frame, mapper.pid, page);
         }
         // Drop the allocation references: the PTEs now own the frames.
         for i in 0..PAGES_PER_64K as u32 {

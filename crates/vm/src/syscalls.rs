@@ -162,7 +162,7 @@ pub fn munmap(
     let removed = mm.carve(range);
     let mut cleared = 0;
     {
-        let mut mapper = Mapper::new(&mut mm.root, ptps, phys);
+        let mut mapper = Mapper::new(&mut mm.root, ptps, phys, mm.pid);
         for piece in &removed {
             cleared += mapper.clear_range(piece.range);
         }
@@ -180,7 +180,7 @@ pub fn free_unused_ptps(mm: &mut Mm, ptps: &mut PtpStore, phys: &mut PhysMem, ra
             continue;
         }
         if mm.root.entry_for(chunk).ptp().is_some() {
-            let mut mapper = Mapper::new(&mut mm.root, ptps, phys);
+            let mut mapper = Mapper::new(&mut mm.root, ptps, phys, mm.pid);
             mapper.release_ptp_pair(chunk);
         }
     }
@@ -217,7 +217,7 @@ pub fn mprotect(
         let piece_range = piece.range;
         mm.insert_vma(piece)
             .expect("carved range is free by construction");
-        let mut mapper = Mapper::new(&mut mm.root, ptps, phys);
+        let mut mapper = Mapper::new(&mut mm.root, ptps, phys, mm.pid);
         for page in piece_range.pages() {
             mapper.update_pte(page, |hw, sw| {
                 hw.perms = if shared { perms } else { perms.without_write() };
@@ -239,7 +239,7 @@ pub fn exit_mmap(mm: &mut Mm, ptps: &mut PtpStore, phys: &mut PhysMem) -> usize 
     let chunks: Vec<usize> = mm.root.iter_ptps().map(|(idx, _)| idx).collect();
     let mut freed = 0;
     {
-        let mut mapper = Mapper::new(&mut mm.root, ptps, phys);
+        let mut mapper = Mapper::new(&mut mm.root, ptps, phys, mm.pid);
         for pair_idx in chunks {
             let va = VirtAddr::new((pair_idx as u32) << 20);
             if mapper.release_ptp_pair(va) {
@@ -381,7 +381,7 @@ mod tests {
         .unwrap();
         mprotect(&mut f.mm, &mut f.ptps, &mut f.phys, range, Perms::R).unwrap();
         assert_eq!(f.mm.vma_at(a).unwrap().perms, Perms::R);
-        let m = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys);
+        let m = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys, f.mm.pid);
         assert_eq!(m.get_pte(a).unwrap().hw.perms, Perms::R);
         assert!(!m.get_pte(a).unwrap().sw.writable);
     }
