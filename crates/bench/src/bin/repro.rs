@@ -20,7 +20,8 @@
 //!   fig10 fig11 fig12 steady       steady state (Section 4.2.3)
 //!   fig13                          binder IPC (Section 4.2.4)
 //!   ablations                      Section 3.1.3/3.2.3 design choices
-//!   scalability largepages grouped extensions
+//!   scalability grouped extensions
+//!   reach                          translation reach: 4KB vs shared vs 64KB promotion
 //!   timeshare                      N apps timesharing 4 cores (sat-sched)
 //!   fleet                          fork/timeshare/reap fleets to 4096 apps
 //!   serve                          bursty request serving, stock vs shared
@@ -77,18 +78,19 @@
 //! are wall-clock and naturally vary).
 //!
 //! Besides the tables on stdout, every run writes the
-//! `sat-bench/repro-v6` snapshot: per-experiment wall time, scale,
+//! `sat-bench/repro-v7` snapshot: per-experiment wall time, scale,
 //! worker count, sweep cell counts, per-experiment observability
 //! counter deltas, gauge high-water marks, serve latency percentiles,
-//! frame budgets and reclaim totals for budgeted cells, and the
-//! run-wide counter/histogram/gauge registry.
+//! frame budgets and reclaim totals for budgeted cells, translation
+//! totals (promotions/demotions/splits/waste) for the reach cells,
+//! and the run-wide counter/histogram/gauge registry.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use sat_bench::{
     ablation, extensions, fleetbench, ipcbench, launchbench, motivation, pool, pressurebench,
-    servebench, snapshot, steadybench, timesharebench, zygotebench, Scale,
+    reachbench, servebench, snapshot, steadybench, timesharebench, zygotebench, Scale,
 };
 use sat_obs::json::Json;
 use sat_obs::report::ReportFormat;
@@ -113,6 +115,9 @@ struct Record {
     /// Reclaim totals of a budgeted cell — deterministic, so `repro
     /// diff` gates eviction volume like any counter.
     reclaim: Option<ReclaimTotals>,
+    /// Promotion/demotion totals of a reach cell — deterministic, so
+    /// `repro diff` gates the large-page machinery like any counter.
+    translation: Option<reachbench::TranslationTotals>,
 }
 
 /// What a budgeted cell's reclaim did, for the snapshot.
@@ -459,6 +464,7 @@ fn timed(
         latency: None,
         mem_frames: None,
         reclaim: None,
+        translation: None,
     });
     Ok(out)
 }
@@ -538,6 +544,25 @@ fn run_pressure_grid(records: &mut Vec<Record>, scale: Scale) -> Fallible {
     Ok(text)
 }
 
+/// Runs the three translation-reach strategies as separate timed
+/// records (static names: `repro diff` gates each strategy's
+/// promotion/demotion totals on its own), then the combined table.
+fn run_reach(records: &mut Vec<Record>, scale: Scale) -> Fallible {
+    let mut cells = Vec::new();
+    for (name, label, config) in reachbench::reach_kernels() {
+        let mut cell = None;
+        timed(records, name, 1, || {
+            cell = Some(reachbench::reach_cell(name, label, config, scale)?);
+            Ok(String::new())
+        })?;
+        let c = cell.expect("reach_cell returns a cell on success");
+        let rec = records.last_mut().expect("timed pushed a record");
+        rec.translation = Some(c.translation);
+        cells.push(c);
+    }
+    Ok(reachbench::reach_render(scale, &cells))
+}
+
 /// Runs every fleet size of the scale's grid, one timed record per N
 /// (static names: `repro diff` gates each fleet size on its own).
 fn run_fleet_grid(records: &mut Vec<Record>, scale: Scale) -> Fallible {
@@ -576,13 +601,13 @@ fn run(cmd: &str, scale: Scale, mem_frames: Option<u64>, records: &mut Vec<Recor
         "scalability" => timed(r, "scalability", scalability_cells(scale), || {
             Ok(extensions::scalability(scale)?)
         })?,
-        "largepages" => timed(r, "largepages", 1, || Ok(extensions::large_pages(scale)?))?,
         "grouped" => timed(r, "grouped", 1, || Ok(extensions::grouped_layout(scale)?))?,
         "pollution" => timed(r, "pollution", 1, || Ok(extensions::pte_pollution(scale)?))?,
         "smaps" => timed(r, "smaps", 1, || Ok(extensions::memory_accounting(scale)?))?,
-        "extensions" => timed(r, "extensions", scalability_cells(scale) + 4, || {
+        "extensions" => timed(r, "extensions", scalability_cells(scale) + 3, || {
             Ok(extensions::all(scale)?)
         })?,
+        "reach" => run_reach(r, scale)?,
         "timeshare" => timed(r, "timeshare", timeshare_cells(scale), || {
             Ok(timesharebench::timeshare(scale)?)
         })?,
@@ -615,9 +640,10 @@ fn run(cmd: &str, scale: Scale, mem_frames: Option<u64>, records: &mut Vec<Recor
             s.push_str(&timed(
                 r,
                 "extensions",
-                scalability_cells(scale) + 4,
+                scalability_cells(scale) + 3,
                 || Ok(extensions::all(scale)?),
             )?);
+            s.push_str(&run_reach(r, scale)?);
             s.push_str(&timed(r, "timeshare", timeshare_cells(scale), || {
                 Ok(timesharebench::timeshare(scale)?)
             })?);
@@ -628,8 +654,8 @@ fn run(cmd: &str, scale: Scale, mem_frames: Option<u64>, records: &mut Vec<Recor
         other => {
             return Err(format!(
                 "unknown experiment '{other}' (try: table1 fig2 fig3 table2 fig4 latfault \
-                 table3 table4 launch steady fig13 ablations scalability largepages \
-                 grouped pollution smaps extensions timeshare fleet serve pressure all)"
+                 table3 table4 launch steady fig13 ablations scalability grouped \
+                 pollution smaps extensions reach timeshare fleet serve pressure all)"
             )
             .into())
         }
@@ -677,6 +703,13 @@ fn render_json(
                 "\"reclaim\": {{\"passes\": {}, \"pages\": {}, \"pte_tears\": {}, \
                  \"shared_tears\": {}, \"refaults\": {}}}, ",
                 rc.passes, rc.pages, rc.pte_tears, rc.shared_tears, rc.refaults
+            ));
+        }
+        if let Some(tr) = &rec.translation {
+            s.push_str(&format!(
+                "\"translation\": {{\"promotions\": {}, \"demotions\": {}, \
+                 \"splits\": {}, \"waste_frames\": {}}}, ",
+                tr.promotions, tr.demotions, tr.splits, tr.waste_frames
             ));
         }
         s.push_str("\"events\": {");

@@ -1,12 +1,12 @@
 //! Extension experiments beyond the paper's figures: the scalability
-//! argument of the introduction made quantitative, the large-page
-//! alternative simulated end-to-end, and the paper's suggested
-//! grouped-segment layout.
+//! argument of the introduction made quantitative and the paper's
+//! suggested grouped-segment layout. (The large-page alternative
+//! lives in [`crate::reachbench`] now, driven by the real promotion
+//! engine instead of an eager mapping loop.)
 
 use sat_android::{AndroidSystem, LibraryLayout};
-use sat_core::{Kernel, KernelConfig, NoTlb};
-use sat_types::{AccessType, Perms, Pid, RegionTag, VirtAddr, PAGE_SIZE};
-use sat_vm::MmapRequest;
+use sat_core::KernelConfig;
+use sat_types::{AccessType, VirtAddr, PAGE_SIZE};
 
 use crate::motivation::SEED;
 use crate::render::{count, pct, Table};
@@ -94,199 +94,6 @@ pub fn scalability(scale: Scale) -> sat_types::SatResult<String> {
         "Stock page-table memory grows linearly with process count; with shared PTPs it is\n\
          near-constant — the introduction's scalability argument, measured.\n\n",
     );
-    Ok(out)
-}
-
-/// Large pages vs shared translation, end to end: map a sparse code
-/// working set (the Figure 4 access pattern) three ways and compare
-/// physical memory and main-TLB behaviour on the same fetch workload.
-pub fn large_pages(scale: Scale) -> sat_types::SatResult<String> {
-    // A sparse working set: `touched` 4KB pages scattered with the
-    // Figure 4 density (≈6 of every 16 pages) over a code image.
-    let touched_pages: u32 = match scale {
-        Scale::Paper => 1_536, // ~6MB accessed, as the paper measures
-        Scale::Quick => 192,
-    };
-    let image_pages = touched_pages * 16 / 6; // Figure 4 density
-    let sweeps = 4usize;
-
-    let mut t = Table::new(
-        "Extension: 64KB large pages vs shared translation",
-        &[
-            "strategy",
-            "phys KB",
-            "TLB entries needed",
-            "inst TLB stalls (2 procs)",
-            "notes",
-        ],
-    );
-
-    // Common workload driver: two processes alternately sweep the
-    // touched pages (per-page first line), like the IPC experiment.
-    type Setup = Box<dyn FnMut(&mut Kernel, Pid) -> sat_types::SatResult<u64>>;
-    let run = |mut setup: Setup, config: KernelConfig| -> sat_types::SatResult<(u64, u64)> {
-        let mut kernel = Kernel::new(config, 1 << 18);
-        let z = kernel.create_process()?;
-        kernel.exec_zygote(z)?;
-        let frames0 = kernel.phys.frames_in_use();
-        setup(&mut kernel, z)?;
-        let frames_used = kernel.phys.frames_in_use() - frames0;
-        let a = kernel.fork(z)?.child;
-        let b = kernel.fork(z)?.child;
-        let mut m = sat_sim::Machine::single_core(kernel);
-        // Warm both, then measure alternating sweeps.
-        for &pid in &[a, b] {
-            m.context_switch(0, pid)?;
-            for i in 0..touched_pages {
-                let page = (i as u64 * 16 / 6) as u32; // every ~2.7th page
-                m.access(
-                    0,
-                    VirtAddr::new(0x4000_0000 + page * PAGE_SIZE),
-                    AccessType::Execute,
-                )?;
-            }
-        }
-        m.reset_hw_stats();
-        for _ in 0..sweeps {
-            for &pid in &[a, b] {
-                m.context_switch(0, pid)?;
-                for i in 0..touched_pages {
-                    let page = (i as u64 * 16 / 6) as u32;
-                    m.access(
-                        0,
-                        VirtAddr::new(0x4000_0000 + page * PAGE_SIZE),
-                        AccessType::Execute,
-                    )?;
-                }
-            }
-        }
-        Ok((frames_used, m.cores[0].stats.inst_main_tlb_stall_cycles))
-    };
-
-    // Strategy 1: stock 4KB demand paging.
-    let file_pages = image_pages;
-    let (frames_4k, stalls_4k) = run(
-        Box::new(move |k, z| {
-            let f = k
-                .files
-                .register("image".to_string(), file_pages * PAGE_SIZE);
-            k.mmap(
-                z,
-                &MmapRequest::file(
-                    file_pages * PAGE_SIZE,
-                    Perms::RX,
-                    f,
-                    0,
-                    RegionTag::ZygoteNativeCode,
-                    "image",
-                )
-                .at(VirtAddr::new(0x4000_0000)),
-                &mut NoTlb,
-            )?;
-            // The zygote touches the working set (demand paging).
-            for i in 0..touched_pages {
-                let page = (i as u64 * 16 / 6) as u32;
-                k.page_fault(
-                    z,
-                    VirtAddr::new(0x4000_0000 + page * PAGE_SIZE),
-                    AccessType::Execute,
-                    &mut NoTlb,
-                )?;
-            }
-            Ok(0)
-        }),
-        KernelConfig::stock(),
-    )?;
-    t.row(vec![
-        "4KB pages, stock".into(),
-        count(4 * frames_4k),
-        count(touched_pages as u64),
-        count(stalls_4k),
-        "one TLB entry per touched page per process".into(),
-    ]);
-
-    // Strategy 2: 64KB large pages covering every touched page.
-    let (frames_64k, stalls_64k) = run(
-        Box::new(move |k, z| {
-            // Map each 64KB chunk that contains a touched page.
-            let chunks = image_pages.div_ceil(16);
-            let mut mapped = 0u64;
-            for c in 0..chunks {
-                // With the uniform 6-of-16 density every 64KB chunk
-                // contains touched pages, so every chunk is mapped.
-                let at = VirtAddr::new(0x4000_0000 + c * 16 * PAGE_SIZE);
-                k.mmap_large(
-                    z,
-                    at,
-                    16 * PAGE_SIZE,
-                    Perms::RX,
-                    RegionTag::ZygoteNativeCode,
-                    "image-huge",
-                    &mut NoTlb,
-                )?;
-                mapped += 1;
-            }
-            Ok(mapped)
-        }),
-        KernelConfig::stock(),
-    )?;
-    t.row(vec![
-        "64KB pages".into(),
-        count(4 * frames_64k),
-        count((image_pages.div_ceil(16)) as u64),
-        count(stalls_64k),
-        "16x fewer entries, but every untouched page is resident".into(),
-    ]);
-
-    // Strategy 3: 4KB pages with shared PTPs + global TLB entries.
-    let (frames_shared, stalls_shared) = run(
-        Box::new(move |k, z| {
-            let f = k
-                .files
-                .register("image".to_string(), file_pages * PAGE_SIZE);
-            k.mmap(
-                z,
-                &MmapRequest::file(
-                    file_pages * PAGE_SIZE,
-                    Perms::RX,
-                    f,
-                    0,
-                    RegionTag::ZygoteNativeCode,
-                    "image",
-                )
-                .at(VirtAddr::new(0x4000_0000)),
-                &mut NoTlb,
-            )?;
-            for i in 0..touched_pages {
-                let page = (i as u64 * 16 / 6) as u32;
-                k.page_fault(
-                    z,
-                    VirtAddr::new(0x4000_0000 + page * PAGE_SIZE),
-                    AccessType::Execute,
-                    &mut NoTlb,
-                )?;
-            }
-            Ok(0)
-        }),
-        KernelConfig::shared_ptp_tlb(),
-    )?;
-    t.row(vec![
-        "4KB + shared PTP & TLB".into(),
-        count(4 * frames_shared),
-        count(touched_pages as u64),
-        count(stalls_shared),
-        "one *global* entry per touched page serves all processes".into(),
-    ]);
-
-    let mut out = t.render();
-    let blowup = format!("{:.1}x", frames_64k as f64 / frames_4k as f64);
-    out.push_str(&format!(
-        "64KB pages use {} of the 4KB memory ({}); shared translation keeps 4KB memory\n\
-         and cuts cross-process TLB stalls by {} — the Section 2.3.3 conclusion.\n\n",
-        blowup,
-        pct((frames_64k as f64 - frames_4k as f64) / frames_4k as f64),
-        pct(1.0 - stalls_shared as f64 / stalls_4k as f64),
-    ));
     Ok(out)
 }
 
@@ -462,7 +269,6 @@ pub fn memory_accounting(scale: Scale) -> sat_types::SatResult<String> {
 pub fn all(scale: Scale) -> sat_types::SatResult<String> {
     let mut out = String::new();
     out.push_str(&scalability(scale)?);
-    out.push_str(&large_pages(scale)?);
     out.push_str(&grouped_layout(scale)?);
     out.push_str(&pte_pollution(scale)?);
     out.push_str(&memory_accounting(scale)?);
@@ -490,29 +296,6 @@ mod tests {
             factors.last().unwrap() > factors.first().unwrap(),
             "{factors:?}"
         );
-    }
-
-    #[test]
-    fn large_pages_waste_memory_but_shrink_tlb_needs() {
-        let out = large_pages(Scale::Quick).unwrap();
-        let get_kb = |label: &str| -> u64 {
-            let line = out.lines().find(|l| l.contains(label)).unwrap();
-            line.split('|')
-                .nth(2)
-                .unwrap()
-                .trim()
-                .replace(',', "")
-                .parse()
-                .unwrap()
-        };
-        let kb_4k = get_kb("4KB pages, stock");
-        let kb_64k = get_kb("64KB pages");
-        let kb_shared = get_kb("4KB + shared");
-        // The Figure 4 argument: ~2.6x memory blow-up for 64KB pages.
-        let blowup = kb_64k as f64 / kb_4k as f64;
-        assert!((1.8..=3.5).contains(&blowup), "blow-up {blowup:.2}");
-        // Shared translation costs no extra data memory.
-        assert!(kb_shared <= kb_4k + 8);
     }
 
     #[test]

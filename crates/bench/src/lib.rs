@@ -17,6 +17,7 @@ pub mod launchbench;
 pub mod motivation;
 pub mod pool;
 pub mod pressurebench;
+pub mod reachbench;
 pub mod render;
 pub mod servebench;
 pub mod snapshot;

@@ -25,20 +25,24 @@ use sat_obs::json::Json;
 /// run-wide `"gauges"` section; `repro-v5` added per-experiment
 /// `"latency"` request percentiles (serve cells) — in simulated
 /// cycles, deterministic, and gated by the diff like wall times;
-/// `repro-v6` adds per-experiment `"mem_frames"` budgets and
+/// `repro-v6` added per-experiment `"mem_frames"` budgets and
 /// `"reclaim"` totals (passes/pages/pte_tears/shared_tears/refaults)
-/// for budgeted serve and pressure cells, gated like counters.
-pub const SCHEMA: &str = "sat-bench/repro-v6";
+/// for budgeted serve and pressure cells, gated like counters;
+/// `repro-v7` adds per-experiment `"translation"` totals (promotions/
+/// demotions/splits/waste_frames) for the reach cells, gated the same
+/// way.
+pub const SCHEMA: &str = "sat-bench/repro-v7";
 
 /// Schemas `repro diff` can compare (the diff reads only fields that
 /// exist since v2; gauge gating engages from v4, latency from v5,
-/// reclaim from v6).
-const DIFFABLE_SCHEMAS: [&str; 5] = [
+/// reclaim from v6, translation from v7).
+const DIFFABLE_SCHEMAS: [&str; 6] = [
     "sat-bench/repro-v2",
     "sat-bench/repro-v3",
     "sat-bench/repro-v4",
     "sat-bench/repro-v5",
     "sat-bench/repro-v6",
+    "sat-bench/repro-v7",
 ];
 
 /// Subsystems `repro all --trace` must cover for the trace to count as
@@ -56,6 +60,12 @@ pub const FLEET_REQUIRED_SUBSYSTEMS: [&str; 5] = ["kernel", "share", "tlb", "sch
 /// (`android`, `kernel`, `share`, `tlb`).
 pub const SERVE_REQUIRED_SUBSYSTEMS: [&str; 6] =
     ["kernel", "share", "tlb", "sched", "sim", "android"];
+
+/// Coverage floor for a `repro reach --trace` run: the reach grid
+/// drives demand faults, the promotion scanner, fork sharing, and
+/// size-tagged flushes — but never walks the app-launch sequence, so
+/// no `android` or `sched` events are expected.
+pub const REACH_REQUIRED_SUBSYSTEMS: [&str; 4] = ["kernel", "share", "vm-fault", "tlb"];
 
 /// Experiments whose wall time is too small to gate on: below this
 /// floor, scheduler noise dominates and a 25% swing means nothing.
@@ -80,6 +90,13 @@ const LATENCY_FLOOR_CYCLES: u64 = 10_000;
 /// big swing means the pressure the workload faces actually changed.
 const RECLAIM_FLOOR: u64 = 50;
 
+/// Translation totals below this volume (in both snapshots) never
+/// gate. The floor is deliberately low: even the quick reach grid
+/// promotes ~96 groups, and a silent halving of promotions or a
+/// doubling of waste is exactly the regression this block exists to
+/// catch.
+const TRANSLATION_FLOOR: u64 = 8;
+
 /// One parsed experiment record.
 #[derive(Clone, Debug, Default)]
 pub struct Experiment {
@@ -97,6 +114,9 @@ pub struct Experiment {
     /// Reclaim totals (v6 budgeted cells; empty otherwise):
     /// passes, pages, pte_tears, shared_tears, refaults.
     pub reclaim: BTreeMap<String, u64>,
+    /// Translation totals (v7 reach cells; empty otherwise):
+    /// promotions, demotions, splits, waste_frames.
+    pub translation: BTreeMap<String, u64>,
 }
 
 /// The parts of a snapshot the diff compares.
@@ -157,6 +177,14 @@ impl Snapshot {
                     }
                 }
             }
+            let mut translation = BTreeMap::new();
+            if let Some(map) = exp.get("translation").and_then(Json::as_object) {
+                for (k, v) in map {
+                    if let Some(n) = v.as_u64() {
+                        translation.insert(k.clone(), n);
+                    }
+                }
+            }
             experiments.insert(
                 name.to_string(),
                 Experiment {
@@ -166,6 +194,7 @@ impl Snapshot {
                     latency,
                     mem_frames: exp.get("mem_frames").and_then(Json::as_u64),
                     reclaim,
+                    translation,
                 },
             );
         }
@@ -379,6 +408,27 @@ pub fn diff(old: &Snapshot, new: &Snapshot, threshold_pct: f64) -> DiffReport {
                 }
             }
         }
+        // Translation totals of the reach cells are deterministic, so
+        // they gate like counters: waste or splits growing past the
+        // threshold fails on its own, and any above-threshold movement
+        // (a promotion drop included) is surfaced. A scanner that
+        // never fires at all is `repro check`'s warning.
+        for (key, &old_n) in &old_exp.translation {
+            let Some(&new_n) = new_exp.translation.get(key) else {
+                continue;
+            };
+            report.compared += 1;
+            if old_n.max(new_n) < TRANSLATION_FLOOR {
+                continue;
+            }
+            let change = pct_change(old_n as f64, new_n as f64);
+            let line = format!("{name}.translation {key}: {old_n} -> {new_n} ({change:+.1}%)");
+            if change > threshold_pct {
+                report.lines.push((DiffClass::Regression, line));
+            } else if change < -threshold_pct {
+                report.lines.push((DiffClass::Improvement, line));
+            }
+        }
         // Serve latency percentiles are deterministic simulated
         // cycles: an above-threshold p99 (or p95/p50) growth means the
         // critical path of the tail actually got longer.
@@ -519,6 +569,29 @@ pub fn check(trace: Option<&str>, out: &str) -> Result<String, String> {
         }
     }
 
+    // A reach run whose promoted cell collapsed nothing measured only
+    // 4KB paging three times: the waste-vs-reach trade the experiment
+    // exists for never happened. Warn, mirroring the budget warning
+    // (works untraced — the totals live in the snapshot).
+    if command == "reach" {
+        let promoted_fired = experiments.iter().any(|e| {
+            e.get("name").and_then(Json::as_str) == Some("reach_promoted")
+                && e.get("translation")
+                    .and_then(|t| t.get("promotions"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0)
+                    > 0
+        });
+        if !promoted_fired {
+            let _ = writeln!(
+                report,
+                "repro check: warning: the promotion scanner never fired (the \
+                 reach_promoted cell reports zero promotions; every cell ran plain \
+                 4KB paging, so the reach-vs-waste trade was not measured)"
+            );
+        }
+    }
+
     if let Some(trace_path) = trace {
         let text =
             std::fs::read_to_string(trace_path).map_err(|e| format!("read {trace_path}: {e}"))?;
@@ -563,6 +636,7 @@ pub fn check(trace: Option<&str>, out: &str) -> Result<String, String> {
         let required: &[&str] = match command.as_str() {
             "fleet" => &FLEET_REQUIRED_SUBSYSTEMS,
             "serve" => &SERVE_REQUIRED_SUBSYSTEMS,
+            "reach" => &REACH_REQUIRED_SUBSYSTEMS,
             _ => &REQUIRED_SUBSYSTEMS,
         };
         let missing: Vec<&str> = required
@@ -895,6 +969,54 @@ mod tests {
         assert!(report.lines.iter().any(|(c, l)| *c == DiffClass::Note
             && l.contains("mem_frames")
             && l.contains("budget changed")));
+    }
+
+    fn v7(promotions: u64, waste: u64) -> Snapshot {
+        parse(&format!(
+            r#"{{
+  "schema": "sat-bench/repro-v7",
+  "command": "reach",
+  "scale": "quick",
+  "threads": 4,
+  "experiments": [
+    {{"name": "reach_promoted", "wall_ms": 100.000, "cells": 1,
+      "translation": {{"promotions": {promotions}, "demotions": 2,
+                       "splits": 32, "waste_frames": {waste}}},
+      "events": {{}}, "gauges": {{}}}}
+  ],
+  "total_wall_ms": 100.000,
+  "obs": {{"enabled": false, "dropped_events": 0, "counters": {{}}, "histograms": {{}}}}
+}}
+"#
+        ))
+    }
+
+    #[test]
+    fn doctored_translation_totals_gate_like_counters() {
+        let old = v7(96, 960);
+        let exp = &old.experiments["reach_promoted"];
+        assert_eq!(exp.translation["promotions"], 96);
+        assert_eq!(exp.translation["waste_frames"], 960);
+
+        // +50% promotion fill waste fails the 25% gate on its own.
+        let report = diff(&old, &v7(96, 1440), 25.0);
+        assert_eq!(report.regressions(), 1, "{:?}", report.lines);
+        assert!(report.lines.iter().any(|(c, l)| *c == DiffClass::Regression
+            && l.contains("reach_promoted.translation waste_frames")
+            && l.contains("960 -> 1440")));
+
+        // The scanner halving its collapses is surfaced (improvement
+        // direction — `repro check` owns the never-fired warning).
+        let report = diff(&old, &v7(48, 960), 25.0);
+        assert_eq!(report.regressions(), 0, "{:?}", report.lines);
+        assert!(report
+            .lines
+            .iter()
+            .any(|(c, l)| *c == DiffClass::Improvement && l.contains("promotions")));
+
+        // Sub-floor totals never gate (demotions 2 stays under 8).
+        let report = diff(&old, &v7(96, 960), 25.0);
+        assert_eq!(report.regressions(), 0, "{:?}", report.lines);
     }
 
     #[test]

@@ -129,7 +129,7 @@ fn write_snapshot(name: &str, launch_wall_ms: f64, total_wall_ms: f64) -> PathBu
         &path,
         format!(
             r#"{{
-  "schema": "sat-bench/repro-v6",
+  "schema": "sat-bench/repro-v7",
   "command": "all",
   "scale": "quick",
   "threads": 2,
@@ -407,7 +407,7 @@ fn serve_is_deterministic_and_snapshots_latency() {
 
     let snap = std::fs::read_to_string(tmp("serve-a.json")).unwrap();
     assert!(
-        snap.contains("\"schema\": \"sat-bench/repro-v6\""),
+        snap.contains("\"schema\": \"sat-bench/repro-v7\""),
         "{snap}"
     );
     assert!(snap.contains("\"name\": \"serve_stock\""), "{snap}");
@@ -644,6 +644,50 @@ fn check_warns_when_the_frame_budget_never_bites() {
     assert!(stdout.contains("reclaimed zero pages"), "{stdout}");
 }
 
+/// `repro reach` snapshots per-strategy translation totals, and
+/// `repro check` owns the coverage floor: a real run passes silently,
+/// a doctored snapshot whose promoted cell never collapsed anything
+/// draws the scanner-never-fired warning.
+#[test]
+fn reach_snapshots_translation_and_check_covers_the_scanner() {
+    let snap = tmp("reach-snap.json");
+    let out = repro(&["reach", "--quick", "--out", snap.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("translation reach"), "{stdout}");
+    let text = std::fs::read_to_string(&snap).unwrap();
+    assert!(text.contains("\"name\": \"reach_promoted\""), "{text}");
+    assert!(
+        text.contains("\"translation\": {\"promotions\": 96"),
+        "{text}"
+    );
+
+    let out = repro(&["check", "--out", snap.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("never fired"), "{stdout}");
+
+    // Doctor the snapshot: zero out the promoted cell's collapses.
+    let doctored = text.replace("\"promotions\": 96", "\"promotions\": 0");
+    std::fs::write(&snap, doctored).unwrap();
+    let out = repro(&["check", "--out", snap.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "the scanner warning must not fail the check: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("promotion scanner never fired"), "{stdout}");
+}
+
 /// The pressure grid derives its budgets from the uncapped wave, so
 /// the whole run is a pure function of the seed: byte-identical
 /// across repeats and worker-pool thread counts.
@@ -691,7 +735,7 @@ fn diff_gates_on_doctored_reclaim_totals() {
             &path,
             format!(
                 r#"{{
-  "schema": "sat-bench/repro-v6",
+  "schema": "sat-bench/repro-v7",
   "command": "pressure",
   "scale": "quick",
   "threads": 2,

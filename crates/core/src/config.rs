@@ -28,6 +28,54 @@ pub enum TlbProtection {
     FlushOnSwitch,
 }
 
+/// Policy knobs for the khugepaged-style large-page promotion
+/// scanner ([`crate::promote`]). Off by default: page size stays a
+/// pure 4KB world unless an experiment opts in, which keeps every
+/// promotion-free run byte-identical to a build without the engine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PromotePolicy {
+    /// Master switch for [`Kernel::promote_scan`]
+    /// (`crate::kernel::Kernel`); when off the scan is a no-op and the
+    /// promotion gauges are not published.
+    pub enabled: bool,
+    /// Minimum populated 4KB slots (of 16) a group needs before the
+    /// scanner collapses it — khugepaged's
+    /// `max_ptes_none` expressed from the other direction. Holes up
+    /// to `16 - min_populated` are filled with freshly allocated,
+    /// never-touched frames; those are the measured memory waste.
+    pub min_populated: u8,
+    /// Also collapse fully large-mapped, physically contiguous 1MB
+    /// spans into level-1 section entries.
+    pub sections: bool,
+}
+
+impl PromotePolicy {
+    /// Promotion off — the default for every preset.
+    pub fn off() -> Self {
+        PromotePolicy {
+            enabled: false,
+            min_populated: 1,
+            sections: false,
+        }
+    }
+
+    /// Promotion on with khugepaged-like defaults: collapse any group
+    /// with at least one populated slot, sections included.
+    pub fn aggressive() -> Self {
+        PromotePolicy {
+            enabled: true,
+            min_populated: 1,
+            sections: true,
+        }
+    }
+}
+
+impl Default for PromotePolicy {
+    fn default() -> Self {
+        PromotePolicy::off()
+    }
+}
+
 /// Full kernel configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct KernelConfig {
@@ -53,6 +101,9 @@ pub struct KernelConfig {
     /// level-1 PTEs (as x86 PDEs do), making the per-PTE
     /// write-protect pass at share time unnecessary.
     pub l1_write_protect: bool,
+    /// Large-page promotion policy (off in every preset; the reach
+    /// experiment turns it on per cell).
+    pub promote: PromotePolicy,
 }
 
 impl KernelConfig {
@@ -67,6 +118,7 @@ impl KernelConfig {
             share_stack: false,
             copy_on_unshare: CopyOnUnshare::All,
             l1_write_protect: false,
+            promote: PromotePolicy::off(),
         }
     }
 
@@ -104,6 +156,12 @@ impl KernelConfig {
         self.asid = false;
         self
     }
+
+    /// Enables the large-page promotion scanner with `policy`.
+    pub fn with_promote(mut self, policy: PromotePolicy) -> Self {
+        self.promote = policy;
+        self
+    }
 }
 
 impl Default for KernelConfig {
@@ -133,5 +191,20 @@ mod tests {
         assert!(full.share_ptp && full.share_tlb);
         assert!(full.asid);
         assert!(!full.without_asid().asid);
+    }
+
+    #[test]
+    fn promotion_is_off_in_every_preset() {
+        for config in [
+            KernelConfig::stock(),
+            KernelConfig::copied_ptes(),
+            KernelConfig::shared_ptp(),
+            KernelConfig::shared_ptp_tlb(),
+        ] {
+            assert_eq!(config.promote, PromotePolicy::off());
+        }
+        let on = KernelConfig::stock().with_promote(PromotePolicy::aggressive());
+        assert!(on.promote.enabled && on.promote.sections);
+        assert_eq!(on.promote.min_populated, 1);
     }
 }

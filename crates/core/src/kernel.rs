@@ -24,10 +24,11 @@ use sat_mmu::pte::PteSlot;
 use sat_mmu::{Mapper, PtpStore};
 use sat_phys::{FileRegistry, PhysMem};
 use sat_types::{
-    AccessType, Asid, Dacr, Domain, Perms, Pid, SatError, SatResult, VaRange, VirtAddr, VpnRange,
+    AccessType, Asid, Dacr, Domain, PageSize, Perms, Pid, SatError, SatResult, VaRange, VirtAddr,
+    VpnRange,
 };
 use sat_vm::{
-    exit_mmap, fork_mm, handle_fault, mmap as vm_mmap, mprotect as vm_mprotect,
+    demote_range, exit_mmap, fork_mm, handle_fault, mmap as vm_mmap, mprotect as vm_mprotect,
     munmap as vm_munmap, populate, Backing, FaultCtx, FaultOutcome, Mm, MmapRequest,
 };
 
@@ -74,6 +75,20 @@ pub struct KernelStats {
     /// PTEs torn out of *shared* PTPs by reclaim (each tear repairs
     /// every sharer at once; the PTP stays shared).
     pub reclaim_shared_tears: u64,
+    /// 64KB groups collapsed by the promotion scanner
+    /// ([`crate::promote`]).
+    pub promotions: u64,
+    /// 1MB spans collapsed to level-1 sections.
+    pub section_promotions: u64,
+    /// Large mappings split back to 4KB PTEs (partial `munmap`/
+    /// `mprotect`, COW write faults, fork over sections, reclaim).
+    pub demotions: u64,
+    /// 4KB PTEs written by those splits.
+    pub split_ptes: u64,
+    /// Frames the promotion scanner allocated for never-faulted holes
+    /// — memory *mapped* but never *touched*, the waste side of the
+    /// paper's reach-vs-footprint trade (Section 2's ≈2.6× figure).
+    pub waste_frames: u64,
 }
 
 impl KernelStats {
@@ -88,6 +103,45 @@ impl KernelStats {
         self.unshares_new_region = r.unshares_new_region;
         self.unshares_region_free = r.unshares_region_free;
         self.unshares_region_op = r.unshares_region_op;
+    }
+}
+
+/// Records one large-mapping split: bumps the demotion counters,
+/// emits the [`sat_obs::Payload::Demote`] event, and gathers the
+/// span's invalidation into `batch` — one cached wide TLB entry
+/// served the whole span, so the whole span must be flushed, tagged
+/// [`sat_obs::FlushReason::Demote`] for blame attribution.
+fn note_demote(
+    stats: &mut KernelStats,
+    pid: Pid,
+    asid: Asid,
+    va: VirtAddr,
+    size: PageSize,
+    cause: sat_obs::DemoteCause,
+    batch: &mut FlushBatch,
+) {
+    let bytes = size.bytes();
+    let pages = bytes / sat_types::PAGE_SIZE;
+    stats.demotions += 1;
+    stats.split_ptes += u64::from(pages);
+    let span = VaRange::from_len(va, bytes);
+    batch.range(
+        asid,
+        VpnRange::from_va_range(&span),
+        sat_obs::FlushReason::Demote,
+    );
+    if sat_obs::enabled() {
+        sat_obs::emit(
+            sat_obs::Subsystem::Kernel,
+            pid.raw(),
+            asid.raw(),
+            sat_obs::Payload::Demote {
+                va: va.raw(),
+                bytes,
+                pages: u64::from(pages),
+                cause,
+            },
+        );
     }
 }
 
@@ -308,6 +362,28 @@ impl Kernel {
         sat_obs::gauge_set("registry.sharers", sharers);
         sat_obs::gauge_set("kernel.processes", self.procs.len() as u64);
         sat_obs::gauge_set("kernel.asid.generation", self.asids.generation());
+        // Page-size occupancy, counted per address space (a large
+        // group in a shared PTP serves each sharer's VA range). Gated
+        // so promotion-free runs publish the exact gauge set they
+        // always have.
+        if self.config.promote.enabled {
+            let mut large_slots: u64 = 0;
+            let mut sections: u64 = 0;
+            for mm in self.procs.values() {
+                sections += mm.root.section_count() as u64;
+                for (_, frame) in mm.root.iter_ptps() {
+                    if let Some(table) = self.ptps.get(frame) {
+                        large_slots += table
+                            .iter()
+                            .filter(|(_, _, s)| s.hw.size == PageSize::Large64K)
+                            .count() as u64;
+                    }
+                }
+            }
+            sat_obs::gauge_set("mmu.pages.large", large_slots / 16);
+            sat_obs::gauge_set("mmu.pages.section", sections);
+            sat_obs::gauge_set("mmu.waste.frames", self.stats.waste_frames);
+        }
     }
 
     /// The fault-handling context for a process under the current
@@ -417,6 +493,22 @@ impl Kernel {
             )? as u64;
             self.stats.mirror_share(&self.registry.stats);
         }
+        // A partial unmap cutting through a large page or section must
+        // split it first (the vm layer repeats this defensively, but
+        // splitting here attributes the event and the size-tagged
+        // flush). Wholly covered large mappings stay intact — the zap
+        // below releases them exactly.
+        for (va, size) in demote_range(mm, &mut self.ptps, &mut self.phys, range)? {
+            note_demote(
+                &mut self.stats,
+                pid,
+                asid,
+                va,
+                size,
+                sat_obs::DemoteCause::Munmap,
+                &mut batch,
+            );
+        }
         let cleared = vm_munmap(mm, &mut self.ptps, &mut self.phys, range)?;
         // The unmapped translations must not survive (Linux's
         // flush_tlb_range on the munmap path). Eager unsharing means
@@ -476,6 +568,20 @@ impl Kernel {
                 UnshareTrigger::RegionOp,
             )? as u64;
             self.stats.mirror_share(&self.registry.stats);
+        }
+        // As for munmap: a protection change over *part* of a large
+        // mapping splits it (a whole-group change stays uniform and
+        // keeps the wide descriptor).
+        for (va, size) in demote_range(mm, &mut self.ptps, &mut self.phys, range)? {
+            note_demote(
+                &mut self.stats,
+                pid,
+                asid,
+                va,
+                size,
+                sat_obs::DemoteCause::Mprotect,
+                &mut batch,
+            );
         }
         vm_mprotect(mm, &mut self.ptps, &mut self.phys, range, perms)?;
         // Old (possibly more-permissive) translations must be evicted
@@ -552,7 +658,23 @@ impl Kernel {
                 Domain::USER
             },
         };
+        let asid = mm.asid;
         let vm = handle_fault(mm, &mut self.ptps, &mut self.phys, va, access, ctx)?;
+        // A write-protect fault that landed on one slot of a large
+        // group had to split the group before the slot could diverge
+        // (COW at 4KB granularity); attribute the demotion and flush
+        // the group span the stale wide entry covered.
+        if let Some(group) = vm.demoted {
+            note_demote(
+                &mut self.stats,
+                pid,
+                asid,
+                group,
+                PageSize::Large64K,
+                sat_obs::DemoteCause::Cow,
+                &mut batch,
+            );
+        }
         batch.apply(tlb);
         Ok(ProcFaultOutcome {
             vm,
@@ -680,7 +802,43 @@ impl Kernel {
         let parent_asid = parent_mm.asid.raw();
         self.stats.forks += 1;
 
-        let (child_mm, outcome, protected) = if config.share_ptp {
+        // Sections are invisible to both fork paths (they walk PTPs; a
+        // section lives directly in the level-1 entry), so the
+        // parent's sections must split back to PTEs before the copy or
+        // share pass — otherwise the child would silently lose those
+        // anonymous mappings. The split itself preserves every
+        // translation, but the COW protection that follows rewrites
+        // per-PTE permissions a cached 1MB entry cannot reflect, so
+        // each span joins the parent's to-flush set.
+        let section_idxs: Vec<usize> = parent_mm.root.iter_sections().collect();
+        let mut demoted_spans: Vec<VpnRange> = Vec::new();
+        for idx in section_idxs {
+            let va = VirtAddr::new((idx as u32) << 20);
+            let ptes = {
+                let mut mapper =
+                    Mapper::new(&mut parent_mm.root, &mut self.ptps, &mut self.phys, parent);
+                mapper.split_section(va)?
+            };
+            self.stats.demotions += 1;
+            self.stats.split_ptes += u64::from(ptes);
+            let bytes = PageSize::Section1M.bytes();
+            demoted_spans.push(VpnRange::from_va_range(&VaRange::from_len(va, bytes)));
+            if sat_obs::enabled() {
+                sat_obs::emit(
+                    sat_obs::Subsystem::Kernel,
+                    parent.raw(),
+                    parent_asid,
+                    sat_obs::Payload::Demote {
+                        va: va.raw(),
+                        bytes,
+                        pages: u64::from(ptes),
+                        cause: sat_obs::DemoteCause::Fork,
+                    },
+                );
+            }
+        }
+
+        let (child_mm, outcome, mut protected) = if config.share_ptp {
             self.stats.share_forks += 1;
             let (child_mm, r) = fork_share(
                 parent_mm,
@@ -733,6 +891,7 @@ impl Kernel {
             };
             (child_mm, outcome, protected)
         };
+        protected.extend(demoted_spans);
         self.procs.insert(child_pid, child_mm);
         self.asids.assign_current(child_pid);
         if sat_obs::enabled() {

@@ -60,14 +60,16 @@ pub mod asid;
 pub mod config;
 pub mod flush;
 pub mod kernel;
+pub mod promote;
 pub mod reclaim;
 pub mod registry;
 pub mod share;
 
 pub use asid::AsidAllocator;
-pub use config::{CopyOnUnshare, KernelConfig, TlbProtection};
+pub use config::{CopyOnUnshare, KernelConfig, PromotePolicy, TlbProtection};
 pub use flush::{BatchOutcome, FlushBatch, FlushOp, FLUSH_CEILING_PAGES};
 pub use kernel::{ForkOutcome, Kernel, KernelStats, ProcFaultOutcome};
+pub use promote::PromoteReport;
 pub use reclaim::ReclaimOutcome;
 pub use registry::{RegistryStats, SharedPtpEntry, SharedPtpRegistry};
 pub use share::{fork_share, unshare, unshare_range, ShareForkReport, UnshareTrigger};

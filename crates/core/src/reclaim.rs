@@ -161,6 +161,14 @@ impl Kernel {
             if !maps_victim {
                 continue;
             }
+            debug_assert!(
+                self.ptps
+                    .get(ptp_frame)
+                    .and_then(|t| t.get(half, idx))
+                    .is_some_and(|s| s.hw.size == sat_types::PageSize::Small4K),
+                "file page-cache victim mapped by a wide descriptor at {va:?} — \
+                 large slots are anonymous and must never reach the shared tear"
+            );
             self.ptps
                 .get_mut(ptp_frame)
                 .expect("checked above")
@@ -246,7 +254,43 @@ impl Kernel {
             return false;
         }
         let global = slot.hw.global;
+        // Tearing one slot of a sixteen-slot replicated large group
+        // would leave fifteen stale descriptors, so the group splits
+        // to 4KB PTEs first. Unreachable with today's victim policy —
+        // large frames are anonymous and the clock only sweeps the
+        // file page cache — but the split-before-tear discipline must
+        // not depend on that.
+        let mut demoted = None;
+        if slot.hw.size == sat_types::PageSize::Large64K {
+            let group = VirtAddr::new(va.raw() & !(sat_types::PageSize::Large64K.bytes() - 1));
+            let split = mapper.split_large(va).unwrap_or(0);
+            demoted = Some((group, split));
+        }
         mapper.reclaim_pte(va);
+        if let Some((group, split)) = demoted {
+            self.stats.demotions += 1;
+            self.stats.split_ptes += u64::from(split);
+            let bytes = sat_types::PageSize::Large64K.bytes();
+            let span = sat_types::VaRange::from_len(group, bytes);
+            batch.range(
+                asid,
+                sat_types::VpnRange::from_va_range(&span),
+                FlushReason::Demote,
+            );
+            if sat_obs::enabled() {
+                sat_obs::emit(
+                    sat_obs::Subsystem::Kernel,
+                    pid.raw(),
+                    asid.raw(),
+                    sat_obs::Payload::Demote {
+                        va: group.raw(),
+                        bytes,
+                        pages: u64::from(split),
+                        cause: sat_obs::DemoteCause::Reclaim,
+                    },
+                );
+            }
+        }
         if shared {
             batch.va_all_asids(va, FlushReason::Reclaim);
             out.shared_tears += 1;

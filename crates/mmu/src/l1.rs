@@ -1,6 +1,6 @@
 //! The first-level (root) translation table.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use sat_phys::{FrameKind, PhysMem};
 use sat_types::{Dacr, Domain, PageSize, Perms, Pfn, PhysAddr, SatResult, VirtAddr, L1_ENTRIES};
@@ -88,8 +88,13 @@ pub struct RootTable {
     /// PTP frame. Kept in sync by the mutators so [`RootTable::iter_ptps`]
     /// walks the populated pairs instead of scanning all 4096 entries
     /// — the difference between O(address-space size) and O(#PTPs) on
-    /// every fork and exit.
+    /// every fork and exit. A pair stays indexed while *either* half
+    /// holds a table entry, so a section promoted into one half never
+    /// hides the PTP still referenced by the other.
     pairs: BTreeMap<u16, Pfn>,
+    /// Indices holding section entries, so teardown and the demotion
+    /// paths walk O(#sections) instead of scanning all 4096 entries.
+    sections: BTreeSet<u16>,
 }
 
 impl RootTable {
@@ -105,6 +110,7 @@ impl RootTable {
             entries: vec![L1Entry::Fault; L1_ENTRIES],
             frames,
             pairs: BTreeMap::new(),
+            sections: BTreeSet::new(),
         })
     }
 
@@ -125,19 +131,25 @@ impl RootTable {
         self.entries[va.l1_index()]
     }
 
-    /// Sets the entry at index `idx`.
+    /// Sets the entry at index `idx`, keeping the pair and section
+    /// indices honest for any mix of table/section/fault entries in
+    /// the two halves.
     pub fn set_entry(&mut self, idx: usize, e: L1Entry) {
-        if idx.is_multiple_of(2) {
-            match e.ptp() {
-                Some(ptp) => {
-                    self.pairs.insert(idx as u16, ptp);
-                }
-                None => {
-                    self.pairs.remove(&(idx as u16));
-                }
+        self.entries[idx] = e;
+        if matches!(e, L1Entry::Section { .. }) {
+            self.sections.insert(idx as u16);
+        } else {
+            self.sections.remove(&(idx as u16));
+        }
+        let even = idx & !1;
+        match self.entries[even].ptp().or(self.entries[even + 1].ptp()) {
+            Some(ptp) => {
+                self.pairs.insert(even as u16, ptp);
+            }
+            None => {
+                self.pairs.remove(&(even as u16));
             }
         }
-        self.entries[idx] = e;
     }
 
     /// Installs both entries of the pair covering `va` to point at the
@@ -147,29 +159,35 @@ impl RootTable {
     /// one PTP carries both hardware tables of the pair.
     pub fn set_table_pair(&mut self, va: VirtAddr, ptp: Pfn, domain: Domain, need_copy: bool) {
         let even = va.l1_index() & !1;
-        self.pairs.insert(even as u16, ptp);
-        self.entries[even] = L1Entry::Table {
-            ptp,
-            half: TableHalf::Lower,
-            domain,
-            need_copy,
-        };
-        self.entries[even + 1] = L1Entry::Table {
-            ptp,
-            half: TableHalf::Upper,
-            domain,
-            need_copy,
-        };
+        for (idx, half) in [(even, TableHalf::Lower), (even + 1, TableHalf::Upper)] {
+            // A section in one half survives: its 1MB is a leaf here,
+            // the PTP only serves the other half.
+            if matches!(self.entries[idx], L1Entry::Section { .. }) {
+                continue;
+            }
+            self.set_entry(
+                idx,
+                L1Entry::Table {
+                    ptp,
+                    half,
+                    domain,
+                    need_copy,
+                },
+            );
+        }
     }
 
-    /// Clears both entries of the pair covering `va`, returning the
-    /// PTP frame they referenced (if any).
+    /// Clears the table entries of the pair covering `va` (sections in
+    /// either half survive), returning the PTP frame they referenced
+    /// (if any).
     pub fn clear_table_pair(&mut self, va: VirtAddr) -> Option<Pfn> {
         let even = va.l1_index() & !1;
-        let ptp = self.entries[even].ptp();
-        self.pairs.remove(&(even as u16));
-        self.entries[even] = L1Entry::Fault;
-        self.entries[even + 1] = L1Entry::Fault;
+        let ptp = self.entries[even].ptp().or(self.entries[even + 1].ptp());
+        for idx in [even, even + 1] {
+            if self.entries[idx].ptp().is_some() {
+                self.set_entry(idx, L1Entry::Fault);
+            }
+        }
         ptp
     }
 
@@ -207,6 +225,17 @@ impl RootTable {
     /// Counts distinct PTPs referenced by this table.
     pub fn ptp_count(&self) -> usize {
         self.pairs.len()
+    }
+
+    /// Iterates over the L1 indices holding section entries, in
+    /// ascending order — O(#sections), not O(4096).
+    pub fn iter_sections(&self) -> impl Iterator<Item = usize> + '_ {
+        self.sections.iter().map(|&i| i as usize)
+    }
+
+    /// Counts section entries in this table.
+    pub fn section_count(&self) -> usize {
+        self.sections.len()
     }
 }
 
@@ -308,7 +337,9 @@ mod tests {
             },
         );
         assert_eq!(rt.iter_ptps().collect::<Vec<_>>(), vec![(4, Pfn::new(8))]);
-        // A section entry at an even index drops the pair.
+        // A section in the even half does NOT drop the pair while the
+        // odd half still references a PTP (promotion of one 1MB half
+        // must not hide the neighbour's table from teardown).
         rt.set_entry(
             4,
             L1Entry::Section {
@@ -319,10 +350,23 @@ mod tests {
                 global: false,
             },
         );
+        assert_eq!(rt.iter_ptps().collect::<Vec<_>>(), vec![(4, Pfn::new(7))]);
+        assert_eq!(rt.iter_sections().collect::<Vec<_>>(), vec![4]);
+        // Dropping the surviving table half empties the pair index; the
+        // section stays.
+        rt.set_entry(5, L1Entry::Fault);
         assert_eq!(rt.ptp_count(), 0);
+        assert_eq!(rt.section_count(), 1);
+        // set_table_pair over a mixed pair installs only the free half.
         rt.set_table_pair(va, Pfn::new(9), Domain::USER, true);
-        rt.clear_table_pair(va);
+        assert!(matches!(rt.entry(4), L1Entry::Section { .. }));
+        assert_eq!(rt.entry(5).ptp(), Some(Pfn::new(9)));
+        // clear_table_pair clears the table half and spares the section.
+        assert_eq!(rt.clear_table_pair(va), Some(Pfn::new(9)));
         assert_eq!(rt.ptp_count(), 0);
+        assert!(matches!(rt.entry(4), L1Entry::Section { .. }));
+        rt.set_entry(4, L1Entry::Fault);
+        assert_eq!(rt.section_count(), 0);
     }
 
     #[test]

@@ -43,6 +43,6 @@ pub mod walk;
 pub use fsr::{FaultRecord, FaultStatus};
 pub use l1::{L1Entry, RootTable};
 pub use ops::Mapper;
-pub use pte::{HwPte, SwPte};
+pub use pte::{HwPte, PteSlot, SwPte};
 pub use ptp::{Ptp, PtpStore, TableHalf};
 pub use walk::{walk, Translation, WalkFault, WalkOutcome, WalkResult};

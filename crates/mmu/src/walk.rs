@@ -31,9 +31,16 @@ pub struct Translation {
 impl Translation {
     /// Translates a virtual address within this mapping's page to its
     /// physical address.
+    ///
+    /// Base-plus-offset rather than bit-stitching: the simulator's
+    /// packed slot words carry large-page bases that need not be
+    /// 64KB-aligned (a replicated descriptor is installed per 4KB
+    /// slot), and addition keeps each slot's descriptor self-
+    /// consistent for the addresses it serves. For aligned bases the
+    /// two forms agree.
     pub fn translate(&self, va: VirtAddr) -> PhysAddr {
         let mask = self.size.bytes() - 1;
-        PhysAddr::new((self.pfn.base().raw() & !mask) | (va.raw() & mask))
+        PhysAddr::new(self.pfn.base().raw().wrapping_add(va.raw() & mask))
     }
 }
 

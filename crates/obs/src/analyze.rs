@@ -149,6 +149,18 @@ pub struct Rollup {
     pub reclaim_pte_tears: u64,
     /// Shared-PTP slots torn by reclaim (all sharers repaired at once).
     pub reclaim_shared_tears: u64,
+    /// Large-page / section collapses performed by the promotion
+    /// scanner.
+    pub promotions: u64,
+    /// 4KB pages now covered by wider translations.
+    pub promote_pages: u64,
+    /// Never-touched hole pages the scanner allocated frames for so a
+    /// run could go wide — the measured memory-waste numerator.
+    pub promote_filled: u64,
+    /// Large mappings split back to 4KB PTEs, per cause.
+    pub demotions: u64,
+    pub demote_pages: u64,
+    pub demote_causes: BTreeMap<&'static str, u64>,
     /// Cycle-charge volume per blame cause (flow 0 included — the
     /// unattributed bucket).
     pub charge_causes: BTreeMap<&'static str, u64>,
@@ -239,6 +251,16 @@ impl Rollup {
                     r.reclaim_pages += pages;
                     r.reclaim_pte_tears += pte_tears;
                     r.reclaim_shared_tears += shared_tears;
+                }
+                Payload::Promote { pages, filled, .. } => {
+                    r.promotions += 1;
+                    r.promote_pages += pages;
+                    r.promote_filled += filled;
+                }
+                Payload::Demote { pages, cause, .. } => {
+                    r.demotions += 1;
+                    r.demote_pages += pages;
+                    *r.demote_causes.entry(cause.as_str()).or_default() += 1;
                 }
                 Payload::CycleCharge { cause, cycles, .. } => {
                     r.charges += 1;

@@ -174,6 +174,28 @@ fn args_json(payload: &Payload) -> String {
             push_kv_num(&mut o, "pte_tears", *pte_tears, true);
             push_kv_num(&mut o, "shared_tears", *shared_tears, true);
         }
+        Payload::Promote {
+            va,
+            bytes,
+            pages,
+            filled,
+        } => {
+            push_kv_num(&mut o, "va", u64::from(*va), false);
+            push_kv_num(&mut o, "bytes", u64::from(*bytes), true);
+            push_kv_num(&mut o, "pages", *pages, true);
+            push_kv_num(&mut o, "filled", *filled, true);
+        }
+        Payload::Demote {
+            va,
+            bytes,
+            pages,
+            cause,
+        } => {
+            push_kv_num(&mut o, "va", u64::from(*va), false);
+            push_kv_num(&mut o, "bytes", u64::from(*bytes), true);
+            push_kv_num(&mut o, "pages", *pages, true);
+            push_kv_str(&mut o, "cause", cause.as_str(), true);
+        }
     }
     o.push('}');
     o
@@ -410,6 +432,22 @@ fn parse_event(obj: &crate::json::Json, index: usize) -> Result<Event, String> {
                 pte_tears: field_u64(args, "pte_tears", &ctx)?,
                 shared_tears: field_u64(args, "shared_tears", &ctx)?,
             },
+            "promote" => Payload::Promote {
+                va: field_u64(args, "va", &ctx)? as u32,
+                bytes: field_u64(args, "bytes", &ctx)? as u32,
+                pages: field_u64(args, "pages", &ctx)?,
+                filled: field_u64(args, "filled", &ctx)?,
+            },
+            "demote" => {
+                let cause_s = arg_str(args, "cause", &ctx)?;
+                Payload::Demote {
+                    va: field_u64(args, "va", &ctx)? as u32,
+                    bytes: field_u64(args, "bytes", &ctx)? as u32,
+                    pages: field_u64(args, "pages", &ctx)?,
+                    cause: DemoteCause::parse(cause_s)
+                        .ok_or_else(|| format!("{ctx}: unknown demote cause \"{cause_s}\""))?,
+                }
+            }
             op if RegionOpKind::parse(op).is_some() => Payload::RegionOp {
                 op: RegionOpKind::parse(op).unwrap(),
                 va: field_u64(args, "va", &ctx)? as u32,

@@ -142,6 +142,68 @@ impl UnshareCause {
     }
 }
 
+/// Which kernel path forced a large mapping back to 4KB PTEs
+/// (Figure-6-style cause attribution for the demotion side).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DemoteCause {
+    /// Partial `munmap` cut through a large group / section.
+    Munmap,
+    /// `mprotect` changed permissions over part of a large mapping.
+    Mprotect,
+    /// A write-protect (COW / write-enable) fault landed on one slot
+    /// of a large group; the slot must diverge, so the group splits.
+    Cow,
+    /// PTP unshare copied a large group; the copy is split so partial
+    /// copies can never leave a stale wide translation behind.
+    Unshare,
+    /// Memory-pressure reclaim needed to tear a single PTE inside a
+    /// large group.
+    Reclaim,
+    /// `fork` demotes parent sections so child page tables stay
+    /// two-level and the share path never sees an L1 leaf.
+    Fork,
+}
+
+impl DemoteCause {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DemoteCause::Munmap => "munmap",
+            DemoteCause::Mprotect => "mprotect",
+            DemoteCause::Cow => "cow",
+            DemoteCause::Unshare => "unshare",
+            DemoteCause::Reclaim => "reclaim",
+            DemoteCause::Fork => "fork",
+        }
+    }
+
+    /// Per-cause demotion counter.
+    pub fn counter_key(self) -> &'static str {
+        match self {
+            DemoteCause::Munmap => "mmu.demote.cause.munmap",
+            DemoteCause::Mprotect => "mmu.demote.cause.mprotect",
+            DemoteCause::Cow => "mmu.demote.cause.cow",
+            DemoteCause::Unshare => "mmu.demote.cause.unshare",
+            DemoteCause::Reclaim => "mmu.demote.cause.reclaim",
+            DemoteCause::Fork => "mmu.demote.cause.fork",
+        }
+    }
+
+    /// Every live cause, in reporting order.
+    pub const ALL: [DemoteCause; 6] = [
+        DemoteCause::Munmap,
+        DemoteCause::Mprotect,
+        DemoteCause::Cow,
+        DemoteCause::Unshare,
+        DemoteCause::Reclaim,
+        DemoteCause::Fork,
+    ];
+
+    /// Inverse of [`DemoteCause::as_str`] (trace re-ingestion).
+    pub fn parse(s: &str) -> Option<DemoteCause> {
+        DemoteCause::ALL.into_iter().find(|c| c.as_str() == s)
+    }
+}
+
 /// Which kernel path issued a TLB flush. Set as a scoped thread-local
 /// by the caller (see [`crate::with_flush_reason`]) and read by the
 /// flush primitives, so the TLB crate needs no signature changes.
@@ -164,6 +226,14 @@ pub enum FlushReason {
     /// Memory-pressure reclaim tore PTEs and must evict their cached
     /// translations before the frame is reused.
     Reclaim,
+    /// Large-page/section promotion migrated pages to contiguous
+    /// frames; stale small-page translations must go before the old
+    /// frames are reused.
+    Promote,
+    /// A large mapping was split back to 4KB PTEs; the cached
+    /// large/section entry spans every page of the group, so the whole
+    /// span is invalidated.
+    Demote,
 }
 
 impl FlushReason {
@@ -179,6 +249,8 @@ impl FlushReason {
             FlushReason::DomainFault => "domain_fault",
             FlushReason::AsidRecycle => "asid_recycle",
             FlushReason::Reclaim => "reclaim",
+            FlushReason::Promote => "promote",
+            FlushReason::Demote => "demote",
         }
     }
 
@@ -195,11 +267,13 @@ impl FlushReason {
             FlushReason::DomainFault => "tlb.flush.reason.domain_fault",
             FlushReason::AsidRecycle => "tlb.flush.reason.asid_recycle",
             FlushReason::Reclaim => "tlb.flush.reason.reclaim",
+            FlushReason::Promote => "tlb.flush.reason.promote",
+            FlushReason::Demote => "tlb.flush.reason.demote",
         }
     }
 
     /// Every reason (reporting iterates these in a stable order).
-    pub const ALL: [FlushReason; 10] = [
+    pub const ALL: [FlushReason; 12] = [
         FlushReason::ContextSwitch,
         FlushReason::Fork,
         FlushReason::Exit,
@@ -209,6 +283,8 @@ impl FlushReason {
         FlushReason::DomainFault,
         FlushReason::AsidRecycle,
         FlushReason::Reclaim,
+        FlushReason::Promote,
+        FlushReason::Demote,
         FlushReason::Unattributed,
     ];
 
@@ -230,6 +306,8 @@ impl FlushReason {
             FlushReason::DomainFault => "tlb.flush.reason.domain_fault.entries",
             FlushReason::AsidRecycle => "tlb.flush.reason.asid_recycle.entries",
             FlushReason::Reclaim => "tlb.flush.reason.reclaim.entries",
+            FlushReason::Promote => "tlb.flush.reason.promote.entries",
+            FlushReason::Demote => "tlb.flush.reason.demote.entries",
         }
     }
 }
@@ -635,6 +713,26 @@ pub enum Payload {
         pte_tears: u64,
         shared_tears: u64,
     },
+    /// The promotion scanner collapsed one aligned run into a wider
+    /// translation: `bytes` is the new mapping size (64KB group or 1MB
+    /// section), `pages` the 4KB pages it now spans, and `filled` the
+    /// hole pages that had never been touched but got frames allocated
+    /// so the run could go wide — the memory-waste numerator.
+    Promote {
+        va: u32,
+        bytes: u32,
+        pages: u64,
+        filled: u64,
+    },
+    /// A large mapping at `va` split back to 4KB PTEs: `bytes` is the
+    /// span invalidated (the whole group/section, since one cached
+    /// wide entry serves every page in it), `pages` the PTEs restored.
+    Demote {
+        va: u32,
+        bytes: u32,
+        pages: u64,
+        cause: DemoteCause,
+    },
 }
 
 impl Payload {
@@ -660,6 +758,8 @@ impl Payload {
             Payload::FlowBegin { .. } => "flow_begin",
             Payload::FlowEnd { .. } => "flow_end",
             Payload::Reclaim { .. } => "reclaim",
+            Payload::Promote { .. } => "promote",
+            Payload::Demote { .. } => "demote",
         }
     }
 }

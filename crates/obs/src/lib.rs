@@ -43,8 +43,8 @@ mod sink;
 
 pub use chrome::{chrome_trace_json, metrics_json, parse_chrome_trace, ParsedTrace};
 pub use event::{
-    ChargeCause, Event, FaultClass, FlushReason, FlushScope, Payload, RegionOpKind, SpanUnit,
-    Subsystem, UnshareCause,
+    ChargeCause, DemoteCause, Event, FaultClass, FlushReason, FlushScope, Payload, RegionOpKind,
+    SpanUnit, Subsystem, UnshareCause,
 };
 pub use metrics::{Gauge, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use sink::{EventSink, NullSink, Recording, RingSink};

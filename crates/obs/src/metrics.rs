@@ -392,6 +392,16 @@ impl MetricsRegistry {
                 self.inc("kernel.reclaim.pte_tears", *pte_tears);
                 self.inc("kernel.reclaim.shared_tears", *shared_tears);
             }
+            Payload::Promote { pages, filled, .. } => {
+                self.inc("mmu.promote", 1);
+                self.inc("mmu.promote.pages", *pages);
+                self.inc("mmu.promote.filled", *filled);
+            }
+            Payload::Demote { pages, cause, .. } => {
+                self.inc("mmu.demote", 1);
+                self.inc("mmu.demote.pages", *pages);
+                self.inc(cause.counter_key(), 1);
+            }
         }
     }
 

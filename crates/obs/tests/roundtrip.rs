@@ -4,8 +4,8 @@
 
 use sat_obs::json::Json;
 use sat_obs::{
-    chrome_trace_json, metrics_json, parse_chrome_trace, ChargeCause, FaultClass, FlushReason,
-    FlushScope, Payload, RegionOpKind, SpanUnit, Subsystem, UnshareCause,
+    chrome_trace_json, metrics_json, parse_chrome_trace, ChargeCause, DemoteCause, FaultClass,
+    FlushReason, FlushScope, Payload, RegionOpKind, SpanUnit, Subsystem, UnshareCause,
 };
 
 /// One event of every payload shape, exercising every arg type.
@@ -219,6 +219,28 @@ fn emit_one_of_each() {
             shared_tears: 3,
         },
     );
+    sat_obs::emit(
+        Subsystem::Kernel,
+        3,
+        4,
+        Payload::Promote {
+            va: 0x4004_0000,
+            bytes: 0x1_0000,
+            pages: 16,
+            filled: 10,
+        },
+    );
+    sat_obs::emit(
+        Subsystem::Kernel,
+        3,
+        4,
+        Payload::Demote {
+            va: 0x4004_0000,
+            bytes: 0x1_0000,
+            pages: 16,
+            cause: DemoteCause::Munmap,
+        },
+    );
 }
 
 #[test]
@@ -406,6 +428,28 @@ fn chrome_trace_round_trips_field_by_field() {
                     args.get("shared_tears").unwrap().as_u64(),
                     Some(*shared_tears)
                 );
+            }
+            Payload::Promote {
+                va,
+                bytes,
+                pages,
+                filled,
+            } => {
+                assert_eq!(args.get("va").unwrap().as_u64(), Some(u64::from(*va)));
+                assert_eq!(args.get("bytes").unwrap().as_u64(), Some(u64::from(*bytes)));
+                assert_eq!(args.get("pages").unwrap().as_u64(), Some(*pages));
+                assert_eq!(args.get("filled").unwrap().as_u64(), Some(*filled));
+            }
+            Payload::Demote {
+                va,
+                bytes,
+                pages,
+                cause,
+            } => {
+                assert_eq!(args.get("va").unwrap().as_u64(), Some(u64::from(*va)));
+                assert_eq!(args.get("bytes").unwrap().as_u64(), Some(u64::from(*bytes)));
+                assert_eq!(args.get("pages").unwrap().as_u64(), Some(*pages));
+                assert_eq!(args.get("cause").unwrap().as_str(), Some(cause.as_str()));
             }
         }
     }

@@ -174,6 +174,56 @@ impl PhysMem {
         Ok(pfn)
     }
 
+    /// Allocates `n` physically contiguous frames of the given kind
+    /// (each with `refcount == 1`) and returns the base PFN — the
+    /// backing store for large pages and sections, whose replicated
+    /// descriptors assume `base + i` really is the frame for page `i`.
+    ///
+    /// Picks the lowest-addressed free run, so allocation stays
+    /// deterministic, and fails with [`SatError::OutOfMemory`] when
+    /// free memory is too fragmented to hold the run — exactly the
+    /// external-fragmentation failure real large-page allocation hits.
+    pub fn alloc_run(&mut self, kind: FrameKind, n: u32) -> SatResult<Pfn> {
+        debug_assert!(!matches!(kind, FrameKind::Free));
+        debug_assert!(n > 0);
+        if n == 1 {
+            return self.alloc(kind);
+        }
+        let mut sorted: Vec<u32> = self.free.iter().map(|p| p.raw()).collect();
+        sorted.sort_unstable();
+        let mut run_base: Option<u32> = None;
+        let mut run_len = 0u32;
+        let mut found = None;
+        for &f in &sorted {
+            match run_base {
+                Some(b) if f == b + run_len => run_len += 1,
+                _ => {
+                    run_base = Some(f);
+                    run_len = 1;
+                }
+            }
+            if run_len == n {
+                found = run_base;
+                break;
+            }
+        }
+        let base = found.ok_or(SatError::OutOfMemory)?;
+        let run: HashSet<u32> = (base..base + n).collect();
+        self.free.retain(|p| !run.contains(&p.raw()));
+        for f in base..base + n {
+            self.pages[f as usize] = PageInfo::new(kind);
+        }
+        self.stats.total_allocs += u64::from(n);
+        self.stats.in_use += u64::from(n);
+        self.stats.high_water = self.stats.high_water.max(self.stats.in_use);
+        let free = self.budget_free();
+        self.stats.free_low_water = self.stats.free_low_water.min(free);
+        if self.budget.is_some() && free < self.watermarks.low {
+            self.stats.low_watermark_hits += 1;
+        }
+        Ok(Pfn::new(base))
+    }
+
     /// Returns the metadata for `pfn`.
     ///
     /// # Panics
@@ -609,6 +659,43 @@ mod tests {
         assert_eq!(pm.mapcount(ptp), 2);
         assert_eq!(pm.map_dec(ptp), 1);
         assert_eq!(pm.map_dec(ptp), 0);
+    }
+
+    #[test]
+    fn alloc_run_picks_lowest_contiguous_run() {
+        let mut pm = PhysMem::new(16);
+        // Fragment the low frames: hold 0, free 1, hold 2.
+        let f0 = pm.alloc(FrameKind::Anon).unwrap();
+        let f1 = pm.alloc(FrameKind::Anon).unwrap();
+        let f2 = pm.alloc(FrameKind::Anon).unwrap();
+        assert_eq!((f0.raw(), f1.raw(), f2.raw()), (0, 1, 2));
+        pm.put_page(f1);
+        // Frames 3..16 are the lowest run of 4; frame 1 alone is not.
+        let base = pm.alloc_run(FrameKind::Anon, 4).unwrap();
+        assert_eq!(base.raw(), 3);
+        for i in 0..4 {
+            let p = pm.page(Pfn::new(3 + i));
+            assert_eq!(p.kind, FrameKind::Anon);
+            assert_eq!(p.refcount, 1);
+        }
+        // Frame 1 is still free and still allocatable singly.
+        assert_eq!(pm.alloc(FrameKind::Anon).unwrap().raw(), 1);
+    }
+
+    #[test]
+    fn alloc_run_fails_when_fragmented() {
+        let mut pm = PhysMem::new(8);
+        let held: Vec<Pfn> = (0..8).map(|_| pm.alloc(FrameKind::Anon).unwrap()).collect();
+        // Free every other frame: 4 frames free, no two adjacent.
+        for p in held.iter().step_by(2) {
+            pm.put_page(*p);
+        }
+        assert_eq!(pm.frames_in_use(), 4);
+        assert_eq!(pm.alloc_run(FrameKind::Anon, 2), Err(SatError::OutOfMemory));
+        // The failure must not have consumed anything.
+        assert_eq!(pm.frames_in_use(), 4);
+        // Single frames still come out of the fragmented pool.
+        assert!(pm.alloc_run(FrameKind::Anon, 1).is_ok());
     }
 
     #[test]

@@ -52,10 +52,13 @@ impl TlbEntry {
         first < range.end && range.start < first + pages
     }
 
-    /// Translates an address within the entry's page.
+    /// Translates an address within the entry's page. Base-plus-offset
+    /// (mirroring `Translation::translate`): large-page bases from the
+    /// promotion engine's contiguous-run allocator are not necessarily
+    /// 64KB-aligned, so the low base bits carry information.
     pub fn translate(&self, va: VirtAddr) -> PhysAddr {
         let mask = self.size.bytes() - 1;
-        PhysAddr::new((self.pfn.base().raw() & !mask) | (va.raw() & mask))
+        PhysAddr::new(self.pfn.base().raw().wrapping_add(va.raw() & mask))
     }
 }
 

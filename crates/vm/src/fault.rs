@@ -8,9 +8,9 @@
 //! eliminates most of them by making PTEs populated in a *shared* PTP
 //! visible to every sharer.
 
-use sat_mmu::{HwPte, Mapper, PtpStore, SwPte};
+use sat_mmu::{HwPte, L1Entry, Mapper, PtpStore, SwPte};
 use sat_phys::{FrameKind, PhysMem};
-use sat_types::{AccessType, Domain, Perms, SatError, SatResult, VirtAddr};
+use sat_types::{AccessType, Domain, PageSize, Perms, SatError, SatResult, VirtAddr};
 
 use crate::mm::Mm;
 use crate::vma::{Backing, Vma};
@@ -52,6 +52,11 @@ pub struct FaultOutcome {
     pub file_backed: bool,
     /// The PTE that now serves the access carries the global bit.
     pub global: bool,
+    /// Resolving the fault split a 64KB large page back to 4KB PTEs
+    /// (write-protect fault on a replicated descriptor); holds the
+    /// group's start address so the caller can emit the demotion and
+    /// flush the stale wide translation.
+    pub demoted: Option<VirtAddr>,
 }
 
 /// Per-process fault-handling policy knobs, fixed by the kernel
@@ -101,17 +106,50 @@ pub fn handle_fault(
     let outcome = match mapper.get_pte(page) {
         Some(slot) => {
             if access.is_write() && !slot.hw.perms.write() {
-                resolve_write_protect_fault(&mut mapper, &vma, page, slot.hw, slot.sw)?
+                let (slot, demoted) = if slot.hw.size == PageSize::Large64K {
+                    // A write-protected large page can neither COW nor
+                    // re-enable one 4KB page wide: split the group
+                    // first, then resolve against the small PTE.
+                    mapper.split_large(page);
+                    let group = VirtAddr::new(page.raw() & !(PageSize::Large64K.bytes() - 1));
+                    (
+                        mapper.get_pte(page).expect("split preserves the slot"),
+                        Some(group),
+                    )
+                } else {
+                    (slot, None)
+                };
+                let mut o = resolve_write_protect_fault(&mut mapper, &vma, page, slot.hw, slot.sw)?;
+                o.demoted = demoted;
+                o
             } else {
                 FaultOutcome {
                     kind: FaultKind::Spurious,
                     ptp_allocated: false,
                     file_backed,
                     global: slot.hw.global,
+                    demoted: None,
                 }
             }
         }
-        None => resolve_not_present(&mut mapper, &vma, page, access, ctx)?,
+        None => {
+            if let L1Entry::Section { perms, global, .. } = mapper.root.entry_for(page) {
+                // A 1MB section already serves the access: the
+                // promotion policy only builds sections from settled
+                // mappings (never mid-COW), so this is a stale-TLB
+                // spurious fault, not demand paging.
+                debug_assert!(!access.is_write() || perms.write());
+                FaultOutcome {
+                    kind: FaultKind::Spurious,
+                    ptp_allocated: false,
+                    file_backed,
+                    global,
+                    demoted: None,
+                }
+            } else {
+                resolve_not_present(&mut mapper, &vma, page, access, ctx)?
+            }
+        }
     };
 
     // Mirror the paper's software counters.
@@ -185,6 +223,7 @@ fn resolve_write_protect_fault(
             ptp_allocated: false,
             file_backed: sw.file_backed,
             global: hw.global,
+            demoted: None,
         });
     }
     // COW: allocate a private anonymous copy. The copy is private to
@@ -202,6 +241,7 @@ fn resolve_write_protect_fault(
         ptp_allocated: res.ptp_allocated,
         file_backed: sw.file_backed,
         global: false,
+        demoted: None,
     })
 }
 
@@ -241,6 +281,7 @@ fn resolve_not_present(
                     ptp_allocated: res.ptp_allocated,
                     file_backed: true,
                     global: false,
+                    demoted: None,
                 });
             }
 
@@ -265,6 +306,7 @@ fn resolve_not_present(
                 ptp_allocated: res.ptp_allocated,
                 file_backed: true,
                 global,
+                demoted: None,
             })
         }
         Backing::Anon => {
@@ -291,6 +333,7 @@ fn resolve_not_present(
                 ptp_allocated: res.ptp_allocated,
                 file_backed: false,
                 global: false,
+                demoted: None,
             })
         }
     }
@@ -538,6 +581,44 @@ mod tests {
             .get_pte(VirtAddr::new(0x4000_0000))
             .unwrap();
         assert!(slot.hw.global);
+    }
+
+    #[test]
+    fn write_fault_on_protected_large_page_splits_group() {
+        use crate::largepage::{mmap_large, LARGE_PAGE_BYTES};
+        let mut f = fx();
+        let at = VirtAddr::new(0x4000_0000);
+        mmap_large(
+            &mut f.mm,
+            &mut f.ptps,
+            &mut f.phys,
+            at,
+            LARGE_PAGE_BYTES,
+            Perms::RW,
+            sat_types::RegionTag::Heap,
+            "huge",
+            Domain::USER,
+        )
+        .unwrap();
+        // Write-protect the whole group, as fork's COW arming does —
+        // uniform across the sixteen replicated descriptors, so the
+        // mapping legitimately stays large.
+        Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys, f.mm.pid)
+            .write_protect_range(VaRange::from_len(at, LARGE_PAGE_BYTES));
+        // The next write cannot resolve one 4KB page wide against a
+        // 64KB descriptor: the fault must demote the group first.
+        let target = VirtAddr::new(at.raw() + 3 * PAGE_SIZE);
+        let o = fault(&mut f, target.raw(), AccessType::Write).unwrap();
+        assert_eq!(o.kind, FaultKind::WriteEnable); // sole mapper: no copy
+        assert_eq!(o.demoted, Some(at));
+        let m = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys, f.mm.pid);
+        let hit = m.get_pte(target).unwrap();
+        assert_eq!(hit.hw.size, sat_types::PageSize::Small4K);
+        assert!(hit.hw.perms.write());
+        // The untouched neighbours are small and still protected.
+        let other = m.get_pte(at).unwrap();
+        assert_eq!(other.hw.size, sat_types::PageSize::Small4K);
+        assert!(!other.hw.perms.write());
     }
 
     #[test]

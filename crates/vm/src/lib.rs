@@ -27,8 +27,13 @@ pub mod vma;
 
 pub use fault::{handle_fault, FaultCtx, FaultKind, FaultOutcome};
 pub use fork::{copies_ptes, copy_vma_ptes_in_range, fork_mm, ForkPtePolicy, ForkReport};
-pub use largepage::{map_large, mmap_large, round_to_large, LargeMapReport};
+pub use largepage::{
+    collapse_group, map_large, mmap_large, round_to_large, CollapseOutcome, LargeMapReport,
+    LARGE_PAGE_BYTES,
+};
 pub use mm::{Mm, MmCounters};
 pub use smaps::{smaps, smaps_rollup, SmapsEntry};
-pub use syscalls::{exit_mmap, free_unused_ptps, mmap, mprotect, munmap, populate, MmapRequest};
+pub use syscalls::{
+    demote_range, exit_mmap, free_unused_ptps, mmap, mprotect, munmap, populate, MmapRequest,
+};
 pub use vma::{Backing, Vma};

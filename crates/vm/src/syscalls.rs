@@ -6,10 +6,11 @@
 //! `sat-core` wrapper unshares affected PTPs first and then calls
 //! these mechanics unchanged.
 
-use sat_mmu::{Mapper, PtpStore};
+use sat_mmu::{L1Entry, Mapper, PtpStore};
 use sat_phys::{FileId, PhysMem};
 use sat_types::{
-    AccessType, Perms, RegionTag, SatError, SatResult, VaRange, VirtAddr, PAGE_SIZE, PTP_SPAN,
+    AccessType, PageSize, Perms, RegionTag, SatError, SatResult, VaRange, VirtAddr, PAGE_SIZE,
+    PTP_SPAN,
 };
 
 use crate::fault::{handle_fault, FaultCtx};
@@ -142,9 +143,65 @@ pub fn populate(
     Ok(populated)
 }
 
-/// Unmaps `range`: removes the covered region pieces, clears their
-/// PTEs, and frees page-table pages whose 2MB span no longer contains
-/// any region.
+/// Demotes large mappings so `range` can be operated on at 4KB
+/// granularity (Linux's split-before-zap): a 1MB section overlapping
+/// `range` is split back to a table of small PTEs, and a 64KB large
+/// page cut by a range *boundary* is split back to sixteen small
+/// PTEs. Groups lying wholly inside the range stay large — clearing
+/// all sixteen replicated descriptors releases the group exactly, and
+/// a whole-group permission change keeps the descriptors uniform.
+///
+/// Returns the demoted mappings as `(start_va, size)`; the `sat-core`
+/// wrapper calls this ahead of the mechanics below to turn each entry
+/// into a `Demote` event and a size-tagged TLB flush (the calls here
+/// then find nothing left to split).
+pub fn demote_range(
+    mm: &mut Mm,
+    ptps: &mut PtpStore,
+    phys: &mut PhysMem,
+    range: VaRange,
+) -> SatResult<Vec<(VirtAddr, PageSize)>> {
+    if range.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut demoted = Vec::new();
+    // Sections first: splitting one leaves 64KB groups behind, which
+    // the boundary pass below may then need to split further.
+    for mb in (range.start.raw() >> 20)..=((range.end.raw() - 1) >> 20) {
+        let va = VirtAddr::new(mb << 20);
+        if matches!(mm.root.entry(mb as usize), L1Entry::Section { .. }) {
+            let mut mapper = Mapper::new(&mut mm.root, ptps, phys, mm.pid);
+            mapper.split_section(va)?;
+            demoted.push((va, PageSize::Section1M));
+        }
+    }
+    // 64KB groups cut by a boundary. Large pages are installed at
+    // 64KB-aligned starts, so an aligned boundary never cuts one.
+    let large = PageSize::Large64K.bytes();
+    for edge in [range.start.raw(), range.end.raw()] {
+        if edge.is_multiple_of(large) {
+            continue;
+        }
+        // For the exclusive end, probe the page just inside the range.
+        let probe = if edge == range.end.raw() {
+            VirtAddr::new(edge - 1).page_base()
+        } else {
+            VirtAddr::new(edge)
+        };
+        let mut mapper = Mapper::new(&mut mm.root, ptps, phys, mm.pid);
+        if mapper.split_large(probe).is_some() {
+            demoted.push((
+                VirtAddr::new(probe.raw() & !(large - 1)),
+                PageSize::Large64K,
+            ));
+        }
+    }
+    Ok(demoted)
+}
+
+/// Unmaps `range`: removes the covered region pieces, demotes large
+/// mappings cut by the boundaries, clears their PTEs, and frees
+/// page-table pages whose 2MB span no longer contains any region.
 ///
 /// Returns the number of PTEs cleared.
 pub fn munmap(
@@ -156,9 +213,7 @@ pub fn munmap(
     if !range.start.is_page_aligned() || range.is_empty() {
         return Err(SatError::InvalidArgument);
     }
-    // Whole-64KB-units only for large-page mappings (see
-    // [`crate::largepage::check_large_boundaries`]).
-    crate::largepage::check_large_boundaries(mm, ptps, range)?;
+    demote_range(mm, ptps, phys, range)?;
     let removed = mm.carve(range);
     let mut cleared = 0;
     {
@@ -205,11 +260,11 @@ pub fn mprotect(
     if !mm.any_vma_overlaps(range) {
         return Err(SatError::NotMapped(range.start));
     }
-    // Whole-64KB-units only for large-page mappings: a partial
-    // re-protection would leave the sixteen replicated descriptors
-    // disagreeing, and the TLB could serve the stale permission from
-    // any of them.
-    crate::largepage::check_large_boundaries(mm, ptps, range)?;
+    // A partial re-protection would leave a large page's sixteen
+    // replicated descriptors disagreeing, and the TLB could serve the
+    // stale permission from any of them — demote at the boundaries
+    // first; whole-group changes below stay uniform and stay large.
+    demote_range(mm, ptps, phys, range)?;
     let pieces = mm.carve(range);
     for mut piece in pieces {
         piece.perms = perms;
@@ -237,9 +292,15 @@ pub fn mprotect(
 /// paper's Section 3.1.2 case 5).
 pub fn exit_mmap(mm: &mut Mm, ptps: &mut PtpStore, phys: &mut PhysMem) -> usize {
     let chunks: Vec<usize> = mm.root.iter_ptps().map(|(idx, _)| idx).collect();
+    let sections: Vec<usize> = mm.root.iter_sections().collect();
     let mut freed = 0;
     {
         let mut mapper = Mapper::new(&mut mm.root, ptps, phys, mm.pid);
+        // Sections are level-1 entries, invisible to the PTP sweep:
+        // drop their frame references directly.
+        for idx in sections {
+            mapper.clear_section(VirtAddr::new((idx as u32) << 20));
+        }
         for pair_idx in chunks {
             let va = VirtAddr::new((pair_idx as u32) << 20);
             if mapper.release_ptp_pair(va) {
@@ -409,6 +470,216 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, SatError::NotMapped(VirtAddr::new(0x7000_0000)));
+    }
+
+    #[test]
+    fn partial_munmap_splits_large_page() {
+        use crate::largepage::{mmap_large, LARGE_PAGE_BYTES};
+        let mut f = fx();
+        let at = VirtAddr::new(0x4000_0000);
+        mmap_large(
+            &mut f.mm,
+            &mut f.ptps,
+            &mut f.phys,
+            at,
+            LARGE_PAGE_BYTES,
+            Perms::RW,
+            RegionTag::Heap,
+            "huge",
+            sat_types::Domain::USER,
+        )
+        .unwrap();
+        // Unmap the first 4KB only: the group must demote, the other
+        // fifteen pages must survive as small PTEs.
+        let cleared = munmap(
+            &mut f.mm,
+            &mut f.ptps,
+            &mut f.phys,
+            VaRange::from_len(at, PAGE_SIZE),
+        )
+        .unwrap();
+        assert_eq!(cleared, 1);
+        let m = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys, f.mm.pid);
+        assert!(m.get_pte(at).is_none());
+        for i in 1..16u32 {
+            let slot = m.get_pte(VirtAddr::new(at.raw() + i * PAGE_SIZE)).unwrap();
+            assert_eq!(slot.hw.size, PageSize::Small4K);
+        }
+        let _ = m;
+        exit_mmap(&mut f.mm, &mut f.ptps, &mut f.phys);
+    }
+
+    #[test]
+    fn demote_range_reports_boundary_splits_only() {
+        use crate::largepage::{mmap_large, LARGE_PAGE_BYTES};
+        let mut f = fx();
+        let at = VirtAddr::new(0x4000_0000);
+        mmap_large(
+            &mut f.mm,
+            &mut f.ptps,
+            &mut f.phys,
+            at,
+            2 * LARGE_PAGE_BYTES,
+            Perms::RW,
+            RegionTag::Heap,
+            "huge",
+            sat_types::Domain::USER,
+        )
+        .unwrap();
+        // A range cutting into the second group splits only that one;
+        // the first group is wholly inside and stays large.
+        let range = VaRange::new(
+            at,
+            VirtAddr::new(at.raw() + LARGE_PAGE_BYTES + 4 * PAGE_SIZE),
+        );
+        let demoted = demote_range(&mut f.mm, &mut f.ptps, &mut f.phys, range).unwrap();
+        assert_eq!(
+            demoted,
+            vec![(
+                VirtAddr::new(at.raw() + LARGE_PAGE_BYTES),
+                PageSize::Large64K
+            )]
+        );
+        let m = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys, f.mm.pid);
+        assert_eq!(m.get_pte(at).unwrap().hw.size, PageSize::Large64K);
+        assert_eq!(
+            m.get_pte(VirtAddr::new(at.raw() + LARGE_PAGE_BYTES))
+                .unwrap()
+                .hw
+                .size,
+            PageSize::Small4K
+        );
+        let _ = m;
+        // Idempotent: a second call finds nothing left to split.
+        assert!(demote_range(&mut f.mm, &mut f.ptps, &mut f.phys, range)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn whole_group_mprotect_keeps_large_partial_splits() {
+        use crate::largepage::{mmap_large, LARGE_PAGE_BYTES};
+        let mut f = fx();
+        let at = VirtAddr::new(0x4000_0000);
+        mmap_large(
+            &mut f.mm,
+            &mut f.ptps,
+            &mut f.phys,
+            at,
+            2 * LARGE_PAGE_BYTES,
+            Perms::RW,
+            RegionTag::Heap,
+            "huge",
+            sat_types::Domain::USER,
+        )
+        .unwrap();
+        // Whole-group re-protection keeps the replicated descriptors
+        // uniform: the first group stays large.
+        mprotect(
+            &mut f.mm,
+            &mut f.ptps,
+            &mut f.phys,
+            VaRange::from_len(at, LARGE_PAGE_BYTES),
+            Perms::R,
+        )
+        .unwrap();
+        let m = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys, f.mm.pid);
+        let slot = m.get_pte(at).unwrap();
+        assert_eq!(slot.hw.size, PageSize::Large64K);
+        assert_eq!(slot.hw.perms, Perms::R);
+        let _ = m;
+        // Partial re-protection inside the second group demotes it.
+        let second = VirtAddr::new(at.raw() + LARGE_PAGE_BYTES);
+        mprotect(
+            &mut f.mm,
+            &mut f.ptps,
+            &mut f.phys,
+            VaRange::from_len(second, 4 * PAGE_SIZE),
+            Perms::R,
+        )
+        .unwrap();
+        let m = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys, f.mm.pid);
+        assert_eq!(m.get_pte(second).unwrap().hw.size, PageSize::Small4K);
+        assert_eq!(m.get_pte(second).unwrap().hw.perms, Perms::R);
+        // Pages past the re-protected span keep their old perms.
+        let tail = VirtAddr::new(second.raw() + 5 * PAGE_SIZE);
+        assert_eq!(m.get_pte(tail).unwrap().hw.size, PageSize::Small4K);
+        assert!(m.get_pte(tail).unwrap().hw.perms.write());
+    }
+
+    #[test]
+    fn munmap_splits_section_at_boundary() {
+        use crate::largepage::mmap_large;
+        let mut f = fx();
+        let at = VirtAddr::new(0x4000_0000); // 1MB-aligned
+                                             // Pre-allocate the PTP so the 256 data frames form one
+                                             // contiguous run, then build the section from 16 large pages.
+        Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys, f.mm.pid)
+            .ensure_ptp(at, sat_types::Domain::USER)
+            .unwrap();
+        mmap_large(
+            &mut f.mm,
+            &mut f.ptps,
+            &mut f.phys,
+            at,
+            0x10_0000,
+            Perms::RW,
+            RegionTag::Heap,
+            "sect",
+            sat_types::Domain::USER,
+        )
+        .unwrap();
+        Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys, f.mm.pid)
+            .collapse_section(at)
+            .unwrap();
+        assert_eq!(f.mm.root.section_count(), 1);
+        // Unmapping 8KB out of the middle demotes the section (and
+        // the large group the boundary then cuts), clears two pages.
+        let range = VaRange::from_len(VirtAddr::new(at.raw() + 0x8_0000), 2 * PAGE_SIZE);
+        let demoted = demote_range(&mut f.mm, &mut f.ptps, &mut f.phys, range).unwrap();
+        assert_eq!(demoted[0], (at, PageSize::Section1M));
+        let cleared = munmap(&mut f.mm, &mut f.ptps, &mut f.phys, range).unwrap();
+        assert_eq!(cleared, 2);
+        assert_eq!(f.mm.root.section_count(), 0);
+        // Every page outside the hole still translates.
+        let m = Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys, f.mm.pid);
+        assert!(m.get_pte(at).is_some());
+        assert!(m.get_pte(VirtAddr::new(at.raw() + 0x8_0000)).is_none());
+        assert!(m.get_pte(VirtAddr::new(at.raw() + 0x8_2000)).is_some());
+        let _ = m;
+        let baseline = 4; // root table
+        exit_mmap(&mut f.mm, &mut f.ptps, &mut f.phys);
+        assert_eq!(f.phys.frames_in_use(), baseline);
+        assert!(f.ptps.is_empty());
+    }
+
+    #[test]
+    fn exit_mmap_tears_down_sections() {
+        use crate::largepage::mmap_large;
+        let mut f = fx();
+        let at = VirtAddr::new(0x4000_0000);
+        Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys, f.mm.pid)
+            .ensure_ptp(at, sat_types::Domain::USER)
+            .unwrap();
+        mmap_large(
+            &mut f.mm,
+            &mut f.ptps,
+            &mut f.phys,
+            at,
+            0x10_0000,
+            Perms::RW,
+            RegionTag::Heap,
+            "sect",
+            sat_types::Domain::USER,
+        )
+        .unwrap();
+        Mapper::new(&mut f.mm.root, &mut f.ptps, &mut f.phys, f.mm.pid)
+            .collapse_section(at)
+            .unwrap();
+        exit_mmap(&mut f.mm, &mut f.ptps, &mut f.phys);
+        assert_eq!(f.phys.frames_in_use(), 4); // just the root table
+        assert_eq!(f.mm.root.section_count(), 0);
+        assert!(f.ptps.is_empty());
     }
 
     #[test]

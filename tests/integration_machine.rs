@@ -418,7 +418,7 @@ fn unshare_of_large_page_chunk_balances_refcounts() {
 }
 
 #[test]
-fn partial_large_page_operations_are_rejected() {
+fn partial_large_page_operations_demote_instead_of_failing() {
     use sat_core::NoTlb;
     let mut kernel = Kernel::new(KernelConfig::stock(), 65_536);
     let pid = kernel.create_process().unwrap();
@@ -433,17 +433,42 @@ fn partial_large_page_operations_are_rejected() {
             &mut NoTlb,
         )
         .unwrap();
-    // Partial munmap (16KB of a 64KB page) must be rejected...
+    // Partial munmap (16KB of a 64KB page) splits the page back to
+    // sixteen 4KB PTEs first (Linux's split-before-zap)...
     let partial = sat_types::VaRange::from_len(VirtAddr::new(0x0900_0000), 4 * PAGE_SIZE);
-    assert!(kernel.munmap(pid, partial, &mut NoTlb).is_err());
-    // ...as must partial mprotect...
-    assert!(kernel.mprotect(pid, partial, Perms::R, &mut NoTlb).is_err());
-    // ...while whole-page operations succeed.
-    let whole = sat_types::VaRange::from_len(VirtAddr::new(0x0900_0000), 64 * 1024);
-    kernel.mprotect(pid, whole, Perms::R, &mut NoTlb).unwrap();
-    kernel.munmap(pid, whole, &mut NoTlb).unwrap();
+    kernel.munmap(pid, partial, &mut NoTlb).unwrap();
+    assert_eq!(kernel.stats.demotions, 1);
+    assert_eq!(kernel.stats.split_ptes, 16);
     assert!(kernel
         .pte(pid, VirtAddr::new(0x0900_0000))
+        .unwrap()
+        .is_none());
+    // ...leaving the tail resident at 4KB granularity.
+    assert!(kernel
+        .pte(pid, VirtAddr::new(0x0900_0000 + 4 * PAGE_SIZE))
+        .unwrap()
+        .is_some());
+    // Partial mprotect demotes symmetrically.
+    kernel
+        .mmap_large(
+            pid,
+            VirtAddr::new(0x0910_0000),
+            64 * 1024,
+            Perms::RW,
+            RegionTag::Heap,
+            "huge2",
+            &mut NoTlb,
+        )
+        .unwrap();
+    let cut = sat_types::VaRange::from_len(VirtAddr::new(0x0910_0000), 4 * PAGE_SIZE);
+    kernel.mprotect(pid, cut, Perms::R, &mut NoTlb).unwrap();
+    assert_eq!(kernel.stats.demotions, 2);
+    // Whole-page operations never split.
+    let whole = sat_types::VaRange::from_len(VirtAddr::new(0x0910_0000), 64 * 1024);
+    kernel.munmap(pid, whole, &mut NoTlb).unwrap();
+    assert_eq!(kernel.stats.demotions, 2);
+    assert!(kernel
+        .pte(pid, VirtAddr::new(0x0910_0000))
         .unwrap()
         .is_none());
 }
@@ -544,4 +569,105 @@ fn obs_flush_events_reconcile_with_tlb_stats() {
     // before ring admission, so this holds even under overflow).
     assert_eq!(rec.metrics.counter("tlb.flush.main.full"), stats_full);
     assert_eq!(rec.metrics.counter("tlb.flush.main.entries"), stats_entries);
+}
+
+/// Conservation for the page-size paths: promotion and demotion emit
+/// size-tagged flushes (`FlushReason::Promote` / `Demote`) that
+/// reconcile with `TlbStats` exactly like every other site, the TLB
+/// never serves a stale translation across a collapse or a split, and
+/// no flush in the whole workload is unattributed.
+#[test]
+fn obs_promote_demote_flushes_reconcile_and_stay_attributed() {
+    sat_obs::install(1 << 16);
+    let policy = sat_core::PromotePolicy {
+        enabled: true,
+        min_populated: 1,
+        sections: false,
+    };
+    let (mut m, zygote) = machine(KernelConfig::shared_ptp().with_promote(policy));
+    // A full 64KB anon group: touch half the pages, promote, then
+    // demote by unmapping one page.
+    let group = VirtAddr::new(0x0900_0000);
+    m.syscall(|k, tlb| {
+        k.mmap(
+            zygote,
+            &MmapRequest::anon(16 * PAGE_SIZE, Perms::RW, RegionTag::Heap, "[anon:big]").at(group),
+            tlb,
+        )
+    })
+    .unwrap();
+    for i in 0..8u32 {
+        m.access(
+            0,
+            VirtAddr::new(group.raw() + i * PAGE_SIZE),
+            AccessType::Write,
+        )
+        .unwrap();
+    }
+    let report = m.syscall(|k, tlb| k.promote_scan(zygote, tlb)).unwrap();
+    assert_eq!(report.promoted, 1, "the touched group collapses");
+    // Accesses after the collapse translate through the large entry —
+    // including a hole the scan filled (page 12 was never touched).
+    m.access(
+        0,
+        VirtAddr::new(group.raw() + 12 * PAGE_SIZE),
+        AccessType::Write,
+    )
+    .unwrap();
+    // Partial munmap splits the group; the demote flush must evict
+    // the wide entry so later accesses fault precisely.
+    m.syscall(|k, tlb| k.munmap(zygote, sat_types::VaRange::from_len(group, PAGE_SIZE), tlb))
+        .unwrap();
+    assert!(
+        m.access(0, group, AccessType::Read).is_err(),
+        "unmapped page still translates: stale wide TLB entry"
+    );
+    m.access(0, VirtAddr::new(group.raw() + PAGE_SIZE), AccessType::Read)
+        .unwrap();
+    assert_eq!(m.kernel.stats.promotions, 1);
+    assert_eq!(m.kernel.stats.demotions, 1);
+
+    let rec = sat_obs::uninstall().expect("recorder installed above");
+    assert_eq!(rec.dropped, 0, "scenario fits the ring");
+    let mut promote_entries = 0u64;
+    let mut demote_entries = 0u64;
+    let mut main_entries = 0u64;
+    let mut unattributed = 0u64;
+    for event in &rec.events {
+        if let sat_obs::Payload::TlbFlush {
+            scope,
+            reason,
+            entries,
+        } = &event.payload
+        {
+            if scope.is_main() {
+                main_entries += entries;
+                match reason {
+                    sat_obs::FlushReason::Promote => promote_entries += entries,
+                    sat_obs::FlushReason::Demote => demote_entries += entries,
+                    sat_obs::FlushReason::Unattributed => unattributed += 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+    let stats_entries: u64 = m
+        .cores
+        .iter()
+        .map(|c| c.main_tlb.stats().entries_flushed)
+        .sum();
+    assert_eq!(main_entries, stats_entries, "flush events reconcile");
+    assert_eq!(unattributed, 0, "promote/demote sites carry reasons");
+    // The promote flush invalidated the sixteen small entries the
+    // faults loaded; the demote flush invalidated the wide entry.
+    assert!(promote_entries > 0, "collapse evicted the 4KB entries");
+    assert!(demote_entries > 0, "split evicted the wide entry");
+    assert_eq!(
+        rec.metrics.counter("tlb.flush.reason.promote.entries"),
+        promote_entries
+    );
+    assert_eq!(
+        rec.metrics.counter("tlb.flush.reason.demote.entries"),
+        demote_entries
+    );
 }
